@@ -1,0 +1,141 @@
+package focus_test
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// benchmark regenerates the corresponding artifact end to end — synthetic
+// streams, tuning, ingestion, queries, baselines — and reports the headline
+// factors as custom benchmark metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the full evaluation. The heavyweight intermediate artifacts
+// (ground truths, tuner sweeps) are shared through a lazily-built
+// environment, mirroring how cmd/focus-bench runs the suite.
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"focus"
+	"focus/internal/experiments"
+)
+
+var (
+	benchEnvOnce sync.Once
+	benchEnv     *experiments.Env
+)
+
+// benchScale is the per-stream window used by the bench harness: large
+// enough for stable factors, small enough that the full suite finishes in
+// minutes.
+const benchScale = 200.0
+
+func sharedEnv() *experiments.Env {
+	benchEnvOnce.Do(func() {
+		cfg := experiments.DefaultConfig()
+		cfg.DurationSec = benchScale
+		benchEnv = experiments.NewEnv(cfg)
+	})
+	return benchEnv
+}
+
+// runExperiment executes one named experiment per benchmark iteration and
+// reports factor metrics parsed from its notes.
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	env := sharedEnv()
+	for i := 0; i < b.N; i++ {
+		tables, err := env.Run(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportFactors(b, tables)
+		}
+	}
+}
+
+// reportFactors extracts "NNx" factors from table notes into benchmark
+// metrics (averages only, to keep output compact).
+func reportFactors(b *testing.B, tables []*experiments.Table) {
+	for _, t := range tables {
+		for _, note := range t.Notes {
+			if !strings.HasPrefix(note, "average") {
+				continue
+			}
+			fields := strings.Fields(note)
+			for j, f := range fields {
+				v, ok := parseFactor(f)
+				if !ok {
+					continue
+				}
+				label := "factor"
+				if j > 0 {
+					label = strings.Trim(fields[j-1], ":,")
+				}
+				b.ReportMetric(v, sanitizeMetric(t.ID+"_"+label))
+				break // first factor per note is the headline
+			}
+		}
+	}
+}
+
+func parseFactor(s string) (float64, bool) {
+	s = strings.Trim(s, ",;()")
+	if !strings.HasSuffix(s, "x") {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "x"), 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+func sanitizeMetric(s string) string {
+	s = strings.ReplaceAll(s, " ", "_")
+	s = strings.ReplaceAll(s, "§", "sec")
+	return s + "_x"
+}
+
+func BenchmarkTable1Characteristics(b *testing.B) { runExperiment(b, "table1") }
+func BenchmarkFigure3ClassCDF(b *testing.B)       { runExperiment(b, "fig3") }
+func BenchmarkCharacterizationOccupancy(b *testing.B) {
+	runExperiment(b, "occupancy")
+}
+func BenchmarkCharacterizationNNFeatures(b *testing.B) {
+	runExperiment(b, "nnfeatures")
+}
+func BenchmarkFigure5RecallVsK(b *testing.B)          { runExperiment(b, "fig5") }
+func BenchmarkFigure6ParameterSelection(b *testing.B) { runExperiment(b, "fig6") }
+func BenchmarkFigure1TradeoffSpace(b *testing.B)      { runExperiment(b, "fig1") }
+func BenchmarkFigure7EndToEnd(b *testing.B)           { runExperiment(b, "fig7") }
+func BenchmarkFigure8Ablation(b *testing.B)           { runExperiment(b, "fig8") }
+func BenchmarkFigure9TradeoffPerStream(b *testing.B)  { runExperiment(b, "fig9") }
+func BenchmarkFigure10AccuracyIngest(b *testing.B)    { runExperiment(b, "fig10-11") }
+func BenchmarkFigure12FrameRateIngest(b *testing.B)   { runExperiment(b, "fig12-13") }
+func BenchmarkSection67QueryRates(b *testing.B)       { runExperiment(b, "sec6.7") }
+
+// BenchmarkQuickstartPipeline measures the end-to-end public-API pipeline
+// (tune + ingest + one query) on one stream, the unit of work a user's
+// deployment repeats per stream.
+func BenchmarkQuickstartPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys, err := focus.New(focus.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess, err := sys.AddTable1Stream("bend")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sess.Ingest(focus.GenOptions{DurationSec: 90, SampleEvery: 1}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.Query(focus.Query{Class: "car"}); err != nil {
+			b.Fatal(err)
+		}
+		sys.Close()
+	}
+}

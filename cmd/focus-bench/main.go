@@ -1,0 +1,96 @@
+// Command focus-bench regenerates the paper's tables and figures end to
+// end and writes them as text (and optionally CSV) for EXPERIMENTS.md.
+//
+// Usage:
+//
+//	focus-bench [-duration 240] [-gpus 10] [-run fig7,fig8] [-csv-dir out/]
+//
+// Without -run it executes the full suite in paper order. Expect several
+// minutes at the default scale; -duration scales fidelity against runtime.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"focus/internal/experiments"
+	"focus/internal/tune"
+)
+
+func main() {
+	duration := flag.Float64("duration", 240, "per-stream window length in seconds")
+	sampleEvery := flag.Int("sample-every", 1, "frame sampling stride (1 = 30fps)")
+	gpus := flag.Int("gpus", 10, "query-time GPU parallelism")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	recall := flag.Float64("recall", 0.95, "recall target")
+	precision := flag.Float64("precision", 0.95, "precision target")
+	run := flag.String("run", "", "comma-separated experiment names (default: all)")
+	csvDir := flag.String("csv-dir", "", "also write each table as CSV into this directory")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	cfg := experiments.DefaultConfig()
+	cfg.DurationSec = *duration
+	cfg.SampleEvery = *sampleEvery
+	cfg.NumGPUs = *gpus
+	cfg.Seed = *seed
+	cfg.Targets = tune.Targets{Recall: *recall, Precision: *precision}
+	env := experiments.NewEnv(cfg)
+
+	names := experiments.Names()
+	if *run != "" {
+		names = strings.Split(*run, ",")
+	}
+
+	fmt.Printf("# Focus experiment suite — window %.0fs/stream, %d GPUs, targets %.0f%%/%.0f%%, seed %d\n\n",
+		cfg.DurationSec, cfg.NumGPUs, 100*cfg.Targets.Recall, 100*cfg.Targets.Precision, cfg.Seed)
+
+	start := time.Now()
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		t0 := time.Now()
+		tables, err := env.Run(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "focus-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		for _, tb := range tables {
+			if err := tb.Render(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "focus-bench:", err)
+				os.Exit(1)
+			}
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, tb); err != nil {
+					fmt.Fprintln(os.Stderr, "focus-bench:", err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("(%s finished in %.1fs)\n\n", name, time.Since(t0).Seconds())
+	}
+	fmt.Printf("# suite finished in %.1fs\n", time.Since(start).Seconds())
+}
+
+func writeCSV(dir string, tb *experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := strings.NewReplacer(" ", "_", "§", "sec").Replace(tb.ID) + ".csv"
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tb.CSV(f)
+}

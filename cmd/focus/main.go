@@ -1,0 +1,270 @@
+// Command focus is the CLI for the Focus video-query system: ingest
+// synthetic Table 1 streams, run class queries against the resulting top-K
+// indexes, inspect the tuner's trade-off space, and print stream
+// characterizations.
+//
+// Usage:
+//
+//	focus streams
+//	focus classes [-n 30]
+//	focus ingest  -stream auburn_c [-duration 240] [-policy balance] [-store focus.kv]
+//	focus query   -stream auburn_c -class car [-start 0 -end 120] [-kx 2] [-store focus.kv]
+//	focus sweep   -stream auburn_c [-duration 240]
+//	focus characterize -stream auburn_c [-duration 240]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"focus"
+	"focus/internal/stats"
+	"focus/internal/tune"
+	"focus/internal/video"
+	"focus/internal/vision"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "streams":
+		err = cmdStreams()
+	case "classes":
+		err = cmdClasses(os.Args[2:])
+	case "ingest":
+		err = cmdIngest(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
+	case "characterize":
+		err = cmdCharacterize(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "focus: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "focus:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `focus <command> [flags]
+
+commands:
+  streams        list the Table 1 stream presets
+  classes        list queryable class names
+  ingest         tune and ingest a stream window, print the chosen config
+  query          answer "find frames with class X" against an ingested stream
+  sweep          print the tuner's Pareto boundary for a stream
+  characterize   print a stream's ground-truth characterization`)
+}
+
+func cmdStreams() error {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "NAME\tTYPE\tLOCATION\tDESCRIPTION")
+	for _, s := range video.Table1Specs() {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", s.Name, s.Type, s.Location, s.Description)
+	}
+	return w.Flush()
+}
+
+func cmdClasses(args []string) error {
+	fs := flag.NewFlagSet("classes", flag.ExitOnError)
+	n := fs.Int("n", 30, "how many class names to print")
+	seed := fs.Uint64("seed", 1, "system seed")
+	fs.Parse(args)
+	sys, err := focus.New(focus.Config{Seed: *seed})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	for c := 0; c < *n; c++ {
+		fmt.Println(sys.Space().Name(vision.ClassID(c)))
+	}
+	return nil
+}
+
+func cmdIngest(args []string) error {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	stream := fs.String("stream", "auburn_c", "Table 1 stream name")
+	duration := fs.Float64("duration", 240, "window length in seconds")
+	sampleEvery := fs.Int("sample-every", 1, "frame sampling stride (1 = 30fps)")
+	policy := fs.String("policy", "balance", "balance | opt-ingest | opt-query")
+	store := fs.String("store", "", "persist the index to this path")
+	seed := fs.Uint64("seed", 1, "system seed")
+	fs.Parse(args)
+
+	sys, err := focus.New(focus.Config{
+		Seed: *seed, Policy: focus.Policy(*policy), StorePath: *store,
+	})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	sess, err := sys.AddTable1Stream(*stream)
+	if err != nil {
+		return err
+	}
+	opts := focus.GenOptions{DurationSec: *duration, SampleEvery: *sampleEvery}
+	if err := sess.Ingest(opts); err != nil {
+		return err
+	}
+	chosen := sess.Selection().Chosen
+	ws := sess.IngestStats()
+	fmt.Printf("stream %s: ingested %.0fs at %.1f fps\n", *stream, *duration, opts.EffectiveFPS())
+	fmt.Printf("  chosen config: model=%s K=%d T=%.1f (est recall %.3f, est precision %.3f)\n",
+		chosen.Model.Name, chosen.K, chosen.T, chosen.EstRecall, chosen.EstPrecision)
+	fmt.Printf("  sightings=%d cnn-inferences=%d dedup=%.1f%% clusters=%d\n",
+		ws.Sightings, ws.CNNInferences, 100*ws.DedupRate(), ws.Clusters)
+	fmt.Printf("  ingest GPU: %.1fs (Ingest-all would need %.1fs → %.0fx cheaper)\n",
+		ws.IngestGPUMS/1000, float64(ws.Sightings)*13/1000,
+		float64(ws.Sightings)*13/ws.IngestGPUMS)
+	if *store != "" {
+		fmt.Printf("  index persisted to %s\n", *store)
+	}
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	stream := fs.String("stream", "auburn_c", "Table 1 stream name")
+	class := fs.String("class", "car", "class name to query")
+	duration := fs.Float64("duration", 240, "window length in seconds (when re-ingesting)")
+	start := fs.Float64("start", 0, "window start (seconds)")
+	end := fs.Float64("end", 0, "window end (seconds, 0 = unbounded)")
+	kx := fs.Int("kx", 0, "dynamic Kx cut (0 = indexed K)")
+	maxClusters := fs.Int("max-clusters", 0, "batched retrieval cap")
+	store := fs.String("store", "", "load a persisted index from this path")
+	seed := fs.Uint64("seed", 1, "system seed")
+	fs.Parse(args)
+
+	sys, err := focus.New(focus.Config{Seed: *seed, StorePath: *store})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	sess, err := sys.AddTable1Stream(*stream)
+	if err != nil {
+		return err
+	}
+	if *store != "" {
+		if err := sess.LoadIndex(); err != nil {
+			return fmt.Errorf("loading persisted index (run `focus ingest -store %s` first?): %w", *store, err)
+		}
+	} else {
+		fmt.Fprintln(os.Stderr, "no -store given; ingesting fresh (this tunes + indexes the stream)")
+		if err := sess.Ingest(focus.GenOptions{DurationSec: *duration, SampleEvery: 1}); err != nil {
+			return err
+		}
+	}
+	id, err := sys.ClassID(*class)
+	if err != nil {
+		return err
+	}
+	res, err := sess.QueryClass(id, focus.QueryOptions{
+		Kx: *kx, StartSec: *start, EndSec: *end, MaxClusters: *maxClusters,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query %q on %s: %d frames in %d segments\n",
+		*class, *stream, len(res.Frames), len(res.Segments))
+	fmt.Printf("  clusters examined=%d matched=%d gt-inferences=%d\n",
+		res.ExaminedClusters, res.MatchedClusters, res.GTInferences)
+	fmt.Printf("  latency %.0fms GPU-time %.0fms (via OTHER: %v)\n",
+		res.LatencyMS, res.GPUTimeMS, res.ViaOther)
+	max := len(res.Segments)
+	if max > 10 {
+		max = 10
+	}
+	if max > 0 {
+		fmt.Printf("  first segments (s): %v\n", res.Segments[:max])
+	}
+	return nil
+}
+
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	stream := fs.String("stream", "auburn_c", "Table 1 stream name")
+	duration := fs.Float64("duration", 240, "window length in seconds")
+	recall := fs.Float64("recall", 0.95, "recall target")
+	precision := fs.Float64("precision", 0.95, "precision target")
+	seed := fs.Uint64("seed", 1, "system seed")
+	fs.Parse(args)
+
+	sys, err := focus.New(focus.Config{
+		Seed:    *seed,
+		Targets: focus.Targets{Recall: *recall, Precision: *precision},
+	})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	sess, err := sys.AddTable1Stream(*stream)
+	if err != nil {
+		return err
+	}
+	if err := sess.Tune(focus.GenOptions{DurationSec: *duration, SampleEvery: 1}); err != nil {
+		return err
+	}
+	sel := sess.Selection()
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "MODEL\tK\tT\tNORM-INGEST\tNORM-QUERY\tEST-RECALL\tEST-PRECISION\tCHOSEN")
+	for _, c := range sel.Pareto {
+		mark := ""
+		if c == sel.Chosen {
+			mark = "<= " + string(tune.Balance)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.1f\t%.5f\t%.5f\t%.3f\t%.3f\t%s\n",
+			c.Model.Name, c.K, c.T, c.NormIngest, c.NormQuery, c.EstRecall, c.EstPrecision, mark)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("%d viable configurations, %d on the Pareto boundary\n",
+		len(sel.Viable), len(sel.Pareto))
+	return nil
+}
+
+func cmdCharacterize(args []string) error {
+	fs := flag.NewFlagSet("characterize", flag.ExitOnError)
+	stream := fs.String("stream", "auburn_c", "Table 1 stream name")
+	duration := fs.Float64("duration", 240, "window length in seconds")
+	seed := fs.Uint64("seed", 1, "system seed")
+	fs.Parse(args)
+
+	sys, err := focus.New(focus.Config{Seed: *seed})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	sess, err := sys.AddTable1Stream(*stream)
+	if err != nil {
+		return err
+	}
+	truth, err := stats.ComputeGroundTruth(sess.Stream(), sys.Space(), sys.Zoo().GT,
+		video.GenOptions{DurationSec: *duration, SampleEvery: 1})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("stream %s over %.0fs:\n", *stream, *duration)
+	fmt.Printf("  frames=%d empty=%.1f%% sightings=%d\n", truth.TotalFrames,
+		100*float64(truth.EmptyFrames)/float64(truth.TotalFrames), truth.TotalSightings)
+	fmt.Printf("  classes present: %d\n", len(truth.PresentClasses()))
+	fmt.Println("  dominant classes (by positive segments):")
+	for _, c := range truth.DominantClasses(8) {
+		fmt.Printf("    %-16s %4d segments\n", sys.Space().Name(c), len(truth.Positives[c]))
+	}
+	return nil
+}

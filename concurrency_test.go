@@ -1,0 +1,106 @@
+package focus
+
+import (
+	"sync"
+	"testing"
+
+	"focus/internal/vision"
+)
+
+// TestParallelStreamIngestion mirrors the paper's deployment model (§5):
+// one worker process per stream, all ingesting concurrently into one
+// system. The result must be identical to serial ingestion.
+func TestParallelStreamIngestion(t *testing.T) {
+	names := []string{"auburn_c", "bend", "msnbc"}
+	opts := GenOptions{DurationSec: 90, SampleEvery: 1}
+
+	run := func(parallel bool) map[string]int {
+		sys := newTestSystem(t, Config{})
+		sessions := make([]*Session, len(names))
+		for i, n := range names {
+			sess, err := sys.AddTable1Stream(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sessions[i] = sess
+		}
+		if parallel {
+			var wg sync.WaitGroup
+			errs := make([]error, len(sessions))
+			for i, sess := range sessions {
+				wg.Add(1)
+				go func(i int, sess *Session) {
+					defer wg.Done()
+					errs[i] = sess.Ingest(opts)
+				}(i, sess)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		} else {
+			for _, sess := range sessions {
+				if err := sess.Ingest(opts); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		out := make(map[string]int)
+		for _, sess := range sessions {
+			out[sess.Name()] = sess.Index().NumClusters()
+		}
+		return out
+	}
+
+	serial := run(false)
+	concurrent := run(true)
+	for n, want := range serial {
+		if got := concurrent[n]; got != want {
+			t.Errorf("%s: %d clusters concurrent vs %d serial", n, got, want)
+		}
+	}
+}
+
+// TestConcurrentQueries exercises the query engine's thread safety: many
+// goroutines querying different classes of one session simultaneously.
+func TestConcurrentQueries(t *testing.T) {
+	sys := newTestSystem(t, Config{})
+	sess, err := sys.AddTable1Stream("auburn_c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Ingest(GenOptions{DurationSec: 120, SampleEvery: 1}); err != nil {
+		t.Fatal(err)
+	}
+	classes := []vision.ClassID{0, 1, 2, 3, 4, 5, 12, 13, 20, 22}
+	// Baseline answers, serial.
+	want := make([]int, len(classes))
+	for i, c := range classes {
+		res, err := sess.QueryClass(c, QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = len(res.Frames)
+	}
+	var wg sync.WaitGroup
+	for round := 0; round < 4; round++ {
+		for i, c := range classes {
+			wg.Add(1)
+			go func(i int, c vision.ClassID) {
+				defer wg.Done()
+				res, err := sess.QueryClass(c, QueryOptions{})
+				if err != nil {
+					t.Errorf("class %d: %v", c, err)
+					return
+				}
+				if len(res.Frames) != want[i] {
+					t.Errorf("class %d: %d frames concurrent vs %d serial",
+						c, len(res.Frames), want[i])
+				}
+			}(i, c)
+		}
+	}
+	wg.Wait()
+}

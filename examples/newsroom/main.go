@@ -1,0 +1,72 @@
+// Newsroom archive search: a news channel with long-dwelling studio shots.
+// A producer wants "some shots of studio suits, fast" and only later the full
+// result set — the batched retrieval and dynamic-Kx features of §5 — on an
+// Opt-Query system where query latency is what matters.
+//
+// Run with:
+//
+//	go run ./examples/newsroom
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"focus"
+)
+
+func main() {
+	sys, err := focus.New(focus.Config{Policy: focus.OptQuery})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	sess, err := sys.AddTable1Stream("msnbc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.Ingest(focus.GenOptions{DurationSec: 300, SampleEvery: 1}); err != nil {
+		log.Fatal(err)
+	}
+	st := sess.IngestStats()
+	fmt.Printf("news stream indexed: %d sightings, %.0f%% deduplicated by pixel differencing\n",
+		st.Sightings, 100*st.DedupRate())
+	fmt.Printf("(news anchors barely move: pixel differencing pays off, §4.2)\n\n")
+
+	suit, err := sys.ClassID("suit")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// First batch: "show me something now". A low Kx plus a cluster cap
+	// retrieves only the most confident clusters (§5).
+	quick, err := sess.QueryClass(suit, focus.QueryOptions{Kx: 1, MaxClusters: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("quick batch (Kx=1, 10 clusters): %d frames in %.0fms\n",
+		len(quick.Frames), quick.LatencyMS)
+
+	// Full retrieval at the indexed K. Centroids already verified in the
+	// quick batch are cached, so the incremental cost is only the rest.
+	full, err := sess.QueryClass(suit, focus.QueryOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("full retrieval:               %d frames, %d new GT verifications, %.0fms\n",
+		len(full.Frames), full.GTInferences, full.LatencyMS)
+
+	// The anchor query every archive search starts with.
+	person, err := sys.ClassID("person")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sess.QueryClass(person, focus.QueryOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	queryAllMS := float64(st.Sightings) * 13.0 / 10
+	fmt.Printf("\n\"person\" over the archive:    %d frames in %.0fms (Query-all: %.0fms, %.0fx slower)\n",
+		len(res.Frames), res.LatencyMS, queryAllMS, queryAllMS/res.LatencyMS)
+}

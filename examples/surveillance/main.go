@@ -1,0 +1,87 @@
+// Surveillance archive: a rarely-queried camera where wasted ingest work
+// dominates cost (§4.4, §6.4). The operator runs the Opt-Ingest policy —
+// the cheapest possible indexing — accepting slower queries on the rare
+// occasion an investigator needs the footage. The example also shows the
+// OTHER-class path (§4.3): querying a class the specialized ingest CNN was
+// not trained on, and persisting/reloading the index across "restarts".
+//
+// Run with:
+//
+//	go run ./examples/surveillance
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"focus"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "focus-surveillance")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	storePath := filepath.Join(dir, "indexes.kv")
+
+	// Opt-Ingest: minimize the always-on indexing cost of a camera that is
+	// almost never queried.
+	sys, err := focus.New(focus.Config{Policy: focus.OptIngest, StorePath: storePath})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := sys.AddTable1Stream("lausanne")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.Ingest(focus.GenOptions{DurationSec: 300, SampleEvery: 1}); err != nil {
+		log.Fatal(err)
+	}
+	chosen := sess.Selection().Chosen
+	st := sess.IngestStats()
+	fmt.Printf("archived %d sightings with %s at %.2fms per inference\n",
+		st.Sightings, chosen.Model.Name, chosen.Model.CostMS())
+	fmt.Printf("ingest duty cycle: 1 GPU busy %.2f%% of the time (Ingest-all: %.0f%%)\n",
+		100*st.IngestGPUMS/(300*1000), 100*float64(st.Sightings)*13/(300*1000))
+	if err := sys.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Weeks later: an investigator reopens the archive and asks about a
+	// stolen handbag and — unusually for this camera — a dog.
+	sys2, err := focus.New(focus.Config{Policy: focus.OptIngest, StorePath: storePath})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys2.Close()
+	sess2, err := sys2.AddTable1Stream("lausanne")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sess2.LoadIndex(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreloaded index: %d clusters, ingest model %s (specialized on %d classes)\n",
+		sess2.Index().NumClusters(), sess2.Index().Meta().ModelName,
+		len(sess2.Index().Meta().SpecialClasses))
+
+	for _, class := range []string{"handbag", "dog", "umbrella"} {
+		id, err := sys2.ClassID(class)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sess2.QueryClass(id, focus.QueryOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		route := "specialized index"
+		if res.ViaOther {
+			route = "OTHER postings (§4.3)"
+		}
+		fmt.Printf("  %-9s %4d frames, %3d centroids verified, %5.0fms, via %s\n",
+			class, len(res.Frames), res.GTInferences, res.LatencyMS, route)
+	}
+}

@@ -1,0 +1,77 @@
+// Traffic investigation: the paper's motivating scenario (§1). After an
+// incident, an investigator queries several object classes over a specific
+// time window of a traffic camera and needs answers in seconds, not hours.
+//
+// The example ingests two traffic streams, runs time-ranged queries for
+// multiple vehicle classes, and compares Focus's GPU cost and latency
+// against both baselines (Ingest-all and Query-all) on the same window.
+//
+// Run with:
+//
+//	go run ./examples/traffic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"focus"
+	"focus/internal/baseline"
+)
+
+func main() {
+	sys, err := focus.New(focus.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	// Two cameras near the incident site.
+	streams := []string{"auburn_c", "city_a_d"}
+	window := focus.GenOptions{DurationSec: 300, SampleEvery: 1}
+	totalSightings := 0
+	var focusIngestMS float64
+	for _, name := range streams {
+		sess, err := sys.AddTable1Stream(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sess.Ingest(window); err != nil {
+			log.Fatal(err)
+		}
+		st := sess.IngestStats()
+		totalSightings += st.Sightings
+		focusIngestMS += st.IngestGPUMS
+		fmt.Printf("[%s] indexed %d sightings into %d clusters with %s\n",
+			name, st.Sightings, st.Clusters, sess.Selection().Chosen.Model.Name)
+	}
+
+	// The incident happened between t=60s and t=180s. Query the classes an
+	// investigator would chase: cars, buses, trucks, motorcycles.
+	fmt.Println("\ninvestigating window 60s..180s:")
+	investigated := []string{"car", "bus", "truck", "motorcycle"}
+	var focusQueryMS float64
+	for _, class := range investigated {
+		res, err := sys.Query(focus.Query{
+			Class:   class,
+			Streams: streams,
+			Options: focus.QueryOptions{StartSec: 60, EndSec: 180},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		focusQueryMS += res.GPUTimeMS
+		fmt.Printf("  %-11s %5d frames across %d cameras, latency %6.0fms\n",
+			class, res.TotalFrames, len(res.PerStream), res.LatencyMS)
+	}
+
+	// Compare against the baselines on the same hardware.
+	gt := sys.Zoo().GT
+	ingestAll := baseline.IngestAllGPUMS(gt, totalSightings)
+	queryAll := baseline.QueryAllLatencyMS(gt, totalSightings, 10) * float64(len(investigated))
+	fmt.Printf("\ncost comparison over %d sightings:\n", totalSightings)
+	fmt.Printf("  Ingest-all GPU cost:  %8.1fs   Focus ingest: %6.1fs (%.0fx cheaper)\n",
+		ingestAll/1000, focusIngestMS/1000, ingestAll/focusIngestMS)
+	fmt.Printf("  Query-all latency:    %8.1fs   Focus queries: %5.1fs total GPU\n",
+		queryAll/1000, focusQueryMS/1000)
+}

@@ -1,0 +1,184 @@
+// Package focus is a reproduction of "Focus: Querying Large Video Datasets
+// with Low Latency and Low Cost" (Hsieh et al., OSDI 2018).
+//
+// Focus answers "after-the-fact" queries of the form find all frames that
+// contain objects of class X over large recorded video datasets. It splits
+// the work between ingest time and query time:
+//
+//   - At ingest time, a cheap, stream-specialized CNN classifies every
+//     moving object, visually similar objects are clustered, and each
+//     cluster is indexed under its top-K most likely classes.
+//   - At query time, only the matching clusters' centroid objects are
+//     verified with the expensive ground-truth CNN, and the frames of
+//     confirmed clusters are returned.
+//
+// The package wires together the substrates in internal/…: a simulated CNN
+// stack standing in for ResNet152 and its compressed/specialized variants
+// (Go has no production DL runtime; see DESIGN.md for the substitution
+// argument), a synthetic stream generator mirroring the paper's Table 1,
+// background subtraction, single-pass clustering, the top-K index with an
+// embedded KV store, the parameter tuner, and GPU cost accounting.
+//
+// Typical use:
+//
+//	sys, _ := focus.New(focus.Config{})
+//	sess, _ := sys.AddTable1Stream("auburn_c")
+//	sess.Ingest(focus.GenOptions{DurationSec: 600, SampleEvery: 1})
+//	res, _ := sys.Query(focus.Query{Class: "car"})
+package focus
+
+import (
+	"fmt"
+	"sort"
+
+	"focus/internal/gpu"
+	"focus/internal/kvstore"
+	"focus/internal/tune"
+	"focus/internal/video"
+	"focus/internal/vision"
+)
+
+// Re-exported types so applications only import the root package.
+type (
+	// StreamSpec describes one video stream (see video.StreamSpec).
+	StreamSpec = video.StreamSpec
+	// GenOptions controls a generation/ingestion window.
+	GenOptions = video.GenOptions
+	// Policy selects a point on the ingest/query trade-off (§4.4).
+	Policy = tune.Policy
+	// Targets are the accuracy floors queries must meet.
+	Targets = tune.Targets
+)
+
+// The three trade-off policies of §4.4.
+const (
+	Balance   = tune.Balance
+	OptIngest = tune.OptIngest
+	OptQuery  = tune.OptQuery
+)
+
+// Config configures a Focus system.
+type Config struct {
+	// Seed makes the whole system (streams, CNNs) deterministic.
+	// Zero means seed 1.
+	Seed uint64
+	// Targets are the precision/recall floors (default 95/95, §6.1).
+	Targets Targets
+	// Policy is the ingest/query trade-off policy (default Balance).
+	Policy Policy
+	// NumGPUs is the query-time GPU parallelism (default 10, matching the
+	// paper's "with a 10-GPU cluster" reporting).
+	NumGPUs int
+	// StorePath persists the top-K indexes to an embedded store; empty
+	// keeps them in memory.
+	StorePath string
+	// TuneOptions overrides the parameter-search space; nil uses defaults.
+	TuneOptions *tune.Options
+}
+
+// DefaultNumGPUs is the default query-time GPU parallelism.
+const DefaultNumGPUs = 10
+
+func (c *Config) applyDefaults() {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Targets == (Targets{}) {
+		c.Targets = tune.DefaultTargets
+	}
+	if c.Policy == "" {
+		c.Policy = Balance
+	}
+	if c.NumGPUs <= 0 {
+		c.NumGPUs = DefaultNumGPUs
+	}
+}
+
+// System is a Focus deployment: a shared feature space and model zoo, plus
+// one ingestion session per video stream.
+type System struct {
+	cfg   Config
+	space *vision.Space
+	zoo   *vision.Zoo
+	store *kvstore.Store
+	meter gpu.Meter
+
+	sessions map[string]*Session
+}
+
+// New creates a system.
+func New(cfg Config) (*System, error) {
+	cfg.applyDefaults()
+	store, err := kvstore.Open(cfg.StorePath)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		cfg:      cfg,
+		space:    vision.NewSpace(cfg.Seed),
+		zoo:      vision.NewZoo(),
+		store:    store,
+		sessions: make(map[string]*Session),
+	}, nil
+}
+
+// Close releases the embedded store.
+func (s *System) Close() error { return s.store.Close() }
+
+// Space exposes the shared class/feature space (class names, prototypes).
+func (s *System) Space() *vision.Space { return s.space }
+
+// Zoo exposes the model zoo (the GT-CNN and the compression ladder).
+func (s *System) Zoo() *vision.Zoo { return s.zoo }
+
+// GPUMeter returns a snapshot of the accumulated simulated GPU time.
+func (s *System) GPUMeter() gpu.Snapshot { return s.meter.Snapshot() }
+
+// AddStream registers a stream for ingestion.
+func (s *System) AddStream(spec StreamSpec) (*Session, error) {
+	if _, dup := s.sessions[spec.Name]; dup {
+		return nil, fmt.Errorf("focus: stream %q already added", spec.Name)
+	}
+	st, err := video.NewStream(spec, s.space, s.cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	sess := &Session{sys: s, stream: st}
+	s.sessions[spec.Name] = sess
+	return sess, nil
+}
+
+// AddTable1Stream registers one of the paper's Table 1 stream presets.
+func (s *System) AddTable1Stream(name string) (*Session, error) {
+	spec, ok := video.SpecByName(name)
+	if !ok {
+		return nil, fmt.Errorf("focus: no Table 1 stream named %q", name)
+	}
+	return s.AddStream(spec)
+}
+
+// Session returns the session for a stream name, or nil.
+func (s *System) Session(name string) *Session { return s.sessions[name] }
+
+// Sessions returns all sessions sorted by stream name.
+func (s *System) Sessions() []*Session {
+	names := make([]string, 0, len(s.sessions))
+	for n := range s.sessions {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Session, len(names))
+	for i, n := range names {
+		out[i] = s.sessions[n]
+	}
+	return out
+}
+
+// ClassID resolves a class name ("car", "person", "OTHER") to its ID.
+func (s *System) ClassID(name string) (vision.ClassID, error) {
+	id, ok := s.space.ClassByName(name)
+	if !ok {
+		return 0, fmt.Errorf("focus: unknown class %q", name)
+	}
+	return id, nil
+}

@@ -1,0 +1,173 @@
+// Package baseline implements the paper's two comparison systems (§6.1):
+//
+//   - Ingest-all: run the GT-CNN on every moving-object sighting at ingest
+//     time and store an exact inverted index; queries are free lookups.
+//   - Query-all: store nothing at ingest; run the GT-CNN on every sighting
+//     in the queried interval at query time.
+//
+// Both baselines are strengthened with motion detection exactly as in the
+// paper (one of NoScope's core filters): frames with no moving objects
+// never reach a GPU, for baselines and Focus alike. The sighting counts
+// passed to this package must therefore already exclude empty frames, which
+// is what the video generator's Sightings and the index's TotalSightings
+// provide.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"focus/internal/gpu"
+	"focus/internal/video"
+	"focus/internal/vision"
+)
+
+// IngestAllGPUMS returns the ingest-time GPU cost of the Ingest-all
+// baseline for the given number of sightings: one GT-CNN inference each.
+func IngestAllGPUMS(gt *vision.Model, sightings int) float64 {
+	return gt.CostMS() * float64(sightings)
+}
+
+// QueryAllGPUMS returns the query-time GPU cost of the Query-all baseline
+// over an interval containing the given number of sightings.
+func QueryAllGPUMS(gt *vision.Model, sightings int) float64 {
+	return gt.CostMS() * float64(sightings)
+}
+
+// QueryAllLatencyMS returns the Query-all baseline's simulated latency:
+// its GPU work spread across numGPUs.
+func QueryAllLatencyMS(gt *vision.Model, sightings, numGPUs int) float64 {
+	if numGPUs < 1 {
+		numGPUs = 1
+	}
+	return QueryAllGPUMS(gt, sightings) / float64(numGPUs)
+}
+
+// InvertedIndex is the Ingest-all baseline's output: an exact mapping from
+// GT-CNN class to the frames and segments containing it. Queries against it
+// are pure lookups with zero GPU cost (§6.1: "the query latency of
+// Ingest-all is 0").
+type InvertedIndex struct {
+	frames   map[vision.ClassID][]video.FrameID
+	segments map[vision.ClassID][]video.SegmentID
+	// GPUMS is the ingest GPU time spent building the index.
+	GPUMS     float64
+	Sightings int
+}
+
+// BuildIngestAll runs the Ingest-all baseline over a stream window:
+// GT-CNN on every sighting, results into an exact inverted index.
+func BuildIngestAll(st *video.Stream, space *vision.Space, gt *vision.Model, opts video.GenOptions, meter *gpu.Meter) (*InvertedIndex, error) {
+	frameSets := make(map[vision.ClassID]map[video.FrameID]struct{})
+	sightings := 0
+	gpuMS := 0.0
+	err := st.Generate(opts, func(f *video.Frame) error {
+		for i := range f.Sightings {
+			s := &f.Sightings[i]
+			label := gt.Top1Class(space, s.TrueClass, st.CNNSource(s.Seed, "gt"))
+			sightings++
+			gpuMS += gt.CostMS()
+			if meter != nil {
+				meter.AddIngest(gt.CostMS())
+			}
+			set := frameSets[label]
+			if set == nil {
+				set = make(map[video.FrameID]struct{})
+				frameSets[label] = set
+			}
+			set[f.ID] = struct{}{}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ix := &InvertedIndex{
+		frames:    make(map[vision.ClassID][]video.FrameID, len(frameSets)),
+		segments:  make(map[vision.ClassID][]video.SegmentID, len(frameSets)),
+		GPUMS:     gpuMS,
+		Sightings: sightings,
+	}
+	for c, set := range frameSets {
+		fs := make([]video.FrameID, 0, len(set))
+		for f := range set {
+			fs = append(fs, f)
+		}
+		sort.Slice(fs, func(i, j int) bool { return fs[i] < fs[j] })
+		ix.frames[c] = fs
+		segSet := make(map[video.SegmentID]struct{})
+		for _, f := range fs {
+			segSet[video.SegmentOf(float64(f)/video.NativeFPS)] = struct{}{}
+		}
+		segs := make([]video.SegmentID, 0, len(segSet))
+		for s := range segSet {
+			segs = append(segs, s)
+		}
+		sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+		ix.segments[c] = segs
+	}
+	return ix, nil
+}
+
+// Frames returns the frames containing class c, ascending.
+func (ix *InvertedIndex) Frames(c vision.ClassID) []video.FrameID { return ix.frames[c] }
+
+// Segments returns the 1-second segments containing class c, ascending.
+func (ix *InvertedIndex) Segments(c vision.ClassID) []video.SegmentID { return ix.segments[c] }
+
+// QueryAll runs the Query-all baseline for one class over a window: GT-CNN
+// on every sighting in the window, returning matching frames and the GPU
+// cost incurred.
+type QueryAllResult struct {
+	Frames    []video.FrameID
+	Segments  []video.SegmentID
+	GPUMS     float64
+	LatencyMS float64
+	Sightings int
+}
+
+// RunQueryAll executes the Query-all baseline for class c.
+func RunQueryAll(st *video.Stream, space *vision.Space, gt *vision.Model, opts video.GenOptions, c vision.ClassID, numGPUs int, meter *gpu.Meter) (*QueryAllResult, error) {
+	if numGPUs < 1 {
+		numGPUs = 1
+	}
+	res := &QueryAllResult{}
+	frameSet := make(map[video.FrameID]struct{})
+	segSet := make(map[video.SegmentID]struct{})
+	err := st.Generate(opts, func(f *video.Frame) error {
+		for i := range f.Sightings {
+			s := &f.Sightings[i]
+			res.Sightings++
+			res.GPUMS += gt.CostMS()
+			if meter != nil {
+				meter.AddQuery(gt.CostMS())
+			}
+			label := gt.Top1Class(space, s.TrueClass, st.CNNSource(s.Seed, "gt"))
+			if label == c {
+				frameSet[f.ID] = struct{}{}
+				segSet[video.SegmentOf(f.TimeSec)] = struct{}{}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.LatencyMS = res.GPUMS / float64(numGPUs)
+	res.Frames = make([]video.FrameID, 0, len(frameSet))
+	for f := range frameSet {
+		res.Frames = append(res.Frames, f)
+	}
+	sort.Slice(res.Frames, func(i, j int) bool { return res.Frames[i] < res.Frames[j] })
+	res.Segments = make([]video.SegmentID, 0, len(segSet))
+	for s := range segSet {
+		res.Segments = append(res.Segments, s)
+	}
+	sort.Slice(res.Segments, func(i, j int) bool { return res.Segments[i] < res.Segments[j] })
+	return res, nil
+}
+
+// String renders a short human-readable summary.
+func (ix *InvertedIndex) String() string {
+	return fmt.Sprintf("ingest-all index: %d classes, %d sightings", len(ix.frames), ix.Sightings)
+}

@@ -1,0 +1,131 @@
+package baseline
+
+import (
+	"testing"
+
+	"focus/internal/gpu"
+	"focus/internal/stats"
+	"focus/internal/video"
+	"focus/internal/vision"
+)
+
+func testStream(t testing.TB) (*video.Stream, *vision.Space) {
+	t.Helper()
+	space := vision.NewSpace(1)
+	spec, _ := video.SpecByName("auburn_c")
+	st, err := video.NewStream(spec, space, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, space
+}
+
+func TestCostFunctions(t *testing.T) {
+	gt := vision.NewZoo().GT
+	if c := IngestAllGPUMS(gt, 100); c != 1300 {
+		t.Errorf("IngestAll cost = %v", c)
+	}
+	if c := QueryAllGPUMS(gt, 100); c != 1300 {
+		t.Errorf("QueryAll cost = %v", c)
+	}
+	if l := QueryAllLatencyMS(gt, 100, 10); l != 130 {
+		t.Errorf("QueryAll latency = %v", l)
+	}
+	if l := QueryAllLatencyMS(gt, 100, 0); l != 1300 {
+		t.Errorf("QueryAll latency with 0 GPUs = %v", l)
+	}
+}
+
+func TestIngestAllIndex(t *testing.T) {
+	st, space := testStream(t)
+	gt := vision.NewZoo().GT
+	opts := video.GenOptions{DurationSec: 60, SampleEvery: 1}
+	var meter gpu.Meter
+	ix, err := BuildIngestAll(st, space, gt, opts, &meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Sightings == 0 {
+		t.Fatal("no sightings")
+	}
+	if ix.GPUMS != float64(ix.Sightings)*gt.CostMS() {
+		t.Error("GPU cost mismatch")
+	}
+	if meter.Snapshot().IngestMS != ix.GPUMS {
+		t.Error("meter mismatch")
+	}
+	// The index must be exact: scoring it against ground truth computed
+	// with the same GT-CNN gives perfect precision and recall.
+	st2, _ := testStream(t)
+	truth, err := stats.ComputeGroundTruth(st2, space, gt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range truth.DominantClasses(3) {
+		pr := truth.EvaluateFrames(c, ix.Frames(c))
+		if pr.Precision() != 1 || pr.Recall() != 1 {
+			t.Errorf("class %d: Ingest-all P=%.3f R=%.3f", c, pr.Precision(), pr.Recall())
+		}
+		if len(ix.Segments(c)) == 0 {
+			t.Errorf("class %d: no segments", c)
+		}
+	}
+	if ix.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestRunQueryAll(t *testing.T) {
+	st, space := testStream(t)
+	gt := vision.NewZoo().GT
+	opts := video.GenOptions{DurationSec: 60, SampleEvery: 1}
+
+	st2, _ := testStream(t)
+	truth, err := stats.ComputeGroundTruth(st2, space, gt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := truth.DominantClasses(1)[0]
+
+	var meter gpu.Meter
+	res, err := RunQueryAll(st, space, gt, opts, dom, 10, &meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sightings != truth.TotalSightings {
+		t.Errorf("sightings = %d, want %d", res.Sightings, truth.TotalSightings)
+	}
+	if res.GPUMS != float64(res.Sightings)*gt.CostMS() {
+		t.Error("GPU cost mismatch")
+	}
+	if res.LatencyMS != res.GPUMS/10 {
+		t.Error("latency mismatch")
+	}
+	pr := truth.EvaluateFrames(dom, res.Frames)
+	if pr.Precision() != 1 || pr.Recall() != 1 {
+		t.Errorf("Query-all P=%.3f R=%.3f, want perfect", pr.Precision(), pr.Recall())
+	}
+	if meter.Snapshot().QueryMS != res.GPUMS {
+		t.Error("meter mismatch")
+	}
+}
+
+func TestBaselinesConsistent(t *testing.T) {
+	// Ingest-all and Query-all must process the same number of sightings
+	// for the same window (both are motion-filtered identically).
+	st, space := testStream(t)
+	gt := vision.NewZoo().GT
+	opts := video.GenOptions{DurationSec: 30, SampleEvery: 1}
+	ia, err := BuildIngestAll(st, space, gt, opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, _ := testStream(t)
+	qa, err := RunQueryAll(st2, space, gt, opts, 0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ia.Sightings != qa.Sightings {
+		t.Errorf("Ingest-all %d vs Query-all %d sightings", ia.Sightings, qa.Sightings)
+	}
+}

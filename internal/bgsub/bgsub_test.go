@@ -1,0 +1,301 @@
+package bgsub
+
+import (
+	"testing"
+
+	"focus/internal/video"
+	"focus/internal/vision"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{LearningRate: 0, ThresholdSigma: 3, MinRegionArea: 4},
+		{LearningRate: 1.5, ThresholdSigma: 3, MinRegionArea: 4},
+		{LearningRate: 0.1, ThresholdSigma: 0, MinRegionArea: 4},
+		{LearningRate: 0.1, ThresholdSigma: 3, MinRegionArea: 0},
+		{LearningRate: 0.1, ThresholdSigma: 3, MinRegionArea: 4, WarmupFrames: -1},
+	}
+	for i, c := range bad {
+		if _, err := New(10, 10, c); err == nil {
+			t.Errorf("config %d accepted: %+v", i, c)
+		}
+	}
+	if _, err := New(0, 10, DefaultConfig()); err == nil {
+		t.Error("zero width accepted")
+	}
+}
+
+func TestWarmupEmitsNothing(t *testing.T) {
+	cfg := DefaultConfig()
+	s, err := New(8, 8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := video.NewGrayImage(8, 8)
+	for i := 0; i < cfg.WarmupFrames; i++ {
+		det, err := s.Process(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if det != nil {
+			t.Fatalf("warmup frame %d produced detections", i)
+		}
+	}
+}
+
+func TestDimensionMismatch(t *testing.T) {
+	s, err := New(8, 8, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Process(video.NewGrayImage(9, 8)); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+// synthetic scene helpers
+
+func flatImage(w, h int, v uint8) *video.GrayImage {
+	img := video.NewGrayImage(w, h)
+	for i := range img.Pix {
+		img.Pix[i] = v
+	}
+	return img
+}
+
+func drawBox(img *video.GrayImage, r video.Rect, v uint8) {
+	for y := r.Y; y < r.Y+r.H; y++ {
+		for x := r.X; x < r.X+r.W; x++ {
+			img.Set(x, y, v)
+		}
+	}
+}
+
+func TestDetectsMovingBox(t *testing.T) {
+	cfg := DefaultConfig()
+	s, err := New(64, 48, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg := flatImage(64, 48, 100)
+	for i := 0; i < cfg.WarmupFrames+10; i++ {
+		if _, err := s.Process(bg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A bright box should be detected where it is.
+	box := video.Rect{X: 10, Y: 10, W: 12, H: 8}
+	img := flatImage(64, 48, 100)
+	drawBox(img, box, 220)
+	det, err := s.Process(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det) != 1 {
+		t.Fatalf("detections = %d, want 1 (%v)", len(det), det)
+	}
+	if IoU(det[0], box) < 0.8 {
+		t.Errorf("detected %+v, IoU %.2f with truth %+v", det[0], IoU(det[0], box), box)
+	}
+}
+
+func TestStationaryObjectAbsorbed(t *testing.T) {
+	// §2.2.1: stationary objects (parked cars) merge into the background
+	// and stop being detected.
+	cfg := DefaultConfig()
+	s, err := New(64, 48, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg := flatImage(64, 48, 100)
+	for i := 0; i < cfg.WarmupFrames+10; i++ {
+		s.Process(bg)
+	}
+	box := video.Rect{X: 20, Y: 20, W: 10, H: 10}
+	img := flatImage(64, 48, 100)
+	drawBox(img, box, 220)
+	// Keep the object perfectly still for many frames.
+	detectedAtStart := false
+	var lastDet int
+	for i := 0; i < 2500; i++ {
+		det, err := s.Process(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 && len(det) > 0 {
+			detectedAtStart = true
+		}
+		if len(det) > 0 {
+			lastDet = i
+		}
+	}
+	if !detectedAtStart {
+		t.Fatal("fresh object not detected")
+	}
+	if lastDet >= 2499 {
+		t.Error("stationary object never absorbed into background")
+	}
+}
+
+func TestNoiseRobustness(t *testing.T) {
+	// Sensor noise alone must not produce detections after warmup.
+	cfg := DefaultConfig()
+	s, err := New(64, 48, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy := func(seed int) *video.GrayImage {
+		img := flatImage(64, 48, 100)
+		for i := range img.Pix {
+			img.Pix[i] = uint8(100 + (seed*7+i*13)%5 - 2)
+		}
+		return img
+	}
+	for i := 0; i < cfg.WarmupFrames+30; i++ {
+		s.Process(noisy(i))
+	}
+	total := 0
+	for i := 0; i < 50; i++ {
+		det, _ := s.Process(noisy(1000 + i))
+		total += len(det)
+	}
+	if total > 2 {
+		t.Errorf("noise produced %d detections over 50 frames", total)
+	}
+}
+
+func TestTwoSeparateObjects(t *testing.T) {
+	cfg := DefaultConfig()
+	s, err := New(64, 48, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg := flatImage(64, 48, 100)
+	for i := 0; i < cfg.WarmupFrames+10; i++ {
+		s.Process(bg)
+	}
+	img := flatImage(64, 48, 100)
+	a := video.Rect{X: 5, Y: 5, W: 8, H: 8}
+	b := video.Rect{X: 40, Y: 30, W: 10, H: 6}
+	drawBox(img, a, 200)
+	drawBox(img, b, 20)
+	det, err := s.Process(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := Match([]video.Rect{a, b}, det, 0.5)
+	if stats.Matched != 2 {
+		t.Errorf("matched %d of 2 objects (detections: %v)", stats.Matched, det)
+	}
+}
+
+func TestMinRegionAreaFilters(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MinRegionArea = 30
+	s, err := New(64, 48, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg := flatImage(64, 48, 100)
+	for i := 0; i < cfg.WarmupFrames+10; i++ {
+		s.Process(bg)
+	}
+	img := flatImage(64, 48, 100)
+	drawBox(img, video.Rect{X: 5, Y: 5, W: 4, H: 4}, 220) // 16 px < 30
+	det, err := s.Process(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det) != 0 {
+		t.Errorf("small region not filtered: %v", det)
+	}
+}
+
+func TestAgainstRenderedStream(t *testing.T) {
+	// End-to-end fidelity: run the subtractor over rendered synthetic video
+	// and require decent recall against the generator's ground-truth boxes.
+	spec, _ := video.SpecByName("auburn_c")
+	st, err := video.NewStream(spec, vision.NewSpace(1), 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := video.NewRenderer(st)
+	cfg := DefaultConfig()
+	sub, err := New(video.SceneWidth, video.SceneHeight, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agg MatchStats
+	frames := 0
+	err = st.Generate(video.GenOptions{DurationSec: 20, SampleEvery: 1}, func(f *video.Frame) error {
+		img := r.Render(f)
+		det, err := sub.Process(img)
+		if err != nil {
+			return err
+		}
+		frames++
+		if frames <= cfg.WarmupFrames+15 {
+			return nil // let the model settle
+		}
+		gt := make([]video.Rect, 0, len(f.Sightings))
+		for _, s := range f.Sightings {
+			gt = append(gt, s.BBox)
+		}
+		st := Match(gt, det, 0.3)
+		agg.GroundTruth += st.GroundTruth
+		agg.Detected += st.Detected
+		agg.Matched += st.Matched
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.GroundTruth < 50 {
+		t.Skipf("window too quiet (%d ground-truth boxes)", agg.GroundTruth)
+	}
+	if r := agg.Recall(); r < 0.7 {
+		t.Errorf("detector recall %.2f over rendered stream, want >= 0.7 (gt=%d det=%d)",
+			r, agg.GroundTruth, agg.Detected)
+	}
+}
+
+func TestIoU(t *testing.T) {
+	a := video.Rect{X: 0, Y: 0, W: 10, H: 10}
+	if v := IoU(a, a); v != 1 {
+		t.Errorf("self IoU = %v", v)
+	}
+	if v := IoU(a, video.Rect{X: 20, Y: 20, W: 5, H: 5}); v != 0 {
+		t.Errorf("disjoint IoU = %v", v)
+	}
+	half := IoU(a, video.Rect{X: 0, Y: 5, W: 10, H: 10})
+	if half <= 0.3 || half >= 0.4 { // 50/150
+		t.Errorf("half-overlap IoU = %v, want 1/3", half)
+	}
+}
+
+func TestMatchGreedy(t *testing.T) {
+	gt := []video.Rect{{X: 0, Y: 0, W: 10, H: 10}}
+	det := []video.Rect{{X: 1, Y: 1, W: 10, H: 10}, {X: 0, Y: 0, W: 10, H: 10}}
+	st := Match(gt, det, 0.5)
+	if st.Matched != 1 || st.Detected != 2 || st.GroundTruth != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if Match(nil, det, 0.5).Recall() != 1 {
+		t.Error("recall with no ground truth should be 1")
+	}
+}
+
+func BenchmarkProcessFrame(b *testing.B) {
+	s, err := New(video.SceneWidth, video.SceneHeight, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	img := flatImage(video.SceneWidth, video.SceneHeight, 100)
+	drawBox(img, video.Rect{X: 30, Y: 30, W: 20, H: 12}, 210)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Process(img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,404 @@
+// Package cluster implements Focus's ingest-time incremental clustering of
+// object feature vectors (§4.2).
+//
+// Requirements from the paper: the algorithm must be single-pass (video
+// volume makes quadratic algorithms infeasible), must not assume a number
+// of clusters up front, and must adapt to outliers on the fly. The
+// implementation follows the paper's heuristic: a new object joins the
+// closest existing cluster if its feature vector is within distance T of
+// the cluster centroid, otherwise it starts a new cluster; the population
+// of "active" clusters is capped at M by spilling the smallest cluster to
+// the index, keeping complexity O(M·n).
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"focus/internal/video"
+	"focus/internal/vision"
+)
+
+// Member is one object sighting assigned to a cluster. The ingest pipeline
+// stores members (not feature vectors) in the index; feature vectors exist
+// only transiently at ingest time (§4.2, "clustering at ingest time ...
+// only stores the cluster centroids").
+type Member struct {
+	// Object and Frame identify the sighting.
+	Object video.ObjectID
+	Frame  video.FrameID
+	// TimeSec is the sighting's timestamp, used for time-ranged queries.
+	TimeSec float64
+	// TrueClass is the sighting's synthetic ground-truth class, consumed
+	// only by the simulated GT-CNN when the query engine classifies this
+	// member and by evaluation — never by ingest decisions.
+	TrueClass vision.ClassID
+	// Seed is the sighting's deterministic CNN seed material.
+	Seed int64
+}
+
+// Cluster is a group of visually similar sightings. Exported fields are
+// safe to read after the cluster is spilled; the engine owns it before.
+type Cluster struct {
+	// ID is unique within one engine (one stream ingestion).
+	ID int64
+	// Centroid is the running mean of the feature vectors of scored
+	// members.
+	Centroid vision.FeatureVec
+	// Members are all sightings assigned to the cluster, in arrival order.
+	Members []Member
+	// classConf accumulates per-class confidence mass from members' top-K
+	// rankings; the cluster-level top-K is its highest-mass classes (§3,
+	// IT3: "assign to each cluster the top K most likely classes these
+	// objects belong to, based on classification confidence").
+	classConf map[vision.ClassID]float64
+	// nScored is how many members contributed features/rankings (pixel-diff
+	// deduplicated members join without either).
+	nScored int
+	// repCandidates is a small reservoir of members with their features;
+	// at spill time the representative ("centroid object", §4.2) is the
+	// candidate closest to the final centroid.
+	repCandidates []repCandidate
+	spilled       bool
+	// lastTouch is the timestamp of the most recent member, for idle
+	// retirement.
+	lastTouch float64
+}
+
+type repCandidate struct {
+	member  Member
+	feature vision.FeatureVec
+	addDist float64 // distance to the centroid at add time
+}
+
+// Size returns the number of member sightings.
+func (c *Cluster) Size() int { return len(c.Members) }
+
+// Spilled reports whether the cluster has been handed to the spill callback
+// and is no longer active.
+func (c *Cluster) Spilled() bool { return c.spilled }
+
+// Representative returns the member whose feature vector is closest to the
+// final centroid: the "centroid object" the GT-CNN classifies at query time.
+func (c *Cluster) Representative() Member {
+	best := 0
+	bestD := math.Inf(1)
+	for i := range c.repCandidates {
+		d := vision.SquaredL2Distance(c.repCandidates[i].feature, c.Centroid)
+		if d < bestD {
+			bestD = d
+			best = i
+		}
+	}
+	return c.repCandidates[best].member
+}
+
+// TopK returns the cluster's k highest-confidence classes, descending by
+// aggregated confidence mass (ties broken by class ID for determinism).
+func (c *Cluster) TopK(k int) []vision.Prediction {
+	type entry struct {
+		class vision.ClassID
+		conf  float64
+	}
+	entries := make([]entry, 0, len(c.classConf))
+	for cl, conf := range c.classConf {
+		entries = append(entries, entry{cl, conf})
+	}
+	// Insertion sort: class-confidence maps are small relative to k.
+	for i := 1; i < len(entries); i++ {
+		for j := i; j > 0; j-- {
+			if entries[j].conf > entries[j-1].conf ||
+				(entries[j].conf == entries[j-1].conf && entries[j].class < entries[j-1].class) {
+				entries[j], entries[j-1] = entries[j-1], entries[j]
+			} else {
+				break
+			}
+		}
+	}
+	if k > len(entries) {
+		k = len(entries)
+	}
+	out := make([]vision.Prediction, k)
+	norm := 0.0
+	if c.nScored > 0 {
+		norm = 1 / float64(c.nScored)
+	}
+	for i := 0; i < k; i++ {
+		out[i] = vision.Prediction{
+			Class:      entries[i].class,
+			Confidence: float32(entries[i].conf * norm),
+		}
+	}
+	return out
+}
+
+// TimeRange returns the [min, max] member timestamps.
+func (c *Cluster) TimeRange() (min, max float64) {
+	if len(c.Members) == 0 {
+		return 0, 0
+	}
+	min, max = c.Members[0].TimeSec, c.Members[0].TimeSec
+	for _, m := range c.Members[1:] {
+		if m.TimeSec < min {
+			min = m.TimeSec
+		}
+		if m.TimeSec > max {
+			max = m.TimeSec
+		}
+	}
+	return min, max
+}
+
+// Config tunes the clustering engine.
+type Config struct {
+	// Threshold is T: the maximum centroid distance for joining a cluster.
+	Threshold float64
+	// MaxActive is M: the cap on concurrently active clusters; exceeding it
+	// spills the smallest cluster (other than the one just created, which
+	// deserves a chance to grow).
+	MaxActive int
+	// RepCandidates bounds the representative reservoir per cluster.
+	RepCandidates int
+	// IdleTimeoutSec, when positive, spills clusters that have not
+	// received a member for this many stream seconds: once an object has
+	// left the scene (or drifted to a new pose), its cluster can never
+	// grow again and only wastes comparisons. Member timestamps must be
+	// non-decreasing for this to be meaningful.
+	IdleTimeoutSec float64
+	// MaxMembers, when positive, spills a cluster once it reaches this
+	// many members. Unbounded clusters accrete across visually adjacent
+	// classes over long windows (their centroid keeps drifting toward new
+	// arrivals), which silently degrades recall when the representative's
+	// class stops matching part of the membership.
+	MaxMembers int
+}
+
+// DefaultRepCandidates is the default representative-reservoir size.
+const DefaultRepCandidates = 8
+
+func (c Config) validate() error {
+	if c.Threshold <= 0 {
+		return fmt.Errorf("cluster: non-positive threshold %v", c.Threshold)
+	}
+	if c.MaxActive < 1 {
+		return fmt.Errorf("cluster: MaxActive must be >= 1")
+	}
+	return nil
+}
+
+// Engine performs single-pass incremental clustering for one stream's
+// ingestion. Not safe for concurrent use: each ingest worker owns one.
+type Engine struct {
+	cfg     Config
+	active  []*Cluster
+	nextID  int64
+	onSpill func(*Cluster)
+	// stats
+	totalMembers int
+	totalSpilled int
+}
+
+// NewEngine creates a clustering engine. onSpill receives every finalized
+// cluster exactly once (including at Flush); it must not retain the
+// engine's locks and may write to the index.
+func NewEngine(cfg Config, onSpill func(*Cluster)) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.RepCandidates <= 0 {
+		cfg.RepCandidates = DefaultRepCandidates
+	}
+	if onSpill == nil {
+		return nil, fmt.Errorf("cluster: nil spill callback")
+	}
+	return &Engine{cfg: cfg, onSpill: onSpill}, nil
+}
+
+// ActiveClusters returns the number of currently active clusters.
+func (e *Engine) ActiveClusters() int { return len(e.active) }
+
+// TotalMembers returns how many members were added across all clusters.
+func (e *Engine) TotalMembers() int { return e.totalMembers }
+
+// TotalSpilled returns how many clusters have been spilled so far.
+func (e *Engine) TotalSpilled() int { return e.totalSpilled }
+
+// Add assigns a scored sighting (feature vector + ranked classes) to a
+// cluster, creating one if no active centroid is within the threshold, and
+// returns that cluster. The ranking's confidence mass accumulates into the
+// cluster's class profile.
+func (e *Engine) Add(feature vision.FeatureVec, m Member, ranked []vision.Prediction) *Cluster {
+	best, bestD := e.nearest(feature)
+	var c *Cluster
+	if best != nil && bestD <= e.cfg.Threshold {
+		c = best
+		c.updateCentroid(feature)
+	} else {
+		c = &Cluster{
+			ID:        e.nextID,
+			Centroid:  feature.Clone(),
+			classConf: make(map[vision.ClassID]float64),
+		}
+		e.nextID++
+		e.active = append(e.active, c)
+	}
+	c.Members = append(c.Members, m)
+	c.nScored++
+	c.lastTouch = m.TimeSec
+	for _, p := range ranked {
+		c.classConf[p.Class] += float64(p.Confidence)
+	}
+	c.addRepCandidate(m, feature, e.cfg.RepCandidates)
+	e.totalMembers++
+
+	e.retireIdle(m.TimeSec)
+	if e.cfg.MaxMembers > 0 && c.Size() >= e.cfg.MaxMembers {
+		e.remove(c)
+		e.spill(c)
+	}
+	if len(e.active) > e.cfg.MaxActive {
+		e.spillSmallestExcept(c)
+	}
+	return c
+}
+
+// remove detaches a cluster from the active set without spilling it.
+func (e *Engine) remove(c *Cluster) {
+	for i, x := range e.active {
+		if x == c {
+			e.active = append(e.active[:i], e.active[i+1:]...)
+			return
+		}
+	}
+}
+
+// retireIdle spills clusters that have been inactive longer than the idle
+// timeout: an object that left the scene (or drifted to a new pose) will
+// never extend its old cluster again.
+func (e *Engine) retireIdle(now float64) {
+	if e.cfg.IdleTimeoutSec <= 0 {
+		return
+	}
+	cutoff := now - e.cfg.IdleTimeoutSec
+	kept := e.active[:0]
+	var idle []*Cluster
+	for _, c := range e.active {
+		if c.lastTouch < cutoff {
+			idle = append(idle, c)
+		} else {
+			kept = append(kept, c)
+		}
+	}
+	e.active = kept
+	for _, c := range idle {
+		e.spill(c)
+	}
+}
+
+// AddDeduplicated assigns a pixel-diff-deduplicated sighting directly to
+// the cluster its visually identical predecessor joined, without a feature
+// vector or ranking (§4.2 "Pixel Differencing of Objects"). It returns
+// false if the cluster has already been spilled, in which case the caller
+// must fall back to the scored path.
+func (e *Engine) AddDeduplicated(c *Cluster, m Member) bool {
+	if c == nil || c.spilled {
+		return false
+	}
+	c.Members = append(c.Members, m)
+	c.lastTouch = m.TimeSec
+	e.totalMembers++
+	if e.cfg.MaxMembers > 0 && c.Size() >= e.cfg.MaxMembers {
+		e.remove(c)
+		e.spill(c)
+	}
+	return true
+}
+
+// nearest returns the active cluster with the closest centroid.
+func (e *Engine) nearest(f vision.FeatureVec) (*Cluster, float64) {
+	var best *Cluster
+	bestD := math.Inf(1)
+	for _, c := range e.active {
+		d := vision.SquaredL2Distance(c.Centroid, f)
+		if d < bestD {
+			bestD = d
+			best = c
+		}
+	}
+	return best, math.Sqrt(bestD)
+}
+
+// updateCentroid folds a new feature into the running mean.
+func (c *Cluster) updateCentroid(f vision.FeatureVec) {
+	n := float32(c.nScored)
+	for i := range c.Centroid {
+		c.Centroid[i] = (c.Centroid[i]*n + f[i]) / (n + 1)
+	}
+}
+
+// addRepCandidate maintains the bounded reservoir of representative
+// candidates, keeping the members with the smallest add-time centroid
+// distance.
+func (c *Cluster) addRepCandidate(m Member, f vision.FeatureVec, cap int) {
+	d := vision.SquaredL2Distance(f, c.Centroid)
+	if len(c.repCandidates) < cap {
+		c.repCandidates = append(c.repCandidates, repCandidate{m, f.Clone(), d})
+		return
+	}
+	worst, worstD := -1, d
+	for i := range c.repCandidates {
+		if c.repCandidates[i].addDist > worstD {
+			worstD = c.repCandidates[i].addDist
+			worst = i
+		}
+	}
+	if worst >= 0 {
+		c.repCandidates[worst] = repCandidate{m, f.Clone(), d}
+	}
+}
+
+// spillSmallestExcept finalizes the active cluster with the fewest members,
+// matching the paper's "keep the number of clusters at a constant M by
+// removing the smallest ones and storing their data in the top-K index".
+// The just-created cluster is exempt — otherwise a full engine would spill
+// every new cluster immediately and degenerate into singletons.
+func (e *Engine) spillSmallestExcept(except *Cluster) {
+	smallest := -1
+	for i, c := range e.active {
+		if c == except {
+			continue
+		}
+		if smallest < 0 || c.Size() < e.active[smallest].Size() {
+			smallest = i
+		}
+	}
+	if smallest < 0 {
+		return
+	}
+	c := e.active[smallest]
+	e.active = append(e.active[:smallest], e.active[smallest+1:]...)
+	e.spill(c)
+}
+
+func (e *Engine) spill(c *Cluster) {
+	c.spilled = true
+	e.totalSpilled++
+	e.onSpill(c)
+}
+
+// Flush spills every remaining active cluster, in descending size order so
+// downstream consumers see the most significant clusters first. Call once
+// at end of stream.
+func (e *Engine) Flush() {
+	for len(e.active) > 0 {
+		largest := 0
+		for i, c := range e.active {
+			if c.Size() > e.active[largest].Size() {
+				largest = i
+			}
+		}
+		c := e.active[largest]
+		e.active = append(e.active[:largest], e.active[largest+1:]...)
+		e.spill(c)
+	}
+}

@@ -1,0 +1,354 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"focus/internal/simrand"
+	"focus/internal/video"
+	"focus/internal/vision"
+)
+
+func vec(vals ...float32) vision.FeatureVec {
+	v := make(vision.FeatureVec, vision.FeatureDim)
+	copy(v, vals)
+	return v
+}
+
+func member(i int) Member {
+	return Member{
+		Object:    video.ObjectID(i),
+		Frame:     video.FrameID(i * 10),
+		TimeSec:   float64(i),
+		TrueClass: vision.ClassID(i % 7),
+		Seed:      int64(i),
+	}
+}
+
+func newEngine(t testing.TB, cfg Config) (*Engine, *[]*Cluster) {
+	t.Helper()
+	var spilled []*Cluster
+	e, err := NewEngine(cfg, func(c *Cluster) { spilled = append(spilled, c) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, &spilled
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewEngine(Config{Threshold: 0, MaxActive: 4}, func(*Cluster) {}); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	if _, err := NewEngine(Config{Threshold: 1, MaxActive: 0}, func(*Cluster) {}); err == nil {
+		t.Error("zero MaxActive accepted")
+	}
+	if _, err := NewEngine(Config{Threshold: 1, MaxActive: 4}, nil); err == nil {
+		t.Error("nil spill callback accepted")
+	}
+}
+
+func TestBasicAssignment(t *testing.T) {
+	e, _ := newEngine(t, Config{Threshold: 1.0, MaxActive: 100})
+	c1 := e.Add(vec(0, 0), member(1), nil)
+	c2 := e.Add(vec(0.5, 0), member(2), nil) // within T of c1
+	c3 := e.Add(vec(10, 0), member(3), nil)  // new cluster
+	if c1 != c2 {
+		t.Error("nearby feature did not join existing cluster")
+	}
+	if c3 == c1 {
+		t.Error("distant feature joined wrong cluster")
+	}
+	if e.ActiveClusters() != 2 {
+		t.Errorf("active clusters = %d, want 2", e.ActiveClusters())
+	}
+	if e.TotalMembers() != 3 {
+		t.Errorf("total members = %d", e.TotalMembers())
+	}
+	if c1.Size() != 2 {
+		t.Errorf("cluster 1 size = %d", c1.Size())
+	}
+}
+
+func TestCentroidIsRunningMean(t *testing.T) {
+	e, _ := newEngine(t, Config{Threshold: 10, MaxActive: 10})
+	c := e.Add(vec(0, 0), member(1), nil)
+	e.Add(vec(2, 0), member(2), nil)
+	e.Add(vec(4, 0), member(3), nil)
+	if math.Abs(float64(c.Centroid[0])-2) > 1e-6 {
+		t.Errorf("centroid[0] = %v, want 2", c.Centroid[0])
+	}
+}
+
+func TestThresholdBoundary(t *testing.T) {
+	e, _ := newEngine(t, Config{Threshold: 2.0, MaxActive: 10})
+	e.Add(vec(0), member(1), nil)
+	// Distance exactly at threshold joins; just over creates a new cluster.
+	e.Add(vec(2.0), member(2), nil)
+	if e.ActiveClusters() != 1 {
+		t.Errorf("distance == T should join (got %d clusters)", e.ActiveClusters())
+	}
+	e.Add(vec(4.01), member(3), nil) // 2.01 away from the centroid at 1.0... recompute
+	// centroid after two members is 1.0; 4.01 is 3.01 away > 2 → new cluster
+	if e.ActiveClusters() != 2 {
+		t.Errorf("distance > T should split (got %d clusters)", e.ActiveClusters())
+	}
+}
+
+func TestSpillSmallestAtCap(t *testing.T) {
+	e, spilled := newEngine(t, Config{Threshold: 0.5, MaxActive: 2})
+	e.Add(vec(0), member(1), nil)
+	e.Add(vec(0.1), member(2), nil) // cluster A: 2 members
+	e.Add(vec(10), member(3), nil)  // cluster B: 1 member
+	if len(*spilled) != 0 {
+		t.Fatal("premature spill")
+	}
+	e.Add(vec(20), member(4), nil) // cluster C forces spill of smallest (B or C, both size 1; smallest scan picks first = B)
+	if len(*spilled) != 1 {
+		t.Fatalf("spilled = %d, want 1", len(*spilled))
+	}
+	if (*spilled)[0].Size() != 1 {
+		t.Errorf("spilled cluster size = %d, want 1 (smallest)", (*spilled)[0].Size())
+	}
+	if !(*spilled)[0].Spilled() {
+		t.Error("spilled cluster not marked")
+	}
+	if e.ActiveClusters() != 2 {
+		t.Errorf("active = %d, want 2", e.ActiveClusters())
+	}
+}
+
+func TestFlushSpillsAllLargestFirst(t *testing.T) {
+	e, spilled := newEngine(t, Config{Threshold: 0.5, MaxActive: 10})
+	e.Add(vec(0), member(1), nil)
+	e.Add(vec(0.1), member(2), nil)
+	e.Add(vec(10), member(3), nil)
+	e.Flush()
+	if len(*spilled) != 2 {
+		t.Fatalf("flushed %d clusters, want 2", len(*spilled))
+	}
+	if (*spilled)[0].Size() < (*spilled)[1].Size() {
+		t.Error("flush should spill largest first")
+	}
+	if e.ActiveClusters() != 0 {
+		t.Error("clusters remain after flush")
+	}
+	if e.TotalSpilled() != 2 {
+		t.Errorf("TotalSpilled = %d", e.TotalSpilled())
+	}
+}
+
+func TestTopKAggregation(t *testing.T) {
+	e, _ := newEngine(t, Config{Threshold: 10, MaxActive: 10})
+	c := e.Add(vec(0), member(1), []vision.Prediction{
+		{Class: 5, Confidence: 0.8}, {Class: 3, Confidence: 0.1},
+	})
+	e.Add(vec(0.1), member(2), []vision.Prediction{
+		{Class: 5, Confidence: 0.7}, {Class: 9, Confidence: 0.3},
+	})
+	top := c.TopK(2)
+	if len(top) != 2 {
+		t.Fatalf("topK len = %d", len(top))
+	}
+	if top[0].Class != 5 {
+		t.Errorf("top class = %d, want 5", top[0].Class)
+	}
+	if top[1].Class != 9 { // 0.3 > 0.1
+		t.Errorf("second class = %d, want 9", top[1].Class)
+	}
+	// Normalized confidence: class 5 has (0.8+0.7)/2 = 0.75.
+	if math.Abs(float64(top[0].Confidence)-0.75) > 1e-6 {
+		t.Errorf("top confidence = %v, want 0.75", top[0].Confidence)
+	}
+	// Oversized k returns all distinct classes.
+	if got := len(c.TopK(100)); got != 3 {
+		t.Errorf("TopK(100) len = %d, want 3", got)
+	}
+}
+
+func TestTopKDeterministicTieBreak(t *testing.T) {
+	e, _ := newEngine(t, Config{Threshold: 10, MaxActive: 10})
+	c := e.Add(vec(0), member(1), []vision.Prediction{
+		{Class: 9, Confidence: 0.5}, {Class: 2, Confidence: 0.5},
+	})
+	top := c.TopK(2)
+	if top[0].Class != 2 || top[1].Class != 9 {
+		t.Errorf("tie-break order = %v", top)
+	}
+}
+
+func TestAddDeduplicated(t *testing.T) {
+	e, spilled := newEngine(t, Config{Threshold: 0.5, MaxActive: 1})
+	c := e.Add(vec(0), member(1), []vision.Prediction{{Class: 1, Confidence: 0.9}})
+	if !e.AddDeduplicated(c, member(2)) {
+		t.Fatal("dedup add to live cluster failed")
+	}
+	if c.Size() != 2 {
+		t.Errorf("size = %d", c.Size())
+	}
+	// Dedup members don't shift the centroid or confidences.
+	if c.nScored != 1 {
+		t.Errorf("nScored = %d, want 1", c.nScored)
+	}
+	// Force the cluster to spill, then dedup add must fail.
+	e.Add(vec(10), member(3), nil)
+	e.Add(vec(20), member(4), nil)
+	if len(*spilled) == 0 {
+		t.Fatal("no spill at cap 1")
+	}
+	target := (*spilled)[0]
+	if e.AddDeduplicated(target, member(5)) {
+		t.Error("dedup add to spilled cluster succeeded")
+	}
+	if e.AddDeduplicated(nil, member(6)) {
+		t.Error("dedup add to nil cluster succeeded")
+	}
+}
+
+func TestRepresentativeNearCentroid(t *testing.T) {
+	e, _ := newEngine(t, Config{Threshold: 100, MaxActive: 10, RepCandidates: 4})
+	// Members on a line; the final centroid is their mean, and the
+	// representative should be the member nearest that mean.
+	positions := []float32{0, 1, 2, 3, 4, 5, 6, 7, 8}
+	var c *Cluster
+	for i, p := range positions {
+		c = e.Add(vec(p), member(i), nil)
+	}
+	rep := c.Representative()
+	// Centroid = 4; nearest member positions are 3, 4 or 5 → member index
+	// 3, 4, or 5 (reservoir holds a subset, so allow that neighbourhood).
+	if rep.Object < 2 || rep.Object > 6 {
+		t.Errorf("representative object = %d, want near the centroid", rep.Object)
+	}
+}
+
+func TestTimeRange(t *testing.T) {
+	e, _ := newEngine(t, Config{Threshold: 100, MaxActive: 10})
+	c := e.Add(vec(0), Member{TimeSec: 5}, nil)
+	e.Add(vec(0.1), Member{TimeSec: 2}, nil)
+	e.Add(vec(0.2), Member{TimeSec: 9}, nil)
+	min, max := c.TimeRange()
+	if min != 2 || max != 9 {
+		t.Errorf("time range = [%v, %v], want [2, 9]", min, max)
+	}
+	empty := &Cluster{}
+	if a, b := empty.TimeRange(); a != 0 || b != 0 {
+		t.Error("empty cluster time range not zero")
+	}
+}
+
+func TestSameObjectSightingsCluster(t *testing.T) {
+	// Consecutive sightings of the same object (tiny feature jitter) must
+	// land in one cluster at a threshold far below class separation
+	// (same-instance feature distance ≈ 2.2, same-class cross-instance
+	// ≈ 4.4, cross-class ≈ 8 in this feature space).
+	sp := vision.NewSpace(1)
+	model := vision.NewZoo().ByName("resnet18")
+	src := simrand.New(7)
+	e, _ := newEngine(t, Config{Threshold: 3.0, MaxActive: 100})
+
+	inst := sp.NewInstanceAppearance(0, src.Derive("obj"))
+	var first *Cluster
+	for i := 0; i < 30; i++ {
+		s := src.DeriveN(int64(i), "sight")
+		app := sp.SightingAppearance(inst, s)
+		f := model.ExtractFeatures(app, s)
+		c := e.Add(f, member(i), nil)
+		if first == nil {
+			first = c
+		} else if c != first {
+			t.Fatalf("sighting %d split into a new cluster", i)
+		}
+	}
+}
+
+func TestDifferentClassesSeparate(t *testing.T) {
+	// Objects of well-separated classes must not share clusters at a sane
+	// threshold.
+	sp := vision.NewSpace(1)
+	model := vision.NewZoo().ByName("resnet18")
+	src := simrand.New(11)
+	e, _ := newEngine(t, Config{Threshold: 2.0, MaxActive: 1000})
+
+	classOf := map[*Cluster]vision.ClassID{}
+	for c := 0; c < 10; c++ {
+		for i := 0; i < 10; i++ {
+			s := src.DeriveN(int64(c*100+i), "sep")
+			inst := sp.NewInstanceAppearance(vision.ClassID(c), s)
+			f := model.ExtractFeatures(sp.SightingAppearance(inst, s), s)
+			cl := e.Add(f, Member{TrueClass: vision.ClassID(c)}, nil)
+			if prev, ok := classOf[cl]; ok && prev != vision.ClassID(c) {
+				t.Fatalf("cluster mixes classes %d and %d at T=2.0", prev, c)
+			}
+			classOf[cl] = vision.ClassID(c)
+		}
+	}
+}
+
+func TestComplexityLinearInActive(t *testing.T) {
+	// The engine never holds more than MaxActive clusters.
+	e, _ := newEngine(t, Config{Threshold: 0.01, MaxActive: 16})
+	for i := 0; i < 500; i++ {
+		e.Add(vec(float32(i)*10), member(i), nil)
+		if e.ActiveClusters() > 16 {
+			t.Fatalf("active clusters %d exceeds cap", e.ActiveClusters())
+		}
+	}
+}
+
+func TestQuickMembersConserved(t *testing.T) {
+	// Property: every added member ends up in exactly one cluster
+	// (active or spilled).
+	err := quick.Check(func(seed uint16, nRaw uint8) bool {
+		n := 10 + int(nRaw)
+		var spilled []*Cluster
+		e, err := NewEngine(Config{Threshold: 1.5, MaxActive: 8},
+			func(c *Cluster) { spilled = append(spilled, c) })
+		if err != nil {
+			return false
+		}
+		src := simrand.New(uint64(seed))
+		for i := 0; i < n; i++ {
+			f := make(vision.FeatureVec, vision.FeatureDim)
+			for d := range f {
+				f[d] = float32(src.NormFloat64() * 3)
+			}
+			e.Add(f, member(i), nil)
+		}
+		e.Flush()
+		total := 0
+		seen := map[video.ObjectID]bool{}
+		for _, c := range spilled {
+			total += c.Size()
+			for _, m := range c.Members {
+				if seen[m.Object] {
+					return false // member duplicated across clusters
+				}
+				seen[m.Object] = true
+			}
+		}
+		return total == n && e.TotalMembers() == n
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	e, err := NewEngine(Config{Threshold: 2.0, MaxActive: 256}, func(*Cluster) {})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp := vision.NewSpace(1)
+	model := vision.NewZoo().ByName("resnet18")
+	src := simrand.New(3)
+	feats := make([]vision.FeatureVec, 256)
+	for i := range feats {
+		inst := sp.NewInstanceAppearance(vision.ClassID(i%40), src)
+		feats[i] = model.ExtractFeatures(inst, src)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Add(feats[i%len(feats)], member(i), nil)
+	}
+}

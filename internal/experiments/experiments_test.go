@@ -1,0 +1,279 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"focus/internal/tune"
+)
+
+// testEnv returns an environment at a reduced scale that keeps the suite's
+// tests fast while preserving the statistical behaviour under test.
+func testEnv() *Env {
+	cfg := DefaultConfig()
+	cfg.DurationSec = 150
+	return NewEnv(cfg)
+}
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tb := &Table{
+		ID:      "Figure X",
+		Title:   "demo",
+		Columns: []string{"a", "b"},
+	}
+	tb.AddRow("1", "quoted,cell")
+	tb.AddNote("n = %d", 42)
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure X", "demo", "a", "quoted,cell", "note: n = 42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := tb.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"quoted,cell"`) {
+		t.Errorf("CSV did not escape: %s", buf.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	e := testEnv()
+	if _, err := e.Run("fig99"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if len(Names()) != 13 {
+		t.Errorf("experiment count = %d", len(Names()))
+	}
+}
+
+func TestTable1(t *testing.T) {
+	e := testEnv()
+	tb, err := e.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 13 {
+		t.Fatalf("Table 1 rows = %d, want 13", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		sightings, err := strconv.Atoi(row[3])
+		if err != nil || sightings <= 0 {
+			t.Errorf("stream %s: sightings = %q", row[1], row[3])
+		}
+	}
+}
+
+func TestFigure3SkewInBand(t *testing.T) {
+	e := testEnv()
+	tb, err := e.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		share := strings.TrimSuffix(row[4], "%")
+		v, err := strconv.ParseFloat(share, 64)
+		if err != nil {
+			t.Fatalf("bad head share %q", row[4])
+		}
+		// Paper: 3-10% of occurring classes cover 95% of objects.
+		if v > 15 {
+			t.Errorf("%s: head share %.1f%% too flat", row[0], v)
+		}
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	e := testEnv()
+	tb, err := e.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+		if err != nil {
+			t.Fatalf("bad recall cell %q", s)
+		}
+		return v
+	}
+	// Per model: recall non-decreasing in K (columns 2..6 are K=10..200).
+	for _, row := range tb.Rows {
+		prev := -1.0
+		for _, cell := range row[2:] {
+			v := parse(cell)
+			if v < prev-3 { // small sampling tolerance
+				t.Errorf("%s: recall decreased along K: %v", row[0], row[2:])
+			}
+			prev = v
+		}
+	}
+	// Cheaper model has lower recall at K=60 (column index 4).
+	if parse(tb.Rows[0][4]) <= parse(tb.Rows[2][4]) {
+		t.Errorf("expensive model should beat cheap model at K=60: %v vs %v",
+			tb.Rows[0][4], tb.Rows[2][4])
+	}
+	// The calibrated anchors: resnet18 near 90% at K=60, l5-r56 near 90%
+	// at K=200 (within sampling tolerance).
+	if v := parse(tb.Rows[0][4]); v < 80 || v > 100 {
+		t.Errorf("resnet18 recall@60 = %v%%, want ≈90", v)
+	}
+	if v := parse(tb.Rows[2][6]); v < 80 {
+		t.Errorf("l5-r56 recall@200 = %v%%, want ≈90", v)
+	}
+}
+
+func TestFigure6ParetoStructure(t *testing.T) {
+	e := testEnv()
+	tb, err := e.Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatal("empty Pareto boundary")
+	}
+	// Boundary must be ascending in ingest and descending in query.
+	var prevI, prevQ float64
+	for i, row := range tb.Rows {
+		ing, err1 := strconv.ParseFloat(row[4], 64)
+		qry, err2 := strconv.ParseFloat(row[5], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("bad cost cells %v", row)
+		}
+		if i > 0 {
+			if ing <= prevI {
+				t.Errorf("pareto ingest not ascending at row %d", i)
+			}
+			if qry >= prevQ {
+				t.Errorf("pareto query not descending at row %d", i)
+			}
+		}
+		prevI, prevQ = ing, qry
+	}
+	// The Balance point must be marked somewhere.
+	found := false
+	for _, row := range tb.Rows {
+		if row[0] == "Balance" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Balance point not on rendered boundary")
+	}
+}
+
+func TestFigure1TradeoffShape(t *testing.T) {
+	e := testEnv()
+	tb, err := e.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d, want 3 policies + 2 baselines", len(tb.Rows))
+	}
+	get := func(row int, col int) float64 {
+		v, err := strconv.ParseFloat(tb.Rows[row][col], 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", tb.Rows[row][col])
+		}
+		return v
+	}
+	optIngestI := get(0, 1) // norm-ingest of Focus-opt-ingest
+	balanceI := get(1, 1)
+	optQueryQ := get(2, 2)
+	balanceQ := get(1, 2)
+	if optIngestI > balanceI+1e-9 {
+		t.Errorf("Opt-Ingest norm-ingest %v above Balance %v", optIngestI, balanceI)
+	}
+	if optQueryQ > balanceQ+1e-9 {
+		t.Errorf("Opt-Query norm-query %v above Balance %v", optQueryQ, balanceQ)
+	}
+	// Every Focus point must dwarf both baselines: norm costs well below 1.
+	for r := 0; r < 3; r++ {
+		if get(r, 1) > 0.3 || get(r, 2) > 0.3 {
+			t.Errorf("row %d: Focus point not clearly better than baselines: %v", r, tb.Rows[r])
+		}
+	}
+}
+
+func TestEvaluatePolicyMeetsTargets(t *testing.T) {
+	e := testEnv()
+	ev, err := e.EvaluatePolicy("jacksonh", tune.Balance, e.Cfg.Targets, ModeFull, e.Cfg.GenOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Recall < e.Cfg.Targets.Recall-0.04 {
+		t.Errorf("recall %.3f well below target", ev.Recall)
+	}
+	if ev.Precision < e.Cfg.Targets.Precision-0.04 {
+		t.Errorf("precision %.3f well below target", ev.Precision)
+	}
+	if ev.IngestFactor < 10 || ev.QueryFactor < 5 {
+		t.Errorf("factors implausibly low: I=%.0f Q=%.0f", ev.IngestFactor, ev.QueryFactor)
+	}
+	if ev.Clusters <= 0 || ev.Sightings <= 0 {
+		t.Error("missing scale counters")
+	}
+}
+
+func TestFigure8ComponentOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow ablation in -short mode")
+	}
+	e := testEnv()
+	opts := e.Cfg.GenOptions()
+	// Compare the three modes on one stream: each added component should
+	// improve (or at least not hurt) the balanced sum of normalized costs.
+	sum := func(mode SweepMode) float64 {
+		sw, err := e.Sweep("auburn_c", opts, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel, err := sw.Select(e.Cfg.Targets, tune.Balance)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sel.Chosen.NormIngest + sel.Chosen.NormQuery
+	}
+	compressed := sum(ModeCompressedOnly)
+	specialized := sum(ModeNoClustering)
+	full := sum(ModeFull)
+	if specialized > compressed+1e-9 {
+		t.Errorf("specialization made things worse: %.5f vs %.5f", specialized, compressed)
+	}
+	if full > specialized+1e-9 {
+		t.Errorf("clustering made things worse: %.5f vs %.5f", full, specialized)
+	}
+}
+
+func TestCharacterizationNNFeatures(t *testing.T) {
+	e := testEnv()
+	tb, err := e.CharacterizationNNFeatures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if row[2] == "n/a" {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[2], "%"), 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", row[2])
+		}
+		if v < 97 {
+			t.Errorf("%s: NN same-class %.1f%%, want ≈99%% (§2.2.3)", row[0], v)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+
+	"focus/internal/stats"
+	"focus/internal/tune"
+	"focus/internal/video"
+)
+
+// Figure6 reproduces Figure 6: the parameter-selection trade-off space for
+// auburn_c — the viable configurations, the Pareto boundary, and the three
+// policy points.
+func (e *Env) Figure6() (*Table, error) {
+	sw, err := e.Sweep("auburn_c", e.Cfg.GenOptions(), ModeFull)
+	if err != nil {
+		return nil, err
+	}
+	sel, err := sw.Select(e.Cfg.Targets, tune.Balance)
+	if err != nil {
+		return nil, err
+	}
+	optI, err := sw.Select(e.Cfg.Targets, tune.OptIngest)
+	if err != nil {
+		return nil, err
+	}
+	optQ, err := sw.Select(e.Cfg.Targets, tune.OptQuery)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "Figure 6",
+		Title:   "Parameter selection: Pareto boundary of viable configs (auburn_c)",
+		Columns: []string{"point", "model", "K", "T", "norm-ingest", "norm-query", "est-recall", "est-prec"},
+	}
+	mark := func(c tune.Candidate) string {
+		switch {
+		case c == sel.Chosen:
+			return "Balance"
+		case c == optI.Chosen:
+			return "Opt-Ingest"
+		case c == optQ.Chosen:
+			return "Opt-Query"
+		}
+		return ""
+	}
+	for _, c := range sel.Pareto {
+		t.AddRow(mark(c), c.Model.Name, fi(c.K), f2(c.T),
+			fmt.Sprintf("%.5f", c.NormIngest), fmt.Sprintf("%.5f", c.NormQuery),
+			f3(c.EstRecall), f3(c.EstPrecision))
+	}
+	t.AddNote("%d viable configurations, %d on the Pareto boundary",
+		len(sel.Viable), len(sel.Pareto))
+	t.AddNote("paper: Balance minimizes the sum of normalized ingest and query cost")
+	return t, nil
+}
+
+// Figure1 reproduces Figure 1: the end-to-end trade-off space for a traffic
+// stream — Focus under its three policies versus the two baselines, with
+// (I, Q) factors.
+func (e *Env) Figure1() (*Table, error) {
+	t := &Table{
+		ID:      "Figure 1",
+		Title:   "Ingest cost vs query latency trade-off (auburn_c)",
+		Columns: []string{"system", "norm-ingest", "norm-query-latency", "I-factor", "Q-factor", "recall", "precision"},
+	}
+	opts := e.Cfg.GenOptions()
+	for _, policy := range []tune.Policy{tune.OptIngest, tune.Balance, tune.OptQuery} {
+		ev, err := e.EvaluatePolicy("auburn_c", policy, e.Cfg.Targets, ModeFull, opts)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("Focus-"+string(policy),
+			fmt.Sprintf("%.5f", 1/ev.IngestFactor),
+			fmt.Sprintf("%.5f", 1/ev.QueryFactor),
+			fx(ev.IngestFactor), fx(ev.QueryFactor),
+			f3(ev.Recall), f3(ev.Precision))
+	}
+	t.AddRow("Ingest-all", "1.00000", "0.00000", "1x", "-", "1.000", "1.000")
+	t.AddRow("Query-all", "0.00000", "1.00000", "-", "1x", "1.000", "1.000")
+	t.AddNote("paper (auburn_c): Opt-Ingest (I=141x, Q=46x), Balance (I=86x, Q=56x), Opt-Query (I=26x, Q=63x)")
+	return t, nil
+}
+
+// Figure7 reproduces Figure 7: per-stream ingest cost versus Ingest-all
+// (top) and query latency versus Query-all (bottom) under the Balance
+// policy, across all thirteen streams.
+func (e *Env) Figure7() (*Table, error) {
+	t := &Table{
+		ID:    "Figure 7",
+		Title: "Focus vs baselines per stream (Balance policy)",
+		Columns: []string{"stream", "type", "ingest-cheaper-by", "query-faster-by",
+			"recall", "precision", "model", "K", "clusters"},
+	}
+	opts := e.Cfg.GenOptions()
+	var iFactors, qFactors []float64
+	for _, spec := range video.Table1Specs() {
+		ev, err := e.EvaluatePolicy(spec.Name, tune.Balance, e.Cfg.Targets, ModeFull, opts)
+		if err != nil {
+			return nil, err
+		}
+		iFactors = append(iFactors, ev.IngestFactor)
+		qFactors = append(qFactors, ev.QueryFactor)
+		t.AddRow(spec.Name, string(spec.Type), fx(ev.IngestFactor), fx(ev.QueryFactor),
+			f3(ev.Recall), f3(ev.Precision), ev.Chosen.Model.Name, fi(ev.Chosen.K), fi(ev.Clusters))
+	}
+	t.AddNote("average: ingest %.0fx cheaper, query %.0fx faster (paper: 58x and 37x)",
+		stats.Mean(iFactors), stats.Mean(qFactors))
+	t.AddNote("paper ranges: ingest 43x-98x, query 11x-57x")
+	return t, nil
+}
+
+// Figure8 reproduces Figure 8: the contribution of each design component —
+// generic compressed model, plus specialization, plus clustering — to
+// ingest cost (a) and query latency (b).
+func (e *Env) Figure8() (*Table, error) {
+	t := &Table{
+		ID:    "Figure 8",
+		Title: "Effect of Focus components (Balance policy)",
+		Columns: []string{"stream",
+			"ingest: compressed", "+specialized", "+clustering",
+			"query: compressed", "+specialized", "+clustering"},
+	}
+	opts := e.Cfg.GenOptions()
+	modes := []SweepMode{ModeCompressedOnly, ModeNoClustering, ModeFull}
+	var avgI, avgQ [3][]float64
+	for _, name := range video.RepresentativeNames() {
+		row := []string{name}
+		var iCells, qCells []string
+		for mi, mode := range modes {
+			ev, err := e.EvaluatePolicy(name, tune.Balance, e.Cfg.Targets, mode, opts)
+			if err != nil {
+				return nil, err
+			}
+			iCells = append(iCells, fx(ev.IngestFactor))
+			qCells = append(qCells, fx(ev.QueryFactor))
+			avgI[mi] = append(avgI[mi], ev.IngestFactor)
+			avgQ[mi] = append(avgQ[mi], ev.QueryFactor)
+		}
+		row = append(row, iCells...)
+		row = append(row, qCells...)
+		t.AddRow(row...)
+	}
+	t.AddNote("average ingest factors: %s / %s / %s",
+		fx(stats.Mean(avgI[0])), fx(stats.Mean(avgI[1])), fx(stats.Mean(avgI[2])))
+	t.AddNote("average query factors: %s / %s / %s",
+		fx(stats.Mean(avgQ[0])), fx(stats.Mean(avgQ[1])), fx(stats.Mean(avgQ[2])))
+	t.AddNote("paper: specialization is the main ingest win; clustering adds up to 56x query speedup at negligible ingest cost")
+	return t, nil
+}
+
+// Figure9 reproduces Figure 9: the (I, Q) factors of the Opt-Ingest and
+// Opt-Query policies per stream, showing the flexibility of the trade-off.
+func (e *Env) Figure9() (*Table, error) {
+	t := &Table{
+		ID:      "Figure 9",
+		Title:   "Trade-offs between ingest cost and query latency per stream",
+		Columns: []string{"stream", "OptI ingest", "OptI query", "OptQ ingest", "OptQ query"},
+	}
+	opts := e.Cfg.GenOptions()
+	var oiI, oiQ, oqI, oqQ []float64
+	for _, name := range video.RepresentativeNames() {
+		oi, err := e.EvaluatePolicy(name, tune.OptIngest, e.Cfg.Targets, ModeFull, opts)
+		if err != nil {
+			return nil, err
+		}
+		oq, err := e.EvaluatePolicy(name, tune.OptQuery, e.Cfg.Targets, ModeFull, opts)
+		if err != nil {
+			return nil, err
+		}
+		oiI = append(oiI, oi.IngestFactor)
+		oiQ = append(oiQ, oi.QueryFactor)
+		oqI = append(oqI, oq.IngestFactor)
+		oqQ = append(oqQ, oq.QueryFactor)
+		t.AddRow(name, fx(oi.IngestFactor), fx(oi.QueryFactor),
+			fx(oq.IngestFactor), fx(oq.QueryFactor))
+	}
+	t.AddNote("averages: Opt-Ingest (I=%s, Q=%s), Opt-Query (I=%s, Q=%s)",
+		fx(stats.Mean(oiI)), fx(stats.Mean(oiQ)), fx(stats.Mean(oqI)), fx(stats.Mean(oqQ)))
+	t.AddNote("paper averages: Opt-Ingest (I=95x, Q=35x), Opt-Query (I=15x, Q=49x)")
+	return t, nil
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment names accepted by Run, in paper order.
+var experimentOrder = []string{
+	"table1",
+	"fig3",
+	"occupancy",
+	"nnfeatures",
+	"fig5",
+	"fig6",
+	"fig1",
+	"fig7",
+	"fig8",
+	"fig9",
+	"fig10-11",
+	"fig12-13",
+	"sec6.7",
+}
+
+// Names returns the runnable experiment identifiers in paper order.
+func Names() []string {
+	return append([]string(nil), experimentOrder...)
+}
+
+// Run executes one experiment by name and returns its tables (most produce
+// one; the sensitivity pairs produce two).
+func (e *Env) Run(name string) ([]*Table, error) {
+	one := func(t *Table, err error) ([]*Table, error) {
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{t}, nil
+	}
+	two := func(a, b *Table, err error) ([]*Table, error) {
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{a, b}, nil
+	}
+	switch name {
+	case "table1":
+		return one(e.Table1())
+	case "fig3":
+		return one(e.Figure3())
+	case "occupancy":
+		return one(e.CharacterizationOccupancy())
+	case "nnfeatures":
+		return one(e.CharacterizationNNFeatures())
+	case "fig5":
+		return one(e.Figure5())
+	case "fig6":
+		return one(e.Figure6())
+	case "fig1":
+		return one(e.Figure1())
+	case "fig7":
+		return one(e.Figure7())
+	case "fig8":
+		return one(e.Figure8())
+	case "fig9":
+		return one(e.Figure9())
+	case "fig10-11":
+		return two(e.Figures10And11())
+	case "fig12-13":
+		return two(e.Figures12And13())
+	case "sec6.7":
+		return one(e.Section67())
+	default:
+		known := Names()
+		sort.Strings(known)
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", name, known)
+	}
+}
+
+// RunAll executes the full suite in paper order, rendering each table to w
+// as it completes, and returns all tables.
+func (e *Env) RunAll(w io.Writer) ([]*Table, error) {
+	var out []*Table
+	for _, name := range experimentOrder {
+		tables, err := e.Run(name)
+		if err != nil {
+			return out, fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		for _, t := range tables {
+			if w != nil {
+				if err := t.Render(w); err != nil {
+					return out, err
+				}
+			}
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,189 @@
+// Package gpu models the GPU resources Focus accounts for.
+//
+// The paper's two performance metrics are GPU-time based (§6.1): ingest
+// cost is the GPU time spent indexing a video, and query latency is the GPU
+// time of query-time classification divided across the provisioned GPUs
+// ("with a 10-GPU cluster, the query latency on a 24-hour video goes down
+// from one hour to less than two minutes"). Both metrics deliberately
+// exclude CPU work (decode, background subtraction, clustering, index I/O)
+// because the GPU is the bottleneck resource.
+//
+// This package provides (a) a Meter that accumulates simulated GPU
+// milliseconds for ingest, query and (re)training work, and (b) a Pool that
+// schedules query-time inferences across N simulated GPUs and reports the
+// resulting makespan, i.e. the simulated query latency.
+package gpu
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+)
+
+// Meter accumulates simulated GPU time by activity. It is safe for
+// concurrent use.
+type Meter struct {
+	mu        sync.Mutex
+	ingestMS  float64
+	queryMS   float64
+	trainMS   float64
+	ingestOps int64
+	queryOps  int64
+}
+
+// AddIngest records one ingest-time inference of the given cost.
+func (m *Meter) AddIngest(costMS float64) {
+	m.mu.Lock()
+	m.ingestMS += costMS
+	m.ingestOps++
+	m.mu.Unlock()
+}
+
+// AddQuery records one query-time inference of the given cost.
+func (m *Meter) AddQuery(costMS float64) {
+	m.mu.Lock()
+	m.queryMS += costMS
+	m.queryOps++
+	m.mu.Unlock()
+}
+
+// AddTraining records GPU time spent retraining specialized models. The
+// paper amortizes this ("retraining is relatively infrequent and done once
+// every few days") and reports it separately from ingest cost.
+func (m *Meter) AddTraining(costMS float64) {
+	m.mu.Lock()
+	m.trainMS += costMS
+	m.mu.Unlock()
+}
+
+// Snapshot is a point-in-time copy of a Meter's counters.
+type Snapshot struct {
+	IngestMS  float64
+	QueryMS   float64
+	TrainMS   float64
+	IngestOps int64
+	QueryOps  int64
+}
+
+// Snapshot returns the current counters.
+func (m *Meter) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Snapshot{
+		IngestMS:  m.ingestMS,
+		QueryMS:   m.queryMS,
+		TrainMS:   m.trainMS,
+		IngestOps: m.ingestOps,
+		QueryOps:  m.queryOps,
+	}
+}
+
+// Reset zeroes all counters.
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	m.ingestMS, m.queryMS, m.trainMS = 0, 0, 0
+	m.ingestOps, m.queryOps = 0, 0
+	m.mu.Unlock()
+}
+
+// Pool schedules inference tasks over a set of identical simulated GPUs
+// using an online least-loaded assignment, and reports the makespan: the
+// simulated wall-clock time until the last GPU finishes. For uniform task
+// costs the makespan approaches total/N, matching the paper's
+// parallelize-across-GPUs query model.
+type Pool struct {
+	busyMS []float64 // per-GPU accumulated busy time
+	h      gpuHeap
+}
+
+// NewPool creates a pool of n simulated GPUs. n must be positive.
+func NewPool(n int) (*Pool, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gpu: pool size must be positive, got %d", n)
+	}
+	p := &Pool{busyMS: make([]float64, n)}
+	p.h = make(gpuHeap, n)
+	for i := range p.h {
+		p.h[i] = gpuSlot{gpu: i}
+	}
+	heap.Init(&p.h)
+	return p, nil
+}
+
+// Size returns the number of GPUs in the pool.
+func (p *Pool) Size() int { return len(p.busyMS) }
+
+// Submit assigns a task of the given cost to the least-loaded GPU and
+// returns the simulated completion time of that task.
+func (p *Pool) Submit(costMS float64) float64 {
+	slot := &p.h[0]
+	slot.busyMS += costMS
+	p.busyMS[slot.gpu] = slot.busyMS
+	done := slot.busyMS
+	heap.Fix(&p.h, 0)
+	return done
+}
+
+// MakespanMS returns the simulated time at which all submitted work
+// completes — the query latency for the batch submitted so far.
+func (p *Pool) MakespanMS() float64 {
+	var max float64
+	for _, b := range p.busyMS {
+		if b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// TotalMS returns the total GPU time submitted across all GPUs.
+func (p *Pool) TotalMS() float64 {
+	var sum float64
+	for _, b := range p.busyMS {
+		sum += b
+	}
+	return sum
+}
+
+// Reset clears all per-GPU load.
+func (p *Pool) Reset() {
+	for i := range p.busyMS {
+		p.busyMS[i] = 0
+	}
+	for i := range p.h {
+		p.h[i].busyMS = 0
+	}
+	heap.Init(&p.h)
+}
+
+type gpuSlot struct {
+	gpu    int
+	busyMS float64
+}
+
+type gpuHeap []gpuSlot
+
+func (h gpuHeap) Len() int            { return len(h) }
+func (h gpuHeap) Less(i, j int) bool  { return h[i].busyMS < h[j].busyMS }
+func (h gpuHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *gpuHeap) Push(x interface{}) { *h = append(*h, x.(gpuSlot)) }
+func (h *gpuHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// DollarsPerGPUMonth is the approximate cloud price of one GPU-month the
+// paper uses for its cost headlines ($250/month/stream for Ingest-all with
+// ResNet152, §1). One stream ingested continuously with the GT-CNN costs
+// one GPU's full-time work times the model's duty cycle.
+const DollarsPerGPUMonth = 250.0
+
+// MonthlyCostDollars converts a GPU duty cycle (fraction of one GPU kept
+// busy, e.g. ingest GPU-ms per ms of video) into a monthly dollar figure
+// comparable to the paper's $250 → $4 headline.
+func MonthlyCostDollars(dutyCycle float64) float64 {
+	return DollarsPerGPUMonth * dutyCycle
+}

@@ -1,0 +1,169 @@
+package gpu
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeterAccumulates(t *testing.T) {
+	var m Meter
+	m.AddIngest(2)
+	m.AddIngest(3)
+	m.AddQuery(13)
+	m.AddTraining(100)
+	s := m.Snapshot()
+	if s.IngestMS != 5 || s.IngestOps != 2 {
+		t.Errorf("ingest = %v/%v", s.IngestMS, s.IngestOps)
+	}
+	if s.QueryMS != 13 || s.QueryOps != 1 {
+		t.Errorf("query = %v/%v", s.QueryMS, s.QueryOps)
+	}
+	if s.TrainMS != 100 {
+		t.Errorf("train = %v", s.TrainMS)
+	}
+	m.Reset()
+	if s := m.Snapshot(); s.IngestMS != 0 || s.QueryOps != 0 {
+		t.Error("reset did not zero counters")
+	}
+}
+
+func TestMeterConcurrent(t *testing.T) {
+	var m Meter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.AddIngest(1)
+				m.AddQuery(1)
+			}
+		}()
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	if s.IngestOps != 8000 || s.QueryOps != 8000 {
+		t.Errorf("ops = %d/%d, want 8000/8000", s.IngestOps, s.QueryOps)
+	}
+	if s.IngestMS != 8000 || s.QueryMS != 8000 {
+		t.Errorf("ms = %v/%v", s.IngestMS, s.QueryMS)
+	}
+}
+
+func TestPoolValidation(t *testing.T) {
+	if _, err := NewPool(0); err == nil {
+		t.Error("zero-size pool accepted")
+	}
+	if _, err := NewPool(-3); err == nil {
+		t.Error("negative pool accepted")
+	}
+}
+
+func TestPoolUniformTasks(t *testing.T) {
+	p, err := NewPool(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		p.Submit(1)
+	}
+	if got := p.MakespanMS(); got != 100 {
+		t.Errorf("makespan = %v, want 100 (400 unit tasks over 4 GPUs)", got)
+	}
+	if got := p.TotalMS(); got != 400 {
+		t.Errorf("total = %v, want 400", got)
+	}
+}
+
+func TestPoolLeastLoaded(t *testing.T) {
+	p, err := NewPool(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Submit(10) // GPU A: 10
+	p.Submit(1)  // GPU B: 1
+	p.Submit(1)  // GPU B: 2
+	p.Submit(1)  // GPU B: 3
+	if got := p.MakespanMS(); got != 10 {
+		t.Errorf("makespan = %v, want 10", got)
+	}
+	if got := p.TotalMS(); got != 13 {
+		t.Errorf("total = %v, want 13", got)
+	}
+}
+
+func TestPoolSingleGPU(t *testing.T) {
+	p, _ := NewPool(1)
+	var last float64
+	for i := 1; i <= 10; i++ {
+		last = p.Submit(2)
+	}
+	if last != 20 || p.MakespanMS() != 20 {
+		t.Errorf("serial execution: last=%v makespan=%v, want 20", last, p.MakespanMS())
+	}
+}
+
+func TestPoolReset(t *testing.T) {
+	p, _ := NewPool(3)
+	p.Submit(5)
+	p.Reset()
+	if p.MakespanMS() != 0 || p.TotalMS() != 0 {
+		t.Error("reset did not clear load")
+	}
+	p.Submit(2)
+	if p.MakespanMS() != 2 {
+		t.Error("pool unusable after reset")
+	}
+}
+
+func TestPoolMakespanBounds(t *testing.T) {
+	// Property: for any workload, total/N <= makespan <= total/N + maxTask.
+	err := quick.Check(func(seed uint16, nRaw uint8) bool {
+		n := 1 + int(nRaw)%8
+		p, err := NewPool(n)
+		if err != nil {
+			return false
+		}
+		maxTask := 0.0
+		total := 0.0
+		x := uint32(seed) + 1
+		for i := 0; i < 100; i++ {
+			x = x*1664525 + 1013904223
+			cost := float64(x%1000)/100 + 0.01
+			p.Submit(cost)
+			total += cost
+			if cost > maxTask {
+				maxTask = cost
+			}
+		}
+		ms := p.MakespanMS()
+		lower := total / float64(n)
+		return ms >= lower-1e-9 && ms <= lower+maxTask+1e-9 &&
+			math.Abs(p.TotalMS()-total) < 1e-6
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMonthlyCost(t *testing.T) {
+	// A full GPU kept busy (duty cycle 1) costs the paper's $250/month
+	// headline; Focus's ~1/58 duty cycle lands near $4.
+	if got := MonthlyCostDollars(1); got != 250 {
+		t.Errorf("full duty = $%v", got)
+	}
+	got := MonthlyCostDollars(1.0 / 58)
+	if got < 3.5 || got > 5 {
+		t.Errorf("Focus-like duty cycle = $%.2f, want ≈ $4.3", got)
+	}
+}
+
+func BenchmarkPoolSubmit(b *testing.B) {
+	p, _ := NewPool(10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Submit(1)
+	}
+}

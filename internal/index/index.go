@@ -1,0 +1,335 @@
+// Package index implements Focus's top-K ingest index (§3, §4.1): the
+// mapping from object classes to the clusters of objects that might belong
+// to them, plus per-cluster records holding the centroid ("representative")
+// object, the member sightings, and their frame IDs.
+//
+// Schema, following §3:
+//
+//	object class → ⟨cluster ID, rank of class in the cluster's top-K⟩
+//	cluster ID   → [centroid object, ⟨objects⟩ in cluster, ⟨frame IDs⟩]
+//
+// Looking up class X with a cut-off Kx ≤ K returns exactly the clusters
+// whose cluster-level top-Kx contains X, which is how the query engine
+// implements the dynamically adjustable Kx of §5.
+package index
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"sync"
+
+	"focus/internal/cluster"
+	"focus/internal/kvstore"
+	"focus/internal/vision"
+)
+
+// ClusterID identifies a cluster within one stream's index.
+type ClusterID int64
+
+// IngestMeta records how a stream was ingested: which cheap CNN built the
+// index and with what K. The query engine needs it to route queries for
+// unspecialized classes through the OTHER postings (§4.3).
+type IngestMeta struct {
+	// Stream is the stream name this index covers.
+	Stream string
+	// ModelName is the ingest CNN used.
+	ModelName string
+	// Specialized reports whether the ingest CNN was stream-specialized.
+	Specialized bool
+	// SpecialClasses is the specialized model's class list (nil when not
+	// specialized).
+	SpecialClasses []vision.ClassID
+	// K is the number of top classes indexed per cluster.
+	K int
+	// DurationSec and FPS describe the ingested window.
+	DurationSec float64
+	FPS         float64
+	// TotalSightings is the number of object sightings ingested, the
+	// denominator for the Query-all baseline's work.
+	TotalSightings int
+}
+
+// ClusterRecord is the persisted form of one spilled cluster.
+type ClusterRecord struct {
+	ID ClusterID
+	// TopK is the cluster-level ranked class list (length ≤ K).
+	TopK []vision.Prediction
+	// Rep is the centroid object the GT-CNN classifies at query time.
+	Rep cluster.Member
+	// Members are all sightings in the cluster (frame IDs and timestamps
+	// included), returned wholesale when the centroid matches the query.
+	Members []cluster.Member
+	// MinTime and MaxTime bound the members' timestamps for time-ranged
+	// query pruning.
+	MinTime, MaxTime float64
+}
+
+// Size returns the number of member sightings.
+func (r *ClusterRecord) Size() int { return len(r.Members) }
+
+// Posting is one entry of the class → clusters mapping.
+type Posting struct {
+	Cluster ClusterID
+	// Rank is the 1-based position of the class within the cluster's
+	// top-K; Lookup with cut-off kx returns postings with Rank <= kx.
+	Rank int
+}
+
+// Index is one stream's top-K ingest index. Writes happen during ingest
+// (single writer); reads happen at query time (many readers). All methods
+// are safe for concurrent use.
+type Index struct {
+	mu       sync.RWMutex
+	meta     IngestMeta
+	clusters map[ClusterID]*ClusterRecord
+	postings map[vision.ClassID][]Posting
+	sorted   bool
+	nextID   ClusterID
+}
+
+// New creates an empty index for a stream.
+func New(meta IngestMeta) *Index {
+	return &Index{
+		meta:     meta,
+		clusters: make(map[ClusterID]*ClusterRecord),
+		postings: make(map[vision.ClassID][]Posting),
+	}
+}
+
+// Meta returns the ingest metadata.
+func (ix *Index) Meta() IngestMeta {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.meta
+}
+
+// SetTotalSightings records the final sighting count after ingest.
+func (ix *Index) SetTotalSightings(n int) {
+	ix.mu.Lock()
+	ix.meta.TotalSightings = n
+	ix.mu.Unlock()
+}
+
+// SetWindow records the ingested window's duration and effective frame rate.
+func (ix *Index) SetWindow(durationSec, fps float64) {
+	ix.mu.Lock()
+	ix.meta.DurationSec = durationSec
+	ix.meta.FPS = fps
+	ix.mu.Unlock()
+}
+
+// AddCluster ingests a spilled cluster: computes its cluster-level top-K
+// from the aggregated class confidences and adds postings for each of those
+// classes. The index assigns its own cluster IDs, so clusters from
+// different engine instances never collide.
+func (ix *Index) AddCluster(c *cluster.Cluster) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	topK := c.TopK(ix.meta.K)
+	minT, maxT := c.TimeRange()
+	rec := &ClusterRecord{
+		ID:      ix.nextID,
+		TopK:    topK,
+		Rep:     c.Representative(),
+		Members: c.Members,
+		MinTime: minT,
+		MaxTime: maxT,
+	}
+	ix.addRecordLocked(rec)
+}
+
+func (ix *Index) addRecordLocked(rec *ClusterRecord) {
+	if _, dup := ix.clusters[rec.ID]; dup {
+		panic(fmt.Sprintf("index: duplicate cluster ID %d", rec.ID))
+	}
+	ix.clusters[rec.ID] = rec
+	if rec.ID >= ix.nextID {
+		ix.nextID = rec.ID + 1
+	}
+	for i, p := range rec.TopK {
+		ix.postings[p.Class] = append(ix.postings[p.Class], Posting{Cluster: rec.ID, Rank: i + 1})
+	}
+	ix.sorted = false
+}
+
+// ensureSorted orders every posting list by (rank, cluster) so Lookup can
+// cut by rank and return deterministic results.
+func (ix *Index) ensureSorted() {
+	if ix.sorted {
+		return
+	}
+	for c := range ix.postings {
+		ps := ix.postings[c]
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i].Rank != ps[j].Rank {
+				return ps[i].Rank < ps[j].Rank
+			}
+			return ps[i].Cluster < ps[j].Cluster
+		})
+	}
+	ix.sorted = true
+}
+
+// Lookup returns the clusters whose cluster-level top-kx contains class c,
+// most confident first. kx <= 0 or kx > K defaults to the index's K.
+func (ix *Index) Lookup(c vision.ClassID, kx int) []*ClusterRecord {
+	ix.mu.Lock()
+	ix.ensureSorted()
+	ix.mu.Unlock()
+
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if kx <= 0 || kx > ix.meta.K {
+		kx = ix.meta.K
+	}
+	ps := ix.postings[c]
+	// Postings are sorted by rank: binary search the cut.
+	cut := sort.Search(len(ps), func(i int) bool { return ps[i].Rank > kx })
+	out := make([]*ClusterRecord, 0, cut)
+	for _, p := range ps[:cut] {
+		out = append(out, ix.clusters[p.Cluster])
+	}
+	return out
+}
+
+// HasClass reports whether any cluster indexes class c at any rank.
+func (ix *Index) HasClass(c vision.ClassID) bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.postings[c]) > 0
+}
+
+// Classes returns every class with at least one posting, ascending.
+func (ix *Index) Classes() []vision.ClassID {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]vision.ClassID, 0, len(ix.postings))
+	for c := range ix.postings {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumClusters returns the number of indexed clusters.
+func (ix *Index) NumClusters() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.clusters)
+}
+
+// Cluster returns the record with the given ID, or nil.
+func (ix *Index) Cluster(id ClusterID) *ClusterRecord {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.clusters[id]
+}
+
+// Stats summarizes the index for reporting.
+type Stats struct {
+	Clusters       int
+	Postings       int
+	Members        int
+	MeanSize       float64
+	LargestCluster int
+}
+
+// Stats computes summary statistics.
+func (ix *Index) Stats() Stats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var st Stats
+	st.Clusters = len(ix.clusters)
+	for _, ps := range ix.postings {
+		st.Postings += len(ps)
+	}
+	for _, c := range ix.clusters {
+		st.Members += len(c.Members)
+		if len(c.Members) > st.LargestCluster {
+			st.LargestCluster = len(c.Members)
+		}
+	}
+	if st.Clusters > 0 {
+		st.MeanSize = float64(st.Members) / float64(st.Clusters)
+	}
+	return st
+}
+
+// ---- persistence ----
+
+// metaKey and clusterKey define the store's key scheme.
+func metaKey(stream string) string { return "focus/meta/" + stream }
+func clusterKeyPrefix(stream string) string {
+	return "focus/cluster/" + stream + "/"
+}
+func clusterKey(stream string, id ClusterID) string {
+	return fmt.Sprintf("%s%016x", clusterKeyPrefix(stream), uint64(id))
+}
+
+// Save persists the index into the store, replacing any previous index for
+// the same stream.
+func (ix *Index) Save(store *kvstore.Store) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	// Remove stale cluster records from a previous save of this stream.
+	var stale []string
+	store.Scan(clusterKeyPrefix(ix.meta.Stream), func(k string, _ []byte) bool {
+		stale = append(stale, k)
+		return true
+	})
+	for _, k := range stale {
+		if err := store.Delete(k); err != nil {
+			return fmt.Errorf("index: delete stale record: %w", err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ix.meta); err != nil {
+		return fmt.Errorf("index: encode meta: %w", err)
+	}
+	if err := store.Put(metaKey(ix.meta.Stream), buf.Bytes()); err != nil {
+		return err
+	}
+	for _, rec := range ix.clusters {
+		buf.Reset()
+		if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
+			return fmt.Errorf("index: encode cluster %d: %w", rec.ID, err)
+		}
+		if err := store.Put(clusterKey(ix.meta.Stream, rec.ID), buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	return store.Sync()
+}
+
+// Load reads a stream's index back from the store.
+func Load(store *kvstore.Store, stream string) (*Index, error) {
+	raw, ok := store.Get(metaKey(stream))
+	if !ok {
+		return nil, fmt.Errorf("index: no index for stream %q", stream)
+	}
+	var meta IngestMeta
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&meta); err != nil {
+		return nil, fmt.Errorf("index: decode meta: %w", err)
+	}
+	ix := New(meta)
+	var loadErr error
+	store.Scan(clusterKeyPrefix(stream), func(_ string, val []byte) bool {
+		var rec ClusterRecord
+		if err := gob.NewDecoder(bytes.NewReader(val)).Decode(&rec); err != nil {
+			loadErr = fmt.Errorf("index: decode cluster: %w", err)
+			return false
+		}
+		ix.mu.Lock()
+		ix.addRecordLocked(&rec)
+		ix.mu.Unlock()
+		return true
+	})
+	if loadErr != nil {
+		return nil, loadErr
+	}
+	return ix, nil
+}

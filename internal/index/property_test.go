@@ -1,0 +1,148 @@
+package index
+
+import (
+	"testing"
+	"testing/quick"
+
+	"focus/internal/cluster"
+	"focus/internal/kvstore"
+	"focus/internal/simrand"
+	"focus/internal/video"
+	"focus/internal/vision"
+)
+
+// buildRandomIndex constructs an index with pseudo-random clusters driven
+// by a seed, for property-based testing.
+func buildRandomIndex(seed uint64, k int) *Index {
+	src := simrand.New(seed)
+	ix := New(IngestMeta{Stream: "prop", ModelName: "m", K: k, FPS: 30})
+	nClusters := 3 + src.Intn(20)
+	for c := 0; c < nClusters; c++ {
+		var out *cluster.Cluster
+		e, err := cluster.NewEngine(cluster.Config{Threshold: 1000, MaxActive: 4},
+			func(cl *cluster.Cluster) { out = cl })
+		if err != nil {
+			panic(err)
+		}
+		nRanked := 1 + src.Intn(k)
+		ranked := make([]vision.Prediction, 0, nRanked)
+		seen := map[vision.ClassID]bool{}
+		for len(ranked) < nRanked {
+			cl := vision.ClassID(src.Intn(30))
+			if seen[cl] {
+				continue
+			}
+			seen[cl] = true
+			ranked = append(ranked, vision.Prediction{
+				Class: cl, Confidence: float32(1+src.Intn(100)) / 100,
+			})
+		}
+		f := make(vision.FeatureVec, vision.FeatureDim)
+		members := 1 + src.Intn(6)
+		for m := 0; m < members; m++ {
+			e.Add(f, cluster.Member{
+				Object:  video.ObjectID(c*100 + m),
+				Frame:   video.FrameID(src.Intn(1000)),
+				TimeSec: src.Float64() * 100,
+				Seed:    int64(c),
+			}, ranked)
+		}
+		e.Flush()
+		ix.AddCluster(out)
+	}
+	return ix
+}
+
+func TestQuickLookupMonotoneInKx(t *testing.T) {
+	// Property: Lookup(c, kx) is a prefix-closed subset of Lookup(c, kx+1):
+	// raising Kx never removes clusters and never reorders the shared ones.
+	err := quick.Check(func(seed uint64, classRaw uint8) bool {
+		ix := buildRandomIndex(seed, 8)
+		c := vision.ClassID(classRaw % 30)
+		var prev []*ClusterRecord
+		for kx := 1; kx <= 8; kx++ {
+			cur := ix.Lookup(c, kx)
+			if len(cur) < len(prev) {
+				return false
+			}
+			ids := map[ClusterID]bool{}
+			for _, r := range cur {
+				ids[r.ID] = true
+			}
+			for _, r := range prev {
+				if !ids[r.ID] {
+					return false
+				}
+			}
+			prev = cur
+		}
+		return true
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPostingsConsistent(t *testing.T) {
+	// Property: every cluster is retrievable under each of its top-K
+	// classes at exactly the rank the class holds, and under no other
+	// class.
+	err := quick.Check(func(seed uint64) bool {
+		ix := buildRandomIndex(seed, 6)
+		for _, c := range ix.Classes() {
+			recs := ix.Lookup(c, 0)
+			seen := map[ClusterID]bool{}
+			for _, r := range recs {
+				seen[r.ID] = true
+				found := false
+				for _, p := range r.TopK {
+					if p.Class == c {
+						found = true
+					}
+				}
+				if !found {
+					return false // retrieved under a class it does not index
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSaveLoadPreservesLookups(t *testing.T) {
+	// Property: persisting and reloading an index preserves every lookup.
+	err := quick.Check(func(seed uint64) bool {
+		ix := buildRandomIndex(seed, 5)
+		store, err := kvstore.Open("")
+		if err != nil {
+			return false
+		}
+		defer store.Close()
+		if err := ix.Save(store); err != nil {
+			return false
+		}
+		loaded, err := Load(store, "prop")
+		if err != nil {
+			return false
+		}
+		for _, c := range ix.Classes() {
+			a := ix.Lookup(c, 0)
+			b := loaded.Lookup(c, 0)
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i].ID != b[i].ID || a[i].Size() != b[i].Size() {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,301 @@
+// Package ingest implements Focus's ingest-time pipeline (§3 IT1–IT4, §5):
+// for every moving-object sighting, run the cheap ingest CNN to obtain its
+// top-K classes and feature vector (IT1), deduplicate visually identical
+// sightings in adjacent frames by pixel differencing (§4.2), cluster
+// similar objects by feature vector (IT2), and index each spilled cluster
+// under its cluster-level top-K classes (IT3, IT4).
+//
+// One Worker ingests one stream, mirroring the paper's per-stream worker
+// processes. GPU cost is accounted per CNN invocation through a gpu.Meter;
+// clustering and indexing are CPU work and cost no GPU time, which is why
+// clustering is nearly free at ingest (Figure 8a).
+package ingest
+
+import (
+	"fmt"
+
+	"focus/internal/cluster"
+	"focus/internal/gpu"
+	"focus/internal/index"
+	"focus/internal/video"
+	"focus/internal/vision"
+)
+
+// Config selects the ingest-time parameters chosen by the tuner (§4.4).
+type Config struct {
+	// Model is the cheap ingest CNN (generic compressed or specialized).
+	Model *vision.Model
+	// K is how many top classes to index per cluster.
+	K int
+	// ClusterThreshold is the clustering distance threshold T. Zero
+	// disables clustering: every sighting becomes its own cluster (the
+	// "no clustering" ablation of Figure 8).
+	ClusterThreshold float64
+	// MaxActiveClusters is the active-cluster cap M.
+	MaxActiveClusters int
+	// PixelDiffThreshold deduplicates a sighting whose pixels differ from
+	// its predecessor in the previous frame by at most this much (§4.2).
+	// Zero disables pixel differencing.
+	PixelDiffThreshold float64
+	// ClusterIdleTimeoutSec retires clusters that stopped growing this
+	// many stream-seconds ago. Zero uses the default.
+	ClusterIdleTimeoutSec float64
+}
+
+// DefaultMaxActiveClusters is the default cap on active clusters.
+const DefaultMaxActiveClusters = 256
+
+// DefaultPixelDiffThreshold is the default pixel-differencing threshold, in
+// mean-absolute-pixel-difference units.
+const DefaultPixelDiffThreshold = 3.0
+
+// DefaultClusterIdleTimeoutSec is the default idle-cluster retirement age.
+const DefaultClusterIdleTimeoutSec = 20.0
+
+// DefaultMaxClusterMembers bounds cluster growth: a cluster reaching this
+// size is spilled and a fresh one takes over. Unbounded clusters accrete
+// across near classes over long windows, silently hurting recall.
+const DefaultMaxClusterMembers = 128
+
+func (c Config) validate() error {
+	if c.Model == nil {
+		return fmt.Errorf("ingest: nil model")
+	}
+	if c.K < 1 {
+		return fmt.Errorf("ingest: K must be >= 1, got %d", c.K)
+	}
+	if c.ClusterThreshold < 0 {
+		return fmt.Errorf("ingest: negative cluster threshold")
+	}
+	if c.PixelDiffThreshold < 0 {
+		return fmt.Errorf("ingest: negative pixel-diff threshold")
+	}
+	return nil
+}
+
+// Stats reports what the worker did.
+type Stats struct {
+	Frames        int
+	EmptyFrames   int
+	Sightings     int
+	CNNInferences int // sightings actually classified (after dedup)
+	Deduplicated  int // sightings assigned by pixel differencing
+	Clusters      int // clusters spilled into the index
+	IngestGPUMS   float64
+}
+
+// DedupRate returns the fraction of sightings skipped by pixel differencing.
+func (s Stats) DedupRate() float64 {
+	if s.Sightings == 0 {
+		return 0
+	}
+	return float64(s.Deduplicated) / float64(s.Sightings)
+}
+
+// prevEntry remembers one sighting of the previous frame for pixel-diff
+// association.
+type prevEntry struct {
+	bbox    video.Rect
+	object  video.ObjectID
+	cluster *cluster.Cluster
+}
+
+// Worker ingests one stream. Not safe for concurrent use; run one worker
+// per stream (workers for different streams may run concurrently).
+type Worker struct {
+	stream *video.Stream
+	space  *vision.Space
+	cfg    Config
+	meter  *gpu.Meter
+	engine *cluster.Engine
+	ix     *index.Index
+	stats  Stats
+
+	prev, cur   []prevEntry
+	prevFrameID video.FrameID
+}
+
+// NewWorker creates the ingest worker and its empty index.
+func NewWorker(stream *video.Stream, space *vision.Space, cfg Config, meter *gpu.Meter) (*Worker, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxActiveClusters <= 0 {
+		cfg.MaxActiveClusters = DefaultMaxActiveClusters
+	}
+	meta := index.IngestMeta{
+		Stream:         stream.Spec.Name,
+		ModelName:      cfg.Model.Name,
+		Specialized:    cfg.Model.Specialized,
+		SpecialClasses: cfg.Model.SpecialClasses,
+		K:              cfg.K,
+		FPS:            video.NativeFPS,
+	}
+	w := &Worker{
+		stream: stream,
+		space:  space,
+		cfg:    cfg,
+		meter:  meter,
+		ix:     index.New(meta),
+	}
+	// ClusterThreshold == 0 is the no-clustering ablation (Figure 8): an
+	// effectively zero threshold makes every scored sighting its own
+	// cluster while keeping pixel-diff deduplication functional.
+	threshold := cfg.ClusterThreshold
+	if threshold == 0 {
+		threshold = 1e-9
+	}
+	idle := cfg.ClusterIdleTimeoutSec
+	if idle <= 0 {
+		idle = DefaultClusterIdleTimeoutSec
+	}
+	var err error
+	w.engine, err = cluster.NewEngine(cluster.Config{
+		Threshold:      threshold,
+		MaxActive:      cfg.MaxActiveClusters,
+		IdleTimeoutSec: idle,
+		MaxMembers:     DefaultMaxClusterMembers,
+	}, w.ix.AddCluster)
+	if err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Index returns the index under construction.
+func (w *Worker) Index() *index.Index { return w.ix }
+
+// Stats returns a snapshot of the worker's counters.
+func (w *Worker) Stats() Stats { return w.stats }
+
+// ProcessFrame ingests one frame's sightings.
+func (w *Worker) ProcessFrame(f *video.Frame) {
+	w.stats.Frames++
+	if len(f.Sightings) == 0 {
+		// Background subtraction found nothing moving: no GPU work at all,
+		// for Focus and baselines alike (§6.1).
+		w.stats.EmptyFrames++
+		w.prev = w.prev[:0]
+		return
+	}
+	for i := range f.Sightings {
+		w.processSighting(&f.Sightings[i])
+	}
+	// Rotate the association table: this frame's sightings become the
+	// "previous frame" for pixel differencing against the next one.
+	w.prev, w.cur = w.cur, w.prev[:0]
+	w.prevFrameID = f.ID
+}
+
+// processSighting runs the dedup / classify / cluster path for one sighting.
+func (w *Worker) processSighting(s *video.Sighting) {
+	w.stats.Sightings++
+	m := cluster.Member{
+		Object:    s.Object,
+		Frame:     s.Frame,
+		TimeSec:   s.TimeSec,
+		TrueClass: s.TrueClass,
+		Seed:      s.Seed,
+	}
+
+	// Pixel differencing (§4.2): find the best-overlapping sighting in the
+	// previous frame; if it is the same physical object (near-identical
+	// pixels) and the pixel distance is under threshold, skip the CNN and
+	// join the predecessor's cluster directly.
+	if w.cfg.PixelDiffThreshold > 0 {
+		if p := w.matchPrev(s); p != nil && s.PixelDist <= w.cfg.PixelDiffThreshold {
+			if w.engine.AddDeduplicated(p.cluster, m) {
+				w.stats.Deduplicated++
+				w.cur = append(w.cur, prevEntry{s.BBox, s.Object, p.cluster})
+				return
+			}
+		}
+	}
+
+	// Cheap ingest CNN (IT1): top-K classes + feature vector. The rank
+	// source is derived per (model, object): a weak model's errors repeat
+	// across an object's sightings.
+	out := w.cfg.Model.Classify(w.space, s.TrueClass, s.Appearance,
+		w.stream.CNNSource(s.Seed, w.cfg.Model.Name),
+		w.stream.CNNSource(int64(s.Object), w.cfg.Model.Name+"#rank"), w.cfg.K)
+	w.meter.AddIngest(w.cfg.Model.CostMS())
+	w.stats.CNNInferences++
+	w.stats.IngestGPUMS += w.cfg.Model.CostMS()
+
+	c := w.engine.Add(out.Features, m, out.Ranked)
+	w.cur = append(w.cur, prevEntry{s.BBox, s.Object, c})
+}
+
+// matchPrev returns the previous-frame entry whose bounding box overlaps s
+// best, provided it is the same physical object. The identity check stands
+// in for the actual pixel comparison a real system performs: two different
+// objects occupying the same region have very different pixels, so pixel
+// differencing would never merge them.
+func (w *Worker) matchPrev(s *video.Sighting) *prevEntry {
+	best := -1
+	bestArea := 0
+	for i := range w.prev {
+		if !w.prev[i].bbox.Intersects(s.BBox) {
+			continue
+		}
+		// Use intersection area as the overlap score.
+		ix := intersectionArea(w.prev[i].bbox, s.BBox)
+		if ix > bestArea {
+			bestArea = ix
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	if w.prev[best].object != s.Object {
+		return nil
+	}
+	return &w.prev[best]
+}
+
+func intersectionArea(a, b video.Rect) int {
+	x0, x1 := maxInt(a.X, b.X), minInt(a.X+a.W, b.X+b.W)
+	y0, y1 := maxInt(a.Y, b.Y), minInt(a.Y+a.H, b.Y+b.H)
+	if x1 <= x0 || y1 <= y0 {
+		return 0
+	}
+	return (x1 - x0) * (y1 - y0)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Finish flushes remaining clusters and seals the index.
+func (w *Worker) Finish() *index.Index {
+	w.engine.Flush()
+	w.stats.Clusters = w.ix.NumClusters()
+	w.ix.SetTotalSightings(w.stats.Sightings)
+	return w.ix
+}
+
+// Run generates the stream with the given options and ingests every frame,
+// returning the completed index. It is the one-call path used by
+// experiments; live systems drive ProcessFrame per arriving frame.
+func (w *Worker) Run(opts video.GenOptions) (*index.Index, error) {
+	w.ix.SetWindow(opts.DurationSec, opts.EffectiveFPS())
+	err := w.stream.Generate(opts, func(f *video.Frame) error {
+		w.ProcessFrame(f)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return w.Finish(), nil
+}

@@ -1,0 +1,311 @@
+package ingest_test
+
+import (
+	"testing"
+
+	"focus/internal/gpu"
+	"focus/internal/ingest"
+	"focus/internal/video"
+	"focus/internal/vision"
+)
+
+func testStream(t testing.TB, name string, seed uint64) (*video.Stream, *vision.Space) {
+	t.Helper()
+	space := vision.NewSpace(1)
+	spec, ok := video.SpecByName(name)
+	if !ok {
+		t.Fatalf("no spec %q", name)
+	}
+	st, err := video.NewStream(spec, space, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, space
+}
+
+func defaultConfig(zoo *vision.Zoo) ingest.Config {
+	return ingest.Config{
+		Model:              zoo.ByName("resnet18"),
+		K:                  60,
+		ClusterThreshold:   3.0,
+		PixelDiffThreshold: 3.0,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	st, space := testStream(t, "bend", 1)
+	zoo := vision.NewZoo()
+	var meter gpu.Meter
+	bad := []ingest.Config{
+		{Model: nil, K: 10},
+		{Model: zoo.GT, K: 0},
+		{Model: zoo.GT, K: 10, ClusterThreshold: -1},
+		{Model: zoo.GT, K: 10, PixelDiffThreshold: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := ingest.NewWorker(st, space, cfg, &meter); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestRunProducesIndex(t *testing.T) {
+	st, space := testStream(t, "auburn_c", 7)
+	zoo := vision.NewZoo()
+	var meter gpu.Meter
+	w, err := ingest.NewWorker(st, space, defaultConfig(zoo), &meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := video.GenOptions{DurationSec: 60, SampleEvery: 1}
+	ix, err := w.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := w.Stats()
+	if ws.Sightings == 0 {
+		t.Fatal("no sightings ingested")
+	}
+	if ws.Frames != int(60*video.NativeFPS) {
+		t.Errorf("frames = %d", ws.Frames)
+	}
+	if ix.NumClusters() == 0 {
+		t.Fatal("no clusters in index")
+	}
+	if ix.Meta().TotalSightings != ws.Sightings {
+		t.Error("index TotalSightings mismatch")
+	}
+	if ix.Meta().DurationSec != 60 || ix.Meta().FPS != 30 {
+		t.Errorf("index window = %v s @ %v fps", ix.Meta().DurationSec, ix.Meta().FPS)
+	}
+	if ix.Meta().ModelName != "resnet18" || ix.Meta().K != 60 {
+		t.Errorf("index meta = %+v", ix.Meta())
+	}
+	// Every sighting is accounted for in exactly one cluster.
+	if got := ix.Stats().Members; got != ws.Sightings {
+		t.Errorf("index members = %d, sightings = %d", got, ws.Sightings)
+	}
+	// GPU accounting matches CNN inferences.
+	snap := meter.Snapshot()
+	if snap.IngestOps != int64(ws.CNNInferences) {
+		t.Errorf("meter ops %d != CNN inferences %d", snap.IngestOps, ws.CNNInferences)
+	}
+	wantMS := float64(ws.CNNInferences) * zoo.ByName("resnet18").CostMS()
+	if diff := snap.IngestMS - wantMS; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("meter ms %v != expected %v", snap.IngestMS, wantMS)
+	}
+}
+
+func TestDeterministicIngest(t *testing.T) {
+	zoo := vision.NewZoo()
+	opts := video.GenOptions{DurationSec: 30, SampleEvery: 1}
+	run := func() (int, int, int) {
+		st, space := testStream(t, "jacksonh", 11)
+		var meter gpu.Meter
+		w, err := ingest.NewWorker(st, space, defaultConfig(zoo), &meter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix, err := w.Run(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := w.Stats()
+		return ix.NumClusters(), ws.CNNInferences, ws.Deduplicated
+	}
+	c1, n1, d1 := run()
+	c2, n2, d2 := run()
+	if c1 != c2 || n1 != n2 || d1 != d2 {
+		t.Errorf("ingest not deterministic: (%d,%d,%d) vs (%d,%d,%d)", c1, n1, d1, c2, n2, d2)
+	}
+}
+
+func TestPixelDiffSavesCNNWork(t *testing.T) {
+	// News streams have slow-moving objects; pixel differencing must
+	// deduplicate a meaningful share of sightings (§4.2) and deduplicated
+	// sightings must not run the CNN.
+	st, space := testStream(t, "msnbc", 13)
+	zoo := vision.NewZoo()
+	var meter gpu.Meter
+	w, err := ingest.NewWorker(st, space, defaultConfig(zoo), &meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(video.GenOptions{DurationSec: 120, SampleEvery: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ws := w.Stats()
+	if ws.DedupRate() < 0.08 {
+		t.Errorf("news dedup rate = %.2f, want >= 0.08", ws.DedupRate())
+	}
+	if ws.CNNInferences+ws.Deduplicated != ws.Sightings {
+		t.Errorf("accounting: cnn %d + dedup %d != sightings %d",
+			ws.CNNInferences, ws.Deduplicated, ws.Sightings)
+	}
+}
+
+func TestPixelDiffDisabled(t *testing.T) {
+	st, space := testStream(t, "msnbc", 13)
+	zoo := vision.NewZoo()
+	cfg := defaultConfig(zoo)
+	cfg.PixelDiffThreshold = 0
+	var meter gpu.Meter
+	w, err := ingest.NewWorker(st, space, cfg, &meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(video.GenOptions{DurationSec: 60, SampleEvery: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ws := w.Stats()
+	if ws.Deduplicated != 0 {
+		t.Errorf("dedup with differencing disabled: %d", ws.Deduplicated)
+	}
+	if ws.CNNInferences != ws.Sightings {
+		t.Error("every sighting should hit the CNN when differencing is off")
+	}
+}
+
+func TestNoClusteringAblation(t *testing.T) {
+	st, space := testStream(t, "auburn_c", 17)
+	zoo := vision.NewZoo()
+	cfg := defaultConfig(zoo)
+	cfg.ClusterThreshold = 0 // ablation: no clustering
+	cfg.PixelDiffThreshold = 0
+	var meter gpu.Meter
+	w, err := ingest.NewWorker(st, space, cfg, &meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := w.Run(video.GenOptions{DurationSec: 30, SampleEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := w.Stats()
+	if ix.NumClusters() != ws.Sightings {
+		t.Errorf("no-clustering mode: clusters %d != sightings %d", ix.NumClusters(), ws.Sightings)
+	}
+}
+
+func TestClusteringReducesClusters(t *testing.T) {
+	zoo := vision.NewZoo()
+	opts := video.GenOptions{DurationSec: 60, SampleEvery: 1}
+	count := func(threshold float64) (int, int) {
+		st, space := testStream(t, "auburn_c", 19)
+		cfg := defaultConfig(zoo)
+		cfg.ClusterThreshold = threshold
+		var meter gpu.Meter
+		w, err := ingest.NewWorker(st, space, cfg, &meter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix, err := w.Run(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ix.NumClusters(), w.Stats().Sightings
+	}
+	none, sightings := count(0)
+	clustered, _ := count(3.0)
+	if clustered >= none/4 {
+		t.Errorf("clustering reduced clusters only from %d to %d (%d sightings)",
+			none, clustered, sightings)
+	}
+}
+
+func TestEmptyFramesCostNothing(t *testing.T) {
+	st, space := testStream(t, "auburn_r", 23)
+	zoo := vision.NewZoo()
+	var meter gpu.Meter
+	w, err := ingest.NewWorker(st, space, defaultConfig(zoo), &meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.ProcessFrame(&video.Frame{ID: 0, TimeSec: 0})
+	w.ProcessFrame(&video.Frame{ID: 1, TimeSec: 1.0 / 30})
+	ws := w.Stats()
+	if ws.EmptyFrames != 2 || ws.Frames != 2 {
+		t.Errorf("stats = %+v", ws)
+	}
+	if meter.Snapshot().IngestMS != 0 {
+		t.Error("empty frames consumed GPU time")
+	}
+}
+
+func TestSpecializedModelIngest(t *testing.T) {
+	st, space := testStream(t, "auburn_c", 29)
+	zoo := vision.NewZoo()
+	// Specialize on the stream's actual head classes so OTHER is rare.
+	classes := st.DominantClasses(10)
+	spec, err := vision.TrainSpecialized(zoo.ByName("resnet18"), vision.DefaultSpecializations[1], classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ingest.Config{Model: spec, K: 2, ClusterThreshold: 3.0, PixelDiffThreshold: 3.0}
+	var meter gpu.Meter
+	w, err := ingest.NewWorker(st, space, cfg, &meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := w.Run(video.GenOptions{DurationSec: 60, SampleEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Meta().Specialized {
+		t.Error("index meta not marked specialized")
+	}
+	if len(ix.Meta().SpecialClasses) != len(classes) {
+		t.Error("index meta class list wrong")
+	}
+	// The OTHER class must appear in the index so unspecialized classes
+	// remain queryable (§4.3).
+	if !ix.HasClass(vision.ClassOther) {
+		t.Error("specialized index has no OTHER postings")
+	}
+	// Specialized ingest must be far cheaper than generic GT ingest.
+	perSighting := meter.Snapshot().IngestMS / float64(w.Stats().CNNInferences)
+	if factor := vision.GTCostMS / perSighting; factor < 30 {
+		t.Errorf("specialized ingest only %.1f× cheaper than GT per inference", factor)
+	}
+}
+
+func TestLowFrameRateReducesDedup(t *testing.T) {
+	// §6.6: at lower frame rates there is less redundancy for pixel
+	// differencing to exploit.
+	zoo := vision.NewZoo()
+	rate := func(sampleEvery int) float64 {
+		st, space := testStream(t, "msnbc", 31)
+		var meter gpu.Meter
+		w, err := ingest.NewWorker(st, space, defaultConfig(zoo), &meter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Run(video.GenOptions{DurationSec: 120, SampleEvery: sampleEvery}); err != nil {
+			t.Fatal(err)
+		}
+		return w.Stats().DedupRate()
+	}
+	full := rate(1)
+	low := rate(30)
+	if low >= full {
+		t.Errorf("dedup at 1 fps (%.2f) should be below 30 fps (%.2f)", low, full)
+	}
+}
+
+func BenchmarkIngestFrame(b *testing.B) {
+	st, space := testStream(b, "auburn_c", 37)
+	zoo := vision.NewZoo()
+	frames, err := st.CollectFrames(video.GenOptions{DurationSec: 60, SampleEvery: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var meter gpu.Meter
+	w, err := ingest.NewWorker(st, space, defaultConfig(zoo), &meter)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.ProcessFrame(frames[i%len(frames)])
+	}
+}

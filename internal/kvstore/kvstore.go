@@ -1,0 +1,442 @@
+// Package kvstore is an embedded, log-structured key-value store: the
+// stand-in for the MongoDB instance the paper's ingest workers write the
+// top-K index into (§5).
+//
+// Design: an append-only log of checksummed records with a full in-memory
+// map. Open replays the log (truncating a torn tail write), Put/Delete
+// append, and Compact rewrites the log to contain only live records. The
+// store favours simplicity and durability over write amplification — index
+// records are written once per spilled cluster and read back at query time.
+//
+// A Store opened with an empty path is purely in-memory, used by tests and
+// parameter sweeps that never persist.
+package kvstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("kvstore: store is closed")
+
+const (
+	magic          = "FKV1"
+	flagTombstone  = 1
+	maxKeyLen      = 1 << 16
+	maxValueLen    = 1 << 28
+	recordOverhead = 4 /*crc*/ + 1 /*flags*/
+)
+
+// Store is a single-writer, multi-reader embedded KV store. All methods are
+// safe for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	path   string
+	file   *os.File
+	w      *bufio.Writer
+	data   map[string][]byte
+	closed bool
+	// dead counts logically deleted/overwritten records, to advise
+	// compaction.
+	dead int
+}
+
+// Open opens (or creates) the store at path. An empty path opens an
+// in-memory store with no persistence.
+func Open(path string) (*Store, error) {
+	s := &Store{path: path, data: make(map[string][]byte)}
+	if path == "" {
+		return s, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: open %s: %w", path, err)
+	}
+	if err := s.replay(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("kvstore: seek %s: %w", path, err)
+	}
+	s.file = f
+	s.w = bufio.NewWriterSize(f, 1<<16)
+	return s, nil
+}
+
+// replay loads the log into memory, validating checksums. A corrupt or
+// torn record truncates the log at that point (standard write-ahead-log
+// recovery semantics).
+func (s *Store) replay(f *os.File) error {
+	info, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("kvstore: stat: %w", err)
+	}
+	if info.Size() == 0 {
+		// Fresh file: write the header eagerly so a crash between Open and
+		// the first Put still leaves a valid file.
+		if _, err := f.WriteString(magic); err != nil {
+			return fmt.Errorf("kvstore: write header: %w", err)
+		}
+		return nil
+	}
+	r := bufio.NewReaderSize(f, 1<<16)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, head); err != nil || string(head) != magic {
+		return fmt.Errorf("kvstore: %s is not a kvstore file", s.path)
+	}
+	offset := int64(len(magic))
+	for {
+		rec, n, err := readRecord(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Torn tail: truncate and continue from here.
+			if terr := f.Truncate(offset); terr != nil {
+				return fmt.Errorf("kvstore: truncate torn log: %v (after %v)", terr, err)
+			}
+			break
+		}
+		offset += int64(n)
+		if rec.tombstone {
+			if _, ok := s.data[rec.key]; ok {
+				delete(s.data, rec.key)
+			}
+			s.dead++
+		} else {
+			if _, ok := s.data[rec.key]; ok {
+				s.dead++
+			}
+			s.data[rec.key] = rec.value
+		}
+	}
+	return nil
+}
+
+type record struct {
+	key       string
+	value     []byte
+	tombstone bool
+}
+
+// readRecord decodes one record. Returns io.EOF cleanly at end of log and a
+// non-EOF error for any malformed/torn record.
+func readRecord(r *bufio.Reader) (record, int, error) {
+	var rec record
+	flags, err := r.ReadByte()
+	if err == io.EOF {
+		return rec, 0, io.EOF
+	}
+	if err != nil {
+		return rec, 0, err
+	}
+	n := 1
+	keyLen, kn, err := readUvarint(r)
+	if err != nil {
+		return rec, n, fmt.Errorf("kvstore: key length: %w", err)
+	}
+	n += kn
+	if keyLen > maxKeyLen {
+		return rec, n, fmt.Errorf("kvstore: key length %d exceeds limit", keyLen)
+	}
+	valLen, vn, err := readUvarint(r)
+	if err != nil {
+		return rec, n, fmt.Errorf("kvstore: value length: %w", err)
+	}
+	n += vn
+	if valLen > maxValueLen {
+		return rec, n, fmt.Errorf("kvstore: value length %d exceeds limit", valLen)
+	}
+	buf := make([]byte, keyLen+valLen+4)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return rec, n, fmt.Errorf("kvstore: truncated record: %w", err)
+	}
+	n += len(buf)
+	key := buf[:keyLen]
+	val := buf[keyLen : keyLen+valLen]
+	stored := binary.LittleEndian.Uint32(buf[keyLen+valLen:])
+	if stored != recordCRC(flags, key, val) {
+		return rec, n, errors.New("kvstore: checksum mismatch")
+	}
+	rec.key = string(key)
+	rec.tombstone = flags&flagTombstone != 0
+	if !rec.tombstone {
+		rec.value = append([]byte(nil), val...)
+	}
+	return rec, n, nil
+}
+
+func readUvarint(r *bufio.Reader) (uint64, int, error) {
+	var v uint64
+	var shift, n int
+	for {
+		b, err := r.ReadByte()
+		if err != nil {
+			return 0, n, err
+		}
+		n++
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, n, nil
+		}
+		shift += 7
+		if shift > 63 {
+			return 0, n, errors.New("kvstore: uvarint overflow")
+		}
+	}
+}
+
+func recordCRC(flags byte, key, val []byte) uint32 {
+	h := crc32.NewIEEE()
+	h.Write([]byte{flags})
+	h.Write(key)
+	h.Write(val)
+	return h.Sum32()
+}
+
+// appendRecord writes one record to the log buffer.
+func (s *Store) appendRecord(flags byte, key string, val []byte) error {
+	if s.w == nil {
+		return nil // in-memory store
+	}
+	var hdr [1 + 2*binary.MaxVarintLen64]byte
+	hdr[0] = flags
+	n := 1
+	n += binary.PutUvarint(hdr[n:], uint64(len(key)))
+	n += binary.PutUvarint(hdr[n:], uint64(len(val)))
+	if _, err := s.w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if _, err := s.w.WriteString(key); err != nil {
+		return err
+	}
+	if _, err := s.w.Write(val); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], recordCRC(flags, []byte(key), val))
+	_, err := s.w.Write(crc[:])
+	return err
+}
+
+// Put stores the value under key, overwriting any existing value. The
+// value slice is copied.
+func (s *Store) Put(key string, val []byte) error {
+	if len(key) == 0 || len(key) > maxKeyLen {
+		return fmt.Errorf("kvstore: invalid key length %d", len(key))
+	}
+	if len(val) > maxValueLen {
+		return fmt.Errorf("kvstore: value too large (%d bytes)", len(val))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.appendRecord(0, key, val); err != nil {
+		return fmt.Errorf("kvstore: append: %w", err)
+	}
+	if _, ok := s.data[key]; ok {
+		s.dead++
+	}
+	s.data[key] = append([]byte(nil), val...)
+	return nil
+}
+
+// Get returns a copy of the value stored under key.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.data[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// Delete removes key. Deleting an absent key is a no-op.
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.data[key]; !ok {
+		return nil
+	}
+	if err := s.appendRecord(flagTombstone, key, nil); err != nil {
+		return fmt.Errorf("kvstore: append tombstone: %w", err)
+	}
+	delete(s.data, key)
+	s.dead++
+	return nil
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// DeadRecords returns the count of overwritten/deleted log records, a
+// compaction heuristic for callers.
+func (s *Store) DeadRecords() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.dead
+}
+
+// Scan invokes fn for every key with the given prefix, in ascending key
+// order, until fn returns false. The value passed to fn must not be
+// retained or mutated.
+func (s *Store) Scan(prefix string, fn func(key string, val []byte) bool) {
+	s.mu.RLock()
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	// Copy values under lock so fn runs without holding it.
+	vals := make([][]byte, len(keys))
+	for i, k := range keys {
+		vals[i] = s.data[k]
+	}
+	s.mu.RUnlock()
+	for i, k := range keys {
+		if !fn(k, vals[i]) {
+			return
+		}
+	}
+}
+
+// Sync flushes buffered writes to the OS and fsyncs the log.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncLocked()
+}
+
+func (s *Store) syncLocked() error {
+	if s.closed {
+		return ErrClosed
+	}
+	if s.w == nil {
+		return nil
+	}
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("kvstore: flush: %w", err)
+	}
+	if err := s.file.Sync(); err != nil {
+		return fmt.Errorf("kvstore: fsync: %w", err)
+	}
+	return nil
+}
+
+// Compact rewrites the log so it contains exactly the live records, then
+// atomically replaces the old log.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.w == nil {
+		s.dead = 0
+		return nil
+	}
+	tmpPath := s.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("kvstore: compact: %w", err)
+	}
+	bw := bufio.NewWriterSize(tmp, 1<<16)
+	if _, err := bw.WriteString(magic); err != nil {
+		tmp.Close()
+		return err
+	}
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	old := s.w
+	s.w = bw
+	for _, k := range keys {
+		if err := s.appendRecord(0, k, s.data[k]); err != nil {
+			s.w = old
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("kvstore: compact write: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		s.w = old
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		s.w = old
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		s.w = old
+		return err
+	}
+	if err := old.Flush(); err != nil {
+		return err
+	}
+	if err := s.file.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpPath, s.path); err != nil {
+		return fmt.Errorf("kvstore: compact rename: %w", err)
+	}
+	f, err := os.OpenFile(s.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("kvstore: reopen after compact: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return err
+	}
+	s.file = f
+	s.w = bufio.NewWriterSize(f, 1<<16)
+	s.dead = 0
+	return nil
+}
+
+// Close flushes and closes the store. Further operations fail with
+// ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	var err error
+	if s.w != nil {
+		err = s.syncLocked()
+		if cerr := s.file.Close(); err == nil {
+			err = cerr
+		}
+	}
+	s.closed = true
+	return err
+}

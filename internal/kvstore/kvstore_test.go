@@ -1,0 +1,417 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func openTemp(t *testing.T) (*Store, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.kv")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, path
+}
+
+func TestPutGet(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	if err := s.Put("a", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := s.Get("a")
+	if !ok || string(v) != "hello" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Error("missing key found")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	s.Put("k", []byte("v1"))
+	s.Put("k", []byte("v2"))
+	v, _ := s.Get("k")
+	if string(v) != "v2" {
+		t.Errorf("value = %q", v)
+	}
+	if s.DeadRecords() != 1 {
+		t.Errorf("dead records = %d", s.DeadRecords())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	s.Put("k", []byte("v"))
+	if err := s.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Error("deleted key still present")
+	}
+	if err := s.Delete("absent"); err != nil {
+		t.Errorf("deleting absent key errored: %v", err)
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	s.Put("k", []byte("abc"))
+	v, _ := s.Get("k")
+	v[0] = 'X'
+	v2, _ := s.Get("k")
+	if string(v2) != "abc" {
+		t.Error("Get exposed internal buffer")
+	}
+}
+
+func TestPutCopiesValue(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	buf := []byte("abc")
+	s.Put("k", buf)
+	buf[0] = 'X'
+	v, _ := s.Get("k")
+	if string(v) != "abc" {
+		t.Error("Put retained caller buffer")
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	s, path := openTemp(t)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%03d", i)
+		if err := s.Put(key, []byte(fmt.Sprintf("value-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Delete("key-050")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 99 {
+		t.Fatalf("reopened Len = %d, want 99", s2.Len())
+	}
+	v, ok := s2.Get("key-042")
+	if !ok || string(v) != "value-42" {
+		t.Errorf("key-042 = %q, %v", v, ok)
+	}
+	if _, ok := s2.Get("key-050"); ok {
+		t.Error("tombstoned key survived reopen")
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	s, path := openTemp(t)
+	s.Put("good", []byte("value"))
+	s.Close()
+
+	// Append garbage simulating a torn write.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0x00, 0x05, 0xFF, 0xFF}) // flags + keylen, then truncated
+	f.Close()
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatalf("open after torn write: %v", err)
+	}
+	defer s2.Close()
+	if v, ok := s2.Get("good"); !ok || string(v) != "value" {
+		t.Error("good record lost after torn-tail recovery")
+	}
+	// The store must be writable after recovery and survive another cycle.
+	if err := s2.Put("after", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if _, ok := s3.Get("after"); !ok {
+		t.Error("record written after recovery lost")
+	}
+}
+
+func TestCorruptChecksumTruncates(t *testing.T) {
+	s, path := openTemp(t)
+	s.Put("a", []byte("1"))
+	s.Put("b", []byte("2"))
+	s.Close()
+
+	// Flip a bit in the last record's value region.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-5] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := s2.Get("a"); !ok {
+		t.Error("first record lost")
+	}
+	if _, ok := s2.Get("b"); ok {
+		t.Error("corrupt record surfaced")
+	}
+}
+
+func TestNotAStoreFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(path, []byte("this is not a kvstore"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Error("junk file opened as store")
+	}
+}
+
+func TestScanPrefixOrdered(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	s.Put("b/2", []byte("y"))
+	s.Put("a/1", []byte("x"))
+	s.Put("b/1", []byte("z"))
+	s.Put("b/3", []byte("w"))
+	var keys []string
+	s.Scan("b/", func(k string, v []byte) bool {
+		keys = append(keys, k)
+		return true
+	})
+	want := []string{"b/1", "b/2", "b/3"}
+	if len(keys) != len(want) {
+		t.Fatalf("scan keys = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("scan keys = %v, want %v", keys, want)
+		}
+	}
+	// Early termination.
+	count := 0
+	s.Scan("b/", func(string, []byte) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Errorf("scan did not stop early: %d", count)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	s, path := openTemp(t)
+	for i := 0; i < 50; i++ {
+		s.Put("key", []byte(fmt.Sprintf("v%d", i))) // 49 dead records
+	}
+	s.Put("other", []byte("keep"))
+	s.Sync()
+	before, _ := os.Stat(path)
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.Stat(path)
+	if after.Size() >= before.Size() {
+		t.Errorf("compact did not shrink log: %d -> %d", before.Size(), after.Size())
+	}
+	if s.DeadRecords() != 0 {
+		t.Errorf("dead records after compact = %d", s.DeadRecords())
+	}
+	// Store still fully functional and durable after compaction.
+	v, ok := s.Get("key")
+	if !ok || string(v) != "v49" {
+		t.Errorf("key = %q, %v", v, ok)
+	}
+	s.Put("post", []byte("compact"))
+	s.Close()
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for _, k := range []string{"key", "other", "post"} {
+		if _, ok := s2.Get(k); !ok {
+			t.Errorf("key %q lost after compact+reopen", k)
+		}
+	}
+}
+
+func TestInMemoryStore(t *testing.T) {
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Get("k"); !ok || string(v) != "v" {
+		t.Error("in-memory put/get failed")
+	}
+	if err := s.Sync(); err != nil {
+		t.Errorf("in-memory sync errored: %v", err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Errorf("in-memory compact errored: %v", err)
+	}
+}
+
+func TestClosedStoreErrors(t *testing.T) {
+	s, _ := openTemp(t)
+	s.Close()
+	if err := s.Put("k", []byte("v")); err != ErrClosed {
+		t.Errorf("Put after close = %v", err)
+	}
+	if err := s.Delete("k"); err != ErrClosed {
+		t.Errorf("Delete after close = %v", err)
+	}
+	if err := s.Sync(); err != ErrClosed {
+		t.Errorf("Sync after close = %v", err)
+	}
+	if err := s.Compact(); err != ErrClosed {
+		t.Errorf("Compact after close = %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("double close = %v", err)
+	}
+}
+
+func TestKeyValidation(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	if err := s.Put("", []byte("v")); err == nil {
+		t.Error("empty key accepted")
+	}
+}
+
+func TestEmptyValue(t *testing.T) {
+	s, path := openTemp(t)
+	s.Put("k", nil)
+	s.Close()
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	v, ok := s2.Get("k")
+	if !ok || len(v) != 0 {
+		t.Errorf("empty value roundtrip = %q, %v", v, ok)
+	}
+}
+
+func TestBinaryValues(t *testing.T) {
+	s, path := openTemp(t)
+	val := make([]byte, 1024)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	s.Put("bin", val)
+	s.Close()
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, _ := s2.Get("bin")
+	if !bytes.Equal(got, val) {
+		t.Error("binary value corrupted")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	s, path := openTemp(t)
+	state := map[string][]byte{}
+	err := quick.Check(func(key string, val []byte, del bool) bool {
+		if len(key) == 0 || len(key) > 64 {
+			return true
+		}
+		if del {
+			if err := s.Delete(key); err != nil {
+				return false
+			}
+			delete(state, key)
+		} else {
+			if err := s.Put(key, val); err != nil {
+				return false
+			}
+			state[key] = append([]byte(nil), val...)
+		}
+		got, ok := s.Get(key)
+		want, wantOK := state[key]
+		return ok == wantOK && bytes.Equal(got, want)
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Full state must survive a reopen.
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != len(state) {
+		t.Fatalf("reopened Len = %d, want %d", s2.Len(), len(state))
+	}
+	for k, want := range state {
+		got, ok := s2.Get(k)
+		if !ok || !bytes.Equal(got, want) {
+			t.Fatalf("key %q mismatch after reopen", k)
+		}
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	s, err := Open(filepath.Join(b.TempDir(), "bench.kv"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	val := make([]byte, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Put(fmt.Sprintf("key-%d", i), val)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	s, err := Open("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 1000; i++ {
+		s.Put(fmt.Sprintf("key-%d", i), []byte("value"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(fmt.Sprintf("key-%d", i%1000))
+	}
+}

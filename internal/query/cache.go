@@ -1,0 +1,39 @@
+package query
+
+import (
+	"sync"
+
+	"focus/internal/index"
+	"focus/internal/vision"
+)
+
+// gtCache memoizes the GT-CNN's verdict per cluster. Queries for different
+// classes share it: once a centroid has been classified, every future query
+// reads the verdict for free (§6.7).
+type gtCache struct {
+	mu sync.RWMutex
+	m  map[index.ClusterID]vision.ClassID
+}
+
+func newGTCache() *gtCache {
+	return &gtCache{m: make(map[index.ClusterID]vision.ClassID)}
+}
+
+func (c *gtCache) get(id index.ClusterID) (vision.ClassID, bool) {
+	c.mu.RLock()
+	v, ok := c.m[id]
+	c.mu.RUnlock()
+	return v, ok
+}
+
+func (c *gtCache) put(id index.ClusterID, v vision.ClassID) {
+	c.mu.Lock()
+	c.m[id] = v
+	c.mu.Unlock()
+}
+
+func (c *gtCache) len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}

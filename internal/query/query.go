@@ -1,0 +1,212 @@
+// Package query implements Focus's query-time path (§3 QT1–QT4): given a
+// class X, look up the top-K ingest index for matching clusters (QT2), run
+// the expensive GT-CNN on each cluster's centroid object (QT3), and return
+// the frames of every cluster whose centroid the GT-CNN confirms as X
+// (QT4). The GT-CNN verification step restores the precision that the
+// approximate top-K index gives up (§4.1).
+//
+// Queries can restrict the time range, lower Kx below the indexed K for
+// faster-but-lower-recall retrieval, and cap the number of clusters
+// examined for batched "give me some results now" retrieval (§5).
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"focus/internal/cluster"
+	"focus/internal/gpu"
+	"focus/internal/index"
+	"focus/internal/video"
+	"focus/internal/vision"
+)
+
+// GTFunc classifies a cluster member with the ground-truth CNN. The engine
+// treats it as an expensive oracle: every distinct member classification
+// costs GT-CNN GPU time.
+type GTFunc func(m cluster.Member) vision.ClassID
+
+// Engine answers queries against one stream's index.
+// Safe for concurrent use by multiple queries.
+type Engine struct {
+	ix     *index.Index
+	gt     *vision.Model
+	gtFn   GTFunc
+	meter  *gpu.Meter
+	space  *vision.Space
+	gtCost float64
+
+	// gtCache memoizes GT-CNN verdicts per cluster so repeated queries
+	// never pay for the same centroid twice (§6.7: "we run GT-CNN per
+	// object cluster only once").
+	gtCache *gtCache
+}
+
+// NewEngine builds a query engine. gtFn must be the stream-consistent
+// ground-truth classifier; meter may be nil to skip accounting.
+func NewEngine(ix *index.Index, gt *vision.Model, space *vision.Space, gtFn GTFunc, meter *gpu.Meter) (*Engine, error) {
+	if ix == nil || gt == nil || gtFn == nil {
+		return nil, fmt.Errorf("query: index, GT model and GT function are required")
+	}
+	return &Engine{
+		ix:      ix,
+		gt:      gt,
+		gtFn:    gtFn,
+		meter:   meter,
+		space:   space,
+		gtCost:  gt.CostMS(),
+		gtCache: newGTCache(),
+	}, nil
+}
+
+// Options tunes one query.
+type Options struct {
+	// Kx, when in [1, K), restricts retrieval to clusters that rank the
+	// class within their top-Kx, trading recall for latency (§5). Zero
+	// uses the index's full K.
+	Kx int
+	// StartSec/EndSec restrict the query to a time window; EndSec <= 0
+	// means unbounded.
+	StartSec, EndSec float64
+	// MaxClusters caps how many clusters are examined, for batched
+	// retrieval of "the first few results" (§5). Zero examines all.
+	MaxClusters int
+	// NumGPUs is the parallelism available for GT-CNN verification; the
+	// reported latency is the makespan across this many GPUs. Zero means 1.
+	NumGPUs int
+}
+
+// Result is the answer to one query.
+type Result struct {
+	// Class is the queried class.
+	Class vision.ClassID
+	// Frames are the matching frame IDs, ascending and de-duplicated.
+	Frames []video.FrameID
+	// Segments are the 1-second segments covered by Frames, ascending.
+	Segments []video.SegmentID
+	// ExaminedClusters is how many clusters were retrieved from the index.
+	ExaminedClusters int
+	// MatchedClusters is how many of those the GT-CNN confirmed.
+	MatchedClusters int
+	// GTInferences is how many GT-CNN invocations this query actually paid
+	// for (cache hits from earlier queries are free).
+	GTInferences int
+	// GPUTimeMS is the total GPU time consumed.
+	GPUTimeMS float64
+	// LatencyMS is the simulated query latency: the GT-CNN verification
+	// makespan across NumGPUs.
+	LatencyMS float64
+	// ViaOther reports that the class was not among the specialized ingest
+	// model's classes and was answered through the OTHER postings (§4.3).
+	ViaOther bool
+}
+
+// Query answers "find all frames containing class c" (§3).
+func (e *Engine) Query(c vision.ClassID, opts Options) (*Result, error) {
+	if opts.Kx < 0 || opts.MaxClusters < 0 {
+		return nil, fmt.Errorf("query: negative Kx or MaxClusters")
+	}
+	numGPUs := opts.NumGPUs
+	if numGPUs <= 0 {
+		numGPUs = 1
+	}
+	pool, err := gpu.NewPool(numGPUs)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Class: c}
+	meta := e.ix.Meta()
+
+	// QT1/QT2: retrieve candidate clusters. A class outside a specialized
+	// ingest model's vocabulary lives in the OTHER postings (§4.3).
+	lookup := c
+	if meta.Specialized && c != vision.ClassOther && !containsClass(meta.SpecialClasses, c) {
+		lookup = vision.ClassOther
+		res.ViaOther = true
+	}
+	recs := e.ix.Lookup(lookup, opts.Kx)
+
+	frameSet := make(map[video.FrameID]struct{})
+	segSet := make(map[video.SegmentID]struct{})
+	for _, rec := range recs {
+		if opts.MaxClusters > 0 && res.ExaminedClusters >= opts.MaxClusters {
+			break
+		}
+		if !overlapsWindow(rec, opts) {
+			continue
+		}
+		res.ExaminedClusters++
+
+		// QT3: GT-CNN on the centroid object, memoized per cluster.
+		verdict, cached := e.gtCache.get(rec.ID)
+		if !cached {
+			verdict = e.gtFn(rec.Rep)
+			e.gtCache.put(rec.ID, verdict)
+			res.GTInferences++
+			res.GPUTimeMS += e.gtCost
+			pool.Submit(e.gtCost)
+			if e.meter != nil {
+				e.meter.AddQuery(e.gtCost)
+			}
+		}
+		if verdict != c {
+			continue
+		}
+		// QT4: the centroid matches; return every member in the window.
+		res.MatchedClusters++
+		for _, m := range rec.Members {
+			if !inWindow(m.TimeSec, opts) {
+				continue
+			}
+			frameSet[m.Frame] = struct{}{}
+			segSet[video.SegmentOf(m.TimeSec)] = struct{}{}
+		}
+	}
+	res.LatencyMS = pool.MakespanMS()
+
+	res.Frames = make([]video.FrameID, 0, len(frameSet))
+	for f := range frameSet {
+		res.Frames = append(res.Frames, f)
+	}
+	sort.Slice(res.Frames, func(i, j int) bool { return res.Frames[i] < res.Frames[j] })
+	res.Segments = make([]video.SegmentID, 0, len(segSet))
+	for s := range segSet {
+		res.Segments = append(res.Segments, s)
+	}
+	sort.Slice(res.Segments, func(i, j int) bool { return res.Segments[i] < res.Segments[j] })
+	return res, nil
+}
+
+// CachedVerdicts returns how many cluster verdicts are memoized, a measure
+// of cross-query GT-CNN reuse (§6.7).
+func (e *Engine) CachedVerdicts() int { return e.gtCache.len() }
+
+func overlapsWindow(rec *index.ClusterRecord, opts Options) bool {
+	if opts.EndSec > 0 && rec.MinTime > opts.EndSec {
+		return false
+	}
+	if rec.MaxTime < opts.StartSec {
+		return false
+	}
+	return true
+}
+
+func inWindow(t float64, opts Options) bool {
+	if t < opts.StartSec {
+		return false
+	}
+	if opts.EndSec > 0 && t > opts.EndSec {
+		return false
+	}
+	return true
+}
+
+func containsClass(cs []vision.ClassID, c vision.ClassID) bool {
+	for _, x := range cs {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,303 @@
+package query_test
+
+import (
+	"testing"
+
+	"focus/internal/cluster"
+	"focus/internal/gpu"
+	"focus/internal/index"
+	"focus/internal/query"
+	"focus/internal/video"
+	"focus/internal/vision"
+)
+
+// buildIndex constructs a hand-crafted index: each entry describes one
+// cluster as (topK classes, GT verdict of its representative, member times).
+type clusterSpec struct {
+	topK    []vision.ClassID
+	verdict vision.ClassID
+	times   []float64
+}
+
+func buildIndex(t *testing.T, k int, specialized []vision.ClassID, specs []clusterSpec) (*index.Index, query.GTFunc) {
+	t.Helper()
+	meta := index.IngestMeta{Stream: "s", ModelName: "m", K: k, FPS: 30}
+	if specialized != nil {
+		meta.Specialized = true
+		meta.SpecialClasses = specialized
+	}
+	ix := index.New(meta)
+	verdicts := map[int64]vision.ClassID{}
+	for i, cs := range specs {
+		e, err := cluster.NewEngine(cluster.Config{Threshold: 1000, MaxActive: 10},
+			ix.AddCluster)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ranked := make([]vision.Prediction, len(cs.topK))
+		for j, c := range cs.topK {
+			ranked[j] = vision.Prediction{Class: c, Confidence: float32(len(cs.topK) - j)}
+		}
+		f := make(vision.FeatureVec, vision.FeatureDim)
+		for j, tm := range cs.times {
+			m := cluster.Member{
+				Object:  video.ObjectID(i*100 + j),
+				Frame:   video.FrameID(tm * video.NativeFPS),
+				TimeSec: tm,
+				Seed:    int64(i), // all members share the cluster's seed → rep seed == i
+			}
+			e.Add(f, m, ranked)
+		}
+		e.Flush()
+		verdicts[int64(i)] = cs.verdict
+	}
+	gtFn := func(m cluster.Member) vision.ClassID { return verdicts[m.Seed] }
+	return ix, gtFn
+}
+
+func newEngine(t *testing.T, ix *index.Index, gtFn query.GTFunc, meter *gpu.Meter) *query.Engine {
+	t.Helper()
+	e, err := query.NewEngine(ix, vision.NewZoo().GT, vision.NewSpace(1), gtFn, meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	ix, gtFn := buildIndex(t, 2, nil, nil)
+	if _, err := query.NewEngine(nil, vision.NewZoo().GT, nil, gtFn, nil); err == nil {
+		t.Error("nil index accepted")
+	}
+	if _, err := query.NewEngine(ix, nil, nil, gtFn, nil); err == nil {
+		t.Error("nil GT accepted")
+	}
+	if _, err := query.NewEngine(ix, vision.NewZoo().GT, nil, nil, nil); err == nil {
+		t.Error("nil gtFn accepted")
+	}
+}
+
+func TestBasicQuery(t *testing.T) {
+	ix, gtFn := buildIndex(t, 2, nil, []clusterSpec{
+		{topK: []vision.ClassID{5, 7}, verdict: 5, times: []float64{1, 2, 3}}, // true class-5 cluster
+		{topK: []vision.ClassID{5, 9}, verdict: 9, times: []float64{10, 11}},  // false positive in index
+		{topK: []vision.ClassID{8, 2}, verdict: 8, times: []float64{20, 21}},  // unrelated
+	})
+	var meter gpu.Meter
+	e := newEngine(t, ix, gtFn, &meter)
+	res, err := e.Query(5, query.Options{NumGPUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExaminedClusters != 2 {
+		t.Errorf("examined = %d, want 2 (both clusters indexing class 5)", res.ExaminedClusters)
+	}
+	if res.MatchedClusters != 1 {
+		t.Errorf("matched = %d, want 1", res.MatchedClusters)
+	}
+	if len(res.Frames) != 3 {
+		t.Errorf("frames = %v", res.Frames)
+	}
+	if len(res.Segments) != 3 {
+		t.Errorf("segments = %v", res.Segments)
+	}
+	// GPU accounting: two GT inferences at GT cost.
+	wantMS := 2 * vision.GTCostMS
+	if res.GPUTimeMS != wantMS || res.LatencyMS != wantMS {
+		t.Errorf("gpu=%v latency=%v, want %v", res.GPUTimeMS, res.LatencyMS, wantMS)
+	}
+	if meter.Snapshot().QueryMS != wantMS {
+		t.Error("meter mismatch")
+	}
+	// Frames ascending.
+	for i := 1; i < len(res.Frames); i++ {
+		if res.Frames[i] <= res.Frames[i-1] {
+			t.Error("frames not strictly ascending")
+		}
+	}
+}
+
+func TestVerdictCacheAcrossQueries(t *testing.T) {
+	ix, gtFn := buildIndex(t, 2, nil, []clusterSpec{
+		{topK: []vision.ClassID{5, 7}, verdict: 5, times: []float64{1}},
+	})
+	var meter gpu.Meter
+	e := newEngine(t, ix, gtFn, &meter)
+	r1, err := e.Query(5, query.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.GTInferences != 1 {
+		t.Fatalf("first query inferences = %d", r1.GTInferences)
+	}
+	// Querying class 7 examines the same cluster; the verdict is cached
+	// (§6.7: GT-CNN runs once per cluster across all queries).
+	r2, err := e.Query(7, query.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.GTInferences != 0 {
+		t.Errorf("second query inferences = %d, want 0 (cached)", r2.GTInferences)
+	}
+	if r2.LatencyMS != 0 {
+		t.Errorf("cached query latency = %v", r2.LatencyMS)
+	}
+	if r2.MatchedClusters != 0 {
+		t.Error("class 7 should not match a cluster whose GT verdict is 5")
+	}
+	if e.CachedVerdicts() != 1 {
+		t.Errorf("cached verdicts = %d", e.CachedVerdicts())
+	}
+}
+
+func TestKxCutsRetrieval(t *testing.T) {
+	ix, gtFn := buildIndex(t, 2, nil, []clusterSpec{
+		{topK: []vision.ClassID{5, 7}, verdict: 5, times: []float64{1}}, // 5 at rank 1
+		{topK: []vision.ClassID{7, 5}, verdict: 5, times: []float64{2}}, // 5 at rank 2
+	})
+	e := newEngine(t, ix, gtFn, nil)
+	full, err := e.Query(5, query.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.ExaminedClusters != 2 {
+		t.Fatalf("full K examined = %d", full.ExaminedClusters)
+	}
+	cut, err := e.Query(5, query.Options{Kx: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut.ExaminedClusters != 1 {
+		t.Errorf("Kx=1 examined = %d, want 1", cut.ExaminedClusters)
+	}
+}
+
+func TestTimeRangeFilter(t *testing.T) {
+	ix, gtFn := buildIndex(t, 1, nil, []clusterSpec{
+		{topK: []vision.ClassID{5}, verdict: 5, times: []float64{1, 2}},
+		{topK: []vision.ClassID{5}, verdict: 5, times: []float64{100, 101}},
+		{topK: []vision.ClassID{5}, verdict: 5, times: []float64{50, 120}}, // straddles
+	})
+	e := newEngine(t, ix, gtFn, nil)
+	res, err := e.Query(5, query.Options{StartSec: 90, EndSec: 110})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cluster 1 (out of range entirely) must be pruned without GT work.
+	if res.ExaminedClusters != 2 {
+		t.Errorf("examined = %d, want 2", res.ExaminedClusters)
+	}
+	// Returned frames must lie within the window: 100, 101 from cluster 2.
+	if len(res.Frames) != 2 {
+		t.Errorf("frames = %v", res.Frames)
+	}
+	for _, f := range res.Frames {
+		sec := float64(f) / video.NativeFPS
+		if sec < 90 || sec > 110 {
+			t.Errorf("frame at %.0fs outside window", sec)
+		}
+	}
+}
+
+func TestMaxClustersBatchedRetrieval(t *testing.T) {
+	var specs []clusterSpec
+	for i := 0; i < 10; i++ {
+		specs = append(specs, clusterSpec{
+			topK: []vision.ClassID{5}, verdict: 5, times: []float64{float64(i)},
+		})
+	}
+	ix, gtFn := buildIndex(t, 1, nil, specs)
+	e := newEngine(t, ix, gtFn, nil)
+	res, err := e.Query(5, query.Options{MaxClusters: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExaminedClusters != 3 {
+		t.Errorf("examined = %d, want 3", res.ExaminedClusters)
+	}
+	if len(res.Frames) != 3 {
+		t.Errorf("frames = %v", res.Frames)
+	}
+}
+
+func TestOtherClassRouting(t *testing.T) {
+	// Specialized index on classes {1, 2}: a query for class 40 must be
+	// routed through the OTHER postings and filtered by the GT-CNN (§4.3).
+	ix, gtFn := buildIndex(t, 2, []vision.ClassID{1, 2}, []clusterSpec{
+		{topK: []vision.ClassID{1, 2}, verdict: 1, times: []float64{1}},
+		{topK: []vision.ClassID{vision.ClassOther, 1}, verdict: 40, times: []float64{2, 3}},
+		{topK: []vision.ClassID{vision.ClassOther, 2}, verdict: 41, times: []float64{4}},
+	})
+	e := newEngine(t, ix, gtFn, nil)
+	res, err := e.Query(40, query.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ViaOther {
+		t.Error("query not routed via OTHER")
+	}
+	if res.ExaminedClusters != 2 {
+		t.Errorf("examined = %d, want 2 OTHER clusters", res.ExaminedClusters)
+	}
+	if res.MatchedClusters != 1 || len(res.Frames) != 2 {
+		t.Errorf("matched=%d frames=%v", res.MatchedClusters, res.Frames)
+	}
+	// A specialized class queries directly.
+	res, err = e.Query(1, query.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ViaOther {
+		t.Error("specialized class routed via OTHER")
+	}
+}
+
+func TestQueryParallelism(t *testing.T) {
+	var specs []clusterSpec
+	for i := 0; i < 40; i++ {
+		specs = append(specs, clusterSpec{topK: []vision.ClassID{5}, verdict: 5, times: []float64{float64(i)}})
+	}
+	ix, gtFn := buildIndex(t, 1, nil, specs)
+	e := newEngine(t, ix, gtFn, nil)
+	r1, err := e.Query(5, query.Options{NumGPUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh engine so the cache doesn't zero the second run.
+	e2 := newEngine(t, ix, gtFn, nil)
+	r10, err := e2.Query(5, query.Options{NumGPUs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r10.LatencyMS*9 > r1.LatencyMS {
+		t.Errorf("10-GPU latency %v not ~10× below 1-GPU %v", r10.LatencyMS, r1.LatencyMS)
+	}
+	if r1.GPUTimeMS != r10.GPUTimeMS {
+		t.Error("total GPU time should not depend on parallelism")
+	}
+}
+
+func TestInvalidOptions(t *testing.T) {
+	ix, gtFn := buildIndex(t, 1, nil, nil)
+	e := newEngine(t, ix, gtFn, nil)
+	if _, err := e.Query(5, query.Options{Kx: -1}); err == nil {
+		t.Error("negative Kx accepted")
+	}
+	if _, err := e.Query(5, query.Options{MaxClusters: -2}); err == nil {
+		t.Error("negative MaxClusters accepted")
+	}
+}
+
+func TestQueryAbsentClass(t *testing.T) {
+	ix, gtFn := buildIndex(t, 1, nil, []clusterSpec{
+		{topK: []vision.ClassID{5}, verdict: 5, times: []float64{1}},
+	})
+	e := newEngine(t, ix, gtFn, nil)
+	res, err := e.Query(999, query.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExaminedClusters != 0 || len(res.Frames) != 0 {
+		t.Errorf("absent class returned work: %+v", res)
+	}
+}

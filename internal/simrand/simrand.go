@@ -1,0 +1,282 @@
+// Package simrand provides a deterministic, splittable random number source
+// used by every simulation substrate in this repository.
+//
+// All stochastic behaviour in the system — synthetic video generation, CNN
+// quality noise, feature perturbation — draws from a Source derived from a
+// hierarchy of string and integer labels. Deriving a child source with the
+// same labels always yields the same stream, so experiments are
+// bit-reproducible regardless of evaluation order or parallelism.
+//
+// The generator is SplitMix64 for label hashing combined with a xoshiro256**
+// core for the output stream. Both are well-studied, fast, and require no
+// allocation per draw.
+package simrand
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Source is a deterministic pseudo-random source. It is NOT safe for
+// concurrent use; derive independent child sources for concurrent consumers
+// instead of sharing one.
+type Source struct {
+	s [4]uint64
+	// seed is the 64-bit value this source was constructed from. Derivation
+	// is keyed off the seed, not the mutable stream state, so deriving a
+	// child is independent of how many values the parent has produced.
+	seed uint64
+}
+
+// splitmix64 advances a SplitMix64 state and returns the next output. It is
+// used for seeding and label mixing only.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Source seeded from the given 64-bit seed. Two sources built
+// from the same seed produce identical streams.
+func New(seed uint64) *Source {
+	st := seed
+	s := Source{seed: seed}
+	for i := range s.s {
+		s.s[i] = splitmix64(&st)
+	}
+	// xoshiro256** must not be seeded with all zeros; splitmix64 of any seed
+	// cannot produce four zero outputs, but guard anyway.
+	if s.s[0]|s.s[1]|s.s[2]|s.s[3] == 0 {
+		s.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &s
+}
+
+// hashLabel mixes a string label into a running hash (FNV-1a style over a
+// 64-bit state followed by a SplitMix64 finalizer).
+func hashLabel(h uint64, label string) uint64 {
+	const prime = 0x100000001b3
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= prime
+	}
+	st := h
+	return splitmix64(&st)
+}
+
+// Derive returns a child source whose stream is a pure function of the parent
+// seed material and the given labels. The parent's own stream position is NOT
+// consumed: deriving is side-effect free, so the derivation tree is stable no
+// matter how many values the parent has produced.
+func (s *Source) Derive(labels ...string) *Source {
+	st := s.seed
+	h := splitmix64(&st)
+	for _, l := range labels {
+		h = hashLabel(h, l)
+	}
+	return New(h)
+}
+
+// DeriveN returns a child source keyed by labels plus an integer index, for
+// per-frame or per-object derivation without string formatting.
+func (s *Source) DeriveN(n int64, labels ...string) *Source {
+	st := s.seed
+	h := splitmix64(&st)
+	for _, l := range labels {
+		h = hashLabel(h, l)
+	}
+	st = h ^ uint64(n)*0xd1342543de82ef95
+	return New(splitmix64(&st))
+}
+
+// Uint64 returns the next 64 uniformly distributed bits (xoshiro256**).
+func (s *Source) Uint64() uint64 {
+	result := bits.RotateLeft64(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = bits.RotateLeft64(s.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("simrand: Intn called with n <= 0")
+	}
+	// Lemire's nearly-divisionless bounded generation.
+	v := s.Uint64()
+	hi, lo := bits.Mul64(v, uint64(n))
+	if lo < uint64(n) {
+		thresh := uint64(-n) % uint64(n)
+		for lo < thresh {
+			v = s.Uint64()
+			hi, lo = bits.Mul64(v, uint64(n))
+		}
+	}
+	return int(hi)
+}
+
+// Int63 returns a non-negative 63-bit integer.
+func (s *Source) Int63() int64 {
+	return int64(s.Uint64() >> 1)
+}
+
+// NormFloat64 returns a standard normal variate (Box–Muller; one value per
+// call, the pair's second value is discarded to keep the stream position a
+// simple function of call count).
+func (s *Source) NormFloat64() float64 {
+	for {
+		u1 := s.Float64()
+		u2 := s.Float64()
+		if u1 <= 1e-300 {
+			continue
+		}
+		return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	}
+}
+
+// ExpFloat64 returns an exponential variate with rate 1 (mean 1).
+func (s *Source) ExpFloat64() float64 {
+	for {
+		u := s.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using the provided swap
+// function (Fisher–Yates).
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Bernoulli returns true with probability p.
+func (s *Source) Bernoulli(p float64) bool {
+	return s.Float64() < p
+}
+
+// Poisson returns a Poisson variate with the given mean using Knuth's
+// algorithm for small means and a normal approximation for large means.
+func (s *Source) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 60 {
+		// Normal approximation with continuity correction; adequate for the
+		// arrival-rate modelling this package serves.
+		v := mean + math.Sqrt(mean)*s.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= s.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Geometric returns the number of failures before the first success in
+// Bernoulli(p) trials; p must be in (0, 1].
+func (s *Source) Geometric(p float64) int {
+	if p >= 1 {
+		return 0
+	}
+	if p <= 0 {
+		panic("simrand: Geometric called with p <= 0")
+	}
+	// Inverse-transform sampling.
+	u := s.Float64()
+	for u == 0 {
+		u = s.Float64()
+	}
+	return int(math.Floor(math.Log(u) / math.Log(1-p)))
+}
+
+// Zipf samples from a Zipf distribution over {0, ..., n-1} with exponent
+// alpha > 0 using the precomputed cumulative weights in z.
+type Zipf struct {
+	cum []float64
+}
+
+// NewZipf prepares a Zipf sampler over n ranks with the given exponent.
+// Rank 0 is the most probable.
+func NewZipf(n int, alpha float64) *Zipf {
+	if n <= 0 {
+		panic("simrand: NewZipf called with n <= 0")
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), alpha)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &Zipf{cum: cum}
+}
+
+// N returns the number of ranks the sampler covers.
+func (z *Zipf) N() int { return len(z.cum) }
+
+// Prob returns the probability mass of rank i.
+func (z *Zipf) Prob(i int) float64 {
+	if i < 0 || i >= len(z.cum) {
+		return 0
+	}
+	if i == 0 {
+		return z.cum[0]
+	}
+	return z.cum[i] - z.cum[i-1]
+}
+
+// Sample draws a rank using the supplied source.
+func (z *Zipf) Sample(s *Source) int {
+	u := s.Float64()
+	// Binary search over the cumulative distribution.
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,318 @@
+package simrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws out of 100", same)
+	}
+}
+
+func TestDeriveIsPositionIndependent(t *testing.T) {
+	parent1 := New(7)
+	parent2 := New(7)
+	// Consume from parent2 before deriving; derivation must not depend on
+	// the parent's stream position.
+	for i := 0; i < 57; i++ {
+		parent2.Uint64()
+	}
+	c1 := parent1.Derive("video", "stream-3")
+	c2 := parent2.Derive("video", "stream-3")
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			t.Fatalf("derived streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDeriveLabelsMatter(t *testing.T) {
+	p := New(7)
+	a := p.Derive("a")
+	b := p.Derive("b")
+	ab := p.Derive("a", "b")
+	if a.Uint64() == b.Uint64() {
+		t.Error("Derive(a) and Derive(b) coincide on first draw")
+	}
+	if a.Uint64() == ab.Uint64() {
+		t.Error("Derive(a) and Derive(a,b) coincide")
+	}
+}
+
+func TestDeriveNDistinct(t *testing.T) {
+	p := New(9)
+	seen := make(map[uint64]bool)
+	for i := int64(0); i < 2000; i++ {
+		v := p.DeriveN(i, "frame").Uint64()
+		if seen[v] {
+			t.Fatalf("DeriveN collision at index %d", i)
+		}
+		seen[v] = true
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		s := New(seed)
+		for i := 0; i < 100; i++ {
+			f := s.Float64()
+			if f < 0 || f >= 1 {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	err := quick.Check(func(seed uint64, n uint16) bool {
+		bound := int(n%1000) + 1
+		s := New(seed)
+		for i := 0; i < 50; i++ {
+			v := s.Intn(bound)
+			if v < 0 || v >= bound {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(11)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	s := New(13)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.ExpFloat64()
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Errorf("exponential mean = %v, want ~1", mean)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	for _, mean := range []float64{0.3, 2, 8, 40, 120} {
+		s := New(17)
+		const n = 50000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(s.Poisson(mean))
+		}
+		got := sum / n
+		if math.Abs(got-mean) > 0.05*mean+0.05 {
+			t.Errorf("Poisson(%v) sample mean = %v", mean, got)
+		}
+	}
+}
+
+func TestPoissonNonNegative(t *testing.T) {
+	s := New(19)
+	for i := 0; i < 10000; i++ {
+		if s.Poisson(100) < 0 {
+			t.Fatal("negative Poisson draw")
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	s := New(23)
+	p := 0.2
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(s.Geometric(p))
+	}
+	want := (1 - p) / p // mean failures before success
+	if got := sum / n; math.Abs(got-want) > 0.1 {
+		t.Errorf("Geometric(%v) mean = %v, want %v", p, got, want)
+	}
+}
+
+func TestGeometricPIsOne(t *testing.T) {
+	s := New(29)
+	for i := 0; i < 100; i++ {
+		if s.Geometric(1) != 0 {
+			t.Fatal("Geometric(1) must be 0")
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		s := New(seed)
+		n := 1 + int(seed%64)
+		p := s.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	s := New(31)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3) rate = %v", rate)
+	}
+}
+
+func TestZipfProbabilitiesSumToOne(t *testing.T) {
+	z := NewZipf(100, 1.1)
+	var sum float64
+	for i := 0; i < z.N(); i++ {
+		sum += z.Prob(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("Zipf probabilities sum to %v", sum)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(1000, 1.2)
+	s := New(37)
+	counts := make([]int, 1000)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[z.Sample(s)]++
+	}
+	if counts[0] <= counts[10] {
+		t.Error("rank 0 should dominate rank 10")
+	}
+	// Head coverage: the top 5% of ranks should cover the large majority of
+	// the mass for this exponent.
+	var head int
+	for i := 0; i < 50; i++ {
+		head += counts[i]
+	}
+	if frac := float64(head) / n; frac < 0.5 {
+		t.Errorf("top-50 ranks cover only %.2f of mass", frac)
+	}
+}
+
+func TestZipfSampleMatchesProb(t *testing.T) {
+	z := NewZipf(20, 1.0)
+	s := New(41)
+	counts := make([]int, 20)
+	const n = 400000
+	for i := 0; i < n; i++ {
+		counts[z.Sample(s)]++
+	}
+	for i := 0; i < 20; i++ {
+		got := float64(counts[i]) / n
+		want := z.Prob(i)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("rank %d: sample freq %v, prob %v", i, got, want)
+		}
+	}
+}
+
+func TestShufflePreservesElements(t *testing.T) {
+	s := New(43)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, v := range xs {
+		got += v
+	}
+	if got != sum {
+		t.Errorf("shuffle changed multiset: sum %d != %d", got, sum)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		s.Uint64()
+	}
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		s.NormFloat64()
+	}
+}
+
+func BenchmarkDerive(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		s.DeriveN(int64(i), "frame")
+	}
+}

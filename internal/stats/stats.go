@@ -1,0 +1,314 @@
+// Package stats implements the paper's evaluation methodology (§6.1) and
+// the video characterization measurements of §2.2.
+//
+// Ground truth follows the paper exactly: every extracted object is
+// classified with the GT-CNN (ResNet152), and a class is "present" in a
+// one-second segment of video if the GT-CNN reports it in at least 50% of
+// the segment's frames — the voting criterion the paper uses to suppress
+// the GT-CNN's own frame-to-frame flicker. Query accuracy is measured as
+// precision and recall over (class, segment) pairs against that ground
+// truth.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"focus/internal/video"
+	"focus/internal/vision"
+)
+
+// GroundTruth holds the GT-CNN-derived truth for one stream window plus the
+// characterization statistics of §2.2.
+type GroundTruth struct {
+	// Positives maps each class to the set of segments it is present in.
+	Positives map[vision.ClassID]map[video.SegmentID]bool
+	// SegmentFrames counts the emitted frames per segment, the denominator
+	// of the 50% vote.
+	SegmentFrames map[video.SegmentID]int
+
+	// TotalFrames and EmptyFrames measure occupancy (§2.2.1).
+	TotalFrames int
+	EmptyFrames int
+	// TotalSightings is the number of object sightings labelled.
+	TotalSightings int
+	// ClassFrames counts, per class, the frames in which the GT-CNN
+	// reported the class (§2.2.1's per-class frame occurrence).
+	ClassFrames map[vision.ClassID]int
+	// ObjectsPerClass counts distinct objects per GT class, the histogram
+	// behind Figure 3 and the input to specialization (§4.3).
+	ObjectsPerClass map[vision.ClassID]int
+	// GTGPUMS is the GPU time this labelling consumed (the Ingest-all
+	// baseline's cost for the same window).
+	GTGPUMS float64
+}
+
+// PresentClasses returns every class with at least one positive segment,
+// most positive segments first.
+func (g *GroundTruth) PresentClasses() []vision.ClassID {
+	type e struct {
+		c vision.ClassID
+		n int
+	}
+	var es []e
+	for c, segs := range g.Positives {
+		if len(segs) > 0 {
+			es = append(es, e{c, len(segs)})
+		}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].n != es[j].n {
+			return es[i].n > es[j].n
+		}
+		return es[i].c < es[j].c
+	})
+	out := make([]vision.ClassID, len(es))
+	for i := range es {
+		out[i] = es[i].c
+	}
+	return out
+}
+
+// DominantClasses returns the n classes with the most positive segments,
+// the classes the paper evaluates query latency over (§6.1).
+func (g *GroundTruth) DominantClasses(n int) []vision.ClassID {
+	cs := g.PresentClasses()
+	if len(cs) > n {
+		cs = cs[:n]
+	}
+	return cs
+}
+
+// ComputeGroundTruth labels a stream window with the GT-CNN and applies the
+// 1-second 50% voting criterion. It streams the generation, so memory is
+// bounded by the number of distinct (segment, class) pairs.
+func ComputeGroundTruth(st *video.Stream, space *vision.Space, gt *vision.Model, opts video.GenOptions) (*GroundTruth, error) {
+	g := &GroundTruth{
+		Positives:       make(map[vision.ClassID]map[video.SegmentID]bool),
+		SegmentFrames:   make(map[video.SegmentID]int),
+		ClassFrames:     make(map[vision.ClassID]int),
+		ObjectsPerClass: make(map[vision.ClassID]int),
+	}
+	// Per-segment, per-class count of frames in which GT reported the
+	// class; g.SegmentFrames holds the per-segment frame counts for the
+	// 50% vote.
+	segClassFrames := make(map[video.SegmentID]map[vision.ClassID]int)
+	segFrames := g.SegmentFrames
+	seenObjects := make(map[video.ObjectID]vision.ClassID)
+
+	frameClasses := make(map[vision.ClassID]bool, 8)
+	err := st.Generate(opts, func(f *video.Frame) error {
+		g.TotalFrames++
+		seg := video.SegmentOf(f.TimeSec)
+		segFrames[seg]++
+		if len(f.Sightings) == 0 {
+			g.EmptyFrames++
+			return nil
+		}
+		for c := range frameClasses {
+			delete(frameClasses, c)
+		}
+		for i := range f.Sightings {
+			s := &f.Sightings[i]
+			g.TotalSightings++
+			label := gt.Top1Class(space, s.TrueClass, st.CNNSource(s.Seed, "gt"))
+			g.GTGPUMS += gt.CostMS()
+			frameClasses[label] = true
+			if _, ok := seenObjects[s.Object]; !ok {
+				seenObjects[s.Object] = label
+				g.ObjectsPerClass[label]++
+			}
+		}
+		for c := range frameClasses {
+			g.ClassFrames[c]++
+			m := segClassFrames[seg]
+			if m == nil {
+				m = make(map[vision.ClassID]int, 4)
+				segClassFrames[seg] = m
+			}
+			m[c]++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// 50% vote per segment.
+	for seg, classes := range segClassFrames {
+		need := float64(segFrames[seg]) / 2
+		for c, n := range classes {
+			if float64(n) >= need {
+				set := g.Positives[c]
+				if set == nil {
+					set = make(map[video.SegmentID]bool)
+					g.Positives[c] = set
+				}
+				set[seg] = true
+			}
+		}
+	}
+	return g, nil
+}
+
+// PRStats is a precision/recall measurement over (class, segment) pairs.
+type PRStats struct {
+	TP, FP, FN int
+}
+
+// Precision returns TP/(TP+FP); 1 when nothing was returned.
+func (p PRStats) Precision() float64 {
+	if p.TP+p.FP == 0 {
+		return 1
+	}
+	return float64(p.TP) / float64(p.TP+p.FP)
+}
+
+// Recall returns TP/(TP+FN); 1 when there was nothing to find.
+func (p PRStats) Recall() float64 {
+	if p.TP+p.FN == 0 {
+		return 1
+	}
+	return float64(p.TP) / float64(p.TP+p.FN)
+}
+
+// Add accumulates another measurement.
+func (p *PRStats) Add(o PRStats) {
+	p.TP += o.TP
+	p.FP += o.FP
+	p.FN += o.FN
+}
+
+// EvaluateSegments scores predicted segments against the ground truth for
+// one class.
+func (g *GroundTruth) EvaluateSegments(c vision.ClassID, predicted []video.SegmentID) PRStats {
+	truth := g.Positives[c]
+	var pr PRStats
+	seen := make(map[video.SegmentID]bool, len(predicted))
+	for _, s := range predicted {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		if truth[s] {
+			pr.TP++
+		} else {
+			pr.FP++
+		}
+	}
+	for s := range truth {
+		if !seen[s] {
+			pr.FN++
+		}
+	}
+	return pr
+}
+
+// EvaluateFrames scores a returned frame set against ground truth for one
+// class using the paper's own voting methodology: a segment counts as
+// predicted-positive when at least 50% of its emitted frames were returned.
+// Under this rule the Query-all baseline (which returns exactly the frames
+// the GT-CNN labels as the class) scores 100% precision and recall by
+// construction, making it the reference point the paper's accuracy targets
+// are measured against.
+func (g *GroundTruth) EvaluateFrames(c vision.ClassID, frames []video.FrameID) PRStats {
+	retPerSeg := make(map[video.SegmentID]int)
+	seen := make(map[video.FrameID]bool, len(frames))
+	for _, f := range frames {
+		if seen[f] {
+			continue
+		}
+		seen[f] = true
+		retPerSeg[video.SegmentOf(float64(f)/video.NativeFPS)]++
+	}
+	predicted := make([]video.SegmentID, 0, len(retPerSeg))
+	for seg, n := range retPerSeg {
+		if float64(n) >= float64(g.SegmentFrames[seg])/2 {
+			predicted = append(predicted, seg)
+		}
+	}
+	return g.EvaluateSegments(c, predicted)
+}
+
+// CDF describes an empirical cumulative distribution over sorted values.
+type CDF struct {
+	// X are the sorted values; Y[i] is the cumulative fraction at X[i].
+	X []float64
+	Y []float64
+}
+
+// NewCDF builds the empirical CDF of the given values.
+func NewCDF(values []float64) CDF {
+	xs := append([]float64(nil), values...)
+	sort.Float64s(xs)
+	ys := make([]float64, len(xs))
+	for i := range xs {
+		ys[i] = float64(i+1) / float64(len(xs))
+	}
+	return CDF{X: xs, Y: ys}
+}
+
+// HeadCoverage returns the smallest number of classes (sorted by
+// descending count) whose counts sum to at least the given fraction of the
+// total — Figure 3's "3%–10% of classes cover 95% of objects" statistic.
+func HeadCoverage(counts map[vision.ClassID]int, frac float64) (classes int, totalClasses int) {
+	var ns []int
+	total := 0
+	for _, n := range counts {
+		ns = append(ns, n)
+		total += n
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(ns)))
+	cum := 0
+	for i, n := range ns {
+		cum += n
+		if float64(cum) >= frac*float64(total) {
+			return i + 1, len(ns)
+		}
+	}
+	return len(ns), len(ns)
+}
+
+// Jaccard computes the Jaccard index (intersection over union) of two
+// class sets, the cross-stream overlap measure of §2.2.2.
+func Jaccard(a, b map[vision.ClassID]bool) float64 {
+	inter := 0
+	for c := range a {
+		if b[c] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs, which the paper's "on average
+// N× cheaper" factors correspond to. All values must be positive.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: GeoMean requires positive values, got %v", x))
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}

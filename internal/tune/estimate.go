@@ -1,0 +1,207 @@
+package tune
+
+import (
+	"sort"
+
+	"focus/internal/cluster"
+	"focus/internal/video"
+	"focus/internal/vision"
+)
+
+// sweepMaxRank caps how many ranked entries per inference feed the
+// estimation (the largest K candidate is below this).
+const sweepMaxRank = 256
+
+// sweepMaxActiveClusters is the active-cluster cap used during estimation
+// clustering passes (smaller than production for sweep speed).
+const sweepMaxActiveClusters = 128
+
+// evaluateModel estimates every (K, T) candidate for one ingest model.
+func evaluateModel(st *video.Stream, space *vision.Space, m *vision.Model, ls int, sample []sampleItem, hist map[vision.ClassID]int, res *SweepResult, opts Options) []Candidate {
+	// One classification pass per model; outputs are reused across T.
+	kMax := sweepMaxRank
+	if v := m.Vocabulary() + 1; v < kMax {
+		kMax = v
+	}
+	outputs := make([]*vision.Output, len(sample))
+	for i := range sample {
+		s := &sample[i].sighting
+		outputs[i] = m.Classify(space, s.TrueClass, s.Appearance,
+			st.CNNSource(s.Seed, m.Name),
+			st.CNNSource(int64(s.Object), m.Name+"#rank"), kMax)
+	}
+
+	tCands := opts.TCandidates
+	if opts.DisableClustering {
+		tCands = []float64{0}
+	}
+	kCands := clampKs(opts.KCandidates, m)
+
+	normIngest := m.CostMS() * (1 - res.DedupRate) / vision.GTCostMS
+
+	var out []Candidate
+	for _, t := range tCands {
+		clusters := simulateClustering(sample, outputs, t, opts)
+		for _, k := range kCands {
+			est := estimateAtK(clusters, k, res.DominantClasses, hist, res.SampleSightings)
+			out = append(out, Candidate{
+				Model:        m,
+				Ls:           ls,
+				K:            k,
+				T:            t,
+				EstRecall:    est.recall,
+				EstPrecision: est.precision,
+				NormIngest:   normIngest,
+				NormQuery:    est.normQuery,
+			})
+		}
+	}
+	return out
+}
+
+// clampKs restricts K candidates to the model's output vocabulary and
+// deduplicates after clamping.
+func clampKs(ks []int, m *vision.Model) []int {
+	vocab := m.Vocabulary()
+	if m.Specialized {
+		vocab++ // OTHER
+	}
+	seen := map[int]bool{}
+	var out []int
+	for _, k := range ks {
+		if k > vocab {
+			k = vocab
+		}
+		if k >= 1 && !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// simCluster is the estimation view of one cluster.
+type simCluster struct {
+	// classPos maps each class in the cluster's aggregated ranking to its
+	// 1-based position; the cluster is retrieved for class X at width K
+	// iff classPos[X] <= K.
+	classPos map[vision.ClassID]int
+	// repGT is the GT label of the cluster's representative.
+	repGT vision.ClassID
+	// gtCount counts members per GT label; total is the member count.
+	gtCount map[vision.ClassID]int
+	total   int
+}
+
+// simulateClustering replays the ingest clustering (including pixel-diff
+// deduplication) over the sample and summarizes the resulting clusters.
+func simulateClustering(sample []sampleItem, outputs []*vision.Output, t float64, opts Options) []*simCluster {
+	threshold := t
+	if threshold <= 0 {
+		threshold = 1e-9
+	}
+	gtBySeed := make(map[int64]vision.ClassID, len(sample))
+	for i := range sample {
+		gtBySeed[sample[i].sighting.Seed] = sample[i].gtLabel
+	}
+
+	var sims []*simCluster
+	spill := func(c *cluster.Cluster) {
+		sc := &simCluster{
+			classPos: make(map[vision.ClassID]int),
+			gtCount:  make(map[vision.ClassID]int),
+			repGT:    gtBySeed[c.Representative().Seed],
+			total:    c.Size(),
+		}
+		for i, p := range c.TopK(1 << 20) {
+			sc.classPos[p.Class] = i + 1
+		}
+		for _, m := range c.Members {
+			sc.gtCount[gtBySeed[m.Seed]]++
+		}
+		sims = append(sims, sc)
+	}
+	eng, err := cluster.NewEngine(cluster.Config{
+		Threshold:      threshold,
+		MaxActive:      sweepMaxActiveClusters,
+		IdleTimeoutSec: 20,
+		MaxMembers:     128,
+	}, spill)
+	if err != nil {
+		panic(err) // static configuration; cannot fail
+	}
+
+	lastCluster := make(map[video.ObjectID]*cluster.Cluster)
+	for i := range sample {
+		s := &sample[i].sighting
+		member := cluster.Member{
+			Object:    s.Object,
+			Frame:     s.Frame,
+			TimeSec:   s.TimeSec,
+			TrueClass: s.TrueClass,
+			Seed:      s.Seed,
+		}
+		if opts.PixelDiffThreshold > 0 && s.TrackFrame > 0 && s.PixelDist <= opts.PixelDiffThreshold {
+			if prev, ok := lastCluster[s.Object]; ok && eng.AddDeduplicated(prev, member) {
+				continue
+			}
+		}
+		lastCluster[s.Object] = eng.Add(outputs[i].Features, member, outputs[i].Ranked)
+	}
+	eng.Flush()
+	return sims
+}
+
+// classEstimate aggregates sample estimates for one (T, K) configuration.
+type classEstimate struct {
+	recall    float64
+	precision float64
+	normQuery float64
+}
+
+// estimateAtK computes the expected per-class recall, precision and query
+// cost at top-K width k, averaged over the dominant classes.
+func estimateAtK(clusters []*simCluster, k int, dominant []vision.ClassID, hist map[vision.ClassID]int, sampleSightings int) classEstimate {
+	var recallSum, precSum, weightSum float64
+	var retrievedSum float64
+	for _, x := range dominant {
+		var retrieved, returnedPos, returnedAll int
+		for _, c := range clusters {
+			pos, ok := c.classPos[x]
+			if !ok || pos > k {
+				continue
+			}
+			retrieved++
+			if c.repGT == x {
+				returnedPos += c.gtCount[x]
+				returnedAll += c.total
+			}
+		}
+		positives := hist[x]
+		recall := 1.0
+		if positives > 0 {
+			recall = float64(returnedPos) / float64(positives)
+		}
+		precision := 1.0
+		if returnedAll > 0 {
+			precision = float64(returnedPos) / float64(returnedAll)
+		}
+		w := float64(positives)
+		recallSum += w * recall
+		precSum += w * precision
+		weightSum += w
+		retrievedSum += float64(retrieved)
+	}
+	est := classEstimate{recall: 1, precision: 1}
+	if weightSum > 0 {
+		est.recall = recallSum / weightSum
+		est.precision = precSum / weightSum
+	}
+	if sampleSightings > 0 && len(dominant) > 0 {
+		// Mean retrieved clusters per dominant-class query, normalized to
+		// Query-all's one-GT-inference-per-sighting work.
+		est.normQuery = retrievedSum / float64(len(dominant)) / float64(sampleSightings)
+	}
+	return est
+}

@@ -1,0 +1,132 @@
+package tune
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Select picks a configuration meeting the targets under the given policy
+// (§4.4): it filters the sweep's candidates by viability, computes the
+// ingest/query Pareto boundary, and chooses the boundary point the policy
+// asks for.
+func (sw *SweepResult) Select(targets Targets, policy Policy) (*Selection, error) {
+	if targets.Recall <= 0 || targets.Recall > 1 || targets.Precision <= 0 || targets.Precision > 1 {
+		return nil, fmt.Errorf("tune: invalid targets %+v", targets)
+	}
+	// Estimates carry sampling error; demand a small margin above the
+	// target so the full run still meets it. At very high targets the
+	// margin shrinks so the estimate can still reach it.
+	margin := 0.01
+	if room := 1 - targets.Recall; room < 2*margin {
+		margin = room / 2
+	}
+	adjusted := Targets{Recall: targets.Recall + margin, Precision: targets.Precision}
+	filter := func(t Targets) []Candidate {
+		var out []Candidate
+		for _, c := range sw.Candidates {
+			// A configuration whose ingest cost approaches Ingest-all is
+			// dominated by the Ingest-all baseline itself (which has zero
+			// query latency); don't let any policy drift there.
+			if c.NormIngest > maxSaneNormIngest {
+				continue
+			}
+			if c.Viable(t) {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	viable := filter(adjusted)
+	if len(viable) == 0 {
+		viable = filter(targets)
+	}
+	if len(viable) == 0 {
+		return nil, fmt.Errorf("tune: no configuration of stream %q meets recall %.2f / precision %.2f; relax the targets",
+			sw.Stream, targets.Recall, targets.Precision)
+	}
+	pareto := ParetoBoundary(viable)
+
+	sel := &Selection{Viable: viable, Pareto: pareto}
+	switch policy {
+	case OptIngest:
+		// Minimize ingest cost; among near-ties (within tieSlack), prefer
+		// the better query latency. This is the paper's "sharp improvement
+		// in one cost for a small worsening of the other": a hair of extra
+		// ingest is worth a big query win.
+		sel.Chosen = bestWithin(pareto,
+			func(c Candidate) float64 { return c.NormIngest },
+			func(c Candidate) float64 { return c.NormQuery })
+	case OptQuery:
+		sel.Chosen = bestWithin(pareto,
+			func(c Candidate) float64 { return c.NormQuery },
+			func(c Candidate) float64 { return c.NormIngest })
+	case Balance, "":
+		best := 0
+		bestSum := pareto[0].NormIngest + pareto[0].NormQuery
+		for i, c := range pareto[1:] {
+			if sum := c.NormIngest + c.NormQuery; sum < bestSum {
+				bestSum = sum
+				best = i + 1
+			}
+		}
+		sel.Chosen = pareto[best]
+	default:
+		return nil, fmt.Errorf("tune: unknown policy %q", policy)
+	}
+	return sel, nil
+}
+
+// tieSlack is the relative margin within which two costs count as a tie
+// during policy selection.
+const tieSlack = 0.10
+
+// maxSaneNormIngest excludes configurations whose ingest cost exceeds a
+// quarter of Ingest-all's: beyond that, simply running the GT-CNN at
+// ingest (zero query latency) is the better system.
+const maxSaneNormIngest = 0.25
+
+// bestWithin minimizes primary, breaking near-ties (within tieSlack
+// relative) by the secondary metric.
+func bestWithin(cands []Candidate, primary, secondary func(Candidate) float64) Candidate {
+	best := cands[0]
+	min := primary(best)
+	for _, c := range cands[1:] {
+		if p := primary(c); p < min {
+			min = p
+			best = c
+		}
+	}
+	for _, c := range cands {
+		if primary(c) <= min*(1+tieSlack) && secondary(c) < secondary(best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// ParetoBoundary returns the Pareto-efficient candidates over
+// (NormIngest, NormQuery), ascending by NormIngest (and therefore
+// descending by NormQuery). Dominated candidates — those for which some
+// other candidate is no worse on both axes and better on one — are
+// excluded (§4.4, Figure 6).
+func ParetoBoundary(cands []Candidate) []Candidate {
+	if len(cands) == 0 {
+		return nil
+	}
+	sorted := append([]Candidate(nil), cands...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].NormIngest != sorted[j].NormIngest {
+			return sorted[i].NormIngest < sorted[j].NormIngest
+		}
+		return sorted[i].NormQuery < sorted[j].NormQuery
+	})
+	var out []Candidate
+	bestQuery := sorted[0].NormQuery + 1
+	for _, c := range sorted {
+		if c.NormQuery < bestQuery {
+			out = append(out, c)
+			bestQuery = c.NormQuery
+		}
+	}
+	return out
+}

@@ -1,0 +1,397 @@
+// Package tune implements Focus's parameter selection (§4.4): choosing the
+// cheap ingest CNN (CheapCNN_i), the top-K index width K, the
+// specialization class count Ls, and the clustering threshold T so that
+// user-specified precision and recall targets are met, then trading off
+// ingest cost against query latency along the Pareto boundary.
+//
+// Following the paper, the tuner samples a representative fraction of the
+// stream, labels the sampled objects with the GT-CNN as estimation ground
+// truth, and computes the expected precision/recall and the expected
+// ingest/query costs for every configuration in the search space. The
+// expensive, target-independent part (Sweep) is separated from the cheap
+// policy selection (Select) so sensitivity studies over accuracy targets
+// reuse one sweep.
+package tune
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"focus/internal/video"
+	"focus/internal/vision"
+)
+
+// Targets are the user-specified accuracy floors (§3): both are measured
+// against GT-CNN-derived ground truth.
+type Targets struct {
+	Recall    float64
+	Precision float64
+}
+
+// DefaultTargets is the paper's default 95/95 setting.
+var DefaultTargets = Targets{Recall: 0.95, Precision: 0.95}
+
+// Policy selects the point on the ingest/query Pareto boundary (§4.4).
+type Policy string
+
+// The three policies of §4.4 / Figure 1.
+const (
+	Balance   Policy = "balance"    // minimize ingest + query cost (default)
+	OptIngest Policy = "opt-ingest" // minimize ingest cost
+	OptQuery  Policy = "opt-query"  // minimize query latency
+)
+
+// Options tunes the sweep.
+type Options struct {
+	// SampleFraction is the fraction of the stream sampled for estimation.
+	SampleFraction float64
+	// SampleWindows is how many contiguous windows the sample is split
+	// into (contiguity preserves the pixel-diff and clustering temporal
+	// structure).
+	SampleWindows int
+	// MaxSampleSightings caps the retained sample.
+	MaxSampleSightings int
+	// LsCandidates are the specialization sizes to try (§4.3).
+	LsCandidates []int
+	// TCandidates are clustering thresholds to try.
+	TCandidates []float64
+	// KCandidates are the top-K widths to try; values above a model's
+	// vocabulary are clamped and deduplicated.
+	KCandidates []int
+	// PixelDiffThreshold estimates dedup savings; zero disables.
+	PixelDiffThreshold float64
+	// DisableSpecialization restricts the search to generic compressed
+	// models (the "Compressed model" ablation of Figure 8).
+	DisableSpecialization bool
+	// DisableClustering evaluates every sighting as its own cluster (the
+	// ablation without the clustering technique).
+	DisableClustering bool
+	// MaxDominantClasses bounds how many head classes the query-cost and
+	// accuracy estimates average over.
+	MaxDominantClasses int
+}
+
+// DefaultOptions returns the tuner defaults.
+func DefaultOptions() Options {
+	return Options{
+		SampleFraction:     0.10,
+		SampleWindows:      6,
+		MaxSampleSightings: 2500,
+		LsCandidates:       []int{10, 20, 40},
+		TCandidates:        []float64{2.0, 2.5, 3.0, 3.5},
+		KCandidates:        []int{2, 4, 8, 16, 30, 60, 100, 150, 220},
+		PixelDiffThreshold: 3.0,
+		MaxDominantClasses: 4,
+	}
+}
+
+func (o Options) validate() error {
+	if o.SampleFraction <= 0 || o.SampleFraction > 1 {
+		return fmt.Errorf("tune: sample fraction %v out of (0, 1]", o.SampleFraction)
+	}
+	if o.SampleWindows < 1 {
+		return fmt.Errorf("tune: need at least one sample window")
+	}
+	if len(o.TCandidates) == 0 && !o.DisableClustering {
+		return fmt.Errorf("tune: no clustering thresholds to try")
+	}
+	if len(o.KCandidates) == 0 {
+		return fmt.Errorf("tune: no K values to try")
+	}
+	return nil
+}
+
+// Candidate is one configuration with its estimated accuracy and costs.
+type Candidate struct {
+	// Model is the ingest CNN; Ls is 0 for generic models.
+	Model *vision.Model
+	Ls    int
+	K     int
+	T     float64
+
+	// EstRecall and EstPrecision are sample estimates against GT labels,
+	// averaged over the dominant classes weighted by class frequency.
+	EstRecall    float64
+	EstPrecision float64
+	// NormIngest is the expected ingest GPU cost normalized to Ingest-all
+	// (i.e. 1/NormIngest is the "cheaper by" factor).
+	NormIngest float64
+	// NormQuery is the expected per-query GPU cost for a dominant class,
+	// normalized to Query-all.
+	NormQuery float64
+}
+
+// Viable reports whether the candidate meets the accuracy targets.
+func (c Candidate) Viable(t Targets) bool {
+	return c.EstRecall >= t.Recall && c.EstPrecision >= t.Precision
+}
+
+// Selection is the outcome of policy selection.
+type Selection struct {
+	Chosen Candidate
+	// Pareto is the ingest/query Pareto boundary over viable candidates,
+	// ascending by NormIngest (Figure 6's dashed line).
+	Pareto []Candidate
+	// Viable are all candidates meeting the targets (Figure 6's scatter).
+	Viable []Candidate
+}
+
+// SweepResult holds target-independent estimates for every configuration.
+type SweepResult struct {
+	Stream     string
+	Candidates []Candidate
+	// DominantClasses are the head classes estimates were computed over.
+	DominantClasses []vision.ClassID
+	// SampleSightings is the retained sample size; TotalSightings the
+	// full-window sighting count observed during sampling.
+	SampleSightings int
+	TotalSightings  int
+	// DedupRate is the estimated pixel-diff deduplication rate.
+	DedupRate float64
+	// EstimationGPUMS is the GT-CNN time spent labelling the sample (the
+	// paper treats this as amortized, infrequent work).
+	EstimationGPUMS float64
+}
+
+// sampleItem is one retained sample sighting with its GT label.
+type sampleItem struct {
+	sighting video.Sighting
+	gtLabel  vision.ClassID
+}
+
+// Sweep samples the stream and estimates accuracy and cost for every
+// configuration in the option space.
+func Sweep(st *video.Stream, space *vision.Space, zoo *vision.Zoo, opts Options, genOpts video.GenOptions) (*SweepResult, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if opts.MaxDominantClasses <= 0 {
+		opts.MaxDominantClasses = 4
+	}
+	sample, total, err := collectSample(st, opts, genOpts)
+	if err != nil {
+		return nil, err
+	}
+	if len(sample) == 0 {
+		return nil, fmt.Errorf("tune: sample of stream %q contains no sightings", st.Spec.Name)
+	}
+
+	res := &SweepResult{
+		Stream:          st.Spec.Name,
+		SampleSightings: len(sample),
+		TotalSightings:  total,
+	}
+
+	// GT-label the sample (estimation ground truth, §4.4).
+	gt := zoo.GT
+	hist := make(map[vision.ClassID]int)
+	for i := range sample {
+		s := &sample[i].sighting
+		sample[i].gtLabel = gt.Top1Class(space, s.TrueClass, st.CNNSource(s.Seed, "gt"))
+		res.EstimationGPUMS += gt.CostMS()
+		hist[sample[i].gtLabel]++
+	}
+	res.DominantClasses = dominantClasses(hist, opts.MaxDominantClasses)
+	if len(res.DominantClasses) == 0 {
+		return nil, fmt.Errorf("tune: no dominant classes in sample of %q", st.Spec.Name)
+	}
+	res.DedupRate = estimateDedup(sample, opts.PixelDiffThreshold)
+
+	// Specialization class lists follow the sighting-weighted histogram:
+	// query cost and recall are per sighting, and a few long-dwelling
+	// objects can make a class dominant at query time even when it is rare
+	// by object count.
+	models, lsOf, err := candidateModels(zoo, hist, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Models are evaluated independently; fan out across CPUs. Results are
+	// collected per model slot so candidate order stays deterministic.
+	perModel := make([][]Candidate, len(models))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, m := range models {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, m *vision.Model) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			perModel[i] = evaluateModel(st, space, m, lsOf[m], sample, hist, res, opts)
+		}(i, m)
+	}
+	wg.Wait()
+	for _, cands := range perModel {
+		res.Candidates = append(res.Candidates, cands...)
+	}
+	if len(res.Candidates) == 0 {
+		return nil, fmt.Errorf("tune: no candidates produced for %q", st.Spec.Name)
+	}
+	return res, nil
+}
+
+// collectSample generates the stream once, retaining sightings inside
+// SampleWindows evenly spaced contiguous windows, and counting the total.
+func collectSample(st *video.Stream, opts Options, genOpts video.GenOptions) ([]sampleItem, int, error) {
+	dur := genOpts.DurationSec
+	winLen := dur * opts.SampleFraction / float64(opts.SampleWindows)
+	stride := dur / float64(opts.SampleWindows)
+	inWindow := func(t float64) bool {
+		off := math.Mod(t, stride)
+		return off < winLen
+	}
+	var sample, fallback []sampleItem
+	total := 0
+	err := st.Generate(genOpts, func(f *video.Frame) error {
+		total += len(f.Sightings)
+		if len(f.Sightings) == 0 {
+			return nil
+		}
+		// Retain a thin full-window stream as the fallback for sparse
+		// streams whose activity misses every sample window.
+		if f.ID%30 == 0 && len(fallback) < opts.MaxSampleSightings {
+			for i := range f.Sightings {
+				fallback = append(fallback, sampleItem{sighting: f.Sightings[i]})
+			}
+		}
+		if !inWindow(f.TimeSec) {
+			return nil
+		}
+		for i := range f.Sightings {
+			sample = append(sample, sampleItem{sighting: f.Sightings[i]})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(sample) == 0 {
+		sample = fallback
+	}
+	// Cap by striding whole frames to preserve temporal adjacency where
+	// possible; a stride on sightings would break pixel-diff estimation
+	// less gracefully than simply truncating windows.
+	if opts.MaxSampleSightings > 0 && len(sample) > opts.MaxSampleSightings {
+		// Keep a prefix of each window proportionally: simplest faithful
+		// reduction is a global prefix-per-window truncation, implemented
+		// by keeping every sighting whose index within its window is below
+		// the per-window budget.
+		keepFrac := float64(opts.MaxSampleSightings) / float64(len(sample))
+		kept := sample[:0]
+		windowCount := make(map[int]int)
+		windowSeen := make(map[int]int)
+		for i := range sample {
+			w := int(sample[i].sighting.TimeSec / stride)
+			windowCount[w]++
+			_ = i
+		}
+		budget := make(map[int]int, len(windowCount))
+		for w, n := range windowCount {
+			budget[w] = int(float64(n) * keepFrac)
+		}
+		for i := range sample {
+			w := int(sample[i].sighting.TimeSec / stride)
+			if windowSeen[w] < budget[w] {
+				windowSeen[w]++
+				kept = append(kept, sample[i])
+			}
+		}
+		sample = kept
+	}
+	return sample, total, nil
+}
+
+// dominantClasses returns the head classes covering 80% of the sample's
+// sightings, clamped to [1, max]. These are the classes the paper
+// evaluates query latency over (§6.1).
+func dominantClasses(hist map[vision.ClassID]int, max int) []vision.ClassID {
+	type e struct {
+		c vision.ClassID
+		n int
+	}
+	var es []e
+	total := 0
+	for c, n := range hist {
+		es = append(es, e{c, n})
+		total += n
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].n != es[j].n {
+			return es[i].n > es[j].n
+		}
+		return es[i].c < es[j].c
+	})
+	var out []vision.ClassID
+	cum := 0
+	for _, x := range es {
+		if len(out) >= max {
+			break
+		}
+		out = append(out, x.c)
+		cum += x.n
+		if float64(cum) >= 0.8*float64(total) && len(out) >= 1 {
+			break
+		}
+	}
+	return out
+}
+
+// estimateDedup measures the fraction of sample sightings pixel differencing
+// would deduplicate.
+func estimateDedup(sample []sampleItem, threshold float64) float64 {
+	if threshold <= 0 || len(sample) == 0 {
+		return 0
+	}
+	n := 0
+	for i := range sample {
+		s := &sample[i].sighting
+		if s.TrackFrame > 0 && s.PixelDist <= threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(sample))
+}
+
+// candidateModels builds the model search space: the generic compression
+// ladder plus specialized variants trained on the sample's head classes.
+func candidateModels(zoo *vision.Zoo, objHist map[vision.ClassID]int, opts Options) ([]*vision.Model, map[*vision.Model]int, error) {
+	var models []*vision.Model
+	lsOf := make(map[*vision.Model]int)
+	for _, m := range zoo.Generic {
+		models = append(models, m)
+	}
+	if !opts.DisableSpecialization {
+		base := zoo.ByName("resnet18")
+		if base == nil {
+			return nil, nil, fmt.Errorf("tune: zoo lacks the resnet18 specialization base")
+		}
+		seen := make(map[string]bool)
+		for _, ls := range opts.LsCandidates {
+			classes := vision.SelectTopClasses(objHist, ls)
+			// A degenerate specialization (one or two classes) routes most
+			// queries through OTHER and estimates poorly on sparse samples;
+			// fall back to generic models instead.
+			if len(classes) < 3 {
+				continue
+			}
+			for _, cfg := range vision.DefaultSpecializations {
+				m, err := vision.TrainSpecialized(base, cfg, classes)
+				if err != nil {
+					return nil, nil, err
+				}
+				// Small samples can make different Ls collapse to the same
+				// class list; evaluating the identical model twice wastes
+				// sweep time.
+				if seen[m.Name] {
+					continue
+				}
+				seen[m.Name] = true
+				models = append(models, m)
+				lsOf[m] = len(classes)
+			}
+		}
+	}
+	return models, lsOf, nil
+}

@@ -1,0 +1,277 @@
+package tune
+
+import (
+	"testing"
+
+	"focus/internal/video"
+	"focus/internal/vision"
+)
+
+func testSweep(t *testing.T, stream string, opts Options, genOpts video.GenOptions) *SweepResult {
+	t.Helper()
+	space := vision.NewSpace(1)
+	spec, ok := video.SpecByName(stream)
+	if !ok {
+		t.Fatalf("no spec %q", stream)
+	}
+	st, err := video.NewStream(spec, space, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := Sweep(st, space, vision.NewZoo(), opts, genOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sw
+}
+
+func TestOptionsValidation(t *testing.T) {
+	space := vision.NewSpace(1)
+	spec, _ := video.SpecByName("bend")
+	st, _ := video.NewStream(spec, space, 1)
+	zoo := vision.NewZoo()
+	genOpts := video.GenOptions{DurationSec: 30, SampleEvery: 1}
+
+	bad := []Options{
+		func() Options { o := DefaultOptions(); o.SampleFraction = 0; return o }(),
+		func() Options { o := DefaultOptions(); o.SampleFraction = 1.5; return o }(),
+		func() Options { o := DefaultOptions(); o.SampleWindows = 0; return o }(),
+		func() Options { o := DefaultOptions(); o.TCandidates = nil; return o }(),
+		func() Options { o := DefaultOptions(); o.KCandidates = nil; return o }(),
+	}
+	for i, o := range bad {
+		if _, err := Sweep(st, space, zoo, o, genOpts); err == nil {
+			t.Errorf("options %d accepted", i)
+		}
+	}
+}
+
+func TestSweepProducesCandidates(t *testing.T) {
+	opts := DefaultOptions()
+	sw := testSweep(t, "auburn_c", opts, video.GenOptions{DurationSec: 180, SampleEvery: 1})
+	if sw.SampleSightings == 0 || sw.TotalSightings <= sw.SampleSightings {
+		t.Fatalf("sample %d of %d", sw.SampleSightings, sw.TotalSightings)
+	}
+	if sw.SampleSightings > opts.MaxSampleSightings {
+		t.Errorf("sample %d exceeds cap %d", sw.SampleSightings, opts.MaxSampleSightings)
+	}
+	if len(sw.DominantClasses) == 0 {
+		t.Fatal("no dominant classes")
+	}
+	if len(sw.Candidates) < 50 {
+		t.Fatalf("only %d candidates", len(sw.Candidates))
+	}
+	if sw.EstimationGPUMS <= 0 {
+		t.Error("no estimation cost recorded")
+	}
+	// Sanity of estimates.
+	for _, c := range sw.Candidates {
+		if c.EstRecall < 0 || c.EstRecall > 1 || c.EstPrecision < 0 || c.EstPrecision > 1 {
+			t.Fatalf("estimate out of range: %+v", c)
+		}
+		if c.NormIngest <= 0 || c.NormQuery < 0 {
+			t.Fatalf("cost out of range: %+v", c)
+		}
+	}
+	// Specialized candidates must exist and be cheaper at ingest than the
+	// generic candidates using the same base.
+	hasSpec := false
+	for _, c := range sw.Candidates {
+		if c.Model.Specialized {
+			hasSpec = true
+			break
+		}
+	}
+	if !hasSpec {
+		t.Error("no specialized candidates in sweep")
+	}
+}
+
+func TestRecallMonotoneInK(t *testing.T) {
+	sw := testSweep(t, "auburn_c", DefaultOptions(), video.GenOptions{DurationSec: 120, SampleEvery: 1})
+	// Group candidates by (model, T) and check recall and query cost are
+	// non-decreasing in K.
+	type key struct {
+		name string
+		t    float64
+	}
+	byCfg := map[key][]Candidate{}
+	for _, c := range sw.Candidates {
+		k := key{c.Model.Name, c.T}
+		byCfg[k] = append(byCfg[k], c)
+	}
+	for k, cs := range byCfg {
+		for i := 1; i < len(cs); i++ {
+			if cs[i].K < cs[i-1].K {
+				t.Fatalf("%v: candidates not K-ordered", k)
+			}
+			if cs[i].EstRecall < cs[i-1].EstRecall-1e-9 {
+				t.Errorf("%v: recall decreased from K=%d to K=%d (%.3f -> %.3f)",
+					k, cs[i-1].K, cs[i].K, cs[i-1].EstRecall, cs[i].EstRecall)
+			}
+			if cs[i].NormQuery < cs[i-1].NormQuery-1e-12 {
+				t.Errorf("%v: query cost decreased with larger K", k)
+			}
+		}
+	}
+}
+
+func TestSelectPolicies(t *testing.T) {
+	sw := testSweep(t, "auburn_c", DefaultOptions(), video.GenOptions{DurationSec: 180, SampleEvery: 1})
+	targets := DefaultTargets
+
+	balance, err := sw.Select(targets, Balance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optI, err := sw.Select(targets, OptIngest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optQ, err := sw.Select(targets, OptQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sel := range []*Selection{balance, optI, optQ} {
+		if !sel.Chosen.Viable(targets) {
+			t.Fatalf("chosen candidate not viable: %+v", sel.Chosen)
+		}
+	}
+	// Policy ordering (§4.4): Opt-Ingest has the cheapest ingest,
+	// Opt-Query the cheapest query, Balance in between on both axes.
+	if optI.Chosen.NormIngest > balance.Chosen.NormIngest+1e-12 {
+		t.Errorf("OptIngest ingest %.5f > Balance %.5f", optI.Chosen.NormIngest, balance.Chosen.NormIngest)
+	}
+	if optQ.Chosen.NormQuery > balance.Chosen.NormQuery+1e-12 {
+		t.Errorf("OptQuery query %.5f > Balance %.5f", optQ.Chosen.NormQuery, balance.Chosen.NormQuery)
+	}
+	if optI.Chosen.NormQuery < balance.Chosen.NormQuery-1e-12 {
+		t.Errorf("OptIngest should not beat Balance on query latency")
+	}
+	// Default policy is Balance.
+	def, err := sw.Select(targets, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Chosen != balance.Chosen {
+		t.Error("empty policy != Balance")
+	}
+	if _, err := sw.Select(targets, Policy("bogus")); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := sw.Select(Targets{Recall: 0, Precision: 0.5}, Balance); err == nil {
+		t.Error("invalid targets accepted")
+	}
+}
+
+func TestParetoBoundary(t *testing.T) {
+	cands := []Candidate{
+		{NormIngest: 0.01, NormQuery: 0.10},
+		{NormIngest: 0.02, NormQuery: 0.05},
+		{NormIngest: 0.03, NormQuery: 0.07}, // dominated by the 0.02 point
+		{NormIngest: 0.04, NormQuery: 0.01},
+		{NormIngest: 0.05, NormQuery: 0.01}, // dominated (same query, worse ingest)
+	}
+	p := ParetoBoundary(cands)
+	if len(p) != 3 {
+		t.Fatalf("pareto size = %d, want 3: %+v", len(p), p)
+	}
+	for i := 1; i < len(p); i++ {
+		if p[i].NormIngest <= p[i-1].NormIngest || p[i].NormQuery >= p[i-1].NormQuery {
+			t.Fatalf("pareto not strictly ordered at %d", i)
+		}
+	}
+	if ParetoBoundary(nil) != nil {
+		t.Error("empty input should return nil")
+	}
+}
+
+func TestHigherTargetsNeedLargerK(t *testing.T) {
+	// §6.5: higher accuracy targets keep ingest cost roughly flat but
+	// increase query-time work (larger K).
+	sw := testSweep(t, "auburn_c", DefaultOptions(), video.GenOptions{DurationSec: 180, SampleEvery: 1})
+	lo, err := sw.Select(Targets{Recall: 0.95, Precision: 0.95}, Balance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := sw.Select(Targets{Recall: 0.99, Precision: 0.95}, Balance)
+	if err != nil {
+		t.Skipf("99%% recall unattainable on this sample: %v", err)
+	}
+	if hi.Chosen.NormQuery < lo.Chosen.NormQuery-1e-12 {
+		t.Errorf("99%% target query cost %.5f below 95%% target %.5f",
+			hi.Chosen.NormQuery, lo.Chosen.NormQuery)
+	}
+}
+
+func TestImpossibleTargets(t *testing.T) {
+	sw := testSweep(t, "bend", DefaultOptions(), video.GenOptions{DurationSec: 120, SampleEvery: 1})
+	if _, err := sw.Select(Targets{Recall: 0.99999, Precision: 0.99999}, Balance); err == nil {
+		t.Skip("sample small enough that perfect estimates are possible")
+	}
+}
+
+func TestAblationModes(t *testing.T) {
+	genOpts := video.GenOptions{DurationSec: 120, SampleEvery: 1}
+	full := testSweep(t, "auburn_c", DefaultOptions(), genOpts)
+
+	noSpec := DefaultOptions()
+	noSpec.DisableSpecialization = true
+	compOnly := testSweep(t, "auburn_c", noSpec, genOpts)
+	for _, c := range compOnly.Candidates {
+		if c.Model.Specialized {
+			t.Fatal("specialized model in no-specialization sweep")
+		}
+	}
+
+	noCluster := DefaultOptions()
+	noCluster.DisableClustering = true
+	flat := testSweep(t, "auburn_c", noCluster, genOpts)
+	for _, c := range flat.Candidates {
+		if c.T != 0 {
+			t.Fatal("non-zero T in no-clustering sweep")
+		}
+	}
+
+	// Each added technique must improve the best viable Balance sum
+	// (Figure 8's cumulative gains).
+	best := func(sw *SweepResult) float64 {
+		sel, err := sw.Select(DefaultTargets, Balance)
+		if err != nil {
+			t.Fatalf("%s: %v", sw.Stream, err)
+		}
+		return sel.Chosen.NormIngest + sel.Chosen.NormQuery
+	}
+	bFull, bComp := best(full), best(compOnly)
+	if bFull > bComp+1e-12 {
+		t.Errorf("full search (%.5f) worse than compressed-only (%.5f)", bFull, bComp)
+	}
+	bFlat := best(flat)
+	if bFull > bFlat+1e-12 {
+		t.Errorf("full search (%.5f) worse than no-clustering (%.5f)", bFull, bFlat)
+	}
+}
+
+func TestDedupEstimateBounds(t *testing.T) {
+	sw := testSweep(t, "msnbc", DefaultOptions(), video.GenOptions{DurationSec: 120, SampleEvery: 1})
+	if sw.DedupRate <= 0.05 || sw.DedupRate >= 0.9 {
+		t.Errorf("news dedup estimate = %.2f, want in (0.05, 0.9)", sw.DedupRate)
+	}
+}
+
+func BenchmarkSweep(b *testing.B) {
+	space := vision.NewSpace(1)
+	spec, _ := video.SpecByName("auburn_c")
+	zoo := vision.NewZoo()
+	genOpts := video.GenOptions{DurationSec: 120, SampleEvery: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := video.NewStream(spec, space, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Sweep(st, space, zoo, DefaultOptions(), genOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

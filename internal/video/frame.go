@@ -1,0 +1,99 @@
+// Package video generates the synthetic video streams that stand in for the
+// paper's 13 real traffic, surveillance and news streams (Table 1).
+//
+// Real recorded video is unavailable in this environment, so each stream is
+// a generative model reproducing the statistical properties the paper
+// measures and exploits (§2.2):
+//
+//   - a limited per-stream class vocabulary with a heavily skewed (Zipf)
+//     frequency distribution — 3–10% of occurring classes cover ≥95% of
+//     objects (Figure 3);
+//   - low cross-stream vocabulary overlap (mean Jaccard ≈ 0.46);
+//   - temporal redundancy: objects dwell in frame for seconds to minutes,
+//     so consecutive sightings of one object are visually similar;
+//   - idle/stationary periods: one-third to one-half of frames contain no
+//     moving objects (§2.2.1);
+//   - day/night activity modulation over the 12-hour capture window.
+//
+// Streams are generated deterministically from a seed and can optionally
+// render small grayscale pixel frames with moving object sprites, which the
+// background-subtraction substrate (internal/bgsub) consumes.
+package video
+
+import (
+	"focus/internal/vision"
+)
+
+// FrameID identifies a frame within one stream, numbered from zero at the
+// stream's native frame rate.
+type FrameID int64
+
+// ObjectID identifies a distinct physical object instance within a stream
+// (one car crossing the scene is one object across all its sightings).
+type ObjectID int64
+
+// Rect is an axis-aligned bounding box in scene pixel coordinates.
+type Rect struct {
+	X, Y, W, H int
+}
+
+// Intersects reports whether two rectangles overlap.
+func (r Rect) Intersects(o Rect) bool {
+	return r.X < o.X+o.W && o.X < r.X+r.W && r.Y < o.Y+o.H && o.Y < r.Y+r.H
+}
+
+// Area returns the rectangle's area in pixels.
+func (r Rect) Area() int { return r.W * r.H }
+
+// Sighting is one detection of one moving object in one frame: the unit of
+// work flowing through Focus's ingest pipeline. A Sighting corresponds to
+// what background subtraction emits for a moving object (§5).
+type Sighting struct {
+	// Frame is the frame this sighting belongs to.
+	Frame FrameID
+	// TimeSec is the frame's timestamp in seconds from stream start.
+	TimeSec float64
+	// Object is the physical object this sighting belongs to. The ingest
+	// pipeline never uses object identity (a real system does not have it);
+	// it exists for evaluation and for deriving per-sighting randomness.
+	Object ObjectID
+	// TrackFrame is the 0-based index of this sighting within the object's
+	// lifetime.
+	TrackFrame int
+	// TrueClass is the object's synthetic ground-truth class. It is hidden
+	// from the ingest pipeline and only consumed by the simulated CNNs
+	// (which degrade it per their quality laws) and by evaluation.
+	TrueClass vision.ClassID
+	// Appearance is the latent appearance vector of this sighting: the
+	// object's instance appearance plus per-frame pose/lighting jitter and
+	// any camera-rotation offset. Simulated CNNs derive features from it.
+	Appearance vision.FeatureVec
+	// BBox is the detection bounding box in scene coordinates.
+	BBox Rect
+	// PixelDist is the mean pixel distance between this sighting and the
+	// same object's previous emitted sighting, the quantity Focus's
+	// ingest-time pixel differencing thresholds on (§4.2). It is +Inf-like
+	// large for an object's first sighting.
+	PixelDist float64
+	// Seed is deterministic per-sighting seed material for the simulated
+	// CNN inferences run against this sighting.
+	Seed int64
+}
+
+// Frame is the set of moving-object sightings visible at one timestamp.
+// Frames with no moving objects have an empty Sightings slice; background
+// subtraction (and therefore every pipeline in this system, including both
+// baselines) skips them.
+type Frame struct {
+	ID        FrameID
+	TimeSec   float64
+	Sightings []Sighting
+}
+
+// SegmentID identifies a one-second segment of a stream, the granularity at
+// which the paper defines ground truth (§6.1): a class is present in a
+// segment if the GT-CNN reports it in at least 50% of the segment's frames.
+type SegmentID int64
+
+// SegmentOf maps a timestamp to its one-second segment.
+func SegmentOf(timeSec float64) SegmentID { return SegmentID(timeSec) }

@@ -1,0 +1,136 @@
+package video
+
+import "math"
+
+// GrayImage is a small grayscale frame rendered from a Frame's scene state,
+// the input to the background-subtraction substrate.
+type GrayImage struct {
+	W, H int
+	Pix  []uint8 // row-major, len == W*H
+}
+
+// NewGrayImage allocates a zeroed image.
+func NewGrayImage(w, h int) *GrayImage {
+	return &GrayImage{W: w, H: h, Pix: make([]uint8, w*h)}
+}
+
+// At returns the pixel at (x, y); out-of-bounds reads return 0.
+func (g *GrayImage) At(x, y int) uint8 {
+	if x < 0 || y < 0 || x >= g.W || y >= g.H {
+		return 0
+	}
+	return g.Pix[y*g.W+x]
+}
+
+// Set writes the pixel at (x, y); out-of-bounds writes are ignored.
+func (g *GrayImage) Set(x, y int, v uint8) {
+	if x < 0 || y < 0 || x >= g.W || y >= g.H {
+		return
+	}
+	g.Pix[y*g.W+x] = v
+}
+
+// Renderer rasterizes frames of one stream into grayscale images: a static
+// per-view background plus textured sprites for each sighting, with light
+// per-frame sensor noise. It exists so the real background-subtraction code
+// path (internal/bgsub) can be exercised against known ground truth.
+type Renderer struct {
+	stream *Stream
+	// backgrounds holds one background per camera view (rotating streams
+	// switch among them).
+	backgrounds []*GrayImage
+}
+
+// NewRenderer builds the renderer and its per-view backgrounds.
+func NewRenderer(st *Stream) *Renderer {
+	views := 1
+	if st.Spec.RotationPeriodSec > 0 {
+		views = rotationViews
+	}
+	r := &Renderer{stream: st}
+	for v := 0; v < views; v++ {
+		r.backgrounds = append(r.backgrounds, renderBackground(st, v))
+	}
+	return r
+}
+
+// renderBackground builds a deterministic static background for one view: a
+// few low-frequency intensity waves that look like pavement/sky gradients.
+func renderBackground(st *Stream, view int) *GrayImage {
+	src := st.src.DeriveN(int64(view), "background")
+	phase1 := src.Float64() * 2 * math.Pi
+	phase2 := src.Float64() * 2 * math.Pi
+	fx := 1 + src.Float64()*2
+	fy := 1 + src.Float64()*2
+	img := NewGrayImage(SceneWidth, SceneHeight)
+	for y := 0; y < SceneHeight; y++ {
+		for x := 0; x < SceneWidth; x++ {
+			v := 110 +
+				35*math.Sin(phase1+fx*2*math.Pi*float64(x)/SceneWidth) +
+				25*math.Cos(phase2+fy*2*math.Pi*float64(y)/SceneHeight)
+			img.Set(x, y, clampU8(v))
+		}
+	}
+	return img
+}
+
+func clampU8(v float64) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}
+
+// viewAt returns the background view index active at time t.
+func (r *Renderer) viewAt(t float64) int {
+	if r.stream.Spec.RotationPeriodSec <= 0 {
+		return 0
+	}
+	return int(t/r.stream.Spec.RotationPeriodSec) % len(r.backgrounds)
+}
+
+// sensorNoiseAmp is the per-pixel uniform sensor noise amplitude.
+const sensorNoiseAmp = 3.0
+
+// Render rasterizes one frame: background view + sensor noise + one sprite
+// per sighting.
+func (r *Renderer) Render(f *Frame) *GrayImage {
+	bg := r.backgrounds[r.viewAt(f.TimeSec)]
+	img := NewGrayImage(SceneWidth, SceneHeight)
+	copy(img.Pix, bg.Pix)
+
+	noise := r.stream.src.DeriveN(int64(f.ID), "sensor-noise")
+	for i := range img.Pix {
+		n := (noise.Float64()*2 - 1) * sensorNoiseAmp
+		img.Pix[i] = clampU8(float64(img.Pix[i]) + n)
+	}
+	for i := range f.Sightings {
+		r.drawSprite(img, &f.Sightings[i])
+	}
+	return img
+}
+
+// drawSprite fills the sighting's bounding box with a textured sprite whose
+// base intensity contrasts with the background and is stable per object, so
+// the same object looks the same frame to frame.
+func (r *Renderer) drawSprite(img *GrayImage, s *Sighting) {
+	osrc := r.stream.src.DeriveN(int64(s.Object), "sprite")
+	// Base intensity: far enough from the mid-background band to produce a
+	// clean foreground mask. Alternate bright and dark sprites per object.
+	var base float64
+	if osrc.Bernoulli(0.5) {
+		base = 215 + osrc.Float64()*35
+	} else {
+		base = 8 + osrc.Float64()*35
+	}
+	tex := osrc.Float64() * 2 * math.Pi
+	for dy := 0; dy < s.BBox.H; dy++ {
+		for dx := 0; dx < s.BBox.W; dx++ {
+			t := 10 * math.Sin(tex+float64(dx)*0.9+float64(dy)*1.3)
+			img.Set(s.BBox.X+dx, s.BBox.Y+dy, clampU8(base+t))
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package video
+
+import "focus/internal/vision"
+
+// StreamType is the domain a stream belongs to, following Table 1.
+type StreamType string
+
+// Stream domains from Table 1.
+const (
+	Traffic      StreamType = "traffic"
+	Surveillance StreamType = "surveillance"
+	News         StreamType = "news"
+)
+
+// StreamSpec is the generative description of one video stream. The presets
+// in Table1Specs mirror the paper's Table 1; custom specs can model other
+// cameras.
+type StreamSpec struct {
+	// Name is the stream identifier used throughout experiments
+	// (e.g. "auburn_c").
+	Name string
+	// Type is the stream's domain.
+	Type StreamType
+	// Location and Description document the stream, mirroring Table 1.
+	Location    string
+	Description string
+
+	// VocabSize is how many distinct object classes occur in the stream.
+	// The paper measures 22–33% of the 1000 classes for less busy streams
+	// and 50–69% for news channels (§2.2.2).
+	VocabSize int
+	// ZipfAlpha is the skew of the class frequency distribution. Larger
+	// values concentrate more mass in the head classes.
+	ZipfAlpha float64
+	// ArrivalPerSec is the mean rate of new objects entering the scene
+	// during active daytime periods.
+	ArrivalPerSec float64
+	// DwellMeanSec is the mean number of seconds an object stays in frame.
+	DwellMeanSec float64
+	// DwellJitter is the multiplicative lognormal-ish spread of dwell times
+	// (0 = constant dwell).
+	DwellJitter float64
+	// EmptyFrac is the target fraction of time with no moving objects at
+	// all (idle gating); §2.2.1 measures one-third to one-half combined
+	// with stationary periods.
+	EmptyFrac float64
+	// NightFactor multiplies the arrival rate during the night half of the
+	// capture window.
+	NightFactor float64
+	// SpeedPxPerFrame is the mean object motion speed at the native frame
+	// rate, which drives how quickly an object's pixels change and hence
+	// how often ingest-time pixel differencing can deduplicate sightings.
+	SpeedPxPerFrame float64
+	// PoseDriftTau is the time constant (seconds) of the mean-reverting
+	// pose/viewpoint drift along an object's track: sightings closer in
+	// time than tau look alike; sightings further apart have drifted to a
+	// different appearance. This bounds how many consecutive sightings
+	// cluster together — fast-turning traffic has a short tau, a static
+	// news anchor a long one.
+	PoseDriftTau float64
+	// PoseDriftAmp is the stationary per-coordinate amplitude of the pose
+	// drift in feature space.
+	PoseDriftAmp float64
+	// RotationPeriodSec, when positive, models a camera that rotates among
+	// several views (church_st in Table 1): every period the scene changes
+	// and object appearances shift, which breaks cross-period clustering.
+	RotationPeriodSec float64
+}
+
+// SceneWidth and SceneHeight are the logical scene dimensions in pixels for
+// bounding boxes and rendered frames.
+const (
+	SceneWidth  = 160
+	SceneHeight = 96
+)
+
+// NativeFPS is the native capture rate of all streams (§6.1 evaluates at 30
+// fps by default and studies subsampling down to 1 fps).
+const NativeFPS = 30.0
+
+// streetPoolSize is the number of classes that can plausibly appear in
+// street-level video (traffic + surveillance streams draw their
+// vocabularies from this shared pool, giving the high intra-domain overlap
+// the paper measures).
+const streetPoolSize = 420
+
+// newsPoolSize extends the street pool with studio/news-specific classes;
+// news vocabularies draw from the union.
+const newsPoolSize = 820
+
+// domainCore returns the classes that dominate a domain's streams: the head
+// of every stream's Zipf distribution is drawn from its domain core so that
+// traffic streams are dominated by vehicles, news streams by people, etc.
+func domainCore(t StreamType) []vision.ClassID {
+	switch t {
+	case Traffic:
+		return []vision.ClassID{0 /*car*/, 1 /*person*/, 2 /*bus*/, 3 /*truck*/, 4, /*bicycle*/
+			5 /*motorcycle*/, 12 /*van*/, 13 /*taxi*/, 20 /*pickup*/, 22 /*minivan*/}
+	case Surveillance:
+		return []vision.ClassID{1 /*person*/, 8 /*handbag*/, 9 /*backpack*/, 10, /*umbrella*/
+			4 /*bicycle*/, 14 /*stroller*/, 6 /*dog*/, 16 /*scooter*/, 0 /*car*/, 19 /*cat*/}
+	case News:
+		return []vision.ClassID{1 /*person*/, 11 /*suit*/, 36 /*microphone*/, 37, /*desk*/
+			38 /*monitor*/, 39 /*necktie*/, 48 /*flag*/, 40 /*sunglasses*/, 46 /*book*/, 49 /*sign*/}
+	default:
+		return nil
+	}
+}
+
+// Table1Specs returns the 13 stream presets mirroring the paper's Table 1.
+// Parameters are chosen so the generated streams reproduce the
+// characterization in §2.2 (occupancy, class skew, vocabulary sizes) and
+// the relative busyness the paper describes per stream in §6.2.
+func Table1Specs() []StreamSpec {
+	return []StreamSpec{
+		{
+			Name: "auburn_c", Type: Traffic, Location: "AL, USA",
+			Description: "A commercial area intersection in the City of Auburn",
+			VocabSize:   260, ZipfAlpha: 1.8, ArrivalPerSec: 0.55,
+			DwellMeanSec: 8, DwellJitter: 0.5, EmptyFrac: 0.28, NightFactor: 0.35,
+			SpeedPxPerFrame: 2.4, PoseDriftTau: 0.6, PoseDriftAmp: 0.55,
+		},
+		{
+			Name: "auburn_r", Type: Traffic, Location: "AL, USA",
+			Description: "A residential area intersection in the City of Auburn",
+			VocabSize:   220, ZipfAlpha: 1.9, ArrivalPerSec: 0.16,
+			DwellMeanSec: 10, DwellJitter: 0.5, EmptyFrac: 0.38, NightFactor: 0.3,
+			SpeedPxPerFrame: 2.0, PoseDriftTau: 0.55, PoseDriftAmp: 0.55,
+		},
+		{
+			Name: "city_a_d", Type: Traffic, Location: "USA",
+			Description: "A downtown intersection in City A",
+			VocabSize:   300, ZipfAlpha: 1.78, ArrivalPerSec: 0.65,
+			DwellMeanSec: 7, DwellJitter: 0.5, EmptyFrac: 0.28, NightFactor: 0.4,
+			SpeedPxPerFrame: 2.6, PoseDriftTau: 0.6, PoseDriftAmp: 0.55,
+		},
+		{
+			Name: "city_a_r", Type: Traffic, Location: "USA",
+			Description: "A residential area intersection in City A",
+			VocabSize:   240, ZipfAlpha: 1.85, ArrivalPerSec: 0.22,
+			DwellMeanSec: 9, DwellJitter: 0.5, EmptyFrac: 0.35, NightFactor: 0.3,
+			SpeedPxPerFrame: 2.2, PoseDriftTau: 0.55, PoseDriftAmp: 0.55,
+		},
+		{
+			Name: "bend", Type: Traffic, Location: "OR, USA",
+			Description: "A road-side camera in the City of Bend",
+			VocabSize:   230, ZipfAlpha: 1.9, ArrivalPerSec: 0.2,
+			DwellMeanSec: 5, DwellJitter: 0.4, EmptyFrac: 0.35, NightFactor: 0.3,
+			SpeedPxPerFrame: 3.5, PoseDriftTau: 0.45, PoseDriftAmp: 0.6,
+		},
+		{
+			Name: "jacksonh", Type: Traffic, Location: "WY, USA",
+			Description: "A busy intersection (Town Square) in Jackson Hole",
+			VocabSize:   330, ZipfAlpha: 1.75, ArrivalPerSec: 0.85,
+			DwellMeanSec: 12, DwellJitter: 0.6, EmptyFrac: 0.25, NightFactor: 0.4,
+			SpeedPxPerFrame: 1.8, PoseDriftTau: 0.65, PoseDriftAmp: 0.5,
+		},
+		{
+			Name: "church_st", Type: Surveillance, Location: "VT, USA",
+			Description: "A video stream rotating among cameras in a shopping mall (Church Street Marketplace)",
+			VocabSize:   320, ZipfAlpha: 1.78, ArrivalPerSec: 0.5,
+			DwellMeanSec: 6, DwellJitter: 0.5, EmptyFrac: 0.28, NightFactor: 0.4,
+			SpeedPxPerFrame: 1.5, PoseDriftTau: 0.5, PoseDriftAmp: 0.55, RotationPeriodSec: 45,
+		},
+		{
+			Name: "lausanne", Type: Surveillance, Location: "Switzerland",
+			Description: "A pedestrian plaza (Place de la Palud) in Lausanne",
+			VocabSize:   280, ZipfAlpha: 1.88, ArrivalPerSec: 0.4,
+			DwellMeanSec: 20, DwellJitter: 0.7, EmptyFrac: 0.3, NightFactor: 0.4,
+			SpeedPxPerFrame: 0.9, PoseDriftTau: 0.38, PoseDriftAmp: 0.5,
+		},
+		{
+			Name: "oxford", Type: Surveillance, Location: "England",
+			Description: "A bookshop street in the University of Oxford",
+			VocabSize:   250, ZipfAlpha: 1.92, ArrivalPerSec: 0.26,
+			DwellMeanSec: 15, DwellJitter: 0.6, EmptyFrac: 0.32, NightFactor: 0.35,
+			SpeedPxPerFrame: 1.0, PoseDriftTau: 0.4, PoseDriftAmp: 0.55,
+		},
+		{
+			Name: "sittard", Type: Surveillance, Location: "Netherlands",
+			Description: "A market square in Sittard",
+			VocabSize:   300, ZipfAlpha: 1.82, ArrivalPerSec: 0.42,
+			DwellMeanSec: 15, DwellJitter: 0.6, EmptyFrac: 0.3, NightFactor: 0.35,
+			SpeedPxPerFrame: 1.1, PoseDriftTau: 0.45, PoseDriftAmp: 0.5,
+		},
+		{
+			Name: "cnn", Type: News, Location: "USA", Description: "News channel",
+			VocabSize: 690, ZipfAlpha: 1.65, ArrivalPerSec: 0.5,
+			DwellMeanSec: 30, DwellJitter: 0.8, EmptyFrac: 0.12, NightFactor: 0.9,
+			SpeedPxPerFrame: 0.45, PoseDriftTau: 0.3, PoseDriftAmp: 0.55,
+		},
+		{
+			Name: "foxnews", Type: News, Location: "USA", Description: "News channel",
+			VocabSize: 550, ZipfAlpha: 1.7, ArrivalPerSec: 0.45,
+			DwellMeanSec: 28, DwellJitter: 0.8, EmptyFrac: 0.14, NightFactor: 0.9,
+			SpeedPxPerFrame: 0.45, PoseDriftTau: 0.3, PoseDriftAmp: 0.55,
+		},
+		{
+			Name: "msnbc", Type: News, Location: "USA", Description: "News channel",
+			VocabSize: 620, ZipfAlpha: 1.68, ArrivalPerSec: 0.48,
+			DwellMeanSec: 32, DwellJitter: 0.8, EmptyFrac: 0.13, NightFactor: 0.9,
+			SpeedPxPerFrame: 0.45, PoseDriftTau: 0.32, PoseDriftAmp: 0.55,
+		},
+	}
+}
+
+// SpecByName returns the Table 1 preset with the given name, or false.
+func SpecByName(name string) (StreamSpec, bool) {
+	for _, s := range Table1Specs() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return StreamSpec{}, false
+}
+
+// RepresentativeNames returns the 9-stream subset several of the paper's
+// figures plot "to improve legibility" (§6.1).
+func RepresentativeNames() []string {
+	return []string{
+		"auburn_c", "city_a_r", "jacksonh",
+		"church_st", "lausanne", "sittard",
+		"cnn", "foxnews", "msnbc",
+	}
+}
+
+// CharacterizationNames returns the 6-stream subset used for the §2.2
+// characterization study (Figure 3).
+func CharacterizationNames() []string {
+	return []string{"auburn_c", "jacksonh", "lausanne", "sittard", "cnn", "msnbc"}
+}

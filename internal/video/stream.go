@@ -1,0 +1,493 @@
+package video
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"focus/internal/simrand"
+	"focus/internal/vision"
+)
+
+// GenOptions controls one generation pass over a stream.
+type GenOptions struct {
+	// DurationSec is the simulated capture length in seconds. Experiments
+	// use scaled-down durations; the paper's native window is 12 hours.
+	DurationSec float64
+	// SampleEvery emits every n-th native frame (1 = full 30 fps, 30 =
+	// 1 fps), the frame-sampling knob of §6.6.
+	SampleEvery int
+}
+
+func (o GenOptions) validate() error {
+	if o.DurationSec <= 0 {
+		return fmt.Errorf("video: non-positive duration %v", o.DurationSec)
+	}
+	if o.SampleEvery < 1 {
+		return fmt.Errorf("video: SampleEvery must be >= 1, got %d", o.SampleEvery)
+	}
+	return nil
+}
+
+// EffectiveFPS returns the emitted frame rate under these options.
+func (o GenOptions) EffectiveFPS() float64 { return NativeFPS / float64(o.SampleEvery) }
+
+// object is one physical object's lifecycle within a stream.
+type object struct {
+	id         ObjectID
+	class      vision.ClassID
+	enterFrame FrameID
+	exitFrame  FrameID // exclusive
+	instance   vision.FeatureVec
+	// motion state
+	x, y   float64
+	dx, dy float64 // per native frame
+	w, h   int
+	speed  float64
+	// pose drift state: a mean-reverting (Ornstein–Uhlenbeck) walk in
+	// feature space around the instance appearance, advanced once per
+	// native frame. Bounded drift means sightings close in time look
+	// alike while sightings far apart show a visibly different pose,
+	// which is what limits how many sightings of one object share a
+	// cluster in Focus's ingest clustering.
+	drift    vision.FeatureVec
+	driftSrc *simrand.Source
+	// lastEmitFrame tracks the previous emitted sighting for pixel-distance
+	// computation; -1 before the first emission.
+	lastEmitFrame FrameID
+	emitted       int // sightings emitted so far (TrackFrame counter)
+}
+
+// Stream is a deterministic synthetic video stream.
+type Stream struct {
+	Spec  StreamSpec
+	Space *vision.Space
+
+	src   *simrand.Source
+	vocab []vision.ClassID // Zipf rank order: vocab[0] is the most frequent class
+	zipf  *simrand.Zipf
+}
+
+// NewStream builds a stream from its spec over a shared feature space. The
+// same (spec, space seed, stream seed) always generates identical video.
+func NewStream(spec StreamSpec, space *vision.Space, seed uint64) (*Stream, error) {
+	if spec.VocabSize <= 0 {
+		return nil, fmt.Errorf("video: stream %q has non-positive vocabulary", spec.Name)
+	}
+	if spec.ArrivalPerSec <= 0 || spec.DwellMeanSec <= 0 {
+		return nil, fmt.Errorf("video: stream %q has non-positive arrival or dwell", spec.Name)
+	}
+	st := &Stream{
+		Spec:  spec,
+		Space: space,
+		src:   simrand.New(seed).Derive("video", spec.Name),
+	}
+	st.buildVocabulary()
+	st.zipf = simrand.NewZipf(len(st.vocab), spec.ZipfAlpha)
+	return st, nil
+}
+
+// poolSize returns the class-pool size the stream's vocabulary draws from:
+// street-level video cannot contain arbitrary ImageNet classes, and news
+// streams additionally draw studio/news classes (§2.2.2).
+func (st *Stream) poolSize() int {
+	if st.Spec.Type == News {
+		return newsPoolSize
+	}
+	return streetPoolSize
+}
+
+// buildVocabulary selects which classes occur in this stream and their Zipf
+// rank order: the domain core occupies the head (traffic streams are
+// dominated by vehicles, news by people), the tail is a stream-specific
+// sample from the domain pool.
+func (st *Stream) buildVocabulary() {
+	core := domainCore(st.Spec.Type)
+	pool := st.poolSize()
+	n := st.Spec.VocabSize
+	if n > pool {
+		n = pool
+	}
+
+	inVocab := make(map[vision.ClassID]bool, n)
+	vocab := make([]vision.ClassID, 0, n)
+	for _, c := range core {
+		if len(vocab) >= n {
+			break
+		}
+		if !inVocab[c] {
+			inVocab[c] = true
+			vocab = append(vocab, c)
+		}
+	}
+	// Fill the tail with a stream-specific permutation of the pool.
+	perm := st.src.Derive("vocab").Perm(pool)
+	for _, p := range perm {
+		if len(vocab) >= n {
+			break
+		}
+		c := vision.ClassID(p)
+		if !inVocab[c] {
+			inVocab[c] = true
+			vocab = append(vocab, c)
+		}
+	}
+	st.vocab = vocab
+}
+
+// Vocabulary returns the stream's occurring classes in Zipf rank order
+// (most frequent first). Callers must not mutate the returned slice.
+func (st *Stream) Vocabulary() []vision.ClassID { return st.vocab }
+
+// ClassProb returns the probability that a new object belongs to class c.
+func (st *Stream) ClassProb(c vision.ClassID) float64 {
+	for i, v := range st.vocab {
+		if v == c {
+			return st.zipf.Prob(i)
+		}
+	}
+	return 0
+}
+
+// DominantClasses returns the stream's n most frequent classes, the classes
+// the paper evaluates query latency over (§6.1).
+func (st *Stream) DominantClasses(n int) []vision.ClassID {
+	if n > len(st.vocab) {
+		n = len(st.vocab)
+	}
+	out := make([]vision.ClassID, n)
+	copy(out, st.vocab[:n])
+	return out
+}
+
+// classBBox returns the nominal sprite size for a class: vehicles are wide,
+// people tall, everything else small.
+func classBBox(c vision.ClassID) (w, h int) {
+	switch c {
+	case 0, 2, 3, 12, 13, 20, 22, 23, 24, 25, 26, 27, 28, 29: // vehicles
+		return 26, 14
+	case 1: // person
+		return 9, 20
+	case 4, 5, 15, 16, 30: // bikes and boards
+		return 14, 12
+	default:
+		return 12, 10
+	}
+}
+
+// rotationViews is how many camera views a rotating stream cycles through.
+const rotationViews = 5
+
+// rotationOffset returns the appearance offset of the camera view active at
+// time t for rotating streams (zero vector otherwise). Different views see
+// objects from different angles, shifting their appearance and breaking
+// cross-view visual similarity.
+func (st *Stream) rotationOffset(t float64) vision.FeatureVec {
+	if st.Spec.RotationPeriodSec <= 0 {
+		return nil
+	}
+	view := int(t/st.Spec.RotationPeriodSec) % rotationViews
+	src := st.src.DeriveN(int64(view), "rotation-view")
+	v := make(vision.FeatureVec, vision.FeatureDim)
+	for i := range v {
+		v[i] = float32(src.NormFloat64() * 0.9)
+	}
+	return v
+}
+
+// buildObjects pre-generates every object lifecycle intersecting the
+// generation window. Objects arrive in Poisson bursts during "busy" periods
+// separated by idle gaps (so a controllable fraction of frames is empty,
+// §2.2.1), at a rate modulated by a day/night cycle.
+func (st *Stream) buildObjects(opts GenOptions) []*object {
+	spec := st.Spec
+	osrc := st.src.Derive("objects")
+	totalFrames := FrameID(opts.DurationSec * NativeFPS)
+
+	// Busy/idle alternation. Busy periods average busyMean seconds; idle
+	// period lengths are set so the long-run fraction of EMPTY time equals
+	// EmptyFrac. Objects arriving late in a busy period dwell into the
+	// idle gap, so the gap must exceed the nominal idle share by roughly
+	// one mean dwell time to actually leave the scene empty.
+	const busyMean = 40.0
+	idleMean := 0.0
+	if spec.EmptyFrac > 0 && spec.EmptyFrac < 1 {
+		idleMean = (spec.EmptyFrac*busyMean+spec.DwellMeanSec)/(1-spec.EmptyFrac) - spec.DwellMeanSec
+		if idleMean < spec.DwellMeanSec/2 {
+			idleMean = spec.DwellMeanSec / 2
+		}
+	}
+
+	var objs []*object
+	var id ObjectID
+	t := 0.0
+	busy := true
+	if spec.EmptyFrac > 0 && osrc.Float64() < spec.EmptyFrac {
+		busy = false
+	}
+	for t < opts.DurationSec {
+		var periodLen float64
+		if busy {
+			periodLen = busyMean * (0.3 + 0.7*osrc.ExpFloat64())
+		} else {
+			periodLen = (idleMean + spec.DwellMeanSec) * (0.3 + 0.7*osrc.ExpFloat64())
+			if idleMean == 0 {
+				periodLen = 0
+			}
+		}
+		end := math.Min(t+periodLen, opts.DurationSec)
+		if busy {
+			// Day/night modulation: the first half of the window is day.
+			rate := spec.ArrivalPerSec
+			if t >= opts.DurationSec/2 {
+				rate *= spec.NightFactor
+			}
+			n := osrc.Poisson(rate * (end - t))
+			for i := 0; i < n; i++ {
+				at := t + osrc.Float64()*(end-t)
+				objs = append(objs, st.newObject(id, at, osrc, totalFrames))
+				id++
+			}
+		}
+		t = end
+		busy = !busy
+	}
+	sort.Slice(objs, func(i, j int) bool {
+		if objs[i].enterFrame != objs[j].enterFrame {
+			return objs[i].enterFrame < objs[j].enterFrame
+		}
+		return objs[i].id < objs[j].id
+	})
+	return objs
+}
+
+// newObject draws one object lifecycle entering at time `at` seconds.
+func (st *Stream) newObject(id ObjectID, at float64, osrc *simrand.Source, totalFrames FrameID) *object {
+	spec := st.Spec
+	src := st.src.DeriveN(int64(id), "object")
+	rank := st.zipf.Sample(src)
+	class := st.vocab[rank]
+
+	dwell := spec.DwellMeanSec * math.Exp(spec.DwellJitter*src.NormFloat64())
+	if dwell < 0.5 {
+		dwell = 0.5
+	}
+	// Cap the lognormal tail: a single extreme dwell would otherwise keep
+	// the scene occupied across several idle gaps.
+	if max := 3 * spec.DwellMeanSec; dwell > max {
+		dwell = max
+	}
+	enter := FrameID(at * NativeFPS)
+	exit := enter + FrameID(dwell*NativeFPS)
+	// A rotating camera truncates every object at the next view switch: the
+	// object is still there, but the camera is not looking at it.
+	if spec.RotationPeriodSec > 0 {
+		boundary := (math.Floor(at/spec.RotationPeriodSec) + 1) * spec.RotationPeriodSec
+		if b := FrameID(boundary * NativeFPS); exit > b {
+			exit = b
+		}
+	}
+	if exit > totalFrames {
+		exit = totalFrames
+	}
+	if exit <= enter {
+		exit = enter + 1
+	}
+
+	w, h := classBBox(class)
+	speed := spec.SpeedPxPerFrame * math.Exp(0.3*src.NormFloat64())
+	angle := src.Float64() * 2 * math.Pi
+	o := &object{
+		id:            id,
+		class:         class,
+		enterFrame:    enter,
+		exitFrame:     exit,
+		instance:      st.Space.NewInstanceAppearance(class, src),
+		x:             float64(src.Intn(SceneWidth - w)),
+		y:             float64(src.Intn(SceneHeight - h)),
+		dx:            speed * math.Cos(angle),
+		dy:            speed * math.Sin(angle),
+		w:             w,
+		h:             h,
+		speed:         speed,
+		drift:         make(vision.FeatureVec, vision.FeatureDim),
+		driftSrc:      st.src.DeriveN(int64(id), "drift"),
+		lastEmitFrame: -1,
+	}
+	return o
+}
+
+// stepDrift advances the pose drift by n native frames of an OU process
+// with time constant tau seconds and stationary per-coordinate amplitude
+// amp: d ← d·(1−θ) + amp·sqrt(2θ−θ²)·N(0,I), which keeps the stationary
+// std exactly amp for any θ = 1/(tau·fps) in (0, 1].
+func (o *object) stepDrift(n int, tau, amp float64) {
+	if tau <= 0 || amp <= 0 {
+		return
+	}
+	theta := 1 / (tau * NativeFPS)
+	if theta > 1 {
+		theta = 1
+	}
+	noise := amp * math.Sqrt(2*theta-theta*theta)
+	for i := 0; i < n; i++ {
+		for d := range o.drift {
+			o.drift[d] = o.drift[d]*float32(1-theta) + float32(noise*o.driftSrc.NormFloat64())
+		}
+	}
+}
+
+// step advances the object's position by n native frames, reflecting at
+// scene edges so the bounding box stays in view for its whole dwell.
+func (o *object) step(n int) {
+	for i := 0; i < n; i++ {
+		o.x += o.dx
+		o.y += o.dy
+		if o.x < 0 {
+			o.x = -o.x
+			o.dx = -o.dx
+		}
+		if o.y < 0 {
+			o.y = -o.y
+			o.dy = -o.dy
+		}
+		if maxX := float64(SceneWidth - o.w); o.x > maxX {
+			o.x = 2*maxX - o.x
+			o.dx = -o.dx
+		}
+		if maxY := float64(SceneHeight - o.h); o.y > maxY {
+			o.y = 2*maxY - o.y
+			o.dy = -o.dy
+		}
+	}
+}
+
+// Generate walks the stream frame by frame, invoking visit for every
+// emitted frame in order. Frames with no moving objects are still visited
+// (with empty Sightings) so consumers can measure occupancy; the ingest
+// pipeline skips them exactly as background subtraction would.
+//
+// Generation is deterministic: the same stream and options always produce
+// identical frames. visit returning an error aborts generation.
+func (st *Stream) Generate(opts GenOptions, visit func(*Frame) error) error {
+	if err := opts.validate(); err != nil {
+		return err
+	}
+	objs := st.buildObjects(opts)
+	totalFrames := FrameID(opts.DurationSec * NativeFPS)
+
+	active := make([]*object, 0, 64)
+	next := 0
+	for f := FrameID(0); f < totalFrames; f += FrameID(opts.SampleEvery) {
+		// Admit objects entering at or before f.
+		for next < len(objs) && objs[next].enterFrame <= f {
+			o := objs[next]
+			next++
+			if o.exitFrame > f {
+				active = append(active, o)
+			}
+		}
+		// Retire exited objects (order-preserving compaction keeps sighting
+		// order deterministic).
+		live := active[:0]
+		for _, o := range active {
+			if o.exitFrame > f {
+				live = append(live, o)
+			}
+		}
+		active = live
+
+		t := float64(f) / NativeFPS
+		frame := &Frame{ID: f, TimeSec: t}
+		if len(active) > 0 {
+			rot := st.rotationOffset(t)
+			frame.Sightings = make([]Sighting, 0, len(active))
+			for _, o := range active {
+				frame.Sightings = append(frame.Sightings, st.emitSighting(o, f, t, rot))
+			}
+		}
+		if err := visit(frame); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pixelDistFirstSighting is the PixelDist reported for an object's first
+// sighting: effectively "infinitely different" so pixel differencing never
+// deduplicates it.
+const pixelDistFirstSighting = 1e9
+
+// emitSighting produces the Sighting of object o at frame f, advancing the
+// object's motion state across the sampling gap.
+func (st *Stream) emitSighting(o *object, f FrameID, t float64, rot vision.FeatureVec) Sighting {
+	gap := 0
+	if o.lastEmitFrame >= 0 {
+		gap = int(f - o.lastEmitFrame)
+		o.step(gap)
+		o.stepDrift(gap, st.Spec.PoseDriftTau, st.Spec.PoseDriftAmp)
+	}
+	seed := int64(o.id)<<20 | int64(f-o.enterFrame)
+	ssrc := st.src.DeriveN(seed, "sight")
+
+	app := st.Space.SightingAppearance(o.instance, ssrc)
+	for i := range app {
+		app[i] += o.drift[i]
+	}
+	if rot != nil {
+		for i := range app {
+			app[i] += rot[i]
+		}
+	}
+
+	// Pixel distance to the previous emitted sighting: a compression/sensor
+	// noise floor plus motion across the gap plus heavy-tailed jitter.
+	// Slow objects (news anchors, lingering pedestrians) fall under
+	// typical differencing thresholds a third to half of the time; fast
+	// vehicles almost never do.
+	pixelDist := pixelDistFirstSighting
+	if o.lastEmitFrame >= 0 {
+		motion := o.speed * float64(gap)
+		pixelDist = 1.2 + motion*1.5 + ssrc.ExpFloat64()*3.0
+	}
+
+	s := Sighting{
+		Frame:      f,
+		TimeSec:    t,
+		Object:     o.id,
+		TrackFrame: o.emitted,
+		TrueClass:  o.class,
+		Appearance: app,
+		BBox:       Rect{X: int(o.x), Y: int(o.y), W: o.w, H: o.h},
+		PixelDist:  pixelDist,
+		Seed:       seed,
+	}
+	o.lastEmitFrame = f
+	o.emitted++
+	return s
+}
+
+// CNNSource returns the deterministic randomness source for one simulated
+// CNN inference against the sighting with the given seed. purpose
+// distinguishes independent inferences on the same sighting (one per model
+// name, plus "gt" for ground-truth labelling). Every component — ingest,
+// query, evaluation — derives through this method, so the GT-CNN gives the
+// same answer for a sighting no matter which stage asks.
+func (st *Stream) CNNSource(seed int64, purpose string) *simrand.Source {
+	return st.src.DeriveN(seed, "cnn", purpose)
+}
+
+// CollectFrames is a convenience wrapper that materializes all frames of a
+// generation pass. Intended for tests and small examples; large sweeps
+// should stream via Generate.
+func (st *Stream) CollectFrames(opts GenOptions) ([]*Frame, error) {
+	var out []*Frame
+	err := st.Generate(opts, func(f *Frame) error {
+		out = append(out, f)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,588 @@
+package video
+
+import (
+	"math"
+	"testing"
+
+	"focus/internal/vision"
+)
+
+const testSeed = 4242
+
+func testSpace() *vision.Space { return vision.NewSpace(1) }
+
+func mustStream(t testing.TB, name string) *Stream {
+	t.Helper()
+	spec, ok := SpecByName(name)
+	if !ok {
+		t.Fatalf("no spec %q", name)
+	}
+	st, err := NewStream(spec, testSpace(), testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestTable1SpecsComplete(t *testing.T) {
+	specs := Table1Specs()
+	if len(specs) != 13 {
+		t.Fatalf("Table 1 has %d streams, want 13", len(specs))
+	}
+	byType := map[StreamType]int{}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s.Name] {
+			t.Errorf("duplicate stream %q", s.Name)
+		}
+		seen[s.Name] = true
+		byType[s.Type]++
+	}
+	if byType[Traffic] != 6 || byType[Surveillance] != 4 || byType[News] != 3 {
+		t.Errorf("domain split = %v, want 6 traffic / 4 surveillance / 3 news", byType)
+	}
+	for _, name := range RepresentativeNames() {
+		if _, ok := SpecByName(name); !ok {
+			t.Errorf("representative stream %q not in Table 1", name)
+		}
+	}
+	for _, name := range CharacterizationNames() {
+		if _, ok := SpecByName(name); !ok {
+			t.Errorf("characterization stream %q not in Table 1", name)
+		}
+	}
+}
+
+func TestNewStreamValidation(t *testing.T) {
+	sp := testSpace()
+	if _, err := NewStream(StreamSpec{Name: "x", VocabSize: 0, ArrivalPerSec: 1, DwellMeanSec: 1}, sp, 1); err == nil {
+		t.Error("zero vocabulary accepted")
+	}
+	if _, err := NewStream(StreamSpec{Name: "x", VocabSize: 10, ArrivalPerSec: 0, DwellMeanSec: 1}, sp, 1); err == nil {
+		t.Error("zero arrival accepted")
+	}
+}
+
+func TestVocabulary(t *testing.T) {
+	st := mustStream(t, "auburn_c")
+	vocab := st.Vocabulary()
+	if len(vocab) != st.Spec.VocabSize {
+		t.Fatalf("vocab size %d, want %d", len(vocab), st.Spec.VocabSize)
+	}
+	seen := map[vision.ClassID]bool{}
+	for _, c := range vocab {
+		if seen[c] {
+			t.Fatalf("duplicate class %d in vocabulary", c)
+		}
+		seen[c] = true
+		if int(c) >= streetPoolSize {
+			t.Errorf("traffic stream contains out-of-pool class %d", c)
+		}
+	}
+	// Head of a traffic stream's distribution is the traffic core: cars on
+	// top (§2.2.2).
+	if vocab[0] != 0 {
+		t.Errorf("most frequent traffic class = %d, want 0 (car)", vocab[0])
+	}
+	// Zipf head must dominate.
+	if st.ClassProb(vocab[0]) < 5*st.ClassProb(vocab[len(vocab)-1]) {
+		t.Error("class distribution insufficiently skewed")
+	}
+}
+
+func TestNewsVocabularyLarger(t *testing.T) {
+	cnn := mustStream(t, "cnn")
+	auburn := mustStream(t, "auburn_c")
+	if len(cnn.Vocabulary()) <= len(auburn.Vocabulary()) {
+		t.Error("news vocabulary should exceed traffic vocabulary (§2.2.2)")
+	}
+	if cnn.Vocabulary()[0] != 1 {
+		t.Errorf("most frequent news class = %d, want 1 (person)", cnn.Vocabulary()[0])
+	}
+}
+
+func TestVocabularyJaccard(t *testing.T) {
+	// §2.2.2: average Jaccard index between streams' class sets ≈ 0.46.
+	var sets []map[vision.ClassID]bool
+	for _, name := range CharacterizationNames() {
+		st := mustStream(t, name)
+		set := map[vision.ClassID]bool{}
+		for _, c := range st.Vocabulary() {
+			set[c] = true
+		}
+		sets = append(sets, set)
+	}
+	var sum float64
+	var n int
+	for i := range sets {
+		for j := i + 1; j < len(sets); j++ {
+			inter, union := 0, 0
+			for c := range sets[i] {
+				if sets[j][c] {
+					inter++
+				}
+			}
+			union = len(sets[i]) + len(sets[j]) - inter
+			sum += float64(inter) / float64(union)
+			n++
+		}
+	}
+	avg := sum / float64(n)
+	if avg < 0.25 || avg > 0.70 {
+		t.Errorf("mean vocabulary Jaccard = %.2f, want in [0.25, 0.70] (paper: 0.46)", avg)
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	opts := GenOptions{DurationSec: 30, SampleEvery: 1}
+	a := mustStream(t, "auburn_c")
+	b := mustStream(t, "auburn_c")
+	fa, err := a.CollectFrames(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := b.CollectFrames(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fa) != len(fb) {
+		t.Fatalf("frame counts differ: %d vs %d", len(fa), len(fb))
+	}
+	for i := range fa {
+		if len(fa[i].Sightings) != len(fb[i].Sightings) {
+			t.Fatalf("frame %d sighting counts differ", i)
+		}
+		for j := range fa[i].Sightings {
+			sa, sb := fa[i].Sightings[j], fb[i].Sightings[j]
+			if sa.Object != sb.Object || sa.TrueClass != sb.TrueClass ||
+				sa.BBox != sb.BBox || sa.PixelDist != sb.PixelDist || sa.Seed != sb.Seed {
+				t.Fatalf("frame %d sighting %d differs: %+v vs %+v", i, j, sa, sb)
+			}
+			for d := range sa.Appearance {
+				if sa.Appearance[d] != sb.Appearance[d] {
+					t.Fatalf("frame %d sighting %d appearance differs", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateFrameCountAndOrder(t *testing.T) {
+	st := mustStream(t, "bend")
+	opts := GenOptions{DurationSec: 20, SampleEvery: 1}
+	frames, err := st.CollectFrames(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(opts.DurationSec * NativeFPS)
+	if len(frames) != want {
+		t.Fatalf("frames = %d, want %d", len(frames), want)
+	}
+	for i, f := range frames {
+		if f.ID != FrameID(i) {
+			t.Fatalf("frame %d has ID %d", i, f.ID)
+		}
+		if math.Abs(f.TimeSec-float64(i)/NativeFPS) > 1e-9 {
+			t.Fatalf("frame %d has time %v", i, f.TimeSec)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	st := mustStream(t, "bend")
+	if err := st.Generate(GenOptions{DurationSec: 0, SampleEvery: 1}, func(*Frame) error { return nil }); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if err := st.Generate(GenOptions{DurationSec: 5, SampleEvery: 0}, func(*Frame) error { return nil }); err == nil {
+		t.Error("zero SampleEvery accepted")
+	}
+}
+
+func TestEmptyFraction(t *testing.T) {
+	// §2.2.1: a sizeable fraction of frames has no moving objects. The
+	// spec's EmptyFrac targets the busy (day) half; night idleness pushes
+	// the full-window fraction higher still.
+	for _, name := range []string{"auburn_r", "jacksonh", "cnn"} {
+		st := mustStream(t, name)
+		dur := 1200.0
+		frames, err := st.CollectFrames(GenOptions{DurationSec: dur, SampleEvery: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		empty, day := 0, 0
+		for _, f := range frames {
+			if f.TimeSec >= dur/2 {
+				break
+			}
+			day++
+			if len(f.Sightings) == 0 {
+				empty++
+			}
+		}
+		frac := float64(empty) / float64(day)
+		want := st.Spec.EmptyFrac
+		if math.Abs(frac-want) > 0.20 {
+			t.Errorf("%s: daytime empty-frame fraction %.2f, spec %.2f", name, frac, want)
+		}
+	}
+}
+
+func TestZipfHeadCoverage(t *testing.T) {
+	// Figure 3: 3%–10% of the stream's occurring classes cover >= 95% of
+	// objects. Measure over generated objects.
+	for _, name := range []string{"auburn_c", "lausanne", "cnn"} {
+		st := mustStream(t, name)
+		counts := map[vision.ClassID]int{}
+		total := 0
+		seenObjects := map[ObjectID]bool{}
+		err := st.Generate(GenOptions{DurationSec: 2400, SampleEvery: 10}, func(f *Frame) error {
+			for _, s := range f.Sightings {
+				if !seenObjects[s.Object] {
+					seenObjects[s.Object] = true
+					counts[s.TrueClass]++
+					total++
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total < 100 {
+			t.Fatalf("%s: only %d objects generated", name, total)
+		}
+		// Sort counts descending and find how many classes reach 95%.
+		var cs []int
+		for _, n := range counts {
+			cs = append(cs, n)
+		}
+		for i := 0; i < len(cs); i++ {
+			for j := i + 1; j < len(cs); j++ {
+				if cs[j] > cs[i] {
+					cs[i], cs[j] = cs[j], cs[i]
+				}
+			}
+		}
+		cum, k := 0, 0
+		for _, n := range cs {
+			cum += n
+			k++
+			if float64(cum) >= 0.95*float64(total) {
+				break
+			}
+		}
+		frac := float64(k) / float64(len(st.Vocabulary()))
+		if frac > 0.15 {
+			t.Errorf("%s: %.1f%% of vocabulary needed for 95%% of objects, want head-heavy (<15%%, paper: 3-10%%)", name, 100*frac)
+		}
+	}
+}
+
+func TestDwellControlsSightingsPerObject(t *testing.T) {
+	st := mustStream(t, "cnn") // dwell 30s
+	counts := map[ObjectID]int{}
+	err := st.Generate(GenOptions{DurationSec: 300, SampleEvery: 1}, func(f *Frame) error {
+		for _, s := range f.Sightings {
+			counts[s.Object]++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) == 0 {
+		t.Fatal("no objects generated")
+	}
+	var sum float64
+	for _, n := range counts {
+		sum += float64(n)
+	}
+	mean := sum / float64(len(counts))
+	// Median dwell 30 s at 30 fps = 900 sightings; lognormal mean is higher,
+	// truncation at window edges lowers it. Expect hundreds.
+	if mean < 200 {
+		t.Errorf("mean sightings per object = %.0f, want >= 200 for a news stream", mean)
+	}
+}
+
+func TestDayNightModulation(t *testing.T) {
+	st := mustStream(t, "auburn_r") // NightFactor 0.15
+	firstHalf, secondHalf := 0, 0
+	dur := 1200.0
+	err := st.Generate(GenOptions{DurationSec: dur, SampleEvery: 10}, func(f *Frame) error {
+		n := len(f.Sightings)
+		if f.TimeSec < dur/2 {
+			firstHalf += n
+		} else {
+			secondHalf += n
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if firstHalf <= secondHalf {
+		t.Errorf("day sightings %d <= night sightings %d despite NightFactor %.2f",
+			firstHalf, secondHalf, st.Spec.NightFactor)
+	}
+}
+
+func TestSampleEvery(t *testing.T) {
+	st := mustStream(t, "auburn_c")
+	full, err := st.CollectFrames(GenOptions{DurationSec: 30, SampleEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := mustStream(t, "auburn_c")
+	sampled, err := st2.CollectFrames(GenOptions{DurationSec: 30, SampleEvery: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sampled) != len(full)/30 {
+		t.Fatalf("sampled frames = %d, want %d", len(sampled), len(full)/30)
+	}
+	for _, f := range sampled {
+		if f.ID%30 != 0 {
+			t.Fatalf("sampled frame ID %d not multiple of 30", f.ID)
+		}
+	}
+}
+
+func TestPixelDistGrowsWithSamplingGap(t *testing.T) {
+	meanDist := func(sampleEvery int) float64 {
+		st := mustStream(t, "auburn_c")
+		var sum float64
+		var n int
+		err := st.Generate(GenOptions{DurationSec: 60, SampleEvery: sampleEvery}, func(f *Frame) error {
+			for _, s := range f.Sightings {
+				if s.TrackFrame > 0 {
+					sum += s.PixelDist
+					n++
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			t.Fatal("no repeat sightings")
+		}
+		return sum / float64(n)
+	}
+	d1 := meanDist(1)
+	d10 := meanDist(10)
+	if d10 < 3*d1 {
+		t.Errorf("pixel distance at 3 fps (%.2f) should be much larger than at 30 fps (%.2f)", d10, d1)
+	}
+}
+
+func TestFirstSightingPixelDistLarge(t *testing.T) {
+	st := mustStream(t, "bend")
+	err := st.Generate(GenOptions{DurationSec: 30, SampleEvery: 1}, func(f *Frame) error {
+		for _, s := range f.Sightings {
+			if s.TrackFrame == 0 && s.PixelDist < 1e6 {
+				t.Fatalf("first sighting of object %d has small PixelDist %v", s.Object, s.PixelDist)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBBoxInScene(t *testing.T) {
+	st := mustStream(t, "jacksonh")
+	err := st.Generate(GenOptions{DurationSec: 60, SampleEvery: 3}, func(f *Frame) error {
+		for _, s := range f.Sightings {
+			b := s.BBox
+			if b.X < 0 || b.Y < 0 || b.X+b.W > SceneWidth || b.Y+b.H > SceneHeight {
+				t.Fatalf("bbox %+v escapes scene", b)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRotationShiftsAppearance(t *testing.T) {
+	st := mustStream(t, "church_st")
+	off0 := st.rotationOffset(0)
+	off1 := st.rotationOffset(st.Spec.RotationPeriodSec + 1)
+	if off0 == nil || off1 == nil {
+		t.Fatal("rotating stream returned nil offsets")
+	}
+	var dist float64
+	for i := range off0 {
+		d := float64(off0[i] - off1[i])
+		dist += d * d
+	}
+	if math.Sqrt(dist) < 1 {
+		t.Error("consecutive rotation views have nearly identical offsets")
+	}
+	// Same view index recurs after a full cycle.
+	offCycle := st.rotationOffset(st.Spec.RotationPeriodSec*rotationViews + 1)
+	for i := range off0 {
+		if off0[i] != offCycle[i] {
+			t.Fatal("rotation views do not cycle")
+		}
+	}
+	// Non-rotating streams have no offset.
+	if mustStream(t, "bend").rotationOffset(10) != nil {
+		t.Error("non-rotating stream has rotation offset")
+	}
+}
+
+func TestRotationTruncatesDwell(t *testing.T) {
+	st := mustStream(t, "church_st")
+	period := FrameID(st.Spec.RotationPeriodSec * NativeFPS)
+	lastSeen := map[ObjectID]FrameID{}
+	firstSeen := map[ObjectID]FrameID{}
+	err := st.Generate(GenOptions{DurationSec: 300, SampleEvery: 1}, func(f *Frame) error {
+		for _, s := range f.Sightings {
+			if _, ok := firstSeen[s.Object]; !ok {
+				firstSeen[s.Object] = f.ID
+			}
+			lastSeen[s.Object] = f.ID
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range firstSeen {
+		if firstSeen[id]/period != lastSeen[id]/period {
+			t.Fatalf("object %d spans a rotation boundary (%d..%d)", id, firstSeen[id], lastSeen[id])
+		}
+	}
+}
+
+func TestSegmentOf(t *testing.T) {
+	if SegmentOf(0.5) != 0 || SegmentOf(1.0) != 1 || SegmentOf(59.99) != 59 {
+		t.Error("SegmentOf wrong")
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	if !a.Intersects(Rect{5, 5, 10, 10}) {
+		t.Error("overlapping rects not intersecting")
+	}
+	if a.Intersects(Rect{10, 0, 5, 5}) {
+		t.Error("touching rects should not intersect")
+	}
+	if a.Area() != 100 {
+		t.Error("area wrong")
+	}
+}
+
+func TestRenderDeterminismAndSprites(t *testing.T) {
+	st := mustStream(t, "auburn_c")
+	frames, err := st.CollectFrames(GenOptions{DurationSec: 10, SampleEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRenderer(st)
+	var frame *Frame
+	for _, f := range frames {
+		if len(f.Sightings) > 0 {
+			frame = f
+			break
+		}
+	}
+	if frame == nil {
+		t.Skip("no occupied frame in window")
+	}
+	img1 := r.Render(frame)
+	img2 := r.Render(frame)
+	for i := range img1.Pix {
+		if img1.Pix[i] != img2.Pix[i] {
+			t.Fatal("render not deterministic")
+		}
+	}
+	// Sprite pixels should differ strongly from the empty-scene render.
+	empty := r.Render(&Frame{ID: frame.ID, TimeSec: frame.TimeSec})
+	s := frame.Sightings[0]
+	cx := s.BBox.X + s.BBox.W/2
+	cy := s.BBox.Y + s.BBox.H/2
+	diff := math.Abs(float64(img1.At(cx, cy)) - float64(empty.At(cx, cy)))
+	if diff < 20 {
+		t.Errorf("sprite center differs from background by only %.0f", diff)
+	}
+}
+
+func TestRenderRotatingBackgroundChanges(t *testing.T) {
+	st := mustStream(t, "church_st")
+	r := NewRenderer(st)
+	f0 := &Frame{ID: 0, TimeSec: 0}
+	f1 := &Frame{ID: 1, TimeSec: st.Spec.RotationPeriodSec + 1}
+	img0 := r.Render(f0)
+	img1 := r.Render(f1)
+	var diff float64
+	for i := range img0.Pix {
+		diff += math.Abs(float64(img0.Pix[i]) - float64(img1.Pix[i]))
+	}
+	if diff/float64(len(img0.Pix)) < 5 {
+		t.Error("rotating camera backgrounds nearly identical across views")
+	}
+}
+
+func TestGrayImageBounds(t *testing.T) {
+	g := NewGrayImage(4, 4)
+	g.Set(-1, 0, 9)
+	g.Set(0, -1, 9)
+	g.Set(4, 0, 9)
+	if g.At(-1, 0) != 0 || g.At(4, 4) != 0 {
+		t.Error("out-of-bounds reads should return 0")
+	}
+	g.Set(2, 2, 7)
+	if g.At(2, 2) != 7 {
+		t.Error("in-bounds set/get failed")
+	}
+}
+
+func BenchmarkGenerate60s(b *testing.B) {
+	spec, _ := SpecByName("auburn_c")
+	sp := testSpace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := NewStream(spec, sp, testSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		err = st.Generate(GenOptions{DurationSec: 60, SampleEvery: 1}, func(f *Frame) error {
+			n += len(f.Sightings)
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRenderFrame(b *testing.B) {
+	st := mustStream(b, "auburn_c")
+	frames, err := st.CollectFrames(GenOptions{DurationSec: 5, SampleEvery: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := NewRenderer(st)
+	var frame *Frame
+	for _, f := range frames {
+		if len(f.Sightings) > 2 {
+			frame = f
+			break
+		}
+	}
+	if frame == nil {
+		frame = frames[0]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Render(frame)
+	}
+}

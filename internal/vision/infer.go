@@ -1,0 +1,260 @@
+package vision
+
+import (
+	"focus/internal/simrand"
+)
+
+// Prediction is one entry of a classifier's ranked output: a class and its
+// confidence. Confidences within an Output are strictly descending.
+type Prediction struct {
+	Class      ClassID
+	Confidence float32
+}
+
+// Output is the result of one simulated CNN inference: the top-k ranked
+// classes and the penultimate-layer feature vector.
+type Output struct {
+	// Ranked holds the k most confident classes, most confident first.
+	Ranked []Prediction
+	// TrueRank is the 1-based rank at which the model placed the object's
+	// effective true class, which may exceed len(Ranked) when the true class
+	// fell outside the requested top-k. Exposed for evaluation and tuning;
+	// a real system would not know this.
+	TrueRank int
+	// Features is the extracted feature vector.
+	Features FeatureVec
+}
+
+// Top1 returns the most confident class of the output.
+func (o *Output) Top1() ClassID { return o.Ranked[0].Class }
+
+// Contains reports whether class c appears within the first k entries of the
+// ranking (k capped at the available entries).
+func (o *Output) Contains(c ClassID, k int) bool {
+	if k > len(o.Ranked) {
+		k = len(o.Ranked)
+	}
+	for i := 0; i < k; i++ {
+		if o.Ranked[i].Class == c {
+			return true
+		}
+	}
+	return false
+}
+
+// effectiveTrueClass maps an object's real class to what this model should
+// ideally output: the class itself for generic models or recognized classes,
+// and ClassOther for specialized models that were not trained on the class
+// (§4.3).
+func (m *Model) effectiveTrueClass(trueClass ClassID) ClassID {
+	if m.Specialized && !m.specialSet[trueClass] {
+		return ClassOther
+	}
+	return trueClass
+}
+
+// drawTrueRank samples the 1-based rank the model assigns to the effective
+// true class: rank 1 with probability topProb, otherwise a geometric tail
+// truncated to the vocabulary size.
+func (m *Model) drawTrueRank(src *simrand.Source, vocab int) int {
+	if src.Float64() < m.topProb {
+		return 1
+	}
+	r := 2 + src.Geometric(m.tailDecay)
+	if r > vocab {
+		r = vocab
+	}
+	return r
+}
+
+// outputVocab returns the total number of distinct classes the model can
+// emit, including the OTHER slot for specialized models.
+func (m *Model) outputVocab() int {
+	if m.Specialized {
+		return len(m.SpecialClasses) + 1
+	}
+	return NumClasses
+}
+
+// rankCorrelation is the probability that a sighting's true-class rank
+// repeats the model's object-stable rank rather than an independent draw.
+// Real CNN errors are strongly correlated per object — a model that
+// misranks a particular car misranks it in (almost) every frame — which is
+// why clustering cannot launder a weak ingest model's mistakes into
+// accuracy (§4.1's K must genuinely grow as models get cheaper).
+const rankCorrelation = 0.9
+
+// Classify runs one simulated inference for an object sighting.
+//
+// trueClass is the object's real class (ground truth of the synthetic
+// world); appearance is the sighting's latent appearance vector; src must
+// be a source derived uniquely for this (model, sighting) pair so repeated
+// calls are deterministic; rankSrc, when non-nil, must be derived per
+// (model, object) and makes the true-class rank consistent across the
+// object's sightings (with rankCorrelation probability); k is how many
+// ranked entries to materialize.
+//
+// The returned ranking places the model's effective true class at a rank
+// drawn from the model's calibrated rank law, fills the remaining slots with
+// confusable classes (nearest prototypes first, then pseudo-random classes),
+// and attaches a feature vector equal to the appearance plus model-dependent
+// extraction noise.
+func (m *Model) Classify(sp *Space, trueClass ClassID, appearance FeatureVec, src, rankSrc *simrand.Source, k int) *Output {
+	if k <= 0 {
+		panic("vision: Classify requires k >= 1")
+	}
+	vocab := m.outputVocab()
+	if k > vocab {
+		k = vocab
+	}
+	eff := m.effectiveTrueClass(trueClass)
+	var rank int
+	if rankSrc != nil && src.Float64() < rankCorrelation {
+		rank = m.drawTrueRank(rankSrc, vocab)
+	} else {
+		rank = m.drawTrueRank(src, vocab)
+	}
+
+	out := &Output{
+		Ranked:   make([]Prediction, k),
+		TrueRank: rank,
+		Features: m.ExtractFeatures(appearance, src),
+	}
+	m.fillRanking(sp, eff, rank, out.Ranked, src)
+
+	// Confidences: geometric decay with light jitter, strictly descending.
+	conf := 0.45 + 0.5*m.topProb + 0.04*src.Float64()
+	for i := range out.Ranked {
+		out.Ranked[i].Confidence = float32(conf)
+		decay := 0.55 + 0.1*src.Float64()
+		conf *= decay
+	}
+	return out
+}
+
+// fillRanking populates ranked with distinct classes, placing eff at
+// position rank-1 when it fits, preferring the true class's confusion pool
+// for the top slots and pseudo-random vocabulary members after that.
+func (m *Model) fillRanking(sp *Space, eff ClassID, rank int, ranked []Prediction, src *simrand.Source) {
+	k := len(ranked)
+	var taken classSet
+	taken.init(m)
+	taken.add(eff)
+
+	// Confusion pool for the true class drives the head of the ranking.
+	var pool []ClassID
+	if eff != ClassOther {
+		pool = sp.Confusions(eff)
+	}
+	poolIdx := 0
+	nextFiller := func() ClassID {
+		for poolIdx < len(pool) {
+			c := pool[poolIdx]
+			poolIdx++
+			if m.Recognizes(c) && !taken.has(c) {
+				taken.add(c)
+				return c
+			}
+		}
+		// Pseudo-random distinct members of the vocabulary, rejection
+		// sampled against the taken set.
+		for {
+			c := m.randomVocabClass(src)
+			if !taken.has(c) {
+				taken.add(c)
+				return c
+			}
+		}
+	}
+
+	for i := 0; i < k; i++ {
+		if i == rank-1 {
+			ranked[i].Class = eff
+			continue
+		}
+		ranked[i].Class = nextFiller()
+	}
+}
+
+// randomVocabClass draws a uniform member of the model's output vocabulary
+// (which includes ClassOther for specialized models).
+func (m *Model) randomVocabClass(src *simrand.Source) ClassID {
+	if !m.Specialized {
+		return ClassID(src.Intn(NumClasses))
+	}
+	i := src.Intn(len(m.SpecialClasses) + 1)
+	if i == len(m.SpecialClasses) {
+		return ClassOther
+	}
+	return m.SpecialClasses[i]
+}
+
+// classSet tracks which classes are already present in a ranking. For
+// generic models it is a bitset over NumClasses; for specialized models a
+// small map keyed by class.
+type classSet struct {
+	bits []uint64
+	m    map[ClassID]bool
+}
+
+func (cs *classSet) init(model *Model) {
+	if model.Specialized {
+		cs.m = make(map[ClassID]bool, len(model.SpecialClasses)+1)
+	} else {
+		cs.bits = make([]uint64, (NumClasses+63)/64)
+	}
+}
+
+func (cs *classSet) add(c ClassID) {
+	if cs.m != nil {
+		cs.m[c] = true
+		return
+	}
+	if c >= 0 {
+		cs.bits[c/64] |= 1 << (uint(c) % 64)
+	}
+}
+
+func (cs *classSet) has(c ClassID) bool {
+	if cs.m != nil {
+		return cs.m[c]
+	}
+	if c < 0 {
+		return false
+	}
+	return cs.bits[c/64]&(1<<(uint(c)%64)) != 0
+}
+
+// ExtractFeatures returns the model's penultimate-layer feature vector for
+// an appearance: the appearance plus per-coordinate Gaussian extraction
+// noise scaled by the model's quality.
+func (m *Model) ExtractFeatures(appearance FeatureVec, src *simrand.Source) FeatureVec {
+	f := make(FeatureVec, len(appearance))
+	for i := range f {
+		f[i] = appearance[i] + float32(src.NormFloat64()*m.featNoise)
+	}
+	return f
+}
+
+// Top1Class runs a top-1-only inference and returns just the predicted
+// class. It is the fast path used for ground-truth labelling with the
+// GT-CNN, where the full ranking is not needed.
+func (m *Model) Top1Class(sp *Space, trueClass ClassID, src *simrand.Source) ClassID {
+	eff := m.effectiveTrueClass(trueClass)
+	if src.Float64() < m.topProb {
+		return eff
+	}
+	// Misclassification: one of the nearest confusable classes the model
+	// recognizes; fall back to a random vocabulary member.
+	if eff != ClassOther {
+		pool := sp.Confusions(eff)
+		start := src.Intn(4)
+		for i := 0; i < len(pool); i++ {
+			c := pool[(start+i)%len(pool)]
+			if m.Recognizes(c) {
+				return c
+			}
+		}
+	}
+	return m.randomVocabClass(src)
+}

@@ -1,0 +1,561 @@
+package vision
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"focus/internal/simrand"
+)
+
+func testSpace() *Space { return NewSpace(1234) }
+
+func TestSpaceDeterminism(t *testing.T) {
+	a := NewSpace(99)
+	b := NewSpace(99)
+	for c := 0; c < NumClasses; c += 97 {
+		pa, pb := a.Prototype(ClassID(c)), b.Prototype(ClassID(c))
+		for d := range pa {
+			if pa[d] != pb[d] {
+				t.Fatalf("prototype %d differs between identical seeds", c)
+			}
+		}
+	}
+}
+
+func TestSpaceNames(t *testing.T) {
+	sp := testSpace()
+	if sp.Name(0) != "car" {
+		t.Errorf("class 0 = %q, want car", sp.Name(0))
+	}
+	if sp.Name(ClassOther) != "OTHER" {
+		t.Errorf("ClassOther name = %q", sp.Name(ClassOther))
+	}
+	id, ok := sp.ClassByName("bus")
+	if !ok || sp.Name(id) != "bus" {
+		t.Errorf("ClassByName(bus) = %v, %v", id, ok)
+	}
+	if _, ok := sp.ClassByName("no_such_class_xyz"); ok {
+		t.Error("unknown class resolved")
+	}
+	if other, ok := sp.ClassByName("OTHER"); !ok || other != ClassOther {
+		t.Error("OTHER did not resolve to ClassOther")
+	}
+}
+
+func TestPrototypesSeparated(t *testing.T) {
+	sp := testSpace()
+	// Random high-dimensional prototypes should be far apart relative to
+	// instance noise: minimum pairwise distance must exceed 4 sigma of the
+	// combined instance+sighting noise ball.
+	minDist := math.Inf(1)
+	for c := 0; c < 200; c++ {
+		for o := c + 1; o < 200; o++ {
+			d := L2Distance(sp.Prototype(ClassID(c)), sp.Prototype(ClassID(o)))
+			if d < minDist {
+				minDist = d
+			}
+		}
+	}
+	if minDist < 3.0 {
+		t.Errorf("minimum prototype separation %.2f too small for reliable clustering", minDist)
+	}
+}
+
+func TestConfusionPools(t *testing.T) {
+	sp := testSpace()
+	for _, c := range []ClassID{0, 1, 500, 999} {
+		pool := sp.Confusions(c)
+		if len(pool) != confusionPoolSize {
+			t.Fatalf("class %d pool size %d", c, len(pool))
+		}
+		seen := map[ClassID]bool{c: true}
+		prev := -1.0
+		for _, o := range pool {
+			if seen[o] {
+				t.Fatalf("class %d pool contains duplicate or self: %d", c, o)
+			}
+			seen[o] = true
+			d := SquaredL2Distance(sp.Prototype(c), sp.Prototype(o))
+			if prev >= 0 && d < prev {
+				t.Fatalf("class %d pool not sorted by distance", c)
+			}
+			prev = d
+		}
+	}
+}
+
+func TestL2DistanceBasics(t *testing.T) {
+	a := FeatureVec{0, 3}
+	b := FeatureVec{4, 0}
+	if d := L2Distance(a, b); math.Abs(d-5) > 1e-9 {
+		t.Errorf("L2Distance = %v, want 5", d)
+	}
+	if d := SquaredL2Distance(a, b); math.Abs(d-25) > 1e-9 {
+		t.Errorf("SquaredL2Distance = %v, want 25", d)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("dimension mismatch did not panic")
+		}
+	}()
+	L2Distance(FeatureVec{1}, FeatureVec{1, 2})
+}
+
+func TestModelCostAnchors(t *testing.T) {
+	z := NewZoo()
+	if math.Abs(z.GT.CostMS()-GTCostMS) > 1e-9 {
+		t.Errorf("GT cost = %v, want %v", z.GT.CostMS(), GTCostMS)
+	}
+	checks := []struct {
+		name     string
+		min, max float64 // acceptable CheaperThanGT band
+	}{
+		{"resnet18", 6, 9},           // paper: ≈7×
+		{"resnet18-l3-r112", 18, 45}, // paper: ≈28×
+		{"resnet18-l5-r56", 40, 110}, // paper: ≈58×
+	}
+	for _, c := range checks {
+		m := z.ByName(c.name)
+		if m == nil {
+			t.Fatalf("model %s missing from zoo", c.name)
+		}
+		f := m.CheaperThanGT()
+		if f < c.min || f > c.max {
+			t.Errorf("%s cheaper-than-GT = %.1f, want in [%v, %v]", c.name, f, c.min, c.max)
+		}
+	}
+}
+
+func TestZooOrderedByCost(t *testing.T) {
+	z := NewZoo()
+	for i := 1; i < len(z.Generic); i++ {
+		if z.Generic[i].CostMS() > z.Generic[i-1].CostMS() {
+			t.Fatalf("zoo not sorted by descending cost at %d", i)
+		}
+	}
+	if z.ByName("resnet152") != z.GT {
+		t.Error("ByName(resnet152) != GT")
+	}
+	if z.ByName("nonexistent") != nil {
+		t.Error("ByName(nonexistent) != nil")
+	}
+}
+
+func TestExpectedRecallAnchors(t *testing.T) {
+	z := NewZoo()
+	anchors := []struct {
+		model string
+		k     int
+	}{
+		{"resnet18", 60},
+		{"resnet18-l3-r112", 100},
+		{"resnet18-l5-r56", 200},
+	}
+	for _, a := range anchors {
+		m := z.ByName(a.model)
+		r := m.ExpectedRecallAtK(a.k)
+		if r < 0.85 || r > 0.96 {
+			t.Errorf("%s recall@%d = %.3f, want ≈0.90 (Figure 5 anchor)", a.model, a.k, r)
+		}
+		// Monotonicity in K.
+		prev := 0.0
+		for k := 1; k <= 400; k *= 2 {
+			cur := m.ExpectedRecallAtK(k)
+			if cur < prev {
+				t.Errorf("%s recall not monotone at K=%d", a.model, k)
+			}
+			prev = cur
+		}
+		if m.ExpectedRecallAtK(NumClasses) != 1 {
+			t.Errorf("%s recall at full vocabulary != 1", a.model)
+		}
+	}
+	// Cheaper models need larger K for the same recall (Figure 5's second
+	// observation).
+	r18 := z.ByName("resnet18")
+	r56 := z.ByName("resnet18-l5-r56")
+	if r18.ExpectedRecallAtK(60) <= r56.ExpectedRecallAtK(60) {
+		t.Error("cheaper model should have lower recall at equal K")
+	}
+}
+
+func TestEmpiricalRecallMatchesAnalytic(t *testing.T) {
+	sp := testSpace()
+	z := NewZoo()
+	m := z.ByName("resnet18")
+	src := simrand.New(555)
+	const n = 20000
+	for _, k := range []int{1, 10, 60, 200} {
+		hits := 0
+		for i := 0; i < n; i++ {
+			s := src.DeriveN(int64(i), "recall", m.Name)
+			trueClass := ClassID(i % 50)
+			app := sp.NewInstanceAppearance(trueClass, s)
+			out := m.Classify(sp, trueClass, app, s, nil, k)
+			if out.Contains(trueClass, k) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		want := m.ExpectedRecallAtK(k)
+		if math.Abs(got-want) > 0.015 {
+			t.Errorf("K=%d: empirical recall %.3f vs analytic %.3f", k, got, want)
+		}
+	}
+}
+
+func TestClassifyOutputInvariants(t *testing.T) {
+	sp := testSpace()
+	z := NewZoo()
+	src := simrand.New(777)
+	for _, m := range append([]*Model{z.GT}, z.Generic...) {
+		for i := 0; i < 200; i++ {
+			s := src.DeriveN(int64(i), "inv", m.Name)
+			trueClass := ClassID(s.Intn(NumClasses))
+			app := sp.NewInstanceAppearance(trueClass, s)
+			out := m.Classify(sp, trueClass, app, s, nil, 50)
+			if len(out.Ranked) != 50 {
+				t.Fatalf("%s: ranked size %d", m.Name, len(out.Ranked))
+			}
+			seen := map[ClassID]bool{}
+			for j, p := range out.Ranked {
+				if seen[p.Class] {
+					t.Fatalf("%s: duplicate class %d in ranking", m.Name, p.Class)
+				}
+				seen[p.Class] = true
+				if j > 0 && p.Confidence >= out.Ranked[j-1].Confidence {
+					t.Fatalf("%s: confidences not strictly descending at %d", m.Name, j)
+				}
+			}
+			if out.TrueRank <= 50 {
+				if out.Ranked[out.TrueRank-1].Class != trueClass {
+					t.Fatalf("%s: true class not at its rank %d", m.Name, out.TrueRank)
+				}
+			} else if seen[trueClass] {
+				t.Fatalf("%s: true class present despite rank %d > k", m.Name, out.TrueRank)
+			}
+			if len(out.Features) != FeatureDim {
+				t.Fatalf("%s: feature dim %d", m.Name, len(out.Features))
+			}
+		}
+	}
+}
+
+func TestClassifyDeterminism(t *testing.T) {
+	sp := testSpace()
+	m := NewZoo().ByName("resnet18")
+	base := simrand.New(31)
+	app := sp.NewInstanceAppearance(3, base.Derive("app"))
+	a := m.Classify(sp, 3, app, base.DeriveN(7, "x"), nil, 40)
+	b := m.Classify(sp, 3, app, base.DeriveN(7, "x"), nil, 40)
+	if a.TrueRank != b.TrueRank {
+		t.Fatal("TrueRank not deterministic")
+	}
+	for i := range a.Ranked {
+		if a.Ranked[i] != b.Ranked[i] {
+			t.Fatalf("ranking differs at %d", i)
+		}
+	}
+	for i := range a.Features {
+		if a.Features[i] != b.Features[i] {
+			t.Fatalf("features differ at %d", i)
+		}
+	}
+}
+
+func TestNearestNeighborSameClass(t *testing.T) {
+	// §2.2.3: using cheap-CNN feature vectors, the nearest neighbour of an
+	// object belongs to the same class >99% of the time.
+	sp := testSpace()
+	m := NewZoo().ByName("resnet18")
+	src := simrand.New(888)
+
+	type obj struct {
+		class ClassID
+		feat  FeatureVec
+	}
+	var objs []obj
+	// 40 classes, 25 objects each — a busy stream's worth of objects.
+	for c := 0; c < 40; c++ {
+		for i := 0; i < 25; i++ {
+			s := src.DeriveN(int64(c*1000+i), "nn")
+			app := sp.NewInstanceAppearance(ClassID(c), s)
+			sight := sp.SightingAppearance(app, s)
+			objs = append(objs, obj{ClassID(c), m.ExtractFeatures(sight, s)})
+		}
+	}
+	same := 0
+	for i := range objs {
+		best := -1
+		bestD := math.Inf(1)
+		for j := range objs {
+			if i == j {
+				continue
+			}
+			d := SquaredL2Distance(objs[i].feat, objs[j].feat)
+			if d < bestD {
+				bestD = d
+				best = j
+			}
+		}
+		if objs[best].class == objs[i].class {
+			same++
+		}
+	}
+	frac := float64(same) / float64(len(objs))
+	if frac < 0.99 {
+		t.Errorf("nearest-neighbour same-class fraction = %.4f, want >= 0.99 (§2.2.3)", frac)
+	}
+}
+
+func TestSelectTopClasses(t *testing.T) {
+	hist := map[ClassID]int{1: 100, 2: 50, 3: 200, 4: 5, ClassOther: 999}
+	got := SelectTopClasses(hist, 2)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("SelectTopClasses = %v, want [1 3]", got)
+	}
+	if got := SelectTopClasses(hist, 10); len(got) != 4 {
+		t.Errorf("oversized ls returned %d classes, want 4", len(got))
+	}
+	if got := SelectTopClasses(hist, 0); got != nil {
+		t.Errorf("ls=0 returned %v", got)
+	}
+}
+
+func TestSelectTopClassesTieBreak(t *testing.T) {
+	hist := map[ClassID]int{9: 10, 4: 10, 7: 10}
+	got := SelectTopClasses(hist, 2)
+	if len(got) != 2 || got[0] != 4 || got[1] != 7 {
+		t.Errorf("tie-break = %v, want [4 7]", got)
+	}
+}
+
+func TestCoverageOfClasses(t *testing.T) {
+	hist := map[ClassID]int{1: 60, 2: 30, 3: 10}
+	if c := CoverageOfClasses(hist, []ClassID{1, 2}); math.Abs(c-0.9) > 1e-9 {
+		t.Errorf("coverage = %v, want 0.9", c)
+	}
+	if c := CoverageOfClasses(map[ClassID]int{}, []ClassID{1}); c != 0 {
+		t.Errorf("empty histogram coverage = %v", c)
+	}
+}
+
+func TestTrainSpecialized(t *testing.T) {
+	z := NewZoo()
+	base := z.ByName("resnet18")
+	classes := []ClassID{0, 2, 5, 9, 17}
+	m, err := TrainSpecialized(base, SpecializeConfig{LayerKeepFrac: 0.67, InputRes: 56}, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Specialized {
+		t.Fatal("model not marked specialized")
+	}
+	if m.Vocabulary() != 5 {
+		t.Errorf("vocabulary = %d", m.Vocabulary())
+	}
+	if !m.Recognizes(5) || m.Recognizes(6) {
+		t.Error("Recognizes wrong")
+	}
+	// §4.3: specialized models are dramatically cheaper than GT and cheaper
+	// than their generic base.
+	if m.CheaperThanGT() < 40 {
+		t.Errorf("specialized model only %.1f× cheaper than GT", m.CheaperThanGT())
+	}
+	if m.CostMS() >= base.CostMS() {
+		t.Error("specialized model not cheaper than base")
+	}
+	// §4.3: small K suffices for specialized models.
+	if r := m.ExpectedRecallAtK(2); r < 0.93 {
+		t.Errorf("specialized recall@2 = %.3f, want >= 0.93", r)
+	}
+	if r := m.ExpectedRecallAtK(4); r < 0.96 {
+		t.Errorf("specialized recall@4 = %.3f, want >= 0.96", r)
+	}
+}
+
+func TestTrainSpecializedErrors(t *testing.T) {
+	z := NewZoo()
+	base := z.ByName("resnet18")
+	spec, err := TrainSpecialized(base, DefaultSpecializations[0], []ClassID{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TrainSpecialized(spec, DefaultSpecializations[0], []ClassID{1}); err == nil {
+		t.Error("re-specializing a specialized model should fail")
+	}
+	if _, err := TrainSpecialized(base, DefaultSpecializations[0], nil); err == nil {
+		t.Error("specializing with no classes should fail")
+	}
+}
+
+func TestSpecializedClassifyOtherClass(t *testing.T) {
+	sp := testSpace()
+	base := NewZoo().ByName("resnet18")
+	m, err := TrainSpecialized(base, SpecializeConfig{LayerKeepFrac: 0.67, InputRes: 80}, []ClassID{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := simrand.New(99)
+	// Objects of class 900 (not specialized) should be labelled OTHER most
+	// of the time.
+	hits := 0
+	const n = 3000
+	for i := 0; i < n; i++ {
+		s := src.DeriveN(int64(i), "other")
+		app := sp.NewInstanceAppearance(900, s)
+		out := m.Classify(sp, 900, app, s, nil, 1)
+		if out.Top1() == ClassOther {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < m.TopProb()-0.05 {
+		t.Errorf("OTHER top-1 rate %.3f below model top prob %.3f", frac, m.TopProb())
+	}
+}
+
+func TestTop1ClassAgreesWithTopProb(t *testing.T) {
+	sp := testSpace()
+	for _, name := range []string{"resnet152", "resnet18", "resnet18-l5-r56"} {
+		m := NewZoo().ByName(name)
+		src := simrand.New(1000)
+		hits := 0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			s := src.DeriveN(int64(i), "top1", name)
+			c := ClassID(i % 100)
+			if m.Top1Class(sp, c, s) == c {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if math.Abs(got-m.TopProb()) > 0.02 {
+			t.Errorf("%s top-1 accuracy %.3f vs topProb %.3f", name, got, m.TopProb())
+		}
+	}
+}
+
+func TestInterpolate(t *testing.T) {
+	x := []float64{0, 1, 2}
+	y := []float64{0, 10, 40}
+	cases := []struct{ in, want float64 }{
+		{-1, 0}, {0, 0}, {0.5, 5}, {1, 10}, {1.5, 25}, {2, 40}, {3, 40},
+	}
+	for _, c := range cases {
+		if got := interpolate(c.in, x, y); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("interpolate(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestQuickRankedAlwaysDistinct(t *testing.T) {
+	sp := testSpace()
+	m := NewZoo().ByName("resnet18-l5-r56")
+	base := simrand.New(2024)
+	err := quick.Check(func(objIdx uint16, kRaw uint8) bool {
+		k := 1 + int(kRaw)%256
+		s := base.DeriveN(int64(objIdx), "quick")
+		c := ClassID(int(objIdx) % NumClasses)
+		app := sp.NewInstanceAppearance(c, s)
+		out := m.Classify(sp, c, app, s, nil, k)
+		seen := map[ClassID]bool{}
+		for _, p := range out.Ranked {
+			if seen[p.Class] {
+				return false
+			}
+			seen[p.Class] = true
+		}
+		return len(out.Ranked) == min(k, NumClasses)
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkClassifyTop60(b *testing.B) {
+	sp := testSpace()
+	m := NewZoo().ByName("resnet18")
+	base := simrand.New(5)
+	app := sp.NewInstanceAppearance(3, base)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := base.DeriveN(int64(i), "bench")
+		m.Classify(sp, 3, app, s, nil, 60)
+	}
+}
+
+func BenchmarkExtractFeatures(b *testing.B) {
+	sp := testSpace()
+	m := NewZoo().ByName("resnet18")
+	base := simrand.New(5)
+	app := sp.NewInstanceAppearance(3, base)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ExtractFeatures(app, base)
+	}
+}
+
+func TestRankCorrelationPerObject(t *testing.T) {
+	// With a per-object rank source, a weak model's misrankings repeat
+	// across the object's sightings (§4.1: clustering must not launder a
+	// cheap model's errors into accuracy).
+	sp := testSpace()
+	m := NewZoo().ByName("resnet18-l5-r56")
+	base := simrand.New(77)
+
+	matches, trials := 0, 0
+	for obj := 0; obj < 300; obj++ {
+		rankSrc := func() *simrand.Source { return base.DeriveN(int64(obj), "rank") }
+		c := ClassID(obj % 40)
+		app := sp.NewInstanceAppearance(c, base.DeriveN(int64(obj), "app"))
+		var ranks []int
+		for sight := 0; sight < 6; sight++ {
+			s := base.DeriveN(int64(obj*100+sight), "s")
+			out := m.Classify(sp, c, app, s, rankSrc(), 10)
+			ranks = append(ranks, out.TrueRank)
+		}
+		for _, r := range ranks[1:] {
+			trials++
+			if r == ranks[0] {
+				matches++
+			}
+		}
+	}
+	frac := float64(matches) / float64(trials)
+	// With rankCorrelation 0.8, pairs agree at least ~0.64 of the time
+	// (both correlated), plus chance agreements.
+	if frac < 0.55 {
+		t.Errorf("object rank repetition rate = %.2f, want >= 0.55", frac)
+	}
+	// Without a rank source, repetition collapses to chance for this weak
+	// model (rank 1 with prob ~0.35).
+	matches, trials = 0, 0
+	for obj := 0; obj < 300; obj++ {
+		c := ClassID(obj % 40)
+		app := sp.NewInstanceAppearance(c, base.DeriveN(int64(obj), "app"))
+		var ranks []int
+		for sight := 0; sight < 6; sight++ {
+			s := base.DeriveN(int64(obj*100+sight), "u")
+			out := m.Classify(sp, c, app, s, nil, 10)
+			ranks = append(ranks, out.TrueRank)
+		}
+		for _, r := range ranks[1:] {
+			trials++
+			if r == ranks[0] {
+				matches++
+			}
+		}
+	}
+	if indep := float64(matches) / float64(trials); indep > frac-0.1 {
+		t.Errorf("independent draws repeat at %.2f, correlated at %.2f; expected a clear gap", indep, frac)
+	}
+}

@@ -1,0 +1,237 @@
+package focus
+
+import (
+	"fmt"
+
+	"focus/internal/cluster"
+	"focus/internal/index"
+	"focus/internal/ingest"
+	"focus/internal/query"
+	"focus/internal/tune"
+	"focus/internal/video"
+	"focus/internal/vision"
+)
+
+// Session is one stream's lifecycle: tune → ingest → query.
+type Session struct {
+	sys    *System
+	stream *video.Stream
+
+	sweep     *tune.SweepResult
+	selection *tune.Selection
+	ix        *index.Index
+	engine    *query.Engine
+	stats     ingest.Stats
+	genOpts   GenOptions
+}
+
+// Stream exposes the underlying synthetic stream.
+func (sess *Session) Stream() *video.Stream { return sess.stream }
+
+// Name returns the stream name.
+func (sess *Session) Name() string { return sess.stream.Spec.Name }
+
+// Selection returns the tuner's outcome (nil before Tune/Ingest).
+func (sess *Session) Selection() *tune.Selection { return sess.selection }
+
+// Sweep returns the tuner's full sweep (nil before Tune/Ingest).
+func (sess *Session) Sweep() *tune.SweepResult { return sess.sweep }
+
+// Index returns the stream's top-K index (nil before Ingest).
+func (sess *Session) Index() *index.Index { return sess.ix }
+
+// IngestStats returns the last ingestion's counters.
+func (sess *Session) IngestStats() ingest.Stats { return sess.stats }
+
+// freshStream rebuilds the deterministic stream so each pass (tuning,
+// ingestion, evaluation) replays identical video from the start, the way a
+// recorded stream can be re-read from storage.
+func (sess *Session) freshStream() (*video.Stream, error) {
+	return video.NewStream(sess.stream.Spec, sess.sys.space, sess.sys.cfg.Seed)
+}
+
+// Tune runs the parameter sweep (§4.4) over the given window and selects a
+// configuration per the system's policy and targets.
+func (sess *Session) Tune(opts GenOptions) error {
+	tuneOpts := tune.DefaultOptions()
+	if sess.sys.cfg.TuneOptions != nil {
+		tuneOpts = *sess.sys.cfg.TuneOptions
+	}
+	st, err := sess.freshStream()
+	if err != nil {
+		return err
+	}
+	sweep, err := tune.Sweep(st, sess.sys.space, sess.sys.zoo, tuneOpts, opts)
+	if err != nil {
+		return err
+	}
+	sel, err := sweep.Select(sess.sys.cfg.Targets, sess.sys.cfg.Policy)
+	if err != nil {
+		return err
+	}
+	sess.sweep = sweep
+	sess.selection = sel
+	sess.sys.meter.AddTraining(sweep.EstimationGPUMS)
+	return nil
+}
+
+// Ingest indexes the stream window with the tuned configuration, running
+// the tuner first if it has not run yet. It replaces any previous index.
+func (sess *Session) Ingest(opts GenOptions) error {
+	if sess.selection == nil {
+		if err := sess.Tune(opts); err != nil {
+			return err
+		}
+	}
+	chosen := sess.selection.Chosen
+	tuneOpts := tune.DefaultOptions()
+	if sess.sys.cfg.TuneOptions != nil {
+		tuneOpts = *sess.sys.cfg.TuneOptions
+	}
+	cfg := ingest.Config{
+		Model:              chosen.Model,
+		K:                  chosen.K,
+		ClusterThreshold:   chosen.T,
+		PixelDiffThreshold: tuneOpts.PixelDiffThreshold,
+	}
+	st, err := sess.freshStream()
+	if err != nil {
+		return err
+	}
+	worker, err := ingest.NewWorker(st, sess.sys.space, cfg, &sess.sys.meter)
+	if err != nil {
+		return err
+	}
+	ix, err := worker.Run(opts)
+	if err != nil {
+		return err
+	}
+	sess.ix = ix
+	sess.stats = worker.Stats()
+	sess.genOpts = opts
+	sess.engine, err = query.NewEngine(ix, sess.sys.zoo.GT, sess.sys.space,
+		sess.gtFunc(), &sess.sys.meter)
+	if err != nil {
+		return err
+	}
+	if sess.sys.cfg.StorePath != "" {
+		if err := ix.Save(sess.sys.store); err != nil {
+			return fmt.Errorf("focus: persisting index: %w", err)
+		}
+	}
+	return nil
+}
+
+// gtFunc builds the stream-consistent GT-CNN oracle used to verify cluster
+// centroids at query time.
+func (sess *Session) gtFunc() query.GTFunc {
+	sys := sess.sys
+	st := sess.stream
+	return func(m cluster.Member) vision.ClassID {
+		return sys.zoo.GT.Top1Class(sys.space, m.TrueClass, st.CNNSource(m.Seed, "gt"))
+	}
+}
+
+// LoadIndex restores a previously persisted index for this stream from the
+// system's store, instead of re-ingesting.
+func (sess *Session) LoadIndex() error {
+	if sess.sys.cfg.StorePath == "" {
+		return fmt.Errorf("focus: system has no persistent store")
+	}
+	ix, err := index.Load(sess.sys.store, sess.Name())
+	if err != nil {
+		return err
+	}
+	sess.ix = ix
+	sess.engine, err = query.NewEngine(ix, sess.sys.zoo.GT, sess.sys.space,
+		sess.gtFunc(), &sess.sys.meter)
+	return err
+}
+
+// QueryOptions mirror query.Options at the public API.
+type QueryOptions struct {
+	// Kx lowers the retrieval cut below the indexed K (§5); 0 = full K.
+	Kx int
+	// StartSec/EndSec restrict the time window; EndSec <= 0 = unbounded.
+	StartSec, EndSec float64
+	// MaxClusters caps examined clusters for batched retrieval.
+	MaxClusters int
+}
+
+// StreamResult is the result of one query against one stream.
+type StreamResult = query.Result
+
+// QueryClass answers "find frames with objects of class c" on this stream.
+func (sess *Session) QueryClass(c vision.ClassID, opts QueryOptions) (*StreamResult, error) {
+	if sess.engine == nil {
+		return nil, fmt.Errorf("focus: stream %q has not been ingested", sess.Name())
+	}
+	return sess.engine.Query(c, query.Options{
+		Kx:          opts.Kx,
+		StartSec:    opts.StartSec,
+		EndSec:      opts.EndSec,
+		MaxClusters: opts.MaxClusters,
+		NumGPUs:     sess.sys.cfg.NumGPUs,
+	})
+}
+
+// Query is a cross-stream query.
+type Query struct {
+	// Class is the queried class name (e.g. "car").
+	Class string
+	// Streams restricts the query to these stream names; empty = all.
+	Streams []string
+	// Options apply to every stream.
+	Options QueryOptions
+}
+
+// Result aggregates per-stream results of one query.
+type Result struct {
+	Class vision.ClassID
+	// PerStream holds each stream's result, keyed by stream name.
+	PerStream map[string]*StreamResult
+	// LatencyMS is the query latency with streams processed in parallel
+	// by their own workers (§5): the slowest stream bounds it.
+	LatencyMS float64
+	// GPUTimeMS is the total GPU time across streams.
+	GPUTimeMS float64
+	// TotalFrames counts returned frames across streams.
+	TotalFrames int
+}
+
+// Query runs a class query across the selected (or all) ingested streams.
+func (s *System) Query(q Query) (*Result, error) {
+	id, err := s.ClassID(q.Class)
+	if err != nil {
+		return nil, err
+	}
+	names := q.Streams
+	if len(names) == 0 {
+		for _, sess := range s.Sessions() {
+			if sess.engine != nil {
+				names = append(names, sess.Name())
+			}
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("focus: no ingested streams to query")
+	}
+	res := &Result{Class: id, PerStream: make(map[string]*StreamResult, len(names))}
+	for _, name := range names {
+		sess := s.sessions[name]
+		if sess == nil {
+			return nil, fmt.Errorf("focus: unknown stream %q", name)
+		}
+		sr, err := sess.QueryClass(id, q.Options)
+		if err != nil {
+			return nil, fmt.Errorf("focus: querying %q: %w", name, err)
+		}
+		res.PerStream[name] = sr
+		res.GPUTimeMS += sr.GPUTimeMS
+		if sr.LatencyMS > res.LatencyMS {
+			res.LatencyMS = sr.LatencyMS
+		}
+		res.TotalFrames += len(sr.Frames)
+	}
+	return res, nil
+}
