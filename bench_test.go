@@ -19,6 +19,7 @@ import (
 
 	"focus"
 	"focus/internal/experiments"
+	"focus/internal/scalebench"
 )
 
 var (
@@ -116,6 +117,40 @@ func BenchmarkFigure9TradeoffPerStream(b *testing.B)  { runExperiment(b, "fig9")
 func BenchmarkFigure10AccuracyIngest(b *testing.B)    { runExperiment(b, "fig10-11") }
 func BenchmarkFigure12FrameRateIngest(b *testing.B)   { runExperiment(b, "fig12-13") }
 func BenchmarkSection67QueryRates(b *testing.B)       { runExperiment(b, "sec6.7") }
+
+// runScaling measures one multi-stream scaling point — wall-clock speedup
+// of concurrent ingest-all and cross-stream query fan-out over their
+// sequential reference paths — and appends it to the BENCH_parallel.json
+// trajectory. The parallel paths must reproduce the sequential results
+// exactly; a divergence fails the benchmark.
+func runScaling(b *testing.B, streams int) {
+	b.Helper()
+	cfg := scalebench.DefaultConfig()
+	cfg.StreamCounts = []int{streams}
+	var rep *scalebench.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = scalebench.Run(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	p := rep.Points[0]
+	if !p.Identical {
+		b.Fatalf("parallel run diverged from sequential run at %d streams", streams)
+	}
+	b.ReportMetric(p.IngestSpeedup, "ingest_speedup_x")
+	b.ReportMetric(p.QuerySpeedup, "query_speedup_x")
+	b.ReportMetric(p.IngestParSec, "ingest_par_sec")
+	b.ReportMetric(p.QueryParSec, "query_par_sec")
+	if err := scalebench.AppendJSON("BENCH_parallel.json", rep); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkScalingStreams1(b *testing.B)  { runScaling(b, 1) }
+func BenchmarkScalingStreams4(b *testing.B)  { runScaling(b, 4) }
+func BenchmarkScalingStreams16(b *testing.B) { runScaling(b, 16) }
 
 // BenchmarkQuickstartPipeline measures the end-to-end public-API pipeline
 // (tune + ingest + one query) on one stream, the unit of work a user's

@@ -4,9 +4,14 @@
 // Usage:
 //
 //	focus-bench [-duration 240] [-gpus 10] [-run fig7,fig8] [-csv-dir out/]
+//	focus-bench -parallel [-streams 1,4,16] [-parallel-out BENCH_parallel.json]
 //
 // Without -run it executes the full suite in paper order. Expect several
 // minutes at the default scale; -duration scales fidelity against runtime.
+//
+// -parallel runs the multi-stream scaling benchmark instead: concurrent
+// ingest and cross-stream query fan-out versus their sequential reference
+// paths, appending the measured speedups to a JSON trajectory file.
 package main
 
 import (
@@ -14,12 +19,17 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
 	"focus/internal/experiments"
+	"focus/internal/scalebench"
 	"focus/internal/tune"
 )
+
+func runtimeGOMAXPROCS() int { return runtime.GOMAXPROCS(0) }
 
 func main() {
 	duration := flag.Float64("duration", 240, "per-stream window length in seconds")
@@ -31,12 +41,21 @@ func main() {
 	run := flag.String("run", "", "comma-separated experiment names (default: all)")
 	csvDir := flag.String("csv-dir", "", "also write each table as CSV into this directory")
 	list := flag.Bool("list", false, "list experiment names and exit")
+	par := flag.Bool("parallel", false, "run the multi-stream scaling benchmark instead of the paper suite")
+	streams := flag.String("streams", "1,4,16", "stream counts for -parallel")
+	parDuration := flag.Float64("parallel-duration", 60, "per-stream window for -parallel, in seconds")
+	parOut := flag.String("parallel-out", "BENCH_parallel.json", "trajectory file for -parallel")
 	flag.Parse()
 
 	if *list {
 		for _, n := range experiments.Names() {
 			fmt.Println(n)
 		}
+		return
+	}
+
+	if *par {
+		runParallel(*streams, *parDuration, *sampleEvery, *gpus, *seed, *parOut)
 		return
 	}
 
@@ -80,6 +99,46 @@ func main() {
 		fmt.Printf("(%s finished in %.1fs)\n\n", name, time.Since(t0).Seconds())
 	}
 	fmt.Printf("# suite finished in %.1fs\n", time.Since(start).Seconds())
+}
+
+// runParallel executes the scaling benchmark and appends BENCH_parallel.json.
+func runParallel(streams string, duration float64, sampleEvery, gpus int, seed uint64, out string) {
+	cfg := scalebench.DefaultConfig()
+	cfg.DurationSec = duration
+	cfg.SampleEvery = sampleEvery
+	cfg.NumGPUs = gpus
+	cfg.Seed = seed
+	cfg.StreamCounts = cfg.StreamCounts[:0]
+	for _, s := range strings.Split(streams, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "focus-bench: bad stream count %q\n", s)
+			os.Exit(1)
+		}
+		cfg.StreamCounts = append(cfg.StreamCounts, n)
+	}
+
+	fmt.Printf("# Focus parallel scaling — window %.0fs/stream, %d GPUs, pace %v/GPU-ms, GOMAXPROCS %d\n\n",
+		cfg.DurationSec, cfg.NumGPUs, cfg.GPUPace, runtimeGOMAXPROCS())
+	rep, err := scalebench.Run(cfg, func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "focus-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n%-8s %12s %12s %9s %12s %12s %9s %10s\n",
+		"streams", "ingest-seq", "ingest-par", "speedup", "query-seq", "query-par", "speedup", "identical")
+	for _, p := range rep.Points {
+		fmt.Printf("%-8d %11.2fs %11.2fs %8.2fx %11.2fs %11.2fs %8.2fx %10v\n",
+			p.Streams, p.IngestSeqSec, p.IngestParSec, p.IngestSpeedup,
+			p.QuerySeqSec, p.QueryParSec, p.QuerySpeedup, p.Identical)
+	}
+	if err := scalebench.AppendJSON(out, rep); err != nil {
+		fmt.Fprintln(os.Stderr, "focus-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n# appended to %s\n", out)
 }
 
 func writeCSV(dir string, tb *experiments.Table) error {

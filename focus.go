@@ -30,6 +30,7 @@ package focus
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"focus/internal/gpu"
 	"focus/internal/kvstore"
@@ -74,6 +75,13 @@ type Config struct {
 	StorePath string
 	// TuneOptions overrides the parameter-search space; nil uses defaults.
 	TuneOptions *tune.Options
+	// GPUPace, when non-zero, makes every simulated GPU millisecond cost
+	// this much real wall-clock time on the goroutine doing the work.
+	// Results are unaffected; only elapsed time changes. The scaling
+	// benchmarks use it to measure how the parallel execution layer
+	// overlaps per-stream GPU stalls (§5: "the slowest stream bounds"
+	// query latency).
+	GPUPace time.Duration
 }
 
 // DefaultNumGPUs is the default query-time GPU parallelism.
@@ -113,13 +121,15 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{
+	s := &System{
 		cfg:      cfg,
 		space:    vision.NewSpace(cfg.Seed),
 		zoo:      vision.NewZoo(),
 		store:    store,
 		sessions: make(map[string]*Session),
-	}, nil
+	}
+	s.meter.SetPace(cfg.GPUPace)
+	return s, nil
 }
 
 // Close releases the embedded store.

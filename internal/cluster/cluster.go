@@ -59,7 +59,10 @@ type Cluster struct {
 	// at spill time the representative ("centroid object", §4.2) is the
 	// candidate closest to the final centroid.
 	repCandidates []repCandidate
-	spilled       bool
+	// centroidNorm caches ‖Centroid‖ so the nearest-centroid scan can prune
+	// candidates by the triangle inequality before touching coordinates.
+	centroidNorm float64
+	spilled      bool
 	// lastTouch is the timestamp of the most recent member, for idle
 	// retirement.
 	lastTouch float64
@@ -235,9 +238,10 @@ func (e *Engine) Add(feature vision.FeatureVec, m Member, ranked []vision.Predic
 		c.updateCentroid(feature)
 	} else {
 		c = &Cluster{
-			ID:        e.nextID,
-			Centroid:  feature.Clone(),
-			classConf: make(map[vision.ClassID]float64),
+			ID:           e.nextID,
+			Centroid:     feature.Clone(),
+			centroidNorm: vision.Norm(feature),
+			classConf:    make(map[vision.ClassID]float64),
 		}
 		e.nextID++
 		e.active = append(e.active, c)
@@ -314,12 +318,25 @@ func (e *Engine) AddDeduplicated(c *Cluster, m Member) bool {
 	return true
 }
 
-// nearest returns the active cluster with the closest centroid.
+// nearest returns the active cluster with the closest centroid. The scan is
+// the hottest loop of the ingest path — O(M·d) per scored sighting — so it
+// prunes with two exact shortcuts that leave the selected cluster and its
+// distance bit-identical to a full scan:
+//
+//   - triangle inequality on cached norms: ‖c−f‖² ≥ (‖c‖−‖f‖)², so a
+//     centroid whose norm gap already exceeds the best distance is skipped
+//     without touching its coordinates;
+//   - early-exit accumulation: the squared distance is abandoned mid-sum
+//     once it provably cannot beat the current best.
 func (e *Engine) nearest(f vision.FeatureVec) (*Cluster, float64) {
+	fNorm := vision.Norm(f)
 	var best *Cluster
 	bestD := math.Inf(1)
 	for _, c := range e.active {
-		d := vision.SquaredL2Distance(c.Centroid, f)
+		if lb := c.centroidNorm - fNorm; lb*lb > bestD {
+			continue
+		}
+		d := vision.SquaredL2DistanceBounded(c.Centroid, f, bestD)
 		if d < bestD {
 			bestD = d
 			best = c
@@ -334,6 +351,7 @@ func (c *Cluster) updateCentroid(f vision.FeatureVec) {
 	for i := range c.Centroid {
 		c.Centroid[i] = (c.Centroid[i]*n + f[i]) / (n + 1)
 	}
+	c.centroidNorm = vision.Norm(c.Centroid)
 }
 
 // addRepCandidate maintains the bounded reservoir of representative

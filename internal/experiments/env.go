@@ -9,11 +9,13 @@ package experiments
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"focus/internal/baseline"
 	"focus/internal/cluster"
 	"focus/internal/gpu"
 	"focus/internal/ingest"
+	"focus/internal/parallel"
 	"focus/internal/query"
 	"focus/internal/stats"
 	"focus/internal/tune"
@@ -69,6 +71,10 @@ type Env struct {
 	mu     sync.Mutex
 	truths map[string]*stats.GroundTruth
 	sweeps map[string]*tune.SweepResult
+	// inflightSweeps counts sweeps currently computing, so each divides
+	// the CPU budget instead of multiplying it when experiments fan out
+	// per stream (sweep results are worker-count-invariant by contract).
+	inflightSweeps atomic.Int64
 }
 
 // NewEnv builds an experiment environment.
@@ -158,6 +164,11 @@ func (e *Env) Sweep(name string, opts video.GenOptions, mode SweepMode) (*tune.S
 	}
 	topts := tune.DefaultOptions()
 	mode.apply(&topts)
+	concurrent := int(e.inflightSweeps.Add(1))
+	defer e.inflightSweeps.Add(-1)
+	if topts.Workers = parallel.CPUWorkers(0) / concurrent; topts.Workers < 1 {
+		topts.Workers = 1
+	}
 	sw, err := tune.Sweep(st, e.Space, e.Zoo, topts, opts)
 	if err != nil {
 		return nil, err

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"focus/internal/parallel"
 	"focus/internal/stats"
 	"focus/internal/tune"
 	"focus/internal/video"
@@ -93,15 +94,20 @@ func (e *Env) Figure7() (*Table, error) {
 			"recall", "precision", "model", "K", "clusters"},
 	}
 	opts := e.Cfg.GenOptions()
+	specs := video.Table1Specs()
+	// Streams evaluate independently — tune, ingest and query all thirteen
+	// with concurrent per-stream workers, then emit rows in Table 1 order.
+	evals, err := parallel.Map(parallel.CPUWorkers(0), len(specs), func(i int) (*PolicyEval, error) {
+		return e.EvaluatePolicy(specs[i].Name, tune.Balance, e.Cfg.Targets, ModeFull, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
 	var iFactors, qFactors []float64
-	for _, spec := range video.Table1Specs() {
-		ev, err := e.EvaluatePolicy(spec.Name, tune.Balance, e.Cfg.Targets, ModeFull, opts)
-		if err != nil {
-			return nil, err
-		}
+	for i, ev := range evals {
 		iFactors = append(iFactors, ev.IngestFactor)
 		qFactors = append(qFactors, ev.QueryFactor)
-		t.AddRow(spec.Name, string(spec.Type), fx(ev.IngestFactor), fx(ev.QueryFactor),
+		t.AddRow(specs[i].Name, string(specs[i].Type), fx(ev.IngestFactor), fx(ev.QueryFactor),
 			f3(ev.Recall), f3(ev.Precision), ev.Chosen.Model.Name, fi(ev.Chosen.K), fi(ev.Clusters))
 	}
 	t.AddNote("average: ingest %.0fx cheaper, query %.0fx faster (paper: 58x and 37x)",
@@ -123,15 +129,31 @@ func (e *Env) Figure8() (*Table, error) {
 	}
 	opts := e.Cfg.GenOptions()
 	modes := []SweepMode{ModeCompressedOnly, ModeNoClustering, ModeFull}
-	var avgI, avgQ [3][]float64
-	for _, name := range video.RepresentativeNames() {
-		row := []string{name}
-		var iCells, qCells []string
+	names := video.RepresentativeNames()
+	// Fan out per stream, with the three modes evaluated serially inside
+	// each worker: the modes of one stream share its memoized ground
+	// truth, and evaluating them in one worker avoids three concurrent
+	// misses racing to compute it.
+	evals, err := parallel.Map(parallel.CPUWorkers(0), len(names), func(ni int) ([]*PolicyEval, error) {
+		out := make([]*PolicyEval, len(modes))
 		for mi, mode := range modes {
-			ev, err := e.EvaluatePolicy(name, tune.Balance, e.Cfg.Targets, mode, opts)
+			ev, err := e.EvaluatePolicy(names[ni], tune.Balance, e.Cfg.Targets, mode, opts)
 			if err != nil {
 				return nil, err
 			}
+			out[mi] = ev
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var avgI, avgQ [3][]float64
+	for ni, name := range names {
+		row := []string{name}
+		var iCells, qCells []string
+		for mi := range modes {
+			ev := evals[ni][mi]
 			iCells = append(iCells, fx(ev.IngestFactor))
 			qCells = append(qCells, fx(ev.QueryFactor))
 			avgI[mi] = append(avgI[mi], ev.IngestFactor)
@@ -158,16 +180,25 @@ func (e *Env) Figure9() (*Table, error) {
 		Columns: []string{"stream", "OptI ingest", "OptI query", "OptQ ingest", "OptQ query"},
 	}
 	opts := e.Cfg.GenOptions()
+	names := video.RepresentativeNames()
+	type pair struct{ oi, oq *PolicyEval }
+	pairs, err := parallel.Map(parallel.CPUWorkers(0), len(names), func(i int) (pair, error) {
+		oi, err := e.EvaluatePolicy(names[i], tune.OptIngest, e.Cfg.Targets, ModeFull, opts)
+		if err != nil {
+			return pair{}, err
+		}
+		oq, err := e.EvaluatePolicy(names[i], tune.OptQuery, e.Cfg.Targets, ModeFull, opts)
+		if err != nil {
+			return pair{}, err
+		}
+		return pair{oi, oq}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var oiI, oiQ, oqI, oqQ []float64
-	for _, name := range video.RepresentativeNames() {
-		oi, err := e.EvaluatePolicy(name, tune.OptIngest, e.Cfg.Targets, ModeFull, opts)
-		if err != nil {
-			return nil, err
-		}
-		oq, err := e.EvaluatePolicy(name, tune.OptQuery, e.Cfg.Targets, ModeFull, opts)
-		if err != nil {
-			return nil, err
-		}
+	for i, p := range pairs {
+		name, oi, oq := names[i], p.oi, p.oq
 		oiI = append(oiI, oi.IngestFactor)
 		oiQ = append(oiQ, oi.QueryFactor)
 		oqI = append(oqI, oq.IngestFactor)

@@ -1,0 +1,47 @@
+package gpu
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPaceDisabledByDefault(t *testing.T) {
+	var m Meter
+	start := time.Now()
+	p := m.NewPacer()
+	p.Add(1e6) // a thousand simulated seconds
+	p.Flush()
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("unpaced meter stalled for %v", elapsed)
+	}
+}
+
+func TestPacerSleepsProportionally(t *testing.T) {
+	var m Meter
+	m.SetPace(100 * time.Microsecond) // 100µs real per simulated ms
+	p := m.NewPacer()
+	start := time.Now()
+	for i := 0; i < 100; i++ {
+		p.Add(1) // 100 simulated ms in total → ≥ 10ms real
+	}
+	p.Flush()
+	elapsed := time.Since(start)
+	if elapsed < 10*time.Millisecond {
+		t.Fatalf("paced 100 simulated ms in %v, want >= 10ms", elapsed)
+	}
+	// No upper-bound assertion: sleeps only overshoot, and loaded CI
+	// machines overshoot arbitrarily.
+}
+
+func TestPacerFlushClearsDebt(t *testing.T) {
+	var m Meter
+	m.SetPace(time.Millisecond)
+	p := m.NewPacer()
+	p.Add(1)
+	p.Flush()
+	start := time.Now()
+	p.Flush() // nothing left to sleep
+	if elapsed := time.Since(start); elapsed > 50*time.Millisecond {
+		t.Fatalf("second flush slept %v", elapsed)
+	}
+}

@@ -1,0 +1,91 @@
+package ingest_test
+
+import (
+	"testing"
+
+	"focus/internal/gpu"
+	"focus/internal/ingest"
+	"focus/internal/video"
+	"focus/internal/vision"
+)
+
+// mkFrame builds a one-sighting frame for one tracked object. PixelDist is
+// what the stream measured against the object's previous emitted sighting.
+func mkFrame(id video.FrameID, obj video.ObjectID, trackFrame int, pixelDist float64) *video.Frame {
+	return &video.Frame{
+		ID:      id,
+		TimeSec: float64(id) / video.NativeFPS,
+		Sightings: []video.Sighting{{
+			Frame:      id,
+			TimeSec:    float64(id) / video.NativeFPS,
+			Object:     obj,
+			TrackFrame: trackFrame,
+			TrueClass:  0,
+			Appearance: make(vision.FeatureVec, vision.FeatureDim),
+			BBox:       video.Rect{X: 10, Y: 10, W: 20, H: 20},
+			PixelDist:  pixelDist,
+			Seed:       int64(id),
+		}},
+	}
+}
+
+// TestPixelDiffRequiresAdjacentFrame pins the stale-association fix: pixel
+// differencing may only deduplicate against the immediately preceding
+// processed frame. A frame arriving after a gap (dropped frames, a stride
+// change) must be classified, not matched against the stale table — its
+// PixelDist was measured against a frame the worker never saw the table
+// for.
+func TestPixelDiffRequiresAdjacentFrame(t *testing.T) {
+	st, space := testStream(t, "bend", 1)
+	zoo := vision.NewZoo()
+	var meter gpu.Meter
+	w, err := ingest.NewWorker(st, space, defaultConfig(zoo), &meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w.ProcessFrame(mkFrame(0, 1, 0, 1e9)) // first sighting: always scored
+	w.ProcessFrame(mkFrame(1, 1, 1, 1.0)) // adjacent, near-identical: dedup
+	if got := w.Stats().Deduplicated; got != 1 {
+		t.Fatalf("adjacent frame: %d deduplicated, want 1", got)
+	}
+
+	// Frames 2–4 are dropped. Frame 5's sighting still has a small
+	// PixelDist (measured against frame 4, which this worker never
+	// processed), and its bbox still overlaps the stale table entry — but
+	// the association is no longer frame-adjacent, so it must be scored.
+	w.ProcessFrame(mkFrame(5, 1, 5, 1.0))
+	if got := w.Stats().Deduplicated; got != 1 {
+		t.Fatalf("after frame gap: %d deduplicated, want still 1", got)
+	}
+	if got := w.Stats().CNNInferences; got != 2 {
+		t.Fatalf("after frame gap: %d inferences, want 2", got)
+	}
+
+	// Adjacency restored: frame 6 immediately follows frame 5.
+	w.ProcessFrame(mkFrame(6, 1, 6, 1.0))
+	if got := w.Stats().Deduplicated; got != 2 {
+		t.Fatalf("adjacency restored: %d deduplicated, want 2", got)
+	}
+}
+
+// TestPixelDiffSurvivesSampling checks that a driver declaring its
+// sampling stride (every n-th frame) keeps deduplicating: consecutively
+// processed frames are "adjacent" in the processed sequence.
+func TestPixelDiffSurvivesSampling(t *testing.T) {
+	st, space := testStream(t, "bend", 1)
+	zoo := vision.NewZoo()
+	var meter gpu.Meter
+	cfg := defaultConfig(zoo)
+	cfg.FrameStride = 30
+	w, err := ingest.NewWorker(st, space, cfg, &meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.ProcessFrame(mkFrame(0, 1, 0, 1e9))
+	w.ProcessFrame(mkFrame(30, 1, 1, 1.0)) // stride locks to 30
+	w.ProcessFrame(mkFrame(60, 1, 2, 1.0))
+	if got := w.Stats().Deduplicated; got != 2 {
+		t.Fatalf("constant stride: %d deduplicated, want 2", got)
+	}
+}

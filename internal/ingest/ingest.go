@@ -37,6 +37,12 @@ type Config struct {
 	// its predecessor in the previous frame by at most this much (§4.2).
 	// Zero disables pixel differencing.
 	PixelDiffThreshold float64
+	// FrameStride is the frame-ID gap between consecutively processed
+	// frames: 1 for native-rate drivers (the default), the sampling stride
+	// for subsampled ones. Run overrides it from its options; callers
+	// driving ProcessFrame directly at a non-native stride must set it,
+	// or every frame looks gapped and pixel differencing never engages.
+	FrameStride video.FrameID
 	// ClusterIdleTimeoutSec retires clusters that stopped growing this
 	// many stream-seconds ago. Zero uses the default.
 	ClusterIdleTimeoutSec float64
@@ -107,11 +113,14 @@ type Worker struct {
 	space  *vision.Space
 	cfg    Config
 	meter  *gpu.Meter
+	pacer  *gpu.Pacer
 	engine *cluster.Engine
 	ix     *index.Index
 	stats  Stats
 
-	prev, cur   []prevEntry
+	prev, cur []prevEntry
+	// prevFrameID is the frame the prev association table was built from;
+	// -1 before any frame has been processed.
 	prevFrameID video.FrameID
 }
 
@@ -123,6 +132,9 @@ func NewWorker(stream *video.Stream, space *vision.Space, cfg Config, meter *gpu
 	if cfg.MaxActiveClusters <= 0 {
 		cfg.MaxActiveClusters = DefaultMaxActiveClusters
 	}
+	if cfg.FrameStride <= 0 {
+		cfg.FrameStride = 1
+	}
 	meta := index.IngestMeta{
 		Stream:         stream.Spec.Name,
 		ModelName:      cfg.Model.Name,
@@ -132,11 +144,13 @@ func NewWorker(stream *video.Stream, space *vision.Space, cfg Config, meter *gpu
 		FPS:            video.NativeFPS,
 	}
 	w := &Worker{
-		stream: stream,
-		space:  space,
-		cfg:    cfg,
-		meter:  meter,
-		ix:     index.New(meta),
+		stream:      stream,
+		space:       space,
+		cfg:         cfg,
+		meter:       meter,
+		pacer:       meter.NewPacer(),
+		ix:          index.New(meta),
+		prevFrameID: -1,
 	}
 	// ClusterThreshold == 0 is the no-clustering ablation (Figure 8): an
 	// effectively zero threshold makes every scored sighting its own
@@ -171,6 +185,17 @@ func (w *Worker) Stats() Stats { return w.stats }
 // ProcessFrame ingests one frame's sightings.
 func (w *Worker) ProcessFrame(f *video.Frame) {
 	w.stats.Frames++
+	// The pixel-diff association table only describes the frame exactly
+	// one stride back. A frame arriving at any other gap — dropped frames
+	// in a live deployment, a sampling-rate change — makes the table
+	// stale: a sighting's PixelDist was measured against its predecessor,
+	// not against whatever frame the table still holds, so matching
+	// against stale entries would deduplicate (and skip the CNN for)
+	// sightings that were never compared pixel-to-pixel.
+	if w.prevFrameID >= 0 && f.ID-w.prevFrameID != w.cfg.FrameStride {
+		w.prev = w.prev[:0]
+	}
+	w.prevFrameID = f.ID
 	if len(f.Sightings) == 0 {
 		// Background subtraction found nothing moving: no GPU work at all,
 		// for Focus and baselines alike (§6.1).
@@ -184,7 +209,6 @@ func (w *Worker) ProcessFrame(f *video.Frame) {
 	// Rotate the association table: this frame's sightings become the
 	// "previous frame" for pixel differencing against the next one.
 	w.prev, w.cur = w.cur, w.prev[:0]
-	w.prevFrameID = f.ID
 }
 
 // processSighting runs the dedup / classify / cluster path for one sighting.
@@ -219,6 +243,10 @@ func (w *Worker) processSighting(s *video.Sighting) {
 		w.stream.CNNSource(s.Seed, w.cfg.Model.Name),
 		w.stream.CNNSource(int64(s.Object), w.cfg.Model.Name+"#rank"), w.cfg.K)
 	w.meter.AddIngest(w.cfg.Model.CostMS())
+	// Under a real-time pace the worker blocks here for the inference,
+	// exactly like an ingest worker waiting on its GPU; workers for other
+	// streams overlap the stall.
+	w.pacer.Add(w.cfg.Model.CostMS())
 	w.stats.CNNInferences++
 	w.stats.IngestGPUMS += w.cfg.Model.CostMS()
 
@@ -279,6 +307,7 @@ func minInt(a, b int) int {
 
 // Finish flushes remaining clusters and seals the index.
 func (w *Worker) Finish() *index.Index {
+	w.pacer.Flush()
 	w.engine.Flush()
 	w.stats.Clusters = w.ix.NumClusters()
 	w.ix.SetTotalSightings(w.stats.Sightings)
@@ -290,6 +319,7 @@ func (w *Worker) Finish() *index.Index {
 // experiments; live systems drive ProcessFrame per arriving frame.
 func (w *Worker) Run(opts video.GenOptions) (*index.Index, error) {
 	w.ix.SetWindow(opts.DurationSec, opts.EffectiveFPS())
+	w.cfg.FrameStride = video.FrameID(opts.SampleEvery)
 	err := w.stream.Generate(opts, func(f *video.Frame) error {
 		w.ProcessFrame(f)
 		return nil

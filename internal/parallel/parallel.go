@@ -1,0 +1,121 @@
+// Package parallel is the bounded worker-pool runtime shared by every
+// fan-out path in the system: concurrent multi-stream ingest, the tuner's
+// candidate-grid sweep, cross-stream query fan-out, and batched GT-CNN
+// verification.
+//
+// Two rules make the runtime safe to drop into simulation hot paths:
+//
+//   - Determinism: work is identified by index, results are written to
+//     per-index slots, and the first error by index (not by completion
+//     order) wins. A loop executed with 1 worker and with N workers
+//     produces bit-identical results as long as each iteration is a pure
+//     function of its index.
+//   - Bounded concurrency: worker counts derive from GOMAXPROCS for
+//     CPU-bound loops, and from the number of independent latency-bound
+//     tasks (per-stream workers, per-GPU verification slots) for work that
+//     blocks on simulated GPU time.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// CPUWorkers returns the worker count for a CPU-bound loop of n independent
+// iterations: min(n, GOMAXPROCS), at least 1. Passing n <= 0 returns
+// GOMAXPROCS.
+func CPUWorkers(n int) int {
+	p := runtime.GOMAXPROCS(0)
+	if n > 0 && n < p {
+		return n
+	}
+	if p < 1 {
+		return 1
+	}
+	return p
+}
+
+// StreamWorkers returns the worker count for latency-bound per-stream work
+// (ingest workers blocking on simulated GPU inference): one worker per
+// stream, following the paper's one-ingest-worker-per-stream deployment.
+// requested > 0 overrides (clamped to [1, n]).
+func StreamWorkers(n, requested int) int {
+	if n < 1 {
+		return 1
+	}
+	if requested > 0 {
+		if requested > n {
+			return n
+		}
+		return requested
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
+// and returns the error of the lowest failing index, or nil. Iterations are
+// claimed from a shared atomic counter, so the set of iterations each
+// worker executes is scheduling-dependent — fn must not depend on
+// cross-iteration state. workers <= 1 (or n <= 1) runs inline on the
+// calling goroutine in index order: the sequential reference path.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs fn(i) for every i in [0, n) on at most workers goroutines and
+// returns the results in index order. On error the first failing index's
+// error is returned and the results are discarded. The same determinism
+// contract as ForEach applies: workers == 1 is the sequential reference
+// path and must produce identical output.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,101 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 1000
+		var hits [n]atomic.Int32
+		if err := ForEach(workers, n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	errLow := errors.New("low")
+	err := ForEach(8, 100, func(i int) error {
+		switch i {
+		case 3:
+			return errLow
+		case 97:
+			return errors.New("high")
+		}
+		return nil
+	})
+	if err != errLow {
+		t.Fatalf("got %v, want the lowest-index error", err)
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(0, 3, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	fn := func(i int) (string, error) { return fmt.Sprintf("v%04d", i*i), nil }
+	seq, err := Map(1, 500, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Map(16, 500, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("index %d: %q sequential vs %q parallel", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	boom := errors.New("boom")
+	if _, err := Map(4, 10, func(i int) (int, error) {
+		if i == 5 {
+			return 0, boom
+		}
+		return i, nil
+	}); err != boom {
+		t.Fatalf("got %v, want boom", err)
+	}
+}
+
+func TestWorkerSizing(t *testing.T) {
+	if w := CPUWorkers(0); w < 1 {
+		t.Fatalf("CPUWorkers(0) = %d", w)
+	}
+	if w := CPUWorkers(1); w != 1 {
+		t.Fatalf("CPUWorkers(1) = %d, want 1", w)
+	}
+	if w := StreamWorkers(5, 0); w != 5 {
+		t.Fatalf("StreamWorkers(5, 0) = %d, want 5", w)
+	}
+	if w := StreamWorkers(5, 2); w != 2 {
+		t.Fatalf("StreamWorkers(5, 2) = %d, want 2", w)
+	}
+	if w := StreamWorkers(5, 99); w != 5 {
+		t.Fatalf("StreamWorkers(5, 99) = %d, want 5", w)
+	}
+	if w := StreamWorkers(0, 0); w != 1 {
+		t.Fatalf("StreamWorkers(0, 0) = %d, want 1", w)
+	}
+}

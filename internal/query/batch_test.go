@@ -1,0 +1,80 @@
+package query_test
+
+import (
+	"testing"
+
+	"focus/internal/query"
+	"focus/internal/vision"
+)
+
+// TestBatchedVerificationMatchesSequential pins the determinism contract
+// of batched GT-CNN verification: with NumGPUs=1 the cache-miss batch is
+// verified inline on the calling goroutine (the sequential reference
+// path), with NumGPUs>1 it fans out across workers. Everything except the
+// simulated makespan — which legitimately depends on the pool size — must
+// be identical, on cold and warm caches.
+func TestBatchedVerificationMatchesSequential(t *testing.T) {
+	const car = vision.ClassID(0)
+	var specs []clusterSpec
+	for i := 0; i < 57; i++ {
+		verdict := car
+		if i%3 == 0 {
+			verdict = vision.ClassID(1) // GT refutes every third cluster
+		}
+		specs = append(specs, clusterSpec{
+			topK:    []vision.ClassID{car, 2},
+			verdict: verdict,
+			times:   []float64{float64(i), float64(i) + 0.5},
+		})
+	}
+
+	run := func(numGPUs int) (*query.Result, *query.Result) {
+		ix, gtFn := buildIndex(t, 2, nil, specs)
+		e := newEngine(t, ix, gtFn, nil)
+		cold, err := e.Query(car, query.Options{NumGPUs: numGPUs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := e.Query(car, query.Options{NumGPUs: numGPUs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cold, warm
+	}
+
+	seqCold, seqWarm := run(1)
+	parCold, parWarm := run(8)
+
+	if seqCold.GTInferences == 0 {
+		t.Fatal("cold query paid no GT inferences; test is vacuous")
+	}
+	for _, pair := range []struct {
+		name     string
+		seq, par *query.Result
+	}{{"cold", seqCold, parCold}, {"warm", seqWarm, parWarm}} {
+		seq, par := pair.seq, pair.par
+		if seq.ExaminedClusters != par.ExaminedClusters ||
+			seq.MatchedClusters != par.MatchedClusters ||
+			seq.GTInferences != par.GTInferences ||
+			seq.GPUTimeMS != par.GPUTimeMS {
+			t.Fatalf("%s: counters diverge: sequential %+v vs batched %+v", pair.name, seq, par)
+		}
+		if len(seq.Frames) != len(par.Frames) {
+			t.Fatalf("%s: %d frames sequential vs %d batched", pair.name, len(seq.Frames), len(par.Frames))
+		}
+		for i := range seq.Frames {
+			if seq.Frames[i] != par.Frames[i] {
+				t.Fatalf("%s: frame[%d] diverges", pair.name, i)
+			}
+		}
+	}
+	// The simulated makespan is the one legitimate difference: an 8-GPU
+	// pool finishes the same batch ~8x sooner.
+	if parCold.LatencyMS >= seqCold.LatencyMS {
+		t.Fatalf("8-GPU latency %v not below 1-GPU latency %v",
+			parCold.LatencyMS, seqCold.LatencyMS)
+	}
+	if seqWarm.GTInferences != 0 {
+		t.Fatalf("warm query paid %d GT inferences", seqWarm.GTInferences)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"focus/internal/cluster"
 	"focus/internal/gpu"
 	"focus/internal/index"
+	"focus/internal/parallel"
 	"focus/internal/video"
 	"focus/internal/vision"
 )
@@ -127,33 +128,73 @@ func (e *Engine) Query(c vision.ClassID, opts Options) (*Result, error) {
 	}
 	recs := e.ix.Lookup(lookup, opts.Kx)
 
-	frameSet := make(map[video.FrameID]struct{})
-	segSet := make(map[video.SegmentID]struct{})
+	// Select the clusters to examine, in retrieval order.
+	cands := make([]*index.ClusterRecord, 0, len(recs))
 	for _, rec := range recs {
-		if opts.MaxClusters > 0 && res.ExaminedClusters >= opts.MaxClusters {
+		if opts.MaxClusters > 0 && len(cands) >= opts.MaxClusters {
 			break
 		}
 		if !overlapsWindow(rec, opts) {
 			continue
 		}
-		res.ExaminedClusters++
+		cands = append(cands, rec)
+	}
+	res.ExaminedClusters = len(cands)
 
-		// QT3: GT-CNN on the centroid object, memoized per cluster.
-		verdict, cached := e.gtCache.get(rec.ID)
-		if !cached {
-			verdict = e.gtFn(rec.Rep)
-			e.gtCache.put(rec.ID, verdict)
-			res.GTInferences++
-			res.GPUTimeMS += e.gtCost
-			pool.Submit(e.gtCost)
-			if e.meter != nil {
-				e.meter.AddQuery(e.gtCost)
+	// QT3: GT-CNN on each centroid object, memoized per cluster. Cache
+	// misses are collected and verified as one batch fanned out across
+	// NumGPUs workers — the whole batch is in hand after retrieval, so
+	// there is no reason to verify in arrival order one at a time. Cache
+	// fills, meter charges and simulated-pool submissions then run in
+	// retrieval order, keeping every counter and the makespan bit-identical
+	// to the sequential path.
+	verdicts := make([]vision.ClassID, len(cands))
+	misses := make([]int, 0, len(cands))
+	for i, rec := range cands {
+		if v, ok := e.gtCache.get(rec.ID); ok {
+			verdicts[i] = v
+		} else {
+			misses = append(misses, i)
+		}
+	}
+	workers := parallel.StreamWorkers(len(misses), numGPUs)
+	parallel.ForEach(workers, workers, func(w int) error {
+		// Strided partition: verification costs are uniform, so stride w
+		// balances the batch across workers without coordination. Each
+		// worker paces its own share of the simulated GPU stalls.
+		var pacer *gpu.Pacer
+		if e.meter != nil {
+			pacer = e.meter.NewPacer()
+		}
+		for j := w; j < len(misses); j += workers {
+			i := misses[j]
+			verdicts[i] = e.gtFn(cands[i].Rep)
+			if pacer != nil {
+				pacer.Add(e.gtCost)
 			}
 		}
-		if verdict != c {
+		if pacer != nil {
+			pacer.Flush()
+		}
+		return nil
+	})
+	for _, i := range misses {
+		e.gtCache.put(cands[i].ID, verdicts[i])
+		res.GTInferences++
+		res.GPUTimeMS += e.gtCost
+		pool.Submit(e.gtCost)
+		if e.meter != nil {
+			e.meter.AddQuery(e.gtCost)
+		}
+	}
+
+	// QT4: the frames of every cluster whose centroid matched.
+	frameSet := make(map[video.FrameID]struct{})
+	segSet := make(map[video.SegmentID]struct{})
+	for i, rec := range cands {
+		if verdicts[i] != c {
 			continue
 		}
-		// QT4: the centroid matches; return every member in the window.
 		res.MatchedClusters++
 		for _, m := range rec.Members {
 			if !inWindow(m.TimeSec, opts) {

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"focus/internal/cluster"
+	"focus/internal/parallel"
 	"focus/internal/video"
 	"focus/internal/vision"
 )
@@ -16,20 +17,25 @@ const sweepMaxRank = 256
 // clustering passes (smaller than production for sweep speed).
 const sweepMaxActiveClusters = 128
 
-// evaluateModel estimates every (K, T) candidate for one ingest model.
-func evaluateModel(st *video.Stream, space *vision.Space, m *vision.Model, ls int, sample []sampleItem, hist map[vision.ClassID]int, res *SweepResult, opts Options) []Candidate {
+// evaluateModel estimates every (K, T) candidate for one ingest model. The
+// classification pass fans out per sample sighting and the candidate grid
+// fans out per clustering threshold; both collect into index-addressed
+// slots, so the candidate order (T outer, K inner) matches the sequential
+// path exactly.
+func evaluateModel(st *video.Stream, space *vision.Space, m *vision.Model, ls int, sample []sampleItem, hist map[vision.ClassID]int, res *SweepResult, opts Options, workers int) ([]Candidate, error) {
 	// One classification pass per model; outputs are reused across T.
 	kMax := sweepMaxRank
 	if v := m.Vocabulary() + 1; v < kMax {
 		kMax = v
 	}
 	outputs := make([]*vision.Output, len(sample))
-	for i := range sample {
+	parallel.ForEach(workers, len(sample), func(i int) error {
 		s := &sample[i].sighting
 		outputs[i] = m.Classify(space, s.TrueClass, s.Appearance,
 			st.CNNSource(s.Seed, m.Name),
 			st.CNNSource(int64(s.Object), m.Name+"#rank"), kMax)
-	}
+		return nil
+	})
 
 	tCands := opts.TCandidates
 	if opts.DisableClustering {
@@ -39,9 +45,10 @@ func evaluateModel(st *video.Stream, space *vision.Space, m *vision.Model, ls in
 
 	normIngest := m.CostMS() * (1 - res.DedupRate) / vision.GTCostMS
 
-	var out []Candidate
-	for _, t := range tCands {
+	perT, err := parallel.Map(workers, len(tCands), func(ti int) ([]Candidate, error) {
+		t := tCands[ti]
 		clusters := simulateClustering(sample, outputs, t, opts)
+		out := make([]Candidate, 0, len(kCands))
 		for _, k := range kCands {
 			est := estimateAtK(clusters, k, res.DominantClasses, hist, res.SampleSightings)
 			out = append(out, Candidate{
@@ -55,8 +62,16 @@ func evaluateModel(st *video.Stream, space *vision.Space, m *vision.Model, ls in
 				NormQuery:    est.normQuery,
 			})
 		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out
+	var out []Candidate
+	for _, cands := range perT {
+		out = append(out, cands...)
+	}
+	return out, nil
 }
 
 // clampKs restricts K candidates to the model's output vocabulary and

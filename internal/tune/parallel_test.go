@@ -1,0 +1,50 @@
+package tune
+
+import (
+	"testing"
+
+	"focus/internal/video"
+)
+
+// TestSweepDeterministicAcrossWorkers pins the sweep's determinism
+// contract: the fanned-out sweep (sample labelling, per-model evaluation,
+// per-threshold clustering replays) must produce exactly the candidate list
+// of the sequential reference path, in the same order.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	genOpts := video.GenOptions{DurationSec: 120, SampleEvery: 1}
+
+	seqOpts := DefaultOptions()
+	seqOpts.Workers = 1
+	seq := testSweep(t, "auburn_c", seqOpts, genOpts)
+
+	parOpts := DefaultOptions()
+	parOpts.Workers = 8
+	par := testSweep(t, "auburn_c", parOpts, genOpts)
+
+	if seq.SampleSightings != par.SampleSightings ||
+		seq.TotalSightings != par.TotalSightings ||
+		seq.DedupRate != par.DedupRate ||
+		seq.EstimationGPUMS != par.EstimationGPUMS {
+		t.Fatalf("sample summaries diverge: %+v vs %+v", seq, par)
+	}
+	if len(seq.DominantClasses) != len(par.DominantClasses) {
+		t.Fatalf("dominant classes diverge: %v vs %v", seq.DominantClasses, par.DominantClasses)
+	}
+	for i := range seq.DominantClasses {
+		if seq.DominantClasses[i] != par.DominantClasses[i] {
+			t.Fatalf("dominant class %d diverges", i)
+		}
+	}
+	if len(seq.Candidates) != len(par.Candidates) {
+		t.Fatalf("%d candidates sequential vs %d parallel", len(seq.Candidates), len(par.Candidates))
+	}
+	for i := range seq.Candidates {
+		a, b := seq.Candidates[i], par.Candidates[i]
+		// Models are rebuilt per sweep; compare by name.
+		if a.Model.Name != b.Model.Name || a.Ls != b.Ls || a.K != b.K || a.T != b.T ||
+			a.EstRecall != b.EstRecall || a.EstPrecision != b.EstPrecision ||
+			a.NormIngest != b.NormIngest || a.NormQuery != b.NormQuery {
+			t.Fatalf("candidate %d diverges:\nsequential %+v\nparallel   %+v", i, a, b)
+		}
+	}
+}

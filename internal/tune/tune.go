@@ -16,10 +16,9 @@ package tune
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 
+	"focus/internal/parallel"
 	"focus/internal/video"
 	"focus/internal/vision"
 )
@@ -72,6 +71,11 @@ type Options struct {
 	// MaxDominantClasses bounds how many head classes the query-cost and
 	// accuracy estimates average over.
 	MaxDominantClasses int
+	// Workers bounds the sweep's CPU fan-out across sample labelling,
+	// candidate models and clustering thresholds. Zero sizes from
+	// GOMAXPROCS; 1 forces the sequential reference path, which produces
+	// bit-identical results.
+	Workers int
 }
 
 // DefaultOptions returns the tuner defaults.
@@ -185,12 +189,23 @@ func Sweep(st *video.Stream, space *vision.Space, zoo *vision.Zoo, opts Options,
 		TotalSightings:  total,
 	}
 
-	// GT-label the sample (estimation ground truth, §4.4).
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = parallel.CPUWorkers(0)
+	}
+
+	// GT-label the sample (estimation ground truth, §4.4). Each label is an
+	// independent inference with its own derived randomness source, so the
+	// labelling fans out; the histogram and GPU accounting aggregate
+	// serially afterwards to stay deterministic.
 	gt := zoo.GT
 	hist := make(map[vision.ClassID]int)
-	for i := range sample {
+	parallel.ForEach(workers, len(sample), func(i int) error {
 		s := &sample[i].sighting
 		sample[i].gtLabel = gt.Top1Class(space, s.TrueClass, st.CNNSource(s.Seed, "gt"))
+		return nil
+	})
+	for i := range sample {
 		res.EstimationGPUMS += gt.CostMS()
 		hist[sample[i].gtLabel]++
 	}
@@ -208,21 +223,23 @@ func Sweep(st *video.Stream, space *vision.Space, zoo *vision.Zoo, opts Options,
 	if err != nil {
 		return nil, err
 	}
-	// Models are evaluated independently; fan out across CPUs. Results are
-	// collected per model slot so candidate order stays deterministic.
-	perModel := make([][]Candidate, len(models))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i, m := range models {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, m *vision.Model) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			perModel[i] = evaluateModel(st, space, m, lsOf[m], sample, hist, res, opts)
-		}(i, m)
+	// Every (model, T, K) estimate is independent: models fan out here, and
+	// each model's classification pass and per-threshold clustering replays
+	// fan out inside evaluateModel. Results are collected per model slot so
+	// candidate order stays deterministic regardless of scheduling. The
+	// worker budget divides across the two levels so the sweep's total
+	// concurrency stays ~workers instead of multiplying.
+	innerWorkers := workers / len(models)
+	if innerWorkers < 1 {
+		innerWorkers = 1
 	}
-	wg.Wait()
+	perModel, err := parallel.Map(workers, len(models), func(i int) ([]Candidate, error) {
+		m := models[i]
+		return evaluateModel(st, space, m, lsOf[m], sample, hist, res, opts, innerWorkers)
+	})
+	if err != nil {
+		return nil, err
+	}
 	for _, cands := range perModel {
 		res.Candidates = append(res.Candidates, cands...)
 	}

@@ -74,6 +74,46 @@ func SquaredL2Distance(a, b FeatureVec) float64 {
 	return sum
 }
 
+// SquaredL2DistanceBounded accumulates the squared Euclidean distance in the
+// same order as SquaredL2Distance but abandons the scan as soon as the
+// partial sum reaches bound, returning that partial sum. Partial sums of
+// squares are non-decreasing, so a return value >= bound proves the true
+// distance is also >= bound; a return value < bound is the exact distance,
+// bit-identical to SquaredL2Distance. This is the early-exit kernel of the
+// clustering engine's nearest-centroid scan.
+func SquaredL2DistanceBounded(a, b FeatureVec, bound float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vision: SquaredL2DistanceBounded dimension mismatch %d vs %d", len(a), len(b)))
+	}
+	var sum float64
+	i := 0
+	for i < len(a) {
+		// Check the bound every 8 coordinates: often enough to skip most of
+		// a far vector, rare enough that the branch stays cheap.
+		end := i + 8
+		if end > len(a) {
+			end = len(a)
+		}
+		for ; i < end; i++ {
+			d := float64(a[i] - b[i])
+			sum += d * d
+		}
+		if sum >= bound {
+			return sum
+		}
+	}
+	return sum
+}
+
+// Norm returns the Euclidean norm of a feature vector.
+func Norm(f FeatureVec) float64 {
+	var sum float64
+	for i := range f {
+		sum += float64(f[i]) * float64(f[i])
+	}
+	return math.Sqrt(sum)
+}
+
 // ClassID identifies one of the NumClasses object classes. The special value
 // ClassOther is used by specialized models for "none of my Ls classes".
 type ClassID int32

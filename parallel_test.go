@@ -1,0 +1,183 @@
+package focus
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"focus/internal/query"
+	"focus/internal/tune"
+)
+
+// parallelTestStreams are three Table 1 presets of different types, so the
+// determinism checks cover generic and specialized ingest models.
+var parallelTestStreams = []string{"auburn_c", "bend", "msnbc"}
+
+// buildFleet registers the test streams on a fresh system.
+func buildFleet(t *testing.T, cfg Config) (*System, []*Session) {
+	t.Helper()
+	sys := newTestSystem(t, cfg)
+	sessions := make([]*Session, len(parallelTestStreams))
+	for i, name := range parallelTestStreams {
+		sess, err := sys.AddTable1Stream(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = sess
+	}
+	return sys, sessions
+}
+
+// requireSameStreamResult compares every observable field of two per-stream
+// query results.
+func requireSameStreamResult(t *testing.T, stream string, seq, par *query.Result) {
+	t.Helper()
+	if seq.ExaminedClusters != par.ExaminedClusters ||
+		seq.MatchedClusters != par.MatchedClusters ||
+		seq.GTInferences != par.GTInferences ||
+		seq.GPUTimeMS != par.GPUTimeMS ||
+		seq.LatencyMS != par.LatencyMS ||
+		seq.ViaOther != par.ViaOther {
+		t.Fatalf("%s: result counters diverge: sequential %+v vs parallel %+v", stream, seq, par)
+	}
+	if len(seq.Frames) != len(par.Frames) {
+		t.Fatalf("%s: %d frames sequential vs %d parallel", stream, len(seq.Frames), len(par.Frames))
+	}
+	for i := range seq.Frames {
+		if seq.Frames[i] != par.Frames[i] {
+			t.Fatalf("%s: frame[%d] = %d sequential vs %d parallel", stream, i, seq.Frames[i], par.Frames[i])
+		}
+	}
+	if len(seq.Segments) != len(par.Segments) {
+		t.Fatalf("%s: %d segments sequential vs %d parallel", stream, len(seq.Segments), len(par.Segments))
+	}
+	for i := range seq.Segments {
+		if seq.Segments[i] != par.Segments[i] {
+			t.Fatalf("%s: segment[%d] diverges", stream, i)
+		}
+	}
+}
+
+// TestParallelPathsBitIdentical is the determinism contract of the parallel
+// execution layer: concurrent multi-stream ingest and cross-stream query
+// fan-out (including batched GT-CNN verification) must reproduce the
+// sequential reference paths exactly — same indexes, same frames, same
+// counters, same simulated latency.
+func TestParallelPathsBitIdentical(t *testing.T) {
+	opts := GenOptions{DurationSec: 90, SampleEvery: 1}
+
+	seqSys, seqSessions := buildFleet(t, Config{})
+	if err := seqSys.IngestAllWorkers(opts, 1); err != nil {
+		t.Fatal(err)
+	}
+	parSys, parSessions := buildFleet(t, Config{})
+	if err := parSys.IngestAll(opts); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, seq := range seqSessions {
+		par := parSessions[i]
+		if seq.IngestStats() != par.IngestStats() {
+			t.Errorf("%s: ingest stats diverge: %+v sequential vs %+v parallel",
+				seq.Name(), seq.IngestStats(), par.IngestStats())
+		}
+		if seq.Index().NumClusters() != par.Index().NumClusters() {
+			t.Errorf("%s: %d clusters sequential vs %d parallel",
+				seq.Name(), seq.Index().NumClusters(), par.Index().NumClusters())
+		}
+	}
+
+	// Cold-cache cross-stream queries, then a warm repeat: both must match
+	// field for field, with the fan-out bounded by the slowest stream.
+	for _, class := range []string{"car", "person"} {
+		for pass := 0; pass < 2; pass++ {
+			seqRes, err := seqSys.Query(Query{Class: class, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parRes, err := parSys.Query(Query{Class: class})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seqRes.TotalFrames != parRes.TotalFrames ||
+				seqRes.LatencyMS != parRes.LatencyMS ||
+				seqRes.GPUTimeMS != parRes.GPUTimeMS {
+				t.Fatalf("class %s pass %d: aggregate diverges: %+v vs %+v",
+					class, pass, seqRes, parRes)
+			}
+			for name, sr := range seqRes.PerStream {
+				pr, ok := parRes.PerStream[name]
+				if !ok {
+					t.Fatalf("class %s: stream %s missing from parallel result", class, name)
+				}
+				requireSameStreamResult(t, name, sr, pr)
+			}
+		}
+	}
+}
+
+// TestIngestAllSharedStateRace drives the full parallel surface against the
+// shared meter and a persistent store at once: concurrent per-stream ingest
+// (which also runs the tuner concurrently), then overlapping cross-stream
+// queries, per-stream queries and meter snapshots. Run under -race this is
+// the data-race gate for the execution layer.
+func TestIngestAllSharedStateRace(t *testing.T) {
+	// A trimmed search space with lenient targets: this test gates data
+	// races, not tuning quality, and must stay affordable under -race.
+	topts := tune.DefaultOptions()
+	topts.LsCandidates = []int{20}
+	topts.TCandidates = []float64{2.5, 3.0}
+	topts.KCandidates = []int{4, 16, 60}
+	topts.MaxSampleSightings = 600
+	store := filepath.Join(t.TempDir(), "focus.db")
+	sys, sessions := buildFleet(t, Config{
+		StorePath:   store,
+		Targets:     tune.Targets{Recall: 0.5, Precision: 0.5},
+		TuneOptions: &topts,
+	})
+	opts := GenOptions{DurationSec: 60, SampleEvery: 1}
+	if err := sys.IngestAll(opts); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for round := 0; round < 3; round++ {
+		for _, class := range []string{"car", "person", "bus"} {
+			wg.Add(1)
+			go func(class string) {
+				defer wg.Done()
+				if _, err := sys.Query(Query{Class: class}); err != nil {
+					t.Errorf("query %s: %v", class, err)
+				}
+			}(class)
+		}
+		for _, sess := range sessions {
+			wg.Add(1)
+			go func(sess *Session) {
+				defer wg.Done()
+				id, err := sys.ClassID("car")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := sess.QueryClass(id, QueryOptions{}); err != nil {
+					t.Errorf("%s: %v", sess.Name(), err)
+				}
+			}(sess)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = sys.GPUMeter()
+		}()
+	}
+	wg.Wait()
+
+	// The persistent store must hold every stream's index after the
+	// concurrent ingest.
+	for _, sess := range sessions {
+		if err := sess.LoadIndex(); err != nil {
+			t.Errorf("%s: reloading persisted index: %v", sess.Name(), err)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"focus/internal/cluster"
 	"focus/internal/index"
 	"focus/internal/ingest"
+	"focus/internal/parallel"
 	"focus/internal/query"
 	"focus/internal/tune"
 	"focus/internal/video"
@@ -74,6 +75,12 @@ func (sess *Session) Tune(opts GenOptions) error {
 	sess.sys.meter.AddTraining(sweep.EstimationGPUMS)
 	return nil
 }
+
+// UseSelection installs a previously computed tuner outcome so Ingest can
+// proceed without re-running the sweep — restoring a stored tuning, or
+// sharing one sweep across replayed systems (the scaling benchmarks do
+// this to keep tuning out of their timed regions).
+func (sess *Session) UseSelection(sel *tune.Selection) { sess.selection = sel }
 
 // Ingest indexes the stream window with the tuned configuration, running
 // the tuner first if it has not run yet. It replaces any previous index.
@@ -183,6 +190,13 @@ type Query struct {
 	Streams []string
 	// Options apply to every stream.
 	Options QueryOptions
+	// Workers bounds the cross-stream fan-out: 0 runs one query worker per
+	// stream (§5), 1 queries streams one at a time — the sequential
+	// reference for cross-stream scaling. Both produce bit-identical
+	// results. Within each stream, GT-CNN verification batches across
+	// Config.NumGPUs workers either way; NumGPUs=1 is its sequential
+	// reference.
+	Workers int
 }
 
 // Result aggregates per-stream results of one query.
@@ -200,6 +214,9 @@ type Result struct {
 }
 
 // Query runs a class query across the selected (or all) ingested streams.
+// Streams are queried by concurrent per-stream workers (§5): the slowest
+// stream bounds the wall-clock latency, and per-stream results merge in
+// stream order so the aggregate is identical to a sequential pass.
 func (s *System) Query(q Query) (*Result, error) {
 	id, err := s.ClassID(q.Class)
 	if err != nil {
@@ -216,17 +233,26 @@ func (s *System) Query(q Query) (*Result, error) {
 	if len(names) == 0 {
 		return nil, fmt.Errorf("focus: no ingested streams to query")
 	}
-	res := &Result{Class: id, PerStream: make(map[string]*StreamResult, len(names))}
-	for _, name := range names {
-		sess := s.sessions[name]
-		if sess == nil {
+	sessions := make([]*Session, len(names))
+	for i, name := range names {
+		if sessions[i] = s.sessions[name]; sessions[i] == nil {
 			return nil, fmt.Errorf("focus: unknown stream %q", name)
 		}
-		sr, err := sess.QueryClass(id, q.Options)
+	}
+	workers := parallel.StreamWorkers(len(names), q.Workers)
+	perStream, err := parallel.Map(workers, len(names), func(i int) (*StreamResult, error) {
+		sr, err := sessions[i].QueryClass(id, q.Options)
 		if err != nil {
-			return nil, fmt.Errorf("focus: querying %q: %w", name, err)
+			return nil, fmt.Errorf("focus: querying %q: %w", names[i], err)
 		}
-		res.PerStream[name] = sr
+		return sr, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Class: id, PerStream: make(map[string]*StreamResult, len(names))}
+	for i, sr := range perStream {
+		res.PerStream[names[i]] = sr
 		res.GPUTimeMS += sr.GPUTimeMS
 		if sr.LatencyMS > res.LatencyMS {
 			res.LatencyMS = sr.LatencyMS
@@ -234,4 +260,29 @@ func (s *System) Query(q Query) (*Result, error) {
 		res.TotalFrames += len(sr.Frames)
 	}
 	return res, nil
+}
+
+// IngestAll tunes (when needed) and ingests every registered stream with
+// concurrent per-stream ingest workers, mirroring the paper's deployment of
+// one worker process per stream (§5). The shared GPU meter and index store
+// are safe under the concurrency; each stream's index is identical to what
+// a sequential Ingest would build.
+func (s *System) IngestAll(opts GenOptions) error {
+	return s.IngestAllWorkers(opts, 0)
+}
+
+// IngestAllWorkers is IngestAll with an explicit worker bound: 0 runs one
+// worker per stream, 1 forces the sequential reference path.
+func (s *System) IngestAllWorkers(opts GenOptions, workers int) error {
+	sessions := s.Sessions()
+	if len(sessions) == 0 {
+		return fmt.Errorf("focus: no streams to ingest")
+	}
+	n := parallel.StreamWorkers(len(sessions), workers)
+	return parallel.ForEach(n, len(sessions), func(i int) error {
+		if err := sessions[i].Ingest(opts); err != nil {
+			return fmt.Errorf("focus: ingesting %q: %w", sessions[i].Name(), err)
+		}
+		return nil
+	})
 }
