@@ -1,0 +1,50 @@
+// Command bench-gate is the CI bench-regression gate: it compares the most
+// recent run in a fresh BENCH_parallel.json trajectory against the
+// committed baseline floors and exits non-zero when any scaling point lost
+// more than the baseline's tolerance (or stopped being bit-identical to the
+// sequential reference).
+//
+// Usage:
+//
+//	bench-gate -fresh BENCH_parallel.json -baseline ci/bench-baseline.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"focus/internal/scalebench"
+)
+
+func main() {
+	fresh := flag.String("fresh", "BENCH_parallel.json", "trajectory file produced by focus-bench -parallel")
+	baseline := flag.String("baseline", "ci/bench-baseline.json", "committed baseline floors")
+	flag.Parse()
+
+	b, err := scalebench.LoadBaseline(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-gate:", err)
+		os.Exit(2)
+	}
+	rep, err := scalebench.LatestRun(*fresh)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-gate:", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("bench-gate: fresh run %s (GOMAXPROCS %d, %d points) vs %s (tolerance %.0f%%)\n",
+		rep.When, rep.GOMAXPROCS, len(rep.Points), *baseline, 100*b.Tolerance)
+	for _, p := range rep.Points {
+		fmt.Printf("  streams=%-3d ingest %.2fx  query %.2fx  identical=%v\n",
+			p.Streams, p.IngestSpeedup, p.QuerySpeedup, p.Identical)
+	}
+	failures := b.Check(rep)
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "FAIL:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("PASS: all scaling points within tolerance")
+}

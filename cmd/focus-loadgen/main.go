@@ -1,0 +1,216 @@
+// Command focus-loadgen drives a focus-serve instance with deterministic
+// closed-loop load and reports throughput, latency percentiles and error
+// counts. It is also the CI smoke gate: with -boot it starts an in-process
+// service first, verifies every sampled response against a direct
+// focus.System.Query at the same watermark vector, and exits non-zero on
+// any unexpected status, transport error, served-vs-direct mismatch, or
+// p99 above the committed budget.
+//
+// Usage:
+//
+//	focus-loadgen -url http://127.0.0.1:7070 [-clients 16] [-run-seconds 30]
+//	focus-loadgen -boot [-streams auburn_c,jacksonh,city_a_d] [-window 240]
+//	              [-clients 16] [-run-seconds 30] [-max-p99 500] [-verify-every 1]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"focus"
+	"focus/internal/loadgen"
+	"focus/internal/serve"
+)
+
+func main() {
+	url := flag.String("url", "", "base URL of a running focus-serve (mutually exclusive with -boot)")
+	boot := flag.Bool("boot", false, "boot an in-process focus-serve and drive it (enables served-vs-direct verification)")
+	clients := flag.Int("clients", 16, "concurrent closed-loop clients")
+	runSeconds := flag.Float64("run-seconds", 30, "load duration in seconds")
+	seed := flag.Uint64("seed", 1, "deterministic client seed")
+	classesArg := flag.String("classes", "", "comma-separated class pool (default: dominant classes of the streams in -boot mode, car,person otherwise)")
+	zipfAlpha := flag.Float64("zipf", 1.1, "class popularity skew")
+	verifyEvery := flag.Int("verify-every", 1, "verify every Nth OK response per client in -boot mode (0 = never)")
+	maxP99 := flag.Float64("max-p99", 0, "fail if p99 latency exceeds this many milliseconds (0 = no budget)")
+	jsonOut := flag.Bool("json", false, "print the report as JSON")
+
+	// -boot service shape.
+	streams := flag.String("streams", "auburn_c,jacksonh,city_a_d", "streams for -boot")
+	window := flag.Float64("window", 240, "ingest horizon seconds for -boot")
+	tuneWindow := flag.Float64("tune-window", 60, "tuning window seconds for -boot")
+	chunk := flag.Float64("chunk", 5, "watermark chunk seconds for -boot")
+	ingestInterval := flag.Duration("ingest-interval", 500*time.Millisecond, "pause between ingest steps for -boot")
+	workers := flag.Int("workers", 8, "query workers for -boot")
+	queue := flag.Int("queue", 16, "admission queue depth for -boot")
+	recall := flag.Float64("recall", 0.9, "tuner recall target for -boot")
+	precision := flag.Float64("precision", 0.9, "tuner precision target for -boot")
+	flag.Parse()
+
+	if (*url == "") == !*boot {
+		fmt.Fprintln(os.Stderr, "focus-loadgen: exactly one of -url or -boot is required")
+		os.Exit(2)
+	}
+
+	cfg := loadgen.Config{
+		BaseURL:     *url,
+		Clients:     *clients,
+		Duration:    time.Duration(*runSeconds * float64(time.Second)),
+		Seed:        *seed,
+		ZipfAlpha:   *zipfAlpha,
+		VerifyEvery: *verifyEvery,
+	}
+	if *classesArg != "" {
+		cfg.Classes = splitCSV(*classesArg)
+	}
+
+	var shutdown func()
+	if *boot {
+		var err error
+		shutdown, err = bootService(&cfg, *streams, *window, *tuneWindow, *chunk,
+			*ingestInterval, *workers, *queue, *seed, *recall, *precision)
+		if err != nil {
+			log.Fatalf("focus-loadgen: %v", err)
+		}
+		defer shutdown()
+	}
+	if len(cfg.Classes) == 0 {
+		cfg.Classes = []string{"car", "person"}
+	}
+
+	log.Printf("focus-loadgen: %d clients for %.0fs against %s (classes: %s)",
+		cfg.Clients, cfg.Duration.Seconds(), cfg.BaseURL, strings.Join(cfg.Classes, ","))
+	rep, err := loadgen.Run(cfg)
+	if err != nil {
+		log.Fatalf("focus-loadgen: %v", err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+	} else {
+		printReport(rep)
+	}
+
+	failures := rep.Failures()
+	if *maxP99 > 0 && rep.P99MS > *maxP99 {
+		failures = append(failures, fmt.Sprintf("p99 %.1fms exceeds budget %.1fms", rep.P99MS, *maxP99))
+	}
+	if rep.OK == 0 {
+		failures = append(failures, "no successful responses at all")
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "FAIL:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("PASS")
+}
+
+// bootService starts an in-process focus-serve on a loopback port, fills in
+// cfg.BaseURL/Verifier/Classes, and returns its shutdown function.
+func bootService(cfg *loadgen.Config, streams string, window, tuneWindow, chunk float64,
+	ingestInterval time.Duration, workers, queue int, seed uint64, recall, precision float64) (func(), error) {
+	sys, err := focus.New(focus.Config{
+		Seed:        seed,
+		Targets:     focus.Targets{Recall: recall, Precision: precision},
+		TuneOptions: serve.QuickTuneOptions(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	names := splitCSV(streams)
+	var dominant []string
+	seen := make(map[string]bool)
+	for _, name := range names {
+		sess, err := sys.AddTable1Stream(name)
+		if err != nil {
+			sys.Close()
+			return nil, err
+		}
+		for _, c := range sess.Stream().DominantClasses(4) {
+			cn := sys.Space().Name(c)
+			if !seen[cn] {
+				seen[cn] = true
+				dominant = append(dominant, cn)
+			}
+		}
+	}
+	if len(cfg.Classes) == 0 {
+		cfg.Classes = dominant
+	}
+
+	srv := serve.New(sys, serve.Config{
+		Window:         focus.GenOptions{DurationSec: window, SampleEvery: 1},
+		TuneWindow:     focus.GenOptions{DurationSec: tuneWindow, SampleEvery: 1},
+		ChunkSec:       chunk,
+		IngestInterval: ingestInterval,
+		QueryWorkers:   workers,
+		QueueDepth:     queue,
+	})
+	log.Printf("focus-loadgen: booting service (%d streams, window %.0fs, tune %.0fs)…",
+		len(names), window, tuneWindow)
+	t0 := time.Now()
+	if err := srv.Start(); err != nil {
+		sys.Close()
+		return nil, err
+	}
+	log.Printf("focus-loadgen: service ready in %.1fs", time.Since(t0).Seconds())
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Stop()
+		sys.Close()
+		return nil, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+
+	cfg.BaseURL = "http://" + ln.Addr().String()
+	if cfg.VerifyEvery > 0 {
+		cfg.Verifier = loadgen.NewDirectVerifier(sys)
+	}
+	return func() {
+		_ = httpSrv.Close()
+		srv.Stop()
+		stats := srv.Snapshot()
+		log.Printf("focus-loadgen: service saw %d queries, %d cache hits, %d misses, %d rejected; watermarks %v",
+			stats.Queries, stats.CacheHits, stats.CacheMisses, stats.Rejected, stats.Watermarks)
+		sys.Close()
+	}, nil
+}
+
+func printReport(r *loadgen.Report) {
+	fmt.Printf("clients           %d\n", r.Clients)
+	fmt.Printf("elapsed           %.1fs\n", r.ElapsedSec)
+	fmt.Printf("requests          %d (%.1f req/s)\n", r.Requests, r.ThroughputRPS)
+	fmt.Printf("ok / rejected     %d / %d\n", r.OK, r.Rejected)
+	fmt.Printf("cache hits        %d\n", r.CacheHits)
+	fmt.Printf("verified          %d (mismatches: %d)\n", r.Verified, len(r.Mismatches))
+	fmt.Printf("latency ms        p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",
+		r.P50MS, r.P90MS, r.P99MS, r.MaxMS)
+	if len(r.Unexpected) > 0 {
+		fmt.Printf("unexpected        %v\n", r.Unexpected)
+	}
+	if r.NetErrors > 0 {
+		fmt.Printf("net errors        %d %v\n", r.NetErrors, r.ErrorSamples)
+	}
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+// Command focus-serve runs Focus as a resident query service: registered
+// streams ingest continuously in the background while the HTTP API serves
+// class queries to many concurrent clients, with watermark-consistent
+// results, a shared result cache, and admission control.
+//
+// Usage:
+//
+//	focus-serve [-addr :7070] [-streams auburn_c,jacksonh | all]
+//	            [-window 240] [-chunk 5] [-ingest-interval 500ms]
+//	            [-workers 8] [-queue 16] [-cache 4096]
+//	            [-quick-tune] [-recall 0.95] [-precision 0.95]
+//
+// Endpoints:
+//
+//	GET /query?class=car[&streams=a,b][&kx=2][&start=0][&end=120][&max_clusters=50]
+//	GET /streams   — per-stream watermarks, ingest progress, chosen configs
+//	GET /stats     — service counters (cache, admission, GPU meter)
+//	GET /healthz   — readiness
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"focus"
+	"focus/internal/serve"
+	"focus/internal/video"
+)
+
+func main() {
+	addr := flag.String("addr", ":7070", "listen address")
+	streams := flag.String("streams", "auburn_c,jacksonh,city_a_d", "comma-separated Table 1 stream names, or \"all\"")
+	window := flag.Float64("window", 240, "per-stream ingest horizon in seconds")
+	sampleEvery := flag.Int("sample-every", 1, "frame sampling stride (1 = 30fps)")
+	tuneWindow := flag.Float64("tune-window", 0, "tuning window in seconds (0 = same as -window)")
+	chunk := flag.Float64("chunk", 5, "watermark granularity in stream seconds")
+	ingestInterval := flag.Duration("ingest-interval", 500*time.Millisecond, "real-time pause between background ingest steps (0 = full speed)")
+	workers := flag.Int("workers", 8, "concurrent query executions")
+	queue := flag.Int("queue", 16, "queued queries before new arrivals get 429")
+	cacheCap := flag.Int("cache", 4096, "result cache capacity (responses)")
+	seed := flag.Uint64("seed", 1, "system seed")
+	gpus := flag.Int("gpus", focus.DefaultNumGPUs, "query-time GPU parallelism")
+	quickTune := flag.Bool("quick-tune", true, "use the trimmed boot-time parameter sweep")
+	recall := flag.Float64("recall", 0.95, "tuner recall target")
+	precision := flag.Float64("precision", 0.95, "tuner precision target")
+	flag.Parse()
+
+	cfg := focus.Config{
+		Seed:    *seed,
+		NumGPUs: *gpus,
+		Targets: focus.Targets{Recall: *recall, Precision: *precision},
+	}
+	if *quickTune {
+		cfg.TuneOptions = serve.QuickTuneOptions()
+	}
+	sys, err := focus.New(cfg)
+	if err != nil {
+		log.Fatalf("focus-serve: %v", err)
+	}
+	defer sys.Close()
+
+	names := streamNames(*streams)
+	for _, name := range names {
+		if _, err := sys.AddTable1Stream(name); err != nil {
+			log.Fatalf("focus-serve: %v", err)
+		}
+	}
+
+	srv := serve.New(sys, serve.Config{
+		Window:         focus.GenOptions{DurationSec: *window, SampleEvery: *sampleEvery},
+		TuneWindow:     focus.GenOptions{DurationSec: *tuneWindow, SampleEvery: *sampleEvery},
+		ChunkSec:       *chunk,
+		IngestInterval: *ingestInterval,
+		QueryWorkers:   *workers,
+		QueueDepth:     *queue,
+		CacheCapacity:  *cacheCap,
+	})
+	log.Printf("focus-serve: tuning %d streams (window %.0fs)…", len(names), *window)
+	t0 := time.Now()
+	if err := srv.Start(); err != nil {
+		log.Fatalf("focus-serve: %v", err)
+	}
+	defer srv.Stop()
+	log.Printf("focus-serve: ready in %.1fs, ingesting %s in the background", time.Since(t0).Seconds(), strings.Join(names, ", "))
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	go func() {
+		log.Printf("focus-serve: listening on %s", *addr)
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("focus-serve: %v", err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("focus-serve: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("focus-serve: shutdown: %v", err)
+	}
+}
+
+func streamNames(arg string) []string {
+	if strings.TrimSpace(arg) == "all" {
+		specs := video.Table1Specs()
+		names := make([]string, len(specs))
+		for i, s := range specs {
+			names[i] = s.Name
+		}
+		return names
+	}
+	var names []string
+	for _, n := range strings.Split(arg, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "focus-serve: no streams given")
+		os.Exit(2)
+	}
+	return names
+}

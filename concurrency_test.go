@@ -11,6 +11,9 @@ import (
 // one worker process per stream, all ingesting concurrently into one
 // system. The result must be identical to serial ingestion.
 func TestParallelStreamIngestion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow end-to-end test; nightly runs the full suite")
+	}
 	names := []string{"auburn_c", "bend", "msnbc"}
 	opts := GenOptions{DurationSec: 90, SampleEvery: 1}
 
@@ -66,6 +69,9 @@ func TestParallelStreamIngestion(t *testing.T) {
 // TestConcurrentQueries exercises the query engine's thread safety: many
 // goroutines querying different classes of one session simultaneously.
 func TestConcurrentQueries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow end-to-end test; nightly runs the full suite")
+	}
 	sys := newTestSystem(t, Config{})
 	sess, err := sys.AddTable1Stream("auburn_c")
 	if err != nil {

@@ -30,6 +30,7 @@ package focus
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"focus/internal/gpu"
@@ -111,7 +112,11 @@ type System struct {
 	store *kvstore.Store
 	meter gpu.Meter
 
-	sessions map[string]*Session
+	// sessionMu guards the registry itself; each Session guards its own
+	// mutable state. A long-running service adds streams and serves queries
+	// concurrently, so registry reads must never race registrations.
+	sessionMu sync.RWMutex
+	sessions  map[string]*Session
 }
 
 // New creates a system.
@@ -144,14 +149,17 @@ func (s *System) Zoo() *vision.Zoo { return s.zoo }
 // GPUMeter returns a snapshot of the accumulated simulated GPU time.
 func (s *System) GPUMeter() gpu.Snapshot { return s.meter.Snapshot() }
 
-// AddStream registers a stream for ingestion.
+// AddStream registers a stream for ingestion. Safe to call while other
+// streams are being ingested or queried.
 func (s *System) AddStream(spec StreamSpec) (*Session, error) {
-	if _, dup := s.sessions[spec.Name]; dup {
-		return nil, fmt.Errorf("focus: stream %q already added", spec.Name)
-	}
 	st, err := video.NewStream(spec, s.space, s.cfg.Seed)
 	if err != nil {
 		return nil, err
+	}
+	s.sessionMu.Lock()
+	defer s.sessionMu.Unlock()
+	if _, dup := s.sessions[spec.Name]; dup {
+		return nil, fmt.Errorf("focus: stream %q already added", spec.Name)
 	}
 	sess := &Session{sys: s, stream: st}
 	s.sessions[spec.Name] = sess
@@ -168,10 +176,16 @@ func (s *System) AddTable1Stream(name string) (*Session, error) {
 }
 
 // Session returns the session for a stream name, or nil.
-func (s *System) Session(name string) *Session { return s.sessions[name] }
+func (s *System) Session(name string) *Session {
+	s.sessionMu.RLock()
+	defer s.sessionMu.RUnlock()
+	return s.sessions[name]
+}
 
 // Sessions returns all sessions sorted by stream name.
 func (s *System) Sessions() []*Session {
+	s.sessionMu.RLock()
+	defer s.sessionMu.RUnlock()
 	names := make([]string, 0, len(s.sessions))
 	for n := range s.sessions {
 		names = append(names, n)
@@ -180,6 +194,17 @@ func (s *System) Sessions() []*Session {
 	out := make([]*Session, len(names))
 	for i, n := range names {
 		out[i] = s.sessions[n]
+	}
+	return out
+}
+
+// Watermarks returns every session's current ingest watermark keyed by
+// stream name: the consistent frame horizon a cross-stream query can be
+// pinned to via Query.AtWatermarks.
+func (s *System) Watermarks() map[string]float64 {
+	out := make(map[string]float64)
+	for _, sess := range s.Sessions() {
+		out[sess.Name()] = sess.Watermark()
 	}
 	return out
 }

@@ -80,6 +80,9 @@ func TestQueryBeforeIngestFails(t *testing.T) {
 // configured accuracy targets hold and that Focus beats both baselines by
 // the order of magnitude the paper reports.
 func TestEndToEndMeetsTargets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow end-to-end test; nightly runs the full suite")
+	}
 	sys := newTestSystem(t, Config{})
 	sess, err := sys.AddTable1Stream("auburn_c")
 	if err != nil {
@@ -154,6 +157,9 @@ func TestEndToEndMeetsTargets(t *testing.T) {
 }
 
 func TestTuneSelectsViableConfig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow end-to-end test; nightly runs the full suite")
+	}
 	sys := newTestSystem(t, Config{})
 	sess, err := sys.AddTable1Stream("jacksonh")
 	if err != nil {
@@ -179,6 +185,9 @@ func TestTuneSelectsViableConfig(t *testing.T) {
 }
 
 func TestPolicyTradeoffEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow end-to-end test; nightly runs the full suite")
+	}
 	// Figure 1: Opt-Ingest ingests cheaper but queries slower than
 	// Opt-Query, with Balance in between, all meeting targets.
 	type outcome struct {
@@ -326,6 +335,9 @@ func TestLoadIndexWithoutStore(t *testing.T) {
 }
 
 func TestDynamicKxReducesLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow end-to-end test; nightly runs the full suite")
+	}
 	sys := newTestSystem(t, Config{})
 	sess, err := sys.AddTable1Stream("auburn_c")
 	if err != nil {

@@ -72,6 +72,9 @@ func TestTable1(t *testing.T) {
 }
 
 func TestFigure3SkewInBand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow end-to-end test; nightly runs the full suite")
+	}
 	e := testEnv()
 	tb, err := e.Figure3()
 	if err != nil {
@@ -136,6 +139,9 @@ func TestFigure5Shape(t *testing.T) {
 }
 
 func TestFigure6ParetoStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow end-to-end test; nightly runs the full suite")
+	}
 	e := testEnv()
 	tb, err := e.Figure6()
 	if err != nil {
@@ -175,6 +181,9 @@ func TestFigure6ParetoStructure(t *testing.T) {
 }
 
 func TestFigure1TradeoffShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow end-to-end test; nightly runs the full suite")
+	}
 	e := testEnv()
 	tb, err := e.Figure1()
 	if err != nil {
@@ -209,6 +218,9 @@ func TestFigure1TradeoffShape(t *testing.T) {
 }
 
 func TestEvaluatePolicyMeetsTargets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow end-to-end test; nightly runs the full suite")
+	}
 	e := testEnv()
 	ev, err := e.EvaluatePolicy("jacksonh", tune.Balance, e.Cfg.Targets, ModeFull, e.Cfg.GenOptions())
 	if err != nil {

@@ -64,6 +64,15 @@ type ClusterRecord struct {
 	// MinTime and MaxTime bound the members' timestamps for time-ranged
 	// query pruning.
 	MinTime, MaxTime float64
+	// SealSec is the stream time at which this cluster was spilled into the
+	// index: the ingest watermark it became visible at. A query executed "at
+	// watermark W" considers exactly the clusters with SealSec <= W, which
+	// makes its answer a pure function of (class, options, W) no matter how
+	// far ingestion has advanced since — the consistency contract the serve
+	// layer's result cache relies on. Spill times are per-frame-deterministic,
+	// so two ingestions of the same stream stamp identical SealSecs
+	// regardless of how the ingest window was chunked.
+	SealSec float64
 }
 
 // Size returns the number of member sightings.
@@ -87,6 +96,9 @@ type Index struct {
 	postings map[vision.ClassID][]Posting
 	sorted   bool
 	nextID   ClusterID
+	// ingestSec is the stream time ingestion has reached; AddCluster stamps
+	// it onto each spilled record as SealSec.
+	ingestSec float64
 }
 
 // New creates an empty index for a stream.
@@ -109,6 +121,16 @@ func (ix *Index) Meta() IngestMeta {
 func (ix *Index) SetTotalSightings(n int) {
 	ix.mu.Lock()
 	ix.meta.TotalSightings = n
+	ix.mu.Unlock()
+}
+
+// SetIngestSec advances the stream time stamped onto newly spilled clusters
+// (their SealSec). The ingest worker calls it once per processed frame.
+func (ix *Index) SetIngestSec(sec float64) {
+	ix.mu.Lock()
+	if sec > ix.ingestSec {
+		ix.ingestSec = sec
+	}
 	ix.mu.Unlock()
 }
 
@@ -136,6 +158,7 @@ func (ix *Index) AddCluster(c *cluster.Cluster) {
 		Members: c.Members,
 		MinTime: minT,
 		MaxTime: maxT,
+		SealSec: ix.ingestSec,
 	}
 	ix.addRecordLocked(rec)
 }
@@ -174,13 +197,30 @@ func (ix *Index) ensureSorted() {
 
 // Lookup returns the clusters whose cluster-level top-kx contains class c,
 // most confident first. kx <= 0 or kx > K defaults to the index's K.
+// The sort state is checked and the postings read under one lock hold: a
+// concurrent AddCluster (live ingest) can never interleave between the sort
+// and the binary search.
 func (ix *Index) Lookup(c vision.ClassID, kx int) []*ClusterRecord {
-	ix.mu.Lock()
-	ix.ensureSorted()
-	ix.mu.Unlock()
-
 	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+	if !ix.sorted {
+		// Upgrade to sort, then read while still holding the write lock —
+		// dropping it first would let a concurrent AddCluster unsort the
+		// postings under the binary search.
+		ix.mu.RUnlock()
+		ix.mu.Lock()
+		ix.ensureSorted()
+		out := ix.lookupLocked(c, kx)
+		ix.mu.Unlock()
+		return out
+	}
+	out := ix.lookupLocked(c, kx)
+	ix.mu.RUnlock()
+	return out
+}
+
+// lookupLocked performs the sorted-postings lookup; callers hold ix.mu (read
+// or write) and have ensured the postings are sorted.
+func (ix *Index) lookupLocked(c vision.ClassID, kx int) []*ClusterRecord {
 	if kx <= 0 || kx > ix.meta.K {
 		kx = ix.meta.K
 	}

@@ -1,0 +1,73 @@
+package index_test
+
+import (
+	"testing"
+
+	"focus/internal/cluster"
+	"focus/internal/index"
+	"focus/internal/kvstore"
+	"focus/internal/vision"
+)
+
+// addClusterAt spills one single-member cluster into ix with the ingest
+// clock set to sealSec.
+func addClusterAt(t *testing.T, ix *index.Index, sealSec float64, obj int64) {
+	t.Helper()
+	ix.SetIngestSec(sealSec)
+	e, err := cluster.NewEngine(cluster.Config{Threshold: 1000, MaxActive: 4}, ix.AddCluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := make(vision.FeatureVec, vision.FeatureDim)
+	e.Add(f, cluster.Member{Object: 1, Frame: 1, TimeSec: sealSec, Seed: obj},
+		[]vision.Prediction{{Class: 0, Confidence: 1}})
+	e.Flush()
+}
+
+func TestAddClusterStampsSealSec(t *testing.T) {
+	ix := index.New(index.IngestMeta{Stream: "s", K: 1})
+	addClusterAt(t, ix, 5, 1)
+	addClusterAt(t, ix, 12.5, 2)
+	recs := ix.Lookup(0, 0)
+	if len(recs) != 2 {
+		t.Fatalf("%d records, want 2", len(recs))
+	}
+	want := map[int64]float64{1: 5, 2: 12.5}
+	for _, rec := range recs {
+		if rec.SealSec != want[rec.Rep.Seed] {
+			t.Errorf("cluster (seed %d) sealed at %v, want %v", rec.Rep.Seed, rec.SealSec, want[rec.Rep.Seed])
+		}
+	}
+}
+
+func TestSetIngestSecNeverRegresses(t *testing.T) {
+	ix := index.New(index.IngestMeta{Stream: "s", K: 1})
+	ix.SetIngestSec(10)
+	ix.SetIngestSec(3) // a late SetIngestSec must not move the clock back
+	addClusterAt(t, ix, 0, 7)
+	recs := ix.Lookup(0, 0)
+	if len(recs) != 1 || recs[0].SealSec != 10 {
+		t.Fatalf("sealed at %v, want clock held at 10", recs[0].SealSec)
+	}
+}
+
+func TestSealSecSurvivesSaveLoad(t *testing.T) {
+	store, err := kvstore.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	ix := index.New(index.IngestMeta{Stream: "s", K: 1})
+	addClusterAt(t, ix, 33.25, 9)
+	if err := ix.Save(store); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := index.Load(store, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := loaded.Lookup(0, 0)
+	if len(recs) != 1 || recs[0].SealSec != 33.25 {
+		t.Fatalf("loaded SealSec %v, want 33.25", recs[0].SealSec)
+	}
+}

@@ -122,6 +122,9 @@ type Worker struct {
 	// prevFrameID is the frame the prev association table was built from;
 	// -1 before any frame has been processed.
 	prevFrameID video.FrameID
+	// windowSec is the window length Begin/Run configured; Finish stamps it
+	// as the SealSec of the clusters flushed at end of stream.
+	windowSec float64
 }
 
 // NewWorker creates the ingest worker and its empty index.
@@ -182,9 +185,21 @@ func (w *Worker) Index() *index.Index { return w.ix }
 // Stats returns a snapshot of the worker's counters.
 func (w *Worker) Stats() Stats { return w.stats }
 
+// Begin configures the worker for a generation window before frames are fed
+// through ProcessFrame. Run calls it internally; live ingestion (a session
+// pumping frames incrementally) calls it once up front.
+func (w *Worker) Begin(opts video.GenOptions) {
+	w.ix.SetWindow(opts.DurationSec, opts.EffectiveFPS())
+	w.cfg.FrameStride = video.FrameID(opts.SampleEvery)
+	w.windowSec = opts.DurationSec
+}
+
 // ProcessFrame ingests one frame's sightings.
 func (w *Worker) ProcessFrame(f *video.Frame) {
 	w.stats.Frames++
+	// Advance the index's ingest clock so clusters spilled while processing
+	// this frame are stamped with its stream time (SealSec).
+	w.ix.SetIngestSec(f.TimeSec)
 	// The pixel-diff association table only describes the frame exactly
 	// one stride back. A frame arriving at any other gap — dropped frames
 	// in a live deployment, a sampling-rate change — makes the table
@@ -305,9 +320,14 @@ func minInt(a, b int) int {
 	return b
 }
 
-// Finish flushes remaining clusters and seals the index.
+// Finish flushes remaining clusters and seals the index. End-of-stream
+// spills are stamped with the window end: they become visible exactly when
+// the watermark reaches the horizon.
 func (w *Worker) Finish() *index.Index {
 	w.pacer.Flush()
+	if w.windowSec > 0 {
+		w.ix.SetIngestSec(w.windowSec)
+	}
 	w.engine.Flush()
 	w.stats.Clusters = w.ix.NumClusters()
 	w.ix.SetTotalSightings(w.stats.Sightings)
@@ -318,8 +338,7 @@ func (w *Worker) Finish() *index.Index {
 // returning the completed index. It is the one-call path used by
 // experiments; live systems drive ProcessFrame per arriving frame.
 func (w *Worker) Run(opts video.GenOptions) (*index.Index, error) {
-	w.ix.SetWindow(opts.DurationSec, opts.EffectiveFPS())
-	w.cfg.FrameStride = video.FrameID(opts.SampleEvery)
+	w.Begin(opts)
 	err := w.stream.Generate(opts, func(f *video.Frame) error {
 		w.ProcessFrame(f)
 		return nil

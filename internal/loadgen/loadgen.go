@@ -1,0 +1,298 @@
+// Package loadgen is a deterministic closed-loop load generator for the
+// focus-serve HTTP service: N client goroutines issue back-to-back /query
+// requests with Zipf-skewed class popularity (mirroring the skewed query
+// interest the paper's streams exhibit, §2.2), recording throughput, a
+// latency histogram, and per-status counts. An optional verifier re-executes
+// sampled responses directly against the owning focus.System at the exact
+// watermark vector the service answered at, asserting the served result is
+// identical — the serving stack (transport, cache, admission) must never
+// change an answer.
+//
+// "Closed loop" means each client waits for its response before issuing the
+// next request, so offered load adapts to service capacity; client request
+// sequences are pure functions of (seed, client index).
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"focus/internal/simrand"
+)
+
+// QueryResponse mirrors serve.QueryResponse; loadgen decodes the service's
+// JSON wire format rather than importing the server, the way an external
+// client would.
+type QueryResponse struct {
+	Class       string                        `json:"class"`
+	Streams     map[string]*StreamQueryResult `json:"streams"`
+	TotalFrames int                           `json:"total_frames"`
+	LatencyMS   float64                       `json:"latency_ms"`
+	GPUTimeMS   float64                       `json:"gpu_time_ms"`
+	Cached      bool                          `json:"cached"`
+}
+
+// StreamQueryResult mirrors serve.StreamQueryResult.
+type StreamQueryResult struct {
+	Watermark        float64 `json:"watermark"`
+	Frames           []int64 `json:"frames"`
+	Segments         []int64 `json:"segments"`
+	ExaminedClusters int     `json:"examined_clusters"`
+	MatchedClusters  int     `json:"matched_clusters"`
+	GTInferences     int     `json:"gt_inferences"`
+	GPUTimeMS        float64 `json:"gpu_time_ms"`
+	LatencyMS        float64 `json:"latency_ms"`
+	ViaOther         bool    `json:"via_other"`
+}
+
+// Config parameterizes one load-generation run.
+type Config struct {
+	// BaseURL is the service root, e.g. "http://127.0.0.1:7070".
+	BaseURL string
+	// Clients is the number of concurrent closed-loop clients. Default 16.
+	Clients int
+	// Duration is the wall-clock run length. Default 10s.
+	Duration time.Duration
+	// MaxRequestsPerClient additionally caps each client's request count;
+	// 0 means duration-bound only.
+	MaxRequestsPerClient int
+	// Seed drives every client's deterministic request sequence. Default 1.
+	Seed uint64
+	// Classes is the queryable class-name pool in popularity order; clients
+	// draw from it Zipf(ZipfAlpha)-skewed, so a few popular classes draw
+	// most of the traffic (and exercise the result cache).
+	Classes []string
+	// ZipfAlpha is the popularity skew. Default 1.1.
+	ZipfAlpha float64
+	// VerifyEvery verifies every Nth response per client through Verifier
+	// (1 = every response, 0 = never).
+	VerifyEvery int
+	// Verifier checks one served response; non-nil errors are recorded as
+	// mismatches. See focus-loadgen for the served-vs-direct verifier.
+	Verifier func(*QueryResponse) error
+	// Timeout bounds each request. Default 30s.
+	Timeout time.Duration
+}
+
+func (c *Config) applyDefaults() error {
+	if c.BaseURL == "" {
+		return fmt.Errorf("loadgen: BaseURL is required")
+	}
+	if len(c.Classes) == 0 {
+		return fmt.Errorf("loadgen: at least one class is required")
+	}
+	if c.Clients <= 0 {
+		c.Clients = 16
+	}
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.ZipfAlpha <= 0 {
+		c.ZipfAlpha = 1.1
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	return nil
+}
+
+// Report aggregates one run.
+type Report struct {
+	Clients    int     `json:"clients"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	Requests   int     `json:"requests"`
+	// OK counts 2xx responses; Rejected counts 429s (admission control
+	// doing its job under overload — not a failure); Unexpected counts
+	// everything else by status code.
+	OK         int         `json:"ok"`
+	Rejected   int         `json:"rejected"`
+	Unexpected map[int]int `json:"unexpected,omitempty"`
+	NetErrors  int         `json:"net_errors"`
+	CacheHits  int         `json:"cache_hits"`
+	Verified   int         `json:"verified"`
+	Mismatches []string    `json:"mismatches,omitempty"`
+	// Latency percentiles over successful (2xx) responses, milliseconds.
+	P50MS float64 `json:"p50_ms"`
+	P90MS float64 `json:"p90_ms"`
+	P99MS float64 `json:"p99_ms"`
+	MaxMS float64 `json:"max_ms"`
+	// ThroughputRPS counts completed requests (any status) per second.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// ErrorSamples holds a few representative transport errors.
+	ErrorSamples []string `json:"error_samples,omitempty"`
+}
+
+// Failures returns the reasons this run should fail a CI gate: any
+// non-2xx/429 response, any transport error, or any verification mismatch.
+// p99 budgets are the caller's to assert (they are deployment-specific).
+func (r *Report) Failures() []string {
+	var out []string
+	for status, n := range r.Unexpected {
+		out = append(out, fmt.Sprintf("%d responses with unexpected status %d", n, status))
+	}
+	if r.NetErrors > 0 {
+		out = append(out, fmt.Sprintf("%d transport errors (samples: %v)", r.NetErrors, r.ErrorSamples))
+	}
+	for _, m := range r.Mismatches {
+		out = append(out, "served-vs-direct mismatch: "+m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// clientState accumulates one client's observations; merged after the run.
+type clientState struct {
+	latenciesMS []float64
+	requests    int
+	ok          int
+	rejected    int
+	unexpected  map[int]int
+	netErrors   int
+	cacheHits   int
+	verified    int
+	mismatches  []string
+	errSamples  []string
+}
+
+// Run executes the load generation and blocks until every client finishes.
+func Run(cfg Config) (*Report, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	zipf := simrand.NewZipf(len(cfg.Classes), cfg.ZipfAlpha)
+	transport := &http.Transport{
+		MaxIdleConns:        cfg.Clients * 2,
+		MaxIdleConnsPerHost: cfg.Clients * 2,
+	}
+	httpc := &http.Client{Transport: transport, Timeout: cfg.Timeout}
+	defer transport.CloseIdleConnections()
+
+	deadline := time.Now().Add(cfg.Duration)
+	states := make([]*clientState, cfg.Clients)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for i := 0; i < cfg.Clients; i++ {
+		states[i] = &clientState{unexpected: make(map[int]int)}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			runClient(&cfg, i, zipf, httpc, deadline, states[i])
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	rep := &Report{Clients: cfg.Clients, ElapsedSec: elapsed.Seconds(), Unexpected: make(map[int]int)}
+	var lat []float64
+	for _, st := range states {
+		rep.Requests += st.requests
+		rep.OK += st.ok
+		rep.Rejected += st.rejected
+		rep.NetErrors += st.netErrors
+		rep.CacheHits += st.cacheHits
+		rep.Verified += st.verified
+		for code, n := range st.unexpected {
+			rep.Unexpected[code] += n
+		}
+		for _, m := range st.mismatches {
+			if len(rep.Mismatches) < 20 {
+				rep.Mismatches = append(rep.Mismatches, m)
+			}
+		}
+		for _, e := range st.errSamples {
+			if len(rep.ErrorSamples) < 5 {
+				rep.ErrorSamples = append(rep.ErrorSamples, e)
+			}
+		}
+		lat = append(lat, st.latenciesMS...)
+	}
+	if len(rep.Unexpected) == 0 {
+		rep.Unexpected = nil
+	}
+	sort.Float64s(lat)
+	rep.P50MS = percentile(lat, 0.50)
+	rep.P90MS = percentile(lat, 0.90)
+	rep.P99MS = percentile(lat, 0.99)
+	if n := len(lat); n > 0 {
+		rep.MaxMS = lat[n-1]
+	}
+	if elapsed > 0 {
+		rep.ThroughputRPS = float64(rep.Requests) / elapsed.Seconds()
+	}
+	return rep, nil
+}
+
+// runClient is one closed loop: draw a class, query, record, repeat.
+func runClient(cfg *Config, idx int, zipf *simrand.Zipf, httpc *http.Client, deadline time.Time, st *clientState) {
+	src := simrand.New(cfg.Seed).DeriveN(int64(idx), "loadgen-client")
+	for time.Now().Before(deadline) {
+		if cfg.MaxRequestsPerClient > 0 && st.requests >= cfg.MaxRequestsPerClient {
+			return
+		}
+		class := cfg.Classes[zipf.Sample(src)]
+		st.requests++
+		t0 := time.Now()
+		resp, err := httpc.Get(cfg.BaseURL + "/query?class=" + class)
+		if err != nil {
+			st.netErrors++
+			if len(st.errSamples) < 3 {
+				st.errSamples = append(st.errSamples, err.Error())
+			}
+			continue
+		}
+		var qr QueryResponse
+		decodeErr := json.NewDecoder(resp.Body).Decode(&qr)
+		resp.Body.Close()
+		// Latency includes the body transfer and decode: what a real client
+		// waits for. Measuring at header arrival would let a regression that
+		// bloats response bodies slip past the p99 gate.
+		latMS := float64(time.Since(t0).Nanoseconds()) / 1e6
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests:
+			st.rejected++
+		case resp.StatusCode >= 200 && resp.StatusCode < 300:
+			st.ok++
+			st.latenciesMS = append(st.latenciesMS, latMS)
+			if decodeErr != nil {
+				st.mismatches = append(st.mismatches,
+					fmt.Sprintf("client %d: bad response body for class %q: %v", idx, class, decodeErr))
+				continue
+			}
+			if qr.Cached {
+				st.cacheHits++
+			}
+			if cfg.Verifier != nil && cfg.VerifyEvery > 0 && st.ok%cfg.VerifyEvery == 0 {
+				st.verified++
+				if err := cfg.Verifier(&qr); err != nil {
+					st.mismatches = append(st.mismatches,
+						fmt.Sprintf("client %d class %q: %v", idx, class, err))
+				}
+			}
+		default:
+			st.unexpected[resp.StatusCode]++
+		}
+	}
+}
+
+// percentile returns the p-th percentile (0..1) of sorted values using
+// nearest-rank, 0 when empty.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

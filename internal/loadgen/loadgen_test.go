@@ -1,0 +1,140 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"focus/internal/simrand"
+)
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0.50, 5}, {0.90, 9}, {0.99, 10}, {1.0, 10},
+	}
+	for _, c := range cases {
+		if got := percentile(sorted, c.p); got != c.want {
+			t.Errorf("p%.0f = %v, want %v", c.p*100, got, c.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+}
+
+// TestClientSequencesDeterministic: the class sequence each client draws is
+// a pure function of (seed, client index).
+func TestClientSequencesDeterministic(t *testing.T) {
+	classes := []string{"car", "person", "truck", "bus"}
+	zipf := simrand.NewZipf(len(classes), 1.1)
+	draw := func(client int64, n int) []int {
+		src := simrand.New(7).DeriveN(client, "loadgen-client")
+		out := make([]int, n)
+		for i := range out {
+			out[i] = zipf.Sample(src)
+		}
+		return out
+	}
+	a, b := draw(3, 50), draw(3, 50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d diverged: %d vs %d", i, a[i], b[i])
+		}
+	}
+	// Popularity skew: rank 0 must dominate.
+	counts := make([]int, len(classes))
+	for _, r := range draw(1, 400) {
+		counts[r]++
+	}
+	if counts[0] <= counts[len(counts)-1] {
+		t.Errorf("no Zipf skew: counts %v", counts)
+	}
+}
+
+// TestRunAgainstStubServer exercises the full client loop, status taxonomy
+// and verifier plumbing against a scripted handler.
+func TestRunAgainstStubServer(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		i := n.Add(1)
+		switch {
+		case i%5 == 0: // every 5th request is shed
+			w.WriteHeader(http.StatusTooManyRequests)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": "overloaded"})
+		default:
+			_ = json.NewEncoder(w).Encode(&QueryResponse{
+				Class:  r.URL.Query().Get("class"),
+				Cached: i%2 == 0,
+				Streams: map[string]*StreamQueryResult{
+					"s": {Watermark: 10, Frames: []int64{1, 2}, Segments: []int64{0}},
+				},
+				TotalFrames: 2,
+			})
+		}
+	}))
+	defer ts.Close()
+
+	var verified atomic.Int64
+	rep, err := Run(Config{
+		BaseURL:              ts.URL,
+		Clients:              4,
+		Duration:             500 * time.Millisecond,
+		MaxRequestsPerClient: 25,
+		Classes:              []string{"car", "person"},
+		VerifyEvery:          1,
+		Verifier: func(qr *QueryResponse) error {
+			verified.Add(1)
+			if qr.TotalFrames != 2 {
+				t.Errorf("verifier saw %d frames", qr.TotalFrames)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 100 {
+		t.Errorf("requests %d, want 100 (4 clients x 25)", rep.Requests)
+	}
+	if rep.OK+rep.Rejected != rep.Requests {
+		t.Errorf("ok %d + rejected %d != %d", rep.OK, rep.Rejected, rep.Requests)
+	}
+	if rep.Rejected == 0 || rep.CacheHits == 0 {
+		t.Errorf("taxonomy not exercised: %+v", rep)
+	}
+	if len(rep.Failures()) != 0 {
+		t.Errorf("unexpected failures: %v", rep.Failures())
+	}
+	if rep.Verified == 0 || int(verified.Load()) != rep.Verified {
+		t.Errorf("verified %d, callbacks %d", rep.Verified, verified.Load())
+	}
+}
+
+// TestFailuresFlagUnexpectedStatus: 500s and transport errors must fail a
+// gate even when everything else looks healthy.
+func TestFailuresFlagUnexpectedStatus(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	rep, err := Run(Config{
+		BaseURL:              ts.URL,
+		Clients:              2,
+		Duration:             200 * time.Millisecond,
+		MaxRequestsPerClient: 5,
+		Classes:              []string{"car"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failures()) == 0 {
+		t.Fatal("500 responses must be reported as failures")
+	}
+}

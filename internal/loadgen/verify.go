@@ -1,0 +1,87 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+
+	"focus"
+)
+
+// NewDirectVerifier returns a Verifier that replays a served response as a
+// direct library call — focus.System.Query pinned to the exact watermark
+// vector the service answered at — and asserts the served answer is
+// identical: same frames, same segments, same cluster counts, per stream.
+//
+// Only answer fields are compared. Cost counters (GTInferences, GPU time,
+// latency) legitimately differ between executions of the same query: the
+// GT-CNN verdict cache makes later executions cheaper without changing
+// answers (§6.7), and a cached service response reports the cost of its
+// original execution.
+func NewDirectVerifier(sys *focus.System) func(*QueryResponse) error {
+	return func(qr *QueryResponse) error {
+		names := make([]string, 0, len(qr.Streams))
+		vector := make(map[string]float64, len(qr.Streams))
+		for name, sr := range qr.Streams {
+			names = append(names, name)
+			vector[name] = sr.Watermark
+		}
+		sort.Strings(names)
+		res, err := sys.Query(focus.Query{
+			Class:        qr.Class,
+			Streams:      names,
+			AtWatermarks: vector,
+		})
+		if err != nil {
+			return fmt.Errorf("direct query: %w", err)
+		}
+		if res.TotalFrames != qr.TotalFrames {
+			return fmt.Errorf("total frames: served %d, direct %d", qr.TotalFrames, res.TotalFrames)
+		}
+		for name, served := range qr.Streams {
+			direct := res.PerStream[name]
+			if direct == nil {
+				return fmt.Errorf("stream %s: missing from direct result", name)
+			}
+			if err := compareStream(name, served, direct); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+func compareStream(name string, served *StreamQueryResult, direct *focus.StreamResult) error {
+	if served.ExaminedClusters != direct.ExaminedClusters {
+		return fmt.Errorf("stream %s: examined clusters served %d, direct %d",
+			name, served.ExaminedClusters, direct.ExaminedClusters)
+	}
+	if served.MatchedClusters != direct.MatchedClusters {
+		return fmt.Errorf("stream %s: matched clusters served %d, direct %d",
+			name, served.MatchedClusters, direct.MatchedClusters)
+	}
+	if served.ViaOther != direct.ViaOther {
+		return fmt.Errorf("stream %s: via-other served %v, direct %v",
+			name, served.ViaOther, direct.ViaOther)
+	}
+	if len(served.Frames) != len(direct.Frames) {
+		return fmt.Errorf("stream %s: %d frames served, %d direct",
+			name, len(served.Frames), len(direct.Frames))
+	}
+	for i := range served.Frames {
+		if served.Frames[i] != int64(direct.Frames[i]) {
+			return fmt.Errorf("stream %s: frame[%d] served %d, direct %d",
+				name, i, served.Frames[i], direct.Frames[i])
+		}
+	}
+	if len(served.Segments) != len(direct.Segments) {
+		return fmt.Errorf("stream %s: %d segments served, %d direct",
+			name, len(served.Segments), len(direct.Segments))
+	}
+	for i := range served.Segments {
+		if served.Segments[i] != int64(direct.Segments[i]) {
+			return fmt.Errorf("stream %s: segment[%d] served %d, direct %d",
+				name, i, served.Segments[i], direct.Segments[i])
+		}
+	}
+	return nil
+}

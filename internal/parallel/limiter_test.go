@@ -1,0 +1,83 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLimiterRejectsWhenQueueFull(t *testing.T) {
+	l := NewLimiter(1, 0)
+	if !l.Acquire() {
+		t.Fatal("first acquire must succeed")
+	}
+	if l.Acquire() {
+		t.Fatal("second acquire must be rejected with a zero queue")
+	}
+	l.Release()
+	if !l.Acquire() {
+		t.Fatal("acquire after release must succeed")
+	}
+	l.Release()
+}
+
+func TestLimiterQueuedWaiterGetsSlot(t *testing.T) {
+	l := NewLimiter(1, 1)
+	if !l.Acquire() {
+		t.Fatal("first acquire must succeed")
+	}
+	got := make(chan bool)
+	go func() { got <- l.Acquire() }()
+	// Wait until the goroutine is queued, then free the slot.
+	deadline := time.Now().Add(2 * time.Second)
+	for l.Waiting() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if l.Waiting() != 1 {
+		t.Fatalf("waiting %d, want 1", l.Waiting())
+	}
+	l.Release()
+	if !<-got {
+		t.Fatal("queued waiter should have been admitted")
+	}
+	l.Release()
+}
+
+func TestLimiterConcurrencyNeverExceedsWorkers(t *testing.T) {
+	const workers, clients = 4, 64
+	l := NewLimiter(workers, clients)
+	var mu sync.Mutex
+	inFlight, maxInFlight, admitted := 0, 0, 0
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if !l.Acquire() {
+				return
+			}
+			mu.Lock()
+			inFlight++
+			admitted++
+			if inFlight > maxInFlight {
+				maxInFlight = inFlight
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			inFlight--
+			mu.Unlock()
+			l.Release()
+		}()
+	}
+	wg.Wait()
+	if maxInFlight > workers {
+		t.Errorf("observed %d concurrent holders, limit %d", maxInFlight, workers)
+	}
+	if admitted == 0 {
+		t.Error("nobody was admitted")
+	}
+	if l.InFlight() != 0 || l.Waiting() != 0 {
+		t.Errorf("limiter not drained: in-flight %d, waiting %d", l.InFlight(), l.Waiting())
+	}
+}

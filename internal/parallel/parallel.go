@@ -99,6 +99,62 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	return nil
 }
 
+// Limiter is the admission-control primitive for long-running services: at
+// most workers acquisitions execute concurrently, at most queue callers wait
+// for a free slot, and everyone beyond that is rejected immediately so
+// overload degrades into fast, predictable rejections instead of unbounded
+// queueing. The zero Limiter is not usable; construct with NewLimiter.
+type Limiter struct {
+	slots   chan struct{}
+	waiting atomic.Int64
+	queue   int64
+}
+
+// NewLimiter builds a limiter with the given concurrency and queue bounds.
+// workers < 1 is clamped to 1; queue < 0 is clamped to 0 (reject as soon as
+// all workers are busy).
+func NewLimiter(workers, queue int) *Limiter {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &Limiter{slots: make(chan struct{}, workers), queue: int64(queue)}
+}
+
+// Acquire claims an execution slot, waiting in the bounded queue when all
+// slots are busy. It returns false — without blocking — when the queue is
+// full; the caller should reject the request (HTTP 429). Every true return
+// must be paired with Release.
+func (l *Limiter) Acquire() bool {
+	select {
+	case l.slots <- struct{}{}:
+		return true
+	default:
+	}
+	// The waiting counter admits at most `queue` concurrent waiters. It is
+	// checked optimistically: a burst can transiently overshoot by the
+	// number of racing callers, which only tightens rejection, never grows
+	// the queue unboundedly.
+	if l.waiting.Add(1) > l.queue {
+		l.waiting.Add(-1)
+		return false
+	}
+	l.slots <- struct{}{}
+	l.waiting.Add(-1)
+	return true
+}
+
+// Release frees a slot claimed by a successful Acquire.
+func (l *Limiter) Release() { <-l.slots }
+
+// InFlight returns how many acquisitions currently hold slots.
+func (l *Limiter) InFlight() int { return len(l.slots) }
+
+// Waiting returns how many callers are queued for a slot.
+func (l *Limiter) Waiting() int { return int(l.waiting.Load()) }
+
 // Map runs fn(i) for every i in [0, n) on at most workers goroutines and
 // returns the results in index order. On error the first failing index's
 // error is returned and the results are discarded. The same determinism

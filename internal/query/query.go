@@ -72,6 +72,14 @@ type Options struct {
 	// MaxClusters caps how many clusters are examined, for batched
 	// retrieval of "the first few results" (§5). Zero examines all.
 	MaxClusters int
+	// MaxSealSec, when positive, restricts the query to clusters sealed at
+	// or before this ingest watermark. A query at watermark W is a pure
+	// function of (class, options, W): ingestion advancing past W never
+	// changes its answer, so queries never race a live ingester and results
+	// may be cached per watermark. Zero queries everything indexed so far;
+	// negative matches nothing (the horizon before any watermark has been
+	// published).
+	MaxSealSec float64
 	// NumGPUs is the parallelism available for GT-CNN verification; the
 	// reported latency is the makespan across this many GPUs. Zero means 1.
 	NumGPUs int
@@ -133,6 +141,9 @@ func (e *Engine) Query(c vision.ClassID, opts Options) (*Result, error) {
 	for _, rec := range recs {
 		if opts.MaxClusters > 0 && len(cands) >= opts.MaxClusters {
 			break
+		}
+		if opts.MaxSealSec != 0 && rec.SealSec > opts.MaxSealSec {
+			continue
 		}
 		if !overlapsWindow(rec, opts) {
 			continue

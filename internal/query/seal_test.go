@@ -1,0 +1,90 @@
+package query_test
+
+import (
+	"testing"
+
+	"focus/internal/cluster"
+	"focus/internal/index"
+	"focus/internal/query"
+	"focus/internal/video"
+	"focus/internal/vision"
+)
+
+// buildSealedIndex makes one cluster per seal time, all indexing class 0
+// with a confirming GT verdict.
+func buildSealedIndex(t *testing.T, sealTimes []float64) (*index.Index, query.GTFunc) {
+	t.Helper()
+	ix := index.New(index.IngestMeta{Stream: "s", ModelName: "m", K: 1, FPS: 30})
+	for i, at := range sealTimes {
+		ix.SetIngestSec(at)
+		e, err := cluster.NewEngine(cluster.Config{Threshold: 1000, MaxActive: 4}, ix.AddCluster)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := make(vision.FeatureVec, vision.FeatureDim)
+		e.Add(f, cluster.Member{
+			Object:  video.ObjectID(i),
+			Frame:   video.FrameID(i),
+			TimeSec: at,
+			Seed:    int64(i),
+		}, []vision.Prediction{{Class: 0, Confidence: 1}})
+		e.Flush()
+	}
+	return ix, func(m cluster.Member) vision.ClassID { return 0 }
+}
+
+// TestMaxSealSecFiltersByWatermark: positive pins the horizon, zero is
+// unbounded (the pre-watermark API), negative matches nothing.
+func TestMaxSealSecFiltersByWatermark(t *testing.T) {
+	ix, gtFn := buildSealedIndex(t, []float64{5, 10, 15})
+	e := newEngine(t, ix, gtFn, nil)
+	cases := []struct {
+		maxSeal float64
+		want    int
+	}{
+		{0, 3},   // unbounded
+		{-1, 0},  // empty horizon: nothing sealed yet
+		{4.9, 0}, // before the first seal
+		{5, 1},   // boundary is inclusive
+		{10, 2},
+		{12, 2},
+		{15, 3},
+		{100, 3},
+	}
+	for _, c := range cases {
+		res, err := e.Query(0, query.Options{MaxSealSec: c.maxSeal})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ExaminedClusters != c.want || res.MatchedClusters != c.want {
+			t.Errorf("MaxSealSec=%v: examined %d matched %d, want %d",
+				c.maxSeal, res.ExaminedClusters, res.MatchedClusters, c.want)
+		}
+		if len(res.Frames) != c.want {
+			t.Errorf("MaxSealSec=%v: %d frames, want %d", c.maxSeal, len(res.Frames), c.want)
+		}
+	}
+}
+
+// TestMaxSealSecComposesWithOtherOptions: the watermark filter applies
+// before the MaxClusters cap, like the time-window filter.
+func TestMaxSealSecComposesWithOtherOptions(t *testing.T) {
+	ix, gtFn := buildSealedIndex(t, []float64{5, 10, 15, 20})
+	e := newEngine(t, ix, gtFn, nil)
+	res, err := e.Query(0, query.Options{MaxSealSec: 15, MaxClusters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExaminedClusters != 2 {
+		t.Errorf("examined %d, want MaxClusters cap of 2 after seal filtering", res.ExaminedClusters)
+	}
+	res, err = e.Query(0, query.Options{MaxSealSec: 10, StartSec: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seal filter keeps the 5s and 10s clusters; the time window then drops
+	// the 5s member.
+	if res.ExaminedClusters != 1 || len(res.Frames) != 1 {
+		t.Errorf("examined %d frames %d, want 1/1", res.ExaminedClusters, len(res.Frames))
+	}
+}

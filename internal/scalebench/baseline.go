@@ -1,0 +1,108 @@
+package scalebench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Baseline is the committed floor the CI bench-regression gate holds fresh
+// scaling runs to: per-stream-count reference speedups plus a relative
+// tolerance. A fresh point failing `speedup >= reference * (1 - tolerance)`
+// fails the gate, as does a missing point or a non-identical parallel run.
+// References should be set from a healthy run on CI-class hardware and only
+// ratcheted deliberately.
+type Baseline struct {
+	// Tolerance is the allowed relative loss, e.g. 0.20 for "fail if any
+	// scaling point loses more than 20%".
+	Tolerance float64         `json:"tolerance"`
+	Points    []BaselinePoint `json:"points"`
+}
+
+// BaselinePoint is the reference for one stream count.
+type BaselinePoint struct {
+	Streams       int     `json:"streams"`
+	IngestSpeedup float64 `json:"ingest_speedup"`
+	QuerySpeedup  float64 `json:"query_speedup"`
+}
+
+// LoadBaseline reads a committed baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("scalebench: parsing baseline %s: %w", path, err)
+	}
+	if b.Tolerance < 0 || b.Tolerance >= 1 {
+		return nil, fmt.Errorf("scalebench: baseline tolerance %v out of [0, 1)", b.Tolerance)
+	}
+	if len(b.Points) == 0 {
+		return nil, fmt.Errorf("scalebench: baseline %s has no points", path)
+	}
+	return &b, nil
+}
+
+// LatestRun reads a trajectory file and returns its most recent run.
+func LatestRun(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var tr trajectory
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return nil, fmt.Errorf("scalebench: parsing trajectory %s: %w", path, err)
+	}
+	if len(tr.Runs) == 0 {
+		return nil, fmt.Errorf("scalebench: trajectory %s has no runs", path)
+	}
+	return tr.Runs[len(tr.Runs)-1], nil
+}
+
+// Check compares a fresh report against the baseline and returns the list
+// of violations (empty = gate passes). Fresh points without a baseline
+// entry have no speedup floor, but their bit-identity is still enforced —
+// a non-identical parallel run is a correctness bug at any stream count.
+func (b *Baseline) Check(rep *Report) []string {
+	var failures []string
+	byStreams := make(map[int]*Point, len(rep.Points))
+	for i := range rep.Points {
+		byStreams[rep.Points[i].Streams] = &rep.Points[i]
+	}
+	baselined := make(map[int]bool, len(b.Points))
+	for _, ref := range b.Points {
+		baselined[ref.Streams] = true
+	}
+	for _, p := range rep.Points {
+		if !p.Identical && !baselined[p.Streams] {
+			failures = append(failures,
+				fmt.Sprintf("streams=%d: parallel run was not bit-identical to sequential (unbaselined point)", p.Streams))
+		}
+	}
+	floor := 1 - b.Tolerance
+	for _, ref := range b.Points {
+		p, ok := byStreams[ref.Streams]
+		if !ok {
+			failures = append(failures,
+				fmt.Sprintf("streams=%d: no measurement in fresh run", ref.Streams))
+			continue
+		}
+		if !p.Identical {
+			failures = append(failures,
+				fmt.Sprintf("streams=%d: parallel run was not bit-identical to sequential", ref.Streams))
+		}
+		if min := ref.IngestSpeedup * floor; p.IngestSpeedup < min {
+			failures = append(failures,
+				fmt.Sprintf("streams=%d: ingest speedup %.2fx below floor %.2fx (baseline %.2fx, tolerance %.0f%%)",
+					ref.Streams, p.IngestSpeedup, min, ref.IngestSpeedup, 100*b.Tolerance))
+		}
+		if min := ref.QuerySpeedup * floor; p.QuerySpeedup < min {
+			failures = append(failures,
+				fmt.Sprintf("streams=%d: query speedup %.2fx below floor %.2fx (baseline %.2fx, tolerance %.0f%%)",
+					ref.Streams, p.QuerySpeedup, min, ref.QuerySpeedup, 100*b.Tolerance))
+		}
+	}
+	return failures
+}

@@ -1,0 +1,107 @@
+package scalebench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testBaseline() *Baseline {
+	return &Baseline{
+		Tolerance: 0.20,
+		Points: []BaselinePoint{
+			{Streams: 1, IngestSpeedup: 1.0, QuerySpeedup: 1.0},
+			{Streams: 4, IngestSpeedup: 2.0, QuerySpeedup: 2.5},
+		},
+	}
+}
+
+func freshReport() *Report {
+	return &Report{Points: []Point{
+		{Streams: 1, IngestSpeedup: 1.0, QuerySpeedup: 0.98, Identical: true},
+		{Streams: 4, IngestSpeedup: 2.1, QuerySpeedup: 2.4, Identical: true},
+	}}
+}
+
+func TestBaselineCheckPasses(t *testing.T) {
+	if failures := testBaseline().Check(freshReport()); len(failures) != 0 {
+		t.Fatalf("healthy run failed the gate: %v", failures)
+	}
+}
+
+func TestBaselineCheckCatchesRegression(t *testing.T) {
+	rep := freshReport()
+	rep.Points[1].QuerySpeedup = 1.9 // below 2.5 * 0.8 = 2.0
+	failures := testBaseline().Check(rep)
+	if len(failures) != 1 {
+		t.Fatalf("want exactly the query regression, got %v", failures)
+	}
+}
+
+func TestBaselineCheckWithinToleranceIsFine(t *testing.T) {
+	rep := freshReport()
+	rep.Points[1].IngestSpeedup = 1.65 // above 2.0 * 0.8 = 1.6: a <20% loss
+	if failures := testBaseline().Check(rep); len(failures) != 0 {
+		t.Fatalf("loss within tolerance must pass: %v", failures)
+	}
+}
+
+func TestBaselineCheckCatchesMissingPointAndNonIdentical(t *testing.T) {
+	rep := freshReport()
+	rep.Points = rep.Points[:1]
+	rep.Points[0].Identical = false
+	failures := testBaseline().Check(rep)
+	if len(failures) != 2 {
+		t.Fatalf("want non-identical + missing point, got %v", failures)
+	}
+}
+
+func TestBaselineCheckFlagsUnbaselinedNonIdentical(t *testing.T) {
+	rep := freshReport()
+	rep.Points = append(rep.Points,
+		Point{Streams: 16, IngestSpeedup: 3.9, QuerySpeedup: 3.1, Identical: false})
+	failures := testBaseline().Check(rep)
+	if len(failures) != 1 {
+		t.Fatalf("want the unbaselined non-identical point flagged, got %v", failures)
+	}
+}
+
+func TestLoadBaselineAndLatestRunRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "baseline.json")
+	if err := os.WriteFile(basePath, []byte(`{
+		"tolerance": 0.2,
+		"points": [{"streams": 1, "ingest_speedup": 1, "query_speedup": 1}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Tolerance != 0.2 || len(b.Points) != 1 {
+		t.Fatalf("loaded %+v", b)
+	}
+
+	trajPath := filepath.Join(dir, "traj.json")
+	if err := AppendJSON(trajPath, &Report{When: "a", Points: []Point{{Streams: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendJSON(trajPath, &Report{When: "b", Points: []Point{{Streams: 4}}}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := LatestRun(trajPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.When != "b" || rep.Points[0].Streams != 4 {
+		t.Fatalf("latest run %+v, want the second append", rep)
+	}
+
+	if _, err := LoadBaseline(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing baseline must error")
+	}
+	if _, err := LatestRun(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing trajectory must error")
+	}
+}

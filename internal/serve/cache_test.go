@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestResultCacheLRUEviction(t *testing.T) {
+	c := newResultCache(4, 1) // single shard: eviction order is global
+	for i := 0; i < 4; i++ {
+		c.put(fmt.Sprintf("k%d", i), &QueryResponse{TotalFrames: i})
+	}
+	if c.len() != 4 {
+		t.Fatalf("len %d, want 4", c.len())
+	}
+	// Touch k0 so k1 becomes the LRU victim.
+	if _, ok := c.get("k0"); !ok {
+		t.Fatal("k0 missing")
+	}
+	c.put("k4", &QueryResponse{TotalFrames: 4})
+	if _, ok := c.get("k1"); ok {
+		t.Error("k1 should have been evicted as LRU")
+	}
+	for _, k := range []string{"k0", "k2", "k3", "k4"} {
+		if _, ok := c.get(k); !ok {
+			t.Errorf("%s missing after eviction", k)
+		}
+	}
+}
+
+func TestResultCachePutRefreshesExisting(t *testing.T) {
+	c := newResultCache(8, 2)
+	c.put("k", &QueryResponse{TotalFrames: 1})
+	c.put("k", &QueryResponse{TotalFrames: 2})
+	got, ok := c.get("k")
+	if !ok || got.TotalFrames != 2 {
+		t.Fatalf("got %+v ok=%v, want TotalFrames=2", got, ok)
+	}
+}
+
+func TestResultCacheShardingCoversCapacity(t *testing.T) {
+	c := newResultCache(64, 8)
+	for i := 0; i < 64; i++ {
+		c.put(fmt.Sprintf("key-%d", i), &QueryResponse{TotalFrames: i})
+	}
+	// Per-shard capacity is capacity/shards; hashing spreads keys unevenly,
+	// so some evictions are expected — but the cache must retain at least
+	// half its nominal capacity and never exceed it.
+	if n := c.len(); n < 32 || n > 64 {
+		t.Errorf("cache holds %d entries, want within [32, 64]", n)
+	}
+}

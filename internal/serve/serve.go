@@ -1,0 +1,566 @@
+// Package serve turns a focus.System into a resident query service: streams
+// ingest continuously in the background while many concurrent clients query
+// over HTTP/JSON. It is the "low latency, low cost after-the-fact query"
+// regime of the paper (§1, §6.7) run as a server instead of a library call.
+//
+// Three mechanisms make serving safe and cheap under load:
+//
+//   - Watermark-consistent queries: every request snapshots the per-stream
+//     ingest watermarks at admission and executes pinned to that vector
+//     (Query.AtWatermarks), so queries never race the background ingesters
+//     and their answers are pure functions of (class, options, vector).
+//   - A sharded LRU result cache keyed by exactly that tuple: repeated
+//     popular queries are served without any GT-CNN work, and entries
+//     self-invalidate as watermarks advance (the key changes).
+//   - Admission control via a bounded worker pool with a bounded wait queue
+//     (parallel.Limiter): overload degrades into immediate HTTP 429s rather
+//     than unbounded queueing and latency collapse.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"focus"
+	"focus/internal/parallel"
+	"focus/internal/tune"
+)
+
+// QuickTuneOptions is a deliberately small parameter-search space for
+// service boot: the full sweep is an offline activity (the paper retunes
+// "once every few days"), and a booting server only needs a reasonable
+// configuration fast. Pass it as focus.Config.TuneOptions.
+func QuickTuneOptions() *tune.Options {
+	o := tune.DefaultOptions()
+	o.LsCandidates = []int{20}
+	o.TCandidates = []float64{2.5, 3.0}
+	o.KCandidates = []int{4, 16, 60}
+	o.MaxSampleSightings = 800
+	return &o
+}
+
+// Config tunes the server.
+type Config struct {
+	// Window is each stream's full ingest horizon (the recorded video the
+	// background ingester works through).
+	Window focus.GenOptions
+	// TuneWindow, when non-zero, is a shorter window for the boot-time
+	// parameter sweep; zero tunes over Window.
+	TuneWindow focus.GenOptions
+	// ChunkSec is the watermark granularity: how much stream time each
+	// background ingest step seals. Default 5s.
+	ChunkSec float64
+	// IngestInterval is the real-time pause between background ingest steps;
+	// 0 ingests as fast as the CPU allows.
+	IngestInterval time.Duration
+	// QueryWorkers bounds concurrently executing queries. Default 8.
+	QueryWorkers int
+	// QueueDepth bounds clients waiting for a query worker before new
+	// arrivals are rejected with 429. Default 2x QueryWorkers.
+	QueueDepth int
+	// CacheCapacity is the result cache size in responses. Default 4096.
+	CacheCapacity int
+	// CacheShards is the result cache's shard count. Default 16.
+	CacheShards int
+	// NoBackgroundIngest starts live ingestion without spawning the
+	// background ingester goroutines: the caller advances each session's
+	// watermark by hand (Session.AdvanceLive). Tests use it to make cache
+	// hit/miss sequences deterministic.
+	NoBackgroundIngest bool
+}
+
+func (c *Config) applyDefaults() {
+	if c.Window.DurationSec <= 0 {
+		c.Window = focus.GenOptions{DurationSec: 240, SampleEvery: 1}
+	}
+	if c.Window.SampleEvery < 1 {
+		c.Window.SampleEvery = 1
+	}
+	if c.ChunkSec <= 0 {
+		c.ChunkSec = 5
+	}
+	if c.QueryWorkers <= 0 {
+		c.QueryWorkers = 8
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.QueryWorkers
+	}
+	if c.CacheCapacity <= 0 {
+		c.CacheCapacity = 4096
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = 16
+	}
+}
+
+// StreamQueryResult is one stream's share of a query response.
+type StreamQueryResult struct {
+	Watermark        float64 `json:"watermark"`
+	Frames           []int64 `json:"frames"`
+	Segments         []int64 `json:"segments"`
+	ExaminedClusters int     `json:"examined_clusters"`
+	MatchedClusters  int     `json:"matched_clusters"`
+	GTInferences     int     `json:"gt_inferences"`
+	GPUTimeMS        float64 `json:"gpu_time_ms"`
+	LatencyMS        float64 `json:"latency_ms"`
+	ViaOther         bool    `json:"via_other"`
+}
+
+// QueryResponse is the /query payload. Cached is true when the response was
+// served from the result cache (its cost counters then describe the original
+// execution; no new GT-CNN work happened).
+type QueryResponse struct {
+	Class       string                        `json:"class"`
+	Streams     map[string]*StreamQueryResult `json:"streams"`
+	TotalFrames int                           `json:"total_frames"`
+	LatencyMS   float64                       `json:"latency_ms"`
+	GPUTimeMS   float64                       `json:"gpu_time_ms"`
+	Cached      bool                          `json:"cached"`
+}
+
+// ErrorResponse is the payload of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Server is the resident query service.
+type Server struct {
+	sys *focus.System
+	cfg Config
+
+	limiter *parallel.Limiter
+	cache   *resultCache
+	mux     *http.ServeMux
+
+	ready   atomic.Bool
+	started time.Time
+	stopCh  chan struct{}
+	stopped sync.Once
+	wg      sync.WaitGroup
+
+	// counters
+	queries     atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	rejected    atomic.Int64
+	clientErrs  atomic.Int64
+	serverErrs  atomic.Int64
+	ingestErrs  atomic.Int64
+}
+
+// New builds a server around a system whose streams are already registered
+// (but not ingested; Start handles tuning and live ingestion).
+func New(sys *focus.System, cfg Config) *Server {
+	cfg.applyDefaults()
+	s := &Server{
+		sys:     sys,
+		cfg:     cfg,
+		limiter: parallel.NewLimiter(cfg.QueryWorkers, cfg.QueueDepth),
+		cache:   newResultCache(cfg.CacheCapacity, cfg.CacheShards),
+		stopCh:  make(chan struct{}),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/streams", s.handleStreams)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the HTTP handler; callers own the listener and http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start tunes every registered stream (in parallel, if none carries a
+// selection yet), begins live background ingestion on each, and spawns one
+// ingester goroutine per stream — the paper's one-worker-per-stream
+// deployment (§5). It returns once the service is ready; ingestion keeps
+// advancing watermarks until the window is exhausted or Stop is called.
+func (s *Server) Start() error {
+	sessions := s.sys.Sessions()
+	if len(sessions) == 0 {
+		return fmt.Errorf("serve: no streams registered")
+	}
+	tuneWindow := s.cfg.TuneWindow
+	if tuneWindow.DurationSec <= 0 {
+		tuneWindow = s.cfg.Window
+	}
+	workers := parallel.StreamWorkers(len(sessions), 0)
+	err := parallel.ForEach(workers, len(sessions), func(i int) error {
+		sess := sessions[i]
+		if sess.Selection() == nil {
+			if err := sess.Tune(tuneWindow); err != nil {
+				return fmt.Errorf("serve: tuning %q: %w", sess.Name(), err)
+			}
+		}
+		if err := sess.StartLive(s.cfg.Window); err != nil {
+			return fmt.Errorf("serve: starting live ingest of %q: %w", sess.Name(), err)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	s.started = time.Now()
+	if !s.cfg.NoBackgroundIngest {
+		for _, sess := range sessions {
+			s.wg.Add(1)
+			go s.ingestLoop(sess)
+		}
+	}
+	s.ready.Store(true)
+	return nil
+}
+
+// Stop halts the background ingesters (watermarks freeze where they are) and
+// waits for them to exit. Queries keep being served against the frozen
+// horizon until the caller shuts the HTTP server down.
+func (s *Server) Stop() {
+	s.stopped.Do(func() { close(s.stopCh) })
+	s.wg.Wait()
+	if s.cfg.NoBackgroundIngest {
+		// No ingester goroutines own the sessions; reclaim their generators
+		// here. Callers must not AdvanceLive after Stop.
+		for _, sess := range s.sys.Sessions() {
+			sess.StopLive()
+		}
+	}
+}
+
+// ingestLoop advances one stream's live ingestion chunk by chunk until the
+// window is exhausted or the server stops.
+func (s *Server) ingestLoop(sess *focus.Session) {
+	defer s.wg.Done()
+	next := s.cfg.ChunkSec
+	for {
+		select {
+		case <-s.stopCh:
+			sess.StopLive()
+			return
+		default:
+		}
+		wm, err := sess.AdvanceLive(next)
+		if err != nil {
+			// The stream keeps serving at its frozen watermark; surface the
+			// stall through /stats rather than tearing the service down.
+			s.ingestErrs.Add(1)
+			return
+		}
+		if sess.LiveDone() {
+			return
+		}
+		next = wm + s.cfg.ChunkSec
+		if s.cfg.IngestInterval > 0 {
+			select {
+			case <-s.stopCh:
+				sess.StopLive()
+				return
+			case <-time.After(s.cfg.IngestInterval):
+			}
+		}
+	}
+}
+
+// IngestDone reports whether every stream has ingested its whole window.
+func (s *Server) IngestDone() bool {
+	for _, sess := range s.sys.Sessions() {
+		if !sess.LiveDone() {
+			return false
+		}
+	}
+	return true
+}
+
+// queryParams are the parsed/normalized /query parameters; their canonical
+// string form is the cache key prefix.
+type queryParams struct {
+	class   string
+	streams []string
+	opts    focus.QueryOptions
+}
+
+func parseQueryParams(r *http.Request) (*queryParams, error) {
+	q := r.URL.Query()
+	p := &queryParams{class: q.Get("class")}
+	if p.class == "" {
+		return nil, fmt.Errorf("missing required parameter: class")
+	}
+	if v := q.Get("streams"); v != "" {
+		// Sorted and deduplicated: a repeated name would otherwise query the
+		// stream twice and double-count the aggregate totals.
+		seen := make(map[string]bool)
+		for _, name := range strings.Split(v, ",") {
+			if name = strings.TrimSpace(name); name != "" && !seen[name] {
+				seen[name] = true
+				p.streams = append(p.streams, name)
+			}
+		}
+		sort.Strings(p.streams)
+	}
+	var err error
+	intParam := func(name string) int {
+		v := q.Get(name)
+		if v == "" {
+			return 0
+		}
+		n, e := strconv.Atoi(v)
+		if e != nil || n < 0 {
+			err = fmt.Errorf("bad %s: %q", name, v)
+		}
+		return n
+	}
+	floatParam := func(name string) float64 {
+		v := q.Get(name)
+		if v == "" {
+			return 0
+		}
+		f, e := strconv.ParseFloat(v, 64)
+		if e != nil || f < 0 {
+			err = fmt.Errorf("bad %s: %q", name, v)
+		}
+		return f
+	}
+	p.opts.Kx = intParam("kx")
+	p.opts.MaxClusters = intParam("max_clusters")
+	p.opts.StartSec = floatParam("start")
+	p.opts.EndSec = floatParam("end")
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// cacheKey renders the canonical key of a query pinned to a watermark
+// vector. Streams appear sorted by name, so equivalent requests collide.
+func cacheKey(p *queryParams, names []string, vector map[string]float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "c=%s&kx=%d&s=%g&e=%g&m=%d", p.class, p.opts.Kx,
+		p.opts.StartSec, p.opts.EndSec, p.opts.MaxClusters)
+	for _, n := range names {
+		fmt.Fprintf(&b, "|%s@%g", n, vector[n])
+	}
+	return b.String()
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "not ready"})
+		return
+	}
+	p, err := parseQueryParams(r)
+	if err != nil {
+		s.clientErrs.Add(1)
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	if !s.limiter.Acquire() {
+		s.rejected.Add(1)
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: "overloaded: query queue is full"})
+		return
+	}
+	defer s.limiter.Release()
+	s.queries.Add(1)
+
+	// Resolve target streams and snapshot their watermarks: the consistent
+	// horizon this query is pinned to, however far ingest advances while it
+	// runs.
+	names := p.streams
+	if len(names) == 0 {
+		for _, sess := range s.sys.Sessions() {
+			names = append(names, sess.Name())
+		}
+	}
+	vector := make(map[string]float64, len(names))
+	for _, n := range names {
+		sess := s.sys.Session(n)
+		if sess == nil {
+			s.clientErrs.Add(1)
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("unknown stream %q", n)})
+			return
+		}
+		vector[n] = sess.Watermark()
+	}
+
+	key := cacheKey(p, names, vector)
+	if resp, ok := s.cache.get(key); ok {
+		s.cacheHits.Add(1)
+		hit := *resp // shallow copy: only the Cached flag differs
+		hit.Cached = true
+		w.Header().Set("X-Focus-Cache", "hit")
+		writeJSON(w, http.StatusOK, &hit)
+		return
+	}
+
+	res, err := s.sys.Query(focus.Query{
+		Class:        p.class,
+		Streams:      names,
+		Options:      p.opts,
+		AtWatermarks: vector,
+	})
+	if err != nil {
+		if strings.Contains(err.Error(), "unknown class") {
+			s.clientErrs.Add(1)
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+			return
+		}
+		s.serverErrs.Add(1)
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		return
+	}
+	resp := buildResponse(p.class, res, vector)
+	s.cache.put(key, resp)
+	s.cacheMisses.Add(1)
+	w.Header().Set("X-Focus-Cache", "miss")
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func buildResponse(class string, res *focus.Result, vector map[string]float64) *QueryResponse {
+	resp := &QueryResponse{
+		Class:       class,
+		Streams:     make(map[string]*StreamQueryResult, len(res.PerStream)),
+		TotalFrames: res.TotalFrames,
+		LatencyMS:   res.LatencyMS,
+		GPUTimeMS:   res.GPUTimeMS,
+	}
+	for name, sr := range res.PerStream {
+		out := &StreamQueryResult{
+			Watermark:        vector[name],
+			Frames:           make([]int64, len(sr.Frames)),
+			Segments:         make([]int64, len(sr.Segments)),
+			ExaminedClusters: sr.ExaminedClusters,
+			MatchedClusters:  sr.MatchedClusters,
+			GTInferences:     sr.GTInferences,
+			GPUTimeMS:        sr.GPUTimeMS,
+			LatencyMS:        sr.LatencyMS,
+			ViaOther:         sr.ViaOther,
+		}
+		for i, f := range sr.Frames {
+			out.Frames[i] = int64(f)
+		}
+		for i, seg := range sr.Segments {
+			out.Segments[i] = int64(seg)
+		}
+		resp.Streams[name] = out
+	}
+	return resp
+}
+
+// StreamStatus is one entry of the /streams payload.
+type StreamStatus struct {
+	Name        string  `json:"name"`
+	Type        string  `json:"type"`
+	Location    string  `json:"location"`
+	Watermark   float64 `json:"watermark"`
+	WindowSec   float64 `json:"window_sec"`
+	IngestDone  bool    `json:"ingest_done"`
+	Frames      int     `json:"frames"`
+	Sightings   int     `json:"sightings"`
+	CNNInfers   int     `json:"cnn_inferences"`
+	DedupRate   float64 `json:"dedup_rate"`
+	Clusters    int     `json:"clusters"`
+	IngestGPUMS float64 `json:"ingest_gpu_ms"`
+	Model       string  `json:"model,omitempty"`
+	K           int     `json:"k,omitempty"`
+	T           float64 `json:"t,omitempty"`
+}
+
+func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
+	var out []StreamStatus
+	for _, sess := range s.sys.Sessions() {
+		spec := sess.Stream().Spec
+		st := sess.IngestStats()
+		status := StreamStatus{
+			Name:        spec.Name,
+			Type:        string(spec.Type),
+			Location:    spec.Location,
+			Watermark:   sess.Watermark(),
+			WindowSec:   s.cfg.Window.DurationSec,
+			IngestDone:  sess.LiveDone(),
+			Frames:      st.Frames,
+			Sightings:   st.Sightings,
+			CNNInfers:   st.CNNInferences,
+			DedupRate:   st.DedupRate(),
+			Clusters:    st.Clusters,
+			IngestGPUMS: st.IngestGPUMS,
+		}
+		if ix := sess.Index(); ix != nil {
+			status.Clusters = ix.NumClusters()
+		}
+		if sel := sess.Selection(); sel != nil {
+			status.Model = sel.Chosen.Model.Name
+			status.K = sel.Chosen.K
+			status.T = sel.Chosen.T
+		}
+		out = append(out, status)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// Stats is the /stats payload.
+type Stats struct {
+	UptimeSec    float64            `json:"uptime_sec"`
+	Ready        bool               `json:"ready"`
+	Queries      int64              `json:"queries"`
+	CacheHits    int64              `json:"cache_hits"`
+	CacheMisses  int64              `json:"cache_misses"`
+	CacheEntries int                `json:"cache_entries"`
+	Rejected     int64              `json:"rejected"`
+	ClientErrors int64              `json:"client_errors"`
+	ServerErrors int64              `json:"server_errors"`
+	IngestErrors int64              `json:"ingest_errors"`
+	InFlight     int                `json:"in_flight"`
+	Waiting      int                `json:"waiting"`
+	Watermarks   map[string]float64 `json:"watermarks"`
+	IngestGPUMS  float64            `json:"ingest_gpu_ms"`
+	QueryGPUMS   float64            `json:"query_gpu_ms"`
+	QueryGPUOps  int64              `json:"query_gpu_ops"`
+}
+
+// Snapshot returns the server's current counters (also served at /stats).
+func (s *Server) Snapshot() Stats {
+	meter := s.sys.GPUMeter()
+	return Stats{
+		UptimeSec:    time.Since(s.started).Seconds(),
+		Ready:        s.ready.Load(),
+		Queries:      s.queries.Load(),
+		CacheHits:    s.cacheHits.Load(),
+		CacheMisses:  s.cacheMisses.Load(),
+		CacheEntries: s.cache.len(),
+		Rejected:     s.rejected.Load(),
+		ClientErrors: s.clientErrs.Load(),
+		ServerErrors: s.serverErrs.Load(),
+		IngestErrors: s.ingestErrs.Load(),
+		InFlight:     s.limiter.InFlight(),
+		Waiting:      s.limiter.Waiting(),
+		Watermarks:   s.sys.Watermarks(),
+		IngestGPUMS:  meter.IngestMS,
+		QueryGPUMS:   meter.QueryMS,
+		QueryGPUOps:  meter.QueryOps,
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "not ready"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}

@@ -47,6 +47,9 @@ func TestOptionsValidation(t *testing.T) {
 }
 
 func TestSweepProducesCandidates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow end-to-end test; nightly runs the full suite")
+	}
 	opts := DefaultOptions()
 	sw := testSweep(t, "auburn_c", opts, video.GenOptions{DurationSec: 180, SampleEvery: 1})
 	if sw.SampleSightings == 0 || sw.TotalSightings <= sw.SampleSightings {
@@ -88,6 +91,9 @@ func TestSweepProducesCandidates(t *testing.T) {
 }
 
 func TestRecallMonotoneInK(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow end-to-end test; nightly runs the full suite")
+	}
 	sw := testSweep(t, "auburn_c", DefaultOptions(), video.GenOptions{DurationSec: 120, SampleEvery: 1})
 	// Group candidates by (model, T) and check recall and query cost are
 	// non-decreasing in K.
@@ -117,6 +123,9 @@ func TestRecallMonotoneInK(t *testing.T) {
 }
 
 func TestSelectPolicies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow end-to-end test; nightly runs the full suite")
+	}
 	sw := testSweep(t, "auburn_c", DefaultOptions(), video.GenOptions{DurationSec: 180, SampleEvery: 1})
 	targets := DefaultTargets
 
@@ -187,6 +196,9 @@ func TestParetoBoundary(t *testing.T) {
 }
 
 func TestHigherTargetsNeedLargerK(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow end-to-end test; nightly runs the full suite")
+	}
 	// §6.5: higher accuracy targets keep ingest cost roughly flat but
 	// increase query-time work (larger K).
 	sw := testSweep(t, "auburn_c", DefaultOptions(), video.GenOptions{DurationSec: 180, SampleEvery: 1})
@@ -212,6 +224,9 @@ func TestImpossibleTargets(t *testing.T) {
 }
 
 func TestAblationModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow end-to-end test; nightly runs the full suite")
+	}
 	genOpts := video.GenOptions{DurationSec: 120, SampleEvery: 1}
 	full := testSweep(t, "auburn_c", DefaultOptions(), genOpts)
 

@@ -1,0 +1,285 @@
+package focus
+
+import (
+	"sync"
+	"testing"
+
+	"focus/internal/tune"
+)
+
+// liveTuneOptions is a trimmed sweep so live-ingest tests spend their time
+// on ingestion and querying, not parameter search.
+func liveTuneOptions() *tune.Options {
+	o := tune.DefaultOptions()
+	o.LsCandidates = []int{20}
+	o.TCandidates = []float64{2.5, 3.0}
+	o.KCandidates = []int{4, 16, 60}
+	o.MaxSampleSightings = 800
+	return &o
+}
+
+func liveTestConfig() Config {
+	return Config{
+		Targets:     Targets{Recall: 0.7, Precision: 0.7},
+		TuneOptions: liveTuneOptions(),
+	}
+}
+
+// TestLiveMatchesOneShotIngest replays the same stream twice — once as a
+// one-shot Ingest, once live in uneven chunks — and requires bit-identical
+// indexes and query answers at the final watermark. Chunking must be
+// invisible: SealSec stamps derive from frame times, not from where
+// AdvanceLive happened to pause.
+func TestLiveMatchesOneShotIngest(t *testing.T) {
+	const window = 60
+	opts := GenOptions{DurationSec: window, SampleEvery: 1}
+
+	oneShot := newTestSystem(t, liveTestConfig())
+	oneSess, err := oneShot.AddTable1Stream("auburn_c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := oneSess.Ingest(opts); err != nil {
+		t.Fatal(err)
+	}
+
+	live := newTestSystem(t, liveTestConfig())
+	liveSess, err := live.AddTable1Stream("auburn_c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveSess.UseSelection(oneSess.Selection())
+	if err := liveSess.StartLive(opts); err != nil {
+		t.Fatal(err)
+	}
+	defer liveSess.StopLive()
+	// Uneven chunks, including a boundary falling exactly on a frame time
+	// (30.0s) and one past the horizon.
+	for _, to := range []float64{7.3, 30, 30, 45.5, 65} {
+		if _, err := liveSess.AdvanceLive(to); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !liveSess.LiveDone() {
+		t.Fatal("live ingest did not finish")
+	}
+	if got := liveSess.Watermark(); got != window {
+		t.Fatalf("final watermark %v, want %v", got, window)
+	}
+
+	if a, b := oneSess.IngestStats(), liveSess.IngestStats(); a != b {
+		t.Errorf("ingest stats diverge: one-shot %+v, live %+v", a, b)
+	}
+	if a, b := oneSess.Index().NumClusters(), liveSess.Index().NumClusters(); a != b {
+		t.Errorf("cluster counts diverge: one-shot %d, live %d", a, b)
+	}
+
+	for _, class := range []string{"car", "person", "truck"} {
+		id, err := oneShot.ClassID(class)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := oneSess.QueryClass(id, QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := liveSess.QueryClass(id, QueryOptions{AtSec: window})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want.Frames) != len(got.Frames) ||
+			want.ExaminedClusters != got.ExaminedClusters ||
+			want.MatchedClusters != got.MatchedClusters {
+			t.Errorf("class %s: one-shot (%d frames, %d/%d clusters) vs live (%d frames, %d/%d clusters)",
+				class, len(want.Frames), want.MatchedClusters, want.ExaminedClusters,
+				len(got.Frames), got.MatchedClusters, got.ExaminedClusters)
+			continue
+		}
+		for i := range want.Frames {
+			if want.Frames[i] != got.Frames[i] {
+				t.Errorf("class %s: frame[%d] %d vs %d", class, i, want.Frames[i], got.Frames[i])
+				break
+			}
+		}
+	}
+}
+
+// TestWatermarkQueriesArePure pins queries to a historical watermark while
+// ingestion keeps advancing: the answer must never change, and the horizon
+// may only grow results monotonically.
+func TestWatermarkQueriesArePure(t *testing.T) {
+	sys := newTestSystem(t, liveTestConfig())
+	sess, err := sys.AddTable1Stream("jacksonh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := GenOptions{DurationSec: 80, SampleEvery: 1}
+	if err := sess.StartLive(opts); err != nil {
+		t.Fatal(err)
+	}
+	defer sess.StopLive()
+	id, err := sys.ClassID("car")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w1, err := sess.AdvanceLive(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atW1, err := sess.QueryClass(id, QueryOptions{AtSec: w1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := sess.AdvanceLive(80); err != nil {
+		t.Fatal(err)
+	}
+	replay, err := sess.QueryClass(id, QueryOptions{AtSec: w1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replay.Frames) != len(atW1.Frames) ||
+		replay.ExaminedClusters != atW1.ExaminedClusters ||
+		replay.MatchedClusters != atW1.MatchedClusters {
+		t.Errorf("query at watermark %v changed after ingest advanced: %d frames (%d/%d) vs %d frames (%d/%d)",
+			w1, len(replay.Frames), replay.MatchedClusters, replay.ExaminedClusters,
+			len(atW1.Frames), atW1.MatchedClusters, atW1.ExaminedClusters)
+	}
+	for i := range replay.Frames {
+		if replay.Frames[i] != atW1.Frames[i] {
+			t.Fatalf("frame[%d] changed: %d vs %d", i, replay.Frames[i], atW1.Frames[i])
+		}
+	}
+
+	atEnd, err := sess.QueryClass(id, QueryOptions{AtSec: sess.Watermark()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(atEnd.Frames) < len(atW1.Frames) || atEnd.ExaminedClusters < atW1.ExaminedClusters {
+		t.Errorf("horizon growth lost results: %d frames at %v, %d at %v",
+			len(atW1.Frames), w1, len(atEnd.Frames), sess.Watermark())
+	}
+}
+
+// TestConcurrentQueryDuringLiveIngest races many query goroutines against a
+// live ingester under -race, each pinned to the watermark it snapshotted,
+// re-checking its answer after ingest has moved on.
+func TestConcurrentQueryDuringLiveIngest(t *testing.T) {
+	sys := newTestSystem(t, liveTestConfig())
+	sess, err := sys.AddTable1Stream("auburn_c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.StartLive(GenOptions{DurationSec: 60, SampleEvery: 1}); err != nil {
+		t.Fatal(err)
+	}
+	defer sess.StopLive()
+	id, err := sys.ClassID("car")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type pinned struct {
+		at     float64
+		frames int
+	}
+	var mu sync.Mutex
+	var observations []pinned
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				at := sess.Watermark()
+				opts := QueryOptions{AtSec: at}
+				if at <= 0 {
+					opts.AtSec = -1
+				}
+				res, err := sess.QueryClass(id, opts)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				observations = append(observations, pinned{at, len(res.Frames)})
+				mu.Unlock()
+			}
+		}()
+	}
+
+	for !sess.LiveDone() {
+		if _, err := sess.AdvanceLive(sess.Watermark() + 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Re-execute every observed (watermark, answer) pair: answers must be
+	// reproducible now that ingest is complete.
+	seen := make(map[float64]int)
+	for _, o := range observations {
+		if prev, ok := seen[o.at]; ok {
+			if prev != o.frames {
+				t.Fatalf("watermark %v served both %d and %d frames", o.at, prev, o.frames)
+			}
+			continue
+		}
+		opts := QueryOptions{AtSec: o.at}
+		if o.at <= 0 {
+			opts.AtSec = -1
+		}
+		res, err := sess.QueryClass(id, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Frames) != o.frames {
+			t.Fatalf("watermark %v: observed %d frames live, %d on replay", o.at, o.frames, len(res.Frames))
+		}
+		seen[o.at] = o.frames
+	}
+}
+
+// TestSessionRegistryConcurrentAccess hammers AddStream against Sessions,
+// Session and Watermarks readers — the registry must be race-free now that
+// a resident server registers and serves concurrently.
+func TestSessionRegistryConcurrentAccess(t *testing.T) {
+	sys := newTestSystem(t, liveTestConfig())
+	names := []string{"auburn_c", "jacksonh", "city_a_d", "bend", "msnbc", "cnn", "sittard", "foxnews"}
+	var wg sync.WaitGroup
+	for _, name := range names {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			if _, err := sys.AddTable1Stream(name); err != nil {
+				t.Error(err)
+			}
+		}(name)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = sys.Sessions()
+				_ = sys.Session("auburn_c")
+				_ = sys.Watermarks()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(sys.Sessions()); got != len(names) {
+		t.Fatalf("registered %d sessions, want %d", got, len(names))
+	}
+	if _, err := sys.AddTable1Stream("auburn_c"); err == nil {
+		t.Fatal("duplicate AddStream succeeded")
+	}
+}

@@ -64,6 +64,9 @@ func requireSameStreamResult(t *testing.T, stream string, seq, par *query.Result
 // sequential reference paths exactly — same indexes, same frames, same
 // counters, same simulated latency.
 func TestParallelPathsBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow end-to-end test; nightly runs the full suite")
+	}
 	opts := GenOptions{DurationSec: 90, SampleEvery: 1}
 
 	seqSys, seqSessions := buildFleet(t, Config{})

@@ -2,6 +2,7 @@ package focus
 
 import (
 	"fmt"
+	"sync"
 
 	"focus/internal/cluster"
 	"focus/internal/index"
@@ -13,17 +14,46 @@ import (
 	"focus/internal/vision"
 )
 
-// Session is one stream's lifecycle: tune → ingest → query.
+// Session is one stream's lifecycle: tune → ingest → query. Ingestion runs
+// either as a one-shot window (Ingest) or continuously in the background
+// (StartLive/AdvanceLive), with queries allowed while ingestion is still
+// advancing: every query executes against the session's ingest watermark, a
+// sealed frame horizon that makes its answer independent of how far the
+// ingester has raced ahead.
 type Session struct {
 	sys    *System
 	stream *video.Stream
 
+	// mu guards the mutable fields below. The ingest/tune hot paths run
+	// outside the lock; only publishing their outcome takes it, so queries
+	// (readers) never block behind frame processing.
+	mu        sync.RWMutex
 	sweep     *tune.SweepResult
 	selection *tune.Selection
 	ix        *index.Index
 	engine    *query.Engine
 	stats     ingest.Stats
 	genOpts   GenOptions
+	watermark float64
+	live      *liveState
+}
+
+// liveState is the machinery of a live (incrementally advancing) ingestion:
+// a generator goroutine replays the deterministic stream into a channel, and
+// AdvanceLive pulls frames from it up to the requested horizon. Only the
+// single ingester goroutine driving AdvanceLive touches these fields after
+// StartLive.
+type liveState struct {
+	worker   *ingest.Worker
+	frames   chan *video.Frame
+	genErr   chan error
+	stop     chan struct{}
+	stopOnce sync.Once
+	pending  *video.Frame
+	horizon  float64
+	// done is guarded by the session mutex: the ingester sets it, any
+	// goroutine may observe it through Session.LiveDone.
+	done bool
 }
 
 // Stream exposes the underlying synthetic stream.
@@ -33,16 +63,50 @@ func (sess *Session) Stream() *video.Stream { return sess.stream }
 func (sess *Session) Name() string { return sess.stream.Spec.Name }
 
 // Selection returns the tuner's outcome (nil before Tune/Ingest).
-func (sess *Session) Selection() *tune.Selection { return sess.selection }
+func (sess *Session) Selection() *tune.Selection {
+	sess.mu.RLock()
+	defer sess.mu.RUnlock()
+	return sess.selection
+}
 
 // Sweep returns the tuner's full sweep (nil before Tune/Ingest).
-func (sess *Session) Sweep() *tune.SweepResult { return sess.sweep }
+func (sess *Session) Sweep() *tune.SweepResult {
+	sess.mu.RLock()
+	defer sess.mu.RUnlock()
+	return sess.sweep
+}
 
 // Index returns the stream's top-K index (nil before Ingest).
-func (sess *Session) Index() *index.Index { return sess.ix }
+func (sess *Session) Index() *index.Index {
+	sess.mu.RLock()
+	defer sess.mu.RUnlock()
+	return sess.ix
+}
 
-// IngestStats returns the last ingestion's counters.
-func (sess *Session) IngestStats() ingest.Stats { return sess.stats }
+// IngestStats returns the last ingestion's counters. During live ingestion
+// it reflects the last published watermark, not the ingester's in-flight
+// frame.
+func (sess *Session) IngestStats() ingest.Stats {
+	sess.mu.RLock()
+	defer sess.mu.RUnlock()
+	return sess.stats
+}
+
+// Watermark returns the session's ingest watermark: the stream time up to
+// which the index is sealed and queryable. One-shot ingestion publishes the
+// whole window at completion; live ingestion advances it chunk by chunk.
+// Zero means nothing is queryable yet.
+func (sess *Session) Watermark() float64 {
+	sess.mu.RLock()
+	defer sess.mu.RUnlock()
+	return sess.watermark
+}
+
+func (sess *Session) queryEngine() *query.Engine {
+	sess.mu.RLock()
+	defer sess.mu.RUnlock()
+	return sess.engine
+}
 
 // freshStream rebuilds the deterministic stream so each pass (tuning,
 // ingestion, evaluation) replays identical video from the start, the way a
@@ -70,8 +134,10 @@ func (sess *Session) Tune(opts GenOptions) error {
 	if err != nil {
 		return err
 	}
+	sess.mu.Lock()
 	sess.sweep = sweep
 	sess.selection = sel
+	sess.mu.Unlock()
 	sess.sys.meter.AddTraining(sweep.EstimationGPUMS)
 	return nil
 }
@@ -80,17 +146,30 @@ func (sess *Session) Tune(opts GenOptions) error {
 // proceed without re-running the sweep — restoring a stored tuning, or
 // sharing one sweep across replayed systems (the scaling benchmarks do
 // this to keep tuning out of their timed regions).
-func (sess *Session) UseSelection(sel *tune.Selection) { sess.selection = sel }
+func (sess *Session) UseSelection(sel *tune.Selection) {
+	sess.mu.Lock()
+	sess.selection = sel
+	sess.mu.Unlock()
+}
 
-// Ingest indexes the stream window with the tuned configuration, running
-// the tuner first if it has not run yet. It replaces any previous index.
-func (sess *Session) Ingest(opts GenOptions) error {
-	if sess.selection == nil {
+// isLive reports whether a live ingestion owns this session.
+func (sess *Session) isLive() bool {
+	sess.mu.RLock()
+	defer sess.mu.RUnlock()
+	return sess.live != nil
+}
+
+// newIngestWorker builds an ingest worker from the tuner's chosen
+// configuration, tuning first when no selection exists yet. It also returns
+// the fresh stream replay the worker was built over, for callers that drive
+// generation themselves (live ingestion).
+func (sess *Session) newIngestWorker(opts GenOptions) (*ingest.Worker, *video.Stream, error) {
+	if sess.Selection() == nil {
 		if err := sess.Tune(opts); err != nil {
-			return err
+			return nil, nil, err
 		}
 	}
-	chosen := sess.selection.Chosen
+	chosen := sess.Selection().Chosen
 	tuneOpts := tune.DefaultOptions()
 	if sess.sys.cfg.TuneOptions != nil {
 		tuneOpts = *sess.sys.cfg.TuneOptions
@@ -103,9 +182,25 @@ func (sess *Session) Ingest(opts GenOptions) error {
 	}
 	st, err := sess.freshStream()
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	worker, err := ingest.NewWorker(st, sess.sys.space, cfg, &sess.sys.meter)
+	if err != nil {
+		return nil, nil, err
+	}
+	return worker, st, nil
+}
+
+// Ingest indexes the stream window with the tuned configuration, running
+// the tuner first if it has not run yet. It replaces any previous index and
+// publishes the whole window as the session's watermark. A session that is
+// ingesting live rejects one-shot ingestion: the two pipelines would fight
+// over the session's index and stats.
+func (sess *Session) Ingest(opts GenOptions) error {
+	if sess.isLive() {
+		return fmt.Errorf("focus: stream %q is ingesting live; stop it before a one-shot Ingest", sess.Name())
+	}
+	worker, _, err := sess.newIngestWorker(opts)
 	if err != nil {
 		return err
 	}
@@ -113,20 +208,190 @@ func (sess *Session) Ingest(opts GenOptions) error {
 	if err != nil {
 		return err
 	}
-	sess.ix = ix
-	sess.stats = worker.Stats()
-	sess.genOpts = opts
-	sess.engine, err = query.NewEngine(ix, sess.sys.zoo.GT, sess.sys.space,
+	engine, err := query.NewEngine(ix, sess.sys.zoo.GT, sess.sys.space,
 		sess.gtFunc(), &sess.sys.meter)
 	if err != nil {
 		return err
 	}
+	sess.mu.Lock()
+	if sess.live != nil {
+		sess.mu.Unlock()
+		return fmt.Errorf("focus: stream %q started ingesting live mid-Ingest", sess.Name())
+	}
+	sess.ix = ix
+	sess.stats = worker.Stats()
+	sess.genOpts = opts
+	sess.engine = engine
+	sess.watermark = opts.DurationSec
+	sess.mu.Unlock()
 	if sess.sys.cfg.StorePath != "" {
 		if err := ix.Save(sess.sys.store); err != nil {
 			return fmt.Errorf("focus: persisting index: %w", err)
 		}
 	}
 	return nil
+}
+
+// StartLive begins a continuous background-style ingestion of the window:
+// the deterministic stream replays through a generator goroutine, and each
+// AdvanceLive call processes frames up to a new watermark. Queries are
+// allowed immediately (they see an empty horizon until the first advance)
+// and run concurrently with the ingester. Tuning runs first if the session
+// has no selection yet.
+//
+// The live index is bit-identical, cluster for cluster, to what a one-shot
+// Ingest of the same window builds; the watermark only controls how much of
+// it a query may see.
+func (sess *Session) StartLive(opts GenOptions) error {
+	sess.mu.RLock()
+	already := sess.live != nil
+	sess.mu.RUnlock()
+	if already {
+		return fmt.Errorf("focus: stream %q is already ingesting live", sess.Name())
+	}
+	worker, st, err := sess.newIngestWorker(opts)
+	if err != nil {
+		return err
+	}
+	worker.Begin(opts)
+	engine, err := query.NewEngine(worker.Index(), sess.sys.zoo.GT, sess.sys.space,
+		sess.gtFunc(), &sess.sys.meter)
+	if err != nil {
+		return err
+	}
+	live := &liveState{
+		worker:  worker,
+		frames:  make(chan *video.Frame, 64),
+		genErr:  make(chan error, 1),
+		stop:    make(chan struct{}),
+		horizon: opts.DurationSec,
+	}
+	sess.mu.Lock()
+	if sess.live != nil {
+		sess.mu.Unlock()
+		return fmt.Errorf("focus: stream %q is already ingesting live", sess.Name())
+	}
+	sess.ix = worker.Index()
+	sess.engine = engine
+	sess.genOpts = opts
+	sess.stats = ingest.Stats{}
+	sess.watermark = 0
+	sess.live = live
+	sess.mu.Unlock()
+	go func() {
+		err := st.Generate(opts, func(f *video.Frame) error {
+			select {
+			case live.frames <- f:
+				return nil
+			case <-live.stop:
+				return errLiveStopped
+			}
+		})
+		close(live.frames)
+		live.genErr <- err
+	}()
+	return nil
+}
+
+var errLiveStopped = fmt.Errorf("focus: live ingestion stopped")
+
+// AdvanceLive processes live frames with timestamps at or below toSec and
+// then publishes toSec (clamped to the window) as the session's watermark,
+// so queries gain a strictly larger sealed horizon. Processing is inclusive
+// of the boundary: a cluster spilled while processing the frame at exactly
+// toSec is stamped SealSec == toSec, so it must be in the index before a
+// query pinned to toSec can run — otherwise it would appear retroactively
+// at an already-published watermark. When the stream is
+// exhausted the remaining clusters are flushed and the watermark lands on
+// the window end; further calls are no-ops. Only one goroutine — the
+// session's ingester — may call AdvanceLive.
+func (sess *Session) AdvanceLive(toSec float64) (float64, error) {
+	sess.mu.RLock()
+	live := sess.live
+	done := live != nil && live.done
+	sess.mu.RUnlock()
+	if live == nil {
+		return 0, fmt.Errorf("focus: stream %q has no live ingestion", sess.Name())
+	}
+	if done {
+		return sess.Watermark(), nil
+	}
+	if toSec > live.horizon {
+		toSec = live.horizon
+	}
+	finished := false
+	for {
+		f := live.pending
+		live.pending = nil
+		if f == nil {
+			var ok bool
+			f, ok = <-live.frames
+			if !ok {
+				err := <-live.genErr
+				live.genErr <- err // stay readable: retries and StopLive re-read it
+				if err == errLiveStopped {
+					// StopLive aborted generation mid-window: freeze at the
+					// current watermark without flushing — the index must
+					// never claim a horizon whose frames were not processed.
+					sess.mu.Lock()
+					live.done = true
+					wm := sess.watermark
+					sess.mu.Unlock()
+					return wm, nil
+				}
+				if err != nil {
+					return sess.Watermark(), err
+				}
+				live.worker.Finish()
+				finished = true
+				toSec = live.horizon
+				break
+			}
+		}
+		if f.TimeSec > toSec {
+			live.pending = f
+			break
+		}
+		live.worker.ProcessFrame(f)
+	}
+	sess.mu.Lock()
+	if toSec > sess.watermark {
+		sess.watermark = toSec
+	}
+	if finished {
+		live.done = true
+	}
+	sess.stats = live.worker.Stats()
+	wm := sess.watermark
+	sess.mu.Unlock()
+	return wm, nil
+}
+
+// LiveDone reports whether a live ingestion has consumed its whole window.
+func (sess *Session) LiveDone() bool {
+	sess.mu.RLock()
+	defer sess.mu.RUnlock()
+	return sess.live != nil && sess.live.done
+}
+
+// StopLive aborts a live ingestion's generator goroutine without flushing:
+// the watermark stays wherever the last AdvanceLive left it. It must be
+// called from the ingester goroutine (or after it has stopped), never
+// concurrently with AdvanceLive. Safe to call repeatedly, and whether or
+// not the stream already finished; queries keep working against the sealed
+// horizon.
+func (sess *Session) StopLive() {
+	sess.mu.RLock()
+	live := sess.live
+	sess.mu.RUnlock()
+	if live == nil {
+		return
+	}
+	live.stopOnce.Do(func() { close(live.stop) })
+	// Unblock the generator if it is parked on a full frames channel, then
+	// let it exit; the channel close marks the end.
+	for range live.frames {
+	}
 }
 
 // gtFunc builds the stream-consistent GT-CNN oracle used to verify cluster
@@ -145,14 +410,24 @@ func (sess *Session) LoadIndex() error {
 	if sess.sys.cfg.StorePath == "" {
 		return fmt.Errorf("focus: system has no persistent store")
 	}
+	if sess.isLive() {
+		return fmt.Errorf("focus: stream %q is ingesting live; stop it before LoadIndex", sess.Name())
+	}
 	ix, err := index.Load(sess.sys.store, sess.Name())
 	if err != nil {
 		return err
 	}
-	sess.ix = ix
-	sess.engine, err = query.NewEngine(ix, sess.sys.zoo.GT, sess.sys.space,
+	engine, err := query.NewEngine(ix, sess.sys.zoo.GT, sess.sys.space,
 		sess.gtFunc(), &sess.sys.meter)
-	return err
+	if err != nil {
+		return err
+	}
+	sess.mu.Lock()
+	sess.ix = ix
+	sess.engine = engine
+	sess.watermark = ix.Meta().DurationSec
+	sess.mu.Unlock()
+	return nil
 }
 
 // QueryOptions mirror query.Options at the public API.
@@ -163,6 +438,12 @@ type QueryOptions struct {
 	StartSec, EndSec float64
 	// MaxClusters caps examined clusters for batched retrieval.
 	MaxClusters int
+	// AtSec, when positive, executes the query at that ingest watermark:
+	// only clusters sealed at or before it are considered, so the answer is
+	// a pure function of the watermark even while ingestion keeps running.
+	// Zero queries everything indexed so far; negative pins the query to
+	// the empty horizon (nothing sealed yet).
+	AtSec float64
 }
 
 // StreamResult is the result of one query against one stream.
@@ -170,14 +451,16 @@ type StreamResult = query.Result
 
 // QueryClass answers "find frames with objects of class c" on this stream.
 func (sess *Session) QueryClass(c vision.ClassID, opts QueryOptions) (*StreamResult, error) {
-	if sess.engine == nil {
+	engine := sess.queryEngine()
+	if engine == nil {
 		return nil, fmt.Errorf("focus: stream %q has not been ingested", sess.Name())
 	}
-	return sess.engine.Query(c, query.Options{
+	return engine.Query(c, query.Options{
 		Kx:          opts.Kx,
 		StartSec:    opts.StartSec,
 		EndSec:      opts.EndSec,
 		MaxClusters: opts.MaxClusters,
+		MaxSealSec:  opts.AtSec,
 		NumGPUs:     sess.sys.cfg.NumGPUs,
 	})
 }
@@ -190,6 +473,11 @@ type Query struct {
 	Streams []string
 	// Options apply to every stream.
 	Options QueryOptions
+	// AtWatermarks pins individual streams to per-stream ingest watermarks,
+	// overriding Options.AtSec for the named streams. The serve layer
+	// queries with the watermark vector it snapshotted at admission, so a
+	// cached result and a re-execution at the same vector are identical.
+	AtWatermarks map[string]float64
 	// Workers bounds the cross-stream fan-out: 0 runs one query worker per
 	// stream (§5), 1 queries streams one at a time — the sequential
 	// reference for cross-stream scaling. Both produce bit-identical
@@ -225,7 +513,7 @@ func (s *System) Query(q Query) (*Result, error) {
 	names := q.Streams
 	if len(names) == 0 {
 		for _, sess := range s.Sessions() {
-			if sess.engine != nil {
+			if sess.queryEngine() != nil {
 				names = append(names, sess.Name())
 			}
 		}
@@ -235,13 +523,22 @@ func (s *System) Query(q Query) (*Result, error) {
 	}
 	sessions := make([]*Session, len(names))
 	for i, name := range names {
-		if sessions[i] = s.sessions[name]; sessions[i] == nil {
+		if sessions[i] = s.Session(name); sessions[i] == nil {
 			return nil, fmt.Errorf("focus: unknown stream %q", name)
 		}
 	}
 	workers := parallel.StreamWorkers(len(names), q.Workers)
 	perStream, err := parallel.Map(workers, len(names), func(i int) (*StreamResult, error) {
-		sr, err := sessions[i].QueryClass(id, q.Options)
+		opts := q.Options
+		if at, ok := q.AtWatermarks[names[i]]; ok {
+			if at <= 0 {
+				// Watermark 0 means nothing is sealed yet: pin the query to
+				// the empty horizon instead of falling back to "unbounded".
+				at = -1
+			}
+			opts.AtSec = at
+		}
+		sr, err := sessions[i].QueryClass(id, opts)
 		if err != nil {
 			return nil, fmt.Errorf("focus: querying %q: %w", names[i], err)
 		}
