@@ -1,16 +1,18 @@
 // Command focus-loadgen drives a focus-serve instance with deterministic
-// closed-loop load and reports throughput, latency percentiles and error
-// counts. It is also the CI smoke gate: with -boot it starts an in-process
-// service first, verifies every sampled response against a direct
-// focus.System.Query at the same watermark vector, and exits non-zero on
-// any unexpected status, transport error, served-vs-direct mismatch, or
-// p99 above the committed budget.
+// closed-loop load — plain /query traffic, optionally mixed with compound
+// POST /plan requests — and reports throughput, latency percentiles and
+// error counts. It is also the CI smoke gate: with -boot it starts an
+// in-process service first, verifies every sampled response (plain and
+// plan) against a direct library execution at the same watermark vector,
+// and exits non-zero on any unexpected status, transport error,
+// served-vs-direct mismatch, or p99 above the committed budget.
 //
 // Usage:
 //
 //	focus-loadgen -url http://127.0.0.1:7070 [-clients 16] [-run-seconds 30]
 //	focus-loadgen -boot [-streams auburn_c,jacksonh,city_a_d] [-window 240]
 //	              [-clients 16] [-run-seconds 30] [-max-p99 500] [-verify-every 1]
+//	              [-plans 'car & person & !bus; (car | truck) & person'] [-plan-every 4]
 package main
 
 import (
@@ -38,6 +40,9 @@ func main() {
 	classesArg := flag.String("classes", "", "comma-separated class pool (default: dominant classes of the streams in -boot mode, car,person otherwise)")
 	zipfAlpha := flag.Float64("zipf", 1.1, "class popularity skew")
 	verifyEvery := flag.Int("verify-every", 1, "verify every Nth OK response per client in -boot mode (0 = never)")
+	plans := flag.String("plans", "", "semicolon-separated compound plan expressions mixed into the load (e.g. 'car & person & !bus; car | truck')")
+	planEvery := flag.Int("plan-every", 0, "every Nth request per client is a POST /plan from -plans (0 = never)")
+	planTopK := flag.Int("plan-top-k", 10, "top_k for plan requests")
 	maxP99 := flag.Float64("max-p99", 0, "fail if p99 latency exceeds this many milliseconds (0 = no budget)")
 	jsonOut := flag.Bool("json", false, "print the report as JSON")
 
@@ -65,9 +70,16 @@ func main() {
 		Seed:        *seed,
 		ZipfAlpha:   *zipfAlpha,
 		VerifyEvery: *verifyEvery,
+		PlanEvery:   *planEvery,
+		PlanTopK:    *planTopK,
 	}
 	if *classesArg != "" {
 		cfg.Classes = splitCSV(*classesArg)
+	}
+	for _, expr := range strings.Split(*plans, ";") {
+		if expr = strings.TrimSpace(expr); expr != "" {
+			cfg.Plans = append(cfg.Plans, expr)
+		}
 	}
 
 	var shutdown func()
@@ -177,6 +189,7 @@ func bootService(cfg *loadgen.Config, streams string, window, tuneWindow, chunk 
 	cfg.BaseURL = "http://" + ln.Addr().String()
 	if cfg.VerifyEvery > 0 {
 		cfg.Verifier = loadgen.NewDirectVerifier(sys)
+		cfg.PlanVerifier = loadgen.NewDirectPlanVerifier(sys)
 	}
 	return func() {
 		_ = httpSrv.Close()
@@ -194,6 +207,9 @@ func printReport(r *loadgen.Report) {
 	fmt.Printf("requests          %d (%.1f req/s)\n", r.Requests, r.ThroughputRPS)
 	fmt.Printf("ok / rejected     %d / %d\n", r.OK, r.Rejected)
 	fmt.Printf("cache hits        %d\n", r.CacheHits)
+	if r.PlanRequests > 0 {
+		fmt.Printf("plan requests     %d (verified: %d)\n", r.PlanRequests, r.PlanVerified)
+	}
 	fmt.Printf("verified          %d (mismatches: %d)\n", r.Verified, len(r.Mismatches))
 	fmt.Printf("latency ms        p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",
 		r.P50MS, r.P90MS, r.P99MS, r.MaxMS)

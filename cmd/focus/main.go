@@ -9,6 +9,7 @@
 //	focus classes [-n 30]
 //	focus ingest  -stream auburn_c [-duration 240] [-policy balance] [-store focus.kv]
 //	focus query   -stream auburn_c -class car [-start 0 -end 120] [-kx 2] [-store focus.kv]
+//	focus plan    -streams auburn_c,jacksonh -expr 'car & person & !bus' [-top 10] [-page 5]
 //	focus sweep   -stream auburn_c [-duration 240]
 //	focus characterize -stream auburn_c [-duration 240]
 package main
@@ -17,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 
 	"focus"
@@ -41,6 +43,8 @@ func main() {
 		err = cmdIngest(os.Args[2:])
 	case "query":
 		err = cmdQuery(os.Args[2:])
+	case "plan":
+		err = cmdPlan(os.Args[2:])
 	case "sweep":
 		err = cmdSweep(os.Args[2:])
 	case "characterize":
@@ -66,6 +70,7 @@ commands:
   classes        list queryable class names
   ingest         tune and ingest a stream window, print the chosen config
   query          answer "find frames with class X" against an ingested stream
+  plan           answer a compound query like 'car & person & !bus', ranked and paged
   sweep          print the tuner's Pareto boundary for a stream
   characterize   print a stream's ground-truth characterization`)
 }
@@ -190,6 +195,102 @@ func cmdQuery(args []string) error {
 	}
 	if max > 0 {
 		fmt.Printf("  first segments (s): %v\n", res.Segments[:max])
+	}
+	return nil
+}
+
+func cmdPlan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	streams := fs.String("streams", "auburn_c", "comma-separated Table 1 stream names")
+	expr := fs.String("expr", "", "compound predicate, e.g. 'car & person & !bus'")
+	top := fs.Int("top", 10, "top-K results by aggregate confidence (0 = all)")
+	page := fs.Int("page", 0, "page size: stream results through Cursor.Next(n) (0 = one shot)")
+	duration := fs.Float64("duration", 240, "window length in seconds (when re-ingesting)")
+	kx := fs.Int("kx", 0, "per-leaf dynamic Kx cut (0 = indexed K)")
+	maxClusters := fs.Int("max-clusters", 0, "per-leaf retrieval cap")
+	store := fs.String("store", "", "load persisted indexes from this path")
+	seed := fs.Uint64("seed", 1, "system seed")
+	fs.Parse(args)
+	if *expr == "" {
+		return fmt.Errorf("plan: -expr is required (e.g. -expr 'car & person & !bus')")
+	}
+
+	sys, err := focus.New(focus.Config{Seed: *seed, StorePath: *store})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	var names []string
+	for _, name := range strings.Split(*streams, ",") {
+		if name = strings.TrimSpace(name); name == "" {
+			continue
+		}
+		names = append(names, name)
+		sess, err := sys.AddTable1Stream(name)
+		if err != nil {
+			return err
+		}
+		if *store != "" {
+			if err := sess.LoadIndex(); err != nil {
+				return fmt.Errorf("loading persisted index (run `focus ingest -store %s` first?): %w", *store, err)
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "no -store given; ingesting %s fresh (this tunes + indexes the stream)\n", name)
+			if err := sess.Ingest(focus.GenOptions{DurationSec: *duration, SampleEvery: 1}); err != nil {
+				return err
+			}
+		}
+	}
+
+	compiled, err := sys.CompilePlan(*expr)
+	if err != nil {
+		return err
+	}
+	opts := focus.PlanOptions{
+		Streams: names,
+		TopK:    *top,
+		Leaf:    focus.QueryOptions{Kx: *kx, MaxClusters: *maxClusters},
+	}
+	fmt.Printf("plan %s over %s:\n", compiled.Canonical(), strings.Join(names, ","))
+
+	printItems := func(items []focus.PlanItem, from int) {
+		for i, it := range items {
+			fmt.Printf("  %3d. %-10s frame %-8d t=%6.1fs  score %.2f\n",
+				from+i+1, it.Stream, it.Frame, it.TimeSec, it.Score)
+		}
+	}
+	if *page > 0 {
+		cur, err := sys.NewPlanCursor(compiled, opts)
+		if err != nil {
+			return err
+		}
+		n := 0
+		for !cur.Done() {
+			items, err := cur.Next(*page)
+			if err != nil {
+				return err
+			}
+			if len(items) > 0 {
+				fmt.Printf("  -- page (%d results) --\n", len(items))
+				printItems(items, n)
+				n += len(items)
+			}
+		}
+		st := cur.Stats()
+		fmt.Printf("  %d results; gt-inferences=%d gpu-time=%.0fms latency=%.0fms\n",
+			n, st.GTInferences, st.GPUTimeMS, st.LatencyMS)
+		return nil
+	}
+	res, err := sys.ExecutePlan(compiled, opts)
+	if err != nil {
+		return err
+	}
+	printItems(res.Items, 0)
+	fmt.Printf("  %d results; gt-inferences=%d gpu-time=%.0fms latency=%.0fms\n",
+		len(res.Items), res.Stats.GTInferences, res.Stats.GPUTimeMS, res.Stats.LatencyMS)
+	for name, ss := range res.Stats.PerStream {
+		fmt.Printf("  %s: verified=%d skipped=%d clusters across %d leaves\n",
+			name, ss.VerifiedClusters, ss.SkippedClusters, len(ss.Leaves))
 	}
 	return nil
 }

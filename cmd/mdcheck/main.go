@@ -1,0 +1,116 @@
+// Command mdcheck is the documentation lint gate: it scans markdown files
+// for inline links and image references and fails when a relative target
+// does not exist on disk, so DESIGN.md/README.md can't drift into pointing
+// at renamed or deleted files. External links (http/https/mailto) and pure
+// in-page anchors are skipped — CI must not depend on the network.
+//
+// Usage:
+//
+//	mdcheck README.md DESIGN.md
+//	mdcheck .            # every *.md under the directory, recursively
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links/images: [text](target) / ![alt](target).
+// Reference-style definitions are rare in this repo and left to reviewers.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: mdcheck <file.md|dir>...")
+		os.Exit(2)
+	}
+	var files []string
+	for _, arg := range args {
+		info, err := os.Stat(arg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mdcheck:", err)
+			os.Exit(2)
+		}
+		if !info.IsDir() {
+			files = append(files, arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() && (d.Name() == ".git" || d.Name() == "node_modules") {
+				return filepath.SkipDir
+			}
+			if !d.IsDir() && strings.HasSuffix(d.Name(), ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mdcheck:", err)
+			os.Exit(2)
+		}
+	}
+
+	broken := 0
+	for _, file := range files {
+		for _, b := range checkFile(file) {
+			fmt.Fprintln(os.Stderr, "mdcheck:", b)
+			broken++
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "mdcheck: %d broken link(s) across %d file(s)\n", broken, len(files))
+		os.Exit(1)
+	}
+	fmt.Printf("mdcheck: %d file(s) clean\n", len(files))
+}
+
+// checkFile returns a description of every broken relative link in one
+// markdown file.
+func checkFile(file string) []string {
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var out []string
+	dir := filepath.Dir(file)
+	for lineNo, line := range strings.Split(string(raw), "\n") {
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if skipTarget(target) {
+				continue
+			}
+			// Drop any in-page fragment; the file part must exist.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+				if target == "" {
+					continue // pure anchor
+				}
+			}
+			resolved := filepath.Join(dir, filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				out = append(out, fmt.Sprintf("%s:%d: broken link %q (%s)",
+					file, lineNo+1, m[1], resolved))
+			}
+		}
+	}
+	return out
+}
+
+// skipTarget reports link targets the checker does not validate: external
+// schemes and absolute URLs.
+func skipTarget(t string) bool {
+	for _, prefix := range []string{"http://", "https://", "mailto:", "ftp://", "//"} {
+		if strings.HasPrefix(t, prefix) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,12 +1,13 @@
 // Package loadgen is a deterministic closed-loop load generator for the
 // focus-serve HTTP service: N client goroutines issue back-to-back /query
 // requests with Zipf-skewed class popularity (mirroring the skewed query
-// interest the paper's streams exhibit, §2.2), recording throughput, a
-// latency histogram, and per-status counts. An optional verifier re-executes
-// sampled responses directly against the owning focus.System at the exact
-// watermark vector the service answered at, asserting the served result is
-// identical — the serving stack (transport, cache, admission) must never
-// change an answer.
+// interest the paper's streams exhibit, §2.2) — optionally mixed with
+// compound POST /plan requests drawn from a predicate pool — recording
+// throughput, a latency histogram, and per-status counts. Optional
+// verifiers re-execute sampled responses (plain and plan) directly against
+// the owning focus.System at the exact watermark vector the service
+// answered at, asserting the served result is identical — the serving
+// stack (transport, cache, admission) must never change an answer.
 //
 // "Closed loop" means each client waits for its response before issuing the
 // next request, so offered load adapts to service capacity; client request
@@ -14,6 +15,7 @@
 package loadgen
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -49,6 +51,32 @@ type StreamQueryResult struct {
 	ViaOther         bool    `json:"via_other"`
 }
 
+// PlanResponse mirrors serve.PlanResponse (the POST /plan wire format).
+type PlanResponse struct {
+	Expr         string             `json:"expr"`
+	Items        []PlanItem         `json:"items"`
+	TotalItems   int                `json:"total_items"`
+	Watermarks   map[string]float64 `json:"watermarks"`
+	TopK         int                `json:"top_k,omitempty"`
+	Kx           int                `json:"kx,omitempty"`
+	Start        float64            `json:"start,omitempty"`
+	End          float64            `json:"end,omitempty"`
+	MaxClusters  int                `json:"max_clusters,omitempty"`
+	GTInferences int                `json:"gt_inferences"`
+	GPUTimeMS    float64            `json:"gpu_time_ms"`
+	LatencyMS    float64            `json:"latency_ms"`
+	Cached       bool               `json:"cached"`
+}
+
+// PlanItem mirrors serve.PlanItem.
+type PlanItem struct {
+	Stream  string  `json:"stream"`
+	Frame   int64   `json:"frame"`
+	TimeSec float64 `json:"time_sec"`
+	Segment int64   `json:"segment"`
+	Score   float64 `json:"score"`
+}
+
 // Config parameterizes one load-generation run.
 type Config struct {
 	// BaseURL is the service root, e.g. "http://127.0.0.1:7070".
@@ -74,6 +102,18 @@ type Config struct {
 	// Verifier checks one served response; non-nil errors are recorded as
 	// mismatches. See focus-loadgen for the served-vs-direct verifier.
 	Verifier func(*QueryResponse) error
+	// Plans is a pool of compound predicate expressions ("car & person &
+	// !bus") issued as POST /plan requests, mixed into the plain query
+	// stream.
+	Plans []string
+	// PlanEvery makes every Nth request per client a /plan request drawn
+	// deterministically from Plans (0 = plans never issued).
+	PlanEvery int
+	// PlanTopK is the top_k for plan requests. Default 10.
+	PlanTopK int
+	// PlanVerifier checks one served plan response; non-nil errors are
+	// recorded as mismatches. See NewDirectPlanVerifier.
+	PlanVerifier func(*PlanResponse) error
 	// Timeout bounds each request. Default 30s.
 	Timeout time.Duration
 }
@@ -100,6 +140,17 @@ func (c *Config) applyDefaults() error {
 	if c.Timeout <= 0 {
 		c.Timeout = 30 * time.Second
 	}
+	if c.PlanTopK <= 0 {
+		c.PlanTopK = 10
+	}
+	if c.PlanEvery > 0 && len(c.Plans) == 0 {
+		return fmt.Errorf("loadgen: PlanEvery set but no Plans given")
+	}
+	if len(c.Plans) > 0 && c.PlanEvery <= 0 {
+		// Symmetric check: a plan pool that never fires means the /plan
+		// path silently stops being exercised while looking configured.
+		return fmt.Errorf("loadgen: Plans given but PlanEvery is 0 — no plan would ever be issued")
+	}
 	return nil
 }
 
@@ -117,7 +168,11 @@ type Report struct {
 	NetErrors  int         `json:"net_errors"`
 	CacheHits  int         `json:"cache_hits"`
 	Verified   int         `json:"verified"`
-	Mismatches []string    `json:"mismatches,omitempty"`
+	// PlanRequests counts the POST /plan share of Requests; PlanVerified
+	// counts plan responses re-executed through PlanVerifier.
+	PlanRequests int      `json:"plan_requests"`
+	PlanVerified int      `json:"plan_verified"`
+	Mismatches   []string `json:"mismatches,omitempty"`
 	// Latency percentiles over successful (2xx) responses, milliseconds.
 	P50MS float64 `json:"p50_ms"`
 	P90MS float64 `json:"p90_ms"`
@@ -151,14 +206,21 @@ func (r *Report) Failures() []string {
 type clientState struct {
 	latenciesMS []float64
 	requests    int
-	ok          int
+	ok          int // all 2xx responses, plain and plan
 	rejected    int
 	unexpected  map[int]int
 	netErrors   int
 	cacheHits   int
-	verified    int
-	mismatches  []string
-	errSamples  []string
+	// plainOK/planOK drive the verification cadences independently, so
+	// mixing plan traffic in never changes which plain responses the
+	// "verify every Nth OK" sampling picks.
+	plainOK      int
+	verified     int
+	planRequests int
+	planOK       int
+	planVerified int
+	mismatches   []string
+	errSamples   []string
 }
 
 // Run executes the load generation and blocks until every client finishes.
@@ -198,6 +260,8 @@ func Run(cfg Config) (*Report, error) {
 		rep.NetErrors += st.netErrors
 		rep.CacheHits += st.cacheHits
 		rep.Verified += st.verified
+		rep.PlanRequests += st.planRequests
+		rep.PlanVerified += st.planVerified
 		for code, n := range st.unexpected {
 			rep.Unexpected[code] += n
 		}
@@ -229,15 +293,20 @@ func Run(cfg Config) (*Report, error) {
 	return rep, nil
 }
 
-// runClient is one closed loop: draw a class, query, record, repeat.
+// runClient is one closed loop: draw a class (or, every PlanEvery-th
+// request, a compound plan), query, record, repeat.
 func runClient(cfg *Config, idx int, zipf *simrand.Zipf, httpc *http.Client, deadline time.Time, st *clientState) {
 	src := simrand.New(cfg.Seed).DeriveN(int64(idx), "loadgen-client")
 	for time.Now().Before(deadline) {
 		if cfg.MaxRequestsPerClient > 0 && st.requests >= cfg.MaxRequestsPerClient {
 			return
 		}
-		class := cfg.Classes[zipf.Sample(src)]
 		st.requests++
+		if cfg.PlanEvery > 0 && st.requests%cfg.PlanEvery == 0 {
+			runPlanRequest(cfg, idx, src, httpc, st)
+			continue
+		}
+		class := cfg.Classes[zipf.Sample(src)]
 		t0 := time.Now()
 		resp, err := httpc.Get(cfg.BaseURL + "/query?class=" + class)
 		if err != nil {
@@ -259,6 +328,7 @@ func runClient(cfg *Config, idx int, zipf *simrand.Zipf, httpc *http.Client, dea
 			st.rejected++
 		case resp.StatusCode >= 200 && resp.StatusCode < 300:
 			st.ok++
+			st.plainOK++
 			st.latenciesMS = append(st.latenciesMS, latMS)
 			if decodeErr != nil {
 				st.mismatches = append(st.mismatches,
@@ -268,7 +338,7 @@ func runClient(cfg *Config, idx int, zipf *simrand.Zipf, httpc *http.Client, dea
 			if qr.Cached {
 				st.cacheHits++
 			}
-			if cfg.Verifier != nil && cfg.VerifyEvery > 0 && st.ok%cfg.VerifyEvery == 0 {
+			if cfg.Verifier != nil && cfg.VerifyEvery > 0 && st.plainOK%cfg.VerifyEvery == 0 {
 				st.verified++
 				if err := cfg.Verifier(&qr); err != nil {
 					st.mismatches = append(st.mismatches,
@@ -278,6 +348,52 @@ func runClient(cfg *Config, idx int, zipf *simrand.Zipf, httpc *http.Client, dea
 		default:
 			st.unexpected[resp.StatusCode]++
 		}
+	}
+}
+
+// runPlanRequest issues one POST /plan drawn deterministically from the
+// plan pool and records it under the same status taxonomy as plain queries.
+func runPlanRequest(cfg *Config, idx int, src *simrand.Source, httpc *http.Client, st *clientState) {
+	expr := cfg.Plans[src.Intn(len(cfg.Plans))]
+	body, _ := json.Marshal(map[string]any{"expr": expr, "top_k": cfg.PlanTopK})
+	st.planRequests++
+	t0 := time.Now()
+	resp, err := httpc.Post(cfg.BaseURL+"/plan", "application/json", bytes.NewReader(body))
+	if err != nil {
+		st.netErrors++
+		if len(st.errSamples) < 3 {
+			st.errSamples = append(st.errSamples, err.Error())
+		}
+		return
+	}
+	var pr PlanResponse
+	decodeErr := json.NewDecoder(resp.Body).Decode(&pr)
+	resp.Body.Close()
+	latMS := float64(time.Since(t0).Nanoseconds()) / 1e6
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		st.rejected++
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		st.ok++
+		st.planOK++
+		st.latenciesMS = append(st.latenciesMS, latMS)
+		if decodeErr != nil {
+			st.mismatches = append(st.mismatches,
+				fmt.Sprintf("client %d: bad plan response body for %q: %v", idx, expr, decodeErr))
+			return
+		}
+		if pr.Cached {
+			st.cacheHits++
+		}
+		if cfg.PlanVerifier != nil && cfg.VerifyEvery > 0 && st.planOK%cfg.VerifyEvery == 0 {
+			st.planVerified++
+			if err := cfg.PlanVerifier(&pr); err != nil {
+				st.mismatches = append(st.mismatches,
+					fmt.Sprintf("client %d plan %q: %v", idx, expr, err))
+			}
+		}
+	default:
+		st.unexpected[resp.StatusCode]++
 	}
 }
 

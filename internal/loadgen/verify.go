@@ -50,6 +50,57 @@ func NewDirectVerifier(sys *focus.System) func(*QueryResponse) error {
 	}
 }
 
+// NewDirectPlanVerifier returns a PlanVerifier that replays a served /plan
+// response as a direct library call — focus.System.PlanQuery pinned to the
+// exact watermark vector, TopK and leaf options the service answered with
+// (PlanResponse echoes all of them back) — and asserts the served ranking
+// is identical, item for item: same streams, frames, segments, timestamps
+// and scores in the same order. The served Expr is the plan's canonical
+// form, which re-parses to the same plan.
+//
+// Cost counters (GTInferences, GPU time, latency) are not compared: the
+// shared GT-verdict cache makes later executions cheaper without changing
+// answers, and a cached response reports its original execution's cost.
+func NewDirectPlanVerifier(sys *focus.System) func(*PlanResponse) error {
+	return func(pr *PlanResponse) error {
+		names := make([]string, 0, len(pr.Watermarks))
+		for name := range pr.Watermarks {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		res, err := sys.PlanQuery(pr.Expr, focus.PlanOptions{
+			Streams: names,
+			TopK:    pr.TopK,
+			Leaf: focus.QueryOptions{
+				Kx:          pr.Kx,
+				StartSec:    pr.Start,
+				EndSec:      pr.End,
+				MaxClusters: pr.MaxClusters,
+			},
+			AtWatermarks: pr.Watermarks,
+		})
+		if err != nil {
+			return fmt.Errorf("direct plan query: %w", err)
+		}
+		if len(res.Items) != pr.TotalItems {
+			return fmt.Errorf("total items: served %d, direct %d", pr.TotalItems, len(res.Items))
+		}
+		if len(pr.Items) != len(res.Items) {
+			return fmt.Errorf("items: served %d, direct %d (unpaged responses must carry all items)",
+				len(pr.Items), len(res.Items))
+		}
+		for i, it := range pr.Items {
+			d := res.Items[i]
+			if it.Stream != d.Stream || it.Frame != int64(d.Frame) ||
+				it.Segment != int64(d.Segment) || it.TimeSec != d.TimeSec || it.Score != d.Score {
+				return fmt.Errorf("item %d: served %+v, direct {%s %d %g %d %g}",
+					i, it, d.Stream, d.Frame, d.TimeSec, d.Segment, d.Score)
+			}
+		}
+		return nil
+	}
+}
+
 func compareStream(name string, served *StreamQueryResult, direct *focus.StreamResult) error {
 	if served.ExaminedClusters != direct.ExaminedClusters {
 		return fmt.Errorf("stream %s: examined clusters served %d, direct %d",

@@ -1,0 +1,334 @@
+// Package plan is Focus's compound query planner: it answers boolean
+// multi-class predicates — "frames with a car AND a person but NO bus" —
+// by compiling a predicate AST (And/Or/Not over per-class leaf queries)
+// into a DAG of retrieval and verification calls against the existing
+// per-stream query engines, then ranking the matching frames by aggregate
+// class confidence.
+//
+// The planner composes the paper's single-class primitives (§5: top-K
+// retrieval, Kx cuts, MaxClusters budgets, GT-CNN verification) without
+// changing their cost model:
+//
+//   - Retrieval per leaf is index-only and therefore cheap; its candidate
+//     count is the leaf's selectivity estimate.
+//   - GT-CNN verification — the expensive step — is shared across leaves:
+//     verdicts are memoized per object cluster in the engine's verdict
+//     cache, so a cluster mentioned by three predicates is verified once
+//     (§6.7), and verification is ordered most-selective-leaf-first so
+//     frames ruled out early let later leaves skip whole clusters
+//     (short-circuit evaluation).
+//   - Execution pinned to a watermark vector is a pure function of
+//     (plan, options, vector): the serve layer caches plan results under
+//     the plan's canonical form exactly like single-class queries.
+//
+// Results stream through a Cursor whose Next(n) extends the per-leaf
+// examined-cluster budget incrementally and emits a frame only once its
+// rank is provably final, so the page sequence concatenates to exactly
+// the one-shot ranking no matter how the caller pages.
+//
+// Negation is relative to the index, like every Focus answer: "no bus"
+// means "not matched by a bus query at this watermark", inheriting the
+// same approximate-recall contract as a positive bus query (§4.1). Plans
+// must be anchored — at least one positive conjunct on every Or branch —
+// because an unanchored predicate ("!bus" alone) would describe the
+// unbounded complement of the index.
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// LeafOptions are the per-leaf retrieval knobs, mirroring the single-class
+// query.Options a leaf compiles into. The execution layer supplies the
+// watermark (MaxSealSec) and GPU parallelism; leaves only shape retrieval.
+type LeafOptions struct {
+	// Kx, when in [1, K), restricts retrieval to clusters ranking the class
+	// within their top-Kx (§5). Zero uses the index's full K.
+	Kx int
+	// StartSec/EndSec restrict the leaf to a time window; EndSec <= 0 means
+	// unbounded.
+	StartSec, EndSec float64
+	// MaxClusters caps how many clusters the leaf retrieves, in postings
+	// order — the same budget semantics as query.Options.MaxClusters.
+	MaxClusters int
+}
+
+// Expr is a node of the predicate AST: Leaf, And, Or, or Not.
+type Expr interface {
+	// canon renders the canonical form used for plan hashing.
+	canon(b *strings.Builder)
+	// anchored reports whether every frame satisfying the expression is
+	// guaranteed to appear in some positive leaf's matches.
+	anchored() bool
+	// walk visits every leaf with its polarity (false under an odd number
+	// of Nots).
+	walk(positive bool, fn func(l *Leaf, positive bool))
+}
+
+// Leaf is one single-class predicate with its own retrieval options.
+type Leaf struct {
+	// Class is the class name ("car", "person", …), resolved at compile
+	// time against the system's class space.
+	Class string
+	// Opts shape this leaf's retrieval; the zero value inherits the
+	// execution options' DefaultLeaf.
+	Opts LeafOptions
+}
+
+// And is the conjunction of its children.
+type And struct{ Children []Expr }
+
+// Or is the disjunction of its children.
+type Or struct{ Children []Expr }
+
+// Not negates its child.
+type Not struct{ Child Expr }
+
+func (l *Leaf) canon(b *strings.Builder) {
+	b.WriteString(l.Class)
+	if l.Opts != (LeafOptions{}) {
+		fmt.Fprintf(b, "[kx=%d,s=%g,e=%g,m=%d]",
+			l.Opts.Kx, l.Opts.StartSec, l.Opts.EndSec, l.Opts.MaxClusters)
+	}
+}
+
+func canonChildren(b *strings.Builder, op string, children []Expr) {
+	b.WriteByte('(')
+	for i, c := range children {
+		if i > 0 {
+			b.WriteString(op)
+		}
+		c.canon(b)
+	}
+	b.WriteByte(')')
+}
+
+func (a *And) canon(b *strings.Builder) { canonChildren(b, "&", a.Children) }
+func (o *Or) canon(b *strings.Builder)  { canonChildren(b, "|", o.Children) }
+func (n *Not) canon(b *strings.Builder) {
+	b.WriteByte('!')
+	n.Child.canon(b)
+}
+
+// A leaf anchors itself; a conjunction is anchored by any anchored child; a
+// disjunction needs every branch anchored (an unanchored branch admits
+// frames outside the index). Negation flips to the De Morgan dual: !e is
+// anchored exactly when e's complement is — so "!!car" anchors ("car"
+// does) while "!bus" does not.
+func (l *Leaf) anchored() bool { return true }
+func (a *And) anchored() bool {
+	for _, c := range a.Children {
+		if c.anchored() {
+			return true
+		}
+	}
+	return false
+}
+func (o *Or) anchored() bool {
+	if len(o.Children) == 0 {
+		return false
+	}
+	for _, c := range o.Children {
+		if !c.anchored() {
+			return false
+		}
+	}
+	return true
+}
+func (n *Not) anchored() bool { return complementAnchored(n.Child) }
+
+// complementAnchored reports whether the complement of e is anchored:
+// ¬leaf never is; ¬(a∧b) = ¬a∨¬b needs every branch's complement anchored;
+// ¬(a∨b) = ¬a∧¬b needs any; ¬¬e is e.
+func complementAnchored(e Expr) bool {
+	switch x := e.(type) {
+	case *Leaf:
+		return false
+	case *And:
+		if len(x.Children) == 0 {
+			return false
+		}
+		for _, c := range x.Children {
+			if !complementAnchored(c) {
+				return false
+			}
+		}
+		return true
+	case *Or:
+		for _, c := range x.Children {
+			if complementAnchored(c) {
+				return true
+			}
+		}
+		return false
+	case *Not:
+		return x.Child.anchored()
+	default:
+		return false
+	}
+}
+
+func (l *Leaf) walk(positive bool, fn func(*Leaf, bool)) { fn(l, positive) }
+func (a *And) walk(positive bool, fn func(*Leaf, bool)) {
+	for _, c := range a.Children {
+		c.walk(positive, fn)
+	}
+}
+func (o *Or) walk(positive bool, fn func(*Leaf, bool)) {
+	for _, c := range o.Children {
+		c.walk(positive, fn)
+	}
+}
+func (n *Not) walk(positive bool, fn func(*Leaf, bool)) { n.Child.walk(!positive, fn) }
+
+// Canonical renders the expression's canonical text form: fully
+// parenthesized, with non-default leaf options inlined. Two expressions
+// with the same canonical form execute identically, which is what the
+// serve layer's result cache keys plans on.
+func Canonical(e Expr) string {
+	var b strings.Builder
+	e.canon(&b)
+	return b.String()
+}
+
+// ---- text syntax ----
+
+// Parse compiles the small text syntax used by the CLI and the /plan
+// endpoint into an AST:
+//
+//	expr  := or
+//	or    := and ("|" and)*
+//	and   := unary ("&" unary)*
+//	unary := "!" unary | "(" expr ")" | class
+//
+// Class names are [A-Za-z0-9_]+; whitespace is ignored. Example:
+// "car & person & !bus". Leaf options cannot be spelled in text — build
+// the AST directly for per-leaf windows or budgets.
+func Parse(s string) (Expr, error) {
+	p := &parser{input: s}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.input) {
+		return nil, fmt.Errorf("plan: unexpected %q at offset %d in %q", p.input[p.pos], p.pos, s)
+	}
+	return e, nil
+}
+
+type parser struct {
+	input string
+	pos   int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.input) && (p.input[p.pos] == ' ' || p.input[p.pos] == '\t' ||
+		p.input[p.pos] == '\n' || p.input[p.pos] == '\r') {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.input) {
+		return 0
+	}
+	return p.input[p.pos]
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	first, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	children := []Expr{first}
+	for p.peek() == '|' {
+		p.pos++
+		next, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, next)
+	}
+	if len(children) == 1 {
+		return first, nil
+	}
+	return &Or{Children: children}, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	first, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	children := []Expr{first}
+	for p.peek() == '&' {
+		p.pos++
+		next, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, next)
+	}
+	if len(children) == 1 {
+		return first, nil
+	}
+	return &And{Children: children}, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch c := p.peek(); {
+	case c == '!':
+		p.pos++
+		child, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{Child: child}, nil
+	case c == '(':
+		p.pos++
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("plan: missing ')' at offset %d in %q", p.pos, p.input)
+		}
+		p.pos++
+		return e, nil
+	case isIdent(c):
+		start := p.pos
+		for p.pos < len(p.input) && isIdent(p.input[p.pos]) {
+			p.pos++
+		}
+		return &Leaf{Class: p.input[start:p.pos]}, nil
+	case c == 0:
+		return nil, fmt.Errorf("plan: unexpected end of expression in %q", p.input)
+	default:
+		return nil, fmt.Errorf("plan: unexpected %q at offset %d in %q", c, p.pos, p.input)
+	}
+}
+
+func isIdent(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}
+
+// leafKeys returns the distinct (class, options) leaf keys of an
+// expression, sorted, for tests and diagnostics.
+func leafKeys(e Expr) []string {
+	seen := make(map[string]bool)
+	var out []string
+	e.walk(true, func(l *Leaf, _ bool) {
+		var b strings.Builder
+		l.canon(&b)
+		if k := b.String(); !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	})
+	sort.Strings(out)
+	return out
+}

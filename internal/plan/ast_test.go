@@ -1,0 +1,186 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"focus/internal/vision"
+)
+
+func mustParse(t *testing.T, s string) Expr {
+	t.Helper()
+	e, err := Parse(s)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", s, err)
+	}
+	return e
+}
+
+func TestParsePrecedenceAndCanonical(t *testing.T) {
+	cases := []struct{ in, canon string }{
+		{"car", "car"},
+		{"  car  ", "car"},
+		{"car & person", "(car&person)"},
+		{"car & person & !bus", "(car&person&!bus)"},
+		// & binds tighter than |.
+		{"a & b | c & d", "((a&b)|(c&d))"},
+		{"a | b | c", "(a|b|c)"},
+		{"(a | b) & c", "((a|b)&c)"},
+		{"!(a | b) & c", "(!(a|b)&c)"},
+		{"!!a", "!!a"},
+		{"traffic_light & car", "(traffic_light&car)"},
+	}
+	for _, tc := range cases {
+		if got := Canonical(mustParse(t, tc.in)); got != tc.canon {
+			t.Errorf("Canonical(Parse(%q)) = %q, want %q", tc.in, got, tc.canon)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"", "  ", "&", "a &", "a | ", "(a", "a)", "(a))", "a b", "a ^ b", "!(", "()"} {
+		if e, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) accepted: %v", in, Canonical(e))
+		}
+	}
+}
+
+func TestCanonicalLeafOptions(t *testing.T) {
+	e := &And{Children: []Expr{
+		&Leaf{Class: "car", Opts: LeafOptions{Kx: 2, StartSec: 0, EndSec: 120, MaxClusters: 50}},
+		&Leaf{Class: "person"},
+	}}
+	want := "(car[kx=2,s=0,e=120,m=50]&person)"
+	if got := Canonical(e); got != want {
+		t.Errorf("Canonical = %q, want %q", got, want)
+	}
+}
+
+func TestAnchored(t *testing.T) {
+	anchored := []string{"car", "car & !bus", "!(!car)", "car | bus", "truck & !(car | bus)",
+		"!(car & bus) & truck", "!(!car | !bus)",
+		// ¬(car ∨ ¬bus) = ¬car ∧ bus: anchored by the bus conjunct.
+		"!(car | !bus)"}
+	unanchored := []string{"!bus", "car | !bus", "!(car & bus)", "!car & !bus"}
+	for _, s := range anchored {
+		if !mustParse(t, s).anchored() {
+			t.Errorf("%q should be anchored", s)
+		}
+	}
+	for _, s := range unanchored {
+		if mustParse(t, s).anchored() {
+			t.Errorf("%q should not be anchored", s)
+		}
+	}
+}
+
+// fakeResolve maps class names to sequential IDs, failing on "nope".
+func fakeResolve() Resolver {
+	next := vision.ClassID(0)
+	ids := make(map[string]vision.ClassID)
+	return func(name string) (vision.ClassID, error) {
+		if name == "nope" {
+			return 0, fmt.Errorf("unknown class %q", name)
+		}
+		if id, ok := ids[name]; ok {
+			return id, nil
+		}
+		ids[name] = next
+		next++
+		return ids[name], nil
+	}
+}
+
+func TestCompileDedupAndPolarity(t *testing.T) {
+	// car appears positively and (inside the negation) negatively: one
+	// deduplicated leaf, still scoring because of the positive occurrence.
+	p, err := Compile(mustParse(t, "car & !(bus & car)"), fakeResolve())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.leaves) != 2 {
+		t.Fatalf("%d leaves, want 2 (car deduplicated)", len(p.leaves))
+	}
+	byName := make(map[string]*leafSpec)
+	for _, l := range p.leaves {
+		byName[l.name] = l
+	}
+	if !byName["car"].scoring {
+		t.Error("car has a positive occurrence and must be scoring")
+	}
+	if byName["bus"].scoring {
+		t.Error("bus only occurs negatively and must not be scoring")
+	}
+	// Distinct options are distinct leaves.
+	e := &And{Children: []Expr{
+		&Leaf{Class: "car"},
+		&Leaf{Class: "car", Opts: LeafOptions{Kx: 2}},
+	}}
+	p2, err := Compile(e, fakeResolve())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p2.leaves) != 2 {
+		t.Fatalf("%d leaves, want 2 (distinct options)", len(p2.leaves))
+	}
+	if got := leafKeys(e); len(got) != 2 {
+		t.Fatalf("leafKeys = %v, want 2 entries", got)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := Compile(nil, fakeResolve()); err == nil {
+		t.Error("nil expression accepted")
+	}
+	if _, err := Compile(mustParse(t, "!bus"), fakeResolve()); err == nil {
+		t.Error("unanchored plan accepted")
+	}
+	if _, err := Compile(mustParse(t, "car & nope"), fakeResolve()); err == nil {
+		t.Error("unknown class accepted")
+	} else if !strings.Contains(err.Error(), "nope") {
+		t.Errorf("error does not name the class: %v", err)
+	}
+	// Empty connectives are construction bugs: an empty Or is constant
+	// False, an empty And constant True — both must fail loudly.
+	if _, err := Compile(&And{Children: []Expr{&Leaf{Class: "car"}, &Or{}}}, fakeResolve()); err == nil {
+		t.Error("empty Or accepted")
+	}
+	if _, err := Compile(&And{}, fakeResolve()); err == nil {
+		t.Error("empty And accepted")
+	}
+}
+
+func TestEvalThreeValued(t *testing.T) {
+	p, err := Compile(mustParse(t, "(car | person) & !bus"), fakeResolve())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := make(map[string]int)
+	for _, l := range p.leaves {
+		idx[l.name] = l.idx
+	}
+	st := func(car, person, bus int8) []int8 {
+		out := make([]int8, len(p.leaves))
+		out[idx["car"]], out[idx["person"]], out[idx["bus"]] = car, person, bus
+		return out
+	}
+	cases := []struct {
+		car, person, bus int8
+		want             int8
+	}{
+		{tvTrue, tvFalse, tvFalse, tvTrue},
+		{tvFalse, tvTrue, tvFalse, tvTrue},
+		{tvFalse, tvFalse, tvUnknown, tvFalse},  // Or is False: whole thing False
+		{tvTrue, tvFalse, tvUnknown, tvUnknown}, // bus pending: undecided
+		{tvTrue, tvFalse, tvTrue, tvFalse},      // bus present: excluded
+		{tvUnknown, tvFalse, tvFalse, tvUnknown},
+		{tvUnknown, tvTrue, tvFalse, tvTrue}, // person already satisfies the Or
+	}
+	for _, tc := range cases {
+		if got := evalTV(p.eval, st(tc.car, tc.person, tc.bus)); got != tc.want {
+			t.Errorf("eval(car=%d person=%d bus=%d) = %d, want %d",
+				tc.car, tc.person, tc.bus, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,783 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"focus/internal/index"
+	"focus/internal/parallel"
+	"focus/internal/query"
+	"focus/internal/video"
+	"focus/internal/vision"
+)
+
+// Three-valued truth for partially verified predicates: a leaf is True for
+// a frame once a verified matching cluster covers it, False once no
+// unresolved candidate could, Unknown in between. And = min, Or = max,
+// Not = negation; values only ever move away from Unknown, so a frame's
+// overall verdict is final as soon as it leaves tvUnknown.
+const (
+	tvFalse   int8 = -1
+	tvUnknown int8 = 0
+	tvTrue    int8 = 1
+)
+
+// Resolver maps a class name to its ClassID, typically focus.System.ClassID.
+type Resolver func(name string) (vision.ClassID, error)
+
+// Plan is a compiled predicate: the AST plus its deduplicated leaves (one
+// per distinct class+options pair, however many times the predicate
+// mentions it) and the evaluation tree over them.
+type Plan struct {
+	root      Expr
+	eval      *node
+	leaves    []*leafSpec
+	canonical string
+}
+
+type leafSpec struct {
+	idx     int
+	name    string
+	class   vision.ClassID
+	opts    LeafOptions
+	scoring bool // has at least one positive-polarity occurrence
+}
+
+const (
+	opLeaf = iota
+	opAnd
+	opOr
+	opNot
+)
+
+type node struct {
+	op   int
+	leaf int
+	kids []*node
+}
+
+func evalTV(n *node, st []int8) int8 {
+	switch n.op {
+	case opLeaf:
+		return st[n.leaf]
+	case opAnd:
+		v := tvTrue
+		for _, k := range n.kids {
+			if kv := evalTV(k, st); kv < v {
+				v = kv
+			}
+		}
+		return v
+	case opOr:
+		v := tvFalse
+		for _, k := range n.kids {
+			if kv := evalTV(k, st); kv > v {
+				v = kv
+			}
+		}
+		return v
+	default: // opNot
+		return -evalTV(n.kids[0], st)
+	}
+}
+
+// Compile validates an expression and resolves its classes. It rejects
+// unanchored plans — predicates like "!bus" or "car | !bus" whose matches
+// are not bounded by any positive leaf's index retrieval — because Focus
+// can only answer queries its index supports (§4.1).
+func Compile(e Expr, resolve Resolver) (*Plan, error) {
+	if e == nil {
+		return nil, fmt.Errorf("plan: empty expression")
+	}
+	if !e.anchored() {
+		return nil, fmt.Errorf("plan: unanchored predicate %q: every Or branch needs at least one positive class (a bare negation would match the unbounded complement of the index)", Canonical(e))
+	}
+	p := &Plan{root: e, canonical: Canonical(e)}
+	byKey := make(map[string]*leafSpec)
+	var compileErr error
+	var build func(e Expr, positive bool) *node
+	build = func(e Expr, positive bool) *node {
+		switch x := e.(type) {
+		case *Leaf:
+			key := Canonical(x)
+			spec, ok := byKey[key]
+			if !ok {
+				class, err := resolve(x.Class)
+				if err != nil && compileErr == nil {
+					compileErr = fmt.Errorf("plan: leaf %q: %w", x.Class, err)
+				}
+				spec = &leafSpec{idx: len(p.leaves), name: x.Class, class: class, opts: x.Opts}
+				byKey[key] = spec
+				p.leaves = append(p.leaves, spec)
+			}
+			if positive {
+				spec.scoring = true
+			}
+			return &node{op: opLeaf, leaf: spec.idx}
+		case *And:
+			n := &node{op: opAnd}
+			for _, c := range x.Children {
+				n.kids = append(n.kids, build(c, positive))
+			}
+			if len(n.kids) == 0 && compileErr == nil {
+				compileErr = fmt.Errorf("plan: empty And")
+			}
+			return n
+		case *Or:
+			n := &node{op: opOr}
+			for _, c := range x.Children {
+				n.kids = append(n.kids, build(c, positive))
+			}
+			if len(n.kids) == 0 && compileErr == nil {
+				// An empty Or would be constant False (and constant True
+				// under Not) — always a construction bug, never intent.
+				compileErr = fmt.Errorf("plan: empty Or")
+			}
+			return n
+		case *Not:
+			return &node{op: opNot, kids: []*node{build(x.Child, !positive)}}
+		default:
+			if compileErr == nil {
+				compileErr = fmt.Errorf("plan: unknown expression node %T", e)
+			}
+			return &node{op: opLeaf}
+		}
+	}
+	p.eval = build(e, true)
+	if compileErr != nil {
+		return nil, compileErr
+	}
+	return p, nil
+}
+
+// Canonical returns the plan's canonical text form, the serve layer's
+// cache-key component.
+func (p *Plan) Canonical() string { return p.canonical }
+
+// Classes returns the distinct leaf class names, in first-mention order.
+func (p *Plan) Classes() []string {
+	out := make([]string, len(p.leaves))
+	for i, l := range p.leaves {
+		out[i] = l.name
+	}
+	return out
+}
+
+// Target is one stream a plan executes against.
+type Target struct {
+	// Stream is the stream name items are tagged with.
+	Stream string
+	// Engine is the stream's query engine.
+	Engine *query.Engine
+	// Watermark pins every leaf to this ingest watermark (MaxSealSec
+	// semantics: 0 = everything indexed, negative = the empty horizon).
+	Watermark float64
+	// NumGPUs is the GT-CNN verification parallelism for this stream.
+	NumGPUs int
+}
+
+// Options tune one plan execution.
+type Options struct {
+	// TopK caps the ranked result; 0 returns every matching frame.
+	TopK int
+	// DefaultLeaf applies to leaves whose Opts are the zero value.
+	DefaultLeaf LeafOptions
+	// StepClusters is how many clusters each leaf resolves per refinement
+	// round — the increment by which a Cursor extends the per-leaf
+	// examined-cluster budget. Default 8.
+	StepClusters int
+	// Workers bounds the cross-stream fan-out; 0 runs one worker per
+	// stream, 1 is the sequential reference. Both are bit-identical.
+	Workers int
+}
+
+// Item is one ranked result: a frame on a stream with its aggregate
+// confidence score — the sum, over the plan's positive leaves the frame
+// satisfies, of the indexed class-confidence mass of the best verified
+// cluster covering it.
+type Item struct {
+	Stream  string
+	Frame   video.FrameID
+	TimeSec float64
+	Segment video.SegmentID
+	Score   float64
+}
+
+// rankBefore is the total result order: score descending, then stream
+// name, then frame — the comparator both the cursor and the one-shot path
+// emit in.
+func rankBefore(a, b Item) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	if a.Stream != b.Stream {
+		return a.Stream < b.Stream
+	}
+	return a.Frame < b.Frame
+}
+
+// LeafStat reports one leaf's work on one stream.
+type LeafStat struct {
+	Class      string
+	ViaOther   bool
+	Candidates int // clusters retrieved (the selectivity estimate)
+	Verified   int // clusters this leaf sent to GT verification
+	Skipped    int // clusters short-circuited (no surviving frame needed them)
+	Matched    int // verified clusters whose verdict equals the leaf class
+}
+
+// StreamStats reports one stream's share of an execution.
+type StreamStats struct {
+	Watermark        float64
+	Leaves           []LeafStat
+	VerifiedClusters int // distinct clusters resolved by verification
+	SkippedClusters  int
+	GTInferences     int // GT-CNN invocations actually paid (verdict-cache misses)
+	GPUTimeMS        float64
+	LatencyMS        float64
+}
+
+// Stats aggregates an execution across streams.
+type Stats struct {
+	Canonical    string
+	PerStream    map[string]*StreamStats
+	GTInferences int
+	GPUTimeMS    float64
+	LatencyMS    float64 // slowest stream bounds the plan (§5)
+	Done         bool
+}
+
+// Result is a completed one-shot execution.
+type Result struct {
+	Items []Item
+	Stats Stats
+}
+
+// Execute runs the plan to completion (or to TopK) and returns the ranked
+// result. It is exactly NewCursor + one drain: paged and one-shot
+// execution share every code path.
+func Execute(p *Plan, targets []Target, opts Options) (*Result, error) {
+	cur, err := NewCursor(p, targets, opts)
+	if err != nil {
+		return nil, err
+	}
+	items, err := cur.Next(0)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Items: items, Stats: cur.Stats()}, nil
+}
+
+// Cursor is a paged plan execution: Next(n) returns the next n items of
+// the final ranking, refining the underlying per-leaf cluster budgets only
+// as far as needed. An item is emitted only when no unresolved cluster
+// anywhere could produce a higher-ranked frame, so the concatenation of
+// pages is bit-identical to the one-shot ranking regardless of page sizes.
+type Cursor struct {
+	plan    *Plan
+	opts    Options
+	streams []*streamExec
+	emitted int
+	done    bool
+}
+
+// NewCursor prepares an execution over the targets: it retrieves every
+// leaf's candidate clusters (index-only, no GPU time) and orders leaf
+// verification by estimated selectivity. Verification starts lazily on the
+// first Next.
+func NewCursor(p *Plan, targets []Target, opts Options) (*Cursor, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("plan: no target streams")
+	}
+	if opts.StepClusters <= 0 {
+		opts.StepClusters = 8
+	}
+	c := &Cursor{plan: p, opts: opts}
+	for _, t := range targets {
+		if t.Engine == nil {
+			return nil, fmt.Errorf("plan: stream %q has no query engine", t.Stream)
+		}
+		s, err := newStreamExec(p, t, opts)
+		if err != nil {
+			return nil, err
+		}
+		c.streams = append(c.streams, s)
+	}
+	return c, nil
+}
+
+// Next returns up to n further items of the final ranking; n <= 0 drains
+// the cursor. A short (or empty) return means the plan is exhausted — or
+// that TopK was reached.
+func (c *Cursor) Next(n int) ([]Item, error) {
+	var out []Item
+	for !c.done && (n <= 0 || len(out) < n) {
+		// The globally best ready item is final once it outranks every
+		// stream's upper bound on any still-unresolved frame's score.
+		best := -1
+		var bestItem Item
+		maxBound := -1.0
+		for si, s := range c.streams {
+			if item, ok := s.peek(); ok && (best < 0 || rankBefore(item, bestItem)) {
+				best, bestItem = si, item
+			}
+			if s.bound > maxBound {
+				maxBound = s.bound
+			}
+		}
+		if best >= 0 && bestItem.Score > maxBound {
+			c.streams[best].pop()
+			out = append(out, bestItem)
+			c.emitted++
+			if c.opts.TopK > 0 && c.emitted >= c.opts.TopK {
+				c.done = true
+			}
+			continue
+		}
+		allResolved := true
+		for _, s := range c.streams {
+			if !s.resolvedAll {
+				allResolved = false
+				break
+			}
+		}
+		if allResolved {
+			// Bounds are all gone, so any remaining ready item would have
+			// been emitted above: the plan is exhausted.
+			c.done = true
+			break
+		}
+		// Refine: every unresolved stream advances one round in parallel
+		// (§5 fan-out; rounds are independent per stream, and emission
+		// order is provably round-schedule independent).
+		workers := parallel.StreamWorkers(len(c.streams), c.opts.Workers)
+		err := parallel.ForEach(workers, len(c.streams), func(i int) error {
+			c.streams[i].advance(c.opts.StepClusters)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Done reports whether the cursor is exhausted (or reached TopK).
+func (c *Cursor) Done() bool { return c.done }
+
+// Stats snapshots the execution's cost counters so far.
+func (c *Cursor) Stats() Stats {
+	st := Stats{
+		Canonical: c.plan.canonical,
+		PerStream: make(map[string]*StreamStats, len(c.streams)),
+		Done:      c.done,
+	}
+	for _, s := range c.streams {
+		ss := &StreamStats{
+			Watermark:        s.watermark,
+			VerifiedClusters: len(s.uniqueVerified),
+			GTInferences:     s.verifier.Inferences,
+			GPUTimeMS:        s.verifier.GPUTimeMS,
+			LatencyMS:        s.verifier.LatencyMS(),
+		}
+		for _, le := range s.leaves {
+			ss.Leaves = append(ss.Leaves, LeafStat{
+				Class:      le.spec.name,
+				ViaOther:   le.viaOther,
+				Candidates: len(le.cands),
+				Verified:   le.verified,
+				Skipped:    le.skipped,
+				Matched:    le.matched,
+			})
+			ss.SkippedClusters += le.skipped
+		}
+		st.PerStream[s.name] = ss
+		st.GTInferences += ss.GTInferences
+		st.GPUTimeMS += ss.GPUTimeMS
+		if ss.LatencyMS > st.LatencyMS {
+			st.LatencyMS = ss.LatencyMS
+		}
+	}
+	return st
+}
+
+// ---- per-stream execution ----
+
+const (
+	candUnresolved int8 = iota
+	candMatched
+	candNotMatched
+	candSkipped
+)
+
+type streamExec struct {
+	name      string
+	watermark float64
+	eval      *node
+	verifier  *query.BatchVerifier
+	leaves    []*leafExec
+	order     []int // leaf indices, most selective (fewest candidates) first
+
+	frames         map[video.FrameID]*frameState
+	uniqueVerified map[index.ClusterID]struct{}
+
+	ready       []Item // ready, unemitted frames in final rank order
+	readyPos    int
+	bound       float64 // max possible score of any unready, undead frame; -1 if none
+	resolvedAll bool
+}
+
+// frameRef is one distinct member frame of a candidate cluster, with its
+// timestamp.
+type frameRef struct {
+	frame   video.FrameID
+	timeSec float64
+}
+
+type leafExec struct {
+	spec       *leafSpec
+	viaOther   bool
+	cands      []*index.ClusterRecord
+	confs      []float64    // per-candidate class confidence, descending
+	candFrames [][]frameRef // per-candidate member frames within the leaf window, deduplicated
+	state      []int8       // candUnresolved / candMatched / candNotMatched / candSkipped
+	next       int          // first possibly-unresolved candidate
+	verified   int
+	skipped    int
+	matched    int
+}
+
+type frameState struct {
+	timeSec  float64
+	status   []int8    // per-leaf three-valued truth
+	bestConf []float64 // per-leaf confidence of the best matching cluster
+	pending  []int32   // per-leaf unresolved candidates covering this frame
+	memberOf [][]int32 // per-leaf candidate indices covering this frame, confidence-descending
+	nextUB   []int32   // per-leaf cursor into memberOf for the unresolved-confidence bound
+	emitted  bool
+	dead     bool // overall verdict is False: terminal
+}
+
+func newStreamExec(p *Plan, t Target, opts Options) (*streamExec, error) {
+	verifier, err := t.Engine.NewBatchVerifier(t.NumGPUs)
+	if err != nil {
+		return nil, err
+	}
+	s := &streamExec{
+		name:           t.Stream,
+		watermark:      t.Watermark,
+		eval:           p.eval,
+		verifier:       verifier,
+		frames:         make(map[video.FrameID]*frameState),
+		uniqueVerified: make(map[index.ClusterID]struct{}),
+		bound:          -1,
+	}
+	nLeaves := len(p.leaves)
+	for _, spec := range p.leaves {
+		lopts := spec.opts
+		if lopts == (LeafOptions{}) {
+			lopts = opts.DefaultLeaf
+		}
+		qopts := query.Options{
+			Kx:          lopts.Kx,
+			StartSec:    lopts.StartSec,
+			EndSec:      lopts.EndSec,
+			MaxClusters: lopts.MaxClusters,
+			MaxSealSec:  t.Watermark,
+		}
+		cands, viaOther, err := t.Engine.Candidates(spec.class, qopts)
+		if err != nil {
+			return nil, fmt.Errorf("plan: stream %q leaf %q: %w", t.Stream, spec.name, err)
+		}
+		le := &leafExec{spec: spec, viaOther: viaOther}
+		lookup := spec.class
+		if viaOther {
+			lookup = vision.ClassOther
+		}
+		// Verification order within the leaf: by indexed class confidence,
+		// descending (ties by cluster ID) — so the first verified match
+		// covering a frame is also its best-scoring one, and the highest
+		// unresolved confidence bounds what refinement can still add.
+		type scored struct {
+			rec  *index.ClusterRecord
+			conf float64
+		}
+		sc := make([]scored, len(cands))
+		for i, rec := range cands {
+			sc[i] = scored{rec: rec, conf: classConfidence(rec, lookup)}
+		}
+		sort.Slice(sc, func(i, j int) bool {
+			if sc[i].conf != sc[j].conf {
+				return sc[i].conf > sc[j].conf
+			}
+			return sc[i].rec.ID < sc[j].rec.ID
+		})
+		le.cands = make([]*index.ClusterRecord, len(sc))
+		le.confs = make([]float64, len(sc))
+		le.candFrames = make([][]frameRef, len(sc))
+		le.state = make([]int8, len(sc))
+		for i, e := range sc {
+			le.cands[i] = e.rec
+			le.confs[i] = e.conf
+			le.candFrames[i] = memberFrames(e.rec, lopts)
+		}
+		s.leaves = append(s.leaves, le)
+	}
+	// Register every frame any leaf could touch, with per-leaf coverage.
+	// Frames not covered by a leaf at all are permanently False for it.
+	for li, le := range s.leaves {
+		for ci, frames := range le.candFrames {
+			for _, fr := range frames {
+				fs := s.frames[fr.frame]
+				if fs == nil {
+					fs = &frameState{
+						timeSec:  fr.timeSec,
+						status:   make([]int8, nLeaves),
+						bestConf: make([]float64, nLeaves),
+						pending:  make([]int32, nLeaves),
+						memberOf: make([][]int32, nLeaves),
+						nextUB:   make([]int32, nLeaves),
+					}
+					s.frames[fr.frame] = fs
+				}
+				fs.memberOf[li] = append(fs.memberOf[li], int32(ci))
+				fs.pending[li]++
+			}
+		}
+	}
+	for _, fs := range s.frames {
+		for li := range s.leaves {
+			if fs.pending[li] == 0 {
+				fs.status[li] = tvFalse
+			}
+		}
+	}
+	// Short-circuit order: most selective leaf first (fewest candidates),
+	// ties by leaf index, so cheap exclusions land before expensive leaves
+	// spend GT time on already-dead frames.
+	s.order = make([]int, len(s.leaves))
+	for i := range s.order {
+		s.order[i] = i
+	}
+	sort.Slice(s.order, func(i, j int) bool {
+		a, b := s.order[i], s.order[j]
+		if len(s.leaves[a].cands) != len(s.leaves[b].cands) {
+			return len(s.leaves[a].cands) < len(s.leaves[b].cands)
+		}
+		return a < b
+	})
+	s.recompute()
+	return s, nil
+}
+
+// classConfidence extracts the cluster's indexed confidence mass for the
+// lookup class (§3: clusters are indexed under their top-K classes with
+// aggregated member confidence).
+func classConfidence(rec *index.ClusterRecord, lookup vision.ClassID) float64 {
+	for _, p := range rec.TopK {
+		if p.Class == lookup {
+			return float64(p.Confidence)
+		}
+	}
+	return 0
+}
+
+// memberFrames returns the cluster's distinct member frames within the
+// leaf's window, in first-appearance order, with their timestamps.
+func memberFrames(rec *index.ClusterRecord, opts LeafOptions) []frameRef {
+	var out []frameRef
+	seen := make(map[video.FrameID]struct{}, len(rec.Members))
+	for _, m := range rec.Members {
+		if m.TimeSec < opts.StartSec {
+			continue
+		}
+		if opts.EndSec > 0 && m.TimeSec > opts.EndSec {
+			continue
+		}
+		if _, dup := seen[m.Frame]; dup {
+			continue
+		}
+		seen[m.Frame] = struct{}{}
+		out = append(out, frameRef{frame: m.Frame, timeSec: m.TimeSec})
+	}
+	return out
+}
+
+// advance resolves up to step candidates per leaf: clusters whose member
+// frames are all already-True (for this leaf) or dead are skipped without
+// GT cost; the rest are verified as one batch. Leaves run most selective
+// first, and dead-frame knowledge propagates between leaves within the
+// round, so a frame excluded by the cheap leaf spares the expensive
+// leaves' clusters entirely.
+func (s *streamExec) advance(step int) {
+	if s.resolvedAll {
+		return
+	}
+	for _, li := range s.order {
+		le := s.leaves[li]
+		resolved := 0
+		var batch []*index.ClusterRecord
+		var batchIdx []int
+		for i := le.next; i < len(le.cands) && resolved < step; i++ {
+			if le.state[i] != candUnresolved {
+				continue
+			}
+			if s.skippable(li, i) {
+				le.state[i] = candSkipped
+				le.skipped++
+				s.applyResolution(li, i, false)
+				resolved++
+				continue
+			}
+			batch = append(batch, le.cands[i])
+			batchIdx = append(batchIdx, i)
+			resolved++
+		}
+		verdicts := s.verifier.Verify(batch)
+		for j, i := range batchIdx {
+			s.uniqueVerified[le.cands[i].ID] = struct{}{}
+			matched := verdicts[j] == le.spec.class
+			if matched {
+				le.state[i] = candMatched
+				le.matched++
+			} else {
+				le.state[i] = candNotMatched
+			}
+			le.verified++
+			s.applyResolution(li, i, matched)
+		}
+		for le.next < len(le.cands) && le.state[le.next] != candUnresolved {
+			le.next++
+		}
+		// Propagate fresh False verdicts into dead flags before the next
+		// leaf decides what it may skip.
+		s.refreshDead()
+	}
+	s.resolvedAll = true
+	for _, le := range s.leaves {
+		if le.next < len(le.cands) {
+			s.resolvedAll = false
+			break
+		}
+	}
+	s.recompute()
+}
+
+// skippable reports that verifying candidate i of leaf li cannot change
+// the result: every frame it covers is either already True for the leaf
+// (with at least this confidence, since candidates resolve in descending
+// confidence order) or can never satisfy the plan.
+func (s *streamExec) skippable(li, i int) bool {
+	for _, fr := range s.leaves[li].candFrames[i] {
+		fs := s.frames[fr.frame]
+		if fs.dead || fs.status[li] == tvTrue {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// applyResolution updates per-frame leaf truth after candidate i of leaf
+// li resolved (matched, not matched, or skipped).
+func (s *streamExec) applyResolution(li, i int, matched bool) {
+	le := s.leaves[li]
+	for _, fr := range le.candFrames[i] {
+		fs := s.frames[fr.frame]
+		fs.pending[li]--
+		if matched && fs.status[li] != tvTrue {
+			fs.status[li] = tvTrue
+			fs.bestConf[li] = le.confs[i]
+		} else if fs.status[li] == tvUnknown && fs.pending[li] == 0 {
+			fs.status[li] = tvFalse
+		}
+	}
+}
+
+// refreshDead updates only the terminal-False flags (cheap enough to run
+// between leaves within a round).
+func (s *streamExec) refreshDead() {
+	for _, fs := range s.frames {
+		if !fs.dead && !fs.emitted && evalTV(s.eval, fs.status) == tvFalse {
+			fs.dead = true
+		}
+	}
+}
+
+// recompute rebuilds the stream's ready list and score bound from the
+// per-frame truth state. A frame is ready once the plan is True for it and
+// no scoring leaf covering it is still Unknown (its score can no longer
+// grow); the bound is the best score any not-yet-ready frame could still
+// reach, using each leaf's highest unresolved candidate confidence.
+func (s *streamExec) recompute() {
+	s.ready = s.ready[:0]
+	s.readyPos = 0
+	s.bound = -1
+	for f, fs := range s.frames {
+		if fs.emitted || fs.dead {
+			continue
+		}
+		tv := evalTV(s.eval, fs.status)
+		if tv == tvFalse {
+			fs.dead = true
+			continue
+		}
+		score, settled := 0.0, true
+		ub := 0.0
+		for li, le := range s.leaves {
+			if !le.spec.scoring {
+				continue
+			}
+			switch fs.status[li] {
+			case tvTrue:
+				score += fs.bestConf[li]
+				ub += fs.bestConf[li]
+			case tvUnknown:
+				settled = false
+				ub += s.unresolvedConf(fs, li)
+			}
+		}
+		if tv == tvTrue && settled {
+			s.ready = append(s.ready, Item{
+				Stream:  s.name,
+				Frame:   f,
+				TimeSec: fs.timeSec,
+				Segment: video.SegmentOf(fs.timeSec),
+				Score:   score,
+			})
+			continue
+		}
+		if ub > s.bound {
+			s.bound = ub
+		}
+	}
+	sort.Slice(s.ready, func(i, j int) bool { return rankBefore(s.ready[i], s.ready[j]) })
+}
+
+// unresolvedConf returns the highest confidence among leaf li's unresolved
+// candidates covering this frame — the most its score could still gain
+// from that leaf.
+func (s *streamExec) unresolvedConf(fs *frameState, li int) float64 {
+	le := s.leaves[li]
+	list := fs.memberOf[li]
+	for int(fs.nextUB[li]) < len(list) && le.state[list[fs.nextUB[li]]] != candUnresolved {
+		fs.nextUB[li]++
+	}
+	if int(fs.nextUB[li]) < len(list) {
+		return le.confs[list[fs.nextUB[li]]]
+	}
+	return 0
+}
+
+func (s *streamExec) peek() (Item, bool) {
+	if s.readyPos < len(s.ready) {
+		return s.ready[s.readyPos], true
+	}
+	return Item{}, false
+}
+
+func (s *streamExec) pop() {
+	item := s.ready[s.readyPos]
+	s.frames[item.Frame].emitted = true
+	s.readyPos++
+}

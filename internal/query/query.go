@@ -110,34 +110,29 @@ type Result struct {
 	ViaOther bool
 }
 
-// Query answers "find all frames containing class c" (§3).
-func (e *Engine) Query(c vision.ClassID, opts Options) (*Result, error) {
+// Candidates performs the retrieval half of a query (QT1/QT2) without any
+// GT-CNN verification: it looks up the clusters that index class c within
+// the Kx cut, applies the watermark (MaxSealSec), window, and MaxClusters
+// filters, and returns the surviving records in retrieval order — postings
+// rank order, the same order Query examines them in. viaOther reports that
+// the class was not in a specialized ingest model's vocabulary and was
+// routed through the OTHER postings (§4.3).
+//
+// Retrieval touches only the in-memory index, so callers (the compound
+// query planner) use it to estimate a predicate leaf's selectivity before
+// spending any GPU time.
+func (e *Engine) Candidates(c vision.ClassID, opts Options) (cands []*index.ClusterRecord, viaOther bool, err error) {
 	if opts.Kx < 0 || opts.MaxClusters < 0 {
-		return nil, fmt.Errorf("query: negative Kx or MaxClusters")
+		return nil, false, fmt.Errorf("query: negative Kx or MaxClusters")
 	}
-	numGPUs := opts.NumGPUs
-	if numGPUs <= 0 {
-		numGPUs = 1
-	}
-	pool, err := gpu.NewPool(numGPUs)
-	if err != nil {
-		return nil, err
-	}
-
-	res := &Result{Class: c}
 	meta := e.ix.Meta()
-
-	// QT1/QT2: retrieve candidate clusters. A class outside a specialized
-	// ingest model's vocabulary lives in the OTHER postings (§4.3).
 	lookup := c
 	if meta.Specialized && c != vision.ClassOther && !containsClass(meta.SpecialClasses, c) {
 		lookup = vision.ClassOther
-		res.ViaOther = true
+		viaOther = true
 	}
 	recs := e.ix.Lookup(lookup, opts.Kx)
-
-	// Select the clusters to examine, in retrieval order.
-	cands := make([]*index.ClusterRecord, 0, len(recs))
+	cands = make([]*index.ClusterRecord, 0, len(recs))
 	for _, rec := range recs {
 		if opts.MaxClusters > 0 && len(cands) >= opts.MaxClusters {
 			break
@@ -150,25 +145,59 @@ func (e *Engine) Query(c vision.ClassID, opts Options) (*Result, error) {
 		}
 		cands = append(cands, rec)
 	}
-	res.ExaminedClusters = len(cands)
+	return cands, viaOther, nil
+}
 
-	// QT3: GT-CNN on each centroid object, memoized per cluster. Cache
-	// misses are collected and verified as one batch fanned out across
-	// NumGPUs workers — the whole batch is in hand after retrieval, so
-	// there is no reason to verify in arrival order one at a time. Cache
-	// fills, meter charges and simulated-pool submissions then run in
-	// retrieval order, keeping every counter and the makespan bit-identical
-	// to the sequential path.
+// BatchVerifier runs GT-CNN verification over batches of cluster records,
+// accumulating cost across batches: verdicts are memoized in the engine's
+// shared gtCache (an object cluster is never verified twice, §6.7), cache
+// misses within a batch fan out across numGPUs workers, and every miss is
+// submitted to one simulated GPU pool so LatencyMS reports the makespan of
+// all verification this verifier has performed. The compound query planner
+// drives one verifier per stream through many incremental batches; Query
+// uses one for its single batch. Not safe for concurrent use.
+type BatchVerifier struct {
+	e       *Engine
+	pool    *gpu.Pool
+	numGPUs int
+
+	// Inferences counts the GT-CNN invocations actually paid for (cache
+	// hits are free); GPUTimeMS is their total simulated cost.
+	Inferences int
+	GPUTimeMS  float64
+}
+
+// NewBatchVerifier builds a verifier scheduling across numGPUs simulated
+// GPUs (minimum 1).
+func (e *Engine) NewBatchVerifier(numGPUs int) (*BatchVerifier, error) {
+	if numGPUs <= 0 {
+		numGPUs = 1
+	}
+	pool, err := gpu.NewPool(numGPUs)
+	if err != nil {
+		return nil, err
+	}
+	return &BatchVerifier{e: e, pool: pool, numGPUs: numGPUs}, nil
+}
+
+// Verify returns the GT-CNN verdict for each record, in order. Cache misses
+// are verified as one batch fanned out across the verifier's GPU workers —
+// the whole batch is in hand, so there is no reason to verify one at a time.
+// Cache fills, meter charges and simulated-pool submissions then run in
+// input order, keeping every counter and the makespan bit-identical to the
+// sequential path.
+func (v *BatchVerifier) Verify(cands []*index.ClusterRecord) []vision.ClassID {
+	e := v.e
 	verdicts := make([]vision.ClassID, len(cands))
 	misses := make([]int, 0, len(cands))
 	for i, rec := range cands {
-		if v, ok := e.gtCache.get(rec.ID); ok {
-			verdicts[i] = v
+		if verdict, ok := e.gtCache.get(rec.ID); ok {
+			verdicts[i] = verdict
 		} else {
 			misses = append(misses, i)
 		}
 	}
-	workers := parallel.StreamWorkers(len(misses), numGPUs)
+	workers := parallel.StreamWorkers(len(misses), v.numGPUs)
 	parallel.ForEach(workers, workers, func(w int) error {
 		// Strided partition: verification costs are uniform, so stride w
 		// balances the batch across workers without coordination. Each
@@ -191,13 +220,38 @@ func (e *Engine) Query(c vision.ClassID, opts Options) (*Result, error) {
 	})
 	for _, i := range misses {
 		e.gtCache.put(cands[i].ID, verdicts[i])
-		res.GTInferences++
-		res.GPUTimeMS += e.gtCost
-		pool.Submit(e.gtCost)
+		v.Inferences++
+		v.GPUTimeMS += e.gtCost
+		v.pool.Submit(e.gtCost)
 		if e.meter != nil {
 			e.meter.AddQuery(e.gtCost)
 		}
 	}
+	return verdicts
+}
+
+// LatencyMS is the simulated makespan of all verification performed so far:
+// the query latency across the verifier's GPUs.
+func (v *BatchVerifier) LatencyMS() float64 { return v.pool.MakespanMS() }
+
+// Query answers "find all frames containing class c" (§3).
+func (e *Engine) Query(c vision.ClassID, opts Options) (*Result, error) {
+	// QT1/QT2: retrieve candidate clusters. A class outside a specialized
+	// ingest model's vocabulary lives in the OTHER postings (§4.3).
+	cands, viaOther, err := e.Candidates(c, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Class: c, ViaOther: viaOther, ExaminedClusters: len(cands)}
+
+	// QT3: GT-CNN on each centroid object, memoized per cluster.
+	verifier, err := e.NewBatchVerifier(opts.NumGPUs)
+	if err != nil {
+		return nil, err
+	}
+	verdicts := verifier.Verify(cands)
+	res.GTInferences = verifier.Inferences
+	res.GPUTimeMS = verifier.GPUTimeMS
 
 	// QT4: the frames of every cluster whose centroid matched.
 	frameSet := make(map[video.FrameID]struct{})
@@ -215,7 +269,7 @@ func (e *Engine) Query(c vision.ClassID, opts Options) (*Result, error) {
 			segSet[video.SegmentOf(m.TimeSec)] = struct{}{}
 		}
 	}
-	res.LatencyMS = pool.MakespanMS()
+	res.LatencyMS = verifier.LatencyMS()
 
 	res.Frames = make([]video.FrameID, 0, len(frameSet))
 	for f := range frameSet {

@@ -66,6 +66,39 @@ func TestMaxSealSecFiltersByWatermark(t *testing.T) {
 	}
 }
 
+// TestCandidatesMatchSealSemantics pins the MaxSealSec contract on the
+// retrieval-only path compound-plan leaves execute through: Candidates must
+// apply exactly the filters Query applies — positive pins the horizon, zero
+// is unbounded, negative matches nothing (the horizon before any watermark
+// was published) — so a plan leaf at any watermark retrieves precisely the
+// clusters the equivalent single-class query would examine.
+func TestCandidatesMatchSealSemantics(t *testing.T) {
+	ix, gtFn := buildSealedIndex(t, []float64{5, 10, 15})
+	e := newEngine(t, ix, gtFn, nil)
+	for _, maxSeal := range []float64{0, -1, -100, 4.9, 5, 10, 12, 15, 100} {
+		opts := query.Options{MaxSealSec: maxSeal}
+		cands, viaOther, err := e.Candidates(0, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if viaOther {
+			t.Errorf("MaxSealSec=%v: unexpected viaOther", maxSeal)
+		}
+		res, err := e.Query(0, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cands) != res.ExaminedClusters {
+			t.Errorf("MaxSealSec=%v: Candidates %d, Query examined %d — leaf retrieval diverges",
+				maxSeal, len(cands), res.ExaminedClusters)
+		}
+		if maxSeal < 0 && len(cands) != 0 {
+			t.Errorf("MaxSealSec=%v: %d candidates, want 0 (negative watermark matches nothing)",
+				maxSeal, len(cands))
+		}
+	}
+}
+
 // TestMaxSealSecComposesWithOtherOptions: the watermark filter applies
 // before the MaxClusters cap, like the time-window filter.
 func TestMaxSealSecComposesWithOtherOptions(t *testing.T) {

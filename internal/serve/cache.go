@@ -6,13 +6,14 @@ import (
 	"sync"
 )
 
-// resultCache is a sharded LRU over fully rendered query responses, keyed by
-// (class, query options, watermark vector). Because a query at a fixed
-// watermark vector is a pure function of its key (see query.Options
-// MaxSealSec), entries never go stale in place: advancing a watermark
-// changes the key of subsequent lookups, and the orphaned entries age out of
-// the LRU. Sharding keeps the hot popular-query path from serializing all
-// clients behind one mutex.
+// resultCache is a sharded LRU over fully rendered responses — single-class
+// query responses keyed by (class, query options, watermark vector) and
+// compound-plan responses keyed by (canonical plan, plan options, watermark
+// vector). Because an execution at a fixed watermark vector is a pure
+// function of its key (see query.Options MaxSealSec), entries never go
+// stale in place: advancing a watermark changes the key of subsequent
+// lookups, and the orphaned entries age out of the LRU. Sharding keeps the
+// hot popular-query path from serializing all clients behind one mutex.
 type resultCache struct {
 	shards []cacheShard
 }
@@ -26,7 +27,7 @@ type cacheShard struct {
 
 type cacheEntry struct {
 	key  string
-	resp *QueryResponse
+	resp any
 }
 
 // newResultCache builds a cache holding about `capacity` responses across
@@ -55,7 +56,7 @@ func (c *resultCache) shard(key string) *cacheShard {
 }
 
 // get returns the cached response for key, refreshing its recency.
-func (c *resultCache) get(key string) (*QueryResponse, bool) {
+func (c *resultCache) get(key string) (any, bool) {
 	sh := c.shard(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -69,7 +70,7 @@ func (c *resultCache) get(key string) (*QueryResponse, bool) {
 
 // put inserts (or refreshes) a response, evicting the least recently used
 // entry of the shard when full. Callers must never mutate resp afterwards.
-func (c *resultCache) put(key string, resp *QueryResponse) {
+func (c *resultCache) put(key string, resp any) {
 	sh := c.shard(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()

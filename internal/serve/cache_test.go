@@ -33,7 +33,7 @@ func TestResultCachePutRefreshesExisting(t *testing.T) {
 	c.put("k", &QueryResponse{TotalFrames: 1})
 	c.put("k", &QueryResponse{TotalFrames: 2})
 	got, ok := c.get("k")
-	if !ok || got.TotalFrames != 2 {
+	if !ok || got.(*QueryResponse).TotalFrames != 2 {
 		t.Fatalf("got %+v ok=%v, want TotalFrames=2", got, ok)
 	}
 }

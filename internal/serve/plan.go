@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"focus"
+)
+
+// PlanRequest is the POST /plan body: a compound boolean predicate over
+// class names, executed across the selected streams at the watermark
+// vector snapshotted at admission.
+type PlanRequest struct {
+	// Expr is the predicate, e.g. "car & person & !bus".
+	Expr string `json:"expr"`
+	// Streams restricts the plan; empty = all registered streams.
+	Streams []string `json:"streams,omitempty"`
+	// TopK caps the ranked result; 0 returns every matching frame.
+	TopK int `json:"top_k,omitempty"`
+	// Kx / Start / End / MaxClusters apply to every predicate leaf, with
+	// the same semantics as the /query parameters.
+	Kx          int     `json:"kx,omitempty"`
+	Start       float64 `json:"start,omitempty"`
+	End         float64 `json:"end,omitempty"`
+	MaxClusters int     `json:"max_clusters,omitempty"`
+	// Limit/Offset page the ranked items of the (cached) execution:
+	// they slice the response without affecting what executes or how it
+	// is cached, so all pages of one vector share one execution.
+	Limit  int `json:"limit,omitempty"`
+	Offset int `json:"offset,omitempty"`
+	// AtWatermarks pins the execution to an explicit per-stream watermark
+	// vector instead of the one snapshotted at admission. Pass the
+	// Watermarks map echoed by an earlier response to keep offset-based
+	// pages coherent while background ingest advances: every page then
+	// reads the same pinned (and cached) execution. Streams missing from
+	// the map are snapshotted as usual.
+	AtWatermarks map[string]float64 `json:"at_watermarks,omitempty"`
+}
+
+// PlanItem is one ranked result of a /plan response.
+type PlanItem struct {
+	Stream  string  `json:"stream"`
+	Frame   int64   `json:"frame"`
+	TimeSec float64 `json:"time_sec"`
+	Segment int64   `json:"segment"`
+	Score   float64 `json:"score"`
+}
+
+// PlanResponse is the /plan payload. TotalItems counts the full execution's
+// items; Items carries the Limit/Offset page of them (everything when no
+// Limit was given). Cached responses report the original execution's cost.
+// The executed parameters (canonical Expr, TopK, leaf options, watermark
+// vector) are echoed back so a verifier can replay the exact execution.
+type PlanResponse struct {
+	// Expr is the canonical form of the executed predicate — the form the
+	// result cache keys on.
+	Expr         string             `json:"expr"`
+	Items        []PlanItem         `json:"items"`
+	TotalItems   int                `json:"total_items"`
+	Watermarks   map[string]float64 `json:"watermarks"`
+	TopK         int                `json:"top_k,omitempty"`
+	Kx           int                `json:"kx,omitempty"`
+	Start        float64            `json:"start,omitempty"`
+	End          float64            `json:"end,omitempty"`
+	MaxClusters  int                `json:"max_clusters,omitempty"`
+	GTInferences int                `json:"gt_inferences"`
+	GPUTimeMS    float64            `json:"gpu_time_ms"`
+	LatencyMS    float64            `json:"latency_ms"`
+	Cached       bool               `json:"cached"`
+}
+
+// planCacheKey renders the canonical key of a plan execution pinned to a
+// watermark vector. The canonical predicate (not the request text) keys the
+// entry, so "car&person" and " car & person " collide; Limit/Offset are
+// deliberately absent — paging shares the cached execution.
+func planCacheKey(canonical string, req *PlanRequest, names []string, vector map[string]float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan|%s|k=%d&kx=%d&s=%g&e=%g&m=%d", canonical, req.TopK,
+		req.Kx, req.Start, req.End, req.MaxClusters)
+	for _, n := range names {
+		fmt.Fprintf(&b, "|%s@%g", n, vector[n])
+	}
+	return b.String()
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "not ready"})
+		return
+	}
+	if r.Method != http.MethodPost {
+		s.clientErrs.Add(1)
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST a JSON body to /plan"})
+		return
+	}
+	var req PlanRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.clientErrs.Add(1)
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad /plan body: " + err.Error()})
+		return
+	}
+	if req.Expr == "" {
+		s.clientErrs.Add(1)
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "missing required field: expr"})
+		return
+	}
+	if req.TopK < 0 || req.Kx < 0 || req.MaxClusters < 0 || req.Limit < 0 || req.Offset < 0 ||
+		req.Start < 0 || req.End < 0 {
+		s.clientErrs.Add(1)
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "negative plan parameter"})
+		return
+	}
+	// Compile before admission: a syntax error or unknown class must not
+	// consume a query slot. The canonical form is the cache-key component.
+	compiled, err := s.sys.CompilePlan(req.Expr)
+	if err != nil {
+		s.clientErrs.Add(1)
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	if !s.limiter.Acquire() {
+		s.rejected.Add(1)
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: "overloaded: query queue is full"})
+		return
+	}
+	defer s.limiter.Release()
+	s.planQueries.Add(1)
+
+	// Snapshot the watermark vector at admission, exactly like /query —
+	// unless the request pins streams explicitly (paging across a live
+	// service passes the echoed Watermarks back for coherent pages).
+	names, vector, err := s.resolveVector(normalizeStreams(req.Streams), req.AtWatermarks)
+	if err != nil {
+		s.clientErrs.Add(1)
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+
+	key := planCacheKey(compiled.Canonical(), &req, names, vector)
+	if v, ok := s.cache.get(key); ok {
+		s.cacheHits.Add(1)
+		hit := *(v.(*PlanResponse)) // shallow copy: Cached flag and page differ
+		hit.Cached = true
+		hit.Items = pageItems(hit.Items, req.Limit, req.Offset)
+		w.Header().Set("X-Focus-Cache", "hit")
+		writeJSON(w, http.StatusOK, &hit)
+		return
+	}
+
+	res, err := s.sys.ExecutePlan(compiled, focus.PlanOptions{
+		Streams: names,
+		TopK:    req.TopK,
+		Leaf: focus.QueryOptions{
+			Kx:          req.Kx,
+			StartSec:    req.Start,
+			EndSec:      req.End,
+			MaxClusters: req.MaxClusters,
+		},
+		AtWatermarks: vector,
+	})
+	if err != nil {
+		s.serverErrs.Add(1)
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		return
+	}
+	resp := buildPlanResponse(compiled.Canonical(), &req, res, vector)
+	s.cache.put(key, resp)
+	s.cacheMisses.Add(1)
+	out := *resp
+	out.Items = pageItems(out.Items, req.Limit, req.Offset)
+	w.Header().Set("X-Focus-Cache", "miss")
+	writeJSON(w, http.StatusOK, &out)
+}
+
+func buildPlanResponse(canonical string, req *PlanRequest, res *focus.PlanResult, vector map[string]float64) *PlanResponse {
+	resp := &PlanResponse{
+		Expr:         canonical,
+		Items:        make([]PlanItem, len(res.Items)),
+		TotalItems:   len(res.Items),
+		Watermarks:   vector,
+		TopK:         req.TopK,
+		Kx:           req.Kx,
+		Start:        req.Start,
+		End:          req.End,
+		MaxClusters:  req.MaxClusters,
+		GTInferences: res.Stats.GTInferences,
+		GPUTimeMS:    res.Stats.GPUTimeMS,
+		LatencyMS:    res.Stats.LatencyMS,
+	}
+	for i, it := range res.Items {
+		resp.Items[i] = PlanItem{
+			Stream:  it.Stream,
+			Frame:   int64(it.Frame),
+			TimeSec: it.TimeSec,
+			Segment: int64(it.Segment),
+			Score:   it.Score,
+		}
+	}
+	return resp
+}
+
+// pageItems slices the ranked items to the requested page; limit 0 means
+// everything from offset on. Always returns a non-nil slice so a
+// past-the-end page serializes as "items": [], not null — the natural
+// "request pages until items is empty" client loop must end cleanly.
+func pageItems(items []PlanItem, limit, offset int) []PlanItem {
+	if offset >= len(items) {
+		return []PlanItem{}
+	}
+	items = items[offset:]
+	if limit > 0 && limit < len(items) {
+		items = items[:limit]
+	}
+	return items
+}

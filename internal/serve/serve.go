@@ -11,10 +11,16 @@
 //     and their answers are pure functions of (class, options, vector).
 //   - A sharded LRU result cache keyed by exactly that tuple: repeated
 //     popular queries are served without any GT-CNN work, and entries
-//     self-invalidate as watermarks advance (the key changes).
+//     self-invalidate as watermarks advance (the key changes). Compound
+//     /plan queries extend the same key scheme with the plan's canonical
+//     predicate form.
 //   - Admission control via a bounded worker pool with a bounded wait queue
 //     (parallel.Limiter): overload degrades into immediate HTTP 429s rather
 //     than unbounded queueing and latency collapse.
+//
+// Endpoints: GET /query (single class), POST /plan (compound boolean
+// predicate, confidence-ranked, pageable via limit/offset), GET /streams,
+// GET /stats, GET /healthz.
 package serve
 
 import (
@@ -147,6 +153,7 @@ type Server struct {
 
 	// counters
 	queries     atomic.Int64
+	planQueries atomic.Int64
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 	rejected    atomic.Int64
@@ -168,6 +175,7 @@ func New(sys *focus.System, cfg Config) *Server {
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/plan", s.handlePlan)
 	s.mux.HandleFunc("/streams", s.handleStreams)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -292,16 +300,7 @@ func parseQueryParams(r *http.Request) (*queryParams, error) {
 		return nil, fmt.Errorf("missing required parameter: class")
 	}
 	if v := q.Get("streams"); v != "" {
-		// Sorted and deduplicated: a repeated name would otherwise query the
-		// stream twice and double-count the aggregate totals.
-		seen := make(map[string]bool)
-		for _, name := range strings.Split(v, ",") {
-			if name = strings.TrimSpace(name); name != "" && !seen[name] {
-				seen[name] = true
-				p.streams = append(p.streams, name)
-			}
-		}
-		sort.Strings(p.streams)
+		p.streams = normalizeStreams(strings.Split(v, ","))
 	}
 	var err error
 	intParam := func(name string) int {
@@ -334,6 +333,51 @@ func parseQueryParams(r *http.Request) (*queryParams, error) {
 		return nil, err
 	}
 	return p, nil
+}
+
+// resolveVector resolves a request's target streams (empty = every
+// registered stream) and the watermark vector the execution is pinned to:
+// each stream's watermark is snapshotted at admission unless the caller
+// pinned it explicitly through `pinned` (/plan paging does this to keep
+// offset pages coherent while ingest advances). Shared by /query and
+// /plan so the two endpoints can never diverge on snapshot semantics.
+func (s *Server) resolveVector(names []string, pinned map[string]float64) ([]string, map[string]float64, error) {
+	if len(names) == 0 {
+		for _, sess := range s.sys.Sessions() {
+			names = append(names, sess.Name())
+		}
+	}
+	vector := make(map[string]float64, len(names))
+	for _, n := range names {
+		sess := s.sys.Session(n)
+		if sess == nil {
+			return nil, nil, fmt.Errorf("unknown stream %q", n)
+		}
+		if at, ok := pinned[n]; ok {
+			vector[n] = at
+		} else {
+			vector[n] = sess.Watermark()
+		}
+	}
+	return names, vector, nil
+}
+
+// normalizeStreams trims, deduplicates and sorts a requested stream-name
+// list — the one canonical form /query and /plan both use. Deduplication
+// matters for correctness (a repeated name would execute the stream twice
+// and double-count aggregates); sorting matters for the cache (equivalent
+// requests must render the same key).
+func normalizeStreams(names []string) []string {
+	seen := make(map[string]bool, len(names))
+	var out []string
+	for _, name := range names {
+		if name = strings.TrimSpace(name); name != "" && !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // cacheKey renders the canonical key of a query pinned to a watermark
@@ -370,27 +414,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Resolve target streams and snapshot their watermarks: the consistent
 	// horizon this query is pinned to, however far ingest advances while it
 	// runs.
-	names := p.streams
-	if len(names) == 0 {
-		for _, sess := range s.sys.Sessions() {
-			names = append(names, sess.Name())
-		}
-	}
-	vector := make(map[string]float64, len(names))
-	for _, n := range names {
-		sess := s.sys.Session(n)
-		if sess == nil {
-			s.clientErrs.Add(1)
-			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("unknown stream %q", n)})
-			return
-		}
-		vector[n] = sess.Watermark()
+	names, vector, err := s.resolveVector(p.streams, nil)
+	if err != nil {
+		s.clientErrs.Add(1)
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
 	}
 
 	key := cacheKey(p, names, vector)
-	if resp, ok := s.cache.get(key); ok {
+	if v, ok := s.cache.get(key); ok {
 		s.cacheHits.Add(1)
-		hit := *resp // shallow copy: only the Cached flag differs
+		hit := *(v.(*QueryResponse)) // shallow copy: only the Cached flag differs
 		hit.Cached = true
 		w.Header().Set("X-Focus-Cache", "hit")
 		writeJSON(w, http.StatusOK, &hit)
@@ -507,6 +541,7 @@ type Stats struct {
 	UptimeSec    float64            `json:"uptime_sec"`
 	Ready        bool               `json:"ready"`
 	Queries      int64              `json:"queries"`
+	PlanQueries  int64              `json:"plan_queries"`
 	CacheHits    int64              `json:"cache_hits"`
 	CacheMisses  int64              `json:"cache_misses"`
 	CacheEntries int                `json:"cache_entries"`
@@ -529,6 +564,7 @@ func (s *Server) Snapshot() Stats {
 		UptimeSec:    time.Since(s.started).Seconds(),
 		Ready:        s.ready.Load(),
 		Queries:      s.queries.Load(),
+		PlanQueries:  s.planQueries.Load(),
 		CacheHits:    s.cacheHits.Load(),
 		CacheMisses:  s.cacheMisses.Load(),
 		CacheEntries: s.cache.len(),

@@ -1,0 +1,207 @@
+package focus
+
+import (
+	"fmt"
+
+	"focus/internal/plan"
+)
+
+// Compound (multi-class boolean) queries: the plan layer composes the
+// single-class primitives into predicates like "car & person & !bus",
+// executed across streams with the same watermark-pinning contract as
+// Query. See internal/plan for the execution model.
+
+// PlanOptions tune one compound-query execution.
+type PlanOptions struct {
+	// Streams restricts the plan to these stream names; empty = every
+	// ingested stream.
+	Streams []string
+	// TopK caps the ranked result; 0 returns every matching frame.
+	TopK int
+	// Leaf applies to every predicate leaf that does not carry its own
+	// options: Kx, StartSec/EndSec and MaxClusters have query.Options
+	// semantics. (AtSec inside Leaf is ignored; watermarks come from AtSec
+	// / AtWatermarks below.)
+	Leaf QueryOptions
+	// AtSec, when positive, pins every stream to that ingest watermark;
+	// zero queries everything indexed so far; negative pins to the empty
+	// horizon. Same semantics as QueryOptions.AtSec.
+	AtSec float64
+	// AtWatermarks pins individual streams, overriding AtSec, exactly like
+	// Query.AtWatermarks — the serve layer passes the vector it snapshotted
+	// at admission.
+	AtWatermarks map[string]float64
+	// StepClusters is the per-leaf cluster budget each paging refinement
+	// round adds (0 = default).
+	StepClusters int
+	// Workers bounds the cross-stream fan-out; 0 = one worker per stream,
+	// 1 = the sequential reference. Results are bit-identical either way.
+	Workers int
+}
+
+// PlanItem is one ranked compound-query result.
+type PlanItem = plan.Item
+
+// PlanResult is a completed compound-query execution.
+type PlanResult = plan.Result
+
+// PlanCursor pages through a compound query's ranked results.
+type PlanCursor = plan.Cursor
+
+// Re-exported AST types so applications can build plans with per-leaf
+// options (which the text syntax cannot spell) from the root package:
+//
+//	sys.CompilePlanExpr(&focus.PlanAnd{Children: []focus.PlanExpr{
+//	    &focus.PlanLeaf{Class: "car", Opts: focus.PlanLeafOptions{EndSec: 120}},
+//	    &focus.PlanNot{Child: &focus.PlanLeaf{Class: "bus"}},
+//	}})
+type (
+	// PlanExpr is a predicate AST node (leaf, and, or, not).
+	PlanExpr = plan.Expr
+	// PlanLeaf is one single-class predicate with optional leaf options.
+	PlanLeaf = plan.Leaf
+	// PlanAnd is a conjunction of predicates.
+	PlanAnd = plan.And
+	// PlanOr is a disjunction of predicates.
+	PlanOr = plan.Or
+	// PlanNot negates a predicate.
+	PlanNot = plan.Not
+	// PlanLeafOptions are per-leaf retrieval knobs (Kx, window, budget).
+	PlanLeafOptions = plan.LeafOptions
+)
+
+// CompilePlan parses and compiles a predicate expression ("car & person &
+// !bus") against this system's class space.
+func (s *System) CompilePlan(expr string) (*plan.Plan, error) {
+	ast, err := plan.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Compile(ast, s.ClassID)
+}
+
+// CompilePlanExpr compiles a caller-built AST (the way to attach per-leaf
+// windows or budgets, which the text syntax cannot spell).
+func (s *System) CompilePlanExpr(e plan.Expr) (*plan.Plan, error) {
+	return plan.Compile(e, s.ClassID)
+}
+
+// planTargets resolves the streams and watermark vector a plan executes
+// against, mirroring Query's per-stream pinning.
+func (s *System) planTargets(opts PlanOptions) ([]plan.Target, error) {
+	names := opts.Streams
+	if len(names) == 0 {
+		for _, sess := range s.Sessions() {
+			if sess.queryEngine() != nil {
+				names = append(names, sess.Name())
+			}
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("focus: no ingested streams to query")
+	}
+	seen := make(map[string]bool, len(names))
+	targets := make([]plan.Target, len(names))
+	for i, name := range names {
+		if seen[name] {
+			// A duplicate would execute the stream twice and emit every
+			// matching frame twice into the merged ranking.
+			return nil, fmt.Errorf("focus: stream %q listed twice in plan streams", name)
+		}
+		seen[name] = true
+		sess := s.Session(name)
+		if sess == nil {
+			return nil, fmt.Errorf("focus: unknown stream %q", name)
+		}
+		engine := sess.queryEngine()
+		if engine == nil {
+			return nil, fmt.Errorf("focus: stream %q has not been ingested", name)
+		}
+		at := opts.AtSec
+		if v, ok := opts.AtWatermarks[name]; ok {
+			at = v
+			if at <= 0 {
+				// Watermark 0 means nothing is sealed yet: pin to the empty
+				// horizon instead of falling back to "unbounded".
+				at = -1
+			}
+		}
+		targets[i] = plan.Target{
+			Stream:    name,
+			Engine:    engine,
+			Watermark: at,
+			NumGPUs:   s.cfg.NumGPUs,
+		}
+	}
+	return targets, nil
+}
+
+func (s *System) planExecOptions(opts PlanOptions) plan.Options {
+	return plan.Options{
+		TopK: opts.TopK,
+		DefaultLeaf: plan.LeafOptions{
+			Kx:          opts.Leaf.Kx,
+			StartSec:    opts.Leaf.StartSec,
+			EndSec:      opts.Leaf.EndSec,
+			MaxClusters: opts.Leaf.MaxClusters,
+		},
+		StepClusters: opts.StepClusters,
+		Workers:      opts.Workers,
+	}
+}
+
+// ExecutePlan runs a compiled plan to completion (or to TopK) across the
+// selected streams and returns the confidence-ranked result. At a fixed
+// watermark vector the answer is a pure function of (plan, options,
+// vector), so it can be cached exactly like a single-class query.
+func (s *System) ExecutePlan(p *plan.Plan, opts PlanOptions) (*PlanResult, error) {
+	targets, err := s.planTargets(opts)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Execute(p, targets, s.planExecOptions(opts))
+}
+
+// NewPlanCursor starts a paged execution of a compiled plan: Next(n)
+// returns the next n items of the final ranking, extending the per-leaf
+// cluster budgets only as far as each page needs. Pages concatenate to
+// exactly what ExecutePlan returns for the same options and watermark
+// vector.
+func (s *System) NewPlanCursor(p *plan.Plan, opts PlanOptions) (*PlanCursor, error) {
+	targets, err := s.planTargets(opts)
+	if err != nil {
+		return nil, err
+	}
+	return plan.NewCursor(p, targets, s.planExecOptions(opts))
+}
+
+// PlanQuery compiles and executes a predicate expression in one call:
+// sys.PlanQuery("car & person & !bus", focus.PlanOptions{TopK: 10}).
+func (s *System) PlanQuery(expr string, opts PlanOptions) (*PlanResult, error) {
+	p, err := s.CompilePlan(expr)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecutePlan(p, opts)
+}
+
+// PlanCursor compiles a predicate expression and starts a paged execution.
+func (s *System) PlanCursor(expr string, opts PlanOptions) (*PlanCursor, error) {
+	p, err := s.CompilePlan(expr)
+	if err != nil {
+		return nil, err
+	}
+	return s.NewPlanCursor(p, opts)
+}
+
+// PlanQuery runs a compound query against this stream only.
+func (sess *Session) PlanQuery(expr string, opts PlanOptions) (*PlanResult, error) {
+	opts.Streams = []string{sess.Name()}
+	return sess.sys.PlanQuery(expr, opts)
+}
+
+// PlanCursor starts a paged compound query against this stream only.
+func (sess *Session) PlanCursor(expr string, opts PlanOptions) (*PlanCursor, error) {
+	opts.Streams = []string{sess.Name()}
+	return sess.sys.PlanCursor(expr, opts)
+}

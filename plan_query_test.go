@@ -1,0 +1,424 @@
+package focus
+
+import (
+	"sync"
+	"testing"
+
+	"focus/internal/video"
+)
+
+// planTestWindow keeps compound-query integration tests fast; the trimmed
+// liveTuneOptions sweep is reused for the same reason.
+var planTestWindow = GenOptions{DurationSec: 45, SampleEvery: 1}
+
+// newPlanSystem builds and ingests a fresh system over the given streams —
+// for tests that need cold GT-verdict caches and meters.
+func newPlanSystem(t testing.TB, streams ...string) *System {
+	t.Helper()
+	sys := newTestSystem(t, liveTestConfig())
+	for _, name := range streams {
+		if _, err := sys.AddTable1Stream(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.IngestAll(planTestWindow); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// The shared 4-stream system most plan tests query: ingesting it once
+// amortizes the dominant cost (tune + ingest) across the suite. Queries
+// never mutate it beyond warming the GT-verdict cache, which changes costs
+// but never answers; tests that assert on cost use newPlanSystem instead.
+var (
+	planSharedOnce sync.Once
+	planShared     *System
+	planSharedErr  error
+)
+
+var planSharedStreams = []string{"auburn_c", "bend", "city_a_d", "jacksonh"}
+
+func sharedPlanSystem(t testing.TB) *System {
+	t.Helper()
+	planSharedOnce.Do(func() {
+		sys, err := New(liveTestConfig())
+		if err != nil {
+			planSharedErr = err
+			return
+		}
+		for _, name := range planSharedStreams {
+			if _, err := sys.AddTable1Stream(name); err != nil {
+				planSharedErr = err
+				return
+			}
+		}
+		if err := sys.IngestAll(planTestWindow); err != nil {
+			planSharedErr = err
+			return
+		}
+		planShared = sys
+	})
+	if planSharedErr != nil {
+		t.Fatal(planSharedErr)
+	}
+	return planShared
+}
+
+// frameSet collects one stream's single-class answer as a set.
+func frameSet(t testing.TB, sys *System, stream, class string) map[video.FrameID]bool {
+	t.Helper()
+	id, err := sys.ClassID(class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Session(stream).QueryClass(id, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[video.FrameID]bool, len(res.Frames))
+	for _, f := range res.Frames {
+		out[f] = true
+	}
+	return out
+}
+
+// itemsByStream groups plan items per stream as frame sets.
+func itemsByStream(items []PlanItem) map[string]map[video.FrameID]bool {
+	out := make(map[string]map[video.FrameID]bool)
+	for _, it := range items {
+		if out[it.Stream] == nil {
+			out[it.Stream] = make(map[video.FrameID]bool)
+		}
+		out[it.Stream][it.Frame] = true
+	}
+	return out
+}
+
+// TestPlanMatchesSetAlgebra pins the compound semantics to the composable
+// single-class reference: "car & person & !bus" must return exactly
+// frames(car) ∩ frames(person) − frames(bus), per stream, and
+// "(car | bus) & person" exactly (frames(car) ∪ frames(bus)) ∩
+// frames(person).
+func TestPlanMatchesSetAlgebra(t *testing.T) {
+	streams := []string{"auburn_c", "jacksonh"}
+	sys := sharedPlanSystem(t)
+
+	type want func(car, person, bus map[video.FrameID]bool, f video.FrameID) bool
+	cases := []struct {
+		expr string
+		want want
+	}{
+		{"car & person & !bus", func(car, person, bus map[video.FrameID]bool, f video.FrameID) bool {
+			return car[f] && person[f] && !bus[f]
+		}},
+		{"(car | bus) & person", func(car, person, bus map[video.FrameID]bool, f video.FrameID) bool {
+			return (car[f] || bus[f]) && person[f]
+		}},
+	}
+	for _, tc := range cases {
+		res, err := sys.PlanQuery(tc.expr, PlanOptions{Streams: streams})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.expr, err)
+		}
+		got := itemsByStream(res.Items)
+		for _, stream := range streams {
+			car := frameSet(t, sys, stream, "car")
+			person := frameSet(t, sys, stream, "person")
+			bus := frameSet(t, sys, stream, "bus")
+			universe := make(map[video.FrameID]bool)
+			for f := range car {
+				universe[f] = true
+			}
+			for f := range person {
+				universe[f] = true
+			}
+			for f := range bus {
+				universe[f] = true
+			}
+			wantN := 0
+			for f := range universe {
+				if tc.want(car, person, bus, f) {
+					wantN++
+					if !got[stream][f] {
+						t.Errorf("%s on %s: frame %d missing from plan result", tc.expr, stream, f)
+					}
+				} else if got[stream][f] {
+					t.Errorf("%s on %s: frame %d should not match", tc.expr, stream, f)
+				}
+			}
+			if gotN := len(got[stream]); gotN != wantN {
+				t.Errorf("%s on %s: %d frames, want %d", tc.expr, stream, gotN, wantN)
+			}
+		}
+		// Ranking: scores non-increasing, ties broken by (stream, frame).
+		for i := 1; i < len(res.Items); i++ {
+			a, b := res.Items[i-1], res.Items[i]
+			if b.Score > a.Score || (b.Score == a.Score &&
+				(b.Stream < a.Stream || (b.Stream == a.Stream && b.Frame < a.Frame))) {
+				t.Errorf("%s: items %d/%d out of rank order: %+v then %+v", tc.expr, i-1, i, a, b)
+			}
+		}
+	}
+}
+
+// TestPlanPagedEqualsOneShot is the paging contract over a 4-stream system:
+// a compound plan paged with Next(n) — any n, including across TopK — must
+// emit exactly the one-shot ranking at the same watermark vector, item for
+// item, and likewise with the sequential cross-stream reference (Workers=1).
+func TestPlanPagedEqualsOneShot(t *testing.T) {
+	sys := sharedPlanSystem(t)
+
+	const expr = "car & person & !bus"
+	for _, topK := range []int{10, 0} {
+		oneShot, err := sys.PlanQuery(expr, PlanOptions{TopK: topK})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := sys.PlanQuery(expr, PlanOptions{TopK: topK, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seq.Items) != len(oneShot.Items) {
+			t.Fatalf("TopK=%d: sequential fan-out returned %d items, parallel %d",
+				topK, len(seq.Items), len(oneShot.Items))
+		}
+		for i := range seq.Items {
+			if seq.Items[i] != oneShot.Items[i] {
+				t.Fatalf("TopK=%d item %d: sequential %+v != parallel %+v",
+					topK, i, seq.Items[i], oneShot.Items[i])
+			}
+		}
+		for _, pageSize := range []int{1, 3, 7} {
+			cur, err := sys.PlanCursor(expr, PlanOptions{TopK: topK, StepClusters: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var paged []PlanItem
+			for !cur.Done() {
+				page, err := cur.Next(pageSize)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(page) == 0 && !cur.Done() {
+					t.Fatal("empty page before exhaustion")
+				}
+				paged = append(paged, page...)
+			}
+			if len(paged) != len(oneShot.Items) {
+				t.Fatalf("TopK=%d pageSize=%d: paged %d items, one-shot %d",
+					topK, pageSize, len(paged), len(oneShot.Items))
+			}
+			for i := range paged {
+				if paged[i] != oneShot.Items[i] {
+					t.Fatalf("TopK=%d pageSize=%d item %d: paged %+v != one-shot %+v",
+						topK, pageSize, i, paged[i], oneShot.Items[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPlanVerificationDeduped is the cost contract: however many predicate
+// leaves mention a cluster, the GT-CNN runs at most once per cluster — the
+// GPU meter's query-op delta must equal the plan's paid inferences and the
+// count of distinct clusters verified, and re-running the plan must cost
+// zero new GPU operations (§6.7 carried over to compound queries).
+func TestPlanVerificationDeduped(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs a freshly ingested system (cold verdict cache); nightly runs it")
+	}
+	sys := newPlanSystem(t, "auburn_c", "jacksonh")
+
+	before := sys.GPUMeter()
+	res, err := sys.PlanQuery("car & person & !bus", PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := sys.GPUMeter()
+
+	unique, perLeafVerified := 0, 0
+	for _, ss := range res.Stats.PerStream {
+		unique += ss.VerifiedClusters
+		for _, ls := range ss.Leaves {
+			perLeafVerified += ls.Verified
+		}
+	}
+	delta := after.QueryOps - before.QueryOps
+	if delta != int64(res.Stats.GTInferences) {
+		t.Errorf("meter query ops delta %d != plan GTInferences %d", delta, res.Stats.GTInferences)
+	}
+	if delta != int64(unique) {
+		t.Errorf("meter query ops delta %d != distinct verified clusters %d: some object was verified twice", delta, unique)
+	}
+	if perLeafVerified <= unique {
+		t.Errorf("per-leaf verified total %d not greater than distinct %d: leaves did not overlap, dedup untested", perLeafVerified, unique)
+	}
+
+	// Second execution: identical answer, zero new GT-CNN work.
+	again, err := sys.PlanQuery("car & person & !bus", PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.GPUMeter().QueryOps != after.QueryOps {
+		t.Errorf("re-running the plan paid %d new GPU ops, want 0",
+			sys.GPUMeter().QueryOps-after.QueryOps)
+	}
+	if len(again.Items) != len(res.Items) {
+		t.Fatalf("re-run returned %d items, first run %d", len(again.Items), len(res.Items))
+	}
+	for i := range again.Items {
+		if again.Items[i] != res.Items[i] {
+			t.Fatalf("re-run item %d: %+v != %+v", i, again.Items[i], res.Items[i])
+		}
+	}
+}
+
+// TestPlanUnanchoredRejected: predicates whose matches are not bounded by
+// any positive leaf must be rejected at compile time.
+func TestPlanUnanchoredRejected(t *testing.T) {
+	sys := newTestSystem(t, liveTestConfig())
+	for _, expr := range []string{"!bus", "car | !bus", "!(car & bus)"} {
+		if _, err := sys.CompilePlan(expr); err == nil {
+			t.Errorf("unanchored plan %q accepted", expr)
+		}
+	}
+	for _, expr := range []string{"car", "car & !bus", "!(!car)", "truck & !(car | bus)"} {
+		if _, err := sys.CompilePlan(expr); err != nil {
+			t.Errorf("anchored plan %q rejected: %v", expr, err)
+		}
+	}
+}
+
+// TestPlanDuplicateStreamRejected: a repeated stream name would emit every
+// matching frame twice into the merged ranking.
+func TestPlanDuplicateStreamRejected(t *testing.T) {
+	sys := sharedPlanSystem(t)
+	_, err := sys.PlanQuery("car", PlanOptions{Streams: []string{"auburn_c", "auburn_c"}})
+	if err == nil {
+		t.Fatal("duplicate stream list accepted")
+	}
+}
+
+// TestPlanNegativeWatermarkMatchesNothing pins the MaxSealSec contract for
+// plan leaves: a negative watermark is the empty horizon — before anything
+// was sealed — so every leaf retrieves nothing and the plan matches
+// nothing, without any GT-CNN work.
+func TestPlanNegativeWatermarkMatchesNothing(t *testing.T) {
+	sys := sharedPlanSystem(t)
+
+	before := sys.GPUMeter()
+	res, err := sys.PlanQuery("car & person & !bus", PlanOptions{Streams: []string{"auburn_c"}, AtSec: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 0 {
+		t.Fatalf("negative watermark returned %d items, want 0", len(res.Items))
+	}
+	if after := sys.GPUMeter(); after.QueryOps != before.QueryOps {
+		t.Errorf("empty-horizon plan paid %d GPU ops", after.QueryOps-before.QueryOps)
+	}
+	// The same pin through the per-stream vector.
+	res, err = sys.PlanQuery("car & person & !bus", PlanOptions{
+		Streams:      []string{"auburn_c"},
+		AtWatermarks: map[string]float64{"auburn_c": -5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 0 {
+		t.Fatalf("negative vector watermark returned %d items, want 0", len(res.Items))
+	}
+}
+
+// TestPlanPagedBitIdenticalUnderLiveIngest is the watermark purity contract
+// for compound queries: with ingestion racing ahead on every stream, a plan
+// pinned to a watermark vector must return identical results paged and
+// one-shot, no matter how far live ingest advances between pages. Run under
+// -race this also proves the planner never touches unsynchronized session
+// state.
+func TestPlanPagedBitIdenticalUnderLiveIngest(t *testing.T) {
+	streams := []string{"auburn_c", "jacksonh"}
+	sys := newTestSystem(t, liveTestConfig())
+	for _, name := range streams {
+		if _, err := sys.AddTable1Stream(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	window := GenOptions{DurationSec: 45, SampleEvery: 1}
+	for _, name := range streams {
+		if err := sys.Session(name).StartLive(window); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Seal a prefix, pin the vector there, then let ingesters race ahead
+	// while plan executions run against the pinned vector.
+	vector := make(map[string]float64, len(streams))
+	for _, name := range streams {
+		wm, err := sys.Session(name).AdvanceLive(20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vector[name] = wm
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(len(streams))
+	for _, name := range streams {
+		go func(name string) {
+			defer wg.Done()
+			sess := sys.Session(name)
+			for to := 25.0; to <= window.DurationSec+5; to += 5 {
+				if _, err := sess.AdvanceLive(to); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(name)
+	}
+
+	const expr = "car & person & !bus"
+	opts := PlanOptions{TopK: 10, AtWatermarks: vector, StepClusters: 2}
+	oneShot, err := sys.PlanQuery(expr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := sys.PlanCursor(expr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paged []PlanItem
+	for !cur.Done() {
+		page, err := cur.Next(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paged = append(paged, page...)
+	}
+	wg.Wait()
+	for _, name := range streams {
+		sys.Session(name).StopLive()
+	}
+
+	if len(paged) != len(oneShot.Items) {
+		t.Fatalf("paged %d items, one-shot %d", len(paged), len(oneShot.Items))
+	}
+	for i := range paged {
+		if paged[i] != oneShot.Items[i] {
+			t.Fatalf("item %d under live ingest: paged %+v != one-shot %+v", i, paged[i], oneShot.Items[i])
+		}
+	}
+	// And the pinned answer must survive ingestion having finished.
+	final, err := sys.PlanQuery(expr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final.Items) != len(oneShot.Items) {
+		t.Fatalf("post-ingest re-run %d items, pinned run %d", len(final.Items), len(oneShot.Items))
+	}
+	for i := range final.Items {
+		if final.Items[i] != oneShot.Items[i] {
+			t.Fatalf("post-ingest item %d: %+v != %+v", i, final.Items[i], oneShot.Items[i])
+		}
+	}
+}
