@@ -1,0 +1,200 @@
+// Command doccheck is the documentation lint gate for Go code, the
+// companion of cmd/mdcheck's markdown gate: every package must carry a
+// package comment, and every exported top-level identifier in library
+// packages must carry a doc comment. It exists because this repo treats
+// godoc as part of the contract layer — package comments state each
+// package's role and invariants (DESIGN.md points at them), and an
+// undocumented exported identifier is an API nobody agreed to.
+//
+// Rules, deliberately narrower than a style linter:
+//
+//   - Every package (including main packages and cmd/ tools) needs a
+//     package doc comment in at least one file.
+//   - In non-main packages, every exported func, method on an exported
+//     type, type, var and const needs a doc comment (for var/const
+//     blocks, a comment on the block or on the spec counts).
+//   - Test files, struct fields and interface methods are not checked.
+//
+// Usage:
+//
+//	doccheck .          # every package under the directory, recursively
+//	doccheck ./internal/serve ./cmd/focus-router
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck <dir>...")
+		os.Exit(2)
+	}
+	dirs := map[string]bool{}
+	for _, arg := range args {
+		err := filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				switch d.Name() {
+				case ".git", "vendor", "node_modules", "testdata":
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(d.Name(), ".go") && !strings.HasSuffix(d.Name(), "_test.go") {
+				dirs[filepath.Dir(path)] = true
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(2)
+		}
+	}
+	sorted := make([]string, 0, len(dirs))
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+
+	problems := 0
+	for _, dir := range sorted {
+		for _, p := range checkDir(dir) {
+			fmt.Fprintln(os.Stderr, "doccheck:", p)
+			problems++
+		}
+	}
+	if problems > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d missing doc comment(s) across %d package dir(s)\n", problems, len(sorted))
+		os.Exit(1)
+	}
+	fmt.Printf("doccheck: %d package dir(s) clean\n", len(sorted))
+}
+
+// checkDir parses one package directory (non-test files only) and returns
+// a description of every missing doc comment.
+func checkDir(dir string) []string {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var out []string
+	for name, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil && len(strings.TrimSpace(f.Doc.Text())) > 0 {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			out = append(out, fmt.Sprintf("%s: package %s has no package comment", dir, name))
+		}
+		if name == "main" {
+			// Command packages: the package comment is the usage doc; their
+			// exported identifiers (there should be none) are not an API.
+			continue
+		}
+		// Deterministic file order.
+		files := make([]string, 0, len(pkg.Files))
+		for fname := range pkg.Files {
+			files = append(files, fname)
+		}
+		sort.Strings(files)
+		for _, fname := range files {
+			out = append(out, checkFile(fset, pkg.Files[fname])...)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// checkFile reports exported top-level identifiers without doc comments.
+func checkFile(fset *token.FileSet, f *ast.File) []string {
+	var out []string
+	missing := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, kind, name))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			if d.Recv != nil {
+				base, exported := receiverBase(d.Recv)
+				if !exported {
+					continue
+				}
+				missing(d.Pos(), "method", base+"."+d.Name.Name)
+				continue
+			}
+			missing(d.Pos(), "function", d.Name.Name)
+		case *ast.GenDecl:
+			switch d.Tok {
+			case token.TYPE:
+				for _, spec := range d.Specs {
+					ts := spec.(*ast.TypeSpec)
+					if ts.Name.IsExported() && d.Doc == nil && ts.Doc == nil && ts.Comment == nil {
+						missing(ts.Pos(), "type", ts.Name.Name)
+					}
+				}
+			case token.VAR, token.CONST:
+				// A doc on the block covers every spec inside it — the
+				// idiomatic form for enum-style const groups.
+				if d.Doc != nil {
+					continue
+				}
+				for _, spec := range d.Specs {
+					vs := spec.(*ast.ValueSpec)
+					if vs.Doc != nil || vs.Comment != nil {
+						continue
+					}
+					for _, n := range vs.Names {
+						if n.IsExported() {
+							missing(n.Pos(), strings.ToLower(d.Tok.String()), n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// receiverBase resolves a method receiver to its base type name and
+// whether that type is exported.
+func receiverBase(recv *ast.FieldList) (string, bool) {
+	if len(recv.List) == 0 {
+		return "", false
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name, x.IsExported()
+		default:
+			return "", false
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"focus"
+	"focus/internal/loadgen"
+	"focus/internal/router"
+	"focus/internal/serve"
+)
+
+// shardProc is one in-process shard: its own focus.System and serve.Server
+// behind a loopback listener — the same topology as N focus-serve
+// processes, minus the process boundary.
+type shardProc struct {
+	name    string
+	url     string
+	sys     *focus.System
+	srv     *serve.Server
+	httpSrv *http.Server
+}
+
+// bootShardedCluster starts n in-process focus-serve shards (streams
+// placed round-robin through ShardMap pins), a router fronting them over
+// real loopback HTTP, and a reference focus.System that tunes and ingests
+// every stream the same way the shards do. It points cfg at the router and
+// installs verifiers that replay sampled routed responses on the reference
+// system at the exact merged watermark vector — pinning the acceptance
+// contract "routed answers are bit-identical to a single System holding
+// all streams". drainAfter > 0 additionally drains the last shard via its
+// admin endpoint mid-run.
+func bootShardedCluster(cfg *loadgen.Config, n int, streams string, window, tuneWindow, chunk float64,
+	ingestInterval time.Duration, workers, queue int, seed uint64, recall, precision float64,
+	drainAfter float64) (func(), error) {
+	names := splitCSV(streams)
+	sort.Strings(names)
+	if n < 2 {
+		return nil, fmt.Errorf("-boot-cluster needs at least 2 shards, got %d", n)
+	}
+	if n > len(names) {
+		return nil, fmt.Errorf("-boot-cluster %d shards need at least that many streams, got %d", n, len(names))
+	}
+
+	// Placement: round-robin pins over the sorted stream names, so every
+	// shard owns at least one stream. (Real deployments can leave streams
+	// unpinned and let rendezvous hashing place them; the CLI pins for
+	// balance at tiny stream counts.)
+	smap := &router.ShardMap{Pins: make(map[string]string, len(names))}
+	perShard := make([][]string, n)
+	for i, st := range names {
+		shard := i % n
+		smap.Pins[st] = shardName(shard)
+		perShard[shard] = append(perShard[shard], st)
+	}
+
+	fcfg := focus.Config{
+		Seed:        seed,
+		Targets:     focus.Targets{Recall: recall, Precision: precision},
+		TuneOptions: serve.QuickTuneOptions(),
+	}
+	windowOpts := focus.GenOptions{DurationSec: window, SampleEvery: 1}
+	tuneOpts := focus.GenOptions{DurationSec: tuneWindow, SampleEvery: 1}
+
+	var cleanup []func()
+	shutdown := func() {
+		for i := len(cleanup) - 1; i >= 0; i-- {
+			cleanup[i]()
+		}
+	}
+	fail := func(err error) (func(), error) {
+		shutdown()
+		return nil, err
+	}
+
+	// Build every shard system and expose its listener up front: readiness
+	// is probed over HTTP (503 until Start finishes), like a real rollout.
+	shards := make([]*shardProc, n)
+	var dominant []string
+	seen := make(map[string]bool)
+	for i := range shards {
+		sys, err := focus.New(fcfg)
+		if err != nil {
+			return fail(err)
+		}
+		cleanup = append(cleanup, func() { sys.Close() })
+		for _, st := range perShard[i] {
+			sess, err := sys.AddTable1Stream(st)
+			if err != nil {
+				return fail(err)
+			}
+			for _, c := range sess.Stream().DominantClasses(4) {
+				if cn := sys.Space().Name(c); !seen[cn] {
+					seen[cn] = true
+					dominant = append(dominant, cn)
+				}
+			}
+		}
+		srv := serve.New(sys, serve.Config{
+			Window:         windowOpts,
+			TuneWindow:     tuneOpts,
+			ChunkSec:       chunk,
+			IngestInterval: ingestInterval,
+			QueryWorkers:   workers,
+			QueueDepth:     queue,
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fail(err)
+		}
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		go func() { _ = httpSrv.Serve(ln) }()
+		sh := &shardProc{
+			name:    shardName(i),
+			url:     "http://" + ln.Addr().String(),
+			sys:     sys,
+			srv:     srv,
+			httpSrv: httpSrv,
+		}
+		shards[i] = sh
+		cleanup = append(cleanup, func() { _ = sh.httpSrv.Close(); sh.srv.Stop() })
+		smap.Shards = append(smap.Shards, router.ShardSpec{Name: sh.name, URL: sh.url})
+	}
+
+	// Reference system: all streams in one focus.System, tuned over the
+	// same window as the shards and ingested one-shot to the full horizon,
+	// so it can answer any watermark vector the shards reach mid-ingest.
+	refSys, err := focus.New(fcfg)
+	if err != nil {
+		return fail(err)
+	}
+	cleanup = append(cleanup, func() { refSys.Close() })
+	for _, st := range names {
+		if _, err := refSys.AddTable1Stream(st); err != nil {
+			return fail(err)
+		}
+	}
+
+	// Boot the shards and the reference ingest concurrently: each shard
+	// tunes its own streams, the reference tunes and ingests all of them.
+	log.Printf("focus-loadgen: booting %d shards + reference system (%d streams, window %.0fs, tune %.0fs)…",
+		n, len(names), window, tuneWindow)
+	t0 := time.Now()
+	errs := make([]error, n+1)
+	var wg sync.WaitGroup
+	for i, sh := range shards {
+		wg.Add(1)
+		go func(i int, sh *shardProc) {
+			defer wg.Done()
+			errs[i] = sh.srv.Start()
+		}(i, sh)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, sess := range refSys.Sessions() {
+			if err := sess.Tune(tuneOpts); err != nil {
+				errs[n] = err
+				return
+			}
+		}
+		errs[n] = refSys.IngestAll(windowOpts)
+	}()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return fail(err)
+		}
+	}
+	log.Printf("focus-loadgen: shards + reference ready in %.1fs", time.Since(t0).Seconds())
+
+	rt, err := router.New(router.Config{
+		Map: smap,
+		// Poll fast so a mid-run drain is noticed well within the drain
+		// grace an operator would configure.
+		Refresh: 250 * time.Millisecond,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	if err := rt.Start(); err != nil {
+		return fail(err)
+	}
+	cleanup = append(cleanup, rt.Stop)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail(err)
+	}
+	routerSrv := &http.Server{Handler: rt.Handler()}
+	go func() { _ = routerSrv.Serve(ln) }()
+	cleanup = append(cleanup, func() { _ = routerSrv.Close() })
+	cfg.BaseURL = "http://" + ln.Addr().String()
+	for _, sh := range rt.Snapshot().Shards {
+		log.Printf("focus-loadgen: shard %s (%s) owns %v", sh.Name, sh.URL, sh.Streams)
+	}
+
+	if len(cfg.Classes) == 0 {
+		cfg.Classes = dominant
+	}
+	cfg.Streams = names
+	if cfg.VerifyEvery > 0 {
+		cfg.Verifier = loadgen.NewDirectVerifier(refSys)
+		cfg.PlanVerifier = loadgen.NewDirectPlanVerifier(refSys)
+	}
+
+	if drainAfter > 0 {
+		last := shards[len(shards)-1]
+		timer := time.AfterFunc(time.Duration(drainAfter*float64(time.Second)), func() {
+			log.Printf("focus-loadgen: draining shard %s (%s)", last.name, last.url)
+			resp, err := http.Post(last.url+"/drain", "application/json", nil)
+			if err != nil {
+				log.Printf("focus-loadgen: drain request failed: %v", err)
+				return
+			}
+			resp.Body.Close()
+		})
+		// A drain scheduled past the end of the run must not fire into the
+		// torn-down cluster and log a spurious failure after the report.
+		cleanup = append(cleanup, func() { timer.Stop() })
+	}
+
+	cleanup = append(cleanup, func() {
+		stats := rt.Snapshot()
+		log.Printf("focus-loadgen: router saw %d queries, %d plans, %d shard requests, %d rejected, %d unavailable",
+			stats.Queries, stats.PlanQueries, stats.ShardRequests, stats.Rejected, stats.Unavailable)
+	})
+	return shutdown, nil
+}
+
+func shardName(i int) string { return fmt.Sprintf("shard-%d", i) }

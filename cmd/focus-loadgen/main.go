@@ -1,10 +1,21 @@
-// Command focus-loadgen drives a focus-serve instance with deterministic
-// closed-loop load — plain /query traffic, optionally mixed with compound
-// POST /plan requests — and reports throughput, latency percentiles and
-// error counts. It is also the CI smoke gate: with -boot it starts an
-// in-process service first, verifies every sampled response (plain and
-// plan) against a direct library execution at the same watermark vector,
-// and exits non-zero on any unexpected status, transport error,
+// Command focus-loadgen drives a focus-serve instance — or a sharded
+// focus-router cluster — with deterministic closed-loop load: plain /query
+// traffic, optionally mixed with compound POST /plan requests. It reports
+// throughput, latency percentiles and error counts, and it is the CI
+// smoke/soak gate:
+//
+//   - -boot starts one in-process service and verifies every sampled
+//     response (plain and plan) against a direct library execution at the
+//     same watermark vector.
+//   - -boot-cluster N starts N in-process focus-serve shards (streams
+//     placed by a shard map), a focus-router in front of them, and a
+//     reference focus.System holding every stream; sampled routed
+//     responses are verified against the reference system at the merged
+//     watermark vector — the scatter-gather stack must never change an
+//     answer. -drain-one-after additionally drains the last shard mid-run
+//     to exercise 503-during-drain semantics.
+//
+// Either way it exits non-zero on any unexpected status, transport error,
 // served-vs-direct mismatch, or p99 above the committed budget.
 //
 // Usage:
@@ -13,6 +24,8 @@
 //	focus-loadgen -boot [-streams auburn_c,jacksonh,city_a_d] [-window 240]
 //	              [-clients 16] [-run-seconds 30] [-max-p99 500] [-verify-every 1]
 //	              [-plans 'car & person & !bus; (car | truck) & person'] [-plan-every 4]
+//	focus-loadgen -boot-cluster 2 [-streams auburn_c,jacksonh,city_a_d]
+//	              [-clients 16] [-run-seconds 30] [-drain-one-after 25]
 package main
 
 import (
@@ -32,8 +45,10 @@ import (
 )
 
 func main() {
-	url := flag.String("url", "", "base URL of a running focus-serve (mutually exclusive with -boot)")
+	url := flag.String("url", "", "base URL of a running focus-serve or focus-router (mutually exclusive with -boot/-boot-cluster)")
 	boot := flag.Bool("boot", false, "boot an in-process focus-serve and drive it (enables served-vs-direct verification)")
+	bootCluster := flag.Int("boot-cluster", 0, "boot N in-process shards + a router + a reference system and drive the router (enables cross-shard verification)")
+	drainOneAfter := flag.Float64("drain-one-after", 0, "in -boot-cluster mode, drain the last shard after this many seconds (0 = never)")
 	clients := flag.Int("clients", 16, "concurrent closed-loop clients")
 	runSeconds := flag.Float64("run-seconds", 30, "load duration in seconds")
 	seed := flag.Uint64("seed", 1, "deterministic client seed")
@@ -42,6 +57,7 @@ func main() {
 	verifyEvery := flag.Int("verify-every", 1, "verify every Nth OK response per client in -boot mode (0 = never)")
 	plans := flag.String("plans", "", "semicolon-separated compound plan expressions mixed into the load (e.g. 'car & person & !bus; car | truck')")
 	planEvery := flag.Int("plan-every", 0, "every Nth request per client is a POST /plan from -plans (0 = never)")
+	singleStreamEvery := flag.Int("single-stream-every", 0, "every Nth plain query targets one stream instead of the whole corpus (0 = never; -boot-cluster defaults to 3 so healthy shards stay exercised during a drain)")
 	planTopK := flag.Int("plan-top-k", 10, "top_k for plan requests")
 	maxP99 := flag.Float64("max-p99", 0, "fail if p99 latency exceeds this many milliseconds (0 = no budget)")
 	jsonOut := flag.Bool("json", false, "print the report as JSON")
@@ -58,20 +74,36 @@ func main() {
 	precision := flag.Float64("precision", 0.9, "tuner precision target for -boot")
 	flag.Parse()
 
-	if (*url == "") == !*boot {
-		fmt.Fprintln(os.Stderr, "focus-loadgen: exactly one of -url or -boot is required")
+	modes := 0
+	for _, on := range []bool{*url != "", *boot, *bootCluster > 0} {
+		if on {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fmt.Fprintln(os.Stderr, "focus-loadgen: exactly one of -url, -boot or -boot-cluster is required")
 		os.Exit(2)
 	}
 
 	cfg := loadgen.Config{
-		BaseURL:     *url,
-		Clients:     *clients,
-		Duration:    time.Duration(*runSeconds * float64(time.Second)),
-		Seed:        *seed,
-		ZipfAlpha:   *zipfAlpha,
-		VerifyEvery: *verifyEvery,
-		PlanEvery:   *planEvery,
-		PlanTopK:    *planTopK,
+		BaseURL:           *url,
+		Clients:           *clients,
+		Duration:          time.Duration(*runSeconds * float64(time.Second)),
+		Seed:              *seed,
+		ZipfAlpha:         *zipfAlpha,
+		VerifyEvery:       *verifyEvery,
+		PlanEvery:         *planEvery,
+		PlanTopK:          *planTopK,
+		SingleStreamEvery: *singleStreamEvery,
+	}
+	if *bootCluster > 0 {
+		// A drain is only acceptable when this run causes one; and during
+		// it, only single-stream queries can keep succeeding, so make sure
+		// some are issued.
+		cfg.AcceptDraining = *drainOneAfter > 0
+		if cfg.SingleStreamEvery == 0 {
+			cfg.SingleStreamEvery = 3
+		}
 	}
 	if *classesArg != "" {
 		cfg.Classes = splitCSV(*classesArg)
@@ -92,8 +124,22 @@ func main() {
 		}
 		defer shutdown()
 	}
+	if *bootCluster > 0 {
+		var err error
+		shutdown, err = bootShardedCluster(&cfg, *bootCluster, *streams, *window, *tuneWindow, *chunk,
+			*ingestInterval, *workers, *queue, *seed, *recall, *precision, *drainOneAfter)
+		if err != nil {
+			log.Fatalf("focus-loadgen: %v", err)
+		}
+		defer shutdown()
+	}
 	if len(cfg.Classes) == 0 {
 		cfg.Classes = []string{"car", "person"}
+	}
+	if len(cfg.Streams) == 0 {
+		// -boot fills this from its registered streams; for -url runs the
+		// -streams flag doubles as the single-stream pool.
+		cfg.Streams = splitCSV(*streams)
 	}
 
 	log.Printf("focus-loadgen: %d clients for %.0fs against %s (classes: %s)",
@@ -114,6 +160,13 @@ func main() {
 	failures := rep.Failures()
 	if *maxP99 > 0 && rep.P99MS > *maxP99 {
 		failures = append(failures, fmt.Sprintf("p99 %.1fms exceeds budget %.1fms", rep.P99MS, *maxP99))
+	}
+	if cfg.AcceptDraining && rep.Draining == 0 {
+		// The drain exercise is the point of -drain-one-after: a run that
+		// never observed a marked 503 (drain POST failed, timer fired too
+		// late) silently skipped the semantics this gate exists to test —
+		// and ran with a loosened 503 policy to boot.
+		failures = append(failures, "drain requested but no draining 503s were observed")
 	}
 	if rep.OK == 0 {
 		failures = append(failures, "no successful responses at all")
@@ -206,6 +259,9 @@ func printReport(r *loadgen.Report) {
 	fmt.Printf("elapsed           %.1fs\n", r.ElapsedSec)
 	fmt.Printf("requests          %d (%.1f req/s)\n", r.Requests, r.ThroughputRPS)
 	fmt.Printf("ok / rejected     %d / %d\n", r.OK, r.Rejected)
+	if r.Draining > 0 {
+		fmt.Printf("draining 503s     %d\n", r.Draining)
+	}
 	fmt.Printf("cache hits        %d\n", r.CacheHits)
 	if r.PlanRequests > 0 {
 		fmt.Printf("plan requests     %d (verified: %d)\n", r.PlanRequests, r.PlanVerified)

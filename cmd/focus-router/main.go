@@ -1,0 +1,142 @@
+// Command focus-router fronts a sharded focus-serve cluster: it loads a
+// shard map (or builds one from -shards), discovers which streams each
+// shard serves, health-checks them in the background, and answers /query
+// and /plan by scatter-gather with answers bit-identical to a single
+// focus-serve holding every stream. See OPERATIONS.md for the deployment
+// runbook and the shard-map file format.
+//
+// Usage:
+//
+//	focus-router -addr :7070 -map cluster.json
+//	focus-router -addr :7070 -shards shard-0=http://127.0.0.1:7071,shard-1=http://127.0.0.1:7072
+//	focus-router -map cluster.json -print-assignment auburn_c,jacksonh,city_a_d
+//
+// Endpoints: GET /query, POST /plan (same wire format as focus-serve),
+// GET /streams (shard-annotated), GET /stats (router counters + per-shard
+// health), GET /healthz (ok / degraded / unavailable).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"focus/internal/router"
+)
+
+func main() {
+	addr := flag.String("addr", ":7070", "listen address")
+	mapPath := flag.String("map", "", "shard-map JSON file (see OPERATIONS.md)")
+	shardsArg := flag.String("shards", "", "inline shard roster: name=url,name=url (alternative to -map)")
+	refresh := flag.Duration("refresh", 2*time.Second, "shard health/ownership poll interval")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-shard request timeout")
+	strict := flag.Bool("strict-placement", false, "fail startup when a shard serves streams the map assigns elsewhere")
+	printAssignment := flag.String("print-assignment", "", "print the map's shard assignment for these comma-separated streams and exit")
+	flag.Parse()
+
+	m, err := loadMap(*mapPath, *shardsArg)
+	if err != nil {
+		log.Fatalf("focus-router: %v", err)
+	}
+
+	if *printAssignment != "" {
+		// Operator tool: derive each shard's -streams flag from the map
+		// before any process is booted.
+		byShard := make(map[string][]string)
+		for _, st := range splitCSV(*printAssignment) {
+			shard := m.Assign(st)
+			byShard[shard.Name] = append(byShard[shard.Name], st)
+		}
+		names := make([]string, 0, len(byShard))
+		for n := range byShard {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			sort.Strings(byShard[n])
+			spec, _ := m.Shard(n)
+			fmt.Printf("%s\t%s\t-streams %s\n", n, spec.URL, strings.Join(byShard[n], ","))
+		}
+		return
+	}
+
+	rt, err := router.New(router.Config{
+		Map:             m,
+		Refresh:         *refresh,
+		Timeout:         *timeout,
+		StrictPlacement: *strict,
+	})
+	if err != nil {
+		log.Fatalf("focus-router: %v", err)
+	}
+	log.Printf("focus-router: discovering %d shards…", len(m.Shards))
+	if err := rt.Start(); err != nil {
+		log.Fatalf("focus-router: %v", err)
+	}
+	defer rt.Stop()
+	for _, sh := range rt.Snapshot().Shards {
+		log.Printf("focus-router: shard %s (%s) %s, owns %s",
+			sh.Name, sh.URL, sh.State, strings.Join(sh.Streams, ","))
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: rt.Handler()}
+	go func() {
+		log.Printf("focus-router: listening on %s", *addr)
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("focus-router: %v", err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("focus-router: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("focus-router: shutdown: %v", err)
+	}
+}
+
+// loadMap builds the shard map from exactly one of -map / -shards.
+func loadMap(mapPath, shardsArg string) (*router.ShardMap, error) {
+	switch {
+	case mapPath != "" && shardsArg != "":
+		return nil, fmt.Errorf("give either -map or -shards, not both")
+	case mapPath != "":
+		return router.LoadShardMap(mapPath)
+	case shardsArg != "":
+		m := &router.ShardMap{}
+		for _, ent := range splitCSV(shardsArg) {
+			name, url, ok := strings.Cut(ent, "=")
+			if !ok {
+				return nil, fmt.Errorf("bad -shards entry %q: want name=url", ent)
+			}
+			m.Shards = append(m.Shards, router.ShardSpec{Name: name, URL: url})
+		}
+		if err := m.Validate(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("one of -map or -shards is required")
+	}
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -9,13 +9,21 @@
 //	            [-window 240] [-chunk 5] [-ingest-interval 500ms]
 //	            [-workers 8] [-queue 16] [-cache 4096]
 //	            [-quick-tune] [-recall 0.95] [-precision 0.95]
+//	            [-drain-grace 10s]
 //
 // Endpoints:
 //
-//	GET /query?class=car[&streams=a,b][&kx=2][&start=0][&end=120][&max_clusters=50]
+//	GET /query?class=car[&streams=a,b][&kx=2][&start=0][&end=120][&max_clusters=50][&at=a@35,b@40]
 //	GET /streams   — per-stream watermarks, ingest progress, chosen configs
 //	GET /stats     — service counters (cache, admission, GPU meter)
-//	GET /healthz   — readiness
+//	GET /healthz   — readiness (503 while tuning, 503+X-Focus-Draining while draining)
+//	POST /drain    — leave rotation: new queries get 503 until the process exits
+//
+// The listener comes up before tuning finishes, answering 503 on /healthz
+// until the service is ready — the readiness probe a router (or k8s) needs.
+// On SIGTERM the server drains first (in-flight queries finish, new ones
+// are rejected with the draining marker, the router routes around it) and
+// exits after -drain-grace. A second signal exits immediately.
 package main
 
 import (
@@ -51,6 +59,7 @@ func main() {
 	quickTune := flag.Bool("quick-tune", true, "use the trimmed boot-time parameter sweep")
 	recall := flag.Float64("recall", 0.95, "tuner recall target")
 	precision := flag.Float64("precision", 0.95, "tuner precision target")
+	drainGrace := flag.Duration("drain-grace", 10*time.Second, "how long to serve draining 503s after SIGTERM before exiting")
 	flag.Parse()
 
 	cfg := focus.Config{
@@ -83,14 +92,9 @@ func main() {
 		QueueDepth:     *queue,
 		CacheCapacity:  *cacheCap,
 	})
-	log.Printf("focus-serve: tuning %d streams (window %.0fs)…", len(names), *window)
-	t0 := time.Now()
-	if err := srv.Start(); err != nil {
-		log.Fatalf("focus-serve: %v", err)
-	}
-	defer srv.Stop()
-	log.Printf("focus-serve: ready in %.1fs, ingesting %s in the background", time.Since(t0).Seconds(), strings.Join(names, ", "))
-
+	// Listen before tuning: /healthz answers 503 "not ready" during boot so
+	// a router (or an orchestrator's readiness probe) can watch the shard
+	// come up instead of getting connection refused.
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	go func() {
 		log.Printf("focus-serve: listening on %s", *addr)
@@ -99,9 +103,26 @@ func main() {
 		}
 	}()
 
+	log.Printf("focus-serve: tuning %d streams (window %.0fs)…", len(names), *window)
+	t0 := time.Now()
+	if err := srv.Start(); err != nil {
+		log.Fatalf("focus-serve: %v", err)
+	}
+	defer srv.Stop()
+	log.Printf("focus-serve: ready in %.1fs, ingesting %s in the background", time.Since(t0).Seconds(), strings.Join(names, ", "))
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	// Drain first: reject new queries with the draining marker while the
+	// router's health poll takes this shard out of rotation; in-flight
+	// queries finish. A second signal skips the grace period.
+	srv.StartDrain()
+	log.Printf("focus-serve: draining for %s (signal again to exit now)", *drainGrace)
+	select {
+	case <-sig:
+	case <-time.After(*drainGrace):
+	}
 	log.Print("focus-serve: shutting down")
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

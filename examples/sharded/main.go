@@ -1,0 +1,174 @@
+// Sharded scale-out: three streams split across two focus-serve shards
+// behind a scatter-gather router, with the routed answers checked against
+// one System holding everything.
+//
+// When the corpus outgrows one process, streams become the unit of
+// placement: each shard is an ordinary focus-serve over its subset, and
+// focus-router presents them as a single endpoint whose merged answers
+// are bit-identical to a single-node deployment (DESIGN.md §6). This
+// example boots the whole topology in-process over loopback HTTP:
+//
+//  1. two shards (uneven: 2 streams vs 1) with live background ingest,
+//  2. a router discovering ownership and health from the shards,
+//  3. one /query and one /plan through the router,
+//  4. the same executions replayed on a reference single-node System at
+//     the merged watermark vector — and compared.
+//
+// Run with:
+//
+//	go run ./examples/sharded
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"focus"
+	"focus/internal/router"
+	"focus/internal/serve"
+)
+
+func newSystem(streams ...string) *focus.System {
+	sys, err := focus.New(focus.Config{
+		Targets:     focus.Targets{Recall: 0.9, Precision: 0.9},
+		TuneOptions: serve.QuickTuneOptions(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range streams {
+		if _, err := sys.AddTable1Stream(name); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return sys
+}
+
+func main() {
+	window := focus.GenOptions{DurationSec: 90, SampleEvery: 1}
+	tuneWindow := focus.GenOptions{DurationSec: 45, SampleEvery: 1}
+
+	// Shards: two focus-serve processes in miniature, uneven on purpose.
+	smap := &router.ShardMap{}
+	placement := [][]string{{"auburn_c", "jacksonh"}, {"city_a_d"}}
+	fmt.Println("booting 2 shards (tuning + live ingest)…")
+	for i, streams := range placement {
+		sys := newSystem(streams...)
+		defer sys.Close()
+		srv := serve.New(sys, serve.Config{Window: window, TuneWindow: tuneWindow, ChunkSec: 5})
+		if err := srv.Start(); err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Stop()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		name := fmt.Sprintf("shard-%d", i)
+		smap.Shards = append(smap.Shards, router.ShardSpec{Name: name, URL: ts.URL})
+		fmt.Printf("  %s (%s) owns %v\n", name, ts.URL, streams)
+	}
+
+	// Reference: the same corpus on one node, ingested to the full window.
+	fmt.Println("booting the reference single-node system…")
+	ref := newSystem("auburn_c", "jacksonh", "city_a_d")
+	defer ref.Close()
+	for _, sess := range ref.Sessions() {
+		if err := sess.Tune(tuneWindow); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := ref.IngestAll(window); err != nil {
+		log.Fatal(err)
+	}
+
+	rt, err := router.New(router.Config{Map: smap, Refresh: 250 * time.Millisecond})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Stop()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	// Let the background ingesters seal some video on every shard.
+	time.Sleep(2 * time.Second)
+
+	// One routed single-class query…
+	var qr serve.QueryResponse
+	getJSON(front.URL+"/query?class=car", &qr)
+	vector := map[string]float64{}
+	for name, sr := range qr.Streams {
+		vector[name] = sr.Watermark
+	}
+	fmt.Printf("\nrouted /query?class=car: %d frames across %d streams at vector %v\n",
+		qr.TotalFrames, len(qr.Streams), vector)
+
+	// …replayed directly on the reference System at the merged vector.
+	direct, err := ref.Query(focus.Query{Class: "car", AtWatermarks: vector})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("direct single-node execution at the same vector: %d frames\n", direct.TotalFrames)
+	if direct.TotalFrames != qr.TotalFrames {
+		log.Fatalf("MISMATCH: routed %d vs direct %d", qr.TotalFrames, direct.TotalFrames)
+	}
+
+	// Same exercise for a compound plan, top-5 across both shards.
+	var pr serve.PlanResponse
+	postJSON(front.URL+"/plan", map[string]any{
+		"expr": "car & person", "top_k": 5, "at_watermarks": vector,
+	}, &pr)
+	fmt.Printf("\nrouted /plan \"car & person\" top-5 at the same vector:\n")
+	for _, it := range pr.Items {
+		fmt.Printf("  %-9s frame %-5d t=%5.1fs score %.2f\n", it.Stream, it.Frame, it.TimeSec, it.Score)
+	}
+	dplan, err := ref.PlanQuery("car & person", focus.PlanOptions{TopK: 5, AtWatermarks: vector})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(pr.Items) != len(dplan.Items) {
+		log.Fatalf("MISMATCH: routed %d items vs direct %d", len(pr.Items), len(dplan.Items))
+	}
+	for i, it := range dplan.Items {
+		r := pr.Items[i]
+		if r.Stream != it.Stream || r.Frame != int64(it.Frame) || r.Score != it.Score {
+			log.Fatalf("MISMATCH at rank %d: routed %+v vs direct %+v", i, r, it)
+		}
+	}
+	fmt.Println("\nrouted answers match the single-node reference, item for item.")
+}
+
+func getJSON(url string, v any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func postJSON(url string, body, v any) {
+	raw, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("POST %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -4,6 +4,16 @@
 // the paper reports; the absolute factors depend on the simulation scale,
 // but the shapes — who wins, by roughly what factor, where the crossovers
 // fall — reproduce the paper (see EXPERIMENTS.md for the side-by-side).
+//
+// Key types: Env assembles the shared fixtures (streams, tuned selections,
+// ingested indexes) one experiment suite reuses across figures; Table is
+// the uniform result container every experiment emits (rows of labelled
+// float columns, rendered by cmd/focus's `experiments` mode); Suite runs
+// the full set with per-stream parallel fan-out. Invariants: experiments
+// never mutate shared fixtures after Env construction (figures may run in
+// any order or concurrently), and each figure's numbers are a pure
+// function of the system seed, so regenerated tables are reproducible bit
+// for bit.
 package experiments
 
 import (

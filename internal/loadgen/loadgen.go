@@ -1,5 +1,7 @@
 // Package loadgen is a deterministic closed-loop load generator for the
-// focus-serve HTTP service: N client goroutines issue back-to-back /query
+// focus-serve HTTP service — or for a focus-router fronting several serve
+// shards, whose wire format is identical: N client goroutines issue
+// back-to-back /query
 // requests with Zipf-skewed class popularity (mirroring the skewed query
 // interest the paper's streams exhibit, §2.2) — optionally mixed with
 // compound POST /plan requests drawn from a predicate pool — recording
@@ -33,6 +35,10 @@ type QueryResponse struct {
 	Class       string                        `json:"class"`
 	Streams     map[string]*StreamQueryResult `json:"streams"`
 	TotalFrames int                           `json:"total_frames"`
+	Kx          int                           `json:"kx,omitempty"`
+	Start       float64                       `json:"start,omitempty"`
+	End         float64                       `json:"end,omitempty"`
+	MaxClusters int                           `json:"max_clusters,omitempty"`
 	LatencyMS   float64                       `json:"latency_ms"`
 	GPUTimeMS   float64                       `json:"gpu_time_ms"`
 	Cached      bool                          `json:"cached"`
@@ -94,6 +100,20 @@ type Config struct {
 	// draw from it Zipf(ZipfAlpha)-skewed, so a few popular classes draw
 	// most of the traffic (and exercise the result cache).
 	Classes []string
+	// Streams is the stream-name pool for single-stream queries; required
+	// when SingleStreamEvery is set.
+	Streams []string
+	// SingleStreamEvery makes every Nth plain query per client target one
+	// deterministically drawn stream from Streams instead of the whole
+	// corpus (0 = always whole-corpus). Against a sharded router this is
+	// what keeps exercising healthy shards while another shard drains —
+	// whole-corpus requests all fail once any shard leaves rotation.
+	SingleStreamEvery int
+	// AcceptDraining counts 503s carrying the X-Focus-Draining marker as
+	// expected (Report.Draining) instead of failures. Set it only when the
+	// run deliberately drains a shard; in a steady-state run a draining
+	// 503 is as wrong as any other 5xx.
+	AcceptDraining bool
 	// ZipfAlpha is the popularity skew. Default 1.1.
 	ZipfAlpha float64
 	// VerifyEvery verifies every Nth response per client through Verifier
@@ -151,6 +171,9 @@ func (c *Config) applyDefaults() error {
 		// path silently stops being exercised while looking configured.
 		return fmt.Errorf("loadgen: Plans given but PlanEvery is 0 — no plan would ever be issued")
 	}
+	if c.SingleStreamEvery > 0 && len(c.Streams) == 0 {
+		return fmt.Errorf("loadgen: SingleStreamEvery set but no Streams given")
+	}
 	return nil
 }
 
@@ -160,10 +183,15 @@ type Report struct {
 	ElapsedSec float64 `json:"elapsed_sec"`
 	Requests   int     `json:"requests"`
 	// OK counts 2xx responses; Rejected counts 429s (admission control
-	// doing its job under overload — not a failure); Unexpected counts
-	// everything else by status code.
+	// doing its job under overload — not a failure); Draining counts 503s
+	// carrying the X-Focus-Draining marker when Config.AcceptDraining
+	// opted into them (a shard deliberately rolled out of rotation — never
+	// silent data loss, since routed queries are all-or-nothing); without
+	// the opt-in they land in Unexpected, which counts everything else by
+	// status code and fails the run.
 	OK         int         `json:"ok"`
 	Rejected   int         `json:"rejected"`
+	Draining   int         `json:"draining"`
 	Unexpected map[int]int `json:"unexpected,omitempty"`
 	NetErrors  int         `json:"net_errors"`
 	CacheHits  int         `json:"cache_hits"`
@@ -208,6 +236,7 @@ type clientState struct {
 	requests    int
 	ok          int // all 2xx responses, plain and plan
 	rejected    int
+	draining    int
 	unexpected  map[int]int
 	netErrors   int
 	cacheHits   int
@@ -257,6 +286,7 @@ func Run(cfg Config) (*Report, error) {
 		rep.Requests += st.requests
 		rep.OK += st.ok
 		rep.Rejected += st.rejected
+		rep.Draining += st.draining
 		rep.NetErrors += st.netErrors
 		rep.CacheHits += st.cacheHits
 		rep.Verified += st.verified
@@ -307,8 +337,12 @@ func runClient(cfg *Config, idx int, zipf *simrand.Zipf, httpc *http.Client, dea
 			continue
 		}
 		class := cfg.Classes[zipf.Sample(src)]
+		url := cfg.BaseURL + "/query?class=" + class
+		if cfg.SingleStreamEvery > 0 && st.requests%cfg.SingleStreamEvery == 0 {
+			url += "&streams=" + cfg.Streams[src.Intn(len(cfg.Streams))]
+		}
 		t0 := time.Now()
-		resp, err := httpc.Get(cfg.BaseURL + "/query?class=" + class)
+		resp, err := httpc.Get(url)
 		if err != nil {
 			st.netErrors++
 			if len(st.errSamples) < 3 {
@@ -326,6 +360,9 @@ func runClient(cfg *Config, idx int, zipf *simrand.Zipf, httpc *http.Client, dea
 		switch {
 		case resp.StatusCode == http.StatusTooManyRequests:
 			st.rejected++
+		case cfg.AcceptDraining && isDraining(resp):
+			st.draining++
+			drainBackoff()
 		case resp.StatusCode >= 200 && resp.StatusCode < 300:
 			st.ok++
 			st.plainOK++
@@ -373,6 +410,9 @@ func runPlanRequest(cfg *Config, idx int, src *simrand.Source, httpc *http.Clien
 	switch {
 	case resp.StatusCode == http.StatusTooManyRequests:
 		st.rejected++
+	case cfg.AcceptDraining && isDraining(resp):
+		st.draining++
+		drainBackoff()
 	case resp.StatusCode >= 200 && resp.StatusCode < 300:
 		st.ok++
 		st.planOK++
@@ -396,6 +436,21 @@ func runPlanRequest(cfg *Config, idx int, src *simrand.Source, httpc *http.Clien
 		st.unexpected[resp.StatusCode]++
 	}
 }
+
+// isDraining recognizes the 503s a draining shard (or the router, on its
+// behalf) marks with the X-Focus-Draining header — the one 5xx that means
+// "rolling restart in progress", not "broken". The header name mirrors
+// serve.DrainingHeader; loadgen decodes the wire format instead of
+// importing the server, the way an external client would.
+func isDraining(resp *http.Response) bool {
+	return resp.StatusCode == http.StatusServiceUnavailable &&
+		resp.Header.Get("X-Focus-Draining") != ""
+}
+
+// drainBackoff pauses a closed-loop client after a draining rejection:
+// a real client backs off a shard being restarted rather than hammering
+// the immediate 503 path at millions of requests per second.
+func drainBackoff() { time.Sleep(50 * time.Millisecond) }
 
 // percentile returns the p-th percentile (0..1) of sorted values using
 // nearest-rank, 0 when empty.

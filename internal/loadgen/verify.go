@@ -9,8 +9,11 @@ import (
 
 // NewDirectVerifier returns a Verifier that replays a served response as a
 // direct library call — focus.System.Query pinned to the exact watermark
-// vector the service answered at — and asserts the served answer is
-// identical: same frames, same segments, same cluster counts, per stream.
+// vector and leaf options the service answered with (QueryResponse echoes
+// both back) — and asserts the served answer is identical: same frames,
+// same segments, same cluster counts, per stream. It verifies single-node
+// focus-serve responses and router-merged responses alike: either way the
+// served answer must equal one direct execution over all its streams.
 //
 // Only answer fields are compared. Cost counters (GTInferences, GPU time,
 // latency) legitimately differ between executions of the same query: the
@@ -27,8 +30,14 @@ func NewDirectVerifier(sys *focus.System) func(*QueryResponse) error {
 		}
 		sort.Strings(names)
 		res, err := sys.Query(focus.Query{
-			Class:        qr.Class,
-			Streams:      names,
+			Class:   qr.Class,
+			Streams: names,
+			Options: focus.QueryOptions{
+				Kx:          qr.Kx,
+				StartSec:    qr.Start,
+				EndSec:      qr.End,
+				MaxClusters: qr.MaxClusters,
+			},
 			AtWatermarks: vector,
 		})
 		if err != nil {

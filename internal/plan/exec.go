@@ -203,10 +203,14 @@ type Item struct {
 	Score   float64
 }
 
-// rankBefore is the total result order: score descending, then stream
+// RankBefore is the total result order: score descending, then stream
 // name, then frame — the comparator both the cursor and the one-shot path
-// emit in.
-func rankBefore(a, b Item) bool {
+// emit in. It is exported because it is a cross-layer contract: the
+// router's scatter-gather merge must interleave per-shard rankings with
+// exactly this order for a routed /plan answer to be bit-identical to a
+// single-node execution (streams are disjoint across shards, so merging
+// per-shard RankBefore-ordered lists reproduces the global order).
+func RankBefore(a, b Item) bool {
 	if a.Score != b.Score {
 		return a.Score > b.Score
 	}
@@ -318,7 +322,7 @@ func (c *Cursor) Next(n int) ([]Item, error) {
 		var bestItem Item
 		maxBound := -1.0
 		for si, s := range c.streams {
-			if item, ok := s.peek(); ok && (best < 0 || rankBefore(item, bestItem)) {
+			if item, ok := s.peek(); ok && (best < 0 || RankBefore(item, bestItem)) {
 				best, bestItem = si, item
 			}
 			if s.bound > maxBound {
@@ -751,7 +755,7 @@ func (s *streamExec) recompute() {
 			s.bound = ub
 		}
 	}
-	sort.Slice(s.ready, func(i, j int) bool { return rankBefore(s.ready[i], s.ready[j]) })
+	sort.Slice(s.ready, func(i, j int) bool { return RankBefore(s.ready[i], s.ready[j]) })
 }
 
 // unresolvedConf returns the highest confidence among leaf li's unresolved

@@ -1,0 +1,571 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"focus/internal/serve"
+)
+
+// routeError is a request-scoped routing failure, produced before or after
+// the scatter. drainingShard marks 503s caused by a draining shard so load
+// tooling can tell a rolling restart from an outage.
+type routeError struct {
+	status        int
+	msg           string
+	drainingShard string
+}
+
+func (r *Router) writeRouteError(w http.ResponseWriter, e *routeError) {
+	switch e.status {
+	case http.StatusTooManyRequests:
+		r.rejected.Add(1)
+	case http.StatusBadRequest:
+		r.clientErrs.Add(1)
+	default:
+		r.unavailable.Add(1)
+	}
+	if e.drainingShard != "" {
+		w.Header().Set(serve.DrainingHeader, e.drainingShard)
+	}
+	writeJSON(w, e.status, serve.ErrorResponse{Error: e.msg})
+}
+
+// shardGroup is one shard's slice of a request: the streams it owns, in
+// sorted order. Groups are emitted in shard-name order so every gather,
+// merge, and error report is deterministic.
+type shardGroup struct {
+	spec    ShardSpec
+	streams []string
+}
+
+// groupByShard resolves the requested streams (empty = every known stream)
+// to per-shard groups, failing fast — with an explicit 503 naming the
+// shard — when any owning shard is down or draining. Routed queries are
+// all-or-nothing: a partial answer would silently change TotalFrames,
+// rankings, and aggregates, so partial failure must be loud.
+func (r *Router) groupByShard(requested []string) ([]shardGroup, *routeError) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	streams := requested
+	if len(streams) == 0 {
+		streams = make([]string, 0, len(r.owners))
+		for st := range r.owners {
+			streams = append(streams, st)
+		}
+		sort.Strings(streams)
+	}
+	if len(streams) == 0 {
+		return nil, &routeError{status: http.StatusServiceUnavailable, msg: "no streams available (no shard ownership discovered)"}
+	}
+	byShard := make(map[string][]string)
+	for _, st := range streams {
+		owner, ok := r.owners[st]
+		if !ok {
+			return nil, &routeError{status: http.StatusBadRequest, msg: fmt.Sprintf("unknown stream %q", st)}
+		}
+		byShard[owner] = append(byShard[owner], st)
+	}
+	names := make([]string, 0, len(byShard))
+	for n := range byShard {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	groups := make([]shardGroup, 0, len(names))
+	for _, n := range names {
+		sh := r.shards[n]
+		switch sh.state {
+		case StateDraining:
+			return nil, &routeError{
+				status:        http.StatusServiceUnavailable,
+				msg:           fmt.Sprintf("shard %q is draining (owns %s)", n, strings.Join(byShard[n], ",")),
+				drainingShard: n,
+			}
+		case StateDown:
+			return nil, &routeError{
+				status: http.StatusServiceUnavailable,
+				msg:    fmt.Sprintf("shard %q is down: %s (owns %s)", n, sh.lastErr, strings.Join(byShard[n], ",")),
+			}
+		}
+		groups = append(groups, shardGroup{spec: sh.spec, streams: byShard[n]})
+	}
+	return groups, nil
+}
+
+// shardReply is one sub-request's outcome.
+type shardReply struct {
+	shard    string
+	status   int
+	draining bool
+	body     []byte
+	err      error
+}
+
+// scatter issues one sub-request per group concurrently and gathers the
+// replies in group (shard-name) order.
+func (r *Router) scatter(groups []shardGroup, call func(g shardGroup) (*http.Response, error)) []shardReply {
+	replies := make([]shardReply, len(groups))
+	var wg sync.WaitGroup
+	for i, g := range groups {
+		wg.Add(1)
+		go func(i int, g shardGroup) {
+			defer wg.Done()
+			r.shardReqs.Add(1)
+			rep := &replies[i]
+			rep.shard = g.spec.Name
+			resp, err := call(g)
+			if err != nil {
+				rep.err = err
+				return
+			}
+			defer resp.Body.Close()
+			rep.status = resp.StatusCode
+			rep.draining = resp.Header.Get(serve.DrainingHeader) != ""
+			rep.body, rep.err = io.ReadAll(resp.Body)
+		}(i, g)
+	}
+	wg.Wait()
+	return replies
+}
+
+// gatherError maps the scattered replies to the single response status the
+// client sees, or nil when every shard answered 2xx. Precedence: a client
+// error (400) is the caller's bug and wins; then unavailability (transport
+// errors, 5xx, draining) as 503 — retrying won't help until the shard
+// recovers; then overload (429), where a retry is exactly right.
+func gatherError(replies []shardReply) *routeError {
+	classify := func(pick func(rep *shardReply) *routeError) *routeError {
+		for i := range replies {
+			if e := pick(&replies[i]); e != nil {
+				return e
+			}
+		}
+		return nil
+	}
+	if e := classify(func(rep *shardReply) *routeError {
+		if rep.err == nil && rep.status == http.StatusBadRequest {
+			return &routeError{status: http.StatusBadRequest, msg: shardErrorBody(rep)}
+		}
+		return nil
+	}); e != nil {
+		return e
+	}
+	if e := classify(func(rep *shardReply) *routeError {
+		switch {
+		case rep.err != nil:
+			return &routeError{status: http.StatusServiceUnavailable,
+				msg: fmt.Sprintf("shard %q unavailable: %v", rep.shard, rep.err)}
+		case rep.status == http.StatusServiceUnavailable && rep.draining:
+			return &routeError{status: http.StatusServiceUnavailable,
+				msg:           fmt.Sprintf("shard %q is draining", rep.shard),
+				drainingShard: rep.shard}
+		case rep.status >= 500 || (rep.status >= 300 && rep.status != http.StatusTooManyRequests && rep.status != http.StatusBadRequest):
+			return &routeError{status: http.StatusServiceUnavailable,
+				msg: fmt.Sprintf("shard %q returned status %d: %s", rep.shard, rep.status, shardErrorBody(rep))}
+		}
+		return nil
+	}); e != nil {
+		return e
+	}
+	return classify(func(rep *shardReply) *routeError {
+		if rep.status == http.StatusTooManyRequests {
+			return &routeError{status: http.StatusTooManyRequests,
+				msg: fmt.Sprintf("shard %q overloaded: %s", rep.shard, shardErrorBody(rep))}
+		}
+		return nil
+	})
+}
+
+func shardErrorBody(rep *shardReply) string {
+	var er serve.ErrorResponse
+	if err := json.Unmarshal(rep.body, &er); err == nil && er.Error != "" {
+		return er.Error
+	}
+	return strings.TrimSpace(string(rep.body))
+}
+
+func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
+	if !r.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, serve.ErrorResponse{Error: "router not ready"})
+		return
+	}
+	q := req.URL.Query()
+	class := q.Get("class")
+	if class == "" {
+		r.clientErrs.Add(1)
+		writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: "missing required parameter: class"})
+		return
+	}
+	var requested []string
+	if v := q.Get("streams"); v != "" {
+		requested = serve.NormalizeStreams(strings.Split(v, ","))
+	}
+	var pins map[string]float64
+	if v := q.Get("at"); v != "" {
+		var err error
+		if pins, err = serve.ParseWatermarkVector(v); err != nil {
+			r.clientErrs.Add(1)
+			writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: err.Error()})
+			return
+		}
+	}
+	groups, rerr := r.groupByShard(requested)
+	if rerr != nil {
+		r.writeRouteError(w, rerr)
+		return
+	}
+	if rerr := validatePins(pins, groups); rerr != nil {
+		r.writeRouteError(w, rerr)
+		return
+	}
+	r.queries.Add(1)
+
+	replies := r.scatter(groups, func(g shardGroup) (*http.Response, error) {
+		sub := url.Values{}
+		sub.Set("class", class)
+		sub.Set("streams", strings.Join(g.streams, ","))
+		// Leaf options pass through verbatim: the shard parses and
+		// validates, so router and single-node requests can never diverge
+		// on parameter semantics.
+		for _, p := range []string{"kx", "start", "end", "max_clusters"} {
+			if v := q.Get(p); v != "" {
+				sub.Set(p, v)
+			}
+		}
+		if sv := subVector(pins, g.streams); len(sv) > 0 {
+			sub.Set("at", serve.FormatWatermarkVector(sv))
+		}
+		return r.client.Get(g.spec.URL + "/query?" + sub.Encode())
+	})
+	if rerr := gatherError(replies); rerr != nil {
+		r.writeRouteError(w, rerr)
+		return
+	}
+	parts := make([]*serve.QueryResponse, len(replies))
+	for i := range replies {
+		parts[i] = new(serve.QueryResponse)
+		if err := json.Unmarshal(replies[i].body, parts[i]); err != nil {
+			r.upstreamErrs.Add(1)
+			writeJSON(w, http.StatusServiceUnavailable, serve.ErrorResponse{
+				Error: fmt.Sprintf("shard %q sent a bad /query body: %v", replies[i].shard, err)})
+			return
+		}
+	}
+	merged, err := mergeQueryResponses(class, parts)
+	if err != nil {
+		r.upstreamErrs.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, serve.ErrorResponse{Error: err.Error()})
+		return
+	}
+	setCacheHeader(w, merged.Cached)
+	w.Header().Set(fanoutHeader, strconv.Itoa(len(groups)))
+	writeJSON(w, http.StatusOK, merged)
+}
+
+func (r *Router) handlePlan(w http.ResponseWriter, req *http.Request) {
+	if !r.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, serve.ErrorResponse{Error: "router not ready"})
+		return
+	}
+	if req.Method != http.MethodPost {
+		r.clientErrs.Add(1)
+		writeJSON(w, http.StatusMethodNotAllowed, serve.ErrorResponse{Error: "POST a JSON body to /plan"})
+		return
+	}
+	var preq serve.PlanRequest
+	if err := json.NewDecoder(req.Body).Decode(&preq); err != nil {
+		r.clientErrs.Add(1)
+		writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: "bad /plan body: " + err.Error()})
+		return
+	}
+	if preq.Expr == "" {
+		r.clientErrs.Add(1)
+		writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: "missing required field: expr"})
+		return
+	}
+	// Only the paging fields are validated here: the router consumes them
+	// itself (shards always execute unpaged slices), whereas every other
+	// parameter passes through verbatim and the shard's own validation
+	// comes back as a 400 — one source of truth for plan semantics.
+	if preq.Limit < 0 || preq.Offset < 0 {
+		r.clientErrs.Add(1)
+		writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: "negative plan parameter"})
+		return
+	}
+	groups, rerr := r.groupByShard(serve.NormalizeStreams(preq.Streams))
+	if rerr != nil {
+		r.writeRouteError(w, rerr)
+		return
+	}
+	if rerr := validatePins(preq.AtWatermarks, groups); rerr != nil {
+		r.writeRouteError(w, rerr)
+		return
+	}
+	r.planQueries.Add(1)
+
+	replies := r.scatter(groups, func(g shardGroup) (*http.Response, error) {
+		// Each shard executes its full slice of the plan: paging is the
+		// router's job (a shard page would be a page of the wrong ranking),
+		// and TopK stays — a shard's global top K is a superset of its
+		// share of the merged top K.
+		sub := preq
+		sub.Streams = g.streams
+		sub.AtWatermarks = subVector(preq.AtWatermarks, g.streams)
+		sub.Limit, sub.Offset = 0, 0
+		body, err := json.Marshal(&sub)
+		if err != nil {
+			return nil, err
+		}
+		return r.client.Post(g.spec.URL+"/plan", "application/json", bytes.NewReader(body))
+	})
+	if rerr := gatherError(replies); rerr != nil {
+		r.writeRouteError(w, rerr)
+		return
+	}
+	parts := make([]*serve.PlanResponse, len(replies))
+	for i := range replies {
+		parts[i] = new(serve.PlanResponse)
+		if err := json.Unmarshal(replies[i].body, parts[i]); err != nil {
+			r.upstreamErrs.Add(1)
+			writeJSON(w, http.StatusServiceUnavailable, serve.ErrorResponse{
+				Error: fmt.Sprintf("shard %q sent a bad /plan body: %v", replies[i].shard, err)})
+			return
+		}
+	}
+	merged, err := mergePlanResponses(&preq, parts)
+	if err != nil {
+		r.upstreamErrs.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, serve.ErrorResponse{Error: err.Error()})
+		return
+	}
+	setCacheHeader(w, merged.Cached)
+	w.Header().Set(fanoutHeader, strconv.Itoa(len(groups)))
+	out := *merged
+	out.Items = serve.PagePlanItems(out.Items, preq.Limit, preq.Offset)
+	writeJSON(w, http.StatusOK, &out)
+}
+
+// ShardStream is one entry of the router's /streams payload: the shard's
+// own StreamStatus annotated with the owning shard name.
+type ShardStream struct {
+	Shard string `json:"shard"`
+	serve.StreamStatus
+}
+
+// handleStreams scatters GET /streams to every responsive shard and merges
+// the statuses, sorted by stream name. Unlike /query and /plan — where a
+// partial answer would be a wrong answer — this is an operator surface:
+// down shards are skipped and named in the X-Focus-Partial header so the
+// rest of the cluster stays observable during an outage.
+func (r *Router) handleStreams(w http.ResponseWriter, req *http.Request) {
+	r.mu.RLock()
+	var groups []shardGroup
+	for _, name := range r.shardNamesLocked() {
+		if sh := r.shards[name]; sh.state != StateDown {
+			groups = append(groups, shardGroup{spec: sh.spec})
+		}
+	}
+	r.mu.RUnlock()
+	replies := r.scatter(groups, func(g shardGroup) (*http.Response, error) {
+		return r.client.Get(g.spec.URL + "/streams")
+	})
+	// Non-nil so an all-shards-down cluster serializes as [], not null —
+	// clients iterate this array.
+	out := []ShardStream{}
+	var partial []string
+	for i := range replies {
+		rep := &replies[i]
+		var statuses []serve.StreamStatus
+		if rep.err != nil || rep.status != http.StatusOK || json.Unmarshal(rep.body, &statuses) != nil {
+			partial = append(partial, rep.shard)
+			continue
+		}
+		for _, st := range statuses {
+			out = append(out, ShardStream{Shard: rep.shard, StreamStatus: st})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	if len(partial) > 0 {
+		sort.Strings(partial)
+		w.Header().Set("X-Focus-Partial", strings.Join(partial, ","))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ShardStatus is one shard's entry in the router's /stats payload.
+type ShardStatus struct {
+	Name  string `json:"name"`
+	URL   string `json:"url"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+	// Streams the shard currently owns (last successful discovery).
+	Streams []string `json:"streams"`
+	// Watermarks are the shard's per-stream ingest watermarks as of the
+	// last poll — the router's (slightly stale) view; authoritative values
+	// come back on every routed response.
+	Watermarks map[string]float64 `json:"watermarks,omitempty"`
+	// PlacementOK is false when the shard serves streams the shard map
+	// assigns elsewhere (or that another shard also serves).
+	PlacementOK bool `json:"placement_ok"`
+}
+
+// Stats is the router's /stats payload.
+type Stats struct {
+	UptimeSec      float64       `json:"uptime_sec"`
+	Ready          bool          `json:"ready"`
+	Queries        int64         `json:"queries"`
+	PlanQueries    int64         `json:"plan_queries"`
+	ShardRequests  int64         `json:"shard_requests"`
+	Rejected       int64         `json:"rejected"`
+	Unavailable    int64         `json:"unavailable"`
+	ClientErrors   int64         `json:"client_errors"`
+	UpstreamErrors int64         `json:"upstream_errors"`
+	Shards         []ShardStatus `json:"shards"`
+}
+
+// Snapshot returns the router's counters and shard view (also served at
+// /stats).
+func (r *Router) Snapshot() Stats {
+	var uptime float64
+	if ns := r.startedNS.Load(); ns > 0 {
+		uptime = time.Since(time.Unix(0, ns)).Seconds()
+	}
+	st := Stats{
+		UptimeSec:      uptime,
+		Ready:          r.ready.Load(),
+		Queries:        r.queries.Load(),
+		PlanQueries:    r.planQueries.Load(),
+		ShardRequests:  r.shardReqs.Load(),
+		Rejected:       r.rejected.Load(),
+		Unavailable:    r.unavailable.Load(),
+		ClientErrors:   r.clientErrs.Load(),
+		UpstreamErrors: r.upstreamErrs.Load(),
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, name := range r.shardNamesLocked() {
+		sh := r.shards[name]
+		ss := ShardStatus{
+			Name:        name,
+			URL:         sh.spec.URL,
+			State:       sh.state,
+			Error:       sh.lastErr,
+			Streams:     append([]string(nil), sh.streams...),
+			PlacementOK: sh.placementOK,
+		}
+		if len(sh.watermarks) > 0 {
+			ss.Watermarks = make(map[string]float64, len(sh.watermarks))
+			for k, v := range sh.watermarks {
+				ss.Watermarks[k] = v
+			}
+		}
+		st.Shards = append(st.Shards, ss)
+	}
+	return st
+}
+
+func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, http.StatusOK, r.Snapshot())
+}
+
+// handleHealthz reports the cluster's aggregate health: "ok" when every
+// shard is healthy, "degraded" (still 200 — the router can serve queries
+// not touching the broken shards) when some are not, 503 when no shard is
+// usable at all.
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	if !r.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, serve.ErrorResponse{Error: "router not ready"})
+		return
+	}
+	r.mu.RLock()
+	states := make(map[string]string, len(r.shards))
+	healthy := 0
+	for name, sh := range r.shards {
+		states[name] = sh.state
+		if sh.state == StateHealthy {
+			healthy++
+		}
+	}
+	r.mu.RUnlock()
+	status := "ok"
+	code := http.StatusOK
+	switch {
+	case healthy == 0:
+		status, code = "unavailable", http.StatusServiceUnavailable
+	case healthy < len(states):
+		status = "degraded"
+	}
+	writeJSON(w, code, struct {
+		Status string            `json:"status"`
+		Shards map[string]string `json:"shards"`
+	}{status, states})
+}
+
+// validatePins rejects pinned streams outside the resolved target set,
+// mirroring serve.resolveVector: a silently dropped pin (typo, removed
+// stream) would quietly unpin the read. Pins inside the set are split per
+// shard by subVector, so every shard's slice passes its own check too.
+func validatePins(pins map[string]float64, groups []shardGroup) *routeError {
+	if len(pins) == 0 {
+		return nil
+	}
+	resolved := make(map[string]bool)
+	for _, g := range groups {
+		for _, st := range g.streams {
+			resolved[st] = true
+		}
+	}
+	names := make([]string, 0, len(pins))
+	for n := range pins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if !resolved[n] {
+			return &routeError{status: http.StatusBadRequest,
+				msg: fmt.Sprintf("pinned stream %q is not among the query's streams", n)}
+		}
+	}
+	return nil
+}
+
+// subVector returns the pins restricted to the given streams (nil when
+// none apply): each shard only ever sees its own slice of a pinned vector.
+func subVector(pins map[string]float64, streams []string) map[string]float64 {
+	var out map[string]float64
+	for _, st := range streams {
+		if at, ok := pins[st]; ok {
+			if out == nil {
+				out = make(map[string]float64)
+			}
+			out[st] = at
+		}
+	}
+	return out
+}
+
+// fanoutHeader reports how many shards a routed response was merged from.
+const fanoutHeader = "X-Focus-Fanout"
+
+func setCacheHeader(w http.ResponseWriter, cached bool) {
+	if cached {
+		w.Header().Set("X-Focus-Cache", "hit")
+	} else {
+		w.Header().Set("X-Focus-Cache", "miss")
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,138 @@
+package router
+
+import (
+	"fmt"
+	"sort"
+
+	"focus/internal/serve"
+)
+
+// This file is the heart of the scatter-gather contract: merged responses
+// must be bit-identical to what one focus.System holding every stream
+// would answer at the same watermark vector. Streams are disjoint across
+// shards and each per-stream answer is already final, so merging is pure
+// bookkeeping — the only way to get it wrong is ordering, which is why
+// every aggregation below states the single-node order it mirrors.
+
+// mergeQueryResponses combines per-shard /query responses into the payload
+// a single node would have produced. Answer fields (per-stream frames,
+// segments, cluster counts, watermarks) are unioned — stream sets are
+// disjoint, duplicates mean the cluster is misconfigured and fail loudly.
+// Aggregates mirror focus.System.Query exactly: TotalFrames and GPUTimeMS
+// sum per-stream values in sorted stream-name order (the order a direct
+// query visits streams, so even float accumulation matches bit for bit)
+// and LatencyMS is the max — the slowest stream bounds the query (§5).
+func mergeQueryResponses(class string, parts []*serve.QueryResponse) (*serve.QueryResponse, error) {
+	out := &serve.QueryResponse{
+		Class:   class,
+		Streams: make(map[string]*serve.StreamQueryResult),
+		Cached:  true,
+	}
+	for i, p := range parts {
+		// Every shard must echo the same executed leaf options (the router
+		// passes them through verbatim); disagreement means mixed shard
+		// versions and must fail loudly, exactly like the /plan canonical
+		// check — a wrong echo would make verifiers replay the wrong query.
+		if i == 0 {
+			out.Kx, out.Start, out.End, out.MaxClusters = p.Kx, p.Start, p.End, p.MaxClusters
+		} else if p.Kx != out.Kx || p.Start != out.Start || p.End != out.End || p.MaxClusters != out.MaxClusters {
+			return nil, fmt.Errorf("shards disagree on the executed query options — mixed shard versions?")
+		}
+		for name, sr := range p.Streams {
+			if _, dup := out.Streams[name]; dup {
+				return nil, fmt.Errorf("stream %q answered by two shards — shard ownership must be disjoint", name)
+			}
+			out.Streams[name] = sr
+		}
+		// A merged response is "cached" only if no shard did new work.
+		if !p.Cached {
+			out.Cached = false
+		}
+	}
+	names := make([]string, 0, len(out.Streams))
+	for name := range out.Streams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sr := out.Streams[name]
+		out.TotalFrames += len(sr.Frames)
+		out.GPUTimeMS += sr.GPUTimeMS
+		if sr.LatencyMS > out.LatencyMS {
+			out.LatencyMS = sr.LatencyMS
+		}
+	}
+	return out, nil
+}
+
+// itemRanksBefore is plan.RankBefore on the wire type: score descending,
+// then stream name, then frame. It must stay in lockstep with
+// plan.RankBefore — the routed-vs-direct bit-identity tests pin the
+// equivalence — so that merging per-shard rankings reproduces the exact
+// order a single node emits. (Items are unique by (stream, frame) and the
+// order is total, so a plain sort of the concatenation is the merge.)
+func itemRanksBefore(a, b serve.PlanItem) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	if a.Stream != b.Stream {
+		return a.Stream < b.Stream
+	}
+	return a.Frame < b.Frame
+}
+
+// mergePlanResponses combines per-shard /plan responses into the payload a
+// single node would have produced: per-shard rankings interleave under
+// itemRanksBefore and truncate to TopK. Each shard returned its own top K,
+// and a stream's items rank identically whether its shard executed alone
+// or within a single node, so the global top K is exactly the top K of the
+// concatenation. Cost counters aggregate like plan.Stats (sum inferences
+// and GPU time, max latency); watermark vectors union disjointly.
+func mergePlanResponses(req *serve.PlanRequest, parts []*serve.PlanResponse) (*serve.PlanResponse, error) {
+	out := &serve.PlanResponse{
+		TopK:        req.TopK,
+		Kx:          req.Kx,
+		Start:       req.Start,
+		End:         req.End,
+		MaxClusters: req.MaxClusters,
+		Watermarks:  make(map[string]float64),
+		Cached:      true,
+	}
+	total := 0
+	for i, p := range parts {
+		if i == 0 {
+			out.Expr = p.Expr
+		} else if p.Expr != out.Expr {
+			return nil, fmt.Errorf("shards disagree on the canonical plan (%q vs %q) — mixed shard versions?", out.Expr, p.Expr)
+		}
+		if len(p.Items) != p.TotalItems {
+			return nil, fmt.Errorf("shard sent a paged plan response (%d of %d items) — the router needs full slices to merge",
+				len(p.Items), p.TotalItems)
+		}
+		for name, at := range p.Watermarks {
+			if _, dup := out.Watermarks[name]; dup {
+				return nil, fmt.Errorf("stream %q answered by two shards — shard ownership must be disjoint", name)
+			}
+			out.Watermarks[name] = at
+		}
+		total += len(p.Items)
+		out.GTInferences += p.GTInferences
+		out.GPUTimeMS += p.GPUTimeMS
+		if p.LatencyMS > out.LatencyMS {
+			out.LatencyMS = p.LatencyMS
+		}
+		if !p.Cached {
+			out.Cached = false
+		}
+	}
+	out.Items = make([]serve.PlanItem, 0, total)
+	for _, p := range parts {
+		out.Items = append(out.Items, p.Items...)
+	}
+	sort.Slice(out.Items, func(i, j int) bool { return itemRanksBefore(out.Items[i], out.Items[j]) })
+	if req.TopK > 0 && len(out.Items) > req.TopK {
+		out.Items = out.Items[:req.TopK]
+	}
+	out.TotalItems = len(out.Items)
+	return out, nil
+}

@@ -1,0 +1,153 @@
+package router
+
+import (
+	"reflect"
+	"testing"
+
+	"focus/internal/plan"
+	"focus/internal/serve"
+	"focus/internal/simrand"
+	"focus/internal/video"
+)
+
+func TestMergeQueryResponsesAggregates(t *testing.T) {
+	parts := []*serve.QueryResponse{
+		{Streams: map[string]*serve.StreamQueryResult{
+			"b": {Frames: []int64{4, 5}, GPUTimeMS: 2.5, LatencyMS: 9},
+			"c": {Frames: []int64{6}, GPUTimeMS: 1.25, LatencyMS: 3},
+		}, Cached: true},
+		{Streams: map[string]*serve.StreamQueryResult{
+			"a": {Frames: []int64{1, 2, 3}, GPUTimeMS: 0.5, LatencyMS: 7},
+		}, Cached: false},
+	}
+	out, err := mergeQueryResponses("car", parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TotalFrames != 6 {
+		t.Fatalf("TotalFrames = %d, want 6", out.TotalFrames)
+	}
+	// Sum order mirrors a direct query: sorted stream names, not shard
+	// arrival order.
+	if want := 0.5 + 2.5 + 1.25; out.GPUTimeMS != want {
+		t.Fatalf("GPUTimeMS = %g, want %g", out.GPUTimeMS, want)
+	}
+	if out.LatencyMS != 9 {
+		t.Fatalf("LatencyMS = %g, want max 9", out.LatencyMS)
+	}
+	if out.Cached {
+		t.Fatal("merged response claims cached although one shard missed")
+	}
+	if len(out.Streams) != 3 {
+		t.Fatalf("merged %d streams, want 3", len(out.Streams))
+	}
+}
+
+func TestMergeQueryResponsesRejectsDuplicateStream(t *testing.T) {
+	parts := []*serve.QueryResponse{
+		{Streams: map[string]*serve.StreamQueryResult{"a": {}}},
+		{Streams: map[string]*serve.StreamQueryResult{"a": {}}},
+	}
+	if _, err := mergeQueryResponses("car", parts); err == nil {
+		t.Fatal("expected an error for a stream answered by two shards")
+	}
+}
+
+// itemRanksBefore must agree with plan.RankBefore on every pair — the
+// router's merge order IS the single-node emission order.
+func TestItemOrderMatchesPlanRankBefore(t *testing.T) {
+	src := simrand.New(7).DeriveN(0, "merge-order")
+	items := make([]serve.PlanItem, 200)
+	for i := range items {
+		items[i] = serve.PlanItem{
+			Stream: []string{"a", "b", "c"}[src.Intn(3)],
+			Frame:  int64(src.Intn(50)),
+			// Coarse scores force plenty of ties through the stream/frame
+			// tie-breakers.
+			Score: float64(src.Intn(4)),
+		}
+	}
+	for i := range items {
+		for j := range items {
+			a, b := items[i], items[j]
+			pa := plan.Item{Stream: a.Stream, Frame: video.FrameID(a.Frame), Score: a.Score}
+			pb := plan.Item{Stream: b.Stream, Frame: video.FrameID(b.Frame), Score: b.Score}
+			if itemRanksBefore(a, b) != plan.RankBefore(pa, pb) {
+				t.Fatalf("order disagreement for %+v vs %+v", a, b)
+			}
+		}
+	}
+}
+
+func TestMergePlanResponsesTopKAndOrder(t *testing.T) {
+	req := &serve.PlanRequest{Expr: "car & person", TopK: 3}
+	parts := []*serve.PlanResponse{
+		{
+			Expr: "car & person",
+			Items: []serve.PlanItem{
+				{Stream: "a", Frame: 1, Score: 5},
+				{Stream: "a", Frame: 9, Score: 2},
+			},
+			TotalItems:   2,
+			Watermarks:   map[string]float64{"a": 30},
+			GTInferences: 4, GPUTimeMS: 2, LatencyMS: 10,
+			Cached: true,
+		},
+		{
+			Expr: "car & person",
+			Items: []serve.PlanItem{
+				{Stream: "b", Frame: 2, Score: 7},
+				{Stream: "b", Frame: 3, Score: 2},
+			},
+			TotalItems:   2,
+			Watermarks:   map[string]float64{"b": 25},
+			GTInferences: 6, GPUTimeMS: 3, LatencyMS: 8,
+			Cached: true,
+		},
+	}
+	out, err := mergePlanResponses(req, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []serve.PlanItem{
+		{Stream: "b", Frame: 2, Score: 7},
+		{Stream: "a", Frame: 1, Score: 5},
+		// Score tie at 2: stream "a" ranks before "b".
+		{Stream: "a", Frame: 9, Score: 2},
+	}
+	if !reflect.DeepEqual(out.Items, want) {
+		t.Fatalf("merged items %+v, want %+v", out.Items, want)
+	}
+	if out.TotalItems != 3 {
+		t.Fatalf("TotalItems = %d, want 3 (TopK)", out.TotalItems)
+	}
+	if out.GTInferences != 10 || out.GPUTimeMS != 5 || out.LatencyMS != 10 {
+		t.Fatalf("cost merge wrong: %+v", out)
+	}
+	if !out.Cached {
+		t.Fatal("all shards cached; merged response should be cached")
+	}
+	if out.Watermarks["a"] != 30 || out.Watermarks["b"] != 25 {
+		t.Fatalf("watermark union wrong: %v", out.Watermarks)
+	}
+}
+
+func TestMergePlanResponsesFailsLoudly(t *testing.T) {
+	req := &serve.PlanRequest{Expr: "car"}
+	if _, err := mergePlanResponses(req, []*serve.PlanResponse{
+		{Expr: "car"}, {Expr: "car & person"},
+	}); err == nil {
+		t.Fatal("expected an error for disagreeing canonical forms")
+	}
+	if _, err := mergePlanResponses(req, []*serve.PlanResponse{
+		{Expr: "car", Items: []serve.PlanItem{{Stream: "a"}}, TotalItems: 5},
+	}); err == nil {
+		t.Fatal("expected an error for a paged shard response")
+	}
+	if _, err := mergePlanResponses(req, []*serve.PlanResponse{
+		{Expr: "car", Watermarks: map[string]float64{"a": 1}},
+		{Expr: "car", Watermarks: map[string]float64{"a": 2}},
+	}); err == nil {
+		t.Fatal("expected an error for overlapping stream ownership")
+	}
+}

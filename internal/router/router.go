@@ -1,0 +1,338 @@
+// Package router is the scatter-gather front tier that scales focus-serve
+// horizontally: N serve processes ("shards") each own a disjoint subset of
+// the streams, and one focus-router presents them as a single query
+// endpoint with the same HTTP surface (/query, /plan, /streams, /stats,
+// /healthz) and — critically — the same answers.
+//
+// Placement is a ShardMap: a static roster of shards plus rendezvous
+// hashing (with explicit pins as the override) assigning each stream to
+// exactly one shard. The router discovers what each shard actually serves
+// from its /streams endpoint, health-checks shards in the background, and
+// fans each request out only to the shards owning the referenced streams.
+//
+// Merging obeys one contract, stated next to the single-node contracts in
+// DESIGN.md: because streams are disjoint across shards and every
+// per-stream answer is a pure function of (class-or-plan, options,
+// watermark), gathering per-shard results and merging them in the
+// single-node engine's deterministic order (stream-sorted aggregation for
+// /query, plan.RankBefore interleaving for /plan) yields answers
+// bit-identical to one focus.System holding all the streams, executed at
+// the merged watermark vector. Partial failure is never silent: if any
+// required shard is down, draining, or errors, the request fails with an
+// explicit 503 naming the shard rather than returning a subset of the
+// answer.
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"focus/internal/serve"
+)
+
+// Config tunes a Router.
+type Config struct {
+	// Map is the placement policy: the shard roster plus stream pins.
+	Map *ShardMap
+	// Refresh is the health/ownership poll interval. Default 2s.
+	Refresh time.Duration
+	// Timeout bounds each proxied shard request. Default 30s.
+	Timeout time.Duration
+	// StrictPlacement makes Start fail when a shard serves a stream the
+	// ShardMap assigns elsewhere. Off, mismatches are surfaced in /stats
+	// (placement_ok per shard) but routing follows what shards actually
+	// serve.
+	StrictPlacement bool
+	// Client overrides the proxy HTTP client (tests inject one); nil builds
+	// a client with Timeout.
+	Client *http.Client
+}
+
+func (c *Config) applyDefaults() {
+	if c.Refresh <= 0 {
+		c.Refresh = 2 * time.Second
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+}
+
+// Shard health states as reported in /stats and /healthz.
+const (
+	// StateHealthy routes queries normally.
+	StateHealthy = "healthy"
+	// StateDraining keeps the shard's ownership but rejects queries with
+	// 503 + the draining marker: the operator is restarting it.
+	StateDraining = "draining"
+	// StateDown means unreachable or not ready; queries touching its
+	// streams fail with 503.
+	StateDown = "down"
+)
+
+// shardState is the router's view of one backend, refreshed by the poller.
+// Ownership (streams/watermarks) is sticky: a shard that stops responding
+// keeps its last-known streams so queries for them fail with an explicit
+// "shard down" 503 instead of "unknown stream".
+type shardState struct {
+	spec        ShardSpec
+	state       string
+	lastErr     string
+	streams     []string
+	watermarks  map[string]float64
+	placementOK bool
+}
+
+// Router is the scatter-gather front tier. Create with New, then Start to
+// run initial discovery and the background health poller.
+type Router struct {
+	cfg    Config
+	client *http.Client
+	mux    *http.ServeMux
+
+	startedNS atomic.Int64
+	ready     atomic.Bool
+	stopCh    chan struct{}
+	stopped   sync.Once
+	wg        sync.WaitGroup
+
+	// mu guards the discovery state below.
+	mu     sync.RWMutex
+	shards map[string]*shardState
+	owners map[string]string // stream -> shard name
+
+	// counters
+	queries      atomic.Int64
+	planQueries  atomic.Int64
+	shardReqs    atomic.Int64
+	rejected     atomic.Int64
+	unavailable  atomic.Int64
+	clientErrs   atomic.Int64
+	upstreamErrs atomic.Int64
+}
+
+// New validates the shard map and builds a router. Start must be called
+// before the handler answers queries.
+func New(cfg Config) (*Router, error) {
+	if cfg.Map == nil {
+		return nil, fmt.Errorf("router: Config.Map is required")
+	}
+	if err := cfg.Map.Validate(); err != nil {
+		return nil, fmt.Errorf("router: %w", err)
+	}
+	cfg.applyDefaults()
+	r := &Router{
+		cfg:    cfg,
+		client: cfg.Client,
+		stopCh: make(chan struct{}),
+		shards: make(map[string]*shardState, len(cfg.Map.Shards)),
+		owners: make(map[string]string),
+	}
+	if r.client == nil {
+		// A dedicated transport with a deep idle pool per shard host:
+		// scatter-gather fans many concurrent sub-requests at few hosts,
+		// and http.DefaultTransport's 2 idle conns per host would redial
+		// on nearly every proxied request under load.
+		r.client = &http.Client{
+			Timeout: cfg.Timeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        256,
+				MaxIdleConnsPerHost: 64,
+			},
+		}
+	}
+	for _, spec := range cfg.Map.Shards {
+		r.shards[spec.Name] = &shardState{spec: spec, state: StateDown, placementOK: true}
+	}
+	r.mux = http.NewServeMux()
+	r.mux.HandleFunc("/query", r.handleQuery)
+	r.mux.HandleFunc("/plan", r.handlePlan)
+	r.mux.HandleFunc("/streams", r.handleStreams)
+	r.mux.HandleFunc("/stats", r.handleStats)
+	r.mux.HandleFunc("/healthz", r.handleHealthz)
+	return r, nil
+}
+
+// Handler returns the HTTP handler; callers own the listener.
+func (r *Router) Handler() http.Handler { return r.mux }
+
+// Start runs initial discovery — every shard must be reachable and the
+// discovered stream ownership must be disjoint (and, with StrictPlacement,
+// must match the ShardMap's assignment) — then spawns the background
+// health/ownership poller.
+func (r *Router) Start() error {
+	r.refresh()
+	r.mu.RLock()
+	var boot []string
+	for name, sh := range r.shards {
+		if sh.state == StateDown {
+			boot = append(boot, fmt.Sprintf("%s (%s): %s", name, sh.spec.URL, sh.lastErr))
+		}
+		if r.cfg.StrictPlacement && !sh.placementOK {
+			boot = append(boot, fmt.Sprintf("%s: serves streams the shard map assigns elsewhere", name))
+		}
+	}
+	r.mu.RUnlock()
+	if len(boot) > 0 {
+		sort.Strings(boot)
+		return fmt.Errorf("router: shards not ready: %s", strings.Join(boot, "; "))
+	}
+	r.startedNS.Store(time.Now().UnixNano())
+	r.ready.Store(true)
+	r.wg.Add(1)
+	go r.pollLoop()
+	return nil
+}
+
+// Stop halts the background poller.
+func (r *Router) Stop() {
+	r.stopped.Do(func() { close(r.stopCh) })
+	r.wg.Wait()
+}
+
+func (r *Router) pollLoop() {
+	defer r.wg.Done()
+	ticker := time.NewTicker(r.cfg.Refresh)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stopCh:
+			return
+		case <-ticker.C:
+			r.refresh()
+		}
+	}
+}
+
+// refresh polls every shard's /healthz and /streams concurrently and
+// republishes the router's view: shard states, stream ownership, and
+// per-stream watermarks.
+func (r *Router) refresh() {
+	specs := r.cfg.Map.Shards
+	type polled struct {
+		state      string
+		lastErr    string
+		streams    []string
+		watermarks map[string]float64
+	}
+	results := make([]polled, len(specs))
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec ShardSpec) {
+			defer wg.Done()
+			p := &results[i]
+			p.state, p.lastErr = r.pollHealth(spec)
+			if p.state == StateDown {
+				return
+			}
+			statuses, err := r.fetchStreams(spec)
+			if err != nil {
+				// Health said alive but the ownership surface failed:
+				// treat as down — routing without ownership is guesswork.
+				p.state, p.lastErr = StateDown, err.Error()
+				return
+			}
+			p.watermarks = make(map[string]float64, len(statuses))
+			for _, st := range statuses {
+				p.streams = append(p.streams, st.Name)
+				p.watermarks[st.Name] = st.Watermark
+			}
+			sort.Strings(p.streams)
+		}(i, spec)
+	}
+	wg.Wait()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, spec := range specs {
+		sh := r.shards[spec.Name]
+		p := results[i]
+		sh.state, sh.lastErr = p.state, p.lastErr
+		if p.state != StateDown {
+			sh.streams, sh.watermarks = p.streams, p.watermarks
+			sh.placementOK = true
+			for _, st := range p.streams {
+				if r.cfg.Map.Assign(st).Name != spec.Name {
+					sh.placementOK = false
+				}
+			}
+		}
+	}
+	// Ownership: last-known streams win, shards visited in name order so a
+	// (misconfigured) duplicate resolves deterministically; the duplicate is
+	// also surfaced as placement breakage on the later shard.
+	owners := make(map[string]string)
+	for _, name := range r.shardNamesLocked() {
+		sh := r.shards[name]
+		for _, st := range sh.streams {
+			if prev, dup := owners[st]; dup {
+				sh.placementOK = false
+				sh.lastErr = fmt.Sprintf("stream %q also served by shard %q", st, prev)
+				continue
+			}
+			owners[st] = name
+		}
+	}
+	r.owners = owners
+}
+
+func (r *Router) shardNamesLocked() []string {
+	names := make([]string, 0, len(r.shards))
+	for n := range r.shards {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// pollHealth classifies one shard's /healthz answer.
+func (r *Router) pollHealth(spec ShardSpec) (state, lastErr string) {
+	resp, err := r.client.Get(spec.URL + "/healthz")
+	if err != nil {
+		return StateDown, err.Error()
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return StateHealthy, ""
+	case resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get(serve.DrainingHeader) != "":
+		return StateDraining, ""
+	default:
+		return StateDown, fmt.Sprintf("healthz status %d", resp.StatusCode)
+	}
+}
+
+func (r *Router) fetchStreams(spec ShardSpec) ([]serve.StreamStatus, error) {
+	resp, err := r.client.Get(spec.URL + "/streams")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("streams status %d", resp.StatusCode)
+	}
+	var out []serve.StreamStatus
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("decoding streams: %w", err)
+	}
+	return out, nil
+}
+
+// Streams returns every known stream name, sorted — the router's "query
+// all" universe.
+func (r *Router) Streams() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.owners))
+	for st := range r.owners {
+		out = append(out, st)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,485 @@
+package router_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"focus"
+	"focus/internal/loadgen"
+	"focus/internal/router"
+	"focus/internal/serve"
+)
+
+// testShard is one in-process shard: its own focus.System and serve.Server
+// behind a real loopback listener — the process topology the router fronts
+// in production, minus the process boundary.
+type testShard struct {
+	name string
+	sys  *focus.System
+	srv  *serve.Server
+	http *httptest.Server
+}
+
+// testCluster boots shards (one per entry of placement, each owning that
+// entry's streams), a router over them, and — when withRef — a reference
+// focus.System holding every stream, tuned identically and ingested to the
+// full window, the oracle the bit-identity assertions replay against.
+type testCluster struct {
+	t       *testing.T
+	shards  []*testShard
+	rt      *router.Router
+	http    *httptest.Server
+	ref     *focus.System
+	streams []string
+}
+
+func focusConfig() focus.Config {
+	return focus.Config{
+		Seed:        1,
+		Targets:     focus.Targets{Recall: 0.7, Precision: 0.7},
+		TuneOptions: serve.QuickTuneOptions(),
+	}
+}
+
+func bootTestCluster(t *testing.T, placement [][]string, scfg serve.Config, withRef bool) *testCluster {
+	t.Helper()
+	if scfg.Window.DurationSec <= 0 {
+		scfg.Window = focus.GenOptions{DurationSec: 60, SampleEvery: 1}
+	}
+	if scfg.TuneWindow.DurationSec <= 0 {
+		scfg.TuneWindow = focus.GenOptions{DurationSec: 30, SampleEvery: 1}
+	}
+	c := &testCluster{t: t}
+	smap := &router.ShardMap{Pins: map[string]string{}}
+	for i, streams := range placement {
+		sys, err := focus.New(focusConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { sys.Close() })
+		for _, st := range streams {
+			if _, err := sys.AddTable1Stream(st); err != nil {
+				t.Fatal(err)
+			}
+			c.streams = append(c.streams, st)
+		}
+		srv := serve.New(sys, scfg)
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		sh := &testShard{name: fmt.Sprintf("shard-%d", i), sys: sys, srv: srv, http: ts}
+		c.shards = append(c.shards, sh)
+		smap.Shards = append(smap.Shards, router.ShardSpec{Name: sh.name, URL: ts.URL})
+		for _, st := range streams {
+			smap.Pins[st] = sh.name
+		}
+	}
+
+	// Boot shards (and the reference, when asked) concurrently: every
+	// system tunes per stream, which dominates the fixture cost.
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.shards)+1)
+	for i, sh := range c.shards {
+		wg.Add(1)
+		go func(i int, sh *testShard) {
+			defer wg.Done()
+			if err := sh.srv.Start(); err != nil {
+				errs[i] = err
+				return
+			}
+			c.t.Cleanup(sh.srv.Stop)
+		}(i, sh)
+	}
+	if withRef {
+		ref, err := focus.New(focusConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ref.Close() })
+		for _, st := range c.streams {
+			if _, err := ref.AddTable1Stream(st); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.ref = ref
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, sess := range ref.Sessions() {
+				if err := sess.Tune(scfg.TuneWindow); err != nil {
+					errs[len(errs)-1] = err
+					return
+				}
+			}
+			errs[len(errs)-1] = ref.IngestAll(scfg.Window)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rt, err := router.New(router.Config{Map: smap, Refresh: 100 * time.Millisecond, Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Stop)
+	c.rt = rt
+	c.http = httptest.NewServer(rt.Handler())
+	t.Cleanup(c.http.Close)
+	return c
+}
+
+// advance moves one shard stream's watermark (NoBackgroundIngest fixtures).
+func (c *testCluster) advance(stream string, toSec float64) {
+	c.t.Helper()
+	for _, sh := range c.shards {
+		if sess := sh.sys.Session(stream); sess != nil {
+			if _, err := sess.AdvanceLive(toSec); err != nil {
+				c.t.Fatal(err)
+			}
+			return
+		}
+	}
+	c.t.Fatalf("stream %q not on any shard", stream)
+}
+
+func (c *testCluster) getQuery(params string) (*loadgen.QueryResponse, *http.Response) {
+	c.t.Helper()
+	resp, err := http.Get(c.http.URL + "/query?" + params)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr loadgen.QueryResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			c.t.Fatal(err)
+		}
+	}
+	return &qr, resp
+}
+
+func (c *testCluster) postPlan(req map[string]any) (*loadgen.PlanResponse, *http.Response) {
+	c.t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(c.http.URL+"/plan", "application/json", bytes.NewReader(body))
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var pr loadgen.PlanResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			c.t.Fatal(err)
+		}
+	}
+	return &pr, resp
+}
+
+// waitShardState polls the router's view until the named shard reaches the
+// wanted state.
+func (c *testCluster) waitShardState(shard, state string) {
+	c.t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, ss := range c.rt.Snapshot().Shards {
+			if ss.Name == shard && ss.State == state {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	c.t.Fatalf("shard %s never reached state %s: %+v", shard, state, c.rt.Snapshot().Shards)
+}
+
+// TestRoutedAnswersMatchDirect is the acceptance pin for the scatter-gather
+// contract: with uneven shard sizes and uneven per-stream watermarks, every
+// routed /query and /plan answer must be bit-identical to a direct
+// execution on one focus.System holding all streams, pinned to the merged
+// watermark vector the response reports.
+func TestRoutedAnswersMatchDirect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a 2-shard cluster plus a reference system")
+	}
+	c := bootTestCluster(t,
+		[][]string{{"auburn_c", "jacksonh"}, {"city_a_d"}},
+		serve.Config{NoBackgroundIngest: true},
+		true)
+	// Uneven vector: nothing aligns across shards or streams.
+	c.advance("auburn_c", 20)
+	c.advance("jacksonh", 35)
+	c.advance("city_a_d", 50)
+
+	verify := loadgen.NewDirectVerifier(c.ref)
+	for _, params := range []string{
+		"class=car",
+		"class=person",
+		"class=bus",
+		"class=car&streams=auburn_c,city_a_d", // spans both shards
+		"class=car&streams=jacksonh",          // single shard
+		"class=person&kx=2",
+		"class=car&start=5&end=30",
+		"class=car&at=auburn_c@10,jacksonh@35,city_a_d@25", // pinned below the snapshot
+	} {
+		qr, resp := c.getQuery(params)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /query?%s: status %d", params, resp.StatusCode)
+		}
+		if err := verify(qr); err != nil {
+			t.Errorf("routed /query?%s diverges from direct execution: %v", params, err)
+		}
+	}
+
+	verifyPlan := loadgen.NewDirectPlanVerifier(c.ref)
+	for _, req := range []map[string]any{
+		{"expr": "car & person"},
+		{"expr": "car & person & !bus", "top_k": 7},
+		{"expr": "(car | truck) & person", "top_k": 5, "kx": 2},
+		{"expr": "car", "streams": []string{"auburn_c", "city_a_d"}},
+	} {
+		pr, resp := c.postPlan(req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /plan %v: status %d", req, resp.StatusCode)
+		}
+		if err := verifyPlan(pr); err != nil {
+			t.Errorf("routed /plan %v diverges from direct execution: %v", req, err)
+		}
+	}
+
+	// Router-side paging must slice the merged ranking: pages at the pinned
+	// vector concatenate to exactly the unpaged items.
+	full, resp := c.postPlan(map[string]any{"expr": "car & person", "top_k": 9})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unpaged plan: status %d", resp.StatusCode)
+	}
+	var paged []loadgen.PlanItem
+	for offset := 0; ; offset += 2 {
+		page, resp := c.postPlan(map[string]any{
+			"expr": "car & person", "top_k": 9, "limit": 2, "offset": offset,
+			"at_watermarks": full.Watermarks,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("page at offset %d: status %d", offset, resp.StatusCode)
+		}
+		if len(page.Items) == 0 {
+			break
+		}
+		paged = append(paged, page.Items...)
+	}
+	if !reflect.DeepEqual(paged, full.Items) {
+		t.Fatalf("paged items diverge from one-shot:\npaged: %+v\nfull:  %+v", paged, full.Items)
+	}
+}
+
+// TestRoutedPinnedVectorStableUnderLiveIngest hammers one pinned-vector
+// query from many goroutines while every shard's background ingester races
+// ahead: all responses must agree on every answer field, and match the
+// direct execution. (Cost counters legitimately vary — concurrent cache
+// misses execute with warmer GT verdict caches.) Run under -race this also
+// covers the router's poller/handler concurrency against live shards.
+func TestRoutedPinnedVectorStableUnderLiveIngest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a live-ingesting 2-shard cluster plus a reference system")
+	}
+	c := bootTestCluster(t,
+		[][]string{{"auburn_c"}, {"jacksonh", "city_a_d"}},
+		serve.Config{
+			Window:         focus.GenOptions{DurationSec: 90, SampleEvery: 1},
+			ChunkSec:       2,
+			IngestInterval: 20 * time.Millisecond,
+		},
+		true)
+
+	// Wait until every stream has sealed past the pin while ingest keeps
+	// racing toward the 90s window.
+	pin := 10.0
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		minWM := -1.0
+		for _, sh := range c.shards {
+			for _, sess := range sh.sys.Sessions() {
+				if wm := sess.Watermark(); minWM < 0 || wm < minWM {
+					minWM = wm
+				}
+			}
+		}
+		if minWM >= pin {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("watermarks never reached %g", pin)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	params := "class=car&at=auburn_c@10,jacksonh@10,city_a_d@10"
+	verify := loadgen.NewDirectVerifier(c.ref)
+	answers := make([]*loadgen.QueryResponse, 24)
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(answers))
+	for i := range answers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(c.http.URL + "/query?" + params)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errCh <- fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			qr := new(loadgen.QueryResponse)
+			if err := json.NewDecoder(resp.Body).Decode(qr); err != nil {
+				errCh <- err
+				return
+			}
+			answers[i] = qr
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	first := answerFields(answers[0])
+	for i, qr := range answers {
+		if got := answerFields(qr); !reflect.DeepEqual(got, first) {
+			t.Fatalf("pinned-vector answer %d diverged:\n%+v\nvs\n%+v", i, got, first)
+		}
+	}
+	if err := verify(answers[0]); err != nil {
+		t.Fatalf("pinned routed answer diverges from direct execution: %v", err)
+	}
+}
+
+// answerFields projects a response onto its answer (not cost) fields.
+func answerFields(qr *loadgen.QueryResponse) map[string]any {
+	out := map[string]any{"total": qr.TotalFrames}
+	for name, sr := range qr.Streams {
+		out[name] = []any{sr.Watermark, sr.Frames, sr.Segments,
+			sr.ExaminedClusters, sr.MatchedClusters, sr.ViaOther}
+	}
+	return out
+}
+
+// TestRouterPartialFailure pins the all-or-nothing semantics: a query
+// touching a draining or down shard fails with an explicit, attributed
+// 503 — never a silently partial answer — while queries confined to
+// healthy shards keep working.
+func TestRouterPartialFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a 2-shard cluster")
+	}
+	c := bootTestCluster(t,
+		[][]string{{"auburn_c"}, {"jacksonh"}},
+		serve.Config{
+			Window:             focus.GenOptions{DurationSec: 40, SampleEvery: 1},
+			TuneWindow:         focus.GenOptions{DurationSec: 20, SampleEvery: 1},
+			NoBackgroundIngest: true,
+		},
+		false)
+	c.advance("auburn_c", 20)
+	c.advance("jacksonh", 20)
+
+	if _, resp := c.getQuery("class=car"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy cluster query: status %d", resp.StatusCode)
+	}
+
+	// Drain shard-1 through its admin endpoint, as an operator would.
+	dresp, err := http.Post(c.shards[1].http.URL+"/drain", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	c.waitShardState("shard-1", router.StateDraining)
+
+	_, resp := c.getQuery("class=car") // touches both shards
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("query touching a draining shard: status %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get(serve.DrainingHeader); got != "shard-1" {
+		t.Fatalf("draining 503 should name the shard, got header %q", got)
+	}
+	if _, resp := c.getQuery("class=car&streams=auburn_c"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query on the healthy shard during drain: status %d", resp.StatusCode)
+	}
+	if _, presp := c.postPlan(map[string]any{"expr": "car & person"}); presp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("plan touching a draining shard: status %d, want 503", presp.StatusCode)
+	}
+
+	// Degraded but alive: the router keeps serving what it can.
+	hresp, err := http.Get(c.http.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string            `json:"status"`
+		Shards map[string]string `json:"shards"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK || health.Status != "degraded" {
+		t.Fatalf("healthz during drain: status %d body %+v, want 200/degraded", hresp.StatusCode, health)
+	}
+
+	// Kill shard-0 outright: ownership is sticky, so its streams fail with
+	// "down", not "unknown stream".
+	c.shards[0].http.Close()
+	c.waitShardState("shard-0", router.StateDown)
+	_, resp = c.getQuery("class=car&streams=auburn_c")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("query on a down shard: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get(serve.DrainingHeader) != "" {
+		t.Fatal("down-shard 503 must not carry the draining marker")
+	}
+
+	// No healthy shard left at all.
+	hresp, err = http.Get(c.http.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz with no healthy shards: status %d, want 503", hresp.StatusCode)
+	}
+
+	if _, resp := c.getQuery("class=car&streams=nosuch"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown stream: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestRouterStartRequiresShards pins the boot contract: discovery must
+// reach every shard.
+func TestRouterStartRequiresShards(t *testing.T) {
+	rt, err := router.New(router.Config{
+		Map: &router.ShardMap{Shards: []router.ShardSpec{
+			{Name: "shard-0", URL: "http://127.0.0.1:1"}, // nothing listens here
+		}},
+		Refresh: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err == nil {
+		rt.Stop()
+		t.Fatal("Start succeeded with an unreachable shard")
+	}
+}

@@ -1,0 +1,149 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sort"
+)
+
+// ShardSpec names one focus-serve backend.
+type ShardSpec struct {
+	// Name is the shard's stable identity — rendezvous hashing keys on it,
+	// so renaming a shard reassigns streams while changing its URL does not.
+	Name string `json:"name"`
+	// URL is the shard's base URL, e.g. "http://10.0.0.7:7071".
+	URL string `json:"url"`
+}
+
+// ShardMap is the cluster's placement policy: the shard roster plus
+// optional explicit stream pins. Unpinned streams are assigned by
+// rendezvous (highest-random-weight) hashing over (stream, shard name), so
+// adding or removing one shard moves only the streams that hashed to it —
+// the property a future rebalancer leans on. The JSON form is the shard-map
+// file focus-router loads (see OPERATIONS.md):
+//
+//	{
+//	  "shards": [
+//	    {"name": "shard-0", "url": "http://127.0.0.1:7071"},
+//	    {"name": "shard-1", "url": "http://127.0.0.1:7072"}
+//	  ],
+//	  "pins": {"auburn_c": "shard-0"}
+//	}
+type ShardMap struct {
+	Shards []ShardSpec `json:"shards"`
+	// Pins force named streams onto named shards, overriding the hash —
+	// the escape hatch for capacity imbalances or migrations in flight.
+	Pins map[string]string `json:"pins,omitempty"`
+}
+
+// LoadShardMap reads and validates a shard-map file.
+func LoadShardMap(path string) (*ShardMap, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("router: reading shard map: %w", err)
+	}
+	var m ShardMap
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("router: parsing shard map %s: %w", path, err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("router: shard map %s: %w", path, err)
+	}
+	return &m, nil
+}
+
+// Validate checks the map's internal consistency: at least one shard,
+// unique shard names and URLs, and pins that reference known shards.
+func (m *ShardMap) Validate() error {
+	if len(m.Shards) == 0 {
+		return fmt.Errorf("no shards")
+	}
+	names := make(map[string]bool, len(m.Shards))
+	urls := make(map[string]bool, len(m.Shards))
+	for _, s := range m.Shards {
+		if s.Name == "" || s.URL == "" {
+			return fmt.Errorf("shard needs both name and url (got name=%q url=%q)", s.Name, s.URL)
+		}
+		if names[s.Name] {
+			return fmt.Errorf("duplicate shard name %q", s.Name)
+		}
+		if urls[s.URL] {
+			return fmt.Errorf("duplicate shard url %q", s.URL)
+		}
+		names[s.Name] = true
+		urls[s.URL] = true
+	}
+	for stream, shard := range m.Pins {
+		if !names[shard] {
+			return fmt.Errorf("pin %q -> %q references an unknown shard", stream, shard)
+		}
+	}
+	return nil
+}
+
+// Shard returns the spec for a shard name.
+func (m *ShardMap) Shard(name string) (ShardSpec, bool) {
+	for _, s := range m.Shards {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return ShardSpec{}, false
+}
+
+// Assign returns the shard that owns a stream: its pin when one exists,
+// otherwise the rendezvous winner — the shard maximizing
+// hash(shardName, stream), ties broken by shard name so the assignment is
+// a pure function of (map, stream).
+func (m *ShardMap) Assign(stream string) ShardSpec {
+	if pinned, ok := m.Pins[stream]; ok {
+		if s, ok := m.Shard(pinned); ok {
+			return s
+		}
+	}
+	var best ShardSpec
+	var bestHash uint64
+	for _, s := range m.Shards {
+		h := rendezvousHash(s.Name, stream)
+		if best.Name == "" || h > bestHash || (h == bestHash && s.Name < best.Name) {
+			best, bestHash = s, h
+		}
+	}
+	return best
+}
+
+// Assignment maps every given stream to its owning shard name, the form
+// operators use to derive each shard's -streams flag.
+func (m *ShardMap) Assignment(streams []string) map[string]string {
+	out := make(map[string]string, len(streams))
+	for _, st := range streams {
+		out[st] = m.Assign(st).Name
+	}
+	return out
+}
+
+// StreamsFor returns the sorted streams (of the given universe) that the
+// map assigns to one shard.
+func (m *ShardMap) StreamsFor(shard string, streams []string) []string {
+	var out []string
+	for _, st := range streams {
+		if m.Assign(st).Name == shard {
+			out = append(out, st)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// rendezvousHash is FNV-1a over "shard\x00stream". Any stable 64-bit hash
+// works; FNV keeps the assignment dependency-free and identical across
+// binaries.
+func rendezvousHash(shard, stream string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(shard))
+	h.Write([]byte{0})
+	h.Write([]byte(stream))
+	return h.Sum64()
+}

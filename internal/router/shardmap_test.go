@@ -1,0 +1,129 @@
+package router
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func twoShards() *ShardMap {
+	return &ShardMap{Shards: []ShardSpec{
+		{Name: "shard-0", URL: "http://a"},
+		{Name: "shard-1", URL: "http://b"},
+	}}
+}
+
+func TestShardMapValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		m    ShardMap
+		ok   bool
+	}{
+		{"empty", ShardMap{}, false},
+		{"dup name", ShardMap{Shards: []ShardSpec{{Name: "s", URL: "http://a"}, {Name: "s", URL: "http://b"}}}, false},
+		{"dup url", ShardMap{Shards: []ShardSpec{{Name: "a", URL: "http://x"}, {Name: "b", URL: "http://x"}}}, false},
+		{"missing url", ShardMap{Shards: []ShardSpec{{Name: "a"}}}, false},
+		{"bad pin", ShardMap{Shards: []ShardSpec{{Name: "a", URL: "http://x"}}, Pins: map[string]string{"st": "nope"}}, false},
+		{"ok", ShardMap{Shards: []ShardSpec{{Name: "a", URL: "http://x"}}, Pins: map[string]string{"st": "a"}}, true},
+	}
+	for _, c := range cases {
+		if err := c.m.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestAssignIsDeterministicAndTotal(t *testing.T) {
+	m := twoShards()
+	streams := []string{"auburn_c", "jacksonh", "city_a_d", "bend", "msnbc", "oxford"}
+	first := m.Assignment(streams)
+	for i := 0; i < 10; i++ {
+		if got := m.Assignment(streams); !reflect.DeepEqual(got, first) {
+			t.Fatalf("assignment changed between calls: %v vs %v", got, first)
+		}
+	}
+	for st, shard := range first {
+		if _, ok := m.Shard(shard); !ok {
+			t.Fatalf("stream %q assigned to unknown shard %q", st, shard)
+		}
+	}
+}
+
+func TestPinsOverrideHash(t *testing.T) {
+	m := twoShards()
+	hashed := m.Assign("auburn_c").Name
+	other := "shard-0"
+	if hashed == "shard-0" {
+		other = "shard-1"
+	}
+	m.Pins = map[string]string{"auburn_c": other}
+	if got := m.Assign("auburn_c").Name; got != other {
+		t.Fatalf("pin ignored: got %q, want %q", got, other)
+	}
+}
+
+// Rendezvous hashing's point: removing one shard reassigns only the
+// streams that shard owned; everything else stays put.
+func TestRendezvousStabilityUnderShardRemoval(t *testing.T) {
+	full := &ShardMap{Shards: []ShardSpec{
+		{Name: "shard-0", URL: "http://a"},
+		{Name: "shard-1", URL: "http://b"},
+		{Name: "shard-2", URL: "http://c"},
+	}}
+	streams := []string{"auburn_c", "jacksonh", "city_a_d", "bend", "msnbc", "oxford", "sittard", "coral"}
+	before := full.Assignment(streams)
+	reduced := &ShardMap{Shards: []ShardSpec{full.Shards[0], full.Shards[2]}}
+	after := reduced.Assignment(streams)
+	for _, st := range streams {
+		if before[st] != "shard-1" && after[st] != before[st] {
+			t.Errorf("stream %q moved from %q to %q although its shard survived", st, before[st], after[st])
+		}
+		if before[st] == "shard-1" && after[st] == "shard-1" {
+			t.Errorf("stream %q still assigned to removed shard", st)
+		}
+	}
+}
+
+func TestLoadShardMap(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "map.json")
+	body := `{
+	  "shards": [
+	    {"name": "shard-0", "url": "http://127.0.0.1:7071"},
+	    {"name": "shard-1", "url": "http://127.0.0.1:7072"}
+	  ],
+	  "pins": {"auburn_c": "shard-1"}
+	}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadShardMap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Assign("auburn_c").Name; got != "shard-1" {
+		t.Fatalf("pinned stream assigned to %q", got)
+	}
+	if _, err := LoadShardMap(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("expected error for a missing file")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"shards": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadShardMap(bad); err == nil {
+		t.Fatal("expected validation error for an empty roster")
+	}
+}
+
+func TestStreamsFor(t *testing.T) {
+	m := twoShards()
+	streams := []string{"auburn_c", "jacksonh", "city_a_d", "bend"}
+	total := 0
+	for _, sh := range m.Shards {
+		total += len(m.StreamsFor(sh.Name, streams))
+	}
+	if total != len(streams) {
+		t.Fatalf("per-shard stream lists cover %d of %d streams", total, len(streams))
+	}
+}

@@ -86,6 +86,9 @@ func planCacheKey(canonical string, req *PlanRequest, names []string, vector map
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) { // before the ready check: mid-boot drains stay marked
+		return
+	}
 	if !s.ready.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "not ready"})
 		return
@@ -131,7 +134,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	// Snapshot the watermark vector at admission, exactly like /query —
 	// unless the request pins streams explicitly (paging across a live
 	// service passes the echoed Watermarks back for coherent pages).
-	names, vector, err := s.resolveVector(normalizeStreams(req.Streams), req.AtWatermarks)
+	names, vector, err := s.resolveVector(NormalizeStreams(req.Streams), req.AtWatermarks)
 	if err != nil {
 		s.clientErrs.Add(1)
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
@@ -143,7 +146,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		s.cacheHits.Add(1)
 		hit := *(v.(*PlanResponse)) // shallow copy: Cached flag and page differ
 		hit.Cached = true
-		hit.Items = pageItems(hit.Items, req.Limit, req.Offset)
+		hit.Items = PagePlanItems(hit.Items, req.Limit, req.Offset)
 		w.Header().Set("X-Focus-Cache", "hit")
 		writeJSON(w, http.StatusOK, &hit)
 		return
@@ -169,7 +172,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	s.cache.put(key, resp)
 	s.cacheMisses.Add(1)
 	out := *resp
-	out.Items = pageItems(out.Items, req.Limit, req.Offset)
+	out.Items = PagePlanItems(out.Items, req.Limit, req.Offset)
 	w.Header().Set("X-Focus-Cache", "miss")
 	writeJSON(w, http.StatusOK, &out)
 }
@@ -201,11 +204,11 @@ func buildPlanResponse(canonical string, req *PlanRequest, res *focus.PlanResult
 	return resp
 }
 
-// pageItems slices the ranked items to the requested page; limit 0 means
+// PagePlanItems slices the ranked items to the requested page; limit 0 means
 // everything from offset on. Always returns a non-nil slice so a
 // past-the-end page serializes as "items": [], not null — the natural
 // "request pages until items is empty" client loop must end cleanly.
-func pageItems(items []PlanItem, limit, offset int) []PlanItem {
+func PagePlanItems(items []PlanItem, limit, offset int) []PlanItem {
 	if offset >= len(items) {
 		return []PlanItem{}
 	}

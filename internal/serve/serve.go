@@ -20,7 +20,15 @@
 //
 // Endpoints: GET /query (single class), POST /plan (compound boolean
 // predicate, confidence-ranked, pageable via limit/offset), GET /streams,
-// GET /stats, GET /healthz.
+// GET /stats, GET /healthz, POST /drain.
+//
+// The server is also shard-aware: a focus-router front tier can place
+// several serve processes behind one endpoint. The shard-facing surface is
+// deliberately small — /streams reports each stream's ingest watermark,
+// /query and /plan accept explicit pinned watermark vectors (the `at`
+// parameter and PlanRequest.AtWatermarks), and /healthz distinguishes
+// "not ready" from "draining" so the router can take a shard out of
+// rotation before it restarts. See internal/router and OPERATIONS.md.
 package serve
 
 import (
@@ -121,11 +129,17 @@ type StreamQueryResult struct {
 
 // QueryResponse is the /query payload. Cached is true when the response was
 // served from the result cache (its cost counters then describe the original
-// execution; no new GT-CNN work happened).
+// execution; no new GT-CNN work happened). The executed leaf options are
+// echoed back — with the per-stream watermarks — so a verifier can replay
+// the exact execution as a direct library call.
 type QueryResponse struct {
 	Class       string                        `json:"class"`
 	Streams     map[string]*StreamQueryResult `json:"streams"`
 	TotalFrames int                           `json:"total_frames"`
+	Kx          int                           `json:"kx,omitempty"`
+	Start       float64                       `json:"start,omitempty"`
+	End         float64                       `json:"end,omitempty"`
+	MaxClusters int                           `json:"max_clusters,omitempty"`
 	LatencyMS   float64                       `json:"latency_ms"`
 	GPUTimeMS   float64                       `json:"gpu_time_ms"`
 	Cached      bool                          `json:"cached"`
@@ -145,11 +159,18 @@ type Server struct {
 	cache   *resultCache
 	mux     *http.ServeMux
 
-	ready   atomic.Bool
-	started time.Time
-	stopCh  chan struct{}
-	stopped sync.Once
-	wg      sync.WaitGroup
+	ready atomic.Bool
+	// draining rejects new /query and /plan work with 503 (marked with the
+	// X-Focus-Draining header) while health/stats endpoints stay live, so a
+	// router can take the shard out of rotation before it restarts.
+	draining atomic.Bool
+	// startedNS is the boot time in unix nanoseconds. Atomic because a
+	// deployment exposes /healthz and /stats while Start is still tuning
+	// (readiness probing), so Snapshot can race the Start-time store.
+	startedNS atomic.Int64
+	stopCh    chan struct{}
+	stopped   sync.Once
+	wg        sync.WaitGroup
 
 	// counters
 	queries     atomic.Int64
@@ -179,8 +200,14 @@ func New(sys *focus.System, cfg Config) *Server {
 	s.mux.HandleFunc("/streams", s.handleStreams)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/drain", s.handleDrain)
 	return s
 }
+
+// DrainingHeader marks a 503 caused by draining (this shard's, or — when
+// set by the router — the named shard's). Load tooling treats these as
+// expected during a rolling restart, unlike any other 5xx.
+const DrainingHeader = "X-Focus-Draining"
 
 // Handler returns the HTTP handler; callers own the listener and http.Server.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -215,7 +242,7 @@ func (s *Server) Start() error {
 	if err != nil {
 		return err
 	}
-	s.started = time.Now()
+	s.startedNS.Store(time.Now().UnixNano())
 	if !s.cfg.NoBackgroundIngest {
 		for _, sess := range sessions {
 			s.wg.Add(1)
@@ -239,6 +266,44 @@ func (s *Server) Stop() {
 			sess.StopLive()
 		}
 	}
+}
+
+// StartDrain takes the server out of rotation: subsequent /query and /plan
+// requests are rejected with 503 (marked with DrainingHeader) while
+// /streams, /stats and /healthz keep answering, and background ingestion
+// keeps advancing watermarks. In-flight queries finish normally. Draining
+// is one-way; restart the process to rejoin rotation.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// handleDrain is the admin surface of StartDrain (POST /drain): a router or
+// an operator's curl takes the shard out of rotation before a restart. It
+// shares the query listener and — like every endpoint of this service —
+// carries no authentication, so deployments must keep the port inside the
+// trust boundary (see OPERATIONS.md §6); draining is irreversible until
+// the process restarts.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.clientErrs.Add(1)
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST to /drain"})
+		return
+	}
+	s.StartDrain()
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"draining"}`)
+}
+
+// rejectDraining writes the draining 503 and reports whether the request
+// was rejected.
+func (s *Server) rejectDraining(w http.ResponseWriter) bool {
+	if !s.draining.Load() {
+		return false
+	}
+	w.Header().Set(DrainingHeader, "1")
+	writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "draining"})
+	return true
 }
 
 // ingestLoop advances one stream's live ingestion chunk by chunk until the
@@ -291,6 +356,9 @@ type queryParams struct {
 	class   string
 	streams []string
 	opts    focus.QueryOptions
+	// at pins named streams to explicit watermarks instead of the
+	// admission-time snapshot (the `at` parameter).
+	at map[string]float64
 }
 
 func parseQueryParams(r *http.Request) (*queryParams, error) {
@@ -300,7 +368,7 @@ func parseQueryParams(r *http.Request) (*queryParams, error) {
 		return nil, fmt.Errorf("missing required parameter: class")
 	}
 	if v := q.Get("streams"); v != "" {
-		p.streams = normalizeStreams(strings.Split(v, ","))
+		p.streams = NormalizeStreams(strings.Split(v, ","))
 	}
 	var err error
 	intParam := func(name string) int {
@@ -332,15 +400,78 @@ func parseQueryParams(r *http.Request) (*queryParams, error) {
 	if err != nil {
 		return nil, err
 	}
+	if v := q.Get("at"); v != "" {
+		if p.at, err = ParseWatermarkVector(v); err != nil {
+			return nil, err
+		}
+	}
 	return p, nil
+}
+
+// ParseWatermarkVector parses the `at` query parameter: comma-separated
+// stream@seconds pairs ("auburn_c@35,jacksonh@40") pinning named streams to
+// explicit ingest watermarks. A non-positive watermark pins the stream to
+// the empty horizon, matching Query.AtWatermarks semantics. The router uses
+// this form to pass a merged vector through to the owning shards; clients
+// use it to replay an earlier response's vector for coherent reads while
+// ingest advances.
+func ParseWatermarkVector(v string) (map[string]float64, error) {
+	out := make(map[string]float64)
+	for _, pair := range strings.Split(v, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, sec, ok := strings.Cut(pair, "@")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad at entry %q: want stream@seconds", pair)
+		}
+		f, err := strconv.ParseFloat(sec, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad at entry %q: %v", pair, err)
+		}
+		out[name] = f
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty at parameter")
+	}
+	return out, nil
+}
+
+// FormatWatermarkVector renders a pinned vector in the `at` parameter form,
+// streams sorted by name. Inverse of ParseWatermarkVector.
+func FormatWatermarkVector(vector map[string]float64) string {
+	names := make([]string, 0, len(vector))
+	for n := range vector {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s@%g", n, vector[n])
+	}
+	return b.String()
 }
 
 // resolveVector resolves a request's target streams (empty = every
 // registered stream) and the watermark vector the execution is pinned to:
 // each stream's watermark is snapshotted at admission unless the caller
 // pinned it explicitly through `pinned` (/plan paging does this to keep
-// offset pages coherent while ingest advances). Shared by /query and
-// /plan so the two endpoints can never diverge on snapshot semantics.
+// offset pages coherent while ingest advances, and the router passes
+// merged vectors through). Shared by /query and /plan so the two
+// endpoints can never diverge on snapshot semantics.
+//
+// A pin ahead of the stream's current watermark is rejected: the horizon
+// is not sealed yet, so the answer would silently change as ingest
+// catches up — and, worse, it would be cached under the future vector's
+// key and served stale once a snapshot legitimately lands there. Pins at
+// or below the watermark stay valid forever (watermarks are monotonic).
+// A pin naming a stream outside the query's target set is rejected too:
+// silently dropping it (a typo, a removed stream) would quietly unpin the
+// read — the exact incoherence pinning exists to prevent.
 func (s *Server) resolveVector(names []string, pinned map[string]float64) ([]string, map[string]float64, error) {
 	if len(names) == 0 {
 		for _, sess := range s.sys.Sessions() {
@@ -353,21 +484,30 @@ func (s *Server) resolveVector(names []string, pinned map[string]float64) ([]str
 		if sess == nil {
 			return nil, nil, fmt.Errorf("unknown stream %q", n)
 		}
+		wm := sess.Watermark()
 		if at, ok := pinned[n]; ok {
+			if at > wm {
+				return nil, nil, fmt.Errorf("stream %q pinned at %g beyond its ingest watermark %g", n, at, wm)
+			}
 			vector[n] = at
 		} else {
-			vector[n] = sess.Watermark()
+			vector[n] = wm
+		}
+	}
+	for n := range pinned {
+		if _, ok := vector[n]; !ok {
+			return nil, nil, fmt.Errorf("pinned stream %q is not among the query's streams", n)
 		}
 	}
 	return names, vector, nil
 }
 
-// normalizeStreams trims, deduplicates and sorts a requested stream-name
+// NormalizeStreams trims, deduplicates and sorts a requested stream-name
 // list — the one canonical form /query and /plan both use. Deduplication
 // matters for correctness (a repeated name would execute the stream twice
 // and double-count aggregates); sorting matters for the cache (equivalent
 // requests must render the same key).
-func normalizeStreams(names []string) []string {
+func NormalizeStreams(names []string) []string {
 	seen := make(map[string]bool, len(names))
 	var out []string
 	for _, name := range names {
@@ -393,6 +533,9 @@ func cacheKey(p *queryParams, names []string, vector map[string]float64) string 
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) { // before the ready check: mid-boot drains stay marked
+		return
+	}
 	if !s.ready.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "not ready"})
 		return
@@ -413,8 +556,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	// Resolve target streams and snapshot their watermarks: the consistent
 	// horizon this query is pinned to, however far ingest advances while it
-	// runs.
-	names, vector, err := s.resolveVector(p.streams, nil)
+	// runs. Streams pinned through `at` keep their explicit watermark — the
+	// cache key renders the resolved vector either way, so a pinned request
+	// and a snapshot that happened to land on the same vector share one
+	// entry (they are the same pure function).
+	names, vector, err := s.resolveVector(p.streams, p.at)
 	if err != nil {
 		s.clientErrs.Add(1)
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
@@ -447,18 +593,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
 		return
 	}
-	resp := buildResponse(p.class, res, vector)
+	resp := buildResponse(p, res, vector)
 	s.cache.put(key, resp)
 	s.cacheMisses.Add(1)
 	w.Header().Set("X-Focus-Cache", "miss")
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func buildResponse(class string, res *focus.Result, vector map[string]float64) *QueryResponse {
+func buildResponse(p *queryParams, res *focus.Result, vector map[string]float64) *QueryResponse {
 	resp := &QueryResponse{
-		Class:       class,
+		Class:       p.class,
 		Streams:     make(map[string]*StreamQueryResult, len(res.PerStream)),
 		TotalFrames: res.TotalFrames,
+		Kx:          p.opts.Kx,
+		Start:       p.opts.StartSec,
+		End:         p.opts.EndSec,
+		MaxClusters: p.opts.MaxClusters,
 		LatencyMS:   res.LatencyMS,
 		GPUTimeMS:   res.GPUTimeMS,
 	}
@@ -540,6 +690,7 @@ func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
 type Stats struct {
 	UptimeSec    float64            `json:"uptime_sec"`
 	Ready        bool               `json:"ready"`
+	Draining     bool               `json:"draining"`
 	Queries      int64              `json:"queries"`
 	PlanQueries  int64              `json:"plan_queries"`
 	CacheHits    int64              `json:"cache_hits"`
@@ -560,9 +711,14 @@ type Stats struct {
 // Snapshot returns the server's current counters (also served at /stats).
 func (s *Server) Snapshot() Stats {
 	meter := s.sys.GPUMeter()
+	var uptime float64
+	if ns := s.startedNS.Load(); ns > 0 {
+		uptime = time.Since(time.Unix(0, ns)).Seconds()
+	}
 	return Stats{
-		UptimeSec:    time.Since(s.started).Seconds(),
+		UptimeSec:    uptime,
 		Ready:        s.ready.Load(),
+		Draining:     s.draining.Load(),
 		Queries:      s.queries.Load(),
 		PlanQueries:  s.planQueries.Load(),
 		CacheHits:    s.cacheHits.Load(),
@@ -586,6 +742,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// Draining wins over "not ready": a drain issued mid-boot (a rollout
+	// reversing itself) must still read as deliberate, marker and all, or
+	// tooling would count it as an outage.
+	if s.draining.Load() {
+		// Distinguishable from "down" and from "not ready": the router keeps
+		// the shard's stream ownership but stops routing queries to it.
+		w.Header().Set(DrainingHeader, "1")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"draining"}`)
+		return
+	}
 	if !s.ready.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "not ready"})
 		return
