@@ -1,0 +1,163 @@
+package api
+
+import (
+	"net/http"
+	"reflect"
+	"testing"
+)
+
+// TestParseWatermarkVector pins the `at` parameter grammar both ways.
+func TestParseWatermarkVector(t *testing.T) {
+	v, err := ParseWatermarkVector("b@40, a@35.5,c@-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := WatermarkVector{"a": 35.5, "b": 40, "c": -1}
+	if !reflect.DeepEqual(v, want) {
+		t.Fatalf("parsed %v, want %v", v, want)
+	}
+	if got := FormatWatermarkVector(v); got != "a@35.5,b@40,c@-1" {
+		t.Fatalf("formatted %q", got)
+	}
+	round, err := ParseWatermarkVector(FormatWatermarkVector(v))
+	if err != nil || !reflect.DeepEqual(round, v) {
+		t.Fatalf("round trip lost data: %v (%v)", round, err)
+	}
+	for _, bad := range []string{"", " , ", "a", "a@", "a@x", "@5"} {
+		if _, err := ParseWatermarkVector(bad); err == nil {
+			t.Errorf("ParseWatermarkVector(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNormalizeStreams(t *testing.T) {
+	got := NormalizeStreams([]string{" b", "a", "b", "", "  ", "a "})
+	if !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("normalized %v", got)
+	}
+	if NormalizeStreams(nil) != nil {
+		t.Fatal("nil input should stay nil")
+	}
+}
+
+// TestCursorRoundTrip: tokens are deterministic, opaque-but-decodable, and
+// preserve every frozen field.
+func TestCursorRoundTrip(t *testing.T) {
+	c := &Cursor{
+		Expr:    "(car&person&!bus)",
+		Streams: []string{"auburn_c", "jacksonh"},
+		TopK:    25,
+		Kx:      2,
+		Start:   5,
+		End:     120,
+		At:      WatermarkVector{"auburn_c": 35, "jacksonh": 40.5},
+		Offset:  10,
+	}
+	tok := c.Encode()
+	if tok2 := c.Encode(); tok2 != tok {
+		t.Fatalf("cursor encoding is not deterministic: %q vs %q", tok, tok2)
+	}
+	back, err := DecodeCursor(tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, c) {
+		t.Fatalf("round trip lost data:\n%+v\nvs\n%+v", back, c)
+	}
+}
+
+func TestCursorRejectsGarbage(t *testing.T) {
+	good := (&Cursor{Expr: "car", Streams: []string{"a"}, At: WatermarkVector{"a": 1}}).Encode()
+	// Forged tokens carrying options no server would mint must be rejected
+	// at decode — the execution layers trust decoded cursors and skip
+	// re-validation.
+	forgedKx := (&Cursor{Expr: "car", Streams: []string{"a"}, Kx: -1, At: WatermarkVector{"a": 1}}).Encode()
+	forgedOffset := (&Cursor{Expr: "car", Streams: []string{"a"}, Offset: -2, At: WatermarkVector{"a": 1}}).Encode()
+	for _, bad := range []string{
+		"",
+		"nonsense",
+		"v2." + good[3:],        // wrong version prefix
+		"v1.!!!not-base64!!!",   // not base64
+		"v1.e30",                // decodes to {} — empty expr
+		good + "corrupt-suffix", // trailing garbage breaks base64
+		forgedKx,
+		forgedOffset,
+	} {
+		if _, err := DecodeCursor(bad); err == nil {
+			t.Errorf("DecodeCursor(%q) accepted", bad)
+		}
+	}
+	if _, err := DecodeCursor(good); err != nil {
+		t.Fatalf("control token rejected: %v", err)
+	}
+}
+
+// TestContinuationAndPaging pins the shared paging helpers both layers
+// slice and mint with.
+func TestContinuationAndPaging(t *testing.T) {
+	items := []Item{{Frame: 0}, {Frame: 1}, {Frame: 2}, {Frame: 3}, {Frame: 4}}
+	if got := PageItems(items, 2, 1); len(got) != 2 || got[0].Frame != 1 {
+		t.Fatalf("PageItems(2,1) = %+v", got)
+	}
+	if got := PageItems(items, 0, 3); len(got) != 2 {
+		t.Fatalf("PageItems(0,3) = %+v", got)
+	}
+	if got := PageItems(items, 2, 99); got == nil || len(got) != 0 {
+		t.Fatalf("past-the-end page must be empty and non-nil, got %#v", got)
+	}
+	base := Cursor{Expr: "car", Streams: []string{"a"}, At: WatermarkVector{"a": 1}}
+	if tok := ContinuationToken(base, 0, 0, 5, 5); tok != "" {
+		t.Fatal("unpaged read minted a cursor")
+	}
+	if tok := ContinuationToken(base, 2, 3, 2, 5); tok != "" {
+		t.Fatal("exhausted read minted a cursor")
+	}
+	tok := ContinuationToken(base, 2, 0, 2, 5)
+	cur, err := DecodeCursor(tok)
+	if err != nil || cur.Offset != 2 || cur.Expr != "car" {
+		t.Fatalf("continuation decoded to %+v (%v)", cur, err)
+	}
+}
+
+// TestErrorEnvelope pins code→status mapping and envelope decoding, the
+// two halves every client and the router rely on.
+func TestErrorEnvelope(t *testing.T) {
+	statuses := map[Code]int{
+		CodeBadRequest:    400,
+		CodeBadExpr:       400,
+		CodeBadCursor:     400,
+		CodeUnknownStream: 400,
+		CodePinAhead:      400,
+		CodeOverloaded:    429,
+		CodeDraining:      503,
+		CodeShardDown:     503,
+		CodeNotReady:      503,
+		CodeUnavailable:   503,
+		CodeInternal:      500,
+	}
+	for code, want := range statuses {
+		if got := (&Error{Code: code}).HTTPStatus(); got != want {
+			t.Errorf("%s → %d, want %d", code, got, want)
+		}
+	}
+
+	// A structured envelope round-trips code, message and shard.
+	e := DecodeError(503, []byte(`{"error":{"code":"draining","message":"shard x is draining","shard":"x"}}`))
+	if e.Code != CodeDraining || e.Shard != "x" {
+		t.Fatalf("decoded %+v", e)
+	}
+	if !IsCode(e, CodeDraining) || IsCode(e, CodeOverloaded) {
+		t.Fatal("IsCode misclassifies")
+	}
+
+	// Non-envelope bodies degrade to a status-inferred code with the raw
+	// body as message (a proxy 502, a legacy string error).
+	e = DecodeError(http.StatusTooManyRequests, []byte(`{"error":"overloaded: queue full"}`))
+	if e.Code != CodeOverloaded {
+		t.Fatalf("legacy 429 decoded as %+v", e)
+	}
+	e = DecodeError(http.StatusBadGateway, []byte("<html>bad gateway</html>"))
+	if e.Code != CodeInternal || e.Message == "" {
+		t.Fatalf("opaque 502 decoded as %+v", e)
+	}
+}

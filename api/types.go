@@ -1,0 +1,167 @@
+package api
+
+// QueryRequest is the POST /v1/query body. A single-class query is a
+// one-leaf plan: {"expr": "car"}. Exactly one of Expr or Cursor must be
+// set — Cursor continues a paged read and carries everything else (the
+// canonical expr, the resolved streams, the options, the pinned watermark
+// vector, and the offset) inside the token.
+type QueryRequest struct {
+	// Expr is the predicate: a class name ("car") or a boolean composition
+	// ("(car | truck) & person & !bus"). Required unless Cursor is set.
+	Expr string `json:"expr,omitempty"`
+	// Streams restricts execution to these stream names; empty = every
+	// stream the service (or cluster) serves.
+	Streams []string `json:"streams,omitempty"`
+	// TopK caps the ranked result; 0 ranks every matching frame. Setting
+	// TopK selects the ranked response form even for one-leaf exprs.
+	TopK int `json:"top_k,omitempty"`
+	// Kx, Start, End and MaxClusters apply to every predicate leaf, with
+	// single-class query semantics (Kx cuts retrieval below the indexed K,
+	// Start/End window the stream time, MaxClusters caps examined
+	// clusters).
+	Kx          int     `json:"kx,omitempty"`
+	Start       float64 `json:"start,omitempty"`
+	End         float64 `json:"end,omitempty"`
+	MaxClusters int     `json:"max_clusters,omitempty"`
+	// Limit requests a page of at most Limit ranked items (0 = all).
+	// Setting Limit selects the ranked form; the response's Cursor field
+	// then continues the read from the next offset at the same pinned
+	// watermark vector.
+	Limit int `json:"limit,omitempty"`
+	// Cursor continues a paged read started by an earlier response. When
+	// set, every other field except Limit must be zero.
+	Cursor string `json:"cursor,omitempty"`
+	// At pins named streams to explicit ingest watermarks instead of the
+	// admission-time snapshot. Pins ahead of a stream's sealed watermark
+	// are rejected with code pin_ahead; pins naming streams outside the
+	// query's target set are rejected with code bad_request.
+	At WatermarkVector `json:"at,omitempty"`
+	// Form optionally forces the response form. Empty picks the natural
+	// form (frames for a bare one-leaf request, ranked otherwise);
+	// FormRanked forces the ranked form for one-leaf requests too. The
+	// frames form cannot be forced — it only exists for bare one-leaf
+	// plans.
+	Form string `json:"form,omitempty"`
+}
+
+// Response forms (QueryResponse.Form).
+const (
+	// FormRanked is the compound/primary form: Items ranked by aggregate
+	// class confidence, pageable via Cursor.
+	FormRanked = "ranked"
+	// FormFrames is the per-stream detail form a bare one-leaf request
+	// (no TopK, no Limit, no Cursor) is answered in: per-stream frames,
+	// segments, and cluster/cost counters.
+	FormFrames = "frames"
+)
+
+// QueryResponse is the POST /v1/query payload. Form tells the two shapes
+// apart: "ranked" responses carry Items/TotalItems/Cursor, "frames"
+// responses carry Streams/TotalFrames. Either way the executed canonical
+// expr, options, and watermark vector are echoed back, so a verifier can
+// replay the exact execution as a direct library call, and Cached reports
+// whether the answer came from the result cache (cost counters then
+// describe the original execution — no new GT-CNN work happened).
+type QueryResponse struct {
+	// Expr is the canonical form of the executed predicate — the form the
+	// result cache keys on.
+	Expr string `json:"expr"`
+	// Form is FormRanked or FormFrames.
+	Form string `json:"form"`
+	// Watermarks is the watermark vector the execution was pinned to.
+	Watermarks WatermarkVector `json:"watermarks"`
+
+	// Items is the (page of the) ranked result; ranked form only.
+	Items []Item `json:"items,omitempty"`
+	// TotalItems counts the full execution's ranked items, however the
+	// page was sliced; ranked form only.
+	TotalItems int `json:"total_items,omitempty"`
+	// Cursor continues the read after this page; empty when the ranking is
+	// exhausted (the paging loop's termination signal) or when the request
+	// did not page (no Limit). Ranked form only.
+	Cursor string `json:"cursor,omitempty"`
+
+	// Streams holds each stream's frame-level answer; frames form only.
+	Streams map[string]*StreamResult `json:"streams,omitempty"`
+	// TotalFrames counts returned frames across streams; frames form only.
+	TotalFrames int `json:"total_frames,omitempty"`
+
+	// TopK, Kx, Start, End and MaxClusters echo the executed options.
+	TopK        int     `json:"top_k,omitempty"`
+	Kx          int     `json:"kx,omitempty"`
+	Start       float64 `json:"start,omitempty"`
+	End         float64 `json:"end,omitempty"`
+	MaxClusters int     `json:"max_clusters,omitempty"`
+
+	// GTInferences, GPUTimeMS and LatencyMS are the execution's cost.
+	GTInferences int     `json:"gt_inferences"`
+	GPUTimeMS    float64 `json:"gpu_time_ms"`
+	LatencyMS    float64 `json:"latency_ms"`
+	// Cached is true when the response was served from the result cache.
+	Cached bool `json:"cached"`
+}
+
+// Item is one ranked result of a ranked-form response.
+type Item struct {
+	// Stream names the stream the frame belongs to.
+	Stream string `json:"stream"`
+	// Frame is the frame number within the stream.
+	Frame int64 `json:"frame"`
+	// TimeSec is the frame's stream time.
+	TimeSec float64 `json:"time_sec"`
+	// Segment is the one-second segment the frame falls in.
+	Segment int64 `json:"segment"`
+	// Score is the aggregate class confidence the ranking orders by.
+	Score float64 `json:"score"`
+}
+
+// StreamResult is one stream's share of a frames-form response.
+type StreamResult struct {
+	// Watermark is the ingest watermark this stream's answer is pinned to.
+	Watermark float64 `json:"watermark"`
+	// Frames are the matching frame numbers, ascending.
+	Frames []int64 `json:"frames"`
+	// Segments are the matching one-second segments, ascending.
+	Segments []int64 `json:"segments"`
+	// ExaminedClusters and MatchedClusters count the index clusters the
+	// query examined and matched; GTInferences counts GT-CNN invocations.
+	ExaminedClusters int `json:"examined_clusters"`
+	MatchedClusters  int `json:"matched_clusters"`
+	GTInferences     int `json:"gt_inferences"`
+	// GPUTimeMS and LatencyMS are this stream's execution cost.
+	GPUTimeMS float64 `json:"gpu_time_ms"`
+	LatencyMS float64 `json:"latency_ms"`
+	// ViaOther is true when the class was answered through the OTHER
+	// cluster fallback.
+	ViaOther bool `json:"via_other"`
+}
+
+// StreamStatus is one entry of the GET /v1/streams payload. A router
+// annotates each entry with the owning Shard; a single focus-serve leaves
+// it empty.
+type StreamStatus struct {
+	// Shard names the shard serving this stream (router responses only).
+	Shard string `json:"shard,omitempty"`
+	// Name, Type and Location identify the stream.
+	Name     string `json:"name"`
+	Type     string `json:"type"`
+	Location string `json:"location"`
+	// Watermark is the stream's current sealed ingest horizon; WindowSec
+	// its full configured window; IngestDone whether the window is fully
+	// ingested.
+	Watermark  float64 `json:"watermark"`
+	WindowSec  float64 `json:"window_sec"`
+	IngestDone bool    `json:"ingest_done"`
+	// Frames, Sightings, CNNInfers, DedupRate, Clusters and IngestGPUMS
+	// summarize ingest-time work so far.
+	Frames      int     `json:"frames"`
+	Sightings   int     `json:"sightings"`
+	CNNInfers   int     `json:"cnn_inferences"`
+	DedupRate   float64 `json:"dedup_rate"`
+	Clusters    int     `json:"clusters"`
+	IngestGPUMS float64 `json:"ingest_gpu_ms"`
+	// Model, K and T are the tuner's chosen ingest configuration.
+	Model string  `json:"model,omitempty"`
+	K     int     `json:"k,omitempty"`
+	T     float64 `json:"t,omitempty"`
+}

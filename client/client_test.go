@@ -1,0 +1,170 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"focus/api"
+)
+
+// rankedStub serves a fixed 12-item ranking with real server-side cursor
+// paging, so the pager/collector logic is exercised against the same
+// slicing rules the serve layer implements.
+func rankedStub(t *testing.T, items int) *httptest.Server {
+	t.Helper()
+	all := make([]api.Item, items)
+	for i := range all {
+		all[i] = api.Item{Stream: "s", Frame: int64(i), Score: float64(items - i)}
+	}
+	vector := api.WatermarkVector{"s": 30}
+	mux := http.NewServeMux()
+	mux.HandleFunc(api.PathQuery, func(w http.ResponseWriter, r *http.Request) {
+		var req api.QueryRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("stub decode: %v", err)
+		}
+		offset := 0
+		if req.Cursor != "" {
+			cur, err := api.DecodeCursor(req.Cursor)
+			if err != nil {
+				w.WriteHeader(http.StatusBadRequest)
+				_ = json.NewEncoder(w).Encode(api.Envelope{Err: api.Errorf(api.CodeBadCursor, "%v", err)})
+				return
+			}
+			offset = cur.Offset
+		}
+		page := all[min(offset, len(all)):]
+		cursor := ""
+		if req.Limit > 0 && req.Limit < len(page) {
+			page = page[:req.Limit]
+			cursor = (&api.Cursor{Expr: "car", Streams: []string{"s"}, At: vector, Offset: offset + len(page)}).Encode()
+		}
+		_ = json.NewEncoder(w).Encode(&api.QueryResponse{
+			Expr: "car", Form: api.FormRanked, Watermarks: vector,
+			Items: page, TotalItems: len(all), Cursor: cursor,
+		})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestCollectPagesReassemblesRanking(t *testing.T) {
+	ts := rankedStub(t, 12)
+	c := New(ts.URL)
+	full, err := c.CollectPages(context.Background(), &api.QueryRequest{Expr: "car"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Items) != 12 || full.TotalItems != 12 {
+		t.Fatalf("assembled %d items (total %d), want 12", len(full.Items), full.TotalItems)
+	}
+	for i, it := range full.Items {
+		if it.Frame != int64(i) {
+			t.Fatalf("item %d out of order: %+v", i, it)
+		}
+	}
+	if full.Cursor != "" {
+		t.Fatal("assembled response still carries a continuation cursor")
+	}
+
+	// The pager surfaces the same pages one at a time.
+	pager := c.Pager(&api.QueryRequest{Expr: "car"}, 5)
+	var sizes []int
+	for pager.More() {
+		page, err := pager.Next(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, len(page))
+	}
+	if !reflect.DeepEqual(sizes, []int{5, 5, 2}) {
+		t.Fatalf("page sizes %v, want [5 5 2]", sizes)
+	}
+	if pager.Last() == nil || pager.Last().TotalItems != 12 {
+		t.Fatalf("pager's last response: %+v", pager.Last())
+	}
+}
+
+// TestRetryOnOverloaded: overloaded responses are retried with backoff;
+// other errors are final; draining is retried only with the opt-in.
+func TestRetryOnOverloaded(t *testing.T) {
+	var calls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc(api.PathQuery, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			_ = json.NewEncoder(w).Encode(api.Envelope{Err: api.Errorf(api.CodeOverloaded, "queue full")})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(&api.QueryResponse{Expr: "car", Form: api.FormRanked})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetries(5, time.Millisecond))
+	if _, err := c.Query(context.Background(), &api.QueryRequest{Expr: "car"}); err != nil {
+		t.Fatalf("retrying client failed: %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3 (2 rejections + success)", calls.Load())
+	}
+
+	calls.Store(0)
+	noRetry := New(ts.URL, WithRetries(0, 0))
+	_, err := noRetry.Query(context.Background(), &api.QueryRequest{Expr: "car"})
+	if !api.IsCode(err, api.CodeOverloaded) {
+		t.Fatalf("zero-retry client: %v, want overloaded", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("zero-retry client issued %d calls", calls.Load())
+	}
+}
+
+func TestDrainingToleranceOptIn(t *testing.T) {
+	var calls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc(api.PathQuery, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(api.Envelope{Err: api.Errorf(api.CodeDraining, "draining")})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(&api.QueryResponse{Expr: "car", Form: api.FormRanked})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	// Without tolerance: draining is final.
+	c := New(ts.URL, WithRetries(3, time.Millisecond))
+	if _, err := c.Query(context.Background(), &api.QueryRequest{Expr: "car"}); !api.IsCode(err, api.CodeDraining) {
+		t.Fatalf("intolerant client: %v, want draining", err)
+	}
+	// With tolerance: ride through.
+	calls.Store(0)
+	tolerant := New(ts.URL, WithRetries(3, time.Millisecond), WithDrainingTolerance())
+	if _, err := tolerant.Query(context.Background(), &api.QueryRequest{Expr: "car"}); err != nil {
+		t.Fatalf("tolerant client failed: %v", err)
+	}
+}
+
+func TestErrorDecoding(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc(api.PathQuery, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		_ = json.NewEncoder(w).Encode(api.Envelope{Err: api.Errorf(api.CodeBadExpr, "plan: unexpected '&'")})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := New(ts.URL)
+	_, err := c.Query(context.Background(), &api.QueryRequest{Expr: "car &"})
+	if !api.IsCode(err, api.CodeBadExpr) {
+		t.Fatalf("got %v, want bad_expr", err)
+	}
+}

@@ -1,0 +1,125 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+
+	"focus/api"
+)
+
+// Pager iterates a ranked query page by page through the opaque cursor.
+// The first Next issues the seed request with the page limit; later Next
+// calls follow the cursor the previous response returned, so every page is
+// served from the same execution pinned at the first page's watermark
+// vector — the concatenation of all pages is bit-identical to the one-shot
+// answer at that vector.
+//
+//	pager := c.Pager(&api.QueryRequest{Expr: "car & person", TopK: 50}, 10)
+//	for pager.More() {
+//	    items, err := pager.Next(ctx)
+//	    ...
+//	}
+type Pager struct {
+	c     *Client
+	seed  api.QueryRequest
+	limit int
+	next  string // cursor for the next page ("" before the first)
+	begun bool
+	done  bool
+	last  *api.QueryResponse
+}
+
+// Pager starts a paged read of req with pages of at most limit items.
+// The request's own Limit and Cursor fields are ignored (the pager owns
+// paging); limit must be positive.
+func (c *Client) Pager(req *api.QueryRequest, limit int) *Pager {
+	return &Pager{c: c, seed: *req, limit: limit}
+}
+
+// More reports whether another Next call may yield items.
+func (p *Pager) More() bool { return !p.done }
+
+// Last returns the most recent page's full response (nil before the first
+// Next), e.g. to read the pinned Watermarks or TotalItems.
+func (p *Pager) Last() *api.QueryResponse { return p.last }
+
+// Next fetches the next page. After the final page (the server returns no
+// continuation cursor), More reports false.
+func (p *Pager) Next(ctx context.Context) ([]api.Item, error) {
+	if p.done {
+		return nil, fmt.Errorf("client: Next called after the final page")
+	}
+	if p.limit <= 0 {
+		p.done = true
+		return nil, fmt.Errorf("client: page limit must be positive, got %d", p.limit)
+	}
+	req := api.QueryRequest{Limit: p.limit}
+	if !p.begun {
+		req = p.seed
+		req.Limit, req.Cursor = p.limit, ""
+	} else {
+		req.Cursor = p.next
+	}
+	resp, err := p.c.Query(ctx, &req)
+	if err != nil {
+		p.done = true
+		return nil, err
+	}
+	if resp.Form != api.FormRanked {
+		p.done = true
+		return nil, fmt.Errorf("client: paged read answered in %q form (paging needs the ranked form)", resp.Form)
+	}
+	p.begun = true
+	p.last = resp
+	p.next = resp.Cursor
+	if p.next == "" {
+		p.done = true
+	}
+	return resp.Items, nil
+}
+
+// CollectPages runs a complete paged read and reassembles it into one
+// response: Items are the concatenated pages, everything else comes from
+// the first page (whose cost counters describe the actual execution —
+// later pages are cache reads of it by construction). It verifies the
+// cross-page invariants while collecting: every page must echo the same
+// canonical expr, pinned watermark vector, and TotalItems, and the item
+// count must add up. The result is directly comparable to (and must be
+// bit-identical with) the one-shot answer at the pinned vector.
+func (c *Client) CollectPages(ctx context.Context, req *api.QueryRequest, limit int) (*api.QueryResponse, error) {
+	pager := c.Pager(req, limit)
+	var out *api.QueryResponse
+	var items []api.Item
+	for pager.More() {
+		page, err := pager.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		resp := pager.Last()
+		if out == nil {
+			out = resp
+		} else {
+			if resp.Expr != out.Expr {
+				return nil, fmt.Errorf("client: page changed canonical expr %q -> %q", out.Expr, resp.Expr)
+			}
+			if !reflect.DeepEqual(resp.Watermarks, out.Watermarks) {
+				return nil, fmt.Errorf("client: page changed pinned watermarks %v -> %v", out.Watermarks, resp.Watermarks)
+			}
+			if resp.TotalItems != out.TotalItems {
+				return nil, fmt.Errorf("client: page changed total_items %d -> %d", out.TotalItems, resp.TotalItems)
+			}
+		}
+		items = append(items, page...)
+	}
+	if out == nil {
+		return nil, fmt.Errorf("client: paged read yielded no pages")
+	}
+	if len(items) != out.TotalItems {
+		return nil, fmt.Errorf("client: pages yielded %d items, server reported %d", len(items), out.TotalItems)
+	}
+	assembled := *out
+	assembled.Items = items
+	assembled.Cursor = ""
+	return &assembled, nil
+}

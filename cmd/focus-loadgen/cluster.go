@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"focus"
+	"focus/client"
 	"focus/internal/loadgen"
 	"focus/internal/router"
 	"focus/internal/serve"
@@ -212,12 +214,9 @@ func bootShardedCluster(cfg *loadgen.Config, n int, streams string, window, tune
 		last := shards[len(shards)-1]
 		timer := time.AfterFunc(time.Duration(drainAfter*float64(time.Second)), func() {
 			log.Printf("focus-loadgen: draining shard %s (%s)", last.name, last.url)
-			resp, err := http.Post(last.url+"/drain", "application/json", nil)
-			if err != nil {
+			if err := client.New(last.url).Drain(context.Background()); err != nil {
 				log.Printf("focus-loadgen: drain request failed: %v", err)
-				return
 			}
-			resp.Body.Close()
 		})
 		// A drain scheduled past the end of the run must not fire into the
 		// torn-down cluster and log a spurious failure after the report.

@@ -1,8 +1,11 @@
 // Command focus-loadgen drives a focus-serve instance — or a sharded
-// focus-router cluster — with deterministic closed-loop load: plain /query
-// traffic, optionally mixed with compound POST /plan requests. It reports
-// throughput, latency percentiles and error counts, and it is the CI
-// smoke/soak gate:
+// focus-router cluster — with deterministic closed-loop load over the v1
+// wire API (through the typed focus/client package): single-class
+// frames-form traffic, optionally mixed with compound ranked plans
+// (-plans/-plan-every), cursor-paged reads (-page-every), and deprecated
+// legacy-shim requests (-legacy-every, covering the migration surface).
+// It reports throughput, latency percentiles and error counts, and it is
+// the CI smoke/soak gate:
 //
 //   - -boot starts one in-process service and verifies every sampled
 //     response (plain and plan) against a direct library execution at the
@@ -59,6 +62,9 @@ func main() {
 	planEvery := flag.Int("plan-every", 0, "every Nth request per client is a POST /plan from -plans (0 = never)")
 	singleStreamEvery := flag.Int("single-stream-every", 0, "every Nth plain query targets one stream instead of the whole corpus (0 = never; -boot-cluster defaults to 3 so healthy shards stay exercised during a drain)")
 	planTopK := flag.Int("plan-top-k", 10, "top_k for plan requests")
+	legacyEvery := flag.Int("legacy-every", 0, "every Nth request per client goes through the deprecated /query or /plan shim instead of /v1/query (0 = v1 only)")
+	pageEvery := flag.Int("page-every", 0, "every Nth plan request per client is a cursor-paged read (0 = one-shot only)")
+	pageSize := flag.Int("page-size", 5, "page limit for cursor-paged plan reads")
 	maxP99 := flag.Float64("max-p99", 0, "fail if p99 latency exceeds this many milliseconds (0 = no budget)")
 	jsonOut := flag.Bool("json", false, "print the report as JSON")
 
@@ -95,6 +101,9 @@ func main() {
 		PlanEvery:         *planEvery,
 		PlanTopK:          *planTopK,
 		SingleStreamEvery: *singleStreamEvery,
+		LegacyEvery:       *legacyEvery,
+		PageEvery:         *pageEvery,
+		PageSize:          *pageSize,
 	}
 	if *bootCluster > 0 {
 		// A drain is only acceptable when this run causes one; and during
@@ -264,7 +273,10 @@ func printReport(r *loadgen.Report) {
 	}
 	fmt.Printf("cache hits        %d\n", r.CacheHits)
 	if r.PlanRequests > 0 {
-		fmt.Printf("plan requests     %d (verified: %d)\n", r.PlanRequests, r.PlanVerified)
+		fmt.Printf("plan requests     %d (verified: %d, cursor-paged: %d)\n", r.PlanRequests, r.PlanVerified, r.PagedRequests)
+	}
+	if r.LegacyRequests > 0 {
+		fmt.Printf("legacy requests   %d\n", r.LegacyRequests)
 	}
 	fmt.Printf("verified          %d (mismatches: %d)\n", r.Verified, len(r.Mismatches))
 	fmt.Printf("latency ms        p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",

@@ -1,9 +1,11 @@
 // Command focus-router fronts a sharded focus-serve cluster: it loads a
 // shard map (or builds one from -shards), discovers which streams each
-// shard serves, health-checks them in the background, and answers /query
-// and /plan by scatter-gather with answers bit-identical to a single
-// focus-serve holding every stream. See OPERATIONS.md for the deployment
-// runbook and the shard-map file format.
+// shard serves, health-checks them in the background, and answers POST
+// /v1/query by scatter-gather — speaking the same v1 wire contract
+// (focus/api) to clients and to shards, merging failures by structured
+// error code — with answers bit-identical to a single focus-serve holding
+// every stream. See OPERATIONS.md for the deployment runbook and the
+// shard-map file format.
 //
 // Usage:
 //
@@ -11,9 +13,11 @@
 //	focus-router -addr :7070 -shards shard-0=http://127.0.0.1:7071,shard-1=http://127.0.0.1:7072
 //	focus-router -map cluster.json -print-assignment auburn_c,jacksonh,city_a_d
 //
-// Endpoints: GET /query, POST /plan (same wire format as focus-serve),
-// GET /streams (shard-annotated), GET /stats (router counters + per-shard
-// health), GET /healthz (ok / degraded / unavailable).
+// Endpoints: POST /v1/query (cursor paging over the merged ranking), GET
+// /v1/streams (shard-annotated), GET /v1/stats (router counters +
+// per-shard health), the deprecated GET /query and POST /plan shims
+// (same legacy wire format as focus-serve's shims), and GET /healthz
+// (ok / degraded / unavailable).
 package main
 
 import (

@@ -11,13 +11,19 @@
 //	            [-quick-tune] [-recall 0.95] [-precision 0.95]
 //	            [-drain-grace 10s]
 //
-// Endpoints:
+// Endpoints (see focus/api for the wire contract and OPERATIONS.md for
+// the operator walkthrough):
 //
-//	GET /query?class=car[&streams=a,b][&kx=2][&start=0][&end=120][&max_clusters=50][&at=a@35,b@40]
-//	GET /streams   — per-stream watermarks, ingest progress, chosen configs
-//	GET /stats     — service counters (cache, admission, GPU meter)
-//	GET /healthz   — readiness (503 while tuning, 503+X-Focus-Draining while draining)
-//	POST /drain    — leave rotation: new queries get 503 until the process exits
+//	POST /v1/query  — the primary query surface: {"expr": "car & person & !bus",
+//	                  "top_k": 10, ...} — a single class is a one-leaf plan
+//	                  ({"expr": "car"}); paging via the opaque watermark-stable
+//	                  cursor; structured error codes
+//	GET /v1/streams — per-stream watermarks, ingest progress, chosen configs
+//	GET /v1/stats   — service counters (cache, admission, legacy_requests, GPU meter)
+//	GET /query, POST /plan — deprecated pre-v1 shims (byte-identical legacy
+//	                  wire format, Deprecation header, counted in legacy_requests)
+//	GET /healthz    — readiness (503 while tuning or draining, with a status body)
+//	POST /drain     — leave rotation: new queries get "draining" until the process exits
 //
 // The listener comes up before tuning finishes, answering 503 on /healthz
 // until the service is ready — the readiness probe a router (or k8s) needs.

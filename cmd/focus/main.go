@@ -1,7 +1,9 @@
 // Command focus is the CLI for the Focus video-query system: ingest
 // synthetic Table 1 streams, run class queries against the resulting top-K
 // indexes, inspect the tuner's trade-off space, and print stream
-// characterizations.
+// characterizations. With -server, query and plan run against a live
+// focus-serve or focus-router endpoint through the typed v1 client
+// instead of the local library.
 //
 // Usage:
 //
@@ -9,19 +11,25 @@
 //	focus classes [-n 30]
 //	focus ingest  -stream auburn_c [-duration 240] [-policy balance] [-store focus.kv]
 //	focus query   -stream auburn_c -class car [-start 0 -end 120] [-kx 2] [-store focus.kv]
+//	focus query   -server http://localhost:7070 -class car [-stream auburn_c]
 //	focus plan    -streams auburn_c,jacksonh -expr 'car & person & !bus' [-top 10] [-page 5]
+//	focus plan    -server http://localhost:7070 -expr 'car & person & !bus' [-top 10] [-page 5]
 //	focus sweep   -stream auburn_c [-duration 240]
 //	focus characterize -stream auburn_c [-duration 240]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"text/tabwriter"
 
 	"focus"
+	"focus/api"
+	"focus/client"
 	"focus/internal/stats"
 	"focus/internal/tune"
 	"focus/internal/video"
@@ -143,7 +151,7 @@ func cmdIngest(args []string) error {
 
 func cmdQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
-	stream := fs.String("stream", "auburn_c", "Table 1 stream name")
+	stream := fs.String("stream", "auburn_c", "Table 1 stream name (with -server, empty = every served stream)")
 	class := fs.String("class", "car", "class name to query")
 	duration := fs.Float64("duration", 240, "window length in seconds (when re-ingesting)")
 	start := fs.Float64("start", 0, "window start (seconds)")
@@ -151,8 +159,27 @@ func cmdQuery(args []string) error {
 	kx := fs.Int("kx", 0, "dynamic Kx cut (0 = indexed K)")
 	maxClusters := fs.Int("max-clusters", 0, "batched retrieval cap")
 	store := fs.String("store", "", "load a persisted index from this path")
+	server := fs.String("server", "", "base URL of a running focus-serve or focus-router; queries it over /v1 instead of the local library")
 	seed := fs.Uint64("seed", 1, "system seed")
 	fs.Parse(args)
+
+	if *server != "" {
+		req := &api.QueryRequest{
+			Expr:        *class,
+			Kx:          *kx,
+			Start:       *start,
+			End:         *end,
+			MaxClusters: *maxClusters,
+		}
+		if *stream != "" {
+			req.Streams = []string{*stream}
+		}
+		resp, err := client.New(*server).Query(context.Background(), req)
+		if err != nil {
+			return err
+		}
+		return printServedQuery(*server, resp)
+	}
 
 	sys, err := focus.New(focus.Config{Seed: *seed, StorePath: *store})
 	if err != nil {
@@ -201,18 +228,23 @@ func cmdQuery(args []string) error {
 
 func cmdPlan(args []string) error {
 	fs := flag.NewFlagSet("plan", flag.ExitOnError)
-	streams := fs.String("streams", "auburn_c", "comma-separated Table 1 stream names")
+	streams := fs.String("streams", "auburn_c", "comma-separated Table 1 stream names (with -server, empty = every served stream)")
 	expr := fs.String("expr", "", "compound predicate, e.g. 'car & person & !bus'")
 	top := fs.Int("top", 10, "top-K results by aggregate confidence (0 = all)")
-	page := fs.Int("page", 0, "page size: stream results through Cursor.Next(n) (0 = one shot)")
+	page := fs.Int("page", 0, "page size: stream results through the paging cursor (0 = one shot)")
 	duration := fs.Float64("duration", 240, "window length in seconds (when re-ingesting)")
 	kx := fs.Int("kx", 0, "per-leaf dynamic Kx cut (0 = indexed K)")
 	maxClusters := fs.Int("max-clusters", 0, "per-leaf retrieval cap")
 	store := fs.String("store", "", "load persisted indexes from this path")
+	server := fs.String("server", "", "base URL of a running focus-serve or focus-router; plans over /v1 instead of the local library")
 	seed := fs.Uint64("seed", 1, "system seed")
 	fs.Parse(args)
 	if *expr == "" {
 		return fmt.Errorf("plan: -expr is required (e.g. -expr 'car & person & !bus')")
+	}
+
+	if *server != "" {
+		return servedPlan(*server, *streams, *expr, *top, *page, *kx, *maxClusters)
 	}
 
 	sys, err := focus.New(focus.Config{Seed: *seed, StorePath: *store})
@@ -292,6 +324,85 @@ func cmdPlan(args []string) error {
 		fmt.Printf("  %s: verified=%d skipped=%d clusters across %d leaves\n",
 			name, ss.VerifiedClusters, ss.SkippedClusters, len(ss.Leaves))
 	}
+	return nil
+}
+
+// printServedQuery renders a frames-form v1 response the way the library
+// path prints a direct query, stream by stream.
+func printServedQuery(server string, resp *api.QueryResponse) error {
+	names := make([]string, 0, len(resp.Streams))
+	for name := range resp.Streams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("query %q via %s: %d frames across %d streams (cached: %v)\n",
+		resp.Expr, server, resp.TotalFrames, len(resp.Streams), resp.Cached)
+	for _, name := range names {
+		sr := resp.Streams[name]
+		fmt.Printf("  %s@%g: %d frames in %d segments (examined=%d matched=%d gt-inferences=%d via OTHER: %v)\n",
+			name, sr.Watermark, len(sr.Frames), len(sr.Segments),
+			sr.ExaminedClusters, sr.MatchedClusters, sr.GTInferences, sr.ViaOther)
+		max := len(sr.Segments)
+		if max > 10 {
+			max = 10
+		}
+		if max > 0 {
+			fmt.Printf("    first segments (s): %v\n", sr.Segments[:max])
+		}
+	}
+	fmt.Printf("  latency %.0fms GPU-time %.0fms\n", resp.LatencyMS, resp.GPUTimeMS)
+	return nil
+}
+
+// servedPlan runs a ranked plan against a live endpoint, one-shot or
+// page by page through the opaque cursor.
+func servedPlan(server, streams, expr string, top, page, kx, maxClusters int) error {
+	req := &api.QueryRequest{
+		Expr:        expr,
+		TopK:        top,
+		Kx:          kx,
+		MaxClusters: maxClusters,
+		Form:        api.FormRanked,
+	}
+	for _, name := range strings.Split(streams, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			req.Streams = append(req.Streams, name)
+		}
+	}
+	cli := client.New(server)
+	printItems := func(items []api.Item, from int) {
+		for i, it := range items {
+			fmt.Printf("  %3d. %-10s frame %-8d t=%6.1fs  score %.2f\n",
+				from+i+1, it.Stream, it.Frame, it.TimeSec, it.Score)
+		}
+	}
+	fmt.Printf("plan %s via %s:\n", expr, server)
+	if page > 0 {
+		pager := cli.Pager(req, page)
+		n := 0
+		for pager.More() {
+			items, err := pager.Next(context.Background())
+			if err != nil {
+				return err
+			}
+			if len(items) > 0 {
+				fmt.Printf("  -- page (%d results) --\n", len(items))
+				printItems(items, n)
+				n += len(items)
+			}
+		}
+		last := pager.Last()
+		fmt.Printf("  %d results at vector %v; gt-inferences=%d gpu-time=%.0fms latency=%.0fms\n",
+			n, last.Watermarks, last.GTInferences, last.GPUTimeMS, last.LatencyMS)
+		return nil
+	}
+	resp, err := cli.Query(context.Background(), req)
+	if err != nil {
+		return err
+	}
+	printItems(resp.Items, 0)
+	fmt.Printf("  %d results at vector %v; gt-inferences=%d gpu-time=%.0fms latency=%.0fms (cached: %v)\n",
+		resp.TotalItems, resp.Watermarks, resp.GTInferences, resp.GPUTimeMS, resp.LatencyMS, resp.Cached)
 	return nil
 }
 

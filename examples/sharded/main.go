@@ -10,7 +10,8 @@
 //
 //  1. two shards (uneven: 2 streams vs 1) with live background ingest,
 //  2. a router discovering ownership and health from the shards,
-//  3. one /query and one /plan through the router,
+//  3. one single-class and one compound /v1/query through the router,
+//     issued with the typed focus/client package,
 //  4. the same executions replayed on a reference single-node System at
 //     the merged watermark vector — and compared.
 //
@@ -20,15 +21,15 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
 	"log"
-	"net/http"
 	"net/http/httptest"
 	"time"
 
 	"focus"
+	"focus/api"
+	"focus/client"
 	"focus/internal/router"
 	"focus/internal/serve"
 )
@@ -99,14 +100,15 @@ func main() {
 	// Let the background ingesters seal some video on every shard.
 	time.Sleep(2 * time.Second)
 
-	// One routed single-class query…
-	var qr serve.QueryResponse
-	getJSON(front.URL+"/query?class=car", &qr)
-	vector := map[string]float64{}
-	for name, sr := range qr.Streams {
-		vector[name] = sr.Watermark
+	// One routed single-class query (a one-leaf plan) through the typed
+	// client…
+	cli := client.New(front.URL)
+	qr, err := cli.Query(context.Background(), &api.QueryRequest{Expr: "car"})
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("\nrouted /query?class=car: %d frames across %d streams at vector %v\n",
+	vector := qr.Watermarks
+	fmt.Printf("\nrouted /v1/query {expr: car}: %d frames across %d streams at vector %v\n",
 		qr.TotalFrames, len(qr.Streams), vector)
 
 	// …replayed directly on the reference System at the merged vector.
@@ -120,11 +122,13 @@ func main() {
 	}
 
 	// Same exercise for a compound plan, top-5 across both shards.
-	var pr serve.PlanResponse
-	postJSON(front.URL+"/plan", map[string]any{
-		"expr": "car & person", "top_k": 5, "at_watermarks": vector,
-	}, &pr)
-	fmt.Printf("\nrouted /plan \"car & person\" top-5 at the same vector:\n")
+	pr, err := cli.Query(context.Background(), &api.QueryRequest{
+		Expr: "car & person", TopK: 5, At: vector,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrouted /v1/query \"car & person\" top-5 at the same vector:\n")
 	for _, it := range pr.Items {
 		fmt.Printf("  %-9s frame %-5d t=%5.1fs score %.2f\n", it.Stream, it.Frame, it.TimeSec, it.Score)
 	}
@@ -142,33 +146,4 @@ func main() {
 		}
 	}
 	fmt.Println("\nrouted answers match the single-node reference, item for item.")
-}
-
-func getJSON(url string, v any) {
-	resp, err := http.Get(url)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		log.Fatalf("GET %s: status %d", url, resp.StatusCode)
-	}
-	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
-		log.Fatal(err)
-	}
-}
-
-func postJSON(url string, body, v any) {
-	raw, _ := json.Marshal(body)
-	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		log.Fatalf("POST %s: status %d", url, resp.StatusCode)
-	}
-	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
-		log.Fatal(err)
-	}
 }

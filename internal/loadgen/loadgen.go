@@ -1,15 +1,17 @@
 // Package loadgen is a deterministic closed-loop load generator for the
 // focus-serve HTTP service — or for a focus-router fronting several serve
-// shards, whose wire format is identical: N client goroutines issue
-// back-to-back /query
-// requests with Zipf-skewed class popularity (mirroring the skewed query
-// interest the paper's streams exhibit, §2.2) — optionally mixed with
-// compound POST /plan requests drawn from a predicate pool — recording
-// throughput, a latency histogram, and per-status counts. Optional
-// verifiers re-execute sampled responses (plain and plan) directly against
-// the owning focus.System at the exact watermark vector the service
-// answered at, asserting the served result is identical — the serving
-// stack (transport, cache, admission) must never change an answer.
+// shards, whose wire contract is identical: N client goroutines issue
+// back-to-back /v1/query requests through the typed focus/client package,
+// with Zipf-skewed class popularity (mirroring the skewed query interest
+// the paper's streams exhibit, §2.2) — single-class (frames-form) traffic
+// optionally mixed with compound ranked plans, cursor-paged reads, and
+// deprecated legacy-shim requests (exercising the migration surface).
+// It records throughput, a latency histogram, and per-status counts.
+// Optional verifiers re-execute sampled responses directly against the
+// owning focus.System at the exact watermark vector the service answered
+// at, asserting the served result is identical — the serving stack
+// (transport, cache, admission, scatter-gather, paging) must never change
+// an answer.
 //
 // "Closed loop" means each client waits for its response before issuing the
 // next request, so offered load adapts to service capacity; client request
@@ -18,70 +20,19 @@ package loadgen
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"reflect"
 	"sort"
 	"sync"
 	"time"
 
+	"focus/api"
+	"focus/client"
 	"focus/internal/simrand"
 )
-
-// QueryResponse mirrors serve.QueryResponse; loadgen decodes the service's
-// JSON wire format rather than importing the server, the way an external
-// client would.
-type QueryResponse struct {
-	Class       string                        `json:"class"`
-	Streams     map[string]*StreamQueryResult `json:"streams"`
-	TotalFrames int                           `json:"total_frames"`
-	Kx          int                           `json:"kx,omitempty"`
-	Start       float64                       `json:"start,omitempty"`
-	End         float64                       `json:"end,omitempty"`
-	MaxClusters int                           `json:"max_clusters,omitempty"`
-	LatencyMS   float64                       `json:"latency_ms"`
-	GPUTimeMS   float64                       `json:"gpu_time_ms"`
-	Cached      bool                          `json:"cached"`
-}
-
-// StreamQueryResult mirrors serve.StreamQueryResult.
-type StreamQueryResult struct {
-	Watermark        float64 `json:"watermark"`
-	Frames           []int64 `json:"frames"`
-	Segments         []int64 `json:"segments"`
-	ExaminedClusters int     `json:"examined_clusters"`
-	MatchedClusters  int     `json:"matched_clusters"`
-	GTInferences     int     `json:"gt_inferences"`
-	GPUTimeMS        float64 `json:"gpu_time_ms"`
-	LatencyMS        float64 `json:"latency_ms"`
-	ViaOther         bool    `json:"via_other"`
-}
-
-// PlanResponse mirrors serve.PlanResponse (the POST /plan wire format).
-type PlanResponse struct {
-	Expr         string             `json:"expr"`
-	Items        []PlanItem         `json:"items"`
-	TotalItems   int                `json:"total_items"`
-	Watermarks   map[string]float64 `json:"watermarks"`
-	TopK         int                `json:"top_k,omitempty"`
-	Kx           int                `json:"kx,omitempty"`
-	Start        float64            `json:"start,omitempty"`
-	End          float64            `json:"end,omitempty"`
-	MaxClusters  int                `json:"max_clusters,omitempty"`
-	GTInferences int                `json:"gt_inferences"`
-	GPUTimeMS    float64            `json:"gpu_time_ms"`
-	LatencyMS    float64            `json:"latency_ms"`
-	Cached       bool               `json:"cached"`
-}
-
-// PlanItem mirrors serve.PlanItem.
-type PlanItem struct {
-	Stream  string  `json:"stream"`
-	Frame   int64   `json:"frame"`
-	TimeSec float64 `json:"time_sec"`
-	Segment int64   `json:"segment"`
-	Score   float64 `json:"score"`
-}
 
 // Config parameterizes one load-generation run.
 type Config struct {
@@ -109,31 +60,44 @@ type Config struct {
 	// what keeps exercising healthy shards while another shard drains —
 	// whole-corpus requests all fail once any shard leaves rotation.
 	SingleStreamEvery int
-	// AcceptDraining counts 503s carrying the X-Focus-Draining marker as
-	// expected (Report.Draining) instead of failures. Set it only when the
-	// run deliberately drains a shard; in a steady-state run a draining
-	// 503 is as wrong as any other 5xx.
+	// AcceptDraining counts structured "draining" rejections as expected
+	// (Report.Draining) instead of failures. Set it only when the run
+	// deliberately drains a shard; in a steady-state run a draining
+	// rejection is as wrong as any other 5xx.
 	AcceptDraining bool
 	// ZipfAlpha is the popularity skew. Default 1.1.
 	ZipfAlpha float64
-	// VerifyEvery verifies every Nth response per client through Verifier
-	// (1 = every response, 0 = never).
+	// VerifyEvery verifies every Nth OK response per client through the
+	// matching verifier (1 = every response, 0 = never).
 	VerifyEvery int
-	// Verifier checks one served response; non-nil errors are recorded as
-	// mismatches. See focus-loadgen for the served-vs-direct verifier.
-	Verifier func(*QueryResponse) error
+	// Verifier checks one served frames-form response; non-nil errors are
+	// recorded as mismatches. See NewDirectVerifier.
+	Verifier func(*api.QueryResponse) error
 	// Plans is a pool of compound predicate expressions ("car & person &
-	// !bus") issued as POST /plan requests, mixed into the plain query
-	// stream.
+	// !bus") issued as ranked /v1/query requests, mixed into the
+	// single-class stream.
 	Plans []string
-	// PlanEvery makes every Nth request per client a /plan request drawn
+	// PlanEvery makes every Nth request per client a ranked plan drawn
 	// deterministically from Plans (0 = plans never issued).
 	PlanEvery int
 	// PlanTopK is the top_k for plan requests. Default 10.
 	PlanTopK int
-	// PlanVerifier checks one served plan response; non-nil errors are
-	// recorded as mismatches. See NewDirectPlanVerifier.
-	PlanVerifier func(*PlanResponse) error
+	// PlanVerifier checks one served ranked-form response; non-nil errors
+	// are recorded as mismatches. See NewDirectPlanVerifier.
+	PlanVerifier func(*api.QueryResponse) error
+	// LegacyEvery routes every Nth request per client through the
+	// deprecated legacy shims (GET /query or POST /plan) instead of
+	// /v1/query, exercising the migration surface; responses are decoded
+	// from the legacy wire format and verified through the same
+	// verifiers. 0 = v1 only.
+	LegacyEvery int
+	// PageEvery makes every Nth plan request per client a cursor-paged
+	// read (pages of PageSize items assembled through the opaque cursor,
+	// then verified as one response — pinning paged == one-shot ==
+	// direct). 0 = plans are always one-shot.
+	PageEvery int
+	// PageSize is the page limit for cursor-paged reads. Default 5.
+	PageSize int
 	// Timeout bounds each request. Default 30s.
 	Timeout time.Duration
 }
@@ -163,13 +127,19 @@ func (c *Config) applyDefaults() error {
 	if c.PlanTopK <= 0 {
 		c.PlanTopK = 10
 	}
+	if c.PageSize <= 0 {
+		c.PageSize = 5
+	}
 	if c.PlanEvery > 0 && len(c.Plans) == 0 {
 		return fmt.Errorf("loadgen: PlanEvery set but no Plans given")
 	}
 	if len(c.Plans) > 0 && c.PlanEvery <= 0 {
-		// Symmetric check: a plan pool that never fires means the /plan
+		// Symmetric check: a plan pool that never fires means the plan
 		// path silently stops being exercised while looking configured.
 		return fmt.Errorf("loadgen: Plans given but PlanEvery is 0 — no plan would ever be issued")
+	}
+	if c.PageEvery > 0 && c.PlanEvery <= 0 {
+		return fmt.Errorf("loadgen: PageEvery set but no plan traffic configured (PlanEvery is 0)")
 	}
 	if c.SingleStreamEvery > 0 && len(c.Streams) == 0 {
 		return fmt.Errorf("loadgen: SingleStreamEvery set but no Streams given")
@@ -182,13 +152,13 @@ type Report struct {
 	Clients    int     `json:"clients"`
 	ElapsedSec float64 `json:"elapsed_sec"`
 	Requests   int     `json:"requests"`
-	// OK counts 2xx responses; Rejected counts 429s (admission control
-	// doing its job under overload — not a failure); Draining counts 503s
-	// carrying the X-Focus-Draining marker when Config.AcceptDraining
-	// opted into them (a shard deliberately rolled out of rotation — never
-	// silent data loss, since routed queries are all-or-nothing); without
-	// the opt-in they land in Unexpected, which counts everything else by
-	// status code and fails the run.
+	// OK counts 2xx responses; Rejected counts structured "overloaded"
+	// rejections (admission control doing its job under overload — not a
+	// failure); Draining counts "draining" rejections when
+	// Config.AcceptDraining opted into them (a shard deliberately rolled
+	// out of rotation — never silent data loss, since routed queries are
+	// all-or-nothing); without the opt-in they land in Unexpected, which
+	// counts everything else by status code and fails the run.
 	OK         int         `json:"ok"`
 	Rejected   int         `json:"rejected"`
 	Draining   int         `json:"draining"`
@@ -196,11 +166,15 @@ type Report struct {
 	NetErrors  int         `json:"net_errors"`
 	CacheHits  int         `json:"cache_hits"`
 	Verified   int         `json:"verified"`
-	// PlanRequests counts the POST /plan share of Requests; PlanVerified
+	// PlanRequests counts the ranked-plan share of Requests; PlanVerified
 	// counts plan responses re-executed through PlanVerifier.
-	PlanRequests int      `json:"plan_requests"`
-	PlanVerified int      `json:"plan_verified"`
-	Mismatches   []string `json:"mismatches,omitempty"`
+	PlanRequests int `json:"plan_requests"`
+	PlanVerified int `json:"plan_verified"`
+	// LegacyRequests counts requests issued through the deprecated shims;
+	// PagedRequests counts cursor-paged plan reads.
+	LegacyRequests int      `json:"legacy_requests"`
+	PagedRequests  int      `json:"paged_requests"`
+	Mismatches     []string `json:"mismatches,omitempty"`
 	// Latency percentiles over successful (2xx) responses, milliseconds.
 	P50MS float64 `json:"p50_ms"`
 	P90MS float64 `json:"p90_ms"`
@@ -213,8 +187,9 @@ type Report struct {
 }
 
 // Failures returns the reasons this run should fail a CI gate: any
-// non-2xx/429 response, any transport error, or any verification mismatch.
-// p99 budgets are the caller's to assert (they are deployment-specific).
+// non-2xx/overloaded response, any transport error, or any verification
+// mismatch. p99 budgets are the caller's to assert (they are
+// deployment-specific).
 func (r *Report) Failures() []string {
 	var out []string
 	for status, n := range r.Unexpected {
@@ -248,6 +223,8 @@ type clientState struct {
 	planRequests int
 	planOK       int
 	planVerified int
+	legacyReqs   int
+	pagedReqs    int
 	mismatches   []string
 	errSamples   []string
 }
@@ -264,6 +241,9 @@ func Run(cfg Config) (*Report, error) {
 	}
 	httpc := &http.Client{Transport: transport, Timeout: cfg.Timeout}
 	defer transport.CloseIdleConnections()
+	// Zero retries: the generator must observe raw overload/draining
+	// behavior, not have the client paper over it.
+	cli := client.New(cfg.BaseURL, client.WithHTTPClient(httpc), client.WithRetries(0, 0))
 
 	deadline := time.Now().Add(cfg.Duration)
 	states := make([]*clientState, cfg.Clients)
@@ -274,7 +254,7 @@ func Run(cfg Config) (*Report, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			runClient(&cfg, i, zipf, httpc, deadline, states[i])
+			runClient(&cfg, i, zipf, cli, httpc, deadline, states[i])
 		}(i)
 	}
 	wg.Wait()
@@ -292,6 +272,8 @@ func Run(cfg Config) (*Report, error) {
 		rep.Verified += st.verified
 		rep.PlanRequests += st.planRequests
 		rep.PlanVerified += st.planVerified
+		rep.LegacyRequests += st.legacyReqs
+		rep.PagedRequests += st.pagedReqs
 		for code, n := range st.unexpected {
 			rep.Unexpected[code] += n
 		}
@@ -325,131 +307,169 @@ func Run(cfg Config) (*Report, error) {
 
 // runClient is one closed loop: draw a class (or, every PlanEvery-th
 // request, a compound plan), query, record, repeat.
-func runClient(cfg *Config, idx int, zipf *simrand.Zipf, httpc *http.Client, deadline time.Time, st *clientState) {
+func runClient(cfg *Config, idx int, zipf *simrand.Zipf, cli *client.Client, httpc *http.Client,
+	deadline time.Time, st *clientState) {
 	src := simrand.New(cfg.Seed).DeriveN(int64(idx), "loadgen-client")
 	for time.Now().Before(deadline) {
 		if cfg.MaxRequestsPerClient > 0 && st.requests >= cfg.MaxRequestsPerClient {
 			return
 		}
 		st.requests++
+		legacy := cfg.LegacyEvery > 0 && st.requests%cfg.LegacyEvery == 0
 		if cfg.PlanEvery > 0 && st.requests%cfg.PlanEvery == 0 {
-			runPlanRequest(cfg, idx, src, httpc, st)
+			runPlanRequest(cfg, idx, src, cli, httpc, st, legacy)
 			continue
 		}
-		class := cfg.Classes[zipf.Sample(src)]
-		url := cfg.BaseURL + "/query?class=" + class
+		req := &api.QueryRequest{Expr: cfg.Classes[zipf.Sample(src)]}
 		if cfg.SingleStreamEvery > 0 && st.requests%cfg.SingleStreamEvery == 0 {
-			url += "&streams=" + cfg.Streams[src.Intn(len(cfg.Streams))]
+			req.Streams = []string{cfg.Streams[src.Intn(len(cfg.Streams))]}
 		}
+		var qr *api.QueryResponse
+		var err error
 		t0 := time.Now()
-		resp, err := httpc.Get(url)
-		if err != nil {
-			st.netErrors++
-			if len(st.errSamples) < 3 {
-				st.errSamples = append(st.errSamples, err.Error())
-			}
-			continue
+		if legacy {
+			st.legacyReqs++
+			qr, err = legacyQuery(httpc, cfg.BaseURL, req)
+		} else {
+			qr, err = cli.Query(context.Background(), req)
 		}
-		var qr QueryResponse
-		decodeErr := json.NewDecoder(resp.Body).Decode(&qr)
-		resp.Body.Close()
 		// Latency includes the body transfer and decode: what a real client
 		// waits for. Measuring at header arrival would let a regression that
 		// bloats response bodies slip past the p99 gate.
 		latMS := float64(time.Since(t0).Nanoseconds()) / 1e6
-		switch {
-		case resp.StatusCode == http.StatusTooManyRequests:
-			st.rejected++
-		case cfg.AcceptDraining && isDraining(resp):
-			st.draining++
-			drainBackoff()
-		case resp.StatusCode >= 200 && resp.StatusCode < 300:
-			st.ok++
-			st.plainOK++
-			st.latenciesMS = append(st.latenciesMS, latMS)
-			if decodeErr != nil {
-				st.mismatches = append(st.mismatches,
-					fmt.Sprintf("client %d: bad response body for class %q: %v", idx, class, decodeErr))
-				continue
-			}
-			if qr.Cached {
-				st.cacheHits++
-			}
-			if cfg.Verifier != nil && cfg.VerifyEvery > 0 && st.plainOK%cfg.VerifyEvery == 0 {
-				st.verified++
-				if err := cfg.Verifier(&qr); err != nil {
-					st.mismatches = append(st.mismatches,
-						fmt.Sprintf("client %d class %q: %v", idx, class, err))
-				}
-			}
-		default:
-			st.unexpected[resp.StatusCode]++
+		if !st.record(cfg, err) {
+			continue
 		}
-	}
-}
-
-// runPlanRequest issues one POST /plan drawn deterministically from the
-// plan pool and records it under the same status taxonomy as plain queries.
-func runPlanRequest(cfg *Config, idx int, src *simrand.Source, httpc *http.Client, st *clientState) {
-	expr := cfg.Plans[src.Intn(len(cfg.Plans))]
-	body, _ := json.Marshal(map[string]any{"expr": expr, "top_k": cfg.PlanTopK})
-	st.planRequests++
-	t0 := time.Now()
-	resp, err := httpc.Post(cfg.BaseURL+"/plan", "application/json", bytes.NewReader(body))
-	if err != nil {
-		st.netErrors++
-		if len(st.errSamples) < 3 {
-			st.errSamples = append(st.errSamples, err.Error())
-		}
-		return
-	}
-	var pr PlanResponse
-	decodeErr := json.NewDecoder(resp.Body).Decode(&pr)
-	resp.Body.Close()
-	latMS := float64(time.Since(t0).Nanoseconds()) / 1e6
-	switch {
-	case resp.StatusCode == http.StatusTooManyRequests:
-		st.rejected++
-	case cfg.AcceptDraining && isDraining(resp):
-		st.draining++
-		drainBackoff()
-	case resp.StatusCode >= 200 && resp.StatusCode < 300:
 		st.ok++
-		st.planOK++
+		st.plainOK++
 		st.latenciesMS = append(st.latenciesMS, latMS)
-		if decodeErr != nil {
-			st.mismatches = append(st.mismatches,
-				fmt.Sprintf("client %d: bad plan response body for %q: %v", idx, expr, decodeErr))
-			return
-		}
-		if pr.Cached {
+		if qr.Cached {
 			st.cacheHits++
 		}
-		if cfg.PlanVerifier != nil && cfg.VerifyEvery > 0 && st.planOK%cfg.VerifyEvery == 0 {
-			st.planVerified++
-			if err := cfg.PlanVerifier(&pr); err != nil {
+		if cfg.Verifier != nil && cfg.VerifyEvery > 0 && st.plainOK%cfg.VerifyEvery == 0 {
+			st.verified++
+			if err := cfg.Verifier(qr); err != nil {
 				st.mismatches = append(st.mismatches,
-					fmt.Sprintf("client %d plan %q: %v", idx, expr, err))
+					fmt.Sprintf("client %d expr %q: %v", idx, req.Expr, err))
 			}
 		}
-	default:
-		st.unexpected[resp.StatusCode]++
 	}
 }
 
-// isDraining recognizes the 503s a draining shard (or the router, on its
-// behalf) marks with the X-Focus-Draining header — the one 5xx that means
-// "rolling restart in progress", not "broken". The header name mirrors
-// serve.DrainingHeader; loadgen decodes the wire format instead of
-// importing the server, the way an external client would.
-func isDraining(resp *http.Response) bool {
-	return resp.StatusCode == http.StatusServiceUnavailable &&
-		resp.Header.Get("X-Focus-Draining") != ""
+// runPlanRequest issues one ranked plan drawn deterministically from the
+// plan pool — one-shot, cursor-paged, or through the legacy shim — and
+// records it under the same status taxonomy as plain queries.
+func runPlanRequest(cfg *Config, idx int, src *simrand.Source, cli *client.Client, httpc *http.Client,
+	st *clientState, legacy bool) {
+	expr := cfg.Plans[src.Intn(len(cfg.Plans))]
+	req := &api.QueryRequest{Expr: expr, TopK: cfg.PlanTopK}
+	st.planRequests++
+	paged := !legacy && cfg.PageEvery > 0 && st.planRequests%cfg.PageEvery == 0
+	var pr *api.QueryResponse
+	var err error
+	if paged {
+		st.pagedReqs++
+		pr, err = runPagedPlan(cfg, cli, st, req)
+		if !st.record(cfg, err) {
+			return
+		}
+	} else {
+		t0 := time.Now()
+		if legacy {
+			st.legacyReqs++
+			pr, err = legacyPlan(httpc, cfg.BaseURL, req)
+		} else {
+			pr, err = cli.Query(context.Background(), req)
+		}
+		latMS := float64(time.Since(t0).Nanoseconds()) / 1e6
+		if !st.record(cfg, err) {
+			return
+		}
+		st.latenciesMS = append(st.latenciesMS, latMS)
+	}
+	st.ok++
+	st.planOK++
+	if pr.Cached {
+		st.cacheHits++
+	}
+	if cfg.PlanVerifier != nil && cfg.VerifyEvery > 0 && st.planOK%cfg.VerifyEvery == 0 {
+		st.planVerified++
+		if err := cfg.PlanVerifier(pr); err != nil {
+			st.mismatches = append(st.mismatches,
+				fmt.Sprintf("client %d plan %q: %v", idx, expr, err))
+		}
+	}
+}
+
+// runPagedPlan drives one cursor-paged ranked read page by page. Each
+// page fetch is one HTTP request and is recorded as its own latency
+// sample — folding a whole page chain into one observation would distort
+// the p99 histogram the CI budget gates on. The pages are reassembled
+// into one response (first page's metadata and cost, concatenated items)
+// so the ordinary plan verifier can replay it against a direct execution
+// at the pinned vector — which is exactly the paged == one-shot ==
+// direct invariant, end to end.
+func runPagedPlan(cfg *Config, cli *client.Client, st *clientState, req *api.QueryRequest) (*api.QueryResponse, error) {
+	pager := cli.Pager(req, cfg.PageSize)
+	var out *api.QueryResponse
+	var items []api.Item
+	for pager.More() {
+		t0 := time.Now()
+		page, err := pager.Next(context.Background())
+		latMS := float64(time.Since(t0).Nanoseconds()) / 1e6
+		if err != nil {
+			return nil, err
+		}
+		st.latenciesMS = append(st.latenciesMS, latMS)
+		resp := pager.Last()
+		if out == nil {
+			out = resp
+		} else if resp.Expr != out.Expr || resp.TotalItems != out.TotalItems ||
+			!reflect.DeepEqual(resp.Watermarks, out.Watermarks) {
+			return nil, fmt.Errorf("paged read drifted between pages (expr, total, or pinned watermarks changed)")
+		}
+		items = append(items, page...)
+	}
+	if out == nil {
+		return nil, fmt.Errorf("paged read yielded no pages")
+	}
+	if len(items) != out.TotalItems {
+		return nil, fmt.Errorf("pages yielded %d items, server reported %d", len(items), out.TotalItems)
+	}
+	assembled := *out
+	assembled.Items = items
+	assembled.Cursor = ""
+	return &assembled, nil
+}
+
+// record classifies one exchange's error outcome (nil err = proceed with
+// the OK accounting) and reports whether the response was successful.
+func (st *clientState) record(cfg *Config, err error) bool {
+	if err == nil {
+		return true
+	}
+	if apiErr, ok := err.(*api.Error); ok {
+		switch {
+		case apiErr.Code == api.CodeOverloaded:
+			st.rejected++
+		case cfg.AcceptDraining && apiErr.Code == api.CodeDraining:
+			st.draining++
+			drainBackoff()
+		default:
+			st.unexpected[apiErr.HTTPStatus()]++
+		}
+		return false
+	}
+	st.netErrors++
+	if len(st.errSamples) < 3 {
+		st.errSamples = append(st.errSamples, err.Error())
+	}
+	return false
 }
 
 // drainBackoff pauses a closed-loop client after a draining rejection:
 // a real client backs off a shard being restarted rather than hammering
-// the immediate 503 path at millions of requests per second.
+// the immediate rejection path at millions of requests per second.
 func drainBackoff() { time.Sleep(50 * time.Millisecond) }
 
 // percentile returns the p-th percentile (0..1) of sorted values using
@@ -466,4 +486,136 @@ func percentile(sorted []float64, p float64) float64 {
 		rank = len(sorted) - 1
 	}
 	return sorted[rank]
+}
+
+// ---- legacy-shim traffic ----
+//
+// The generator decodes the deprecated wire formats with local mirror
+// structs rather than importing the server, the way a not-yet-migrated
+// external client would, then converts them to the v1 shape so one
+// verifier covers both surfaces.
+
+// legacyQueryResponse mirrors the legacy GET /query payload.
+type legacyQueryResponse struct {
+	Class       string                       `json:"class"`
+	Streams     map[string]*api.StreamResult `json:"streams"`
+	TotalFrames int                          `json:"total_frames"`
+	Kx          int                          `json:"kx"`
+	Start       float64                      `json:"start"`
+	End         float64                      `json:"end"`
+	MaxClusters int                          `json:"max_clusters"`
+	LatencyMS   float64                      `json:"latency_ms"`
+	GPUTimeMS   float64                      `json:"gpu_time_ms"`
+	Cached      bool                         `json:"cached"`
+}
+
+// legacyPlanResponse mirrors the legacy POST /plan payload.
+type legacyPlanResponse struct {
+	Expr         string             `json:"expr"`
+	Items        []api.Item         `json:"items"`
+	TotalItems   int                `json:"total_items"`
+	Watermarks   map[string]float64 `json:"watermarks"`
+	TopK         int                `json:"top_k"`
+	Kx           int                `json:"kx"`
+	Start        float64            `json:"start"`
+	End          float64            `json:"end"`
+	MaxClusters  int                `json:"max_clusters"`
+	GTInferences int                `json:"gt_inferences"`
+	GPUTimeMS    float64            `json:"gpu_time_ms"`
+	LatencyMS    float64            `json:"latency_ms"`
+	Cached       bool               `json:"cached"`
+}
+
+// legacyError adapts a legacy non-2xx response (string error body, status
+// code, draining marker header) into the structured *api.Error the record
+// path classifies.
+func legacyError(resp *http.Response, body []byte) *api.Error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	_ = json.Unmarshal(body, &e)
+	if resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("X-Focus-Draining") != "" {
+		err := api.Errorf(api.CodeDraining, "%s", e.Error)
+		err.Shard = resp.Header.Get("X-Focus-Draining")
+		return err
+	}
+	return api.DecodeError(resp.StatusCode, body)
+}
+
+func legacyQuery(httpc *http.Client, baseURL string, req *api.QueryRequest) (*api.QueryResponse, error) {
+	url := baseURL + "/query?class=" + req.Expr
+	if len(req.Streams) > 0 {
+		url += "&streams=" + req.Streams[0]
+	}
+	resp, err := httpc.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return nil, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return nil, legacyError(resp, buf.Bytes())
+	}
+	var lr legacyQueryResponse
+	if err := json.Unmarshal(buf.Bytes(), &lr); err != nil {
+		return nil, fmt.Errorf("bad legacy /query body: %w", err)
+	}
+	out := &api.QueryResponse{
+		Expr:        lr.Class,
+		Form:        api.FormFrames,
+		Watermarks:  make(api.WatermarkVector, len(lr.Streams)),
+		Streams:     lr.Streams,
+		TotalFrames: lr.TotalFrames,
+		Kx:          lr.Kx,
+		Start:       lr.Start,
+		End:         lr.End,
+		MaxClusters: lr.MaxClusters,
+		GPUTimeMS:   lr.GPUTimeMS,
+		LatencyMS:   lr.LatencyMS,
+		Cached:      lr.Cached,
+	}
+	for name, sr := range lr.Streams {
+		out.Watermarks[name] = sr.Watermark
+		out.GTInferences += sr.GTInferences
+	}
+	return out, nil
+}
+
+func legacyPlan(httpc *http.Client, baseURL string, req *api.QueryRequest) (*api.QueryResponse, error) {
+	body, _ := json.Marshal(map[string]any{"expr": req.Expr, "top_k": req.TopK})
+	resp, err := httpc.Post(baseURL+"/plan", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return nil, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return nil, legacyError(resp, buf.Bytes())
+	}
+	var lr legacyPlanResponse
+	if err := json.Unmarshal(buf.Bytes(), &lr); err != nil {
+		return nil, fmt.Errorf("bad legacy /plan body: %w", err)
+	}
+	return &api.QueryResponse{
+		Expr:         lr.Expr,
+		Form:         api.FormRanked,
+		Watermarks:   lr.Watermarks,
+		Items:        lr.Items,
+		TotalItems:   lr.TotalItems,
+		TopK:         lr.TopK,
+		Kx:           lr.Kx,
+		Start:        lr.Start,
+		End:          lr.End,
+		MaxClusters:  lr.MaxClusters,
+		GTInferences: lr.GTInferences,
+		GPUTimeMS:    lr.GPUTimeMS,
+		LatencyMS:    lr.LatencyMS,
+		Cached:       lr.Cached,
+	}, nil
 }

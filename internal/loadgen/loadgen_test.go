@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"focus/api"
 	"focus/internal/simrand"
 )
 
@@ -59,26 +60,47 @@ func TestClientSequencesDeterministic(t *testing.T) {
 }
 
 // TestRunAgainstStubServer exercises the full client loop, status taxonomy
-// and verifier plumbing against a scripted handler.
+// and verifier plumbing against a scripted v1 handler (with the legacy
+// shim stubbed too, so the LegacyEvery mix is covered).
 func TestRunAgainstStubServer(t *testing.T) {
 	var n atomic.Int64
-	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		i := n.Add(1)
-		switch {
-		case i%5 == 0: // every 5th request is shed
-			w.WriteHeader(http.StatusTooManyRequests)
-			_ = json.NewEncoder(w).Encode(map[string]string{"error": "overloaded"})
-		default:
-			_ = json.NewEncoder(w).Encode(&QueryResponse{
-				Class:  r.URL.Query().Get("class"),
-				Cached: i%2 == 0,
-				Streams: map[string]*StreamQueryResult{
-					"s": {Watermark: 10, Frames: []int64{1, 2}, Segments: []int64{0}},
-				},
-				TotalFrames: 2,
-			})
+	var legacyHits atomic.Int64
+	framesBody := func(expr string, cached bool) *api.QueryResponse {
+		return &api.QueryResponse{
+			Expr:       expr,
+			Form:       api.FormFrames,
+			Cached:     cached,
+			Watermarks: api.WatermarkVector{"s": 10},
+			Streams: map[string]*api.StreamResult{
+				"s": {Watermark: 10, Frames: []int64{1, 2}, Segments: []int64{0}},
+			},
+			TotalFrames: 2,
 		}
-	}))
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc(api.PathQuery, func(w http.ResponseWriter, r *http.Request) {
+		i := n.Add(1)
+		var req api.QueryRequest
+		_ = json.NewDecoder(r.Body).Decode(&req)
+		if i%5 == 0 { // every 5th request is shed
+			w.WriteHeader(http.StatusTooManyRequests)
+			_ = json.NewEncoder(w).Encode(api.Envelope{Err: api.Errorf(api.CodeOverloaded, "overloaded")})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(framesBody(req.Expr, i%2 == 0))
+	})
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		legacyHits.Add(1)
+		n.Add(1)
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"class": r.URL.Query().Get("class"),
+			"streams": map[string]*api.StreamResult{
+				"s": {Watermark: 10, Frames: []int64{1, 2}, Segments: []int64{0}},
+			},
+			"total_frames": 2,
+		})
+	})
+	ts := httptest.NewServer(mux)
 	defer ts.Close()
 
 	var verified atomic.Int64
@@ -89,8 +111,12 @@ func TestRunAgainstStubServer(t *testing.T) {
 		MaxRequestsPerClient: 25,
 		Classes:              []string{"car", "person"},
 		VerifyEvery:          1,
-		Verifier: func(qr *QueryResponse) error {
+		LegacyEvery:          10,
+		Verifier: func(qr *api.QueryResponse) error {
 			verified.Add(1)
+			if qr.Form != api.FormFrames {
+				t.Errorf("verifier saw %q form", qr.Form)
+			}
 			if qr.TotalFrames != 2 {
 				t.Errorf("verifier saw %d frames", qr.TotalFrames)
 			}
@@ -108,6 +134,9 @@ func TestRunAgainstStubServer(t *testing.T) {
 	}
 	if rep.Rejected == 0 || rep.CacheHits == 0 {
 		t.Errorf("taxonomy not exercised: %+v", rep)
+	}
+	if rep.LegacyRequests == 0 || int64(rep.LegacyRequests) != legacyHits.Load() {
+		t.Errorf("legacy mix not exercised: report %d, server saw %d", rep.LegacyRequests, legacyHits.Load())
 	}
 	if len(rep.Failures()) != 0 {
 		t.Errorf("unexpected failures: %v", rep.Failures())

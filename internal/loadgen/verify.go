@@ -5,32 +5,32 @@ import (
 	"sort"
 
 	"focus"
+	"focus/api"
 )
 
-// NewDirectVerifier returns a Verifier that replays a served response as a
-// direct library call — focus.System.Query pinned to the exact watermark
-// vector and leaf options the service answered with (QueryResponse echoes
-// both back) — and asserts the served answer is identical: same frames,
-// same segments, same cluster counts, per stream. It verifies single-node
-// focus-serve responses and router-merged responses alike: either way the
-// served answer must equal one direct execution over all its streams.
+// NewDirectVerifier returns a verifier for frames-form responses: it
+// replays a served response as a direct library call — focus.System.Query
+// pinned to the exact watermark vector and leaf options the service
+// answered with (the response echoes both back; its canonical one-leaf
+// Expr is the class name) — and asserts the served answer is identical:
+// same frames, same segments, same cluster counts, per stream. It
+// verifies single-node focus-serve responses and router-merged responses
+// alike: either way the served answer must equal one direct execution
+// over all its streams.
 //
 // Only answer fields are compared. Cost counters (GTInferences, GPU time,
 // latency) legitimately differ between executions of the same query: the
 // GT-CNN verdict cache makes later executions cheaper without changing
 // answers (§6.7), and a cached service response reports the cost of its
 // original execution.
-func NewDirectVerifier(sys *focus.System) func(*QueryResponse) error {
-	return func(qr *QueryResponse) error {
-		names := make([]string, 0, len(qr.Streams))
-		vector := make(map[string]float64, len(qr.Streams))
-		for name, sr := range qr.Streams {
-			names = append(names, name)
-			vector[name] = sr.Watermark
+func NewDirectVerifier(sys *focus.System) func(*api.QueryResponse) error {
+	return func(qr *api.QueryResponse) error {
+		if qr.Form != api.FormFrames {
+			return fmt.Errorf("frames verifier got a %q-form response", qr.Form)
 		}
-		sort.Strings(names)
+		names := vectorStreams(qr.Watermarks)
 		res, err := sys.Query(focus.Query{
-			Class:   qr.Class,
+			Class:   qr.Expr,
 			Streams: names,
 			Options: focus.QueryOptions{
 				Kx:          qr.Kx,
@@ -38,13 +38,16 @@ func NewDirectVerifier(sys *focus.System) func(*QueryResponse) error {
 				EndSec:      qr.End,
 				MaxClusters: qr.MaxClusters,
 			},
-			AtWatermarks: vector,
+			AtWatermarks: qr.Watermarks,
 		})
 		if err != nil {
 			return fmt.Errorf("direct query: %w", err)
 		}
 		if res.TotalFrames != qr.TotalFrames {
 			return fmt.Errorf("total frames: served %d, direct %d", qr.TotalFrames, res.TotalFrames)
+		}
+		if len(qr.Streams) != len(res.PerStream) {
+			return fmt.Errorf("streams: served %d, direct %d", len(qr.Streams), len(res.PerStream))
 		}
 		for name, served := range qr.Streams {
 			direct := res.PerStream[name]
@@ -59,26 +62,26 @@ func NewDirectVerifier(sys *focus.System) func(*QueryResponse) error {
 	}
 }
 
-// NewDirectPlanVerifier returns a PlanVerifier that replays a served /plan
-// response as a direct library call — focus.System.PlanQuery pinned to the
-// exact watermark vector, TopK and leaf options the service answered with
-// (PlanResponse echoes all of them back) — and asserts the served ranking
+// NewDirectPlanVerifier returns a verifier for ranked-form responses: it
+// replays the served response as a direct library call —
+// focus.System.PlanQuery pinned to the exact watermark vector, TopK and
+// leaf options the service answered with — and asserts the served ranking
 // is identical, item for item: same streams, frames, segments, timestamps
 // and scores in the same order. The served Expr is the plan's canonical
-// form, which re-parses to the same plan.
+// form, which re-parses to the same plan. Responses must be unpaged (or
+// reassembled from all pages, e.g. by client.CollectPages — which is
+// exactly how the paged-equals-one-shot invariant is pinned end to end).
 //
 // Cost counters (GTInferences, GPU time, latency) are not compared: the
 // shared GT-verdict cache makes later executions cheaper without changing
 // answers, and a cached response reports its original execution's cost.
-func NewDirectPlanVerifier(sys *focus.System) func(*PlanResponse) error {
-	return func(pr *PlanResponse) error {
-		names := make([]string, 0, len(pr.Watermarks))
-		for name := range pr.Watermarks {
-			names = append(names, name)
+func NewDirectPlanVerifier(sys *focus.System) func(*api.QueryResponse) error {
+	return func(pr *api.QueryResponse) error {
+		if pr.Form != api.FormRanked {
+			return fmt.Errorf("ranked verifier got a %q-form response", pr.Form)
 		}
-		sort.Strings(names)
 		res, err := sys.PlanQuery(pr.Expr, focus.PlanOptions{
-			Streams: names,
+			Streams: vectorStreams(pr.Watermarks),
 			TopK:    pr.TopK,
 			Leaf: focus.QueryOptions{
 				Kx:          pr.Kx,
@@ -95,7 +98,7 @@ func NewDirectPlanVerifier(sys *focus.System) func(*PlanResponse) error {
 			return fmt.Errorf("total items: served %d, direct %d", pr.TotalItems, len(res.Items))
 		}
 		if len(pr.Items) != len(res.Items) {
-			return fmt.Errorf("items: served %d, direct %d (unpaged responses must carry all items)",
+			return fmt.Errorf("items: served %d, direct %d (responses must carry all items to verify)",
 				len(pr.Items), len(res.Items))
 		}
 		for i, it := range pr.Items {
@@ -110,7 +113,17 @@ func NewDirectPlanVerifier(sys *focus.System) func(*PlanResponse) error {
 	}
 }
 
-func compareStream(name string, served *StreamQueryResult, direct *focus.StreamResult) error {
+// vectorStreams returns the vector's stream names, sorted.
+func vectorStreams(v api.WatermarkVector) []string {
+	names := make([]string, 0, len(v))
+	for name := range v {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func compareStream(name string, served *api.StreamResult, direct *focus.StreamResult) error {
 	if served.ExaminedClusters != direct.ExaminedClusters {
 		return fmt.Errorf("stream %s: examined clusters served %d, direct %d",
 			name, served.ExaminedClusters, direct.ExaminedClusters)

@@ -154,6 +154,28 @@ func Compile(e Expr, resolve Resolver) (*Plan, error) {
 // cache-key component.
 func (p *Plan) Canonical() string { return p.canonical }
 
+// SingleClass reports whether the plan is a bare positive one-leaf
+// predicate with default leaf options, returning the class name when so.
+// The wire layer uses it to answer such plans in the per-stream "frames"
+// form — the paper's single-class query — through the single-class engine
+// instead of the ranking pipeline.
+func (p *Plan) SingleClass() (string, bool) {
+	leaf, ok := p.root.(*Leaf)
+	if !ok || leaf.Opts != (LeafOptions{}) {
+		return "", false
+	}
+	return leaf.Class, true
+}
+
+// IsSingleLeafExpr reports whether a parsed (not necessarily compiled)
+// expression is a bare positive leaf with default options — the syntactic
+// form of SingleClass. The router uses it to predict a request's response
+// form without owning a class space to compile against.
+func IsSingleLeafExpr(e Expr) bool {
+	leaf, ok := e.(*Leaf)
+	return ok && leaf.Opts == (LeafOptions{})
+}
+
 // Classes returns the distinct leaf class names, in first-mention order.
 func (p *Plan) Classes() []string {
 	out := make([]string, len(p.leaves))

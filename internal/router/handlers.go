@@ -3,30 +3,36 @@ package router
 import (
 	"bytes"
 	"encoding/json"
-	"fmt"
 	"io"
 	"net/http"
-	"net/url"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"focus/api"
+	"focus/internal/plan"
 	"focus/internal/serve"
 )
 
-// routeError is a request-scoped routing failure, produced before or after
-// the scatter. drainingShard marks 503s caused by a draining shard so load
-// tooling can tell a rolling restart from an outage.
-type routeError struct {
-	status        int
-	msg           string
-	drainingShard string
+// The router speaks the v1 wire contract on both sides: clients POST
+// /v1/query to the router, the router scatters per-shard v1 sub-requests
+// to the owning shards, and gathered failures are classified by their
+// structured error code — never by message strings or marker headers. The
+// legacy endpoints (GET /query, POST /plan) remain as deprecated shims
+// that translate into the same v1 routing core, exactly like a single
+// focus-serve's shims.
+
+// writeV1Error mirrors the error onto the router's counters and writes
+// the structured envelope.
+func (r *Router) writeV1Error(w http.ResponseWriter, e *api.Error) {
+	r.countError(e)
+	writeJSON(w, e.HTTPStatus(), api.Envelope{Err: e})
 }
 
-func (r *Router) writeRouteError(w http.ResponseWriter, e *routeError) {
-	switch e.status {
+func (r *Router) countError(e *api.Error) {
+	switch e.HTTPStatus() {
 	case http.StatusTooManyRequests:
 		r.rejected.Add(1)
 	case http.StatusBadRequest:
@@ -34,10 +40,17 @@ func (r *Router) writeRouteError(w http.ResponseWriter, e *routeError) {
 	default:
 		r.unavailable.Add(1)
 	}
-	if e.drainingShard != "" {
-		w.Header().Set(serve.DrainingHeader, e.drainingShard)
+}
+
+// writeLegacyError translates a structured error back into the legacy
+// wire format: bare message string, and the draining marker header naming
+// the draining shard (pre-v1 load tooling sniffs it).
+func (r *Router) writeLegacyError(w http.ResponseWriter, e *api.Error) {
+	r.countError(e)
+	if e.Code == api.CodeDraining && e.Shard != "" {
+		w.Header().Set(serve.DrainingHeader, e.Shard)
 	}
-	writeJSON(w, e.status, serve.ErrorResponse{Error: e.msg})
+	writeJSON(w, e.HTTPStatus(), serve.ErrorResponse{Error: e.Message})
 }
 
 // shardGroup is one shard's slice of a request: the streams it owns, in
@@ -49,11 +62,11 @@ type shardGroup struct {
 }
 
 // groupByShard resolves the requested streams (empty = every known stream)
-// to per-shard groups, failing fast — with an explicit 503 naming the
+// to per-shard groups, failing fast — with an explicit error naming the
 // shard — when any owning shard is down or draining. Routed queries are
-// all-or-nothing: a partial answer would silently change TotalFrames,
-// rankings, and aggregates, so partial failure must be loud.
-func (r *Router) groupByShard(requested []string) ([]shardGroup, *routeError) {
+// all-or-nothing: a partial answer would silently change aggregates and
+// rankings, so partial failure must be loud.
+func (r *Router) groupByShard(requested []string) ([]shardGroup, *api.Error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	streams := requested
@@ -65,13 +78,13 @@ func (r *Router) groupByShard(requested []string) ([]shardGroup, *routeError) {
 		sort.Strings(streams)
 	}
 	if len(streams) == 0 {
-		return nil, &routeError{status: http.StatusServiceUnavailable, msg: "no streams available (no shard ownership discovered)"}
+		return nil, api.Errorf(api.CodeUnavailable, "no streams available (no shard ownership discovered)")
 	}
 	byShard := make(map[string][]string)
 	for _, st := range streams {
 		owner, ok := r.owners[st]
 		if !ok {
-			return nil, &routeError{status: http.StatusBadRequest, msg: fmt.Sprintf("unknown stream %q", st)}
+			return nil, api.Errorf(api.CodeUnknownStream, "unknown stream %q", st)
 		}
 		byShard[owner] = append(byShard[owner], st)
 	}
@@ -85,16 +98,13 @@ func (r *Router) groupByShard(requested []string) ([]shardGroup, *routeError) {
 		sh := r.shards[n]
 		switch sh.state {
 		case StateDraining:
-			return nil, &routeError{
-				status:        http.StatusServiceUnavailable,
-				msg:           fmt.Sprintf("shard %q is draining (owns %s)", n, strings.Join(byShard[n], ",")),
-				drainingShard: n,
-			}
+			e := api.Errorf(api.CodeDraining, "shard %q is draining (owns %s)", n, strings.Join(byShard[n], ","))
+			e.Shard = n
+			return nil, e
 		case StateDown:
-			return nil, &routeError{
-				status: http.StatusServiceUnavailable,
-				msg:    fmt.Sprintf("shard %q is down: %s (owns %s)", n, sh.lastErr, strings.Join(byShard[n], ",")),
-			}
+			e := api.Errorf(api.CodeShardDown, "shard %q is down: %s (owns %s)", n, sh.lastErr, strings.Join(byShard[n], ","))
+			e.Shard = n
+			return nil, e
 		}
 		groups = append(groups, shardGroup{spec: sh.spec, streams: byShard[n]})
 	}
@@ -103,11 +113,16 @@ func (r *Router) groupByShard(requested []string) ([]shardGroup, *routeError) {
 
 // shardReply is one sub-request's outcome.
 type shardReply struct {
-	shard    string
-	status   int
-	draining bool
-	body     []byte
-	err      error
+	shard  string
+	status int
+	body   []byte
+	err    error
+}
+
+// apiError decodes the reply's structured error (degrading gracefully for
+// non-envelope bodies).
+func (rep *shardReply) apiError() *api.Error {
+	return api.DecodeError(rep.status, rep.body)
 }
 
 // scatter issues one sub-request per group concurrently and gathers the
@@ -129,7 +144,6 @@ func (r *Router) scatter(groups []shardGroup, call func(g shardGroup) (*http.Res
 			}
 			defer resp.Body.Close()
 			rep.status = resp.StatusCode
-			rep.draining = resp.Header.Get(serve.DrainingHeader) != ""
 			rep.body, rep.err = io.ReadAll(resp.Body)
 		}(i, g)
 	}
@@ -137,13 +151,15 @@ func (r *Router) scatter(groups []shardGroup, call func(g shardGroup) (*http.Res
 	return replies
 }
 
-// gatherError maps the scattered replies to the single response status the
-// client sees, or nil when every shard answered 2xx. Precedence: a client
-// error (400) is the caller's bug and wins; then unavailability (transport
-// errors, 5xx, draining) as 503 — retrying won't help until the shard
-// recovers; then overload (429), where a retry is exactly right.
-func gatherError(replies []shardReply) *routeError {
-	classify := func(pick func(rep *shardReply) *routeError) *routeError {
+// gatherError maps the scattered replies to the single error the client
+// sees, or nil when every shard answered 2xx — classified by the shards'
+// structured error codes. Precedence: a client error (bad_*, pin_ahead,
+// unknown_stream) is the caller's bug and wins, passed through verbatim;
+// then unavailability (transport errors, draining, anything 5xx-ish) —
+// retrying won't help until the shard recovers; then overload, where a
+// retry is exactly right.
+func gatherError(replies []shardReply) *api.Error {
+	classify := func(pick func(rep *shardReply) *api.Error) *api.Error {
 		for i := range replies {
 			if e := pick(&replies[i]); e != nil {
 				return e
@@ -151,127 +167,290 @@ func gatherError(replies []shardReply) *routeError {
 		}
 		return nil
 	}
-	if e := classify(func(rep *shardReply) *routeError {
+	if e := classify(func(rep *shardReply) *api.Error {
 		if rep.err == nil && rep.status == http.StatusBadRequest {
-			return &routeError{status: http.StatusBadRequest, msg: shardErrorBody(rep)}
+			return rep.apiError()
 		}
 		return nil
 	}); e != nil {
 		return e
 	}
-	if e := classify(func(rep *shardReply) *routeError {
+	if e := classify(func(rep *shardReply) *api.Error {
 		switch {
 		case rep.err != nil:
-			return &routeError{status: http.StatusServiceUnavailable,
-				msg: fmt.Sprintf("shard %q unavailable: %v", rep.shard, rep.err)}
-		case rep.status == http.StatusServiceUnavailable && rep.draining:
-			return &routeError{status: http.StatusServiceUnavailable,
-				msg:           fmt.Sprintf("shard %q is draining", rep.shard),
-				drainingShard: rep.shard}
-		case rep.status >= 500 || (rep.status >= 300 && rep.status != http.StatusTooManyRequests && rep.status != http.StatusBadRequest):
-			return &routeError{status: http.StatusServiceUnavailable,
-				msg: fmt.Sprintf("shard %q returned status %d: %s", rep.shard, rep.status, shardErrorBody(rep))}
+			e := api.Errorf(api.CodeShardDown, "shard %q unavailable: %v", rep.shard, rep.err)
+			e.Shard = rep.shard
+			return e
+		case rep.status >= 200 && rep.status < 300, rep.status == http.StatusTooManyRequests:
+			return nil
+		default:
+			se := rep.apiError()
+			if se.Code == api.CodeDraining {
+				e := api.Errorf(api.CodeDraining, "shard %q is draining", rep.shard)
+				e.Shard = rep.shard
+				return e
+			}
+			e := api.Errorf(api.CodeShardDown, "shard %q returned status %d: %s", rep.shard, rep.status, se.Message)
+			e.Shard = rep.shard
+			return e
 		}
-		return nil
 	}); e != nil {
 		return e
 	}
-	return classify(func(rep *shardReply) *routeError {
+	return classify(func(rep *shardReply) *api.Error {
 		if rep.status == http.StatusTooManyRequests {
-			return &routeError{status: http.StatusTooManyRequests,
-				msg: fmt.Sprintf("shard %q overloaded: %s", rep.shard, shardErrorBody(rep))}
+			e := api.Errorf(api.CodeOverloaded, "shard %q overloaded: %s", rep.shard, rep.apiError().Message)
+			e.Shard = rep.shard
+			return e
 		}
 		return nil
 	})
 }
 
-func shardErrorBody(rep *shardReply) string {
-	var er serve.ErrorResponse
-	if err := json.Unmarshal(rep.body, &er); err == nil && er.Error != "" {
-		return er.Error
-	}
-	return strings.TrimSpace(string(rep.body))
+// routedExec is a resolved routed execution, the router-side analogue of
+// the serve layer's v1Exec: predicate still textual (shards compile it),
+// paging normalized, cursor expanded.
+type routedExec struct {
+	expr                  string
+	streams               []string
+	pins                  api.WatermarkVector
+	topK, kx, maxClusters int
+	start, end            float64
+	limit, offset         int
+	ranked                bool
 }
 
-func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
+// resolveRouted normalizes a wire QueryRequest. The ranked/frames form
+// decision is syntactic (plan.Parse, no class space needed) and must
+// mirror the serve layer's rule; the router then forces the decided form
+// on every shard so a scatter can never mix forms.
+func resolveRouted(req *api.QueryRequest) (*routedExec, *api.Error) {
+	if req.Limit < 0 {
+		return nil, api.Errorf(api.CodeBadRequest, "negative query parameter")
+	}
+	if req.Cursor != "" {
+		cur, aerr := api.CursorForRequest(req)
+		if aerr != nil {
+			return nil, aerr
+		}
+		return &routedExec{
+			expr:        cur.Expr,
+			streams:     cur.Streams,
+			pins:        cur.At,
+			topK:        cur.TopK,
+			kx:          cur.Kx,
+			start:       cur.Start,
+			end:         cur.End,
+			maxClusters: cur.MaxClusters,
+			limit:       req.Limit,
+			offset:      cur.Offset,
+			ranked:      true,
+		}, nil
+	}
+	if req.Expr == "" {
+		return nil, api.Errorf(api.CodeBadRequest, "missing required field: expr")
+	}
+	if req.TopK < 0 || req.Kx < 0 || req.MaxClusters < 0 || req.Start < 0 || req.End < 0 {
+		return nil, api.Errorf(api.CodeBadRequest, "negative query parameter")
+	}
+	if req.Form != "" && req.Form != api.FormRanked {
+		return nil, api.Errorf(api.CodeBadRequest, "form must be omitted or %q", api.FormRanked)
+	}
+	ast, err := plan.Parse(req.Expr)
+	if err != nil {
+		return nil, api.Errorf(api.CodeBadExpr, "%v", err)
+	}
+	ex := &routedExec{
+		expr:        req.Expr,
+		streams:     api.NormalizeStreams(req.Streams),
+		pins:        req.At,
+		topK:        req.TopK,
+		kx:          req.Kx,
+		start:       req.Start,
+		end:         req.End,
+		maxClusters: req.MaxClusters,
+		limit:       req.Limit,
+	}
+	ex.ranked = !plan.IsSingleLeafExpr(ast) || req.TopK != 0 || req.Limit != 0 || req.Form == api.FormRanked
+	return ex, nil
+}
+
+// routeV1 is the routing core shared by the v1 handler and both legacy
+// shims: group the target streams by owning shard, scatter one unpaged v1
+// sub-request per shard (each pinned to its slice of the vector, forced
+// to the decided form), gather, merge deterministically, then page the
+// merged ranking router-side and mint the continuation cursor over the
+// merged watermark vector.
+func (r *Router) routeV1(ex *routedExec) (*api.QueryResponse, int, *api.Error) {
+	groups, aerr := r.groupByShard(ex.streams)
+	if aerr != nil {
+		return nil, 0, aerr
+	}
+	if aerr := validatePins(ex.pins, groups); aerr != nil {
+		return nil, 0, aerr
+	}
+	if ex.ranked {
+		r.planQueries.Add(1)
+	} else {
+		r.queries.Add(1)
+	}
+
+	form := ""
+	if ex.ranked {
+		// Shards must not fall into the frames form for one-leaf exprs the
+		// router decided to rank (TopK/Limit/Cursor live router-side).
+		form = api.FormRanked
+	}
+	replies := r.scatter(groups, func(g shardGroup) (*http.Response, error) {
+		sub := api.QueryRequest{
+			Expr:        ex.expr,
+			Streams:     g.streams,
+			TopK:        ex.topK, // a shard's top K is a superset of its share of the merged top K
+			Kx:          ex.kx,
+			Start:       ex.start,
+			End:         ex.end,
+			MaxClusters: ex.maxClusters,
+			At:          subVector(ex.pins, g.streams),
+			Form:        form,
+		}
+		body, err := json.Marshal(&sub)
+		if err != nil {
+			return nil, err
+		}
+		return r.client.Post(g.spec.URL+api.PathQuery, "application/json", bytes.NewReader(body))
+	})
+	if aerr := gatherError(replies); aerr != nil {
+		return nil, 0, aerr
+	}
+	parts := make([]*api.QueryResponse, len(replies))
+	for i := range replies {
+		parts[i] = new(api.QueryResponse)
+		if err := json.Unmarshal(replies[i].body, parts[i]); err != nil {
+			r.upstreamErrs.Add(1)
+			e := api.Errorf(api.CodeUnavailable, "shard %q sent a bad %s body: %v", replies[i].shard, api.PathQuery, err)
+			e.Shard = replies[i].shard
+			return nil, 0, e
+		}
+	}
+	var merged *api.QueryResponse
+	var err error
+	if ex.ranked {
+		merged, err = mergeRanked(ex.topK, parts)
+	} else {
+		merged, err = mergeFrames(parts)
+	}
+	if err != nil {
+		r.upstreamErrs.Add(1)
+		return nil, 0, api.Errorf(api.CodeUnavailable, "%v", err)
+	}
+	if ex.ranked {
+		full := merged.Items
+		merged.Items = api.PageItems(full, ex.limit, ex.offset)
+		var names []string
+		for _, g := range groups {
+			names = append(names, g.streams...)
+		}
+		sort.Strings(names)
+		merged.Cursor = api.ContinuationToken(api.Cursor{
+			Expr:        merged.Expr,
+			Streams:     names,
+			TopK:        ex.topK,
+			Kx:          ex.kx,
+			Start:       ex.start,
+			End:         ex.end,
+			MaxClusters: ex.maxClusters,
+			At:          merged.Watermarks,
+		}, ex.limit, ex.offset, len(merged.Items), merged.TotalItems)
+	}
+	return merged, len(groups), nil
+}
+
+// handleV1Query is the router's POST /v1/query.
+func (r *Router) handleV1Query(w http.ResponseWriter, req *http.Request) {
+	if !r.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, api.Envelope{Err: api.Errorf(api.CodeNotReady, "router not ready")})
+		return
+	}
+	if req.Method != http.MethodPost {
+		r.clientErrs.Add(1)
+		writeJSON(w, http.StatusMethodNotAllowed, api.Envelope{
+			Err: api.Errorf(api.CodeBadRequest, "POST a JSON body to %s", api.PathQuery)})
+		return
+	}
+	var qreq api.QueryRequest
+	if err := json.NewDecoder(req.Body).Decode(&qreq); err != nil {
+		r.writeV1Error(w, api.Errorf(api.CodeBadRequest, "bad %s body: %v", api.PathQuery, err))
+		return
+	}
+	ex, aerr := resolveRouted(&qreq)
+	if aerr != nil {
+		r.writeV1Error(w, aerr)
+		return
+	}
+	merged, fanout, aerr := r.routeV1(ex)
+	if aerr != nil {
+		r.writeV1Error(w, aerr)
+		return
+	}
+	setCacheHeader(w, merged.Cached)
+	w.Header().Set(fanoutHeader, strconv.Itoa(fanout))
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// handleLegacyQuery is the router's deprecated GET /query shim.
+func (r *Router) handleLegacyQuery(w http.ResponseWriter, req *http.Request) {
+	r.legacyReqs.Add(1)
+	w.Header().Set(api.DeprecationHeader, "true")
 	if !r.ready.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, serve.ErrorResponse{Error: "router not ready"})
 		return
 	}
-	q := req.URL.Query()
-	class := q.Get("class")
-	if class == "" {
-		r.clientErrs.Add(1)
-		writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: "missing required parameter: class"})
-		return
-	}
-	var requested []string
-	if v := q.Get("streams"); v != "" {
-		requested = serve.NormalizeStreams(strings.Split(v, ","))
-	}
-	var pins map[string]float64
-	if v := q.Get("at"); v != "" {
-		var err error
-		if pins, err = serve.ParseWatermarkVector(v); err != nil {
-			r.clientErrs.Add(1)
-			writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: err.Error()})
-			return
-		}
-	}
-	groups, rerr := r.groupByShard(requested)
-	if rerr != nil {
-		r.writeRouteError(w, rerr)
-		return
-	}
-	if rerr := validatePins(pins, groups); rerr != nil {
-		r.writeRouteError(w, rerr)
-		return
-	}
-	r.queries.Add(1)
-
-	replies := r.scatter(groups, func(g shardGroup) (*http.Response, error) {
-		sub := url.Values{}
-		sub.Set("class", class)
-		sub.Set("streams", strings.Join(g.streams, ","))
-		// Leaf options pass through verbatim: the shard parses and
-		// validates, so router and single-node requests can never diverge
-		// on parameter semantics.
-		for _, p := range []string{"kx", "start", "end", "max_clusters"} {
-			if v := q.Get(p); v != "" {
-				sub.Set(p, v)
-			}
-		}
-		if sv := subVector(pins, g.streams); len(sv) > 0 {
-			sub.Set("at", serve.FormatWatermarkVector(sv))
-		}
-		return r.client.Get(g.spec.URL + "/query?" + sub.Encode())
-	})
-	if rerr := gatherError(replies); rerr != nil {
-		r.writeRouteError(w, rerr)
-		return
-	}
-	parts := make([]*serve.QueryResponse, len(replies))
-	for i := range replies {
-		parts[i] = new(serve.QueryResponse)
-		if err := json.Unmarshal(replies[i].body, parts[i]); err != nil {
-			r.upstreamErrs.Add(1)
-			writeJSON(w, http.StatusServiceUnavailable, serve.ErrorResponse{
-				Error: fmt.Sprintf("shard %q sent a bad /query body: %v", replies[i].shard, err)})
-			return
-		}
-	}
-	merged, err := mergeQueryResponses(class, parts)
+	args, err := serve.ParseLegacyQueryArgs(req)
 	if err != nil {
-		r.upstreamErrs.Add(1)
-		writeJSON(w, http.StatusServiceUnavailable, serve.ErrorResponse{Error: err.Error()})
+		r.clientErrs.Add(1)
+		writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: err.Error()})
+		return
+	}
+	merged, fanout, aerr := r.routeV1(&routedExec{
+		expr:        args.Class,
+		streams:     args.Streams,
+		pins:        args.At,
+		kx:          args.Kx,
+		start:       args.Start,
+		end:         args.End,
+		maxClusters: args.MaxClusters,
+	})
+	if aerr != nil {
+		r.writeLegacyError(w, legacyUnwrapLeafError(aerr))
 		return
 	}
 	setCacheHeader(w, merged.Cached)
-	w.Header().Set(fanoutHeader, strconv.Itoa(len(groups)))
-	writeJSON(w, http.StatusOK, merged)
+	w.Header().Set(fanoutHeader, strconv.Itoa(fanout))
+	writeJSON(w, http.StatusOK, serve.LegacyQueryPayload(args.Class, merged))
 }
 
-func (r *Router) handlePlan(w http.ResponseWriter, req *http.Request) {
+// legacyUnwrapLeafError strips the plan-compile framing ("plan: leaf
+// "x": …") off a one-leaf bad_expr error so the legacy /query shim
+// reports unknown classes with the library's own text ("focus: unknown
+// class …"), exactly as the pre-v1 router did.
+func legacyUnwrapLeafError(e *api.Error) *api.Error {
+	const prefix = "plan: leaf "
+	if e.Code != api.CodeBadExpr || !strings.HasPrefix(e.Message, prefix) {
+		return e
+	}
+	rest := e.Message[len(prefix):]
+	if _, inner, ok := strings.Cut(rest, ": "); ok {
+		out := *e
+		out.Message = inner
+		return &out
+	}
+	return e
+}
+
+// handleLegacyPlan is the router's deprecated POST /plan shim.
+func (r *Router) handleLegacyPlan(w http.ResponseWriter, req *http.Request) {
+	r.legacyReqs.Add(1)
+	w.Header().Set(api.DeprecationHeader, "true")
 	if !r.ready.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, serve.ErrorResponse{Error: "router not ready"})
 		return
@@ -292,80 +471,40 @@ func (r *Router) handlePlan(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: "missing required field: expr"})
 		return
 	}
-	// Only the paging fields are validated here: the router consumes them
-	// itself (shards always execute unpaged slices), whereas every other
-	// parameter passes through verbatim and the shard's own validation
-	// comes back as a 400 — one source of truth for plan semantics.
-	if preq.Limit < 0 || preq.Offset < 0 {
+	if preq.TopK < 0 || preq.Kx < 0 || preq.MaxClusters < 0 || preq.Limit < 0 || preq.Offset < 0 ||
+		preq.Start < 0 || preq.End < 0 {
 		r.clientErrs.Add(1)
 		writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: "negative plan parameter"})
 		return
 	}
-	groups, rerr := r.groupByShard(serve.NormalizeStreams(preq.Streams))
-	if rerr != nil {
-		r.writeRouteError(w, rerr)
-		return
-	}
-	if rerr := validatePins(preq.AtWatermarks, groups); rerr != nil {
-		r.writeRouteError(w, rerr)
-		return
-	}
-	r.planQueries.Add(1)
-
-	replies := r.scatter(groups, func(g shardGroup) (*http.Response, error) {
-		// Each shard executes its full slice of the plan: paging is the
-		// router's job (a shard page would be a page of the wrong ranking),
-		// and TopK stays — a shard's global top K is a superset of its
-		// share of the merged top K.
-		sub := preq
-		sub.Streams = g.streams
-		sub.AtWatermarks = subVector(preq.AtWatermarks, g.streams)
-		sub.Limit, sub.Offset = 0, 0
-		body, err := json.Marshal(&sub)
-		if err != nil {
-			return nil, err
-		}
-		return r.client.Post(g.spec.URL+"/plan", "application/json", bytes.NewReader(body))
+	merged, fanout, aerr := r.routeV1(&routedExec{
+		expr:        preq.Expr,
+		streams:     api.NormalizeStreams(preq.Streams),
+		pins:        preq.AtWatermarks,
+		topK:        preq.TopK,
+		kx:          preq.Kx,
+		start:       preq.Start,
+		end:         preq.End,
+		maxClusters: preq.MaxClusters,
+		limit:       preq.Limit,
+		offset:      preq.Offset,
+		ranked:      true,
 	})
-	if rerr := gatherError(replies); rerr != nil {
-		r.writeRouteError(w, rerr)
-		return
-	}
-	parts := make([]*serve.PlanResponse, len(replies))
-	for i := range replies {
-		parts[i] = new(serve.PlanResponse)
-		if err := json.Unmarshal(replies[i].body, parts[i]); err != nil {
-			r.upstreamErrs.Add(1)
-			writeJSON(w, http.StatusServiceUnavailable, serve.ErrorResponse{
-				Error: fmt.Sprintf("shard %q sent a bad /plan body: %v", replies[i].shard, err)})
-			return
-		}
-	}
-	merged, err := mergePlanResponses(&preq, parts)
-	if err != nil {
-		r.upstreamErrs.Add(1)
-		writeJSON(w, http.StatusServiceUnavailable, serve.ErrorResponse{Error: err.Error()})
+	if aerr != nil {
+		r.writeLegacyError(w, aerr)
 		return
 	}
 	setCacheHeader(w, merged.Cached)
-	w.Header().Set(fanoutHeader, strconv.Itoa(len(groups)))
-	out := *merged
-	out.Items = serve.PagePlanItems(out.Items, preq.Limit, preq.Offset)
-	writeJSON(w, http.StatusOK, &out)
+	w.Header().Set(fanoutHeader, strconv.Itoa(fanout))
+	writeJSON(w, http.StatusOK, serve.LegacyPlanPayload(merged))
 }
 
-// ShardStream is one entry of the router's /streams payload: the shard's
-// own StreamStatus annotated with the owning shard name.
-type ShardStream struct {
-	Shard string `json:"shard"`
-	serve.StreamStatus
-}
-
-// handleStreams scatters GET /streams to every responsive shard and merges
-// the statuses, sorted by stream name. Unlike /query and /plan — where a
-// partial answer would be a wrong answer — this is an operator surface:
-// down shards are skipped and named in the X-Focus-Partial header so the
-// rest of the cluster stays observable during an outage.
+// handleStreams scatters GET /v1/streams to every responsive shard and
+// merges the statuses — shard-annotated, sorted by stream name. Unlike the
+// query path — where a partial answer would be a wrong answer — this is an
+// operator surface: down shards are skipped and named in the
+// X-Focus-Partial header so the rest of the cluster stays observable
+// during an outage. Served at both /v1/streams and the legacy /streams.
 func (r *Router) handleStreams(w http.ResponseWriter, req *http.Request) {
 	r.mu.RLock()
 	var groups []shardGroup
@@ -376,21 +515,22 @@ func (r *Router) handleStreams(w http.ResponseWriter, req *http.Request) {
 	}
 	r.mu.RUnlock()
 	replies := r.scatter(groups, func(g shardGroup) (*http.Response, error) {
-		return r.client.Get(g.spec.URL + "/streams")
+		return r.client.Get(g.spec.URL + api.PathStreams)
 	})
 	// Non-nil so an all-shards-down cluster serializes as [], not null —
 	// clients iterate this array.
-	out := []ShardStream{}
+	out := []api.StreamStatus{}
 	var partial []string
 	for i := range replies {
 		rep := &replies[i]
-		var statuses []serve.StreamStatus
+		var statuses []api.StreamStatus
 		if rep.err != nil || rep.status != http.StatusOK || json.Unmarshal(rep.body, &statuses) != nil {
 			partial = append(partial, rep.shard)
 			continue
 		}
 		for _, st := range statuses {
-			out = append(out, ShardStream{Shard: rep.shard, StreamStatus: st})
+			st.Shard = rep.shard
+			out = append(out, st)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
@@ -420,10 +560,13 @@ type ShardStatus struct {
 
 // Stats is the router's /stats payload.
 type Stats struct {
-	UptimeSec      float64       `json:"uptime_sec"`
-	Ready          bool          `json:"ready"`
-	Queries        int64         `json:"queries"`
-	PlanQueries    int64         `json:"plan_queries"`
+	UptimeSec   float64 `json:"uptime_sec"`
+	Ready       bool    `json:"ready"`
+	Queries     int64   `json:"queries"`
+	PlanQueries int64   `json:"plan_queries"`
+	// LegacyRequests counts requests arriving through the deprecated
+	// /query and /plan shims.
+	LegacyRequests int64         `json:"legacy_requests"`
 	ShardRequests  int64         `json:"shard_requests"`
 	Rejected       int64         `json:"rejected"`
 	Unavailable    int64         `json:"unavailable"`
@@ -444,6 +587,7 @@ func (r *Router) Snapshot() Stats {
 		Ready:          r.ready.Load(),
 		Queries:        r.queries.Load(),
 		PlanQueries:    r.planQueries.Load(),
+		LegacyRequests: r.legacyReqs.Load(),
 		ShardRequests:  r.shardReqs.Load(),
 		Rejected:       r.rejected.Load(),
 		Unavailable:    r.unavailable.Load(),
@@ -483,7 +627,7 @@ func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
 // usable at all.
 func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
 	if !r.ready.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, serve.ErrorResponse{Error: "router not ready"})
+		writeJSON(w, http.StatusServiceUnavailable, api.Envelope{Err: api.Errorf(api.CodeNotReady, "router not ready")})
 		return
 	}
 	r.mu.RLock()
@@ -511,10 +655,11 @@ func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
 }
 
 // validatePins rejects pinned streams outside the resolved target set,
-// mirroring serve.resolveVector: a silently dropped pin (typo, removed
-// stream) would quietly unpin the read. Pins inside the set are split per
-// shard by subVector, so every shard's slice passes its own check too.
-func validatePins(pins map[string]float64, groups []shardGroup) *routeError {
+// mirroring the serve layer's resolveVector: a silently dropped pin (a
+// typo, a removed stream) would quietly unpin the read. Pins inside the
+// set are split per shard by subVector, so every shard's slice passes its
+// own check too.
+func validatePins(pins api.WatermarkVector, groups []shardGroup) *api.Error {
 	if len(pins) == 0 {
 		return nil
 	}
@@ -531,8 +676,7 @@ func validatePins(pins map[string]float64, groups []shardGroup) *routeError {
 	sort.Strings(names)
 	for _, n := range names {
 		if !resolved[n] {
-			return &routeError{status: http.StatusBadRequest,
-				msg: fmt.Sprintf("pinned stream %q is not among the query's streams", n)}
+			return api.Errorf(api.CodeBadRequest, "pinned stream %q is not among the query's streams", n)
 		}
 	}
 	return nil
@@ -540,12 +684,12 @@ func validatePins(pins map[string]float64, groups []shardGroup) *routeError {
 
 // subVector returns the pins restricted to the given streams (nil when
 // none apply): each shard only ever sees its own slice of a pinned vector.
-func subVector(pins map[string]float64, streams []string) map[string]float64 {
-	var out map[string]float64
+func subVector(pins api.WatermarkVector, streams []string) api.WatermarkVector {
+	var out api.WatermarkVector
 	for _, st := range streams {
 		if at, ok := pins[st]; ok {
 			if out == nil {
-				out = make(map[string]float64)
+				out = make(api.WatermarkVector)
 			}
 			out[st] = at
 		}

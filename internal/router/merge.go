@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"sort"
 
-	"focus/internal/serve"
+	"focus/api"
 )
 
 // This file is the heart of the scatter-gather contract: merged responses
@@ -14,35 +14,47 @@ import (
 // bookkeeping — the only way to get it wrong is ordering, which is why
 // every aggregation below states the single-node order it mirrors.
 
-// mergeQueryResponses combines per-shard /query responses into the payload
-// a single node would have produced. Answer fields (per-stream frames,
+// mergeFrames combines per-shard frames-form responses into the payload a
+// single node would have produced. Answer fields (per-stream frames,
 // segments, cluster counts, watermarks) are unioned — stream sets are
 // disjoint, duplicates mean the cluster is misconfigured and fail loudly.
 // Aggregates mirror focus.System.Query exactly: TotalFrames and GPUTimeMS
 // sum per-stream values in sorted stream-name order (the order a direct
 // query visits streams, so even float accumulation matches bit for bit)
 // and LatencyMS is the max — the slowest stream bounds the query (§5).
-func mergeQueryResponses(class string, parts []*serve.QueryResponse) (*serve.QueryResponse, error) {
-	out := &serve.QueryResponse{
-		Class:   class,
-		Streams: make(map[string]*serve.StreamQueryResult),
-		Cached:  true,
+func mergeFrames(parts []*api.QueryResponse) (*api.QueryResponse, error) {
+	out := &api.QueryResponse{
+		Form:       api.FormFrames,
+		Watermarks: make(api.WatermarkVector),
+		Streams:    make(map[string]*api.StreamResult),
+		Cached:     true,
 	}
 	for i, p := range parts {
-		// Every shard must echo the same executed leaf options (the router
-		// passes them through verbatim); disagreement means mixed shard
-		// versions and must fail loudly, exactly like the /plan canonical
-		// check — a wrong echo would make verifiers replay the wrong query.
+		if p.Form != api.FormFrames {
+			return nil, fmt.Errorf("shard answered in %q form where %q was requested — mixed shard versions?", p.Form, api.FormFrames)
+		}
+		// Every shard must echo the same canonical expr and executed leaf
+		// options (the router passes them through verbatim); disagreement
+		// means mixed shard versions and must fail loudly — a wrong echo
+		// would make verifiers replay the wrong query.
 		if i == 0 {
+			out.Expr = p.Expr
 			out.Kx, out.Start, out.End, out.MaxClusters = p.Kx, p.Start, p.End, p.MaxClusters
-		} else if p.Kx != out.Kx || p.Start != out.Start || p.End != out.End || p.MaxClusters != out.MaxClusters {
-			return nil, fmt.Errorf("shards disagree on the executed query options — mixed shard versions?")
+		} else if p.Expr != out.Expr || p.Kx != out.Kx || p.Start != out.Start ||
+			p.End != out.End || p.MaxClusters != out.MaxClusters {
+			return nil, fmt.Errorf("shards disagree on the executed query — mixed shard versions?")
 		}
 		for name, sr := range p.Streams {
 			if _, dup := out.Streams[name]; dup {
 				return nil, fmt.Errorf("stream %q answered by two shards — shard ownership must be disjoint", name)
 			}
 			out.Streams[name] = sr
+		}
+		for name, at := range p.Watermarks {
+			if _, dup := out.Watermarks[name]; dup {
+				return nil, fmt.Errorf("stream %q answered by two shards — shard ownership must be disjoint", name)
+			}
+			out.Watermarks[name] = at
 		}
 		// A merged response is "cached" only if no shard did new work.
 		if !p.Cached {
@@ -57,6 +69,7 @@ func mergeQueryResponses(class string, parts []*serve.QueryResponse) (*serve.Que
 	for _, name := range names {
 		sr := out.Streams[name]
 		out.TotalFrames += len(sr.Frames)
+		out.GTInferences += sr.GTInferences
 		out.GPUTimeMS += sr.GPUTimeMS
 		if sr.LatencyMS > out.LatencyMS {
 			out.LatencyMS = sr.LatencyMS
@@ -71,7 +84,7 @@ func mergeQueryResponses(class string, parts []*serve.QueryResponse) (*serve.Que
 // equivalence — so that merging per-shard rankings reproduces the exact
 // order a single node emits. (Items are unique by (stream, frame) and the
 // order is total, so a plain sort of the concatenation is the merge.)
-func itemRanksBefore(a, b serve.PlanItem) bool {
+func itemRanksBefore(a, b api.Item) bool {
 	if a.Score != b.Score {
 		return a.Score > b.Score
 	}
@@ -81,32 +94,32 @@ func itemRanksBefore(a, b serve.PlanItem) bool {
 	return a.Frame < b.Frame
 }
 
-// mergePlanResponses combines per-shard /plan responses into the payload a
+// mergeRanked combines per-shard ranked-form responses into the payload a
 // single node would have produced: per-shard rankings interleave under
-// itemRanksBefore and truncate to TopK. Each shard returned its own top K,
+// itemRanksBefore and truncate to topK. Each shard returned its own top K,
 // and a stream's items rank identically whether its shard executed alone
 // or within a single node, so the global top K is exactly the top K of the
 // concatenation. Cost counters aggregate like plan.Stats (sum inferences
 // and GPU time, max latency); watermark vectors union disjointly.
-func mergePlanResponses(req *serve.PlanRequest, parts []*serve.PlanResponse) (*serve.PlanResponse, error) {
-	out := &serve.PlanResponse{
-		TopK:        req.TopK,
-		Kx:          req.Kx,
-		Start:       req.Start,
-		End:         req.End,
-		MaxClusters: req.MaxClusters,
-		Watermarks:  make(map[string]float64),
-		Cached:      true,
+func mergeRanked(topK int, parts []*api.QueryResponse) (*api.QueryResponse, error) {
+	out := &api.QueryResponse{
+		Form:       api.FormRanked,
+		Watermarks: make(api.WatermarkVector),
+		Cached:     true,
 	}
 	total := 0
 	for i, p := range parts {
+		if p.Form != api.FormRanked {
+			return nil, fmt.Errorf("shard answered in %q form where %q was requested — mixed shard versions?", p.Form, api.FormRanked)
+		}
 		if i == 0 {
 			out.Expr = p.Expr
+			out.TopK, out.Kx, out.Start, out.End, out.MaxClusters = p.TopK, p.Kx, p.Start, p.End, p.MaxClusters
 		} else if p.Expr != out.Expr {
 			return nil, fmt.Errorf("shards disagree on the canonical plan (%q vs %q) — mixed shard versions?", out.Expr, p.Expr)
 		}
 		if len(p.Items) != p.TotalItems {
-			return nil, fmt.Errorf("shard sent a paged plan response (%d of %d items) — the router needs full slices to merge",
+			return nil, fmt.Errorf("shard sent a paged response (%d of %d items) — the router needs full slices to merge",
 				len(p.Items), p.TotalItems)
 		}
 		for name, at := range p.Watermarks {
@@ -125,13 +138,13 @@ func mergePlanResponses(req *serve.PlanRequest, parts []*serve.PlanResponse) (*s
 			out.Cached = false
 		}
 	}
-	out.Items = make([]serve.PlanItem, 0, total)
+	out.Items = make([]api.Item, 0, total)
 	for _, p := range parts {
 		out.Items = append(out.Items, p.Items...)
 	}
 	sort.Slice(out.Items, func(i, j int) bool { return itemRanksBefore(out.Items[i], out.Items[j]) })
-	if req.TopK > 0 && len(out.Items) > req.TopK {
-		out.Items = out.Items[:req.TopK]
+	if topK > 0 && len(out.Items) > topK {
+		out.Items = out.Items[:topK]
 	}
 	out.TotalItems = len(out.Items)
 	return out, nil

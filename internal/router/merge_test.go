@@ -4,23 +4,23 @@ import (
 	"reflect"
 	"testing"
 
+	"focus/api"
 	"focus/internal/plan"
-	"focus/internal/serve"
 	"focus/internal/simrand"
 	"focus/internal/video"
 )
 
-func TestMergeQueryResponsesAggregates(t *testing.T) {
-	parts := []*serve.QueryResponse{
-		{Streams: map[string]*serve.StreamQueryResult{
+func TestMergeFramesAggregates(t *testing.T) {
+	parts := []*api.QueryResponse{
+		{Form: api.FormFrames, Streams: map[string]*api.StreamResult{
 			"b": {Frames: []int64{4, 5}, GPUTimeMS: 2.5, LatencyMS: 9},
 			"c": {Frames: []int64{6}, GPUTimeMS: 1.25, LatencyMS: 3},
-		}, Cached: true},
-		{Streams: map[string]*serve.StreamQueryResult{
+		}, Watermarks: api.WatermarkVector{"b": 30, "c": 30}, Cached: true},
+		{Form: api.FormFrames, Streams: map[string]*api.StreamResult{
 			"a": {Frames: []int64{1, 2, 3}, GPUTimeMS: 0.5, LatencyMS: 7},
-		}, Cached: false},
+		}, Watermarks: api.WatermarkVector{"a": 30}, Cached: false},
 	}
-	out, err := mergeQueryResponses("car", parts)
+	out, err := mergeFrames(parts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,18 +38,27 @@ func TestMergeQueryResponsesAggregates(t *testing.T) {
 	if out.Cached {
 		t.Fatal("merged response claims cached although one shard missed")
 	}
-	if len(out.Streams) != 3 {
-		t.Fatalf("merged %d streams, want 3", len(out.Streams))
+	if len(out.Streams) != 3 || len(out.Watermarks) != 3 {
+		t.Fatalf("merged %d streams / %d watermarks, want 3/3", len(out.Streams), len(out.Watermarks))
 	}
 }
 
-func TestMergeQueryResponsesRejectsDuplicateStream(t *testing.T) {
-	parts := []*serve.QueryResponse{
-		{Streams: map[string]*serve.StreamQueryResult{"a": {}}},
-		{Streams: map[string]*serve.StreamQueryResult{"a": {}}},
+func TestMergeFramesRejectsDuplicateStream(t *testing.T) {
+	parts := []*api.QueryResponse{
+		{Form: api.FormFrames, Streams: map[string]*api.StreamResult{"a": {}}},
+		{Form: api.FormFrames, Streams: map[string]*api.StreamResult{"a": {}}},
 	}
-	if _, err := mergeQueryResponses("car", parts); err == nil {
+	if _, err := mergeFrames(parts); err == nil {
 		t.Fatal("expected an error for a stream answered by two shards")
+	}
+}
+
+func TestMergeRejectsMixedForms(t *testing.T) {
+	if _, err := mergeFrames([]*api.QueryResponse{{Form: api.FormRanked}}); err == nil {
+		t.Fatal("mergeFrames accepted a ranked part")
+	}
+	if _, err := mergeRanked(0, []*api.QueryResponse{{Form: api.FormFrames}}); err == nil {
+		t.Fatal("mergeRanked accepted a frames part")
 	}
 }
 
@@ -57,9 +66,9 @@ func TestMergeQueryResponsesRejectsDuplicateStream(t *testing.T) {
 // router's merge order IS the single-node emission order.
 func TestItemOrderMatchesPlanRankBefore(t *testing.T) {
 	src := simrand.New(7).DeriveN(0, "merge-order")
-	items := make([]serve.PlanItem, 200)
+	items := make([]api.Item, 200)
 	for i := range items {
-		items[i] = serve.PlanItem{
+		items[i] = api.Item{
 			Stream: []string{"a", "b", "c"}[src.Intn(3)],
 			Frame:  int64(src.Intn(50)),
 			// Coarse scores force plenty of ties through the stream/frame
@@ -79,37 +88,38 @@ func TestItemOrderMatchesPlanRankBefore(t *testing.T) {
 	}
 }
 
-func TestMergePlanResponsesTopKAndOrder(t *testing.T) {
-	req := &serve.PlanRequest{Expr: "car & person", TopK: 3}
-	parts := []*serve.PlanResponse{
+func TestMergeRankedTopKAndOrder(t *testing.T) {
+	parts := []*api.QueryResponse{
 		{
-			Expr: "car & person",
-			Items: []serve.PlanItem{
+			Form: api.FormRanked,
+			Expr: "(car&person)",
+			Items: []api.Item{
 				{Stream: "a", Frame: 1, Score: 5},
 				{Stream: "a", Frame: 9, Score: 2},
 			},
 			TotalItems:   2,
-			Watermarks:   map[string]float64{"a": 30},
+			Watermarks:   api.WatermarkVector{"a": 30},
 			GTInferences: 4, GPUTimeMS: 2, LatencyMS: 10,
 			Cached: true,
 		},
 		{
-			Expr: "car & person",
-			Items: []serve.PlanItem{
+			Form: api.FormRanked,
+			Expr: "(car&person)",
+			Items: []api.Item{
 				{Stream: "b", Frame: 2, Score: 7},
 				{Stream: "b", Frame: 3, Score: 2},
 			},
 			TotalItems:   2,
-			Watermarks:   map[string]float64{"b": 25},
+			Watermarks:   api.WatermarkVector{"b": 25},
 			GTInferences: 6, GPUTimeMS: 3, LatencyMS: 8,
 			Cached: true,
 		},
 	}
-	out, err := mergePlanResponses(req, parts)
+	out, err := mergeRanked(3, parts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []serve.PlanItem{
+	want := []api.Item{
 		{Stream: "b", Frame: 2, Score: 7},
 		{Stream: "a", Frame: 1, Score: 5},
 		// Score tie at 2: stream "a" ranks before "b".
@@ -132,21 +142,20 @@ func TestMergePlanResponsesTopKAndOrder(t *testing.T) {
 	}
 }
 
-func TestMergePlanResponsesFailsLoudly(t *testing.T) {
-	req := &serve.PlanRequest{Expr: "car"}
-	if _, err := mergePlanResponses(req, []*serve.PlanResponse{
-		{Expr: "car"}, {Expr: "car & person"},
+func TestMergeRankedFailsLoudly(t *testing.T) {
+	if _, err := mergeRanked(0, []*api.QueryResponse{
+		{Form: api.FormRanked, Expr: "car"}, {Form: api.FormRanked, Expr: "(car&person)"},
 	}); err == nil {
 		t.Fatal("expected an error for disagreeing canonical forms")
 	}
-	if _, err := mergePlanResponses(req, []*serve.PlanResponse{
-		{Expr: "car", Items: []serve.PlanItem{{Stream: "a"}}, TotalItems: 5},
+	if _, err := mergeRanked(0, []*api.QueryResponse{
+		{Form: api.FormRanked, Expr: "car", Items: []api.Item{{Stream: "a"}}, TotalItems: 5},
 	}); err == nil {
 		t.Fatal("expected an error for a paged shard response")
 	}
-	if _, err := mergePlanResponses(req, []*serve.PlanResponse{
-		{Expr: "car", Watermarks: map[string]float64{"a": 1}},
-		{Expr: "car", Watermarks: map[string]float64{"a": 2}},
+	if _, err := mergeRanked(0, []*api.QueryResponse{
+		{Form: api.FormRanked, Expr: "car", Watermarks: api.WatermarkVector{"a": 1}},
+		{Form: api.FormRanked, Expr: "car", Watermarks: api.WatermarkVector{"a": 2}},
 	}); err == nil {
 		t.Fatal("expected an error for overlapping stream ownership")
 	}

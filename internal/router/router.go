@@ -1,31 +1,37 @@
 // Package router is the scatter-gather front tier that scales focus-serve
 // horizontally: N serve processes ("shards") each own a disjoint subset of
 // the streams, and one focus-router presents them as a single query
-// endpoint with the same HTTP surface (/query, /plan, /streams, /stats,
-// /healthz) and — critically — the same answers.
+// endpoint with the same wire surface — the v1 contract of focus/api
+// (POST /v1/query, GET /v1/streams, GET /v1/stats, plus the deprecated
+// legacy shims) — and, critically, the same answers. The router speaks v1
+// to the shards too, classifying shard failures by structured error code
+// rather than by message strings or marker headers.
 //
 // Placement is a ShardMap: a static roster of shards plus rendezvous
 // hashing (with explicit pins as the override) assigning each stream to
 // exactly one shard. The router discovers what each shard actually serves
-// from its /streams endpoint, health-checks shards in the background, and
-// fans each request out only to the shards owning the referenced streams.
+// from its /v1/streams endpoint, health-checks shards in the background,
+// and fans each request out only to the shards owning the referenced
+// streams.
 //
 // Merging obeys one contract, stated next to the single-node contracts in
 // DESIGN.md: because streams are disjoint across shards and every
-// per-stream answer is a pure function of (class-or-plan, options,
-// watermark), gathering per-shard results and merging them in the
-// single-node engine's deterministic order (stream-sorted aggregation for
-// /query, plan.RankBefore interleaving for /plan) yields answers
+// per-stream answer is a pure function of (plan, options, watermark),
+// gathering per-shard results and merging them in the single-node
+// engine's deterministic order (stream-sorted aggregation for the frames
+// form, plan.RankBefore interleaving for the ranked form) yields answers
 // bit-identical to one focus.System holding all the streams, executed at
-// the merged watermark vector. Partial failure is never silent: if any
-// required shard is down, draining, or errors, the request fails with an
-// explicit 503 naming the shard rather than returning a subset of the
-// answer.
+// the merged watermark vector — and cursor paging over the merged ranking
+// is bit-identical to single-node paging at the same pinned vector.
+// Partial failure is never silent: if any required shard is down,
+// draining, or errors, the request fails with a structured error naming
+// the shard (Error.Shard) rather than returning a subset of the answer.
 package router
 
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strings"
@@ -33,7 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"focus/internal/serve"
+	"focus/api"
 )
 
 // Config tunes a Router.
@@ -109,6 +115,7 @@ type Router struct {
 	// counters
 	queries      atomic.Int64
 	planQueries  atomic.Int64
+	legacyReqs   atomic.Int64
 	shardReqs    atomic.Int64
 	rejected     atomic.Int64
 	unavailable  atomic.Int64
@@ -150,8 +157,14 @@ func New(cfg Config) (*Router, error) {
 		r.shards[spec.Name] = &shardState{spec: spec, state: StateDown, placementOK: true}
 	}
 	r.mux = http.NewServeMux()
-	r.mux.HandleFunc("/query", r.handleQuery)
-	r.mux.HandleFunc("/plan", r.handlePlan)
+	// v1 is the primary surface; the pre-v1 query endpoints are deprecated
+	// shims; /streams, /stats and /healthz stay where ops tooling expects
+	// them.
+	r.mux.HandleFunc(api.PathQuery, r.handleV1Query)
+	r.mux.HandleFunc(api.PathStreams, r.handleStreams)
+	r.mux.HandleFunc(api.PathStats, r.handleStats)
+	r.mux.HandleFunc(api.PathLegacyQuery, r.handleLegacyQuery)
+	r.mux.HandleFunc(api.PathLegacyPlan, r.handleLegacyPlan)
 	r.mux.HandleFunc("/streams", r.handleStreams)
 	r.mux.HandleFunc("/stats", r.handleStats)
 	r.mux.HandleFunc("/healthz", r.handleHealthz)
@@ -291,25 +304,32 @@ func (r *Router) shardNamesLocked() []string {
 	return names
 }
 
-// pollHealth classifies one shard's /healthz answer.
+// pollHealth classifies one shard's /healthz answer by the status field
+// of its JSON body ("ok" / "draining" / "not ready") — structured state,
+// not header sniffing.
 func (r *Router) pollHealth(spec ShardSpec) (state, lastErr string) {
 	resp, err := r.client.Get(spec.URL + "/healthz")
 	if err != nil {
 		return StateDown, err.Error()
 	}
 	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var h struct {
+		Status string `json:"status"`
+	}
+	_ = json.Unmarshal(body, &h)
 	switch {
 	case resp.StatusCode == http.StatusOK:
 		return StateHealthy, ""
-	case resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get(serve.DrainingHeader) != "":
+	case h.Status == "draining":
 		return StateDraining, ""
 	default:
 		return StateDown, fmt.Sprintf("healthz status %d", resp.StatusCode)
 	}
 }
 
-func (r *Router) fetchStreams(spec ShardSpec) ([]serve.StreamStatus, error) {
-	resp, err := r.client.Get(spec.URL + "/streams")
+func (r *Router) fetchStreams(spec ShardSpec) ([]api.StreamStatus, error) {
+	resp, err := r.client.Get(spec.URL + api.PathStreams)
 	if err != nil {
 		return nil, err
 	}
@@ -317,7 +337,7 @@ func (r *Router) fetchStreams(spec ShardSpec) ([]serve.StreamStatus, error) {
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("streams status %d", resp.StatusCode)
 	}
-	var out []serve.StreamStatus
+	var out []api.StreamStatus
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return nil, fmt.Errorf("decoding streams: %w", err)
 	}

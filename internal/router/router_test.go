@@ -2,6 +2,7 @@ package router_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -12,6 +13,8 @@ import (
 	"time"
 
 	"focus"
+	"focus/api"
+	"focus/client"
 	"focus/internal/loadgen"
 	"focus/internal/router"
 	"focus/internal/serve"
@@ -36,6 +39,7 @@ type testCluster struct {
 	shards  []*testShard
 	rt      *router.Router
 	http    *httptest.Server
+	cli     *client.Client
 	ref     *focus.System
 	streams []string
 }
@@ -138,7 +142,14 @@ func bootTestCluster(t *testing.T, placement [][]string, scfg serve.Config, with
 	c.rt = rt
 	c.http = httptest.NewServer(rt.Handler())
 	t.Cleanup(c.http.Close)
+	// Zero retries: tests must see raw overload/draining outcomes.
+	c.cli = client.New(c.http.URL, client.WithRetries(0, 0))
 	return c
+}
+
+// queryV1 issues one typed v1 request through the router.
+func (c *testCluster) queryV1(req *api.QueryRequest) (*api.QueryResponse, error) {
+	return c.cli.Query(context.Background(), req)
 }
 
 // advance moves one shard stream's watermark (NoBackgroundIngest fixtures).
@@ -155,14 +166,16 @@ func (c *testCluster) advance(stream string, toSec float64) {
 	c.t.Fatalf("stream %q not on any shard", stream)
 }
 
-func (c *testCluster) getQuery(params string) (*loadgen.QueryResponse, *http.Response) {
+// getQuery hits the deprecated GET /query shim, decoding the legacy
+// payload when 2xx.
+func (c *testCluster) getQuery(params string) (*serve.QueryResponse, *http.Response) {
 	c.t.Helper()
 	resp, err := http.Get(c.http.URL + "/query?" + params)
 	if err != nil {
 		c.t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var qr loadgen.QueryResponse
+	var qr serve.QueryResponse
 	if resp.StatusCode == http.StatusOK {
 		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
 			c.t.Fatal(err)
@@ -171,7 +184,8 @@ func (c *testCluster) getQuery(params string) (*loadgen.QueryResponse, *http.Res
 	return &qr, resp
 }
 
-func (c *testCluster) postPlan(req map[string]any) (*loadgen.PlanResponse, *http.Response) {
+// postPlan hits the deprecated POST /plan shim.
+func (c *testCluster) postPlan(req map[string]any) (*serve.PlanResponse, *http.Response) {
 	c.t.Helper()
 	body, _ := json.Marshal(req)
 	resp, err := http.Post(c.http.URL+"/plan", "application/json", bytes.NewReader(body))
@@ -179,7 +193,7 @@ func (c *testCluster) postPlan(req map[string]any) (*loadgen.PlanResponse, *http
 		c.t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var pr loadgen.PlanResponse
+	var pr serve.PlanResponse
 	if resp.StatusCode == http.StatusOK {
 		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
 			c.t.Fatal(err)
@@ -223,48 +237,99 @@ func TestRoutedAnswersMatchDirect(t *testing.T) {
 	c.advance("city_a_d", 50)
 
 	verify := loadgen.NewDirectVerifier(c.ref)
-	for _, params := range []string{
-		"class=car",
-		"class=person",
-		"class=bus",
-		"class=car&streams=auburn_c,city_a_d", // spans both shards
-		"class=car&streams=jacksonh",          // single shard
-		"class=person&kx=2",
-		"class=car&start=5&end=30",
-		"class=car&at=auburn_c@10,jacksonh@35,city_a_d@25", // pinned below the snapshot
+	for _, req := range []*api.QueryRequest{
+		{Expr: "car"},
+		{Expr: "person"},
+		{Expr: "bus"},
+		{Expr: "car", Streams: []string{"auburn_c", "city_a_d"}}, // spans both shards
+		{Expr: "car", Streams: []string{"jacksonh"}},             // single shard
+		{Expr: "person", Kx: 2},
+		{Expr: "car", Start: 5, End: 30},
+		// pinned below the snapshot
+		{Expr: "car", At: api.WatermarkVector{"auburn_c": 10, "jacksonh": 35, "city_a_d": 25}},
 	} {
-		qr, resp := c.getQuery(params)
-		if resp.StatusCode != http.StatusOK {
-			t.Fatalf("GET /query?%s: status %d", params, resp.StatusCode)
+		qr, err := c.queryV1(req)
+		if err != nil {
+			t.Fatalf("v1 query %+v: %v", req, err)
+		}
+		if qr.Form != api.FormFrames {
+			t.Fatalf("v1 query %+v answered in %q form", req, qr.Form)
 		}
 		if err := verify(qr); err != nil {
-			t.Errorf("routed /query?%s diverges from direct execution: %v", params, err)
+			t.Errorf("routed v1 query %+v diverges from direct execution: %v", req, err)
 		}
 	}
 
 	verifyPlan := loadgen.NewDirectPlanVerifier(c.ref)
-	for _, req := range []map[string]any{
-		{"expr": "car & person"},
-		{"expr": "car & person & !bus", "top_k": 7},
-		{"expr": "(car | truck) & person", "top_k": 5, "kx": 2},
-		{"expr": "car", "streams": []string{"auburn_c", "city_a_d"}},
+	for _, req := range []*api.QueryRequest{
+		{Expr: "car & person"},
+		{Expr: "car & person & !bus", TopK: 7},
+		{Expr: "(car | truck) & person", TopK: 5, Kx: 2},
+		// One-leaf plan forced into the ranked form.
+		{Expr: "car", Streams: []string{"auburn_c", "city_a_d"}, Form: api.FormRanked},
 	} {
-		pr, resp := c.postPlan(req)
-		if resp.StatusCode != http.StatusOK {
-			t.Fatalf("POST /plan %v: status %d", req, resp.StatusCode)
+		pr, err := c.queryV1(req)
+		if err != nil {
+			t.Fatalf("v1 ranked query %+v: %v", req, err)
+		}
+		if pr.Form != api.FormRanked {
+			t.Fatalf("v1 ranked query %+v answered in %q form", req, pr.Form)
 		}
 		if err := verifyPlan(pr); err != nil {
-			t.Errorf("routed /plan %v diverges from direct execution: %v", req, err)
+			t.Errorf("routed v1 plan %+v diverges from direct execution: %v", req, err)
 		}
 	}
 
-	// Router-side paging must slice the merged ranking: pages at the pinned
-	// vector concatenate to exactly the unpaged items.
+	// The legacy shims must agree with the v1 surface answer for answer:
+	// the same one-leaf query through GET /query, and the same compound
+	// through POST /plan, both carrying the Deprecation marker.
+	v1car, err := c.queryV1(&api.QueryRequest{Expr: "car", At: api.WatermarkVector{"auburn_c": 20, "jacksonh": 35, "city_a_d": 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyCar, resp := c.getQuery("class=car&at=auburn_c@20,jacksonh@35,city_a_d@50")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("legacy /query: status %d", resp.StatusCode)
+	}
+	if resp.Header.Get(api.DeprecationHeader) != "true" {
+		t.Error("legacy /query response missing the Deprecation header")
+	}
+	if legacyCar.TotalFrames != v1car.TotalFrames || !reflect.DeepEqual(legacyCar.Streams, v1car.Streams) {
+		t.Errorf("legacy shim diverges from v1: %d frames vs %d", legacyCar.TotalFrames, v1car.TotalFrames)
+	}
+
+	// Cursor paging through the router: pages at the pinned vector must
+	// concatenate to exactly the one-shot ranking at that vector — and the
+	// assembled read must verify against the reference system.
+	oneShot, err := c.queryV1(&api.QueryRequest{Expr: "car & person", TopK: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assembled, err := c.cli.CollectPages(context.Background(),
+		&api.QueryRequest{Expr: "car & person", TopK: 9}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(assembled.Watermarks, oneShot.Watermarks) {
+		t.Fatalf("paged read pinned %v, one-shot %v", assembled.Watermarks, oneShot.Watermarks)
+	}
+	if !reflect.DeepEqual(assembled.Items, oneShot.Items) {
+		t.Fatalf("cursor pages diverge from one-shot:\npaged: %+v\nfull:  %+v", assembled.Items, oneShot.Items)
+	}
+	if err := verifyPlan(assembled); err != nil {
+		t.Errorf("assembled cursor read diverges from direct execution: %v", err)
+	}
+
+	// Legacy limit/offset paging (the shim) must slice the same merged
+	// ranking.
 	full, resp := c.postPlan(map[string]any{"expr": "car & person", "top_k": 9})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("unpaged plan: status %d", resp.StatusCode)
 	}
-	var paged []loadgen.PlanItem
+	if resp.Header.Get(api.DeprecationHeader) != "true" {
+		t.Error("legacy /plan response missing the Deprecation header")
+	}
+	var paged []serve.PlanItem
 	for offset := 0; ; offset += 2 {
 		page, resp := c.postPlan(map[string]any{
 			"expr": "car & person", "top_k": 9, "limit": 2, "offset": offset,
@@ -280,6 +345,11 @@ func TestRoutedAnswersMatchDirect(t *testing.T) {
 	}
 	if !reflect.DeepEqual(paged, full.Items) {
 		t.Fatalf("paged items diverge from one-shot:\npaged: %+v\nfull:  %+v", paged, full.Items)
+	}
+
+	// Legacy traffic shows up in the migration gauge.
+	if got := c.rt.Snapshot().LegacyRequests; got == 0 {
+		t.Error("router legacy_requests counter never moved")
 	}
 }
 
@@ -324,27 +394,18 @@ func TestRoutedPinnedVectorStableUnderLiveIngest(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 	}
 
-	params := "class=car&at=auburn_c@10,jacksonh@10,city_a_d@10"
+	pinReq := &api.QueryRequest{Expr: "car",
+		At: api.WatermarkVector{"auburn_c": 10, "jacksonh": 10, "city_a_d": 10}}
 	verify := loadgen.NewDirectVerifier(c.ref)
-	answers := make([]*loadgen.QueryResponse, 24)
+	answers := make([]*api.QueryResponse, 24)
 	var wg sync.WaitGroup
 	errCh := make(chan error, len(answers))
 	for i := range answers {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp, err := http.Get(c.http.URL + "/query?" + params)
+			qr, err := c.queryV1(pinReq)
 			if err != nil {
-				errCh <- err
-				return
-			}
-			defer resp.Body.Close()
-			if resp.StatusCode != http.StatusOK {
-				errCh <- fmt.Errorf("status %d", resp.StatusCode)
-				return
-			}
-			qr := new(loadgen.QueryResponse)
-			if err := json.NewDecoder(resp.Body).Decode(qr); err != nil {
 				errCh <- err
 				return
 			}
@@ -368,7 +429,7 @@ func TestRoutedPinnedVectorStableUnderLiveIngest(t *testing.T) {
 }
 
 // answerFields projects a response onto its answer (not cost) fields.
-func answerFields(qr *loadgen.QueryResponse) map[string]any {
+func answerFields(qr *api.QueryResponse) map[string]any {
 	out := map[string]any{"total": qr.TotalFrames}
 	for name, sr := range qr.Streams {
 		out[name] = []any{sr.Watermark, sr.Frames, sr.Segments,
@@ -415,8 +476,18 @@ func TestRouterPartialFailure(t *testing.T) {
 	if got := resp.Header.Get(serve.DrainingHeader); got != "shard-1" {
 		t.Fatalf("draining 503 should name the shard, got header %q", got)
 	}
+	// The v1 surface reports the same failure as a structured error code
+	// naming the shard — no header sniffing.
+	if _, err := c.queryV1(&api.QueryRequest{Expr: "car"}); !api.IsCode(err, api.CodeDraining) {
+		t.Fatalf("v1 query touching a draining shard: %v, want code draining", err)
+	} else if err.(*api.Error).Shard != "shard-1" {
+		t.Fatalf("v1 draining error names shard %q, want shard-1", err.(*api.Error).Shard)
+	}
 	if _, resp := c.getQuery("class=car&streams=auburn_c"); resp.StatusCode != http.StatusOK {
 		t.Fatalf("query on the healthy shard during drain: status %d", resp.StatusCode)
+	}
+	if _, err := c.queryV1(&api.QueryRequest{Expr: "car", Streams: []string{"auburn_c"}}); err != nil {
+		t.Fatalf("v1 query on the healthy shard during drain: %v", err)
 	}
 	if _, presp := c.postPlan(map[string]any{"expr": "car & person"}); presp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("plan touching a draining shard: status %d, want 503", presp.StatusCode)
@@ -449,6 +520,9 @@ func TestRouterPartialFailure(t *testing.T) {
 	}
 	if resp.Header.Get(serve.DrainingHeader) != "" {
 		t.Fatal("down-shard 503 must not carry the draining marker")
+	}
+	if _, err := c.queryV1(&api.QueryRequest{Expr: "car", Streams: []string{"auburn_c"}}); !api.IsCode(err, api.CodeShardDown) {
+		t.Fatalf("v1 query on a down shard: %v, want code shard_down", err)
 	}
 
 	// No healthy shard left at all.

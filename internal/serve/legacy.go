@@ -1,0 +1,360 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"focus/api"
+	"focus/internal/plan"
+)
+
+// This file is the deprecated pre-v1 surface: GET /query and POST /plan,
+// kept as thin shims that translate into the v1 execution core
+// (executeV1) and back. The wire format — bodies, status codes, the
+// X-Focus-Cache and X-Focus-Draining markers, every error string — is
+// pinned byte for byte by the goldens under testdata/legacy: deployed
+// pre-v1 clients must keep working unchanged. Each shim response
+// additionally carries a "Deprecation: true" header, and shim traffic is
+// counted in the stats legacy_requests counter so operators can track
+// client migration to /v1/query.
+
+// ErrorResponse is the payload of every non-2xx legacy response (the v1
+// surface uses the structured api.Envelope instead).
+type ErrorResponse struct {
+	// Error is the bare human-readable message.
+	Error string `json:"error"`
+}
+
+// StreamQueryResult is one stream's share of a legacy /query response —
+// the same wire shape as api.StreamResult.
+type StreamQueryResult = api.StreamResult
+
+// QueryResponse is the legacy GET /query payload. Cached is true when the
+// response was served from the result cache (its cost counters then
+// describe the original execution; no new GT-CNN work happened). The
+// executed leaf options are echoed back — with the per-stream watermarks —
+// so a verifier can replay the exact execution as a direct library call.
+type QueryResponse struct {
+	Class       string                        `json:"class"`
+	Streams     map[string]*StreamQueryResult `json:"streams"`
+	TotalFrames int                           `json:"total_frames"`
+	Kx          int                           `json:"kx,omitempty"`
+	Start       float64                       `json:"start,omitempty"`
+	End         float64                       `json:"end,omitempty"`
+	MaxClusters int                           `json:"max_clusters,omitempty"`
+	LatencyMS   float64                       `json:"latency_ms"`
+	GPUTimeMS   float64                       `json:"gpu_time_ms"`
+	Cached      bool                          `json:"cached"`
+}
+
+// PlanRequest is the legacy POST /plan body: a compound boolean predicate
+// over class names, executed across the selected streams at the watermark
+// vector snapshotted at admission (or pinned via AtWatermarks). The v1
+// equivalent is api.QueryRequest, where Limit/Offset paging is replaced by
+// the opaque watermark-stable cursor.
+type PlanRequest struct {
+	// Expr is the predicate, e.g. "car & person & !bus".
+	Expr string `json:"expr"`
+	// Streams restricts the plan; empty = all registered streams.
+	Streams []string `json:"streams,omitempty"`
+	// TopK caps the ranked result; 0 returns every matching frame.
+	TopK int `json:"top_k,omitempty"`
+	// Kx / Start / End / MaxClusters apply to every predicate leaf, with
+	// the same semantics as the /query parameters.
+	Kx          int     `json:"kx,omitempty"`
+	Start       float64 `json:"start,omitempty"`
+	End         float64 `json:"end,omitempty"`
+	MaxClusters int     `json:"max_clusters,omitempty"`
+	// Limit/Offset page the ranked items of the (cached) execution.
+	Limit  int `json:"limit,omitempty"`
+	Offset int `json:"offset,omitempty"`
+	// AtWatermarks pins the execution to an explicit per-stream watermark
+	// vector instead of the one snapshotted at admission.
+	AtWatermarks map[string]float64 `json:"at_watermarks,omitempty"`
+}
+
+// PlanItem is one ranked result of a legacy /plan response — the same wire
+// shape as api.Item.
+type PlanItem = api.Item
+
+// PlanResponse is the legacy POST /plan payload. TotalItems counts the
+// full execution's items; Items carries the Limit/Offset page of them
+// (everything when no Limit was given).
+type PlanResponse struct {
+	// Expr is the canonical form of the executed predicate.
+	Expr         string             `json:"expr"`
+	Items        []PlanItem         `json:"items"`
+	TotalItems   int                `json:"total_items"`
+	Watermarks   map[string]float64 `json:"watermarks"`
+	TopK         int                `json:"top_k,omitempty"`
+	Kx           int                `json:"kx,omitempty"`
+	Start        float64            `json:"start,omitempty"`
+	End          float64            `json:"end,omitempty"`
+	MaxClusters  int                `json:"max_clusters,omitempty"`
+	GTInferences int                `json:"gt_inferences"`
+	GPUTimeMS    float64            `json:"gpu_time_ms"`
+	LatencyMS    float64            `json:"latency_ms"`
+	Cached       bool               `json:"cached"`
+}
+
+// LegacyQueryArgs are the parsed/normalized legacy GET /query parameters.
+// Exported because the router's legacy shim must parse the identical
+// surface with the identical error strings.
+type LegacyQueryArgs struct {
+	// Class is the single queried class (the one-leaf plan).
+	Class string
+	// Streams is the normalized requested stream set (nil = all).
+	Streams []string
+	// Kx, MaxClusters, Start and End are the leaf options.
+	Kx          int
+	MaxClusters int
+	Start, End  float64
+	// At carries explicit watermark pins from the `at` parameter.
+	At api.WatermarkVector
+}
+
+// Request converts the legacy arguments into the equivalent v1 request —
+// the translation the shims are built on.
+func (p *LegacyQueryArgs) Request() *api.QueryRequest {
+	return &api.QueryRequest{
+		Expr:        p.Class,
+		Streams:     p.Streams,
+		Kx:          p.Kx,
+		Start:       p.Start,
+		End:         p.End,
+		MaxClusters: p.MaxClusters,
+		At:          p.At,
+	}
+}
+
+// ParseLegacyQueryArgs parses the legacy GET /query parameter surface.
+// Error strings are part of the pinned legacy wire format.
+func ParseLegacyQueryArgs(r *http.Request) (*LegacyQueryArgs, error) {
+	q := r.URL.Query()
+	p := &LegacyQueryArgs{Class: q.Get("class")}
+	if p.Class == "" {
+		return nil, fmt.Errorf("missing required parameter: class")
+	}
+	if v := q.Get("streams"); v != "" {
+		p.Streams = api.NormalizeStreams(strings.Split(v, ","))
+	}
+	var err error
+	intParam := func(name string) int {
+		v := q.Get(name)
+		if v == "" {
+			return 0
+		}
+		n, e := strconv.Atoi(v)
+		if e != nil || n < 0 {
+			err = fmt.Errorf("bad %s: %q", name, v)
+		}
+		return n
+	}
+	floatParam := func(name string) float64 {
+		v := q.Get(name)
+		if v == "" {
+			return 0
+		}
+		f, e := strconv.ParseFloat(v, 64)
+		if e != nil || f < 0 {
+			err = fmt.Errorf("bad %s: %q", name, v)
+		}
+		return f
+	}
+	p.Kx = intParam("kx")
+	p.MaxClusters = intParam("max_clusters")
+	p.Start = floatParam("start")
+	p.End = floatParam("end")
+	if err != nil {
+		return nil, err
+	}
+	if v := q.Get("at"); v != "" {
+		if p.At, err = api.ParseWatermarkVector(v); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// rejectDraining writes the legacy draining 503 (marker header and all)
+// and reports whether the request was rejected.
+func (s *Server) rejectDraining(w http.ResponseWriter) bool {
+	if !s.draining.Load() {
+		return false
+	}
+	w.Header().Set(DrainingHeader, "1")
+	writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "draining"})
+	return true
+}
+
+// writeLegacyError translates a structured v1 error back into the legacy
+// wire format: the bare message string at the code's status, with the
+// draining marker header where pre-v1 clients sniff it (value "1" for this
+// server's own drain; the router sets the shard name when translating).
+func (s *Server) writeLegacyError(w http.ResponseWriter, e *api.Error) {
+	s.countV1Error(e)
+	if e.Code == api.CodeDraining {
+		v := e.Shard
+		if v == "" {
+			v = "1"
+		}
+		w.Header().Set(DrainingHeader, v)
+	}
+	writeJSON(w, e.HTTPStatus(), ErrorResponse{Error: e.Message})
+}
+
+// handleLegacyQuery is the deprecated GET /query shim: parse the legacy
+// parameter surface, run the frames-form v1 core, translate back.
+func (s *Server) handleLegacyQuery(w http.ResponseWriter, r *http.Request) {
+	s.legacyReqs.Add(1)
+	w.Header().Set(api.DeprecationHeader, "true")
+	if s.rejectDraining(w) { // before the ready check: mid-boot drains stay marked
+		return
+	}
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "not ready"})
+		return
+	}
+	p, err := ParseLegacyQueryArgs(r)
+	if err != nil {
+		s.clientErrs.Add(1)
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	// The legacy surface reported unknown classes with the library's own
+	// error text; resolve before compiling so the message survives.
+	if _, err := s.sys.ClassID(p.Class); err != nil {
+		s.clientErrs.Add(1)
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	compiled, err := s.sys.CompilePlanExpr(&plan.Leaf{Class: p.Class})
+	if err != nil {
+		s.writeLegacyError(w, api.Errorf(api.CodeInternal, "%v", err))
+		return
+	}
+	resp, aerr := s.executeV1(&v1Exec{
+		compiled:    compiled,
+		streams:     p.Streams,
+		pins:        p.At,
+		kx:          p.Kx,
+		start:       p.Start,
+		end:         p.End,
+		maxClusters: p.MaxClusters,
+	})
+	if aerr != nil {
+		s.writeLegacyError(w, aerr)
+		return
+	}
+	w.Header().Set("X-Focus-Cache", cacheHeaderValue(resp.Cached))
+	writeJSON(w, http.StatusOK, LegacyQueryPayload(p.Class, resp))
+}
+
+// handleLegacyPlan is the deprecated POST /plan shim.
+func (s *Server) handleLegacyPlan(w http.ResponseWriter, r *http.Request) {
+	s.legacyReqs.Add(1)
+	w.Header().Set(api.DeprecationHeader, "true")
+	if s.rejectDraining(w) { // before the ready check: mid-boot drains stay marked
+		return
+	}
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "not ready"})
+		return
+	}
+	if r.Method != http.MethodPost {
+		s.clientErrs.Add(1)
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST a JSON body to /plan"})
+		return
+	}
+	var req PlanRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.clientErrs.Add(1)
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad /plan body: " + err.Error()})
+		return
+	}
+	if req.Expr == "" {
+		s.clientErrs.Add(1)
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "missing required field: expr"})
+		return
+	}
+	if req.TopK < 0 || req.Kx < 0 || req.MaxClusters < 0 || req.Limit < 0 || req.Offset < 0 ||
+		req.Start < 0 || req.End < 0 {
+		s.clientErrs.Add(1)
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "negative plan parameter"})
+		return
+	}
+	// Compile before admission: a syntax error or unknown class must not
+	// consume a query slot.
+	compiled, err := s.sys.CompilePlan(req.Expr)
+	if err != nil {
+		s.clientErrs.Add(1)
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	resp, aerr := s.executeV1(&v1Exec{
+		compiled:    compiled,
+		streams:     api.NormalizeStreams(req.Streams),
+		pins:        req.AtWatermarks,
+		topK:        req.TopK,
+		kx:          req.Kx,
+		start:       req.Start,
+		end:         req.End,
+		maxClusters: req.MaxClusters,
+		limit:       req.Limit,
+		offset:      req.Offset,
+		ranked:      true,
+	})
+	if aerr != nil {
+		s.writeLegacyError(w, aerr)
+		return
+	}
+	w.Header().Set("X-Focus-Cache", cacheHeaderValue(resp.Cached))
+	writeJSON(w, http.StatusOK, LegacyPlanPayload(resp))
+}
+
+// LegacyQueryPayload renders a frames-form v1 response in the legacy GET
+// /query wire shape. Exported because the router's legacy shim performs
+// the same translation on merged responses.
+func LegacyQueryPayload(class string, r *api.QueryResponse) *QueryResponse {
+	return &QueryResponse{
+		Class:       class,
+		Streams:     r.Streams,
+		TotalFrames: r.TotalFrames,
+		Kx:          r.Kx,
+		Start:       r.Start,
+		End:         r.End,
+		MaxClusters: r.MaxClusters,
+		LatencyMS:   r.LatencyMS,
+		GPUTimeMS:   r.GPUTimeMS,
+		Cached:      r.Cached,
+	}
+}
+
+// LegacyPlanPayload renders a ranked-form v1 response in the legacy POST
+// /plan wire shape. Exported for the router's legacy shim.
+func LegacyPlanPayload(r *api.QueryResponse) *PlanResponse {
+	items := r.Items
+	if items == nil {
+		// The legacy contract serializes an empty page as [], not null —
+		// the "request pages until items is empty" loop must end cleanly.
+		items = []PlanItem{}
+	}
+	return &PlanResponse{
+		Expr:         r.Expr,
+		Items:        items,
+		TotalItems:   r.TotalItems,
+		Watermarks:   r.Watermarks,
+		TopK:         r.TopK,
+		Kx:           r.Kx,
+		Start:        r.Start,
+		End:          r.End,
+		MaxClusters:  r.MaxClusters,
+		GTInferences: r.GTInferences,
+		GPUTimeMS:    r.GPUTimeMS,
+		LatencyMS:    r.LatencyMS,
+		Cached:       r.Cached,
+	}
+}

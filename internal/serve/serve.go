@@ -8,41 +8,43 @@
 //   - Watermark-consistent queries: every request snapshots the per-stream
 //     ingest watermarks at admission and executes pinned to that vector
 //     (Query.AtWatermarks), so queries never race the background ingesters
-//     and their answers are pure functions of (class, options, vector).
+//     and their answers are pure functions of (plan, options, vector).
 //   - A sharded LRU result cache keyed by exactly that tuple: repeated
 //     popular queries are served without any GT-CNN work, and entries
-//     self-invalidate as watermarks advance (the key changes). Compound
-//     /plan queries extend the same key scheme with the plan's canonical
-//     predicate form.
+//     self-invalidate as watermarks advance (the key changes).
 //   - Admission control via a bounded worker pool with a bounded wait queue
-//     (parallel.Limiter): overload degrades into immediate HTTP 429s rather
-//     than unbounded queueing and latency collapse.
+//     (parallel.Limiter): overload degrades into structured "overloaded"
+//     rejections rather than unbounded queueing and latency collapse.
 //
-// Endpoints: GET /query (single class), POST /plan (compound boolean
-// predicate, confidence-ranked, pageable via limit/offset), GET /streams,
-// GET /stats, GET /healthz, POST /drain.
+// The primary surface is the versioned wire contract of focus/api: POST
+// /v1/query (one endpoint for single-class and compound queries — a
+// single-class query is a one-leaf plan — with opaque watermark-stable
+// cursor paging), GET /v1/streams, GET /v1/stats. The pre-v1 endpoints
+// (GET /query, POST /plan) remain as deprecated shims that translate into
+// the same execution core and reproduce the legacy wire format byte for
+// byte (pinned by the goldens under testdata/legacy); their use is counted
+// in the stats legacy_requests counter. GET /healthz and POST /drain are
+// the unversioned process-lifecycle surface.
 //
 // The server is also shard-aware: a focus-router front tier can place
-// several serve processes behind one endpoint. The shard-facing surface is
-// deliberately small — /streams reports each stream's ingest watermark,
-// /query and /plan accept explicit pinned watermark vectors (the `at`
-// parameter and PlanRequest.AtWatermarks), and /healthz distinguishes
-// "not ready" from "draining" so the router can take a shard out of
-// rotation before it restarts. See internal/router and OPERATIONS.md.
+// several serve processes behind one endpoint, speaking v1 on both sides.
+// /v1/streams reports each stream's ingest watermark, /v1/query accepts
+// explicit pinned watermark vectors (QueryRequest.At), and /healthz
+// distinguishes "not ready" from "draining" so the router can take a
+// shard out of rotation before it restarts. See internal/router and
+// OPERATIONS.md.
 package serve
 
 import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"sort"
-	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"focus"
+	"focus/api"
 	"focus/internal/parallel"
 	"focus/internal/tune"
 )
@@ -77,7 +79,7 @@ type Config struct {
 	// QueryWorkers bounds concurrently executing queries. Default 8.
 	QueryWorkers int
 	// QueueDepth bounds clients waiting for a query worker before new
-	// arrivals are rejected with 429. Default 2x QueryWorkers.
+	// arrivals are rejected as overloaded. Default 2x QueryWorkers.
 	QueueDepth int
 	// CacheCapacity is the result cache size in responses. Default 4096.
 	CacheCapacity int
@@ -114,42 +116,6 @@ func (c *Config) applyDefaults() {
 	}
 }
 
-// StreamQueryResult is one stream's share of a query response.
-type StreamQueryResult struct {
-	Watermark        float64 `json:"watermark"`
-	Frames           []int64 `json:"frames"`
-	Segments         []int64 `json:"segments"`
-	ExaminedClusters int     `json:"examined_clusters"`
-	MatchedClusters  int     `json:"matched_clusters"`
-	GTInferences     int     `json:"gt_inferences"`
-	GPUTimeMS        float64 `json:"gpu_time_ms"`
-	LatencyMS        float64 `json:"latency_ms"`
-	ViaOther         bool    `json:"via_other"`
-}
-
-// QueryResponse is the /query payload. Cached is true when the response was
-// served from the result cache (its cost counters then describe the original
-// execution; no new GT-CNN work happened). The executed leaf options are
-// echoed back — with the per-stream watermarks — so a verifier can replay
-// the exact execution as a direct library call.
-type QueryResponse struct {
-	Class       string                        `json:"class"`
-	Streams     map[string]*StreamQueryResult `json:"streams"`
-	TotalFrames int                           `json:"total_frames"`
-	Kx          int                           `json:"kx,omitempty"`
-	Start       float64                       `json:"start,omitempty"`
-	End         float64                       `json:"end,omitempty"`
-	MaxClusters int                           `json:"max_clusters,omitempty"`
-	LatencyMS   float64                       `json:"latency_ms"`
-	GPUTimeMS   float64                       `json:"gpu_time_ms"`
-	Cached      bool                          `json:"cached"`
-}
-
-// ErrorResponse is the payload of every non-2xx response.
-type ErrorResponse struct {
-	Error string `json:"error"`
-}
-
 // Server is the resident query service.
 type Server struct {
 	sys *focus.System
@@ -160,9 +126,9 @@ type Server struct {
 	mux     *http.ServeMux
 
 	ready atomic.Bool
-	// draining rejects new /query and /plan work with 503 (marked with the
-	// X-Focus-Draining header) while health/stats endpoints stay live, so a
-	// router can take the shard out of rotation before it restarts.
+	// draining rejects new query work with the structured "draining" error
+	// while health/stats endpoints stay live, so a router can take the
+	// shard out of rotation before it restarts.
 	draining atomic.Bool
 	// startedNS is the boot time in unix nanoseconds. Atomic because a
 	// deployment exposes /healthz and /stats while Start is still tuning
@@ -175,6 +141,7 @@ type Server struct {
 	// counters
 	queries     atomic.Int64
 	planQueries atomic.Int64
+	legacyReqs  atomic.Int64
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 	rejected    atomic.Int64
@@ -195,8 +162,15 @@ func New(sys *focus.System, cfg Config) *Server {
 		stopCh:  make(chan struct{}),
 	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("/query", s.handleQuery)
-	s.mux.HandleFunc("/plan", s.handlePlan)
+	// The v1 contract is the primary surface…
+	s.mux.HandleFunc(api.PathQuery, s.handleV1Query)
+	s.mux.HandleFunc(api.PathStreams, s.handleStreams)
+	s.mux.HandleFunc(api.PathStats, s.handleStats)
+	// …the pre-v1 query endpoints remain as deprecated shims…
+	s.mux.HandleFunc(api.PathLegacyQuery, s.handleLegacyQuery)
+	s.mux.HandleFunc(api.PathLegacyPlan, s.handleLegacyPlan)
+	// …and the unversioned operational endpoints stay where ops tooling
+	// expects them.
 	s.mux.HandleFunc("/streams", s.handleStreams)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -204,9 +178,11 @@ func New(sys *focus.System, cfg Config) *Server {
 	return s
 }
 
-// DrainingHeader marks a 503 caused by draining (this shard's, or — when
-// set by the router — the named shard's). Load tooling treats these as
-// expected during a rolling restart, unlike any other 5xx.
+// DrainingHeader marks a legacy-surface 503 caused by draining (this
+// shard's, or — when set by the router — the named shard's). The v1
+// surface carries the same information as the structured error code
+// "draining" (with the shard name in Error.Shard); the header survives on
+// the legacy shims and on /healthz, where pre-v1 tooling sniffs it.
 const DrainingHeader = "X-Focus-Draining"
 
 // Handler returns the HTTP handler; callers own the listener and http.Server.
@@ -268,11 +244,12 @@ func (s *Server) Stop() {
 	}
 }
 
-// StartDrain takes the server out of rotation: subsequent /query and /plan
-// requests are rejected with 503 (marked with DrainingHeader) while
-// /streams, /stats and /healthz keep answering, and background ingestion
-// keeps advancing watermarks. In-flight queries finish normally. Draining
-// is one-way; restart the process to rejoin rotation.
+// StartDrain takes the server out of rotation: subsequent query requests
+// are rejected with the structured "draining" error (503, plus the legacy
+// marker header on the shim surface) while /streams, /stats and /healthz
+// keep answering, and background ingestion keeps advancing watermarks.
+// In-flight queries finish normally. Draining is one-way; restart the
+// process to rejoin rotation.
 func (s *Server) StartDrain() { s.draining.Store(true) }
 
 // Draining reports whether StartDrain was called.
@@ -282,7 +259,7 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // an operator's curl takes the shard out of rotation before a restart. It
 // shares the query listener and — like every endpoint of this service —
 // carries no authentication, so deployments must keep the port inside the
-// trust boundary (see OPERATIONS.md §6); draining is irreversible until
+// trust boundary (see OPERATIONS.md §7); draining is irreversible until
 // the process restarts.
 func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
@@ -293,17 +270,6 @@ func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
 	s.StartDrain()
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintln(w, `{"status":"draining"}`)
-}
-
-// rejectDraining writes the draining 503 and reports whether the request
-// was rejected.
-func (s *Server) rejectDraining(w http.ResponseWriter) bool {
-	if !s.draining.Load() {
-		return false
-	}
-	w.Header().Set(DrainingHeader, "1")
-	writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "draining"})
-	return true
 }
 
 // ingestLoop advances one stream's live ingestion chunk by chunk until the
@@ -350,309 +316,58 @@ func (s *Server) IngestDone() bool {
 	return true
 }
 
-// queryParams are the parsed/normalized /query parameters; their canonical
-// string form is the cache key prefix.
-type queryParams struct {
-	class   string
-	streams []string
-	opts    focus.QueryOptions
-	// at pins named streams to explicit watermarks instead of the
-	// admission-time snapshot (the `at` parameter).
-	at map[string]float64
-}
-
-func parseQueryParams(r *http.Request) (*queryParams, error) {
-	q := r.URL.Query()
-	p := &queryParams{class: q.Get("class")}
-	if p.class == "" {
-		return nil, fmt.Errorf("missing required parameter: class")
-	}
-	if v := q.Get("streams"); v != "" {
-		p.streams = NormalizeStreams(strings.Split(v, ","))
-	}
-	var err error
-	intParam := func(name string) int {
-		v := q.Get(name)
-		if v == "" {
-			return 0
-		}
-		n, e := strconv.Atoi(v)
-		if e != nil || n < 0 {
-			err = fmt.Errorf("bad %s: %q", name, v)
-		}
-		return n
-	}
-	floatParam := func(name string) float64 {
-		v := q.Get(name)
-		if v == "" {
-			return 0
-		}
-		f, e := strconv.ParseFloat(v, 64)
-		if e != nil || f < 0 {
-			err = fmt.Errorf("bad %s: %q", name, v)
-		}
-		return f
-	}
-	p.opts.Kx = intParam("kx")
-	p.opts.MaxClusters = intParam("max_clusters")
-	p.opts.StartSec = floatParam("start")
-	p.opts.EndSec = floatParam("end")
-	if err != nil {
-		return nil, err
-	}
-	if v := q.Get("at"); v != "" {
-		if p.at, err = ParseWatermarkVector(v); err != nil {
-			return nil, err
-		}
-	}
-	return p, nil
-}
-
-// ParseWatermarkVector parses the `at` query parameter: comma-separated
-// stream@seconds pairs ("auburn_c@35,jacksonh@40") pinning named streams to
-// explicit ingest watermarks. A non-positive watermark pins the stream to
-// the empty horizon, matching Query.AtWatermarks semantics. The router uses
-// this form to pass a merged vector through to the owning shards; clients
-// use it to replay an earlier response's vector for coherent reads while
-// ingest advances.
-func ParseWatermarkVector(v string) (map[string]float64, error) {
-	out := make(map[string]float64)
-	for _, pair := range strings.Split(v, ",") {
-		pair = strings.TrimSpace(pair)
-		if pair == "" {
-			continue
-		}
-		name, sec, ok := strings.Cut(pair, "@")
-		if !ok || name == "" {
-			return nil, fmt.Errorf("bad at entry %q: want stream@seconds", pair)
-		}
-		f, err := strconv.ParseFloat(sec, 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad at entry %q: %v", pair, err)
-		}
-		out[name] = f
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("empty at parameter")
-	}
-	return out, nil
-}
-
-// FormatWatermarkVector renders a pinned vector in the `at` parameter form,
-// streams sorted by name. Inverse of ParseWatermarkVector.
-func FormatWatermarkVector(vector map[string]float64) string {
-	names := make([]string, 0, len(vector))
-	for n := range vector {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	var b strings.Builder
-	for i, n := range names {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		fmt.Fprintf(&b, "%s@%g", n, vector[n])
-	}
-	return b.String()
-}
-
 // resolveVector resolves a request's target streams (empty = every
 // registered stream) and the watermark vector the execution is pinned to:
 // each stream's watermark is snapshotted at admission unless the caller
-// pinned it explicitly through `pinned` (/plan paging does this to keep
-// offset pages coherent while ingest advances, and the router passes
-// merged vectors through). Shared by /query and /plan so the two
-// endpoints can never diverge on snapshot semantics.
+// pinned it explicitly through `pins` (cursor paging does this to keep
+// pages coherent while ingest advances, and the router passes merged
+// vectors through). Every query form shares this resolution, so the
+// surfaces can never diverge on snapshot semantics.
 //
-// A pin ahead of the stream's current watermark is rejected: the horizon
-// is not sealed yet, so the answer would silently change as ingest
-// catches up — and, worse, it would be cached under the future vector's
-// key and served stale once a snapshot legitimately lands there. Pins at
-// or below the watermark stay valid forever (watermarks are monotonic).
-// A pin naming a stream outside the query's target set is rejected too:
-// silently dropping it (a typo, a removed stream) would quietly unpin the
-// read — the exact incoherence pinning exists to prevent.
-func (s *Server) resolveVector(names []string, pinned map[string]float64) ([]string, map[string]float64, error) {
+// A pin ahead of the stream's current watermark is rejected (pin_ahead):
+// the horizon is not sealed yet, so the answer would silently change as
+// ingest catches up — and, worse, it would be cached under the future
+// vector's key and served stale once a snapshot legitimately lands there.
+// Pins at or below the watermark stay valid forever (watermarks are
+// monotonic). A pin naming a stream outside the query's target set is
+// rejected too: silently dropping it (a typo, a removed stream) would
+// quietly unpin the read — the exact incoherence pinning exists to
+// prevent.
+func (s *Server) resolveVector(names []string, pins api.WatermarkVector) ([]string, api.WatermarkVector, *api.Error) {
 	if len(names) == 0 {
 		for _, sess := range s.sys.Sessions() {
 			names = append(names, sess.Name())
 		}
 	}
-	vector := make(map[string]float64, len(names))
+	vector := make(api.WatermarkVector, len(names))
 	for _, n := range names {
 		sess := s.sys.Session(n)
 		if sess == nil {
-			return nil, nil, fmt.Errorf("unknown stream %q", n)
+			return nil, nil, api.Errorf(api.CodeUnknownStream, "unknown stream %q", n)
 		}
 		wm := sess.Watermark()
-		if at, ok := pinned[n]; ok {
+		if at, ok := pins[n]; ok {
 			if at > wm {
-				return nil, nil, fmt.Errorf("stream %q pinned at %g beyond its ingest watermark %g", n, at, wm)
+				return nil, nil, api.Errorf(api.CodePinAhead,
+					"stream %q pinned at %g beyond its ingest watermark %g", n, at, wm)
 			}
 			vector[n] = at
 		} else {
 			vector[n] = wm
 		}
 	}
-	for n := range pinned {
+	for n := range pins {
 		if _, ok := vector[n]; !ok {
-			return nil, nil, fmt.Errorf("pinned stream %q is not among the query's streams", n)
+			return nil, nil, api.Errorf(api.CodeBadRequest,
+				"pinned stream %q is not among the query's streams", n)
 		}
 	}
 	return names, vector, nil
 }
 
-// NormalizeStreams trims, deduplicates and sorts a requested stream-name
-// list — the one canonical form /query and /plan both use. Deduplication
-// matters for correctness (a repeated name would execute the stream twice
-// and double-count aggregates); sorting matters for the cache (equivalent
-// requests must render the same key).
-func NormalizeStreams(names []string) []string {
-	seen := make(map[string]bool, len(names))
-	var out []string
-	for _, name := range names {
-		if name = strings.TrimSpace(name); name != "" && !seen[name] {
-			seen[name] = true
-			out = append(out, name)
-		}
-	}
-	sort.Strings(out)
-	return out
-}
-
-// cacheKey renders the canonical key of a query pinned to a watermark
-// vector. Streams appear sorted by name, so equivalent requests collide.
-func cacheKey(p *queryParams, names []string, vector map[string]float64) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "c=%s&kx=%d&s=%g&e=%g&m=%d", p.class, p.opts.Kx,
-		p.opts.StartSec, p.opts.EndSec, p.opts.MaxClusters)
-	for _, n := range names {
-		fmt.Fprintf(&b, "|%s@%g", n, vector[n])
-	}
-	return b.String()
-}
-
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	if s.rejectDraining(w) { // before the ready check: mid-boot drains stay marked
-		return
-	}
-	if !s.ready.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "not ready"})
-		return
-	}
-	p, err := parseQueryParams(r)
-	if err != nil {
-		s.clientErrs.Add(1)
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
-		return
-	}
-	if !s.limiter.Acquire() {
-		s.rejected.Add(1)
-		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: "overloaded: query queue is full"})
-		return
-	}
-	defer s.limiter.Release()
-	s.queries.Add(1)
-
-	// Resolve target streams and snapshot their watermarks: the consistent
-	// horizon this query is pinned to, however far ingest advances while it
-	// runs. Streams pinned through `at` keep their explicit watermark — the
-	// cache key renders the resolved vector either way, so a pinned request
-	// and a snapshot that happened to land on the same vector share one
-	// entry (they are the same pure function).
-	names, vector, err := s.resolveVector(p.streams, p.at)
-	if err != nil {
-		s.clientErrs.Add(1)
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
-		return
-	}
-
-	key := cacheKey(p, names, vector)
-	if v, ok := s.cache.get(key); ok {
-		s.cacheHits.Add(1)
-		hit := *(v.(*QueryResponse)) // shallow copy: only the Cached flag differs
-		hit.Cached = true
-		w.Header().Set("X-Focus-Cache", "hit")
-		writeJSON(w, http.StatusOK, &hit)
-		return
-	}
-
-	res, err := s.sys.Query(focus.Query{
-		Class:        p.class,
-		Streams:      names,
-		Options:      p.opts,
-		AtWatermarks: vector,
-	})
-	if err != nil {
-		if strings.Contains(err.Error(), "unknown class") {
-			s.clientErrs.Add(1)
-			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
-			return
-		}
-		s.serverErrs.Add(1)
-		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
-		return
-	}
-	resp := buildResponse(p, res, vector)
-	s.cache.put(key, resp)
-	s.cacheMisses.Add(1)
-	w.Header().Set("X-Focus-Cache", "miss")
-	writeJSON(w, http.StatusOK, resp)
-}
-
-func buildResponse(p *queryParams, res *focus.Result, vector map[string]float64) *QueryResponse {
-	resp := &QueryResponse{
-		Class:       p.class,
-		Streams:     make(map[string]*StreamQueryResult, len(res.PerStream)),
-		TotalFrames: res.TotalFrames,
-		Kx:          p.opts.Kx,
-		Start:       p.opts.StartSec,
-		End:         p.opts.EndSec,
-		MaxClusters: p.opts.MaxClusters,
-		LatencyMS:   res.LatencyMS,
-		GPUTimeMS:   res.GPUTimeMS,
-	}
-	for name, sr := range res.PerStream {
-		out := &StreamQueryResult{
-			Watermark:        vector[name],
-			Frames:           make([]int64, len(sr.Frames)),
-			Segments:         make([]int64, len(sr.Segments)),
-			ExaminedClusters: sr.ExaminedClusters,
-			MatchedClusters:  sr.MatchedClusters,
-			GTInferences:     sr.GTInferences,
-			GPUTimeMS:        sr.GPUTimeMS,
-			LatencyMS:        sr.LatencyMS,
-			ViaOther:         sr.ViaOther,
-		}
-		for i, f := range sr.Frames {
-			out.Frames[i] = int64(f)
-		}
-		for i, seg := range sr.Segments {
-			out.Segments[i] = int64(seg)
-		}
-		resp.Streams[name] = out
-	}
-	return resp
-}
-
-// StreamStatus is one entry of the /streams payload.
-type StreamStatus struct {
-	Name        string  `json:"name"`
-	Type        string  `json:"type"`
-	Location    string  `json:"location"`
-	Watermark   float64 `json:"watermark"`
-	WindowSec   float64 `json:"window_sec"`
-	IngestDone  bool    `json:"ingest_done"`
-	Frames      int     `json:"frames"`
-	Sightings   int     `json:"sightings"`
-	CNNInfers   int     `json:"cnn_inferences"`
-	DedupRate   float64 `json:"dedup_rate"`
-	Clusters    int     `json:"clusters"`
-	IngestGPUMS float64 `json:"ingest_gpu_ms"`
-	Model       string  `json:"model,omitempty"`
-	K           int     `json:"k,omitempty"`
-	T           float64 `json:"t,omitempty"`
-}
+// StreamStatus is one entry of the /v1/streams (and legacy /streams)
+// payload — the shared wire type, shard-annotated only by a router.
+type StreamStatus = api.StreamStatus
 
 func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
 	var out []StreamStatus
@@ -686,26 +401,29 @@ func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// Stats is the /stats payload.
+// Stats is the /v1/stats (and legacy /stats) payload.
 type Stats struct {
-	UptimeSec    float64            `json:"uptime_sec"`
-	Ready        bool               `json:"ready"`
-	Draining     bool               `json:"draining"`
-	Queries      int64              `json:"queries"`
-	PlanQueries  int64              `json:"plan_queries"`
-	CacheHits    int64              `json:"cache_hits"`
-	CacheMisses  int64              `json:"cache_misses"`
-	CacheEntries int                `json:"cache_entries"`
-	Rejected     int64              `json:"rejected"`
-	ClientErrors int64              `json:"client_errors"`
-	ServerErrors int64              `json:"server_errors"`
-	IngestErrors int64              `json:"ingest_errors"`
-	InFlight     int                `json:"in_flight"`
-	Waiting      int                `json:"waiting"`
-	Watermarks   map[string]float64 `json:"watermarks"`
-	IngestGPUMS  float64            `json:"ingest_gpu_ms"`
-	QueryGPUMS   float64            `json:"query_gpu_ms"`
-	QueryGPUOps  int64              `json:"query_gpu_ops"`
+	UptimeSec   float64 `json:"uptime_sec"`
+	Ready       bool    `json:"ready"`
+	Draining    bool    `json:"draining"`
+	Queries     int64   `json:"queries"`
+	PlanQueries int64   `json:"plan_queries"`
+	// LegacyRequests counts requests arriving through the deprecated
+	// /query and /plan shims — the operator's client-migration gauge.
+	LegacyRequests int64              `json:"legacy_requests"`
+	CacheHits      int64              `json:"cache_hits"`
+	CacheMisses    int64              `json:"cache_misses"`
+	CacheEntries   int                `json:"cache_entries"`
+	Rejected       int64              `json:"rejected"`
+	ClientErrors   int64              `json:"client_errors"`
+	ServerErrors   int64              `json:"server_errors"`
+	IngestErrors   int64              `json:"ingest_errors"`
+	InFlight       int                `json:"in_flight"`
+	Waiting        int                `json:"waiting"`
+	Watermarks     map[string]float64 `json:"watermarks"`
+	IngestGPUMS    float64            `json:"ingest_gpu_ms"`
+	QueryGPUMS     float64            `json:"query_gpu_ms"`
+	QueryGPUOps    int64              `json:"query_gpu_ops"`
 }
 
 // Snapshot returns the server's current counters (also served at /stats).
@@ -716,24 +434,25 @@ func (s *Server) Snapshot() Stats {
 		uptime = time.Since(time.Unix(0, ns)).Seconds()
 	}
 	return Stats{
-		UptimeSec:    uptime,
-		Ready:        s.ready.Load(),
-		Draining:     s.draining.Load(),
-		Queries:      s.queries.Load(),
-		PlanQueries:  s.planQueries.Load(),
-		CacheHits:    s.cacheHits.Load(),
-		CacheMisses:  s.cacheMisses.Load(),
-		CacheEntries: s.cache.len(),
-		Rejected:     s.rejected.Load(),
-		ClientErrors: s.clientErrs.Load(),
-		ServerErrors: s.serverErrs.Load(),
-		IngestErrors: s.ingestErrs.Load(),
-		InFlight:     s.limiter.InFlight(),
-		Waiting:      s.limiter.Waiting(),
-		Watermarks:   s.sys.Watermarks(),
-		IngestGPUMS:  meter.IngestMS,
-		QueryGPUMS:   meter.QueryMS,
-		QueryGPUOps:  meter.QueryOps,
+		UptimeSec:      uptime,
+		Ready:          s.ready.Load(),
+		Draining:       s.draining.Load(),
+		Queries:        s.queries.Load(),
+		PlanQueries:    s.planQueries.Load(),
+		LegacyRequests: s.legacyReqs.Load(),
+		CacheHits:      s.cacheHits.Load(),
+		CacheMisses:    s.cacheMisses.Load(),
+		CacheEntries:   s.cache.len(),
+		Rejected:       s.rejected.Load(),
+		ClientErrors:   s.clientErrs.Load(),
+		ServerErrors:   s.serverErrs.Load(),
+		IngestErrors:   s.ingestErrs.Load(),
+		InFlight:       s.limiter.InFlight(),
+		Waiting:        s.limiter.Waiting(),
+		Watermarks:     s.sys.Watermarks(),
+		IngestGPUMS:    meter.IngestMS,
+		QueryGPUMS:     meter.QueryMS,
+		QueryGPUOps:    meter.QueryOps,
 	}
 }
 
@@ -747,7 +466,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	// tooling would count it as an outage.
 	if s.draining.Load() {
 		// Distinguishable from "down" and from "not ready": the router keeps
-		// the shard's stream ownership but stops routing queries to it.
+		// the shard's stream ownership but stops routing queries to it. The
+		// router reads the body's status field; the header stays for pre-v1
+		// tooling.
 		w.Header().Set(DrainingHeader, "1")
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
@@ -755,7 +476,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.ready.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "not ready"})
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"not ready"}`)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"focus"
+	"focus/api"
 	"focus/internal/loadgen"
 	"focus/internal/serve"
 )
@@ -129,7 +130,7 @@ func TestResultCacheHitAndInvalidation(t *testing.T) {
 	if miss2.TotalFrames < miss1.TotalFrames {
 		t.Errorf("larger horizon lost frames: %d at 20s, %d at 40s", miss1.TotalFrames, miss2.TotalFrames)
 	}
-	if err := verify(asLoadgenResponse(t, miss2)); err != nil {
+	if err := verify(asAPIResponse(miss2)); err != nil {
 		t.Errorf("re-verified result diverges from direct query: %v", err)
 	}
 	if hit2, _ := svc.getQuery(t, "class=car"); !hit2.Cached {
@@ -142,19 +143,26 @@ func TestResultCacheHitAndInvalidation(t *testing.T) {
 	}
 }
 
-// asLoadgenResponse round-trips a server response through its JSON wire
-// format into the load generator's client-side mirror type.
-func asLoadgenResponse(t testing.TB, qr *serve.QueryResponse) *loadgen.QueryResponse {
-	t.Helper()
-	data, err := json.Marshal(qr)
-	if err != nil {
-		t.Fatal(err)
+// asAPIResponse lifts a legacy /query response into the v1 frames form,
+// the shape the served-vs-direct verifier consumes — the same translation
+// an unmigrated client's traffic goes through in loadgen's legacy mix.
+func asAPIResponse(qr *serve.QueryResponse) *api.QueryResponse {
+	out := &api.QueryResponse{
+		Expr:        qr.Class,
+		Form:        api.FormFrames,
+		Watermarks:  make(api.WatermarkVector, len(qr.Streams)),
+		Streams:     qr.Streams,
+		TotalFrames: qr.TotalFrames,
+		Kx:          qr.Kx,
+		Start:       qr.Start,
+		End:         qr.End,
+		MaxClusters: qr.MaxClusters,
+		Cached:      qr.Cached,
 	}
-	var out loadgen.QueryResponse
-	if err := json.Unmarshal(data, &out); err != nil {
-		t.Fatal(err)
+	for name, sr := range qr.Streams {
+		out.Watermarks[name] = sr.Watermark
 	}
-	return &out
+	return out
 }
 
 // TestAdmissionControlRejectsOverload saturates a one-worker, zero-queue

@@ -3,37 +3,12 @@ package serve_test
 import (
 	"net/http"
 	"net/http/httptest"
-	"reflect"
 	"sync"
 	"testing"
 
 	"focus"
 	"focus/internal/serve"
 )
-
-// TestParseWatermarkVector pins the `at` parameter grammar both ways.
-func TestParseWatermarkVector(t *testing.T) {
-	v, err := serve.ParseWatermarkVector("b@40, a@35.5,c@-1")
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := map[string]float64{"a": 35.5, "b": 40, "c": -1}
-	if !reflect.DeepEqual(v, want) {
-		t.Fatalf("parsed %v, want %v", v, want)
-	}
-	if got := serve.FormatWatermarkVector(v); got != "a@35.5,b@40,c@-1" {
-		t.Fatalf("formatted %q", got)
-	}
-	round, err := serve.ParseWatermarkVector(serve.FormatWatermarkVector(v))
-	if err != nil || !reflect.DeepEqual(round, v) {
-		t.Fatalf("round trip lost data: %v (%v)", round, err)
-	}
-	for _, bad := range []string{"", " , ", "a", "a@", "a@x", "@5"} {
-		if _, err := serve.ParseWatermarkVector(bad); err == nil {
-			t.Errorf("ParseWatermarkVector(%q) accepted", bad)
-		}
-	}
-}
 
 // TestCacheKeyingWithPinnedVectors is the router-facing cache contract:
 // requests arriving via the router carry stream subsets and explicit

@@ -1,0 +1,355 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"focus"
+	"focus/api"
+	"focus/internal/plan"
+)
+
+// This file is the v1 execution core: one resolved request shape
+// (v1Exec), one execution function (executeV1) shared by the POST
+// /v1/query handler and both legacy shims, so the three surfaces can
+// never diverge on admission, snapshotting, caching, or answer semantics.
+
+// v1Exec is a fully resolved v1 execution: predicate compiled, paging
+// normalized to (limit, offset), cursor already expanded into its frozen
+// stream set and pinned vector.
+type v1Exec struct {
+	compiled *plan.Plan
+	// streams is the requested stream set (normalized; empty = all).
+	streams []string
+	// pins are explicit per-stream watermark pins (nil = snapshot all).
+	pins                  api.WatermarkVector
+	topK, kx, maxClusters int
+	start, end            float64
+	limit, offset         int
+	// ranked selects the ranked (plan) form; false executes the
+	// single-class engine and answers in the frames form.
+	ranked bool
+}
+
+// resolveV1 normalizes a wire QueryRequest into a v1Exec: validates
+// fields, expands the cursor, compiles the predicate, and picks the
+// response form.
+func (s *Server) resolveV1(req *api.QueryRequest) (*v1Exec, *api.Error) {
+	if req.Limit < 0 {
+		return nil, api.Errorf(api.CodeBadRequest, "negative query parameter")
+	}
+	if req.Cursor != "" {
+		cur, aerr := api.CursorForRequest(req)
+		if aerr != nil {
+			return nil, aerr
+		}
+		compiled, cerr := s.sys.CompilePlan(cur.Expr)
+		if cerr != nil {
+			return nil, api.Errorf(api.CodeBadCursor, "cursor predicate no longer compiles: %v", cerr)
+		}
+		return &v1Exec{
+			compiled:    compiled,
+			streams:     cur.Streams,
+			pins:        cur.At,
+			topK:        cur.TopK,
+			kx:          cur.Kx,
+			start:       cur.Start,
+			end:         cur.End,
+			maxClusters: cur.MaxClusters,
+			limit:       req.Limit,
+			offset:      cur.Offset,
+			ranked:      true,
+		}, nil
+	}
+	if req.Expr == "" {
+		return nil, api.Errorf(api.CodeBadRequest, "missing required field: expr")
+	}
+	if req.TopK < 0 || req.Kx < 0 || req.MaxClusters < 0 || req.Start < 0 || req.End < 0 {
+		return nil, api.Errorf(api.CodeBadRequest, "negative query parameter")
+	}
+	if req.Form != "" && req.Form != api.FormRanked {
+		return nil, api.Errorf(api.CodeBadRequest, "form must be omitted or %q", api.FormRanked)
+	}
+	compiled, err := s.sys.CompilePlan(req.Expr)
+	if err != nil {
+		return nil, api.Errorf(api.CodeBadExpr, "%v", err)
+	}
+	ex := &v1Exec{
+		compiled:    compiled,
+		streams:     api.NormalizeStreams(req.Streams),
+		pins:        req.At,
+		topK:        req.TopK,
+		kx:          req.Kx,
+		start:       req.Start,
+		end:         req.End,
+		maxClusters: req.MaxClusters,
+		limit:       req.Limit,
+	}
+	// A bare one-leaf plan with no ranking or paging ask is the paper's
+	// single-class query: answer it in the frames form through the
+	// single-class engine. Everything else — compound predicates, TopK,
+	// paging, or an explicit form override — takes the ranked path.
+	_, single := compiled.SingleClass()
+	ex.ranked = !single || req.TopK != 0 || req.Limit != 0 || req.Form == api.FormRanked
+	return ex, nil
+}
+
+// frames-form cache keys keep the pre-v1 format, so legacy-shim and v1
+// requests denoting the same pure function share one entry.
+func framesCacheKey(class string, ex *v1Exec, names []string, vector api.WatermarkVector) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "c=%s&kx=%d&s=%g&e=%g&m=%d", class, ex.kx, ex.start, ex.end, ex.maxClusters)
+	for _, n := range names {
+		fmt.Fprintf(&b, "|%s@%g", n, vector[n])
+	}
+	return b.String()
+}
+
+// rankedCacheKey likewise keeps the pre-v1 /plan key format. The canonical
+// predicate (not the request text) keys the entry, so "car&person" and
+// " car & person " collide; limit/offset are deliberately absent — paging
+// shares the cached execution.
+func rankedCacheKey(canonical string, ex *v1Exec, names []string, vector api.WatermarkVector) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan|%s|k=%d&kx=%d&s=%g&e=%g&m=%d", canonical, ex.topK,
+		ex.kx, ex.start, ex.end, ex.maxClusters)
+	for _, n := range names {
+		fmt.Fprintf(&b, "|%s@%g", n, vector[n])
+	}
+	return b.String()
+}
+
+// executeV1 admits, resolves, executes (or serves from cache), and pages
+// one v1 execution. The returned response is private to the caller (safe
+// to hand to an encoder); cached state is never aliased mutably.
+func (s *Server) executeV1(ex *v1Exec) (*api.QueryResponse, *api.Error) {
+	if !s.limiter.Acquire() {
+		s.rejected.Add(1)
+		return nil, api.Errorf(api.CodeOverloaded, "overloaded: query queue is full")
+	}
+	defer s.limiter.Release()
+	if ex.ranked {
+		s.planQueries.Add(1)
+	} else {
+		s.queries.Add(1)
+	}
+
+	// Resolve target streams and snapshot their watermarks: the consistent
+	// horizon this query is pinned to, however far ingest advances while it
+	// runs. Streams pinned through `at` (or a cursor) keep their explicit
+	// watermark — the cache key renders the resolved vector either way, so
+	// a pinned request and a snapshot that happened to land on the same
+	// vector share one entry (they are the same pure function).
+	names, vector, aerr := s.resolveVector(ex.streams, ex.pins)
+	if aerr != nil {
+		return nil, aerr
+	}
+	if !ex.ranked {
+		return s.executeFrames(ex, names, vector)
+	}
+	return s.executeRanked(ex, names, vector)
+}
+
+// executeFrames answers a bare one-leaf plan through the single-class
+// engine, in the per-stream frames form.
+func (s *Server) executeFrames(ex *v1Exec, names []string, vector api.WatermarkVector) (*api.QueryResponse, *api.Error) {
+	class, ok := ex.compiled.SingleClass()
+	if !ok {
+		return nil, api.Errorf(api.CodeInternal, "frames execution of a non-single-leaf plan")
+	}
+	key := framesCacheKey(class, ex, names, vector)
+	if v, ok := s.cache.get(key); ok {
+		s.cacheHits.Add(1)
+		hit := *(v.(*api.QueryResponse)) // shallow copy: only the Cached flag differs
+		hit.Cached = true
+		return &hit, nil
+	}
+	res, err := s.sys.Query(focus.Query{
+		Class:   class,
+		Streams: names,
+		Options: focus.QueryOptions{
+			Kx:          ex.kx,
+			StartSec:    ex.start,
+			EndSec:      ex.end,
+			MaxClusters: ex.maxClusters,
+		},
+		AtWatermarks: vector,
+	})
+	if err != nil {
+		return nil, api.Errorf(api.CodeInternal, "%v", err)
+	}
+	resp := &api.QueryResponse{
+		Expr:        ex.compiled.Canonical(),
+		Form:        api.FormFrames,
+		Watermarks:  vector,
+		Streams:     make(map[string]*api.StreamResult, len(res.PerStream)),
+		TotalFrames: res.TotalFrames,
+		Kx:          ex.kx,
+		Start:       ex.start,
+		End:         ex.end,
+		MaxClusters: ex.maxClusters,
+		GPUTimeMS:   res.GPUTimeMS,
+		LatencyMS:   res.LatencyMS,
+	}
+	for name, sr := range res.PerStream {
+		out := &api.StreamResult{
+			Watermark:        vector[name],
+			Frames:           make([]int64, len(sr.Frames)),
+			Segments:         make([]int64, len(sr.Segments)),
+			ExaminedClusters: sr.ExaminedClusters,
+			MatchedClusters:  sr.MatchedClusters,
+			GTInferences:     sr.GTInferences,
+			GPUTimeMS:        sr.GPUTimeMS,
+			LatencyMS:        sr.LatencyMS,
+			ViaOther:         sr.ViaOther,
+		}
+		for i, f := range sr.Frames {
+			out.Frames[i] = int64(f)
+		}
+		for i, seg := range sr.Segments {
+			out.Segments[i] = int64(seg)
+		}
+		resp.GTInferences += sr.GTInferences
+		resp.Streams[name] = out
+	}
+	s.cache.put(key, resp)
+	s.cacheMisses.Add(1)
+	out := *resp // the cached copy stays Cached=false (it describes the execution)
+	return &out, nil
+}
+
+// executeRanked answers through the plan pipeline, slicing the requested
+// page out of the (cached) full ranking and minting the continuation
+// cursor.
+func (s *Server) executeRanked(ex *v1Exec, names []string, vector api.WatermarkVector) (*api.QueryResponse, *api.Error) {
+	canonical := ex.compiled.Canonical()
+	key := rankedCacheKey(canonical, ex, names, vector)
+	var full *api.QueryResponse
+	cached := false
+	if v, ok := s.cache.get(key); ok {
+		s.cacheHits.Add(1)
+		full, cached = v.(*api.QueryResponse), true
+	} else {
+		res, err := s.sys.ExecutePlan(ex.compiled, focus.PlanOptions{
+			Streams: names,
+			TopK:    ex.topK,
+			Leaf: focus.QueryOptions{
+				Kx:          ex.kx,
+				StartSec:    ex.start,
+				EndSec:      ex.end,
+				MaxClusters: ex.maxClusters,
+			},
+			AtWatermarks: vector,
+		})
+		if err != nil {
+			return nil, api.Errorf(api.CodeInternal, "%v", err)
+		}
+		full = &api.QueryResponse{
+			Expr:         canonical,
+			Form:         api.FormRanked,
+			Watermarks:   vector,
+			Items:        make([]api.Item, len(res.Items)),
+			TotalItems:   len(res.Items),
+			TopK:         ex.topK,
+			Kx:           ex.kx,
+			Start:        ex.start,
+			End:          ex.end,
+			MaxClusters:  ex.maxClusters,
+			GTInferences: res.Stats.GTInferences,
+			GPUTimeMS:    res.Stats.GPUTimeMS,
+			LatencyMS:    res.Stats.LatencyMS,
+		}
+		for i, it := range res.Items {
+			full.Items[i] = api.Item{
+				Stream:  it.Stream,
+				Frame:   int64(it.Frame),
+				TimeSec: it.TimeSec,
+				Segment: int64(it.Segment),
+				Score:   it.Score,
+			}
+		}
+		s.cache.put(key, full)
+		s.cacheMisses.Add(1)
+	}
+	out := *full // shallow copy; Items re-sliced below, never mutated
+	out.Cached = cached
+	out.Items = api.PageItems(full.Items, ex.limit, ex.offset)
+	out.Cursor = api.ContinuationToken(api.Cursor{
+		Expr:        canonical,
+		Streams:     names,
+		TopK:        ex.topK,
+		Kx:          ex.kx,
+		Start:       ex.start,
+		End:         ex.end,
+		MaxClusters: ex.maxClusters,
+		At:          vector,
+	}, ex.limit, ex.offset, len(out.Items), full.TotalItems)
+	return &out, nil
+}
+
+// countV1Error mirrors the error onto the server's counters: overload
+// rejections, client errors, and server errors each have a gauge;
+// deliberate unavailability (draining, not ready) is state, not an error,
+// and is not counted.
+func (s *Server) countV1Error(e *api.Error) {
+	switch e.HTTPStatus() {
+	case http.StatusBadRequest:
+		s.clientErrs.Add(1)
+	case http.StatusInternalServerError:
+		s.serverErrs.Add(1)
+	}
+	// Overloaded is counted at the rejection site (s.rejected) so the
+	// limiter path and this path cannot double-count.
+}
+
+// writeV1Error writes the structured error envelope at the code's status.
+func (s *Server) writeV1Error(w http.ResponseWriter, e *api.Error) {
+	s.countV1Error(e)
+	writeJSON(w, e.HTTPStatus(), api.Envelope{Err: e})
+}
+
+func cacheHeaderValue(cached bool) string {
+	if cached {
+		return "hit"
+	}
+	return "miss"
+}
+
+// handleV1Query is POST /v1/query: the primary query surface.
+func (s *Server) handleV1Query(w http.ResponseWriter, r *http.Request) {
+	// Draining is checked before readiness: mid-boot drains must read as
+	// deliberate.
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, api.Envelope{Err: api.Errorf(api.CodeDraining, "draining")})
+		return
+	}
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, api.Envelope{Err: api.Errorf(api.CodeNotReady, "not ready")})
+		return
+	}
+	if r.Method != http.MethodPost {
+		s.clientErrs.Add(1)
+		writeJSON(w, http.StatusMethodNotAllowed, api.Envelope{
+			Err: api.Errorf(api.CodeBadRequest, "POST a JSON body to %s", api.PathQuery)})
+		return
+	}
+	var req api.QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeV1Error(w, api.Errorf(api.CodeBadRequest, "bad %s body: %v", api.PathQuery, err))
+		return
+	}
+	ex, aerr := s.resolveV1(&req)
+	if aerr != nil {
+		s.writeV1Error(w, aerr)
+		return
+	}
+	resp, aerr := s.executeV1(ex)
+	if aerr != nil {
+		s.writeV1Error(w, aerr)
+		return
+	}
+	w.Header().Set("X-Focus-Cache", cacheHeaderValue(resp.Cached))
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,148 @@
+package serve_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"focus"
+	"focus/internal/serve"
+)
+
+// The goldens under testdata/legacy were captured from the pre-/v1 server
+// (PR 4 state), when GET /query and POST /plan were the primary surface.
+// They pin the legacy wire format byte for byte: the /v1 redesign keeps
+// /query and /plan as shims, and a shim that changes one byte of a
+// response body, status code, or cache/draining header breaks deployed
+// clients that never opted into /v1. Regenerate (only when a change to the
+// legacy surface is deliberate) with:
+//
+//	go test ./internal/serve -run TestLegacyWireCompat -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite wire-compat golden files")
+
+// legacyRequest is one captured exchange of the legacy surface.
+type legacyRequest struct {
+	name   string // golden file stem
+	method string
+	path   string // path + query, no host
+	body   string // JSON body for POSTs
+}
+
+// legacyCaptureSequence is replayed in order against one fixture, so cache
+// hit/miss transitions are part of the pinned behavior (the second
+// identical query MUST be a hit, with the hit marker and cached flag).
+var legacyCaptureSequence = []legacyRequest{
+	{name: "query_car_miss", method: "GET", path: "/query?class=car"},
+	{name: "query_car_hit", method: "GET", path: "/query?class=car"},
+	{name: "query_windowed", method: "GET", path: "/query?class=car&streams=auburn_c&kx=2&start=5&end=25&max_clusters=40"},
+	{name: "query_pinned", method: "GET", path: "/query?class=person&at=auburn_c@10,jacksonh@20"},
+	{name: "query_missing_class", method: "GET", path: "/query"},
+	{name: "query_unknown_class", method: "GET", path: "/query?class=no_such_class_zzz"},
+	{name: "query_unknown_stream", method: "GET", path: "/query?class=car&streams=nope"},
+	{name: "query_bad_kx", method: "GET", path: "/query?class=car&kx=-3"},
+	{name: "query_pin_ahead", method: "GET", path: "/query?class=car&at=auburn_c@999,jacksonh@20"},
+	{name: "query_pin_outside", method: "GET", path: "/query?class=car&streams=auburn_c&at=jacksonh@10"},
+	{name: "plan_miss", method: "POST", path: "/plan", body: `{"expr":"car & person","top_k":5}`},
+	{name: "plan_hit", method: "POST", path: "/plan", body: `{"expr":"car & person","top_k":5}`},
+	{name: "plan_canonical_shares_cache", method: "POST", path: "/plan", body: `{"expr":"  car&person ","top_k":5}`},
+	{name: "plan_paged", method: "POST", path: "/plan", body: `{"expr":"car & person","top_k":5,"limit":2,"offset":1,"at_watermarks":{"auburn_c":30,"jacksonh":30}}`},
+	{name: "plan_page_past_end", method: "POST", path: "/plan", body: `{"expr":"car & person","top_k":5,"limit":2,"offset":99,"at_watermarks":{"auburn_c":30,"jacksonh":30}}`},
+	{name: "plan_compound", method: "POST", path: "/plan", body: `{"expr":"(car | truck) & person & !bus","top_k":7,"kx":2}`},
+	{name: "plan_unanchored", method: "POST", path: "/plan", body: `{"expr":"!bus"}`},
+	{name: "plan_missing_expr", method: "POST", path: "/plan", body: `{}`},
+	{name: "plan_negative_param", method: "POST", path: "/plan", body: `{"expr":"car","top_k":-1}`},
+	{name: "plan_bad_json", method: "POST", path: "/plan", body: `{`},
+	{name: "plan_method_not_allowed", method: "GET", path: "/plan"},
+	{name: "streams", method: "GET", path: "/streams"},
+}
+
+// legacyDrainSequence is replayed against a second, drained fixture.
+var legacyDrainSequence = []legacyRequest{
+	{name: "drain_query", method: "GET", path: "/query?class=car"},
+	{name: "drain_plan", method: "POST", path: "/plan", body: `{"expr":"car"}`},
+}
+
+// renderExchange renders one exchange into the golden format: status line,
+// the two semantic legacy headers (cache marker, draining marker), a blank
+// line, then the raw body bytes.
+func renderExchange(t *testing.T, baseURL string, r legacyRequest) []byte {
+	t.Helper()
+	var resp *http.Response
+	var err error
+	switch r.method {
+	case "GET":
+		resp, err = http.Get(baseURL + r.path)
+	case "POST":
+		resp, err = http.Post(baseURL+r.path, "application/json", strings.NewReader(r.body))
+	default:
+		t.Fatalf("unsupported method %q", r.method)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "HTTP %d\n", resp.StatusCode)
+	fmt.Fprintf(&b, "X-Focus-Cache: %s\n", resp.Header.Get("X-Focus-Cache"))
+	fmt.Fprintf(&b, "X-Focus-Draining: %s\n", resp.Header.Get("X-Focus-Draining"))
+	b.WriteByte('\n')
+	b.Write(body)
+	return b.Bytes()
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "legacy", name+".golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update-golden to capture): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: wire bytes diverge from pre-/v1 capture\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestLegacyWireCompat pins the legacy /query, /plan and /streams wire
+// formats — bodies, status codes, cache and draining markers — byte for
+// byte against captures taken before the /v1 redesign. The fixture is
+// fully deterministic (seed 1, manual watermarks, simulated latencies), so
+// any diff is a real wire change, not noise.
+func TestLegacyWireCompat(t *testing.T) {
+	svc := bootTestService(t, focus.Config{Seed: 1},
+		serve.Config{NoBackgroundIngest: true}, "auburn_c", "jacksonh")
+	svc.advanceAll(t, 30)
+	for _, r := range legacyCaptureSequence {
+		checkGolden(t, r.name, renderExchange(t, svc.http.URL, r))
+	}
+
+	drained := bootTestService(t, focus.Config{Seed: 1},
+		serve.Config{NoBackgroundIngest: true}, "auburn_c")
+	drained.advanceAll(t, 10)
+	resp, err := http.Post(drained.http.URL+"/drain", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, r := range legacyDrainSequence {
+		checkGolden(t, r.name, renderExchange(t, drained.http.URL, r))
+	}
+}
