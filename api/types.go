@@ -42,6 +42,14 @@ type QueryRequest struct {
 	// frames form cannot be forced — it only exists for bare one-leaf
 	// plans.
 	Form string `json:"form,omitempty"`
+	// AllowPartial opts into degraded answers from a sharded deployment:
+	// when some shards are unreachable, the router returns the healthy
+	// shards' merged answer with the Partial marker set instead of failing
+	// the whole query with shard_down. Never implicit — the default stays
+	// all-or-nothing — and single-node services ignore it (their answers
+	// are never partial). Partial responses remain verifiable: the echoed
+	// watermark vector covers exactly the streams that answered.
+	AllowPartial bool `json:"allow_partial,omitempty"`
 }
 
 // Response forms (QueryResponse.Form).
@@ -99,6 +107,22 @@ type QueryResponse struct {
 	LatencyMS    float64 `json:"latency_ms"`
 	// Cached is true when the response was served from the result cache.
 	Cached bool `json:"cached"`
+	// Partial marks a degraded answer: the request set AllowPartial and one
+	// or more shards could not be reached, so the answer covers only the
+	// streams in Watermarks. Nil on complete answers — a response is never
+	// silently partial.
+	Partial *PartialInfo `json:"partial,omitempty"`
+}
+
+// PartialInfo describes what a partial answer is missing. The streams
+// listed here are exactly the ones absent from the response's watermark
+// vector; re-running the query without AllowPartial would fail with
+// shard_down naming one of the missing shards.
+type PartialInfo struct {
+	// MissingShards names the shards that did not answer.
+	MissingShards []string `json:"missing_shards"`
+	// MissingStreams names the requested streams those shards own.
+	MissingStreams []string `json:"missing_streams"`
 }
 
 // Item is one ranked result of a ranked-form response.

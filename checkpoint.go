@@ -1,0 +1,330 @@
+package focus
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"focus/internal/index"
+	"focus/internal/ingest"
+	"focus/internal/query"
+	"focus/internal/tune"
+	"focus/internal/video"
+	"focus/internal/vision"
+)
+
+// This file implements durable live ingestion: watermark-keyed checkpoints
+// of an in-flight ingestion, and cold-start restore that resumes the tail.
+//
+// A checkpoint round appends to the store, in order: the cluster records
+// spilled since the previous round (SaveDelta), then one snapshot record
+// carrying the watermark, the tuner's chosen configuration, and the ingest
+// worker's full mid-stream state — then syncs. The snapshot record is the
+// commit point: the store is an append-only checksummed log whose recovery
+// truncates at most a torn tail, so the latest intact snapshot record always
+// refers to cluster records that landed before it. Cluster records from a
+// round whose snapshot never landed are ignored at load (LoadBounded) and
+// regenerated bit-identically by the deterministic tail replay, under the
+// same IDs and therefore the same keys.
+//
+// Restore rebuilds the session exactly as the checkpoint captured it —
+// index, query engine, clustering engine (active-set order preserved),
+// pixel-diff association table, stats, watermark — and restarts the
+// generator skipping every frame the snapshot had already processed. From
+// there the ingestion is byte-for-byte the same computation the uncrashed
+// process would have performed: answers at any watermark are bit-identical.
+
+// snapKey is the store key holding a stream's live-checkpoint snapshot
+// record.
+func snapKey(stream string) string { return "focus/snap/" + stream }
+
+// modelSpec persists enough of a vision.Model to rebuild it exactly.
+// Specialized models are trained per stream and do not live in the Zoo, so a
+// name lookup cannot restore them; NewModel re-derives every cost and
+// quality parameter deterministically from this configuration.
+type modelSpec struct {
+	Name           string
+	Family         vision.ArchFamily
+	Layers         int
+	InputRes       int
+	Specialized    bool
+	SpecialClasses []vision.ClassID
+}
+
+func specOf(m *vision.Model) modelSpec {
+	return modelSpec{
+		Name:           m.Name,
+		Family:         m.Family,
+		Layers:         m.Layers,
+		InputRes:       m.InputRes,
+		Specialized:    m.Specialized,
+		SpecialClasses: append([]vision.ClassID(nil), m.SpecialClasses...),
+	}
+}
+
+func (s modelSpec) build() *vision.Model {
+	var special []vision.ClassID
+	if s.Specialized {
+		special = s.SpecialClasses
+	}
+	return vision.NewModel(s.Name, s.Family, s.Layers, s.InputRes, special)
+}
+
+// chosenSpec persists the tuner's chosen candidate so a restored session
+// reports the same configuration (and would rebuild the same ingest worker)
+// without re-running the sweep.
+type chosenSpec struct {
+	Model        modelSpec
+	Ls           int
+	K            int
+	T            float64
+	EstRecall    float64
+	EstPrecision float64
+	NormIngest   float64
+	NormQuery    float64
+}
+
+func chosenOf(c tune.Candidate) chosenSpec {
+	return chosenSpec{
+		Model:        specOf(c.Model),
+		Ls:           c.Ls,
+		K:            c.K,
+		T:            c.T,
+		EstRecall:    c.EstRecall,
+		EstPrecision: c.EstPrecision,
+		NormIngest:   c.NormIngest,
+		NormQuery:    c.NormQuery,
+	}
+}
+
+func (s chosenSpec) build(m *vision.Model) tune.Candidate {
+	return tune.Candidate{
+		Model:        m,
+		Ls:           s.Ls,
+		K:            s.K,
+		T:            s.T,
+		EstRecall:    s.EstRecall,
+		EstPrecision: s.EstPrecision,
+		NormIngest:   s.NormIngest,
+		NormQuery:    s.NormQuery,
+	}
+}
+
+// liveSnapshot is the gob-encoded snapshot record of one checkpoint round.
+type liveSnapshot struct {
+	Stream    string
+	Watermark float64
+	GenOpts   video.GenOptions
+	Chosen    chosenSpec
+	// IndexNextID is the index's cluster-ID high-water mark at snapshot
+	// time: exactly the records SaveDelta rounds up to this one have
+	// committed. LoadBounded restores records below it and no others.
+	IndexNextID index.ClusterID
+	// IngestSec is the index's ingest clock (the SealSec a cluster spilled
+	// next would receive).
+	IngestSec float64
+	// Done marks a checkpoint taken after the live window finished: the
+	// index is complete and restore needs no worker or generator.
+	Done   bool
+	Worker ingest.WorkerSnapshot
+}
+
+// CheckpointLive persists a consistent cut of a live ingestion: every
+// cluster sealed at or below the current watermark plus the worker state
+// needed to resume past it. It must be called from the session's ingester
+// goroutine between AdvanceLive calls (the only vantage from which the
+// worker is quiescent). Durable once it returns: the store has been synced.
+func (sess *Session) CheckpointLive() error {
+	if sess.sys.cfg.StorePath == "" {
+		return fmt.Errorf("focus: system has no persistent store")
+	}
+	sess.mu.RLock()
+	live := sess.live
+	sess.mu.RUnlock()
+	if live == nil {
+		return fmt.Errorf("focus: stream %q has no live ingestion", sess.Name())
+	}
+	if live.worker == nil {
+		// A Done-restored session has nothing left to checkpoint.
+		return nil
+	}
+	wsnap, err := live.worker.Snapshot()
+	if err != nil {
+		return err
+	}
+	sess.mu.RLock()
+	wm := sess.watermark
+	opts := sess.genOpts
+	sel := sess.selection
+	done := live.done
+	sess.mu.RUnlock()
+	if sel == nil {
+		return fmt.Errorf("focus: stream %q has no selection to checkpoint", sess.Name())
+	}
+	ix := live.worker.Index()
+	next, err := ix.SaveDelta(sess.sys.store, live.savedID)
+	if err != nil {
+		return fmt.Errorf("focus: checkpointing %q: %w", sess.Name(), err)
+	}
+	snap := liveSnapshot{
+		Stream:      sess.Name(),
+		Watermark:   wm,
+		GenOpts:     opts,
+		Chosen:      chosenOf(sel.Chosen),
+		IndexNextID: next,
+		IngestSec:   ix.IngestSec(),
+		Done:        done,
+		Worker:      wsnap,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return fmt.Errorf("focus: encode snapshot for %q: %w", sess.Name(), err)
+	}
+	if err := sess.sys.store.Put(snapKey(sess.Name()), buf.Bytes()); err != nil {
+		return fmt.Errorf("focus: checkpointing %q: %w", sess.Name(), err)
+	}
+	if err := sess.sys.store.Sync(); err != nil {
+		return fmt.Errorf("focus: checkpointing %q: %w", sess.Name(), err)
+	}
+	live.savedID = next
+	return nil
+}
+
+// clearLiveCheckpoint removes any live-checkpoint snapshot record, so a
+// subsequent cold start does not resurrect a superseded live state (a
+// one-shot Ingest replaces the whole index).
+func (sess *Session) clearLiveCheckpoint() error {
+	_, ok := sess.sys.store.Get(snapKey(sess.Name()))
+	if !ok {
+		return nil
+	}
+	return sess.sys.store.Delete(snapKey(sess.Name()))
+}
+
+// HasLiveCheckpoint reports whether the store holds a live checkpoint for
+// this stream.
+func (sess *Session) HasLiveCheckpoint() bool {
+	if sess.sys.cfg.StorePath == "" {
+		return false
+	}
+	_, ok := sess.sys.store.Get(snapKey(sess.Name()))
+	return ok
+}
+
+// RestoreLive cold-starts the session from its latest checkpoint: the index
+// is loaded up to the committed high-water mark, the worker resumes exactly
+// where the snapshot cut it, and the generator replays only the tail (frames
+// the snapshot had not processed). It returns false when the store holds no
+// checkpoint for this stream — the caller should fall back to Tune +
+// StartLive. Restored state answers queries bit-identically to a process
+// that never crashed.
+func (sess *Session) RestoreLive() (bool, error) {
+	if sess.sys.cfg.StorePath == "" {
+		return false, fmt.Errorf("focus: system has no persistent store")
+	}
+	if sess.isLive() {
+		return false, fmt.Errorf("focus: stream %q is already ingesting live", sess.Name())
+	}
+	raw, ok := sess.sys.store.Get(snapKey(sess.Name()))
+	if !ok {
+		return false, nil
+	}
+	var snap liveSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&snap); err != nil {
+		return false, fmt.Errorf("focus: decode snapshot for %q: %w", sess.Name(), err)
+	}
+	if snap.Stream != sess.Name() {
+		return false, fmt.Errorf("focus: snapshot stream %q does not match session %q", snap.Stream, sess.Name())
+	}
+	model := snap.Chosen.Model.build()
+	sel := &tune.Selection{Chosen: snap.Chosen.build(model)}
+	ix, err := index.LoadBounded(sess.sys.store, sess.Name(), snap.IndexNextID)
+	if err != nil {
+		return false, fmt.Errorf("focus: restoring %q: %w", sess.Name(), err)
+	}
+	ix.SetIngestSec(snap.IngestSec)
+	engine, err := query.NewEngine(ix, sess.sys.zoo.GT, sess.sys.space,
+		sess.gtFunc(), &sess.sys.meter)
+	if err != nil {
+		return false, err
+	}
+
+	if snap.Done {
+		// The window completed before the crash: the checkpoint holds the
+		// finished index. No worker, no generator; AdvanceLive returns
+		// immediately and StopLive drains an already-closed channel.
+		frames := make(chan *video.Frame)
+		close(frames)
+		live := &liveState{
+			frames:  frames,
+			genErr:  make(chan error, 1),
+			stop:    make(chan struct{}),
+			horizon: snap.GenOpts.DurationSec,
+			done:    true,
+			savedID: snap.IndexNextID,
+		}
+		sess.mu.Lock()
+		sess.selection = sel
+		sess.ix = ix
+		sess.engine = engine
+		sess.genOpts = snap.GenOpts
+		sess.stats = snap.Worker.Stats
+		sess.watermark = snap.Watermark
+		sess.live = live
+		sess.mu.Unlock()
+		return true, nil
+	}
+
+	st, err := sess.freshStream()
+	if err != nil {
+		return false, err
+	}
+	worker, err := ingest.RestoreWorker(st, sess.sys.space, model, &sess.sys.meter, ix, snap.Worker)
+	if err != nil {
+		return false, fmt.Errorf("focus: restoring %q: %w", sess.Name(), err)
+	}
+	live := &liveState{
+		worker:  worker,
+		frames:  make(chan *video.Frame, 64),
+		genErr:  make(chan error, 1),
+		stop:    make(chan struct{}),
+		horizon: snap.GenOpts.DurationSec,
+		savedID: snap.IndexNextID,
+	}
+	sess.mu.Lock()
+	if sess.live != nil {
+		sess.mu.Unlock()
+		return false, fmt.Errorf("focus: stream %q started ingesting live mid-restore", sess.Name())
+	}
+	sess.selection = sel
+	sess.ix = ix
+	sess.engine = engine
+	sess.genOpts = snap.GenOpts
+	sess.stats = snap.Worker.Stats
+	sess.watermark = snap.Watermark
+	sess.live = live
+	sess.mu.Unlock()
+	// Replay the deterministic stream, dropping every frame the snapshot
+	// already processed. Frame IDs advance by the sampling stride with no
+	// gaps, so the first delivered frame is exactly one stride past the
+	// snapshot's PrevFrameID — the pixel-diff association table restored
+	// above is describing its true predecessor frame and stays hot across
+	// the restart.
+	prevID := snap.Worker.PrevFrameID
+	go func() {
+		err := st.Generate(snap.GenOpts, func(f *video.Frame) error {
+			if f.ID <= prevID {
+				return nil
+			}
+			select {
+			case live.frames <- f:
+				return nil
+			case <-live.stop:
+				return errLiveStopped
+			}
+		})
+		close(live.frames)
+		live.genErr <- err
+	}()
+	return true, nil
+}

@@ -1,0 +1,145 @@
+package focus
+
+import (
+	"path/filepath"
+	"reflect"
+
+	"focus/internal/cluster"
+	"testing"
+)
+
+// TestRestoredWorkerSnapshotDeepEqual requires that restore yields
+// a worker whose snapshot deeply equals the checkpointed one, and advancing
+// both the original (uncrashed) and restored sessions through identical
+// chunks must keep their worker snapshots deeply equal.
+func TestRestoredWorkerSnapshotDeepEqual(t *testing.T) {
+	const window = 60
+	opts := GenOptions{DurationSec: window, SampleEvery: 1}
+	storePath := filepath.Join(t.TempDir(), "index.fkv")
+
+	cfgA := liveTestConfig()
+	cfgA.StorePath = storePath
+	sysA := newTestSystem(t, cfgA)
+	sessA, err := sysA.AddTable1Stream("auburn_c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sessA.StartLive(opts); err != nil {
+		t.Fatal(err)
+	}
+	defer sessA.StopLive()
+	if _, err := sessA.AdvanceLive(20); err != nil {
+		t.Fatal(err)
+	}
+	if err := sessA.CheckpointLive(); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := sessA.live.worker.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfgB := liveTestConfig()
+	cfgB.StorePath = storePath
+	sysB := newTestSystem(t, cfgB)
+	sessB, err := sysB.AddTable1Stream("auburn_c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := sessB.RestoreLive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored {
+		t.Fatal("no checkpoint")
+	}
+	defer sessB.StopLive()
+	got, err := sessB.live.worker.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, got) {
+		t.Errorf("restored snapshot diverges immediately")
+		diffSnapshots(t, orig, got)
+	}
+
+	am := sessA.live.worker.Index().Meta()
+	bm := sessB.live.worker.Index().Meta()
+	if !reflect.DeepEqual(am, bm) {
+		t.Errorf("meta diverges: %+v vs %+v", am, bm)
+	}
+	if a, b := sessA.live.worker.Index().NextID(), sessB.live.worker.Index().NextID(); a != b {
+		t.Errorf("index NextID diverges: %d vs %d", a, b)
+	}
+	if a, b := sessA.live.worker.Index().IngestSec(), sessB.live.worker.Index().IngestSec(); a != b {
+		t.Errorf("index IngestSec diverges: %v vs %v", a, b)
+	}
+
+	selA, selB := sessA.Selection().Chosen, sessB.Selection().Chosen
+	if selA.K != selB.K || selA.T != selB.T || selA.Model.Name != selB.Model.Name ||
+		selA.Model.CostMS() != selB.Model.CostMS() {
+		t.Errorf("selection diverges: %+v vs %+v", selA, selB)
+	}
+
+	for i, to := range []float64{26.1, 41, 55.5} {
+		if _, err := sessA.AdvanceLive(to); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sessB.AdvanceLive(to); err != nil {
+			t.Fatal(err)
+		}
+		sa, err := sessA.live.worker.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, err := sessB.live.worker.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sa, sb) {
+			t.Errorf("snapshots diverge after chunk %d (to=%v)", i, to)
+			diffSnapshots(t, sa, sb)
+			break
+		}
+	}
+}
+
+func diffSnapshots(t *testing.T, a, b interface{}) {
+	t.Helper()
+	av := reflect.ValueOf(a)
+	bv := reflect.ValueOf(b)
+	for i := 0; i < av.NumField(); i++ {
+		name := av.Type().Field(i).Name
+		if !reflect.DeepEqual(av.Field(i).Interface(), bv.Field(i).Interface()) {
+			if name == "Engine" {
+				ea := av.Field(i).Interface().(cluster.EngineSnapshot)
+				eb := bv.Field(i).Interface().(cluster.EngineSnapshot)
+				if ea.NextID != eb.NextID || ea.TotalMembers != eb.TotalMembers || ea.TotalSpilled != eb.TotalSpilled {
+					t.Errorf("  Engine counters differ: %d/%d/%d vs %d/%d/%d",
+						ea.NextID, ea.TotalMembers, ea.TotalSpilled, eb.NextID, eb.TotalMembers, eb.TotalSpilled)
+				}
+				if len(ea.Active) != len(eb.Active) {
+					t.Errorf("  Engine.Active lengths differ: %d vs %d", len(ea.Active), len(eb.Active))
+					continue
+				}
+				for k := range ea.Active {
+					ca, cb := ea.Active[k], eb.Active[k]
+					if reflect.DeepEqual(ca, cb) {
+						continue
+					}
+					cav, cbv := reflect.ValueOf(ca), reflect.ValueOf(cb)
+					for j := 0; j < cav.NumField(); j++ {
+						cn := cav.Type().Field(j).Name
+						if !reflect.DeepEqual(cav.Field(j).Interface(), cbv.Field(j).Interface()) {
+							t.Errorf("  Active[%d] (ID %d) field %s differs:\n    a=%v\n    b=%v",
+								k, ca.ID, cn, cav.Field(j).Interface(), cbv.Field(j).Interface())
+						}
+					}
+					break
+				}
+				continue
+			}
+			t.Errorf("  field %s differs: %v vs %v", name, av.Field(i).Interface(), bv.Field(i).Interface())
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package focus
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// queryClassesMatch asserts that two sessions answer identically for a set
+// of classes at the given watermark pins.
+func queryClassesMatch(t *testing.T, want, got *Session, wantAt, gotAt float64, classes []string) {
+	t.Helper()
+	for _, class := range classes {
+		id, err := want.sys.ClassID(class)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := want.QueryClass(id, QueryOptions{AtSec: wantAt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := got.QueryClass(id, QueryOptions{AtSec: gotAt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(w.Frames) != len(g.Frames) ||
+			w.ExaminedClusters != g.ExaminedClusters ||
+			w.MatchedClusters != g.MatchedClusters {
+			t.Errorf("class %s: want %d frames (%d/%d clusters), got %d frames (%d/%d clusters)",
+				class, len(w.Frames), w.MatchedClusters, w.ExaminedClusters,
+				len(g.Frames), g.MatchedClusters, g.ExaminedClusters)
+			continue
+		}
+		for i := range w.Frames {
+			if w.Frames[i] != g.Frames[i] {
+				t.Errorf("class %s: frame[%d] %d vs %d", class, i, w.Frames[i], g.Frames[i])
+				break
+			}
+		}
+	}
+}
+
+// TestCheckpointRestoreBitIdentical crashes a live ingestion past its last
+// checkpoint — including a torn checkpoint round whose cluster records
+// landed but whose snapshot record did not — restores it in a fresh system,
+// finishes the window, and requires the result to be bit-identical to a
+// process that never crashed: same stats, same cluster count, same answers
+// at the pre-crash watermark and at the final horizon.
+func TestCheckpointRestoreBitIdentical(t *testing.T) {
+	const window = 60
+	opts := GenOptions{DurationSec: window, SampleEvery: 1}
+	classes := []string{"car", "person", "truck"}
+	storePath := filepath.Join(t.TempDir(), "index.fkv")
+
+	// Reference: the uncrashed run.
+	ref := newTestSystem(t, liveTestConfig())
+	refSess, err := ref.AddTable1Stream("auburn_c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := refSess.Ingest(opts); err != nil {
+		t.Fatal(err)
+	}
+
+	// Run A: live ingest with a checkpoint at 20s, then progress past it
+	// that the crash will throw away.
+	cfgA := liveTestConfig()
+	cfgA.StorePath = storePath
+	sysA := newTestSystem(t, cfgA)
+	sessA, err := sysA.AddTable1Stream("auburn_c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessA.UseSelection(refSess.Selection())
+	if err := sessA.StartLive(opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sessA.AdvanceLive(20); err != nil {
+		t.Fatal(err)
+	}
+	if err := sessA.CheckpointLive(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sessA.AdvanceLive(33.7); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a checkpoint round interrupted mid-write: the delta's cluster
+	// records reach the log but the committing snapshot record does not.
+	// Restore must ignore them and regenerate identical records from the
+	// tail replay.
+	if _, err := sessA.Index().SaveDelta(sysA.store, sessA.live.savedID); err != nil {
+		t.Fatal(err)
+	}
+	if err := sysA.store.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	sessA.StopLive() // the "crash": generator gone, no further checkpoints
+
+	// Run B: cold start from the checkpoint, finish the window in chunks
+	// deliberately unlike run A's.
+	cfgB := liveTestConfig()
+	cfgB.StorePath = storePath
+	sysB := newTestSystem(t, cfgB)
+	sessB, err := sysB.AddTable1Stream("auburn_c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := sessB.RestoreLive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored {
+		t.Fatal("RestoreLive found no checkpoint")
+	}
+	defer sessB.StopLive()
+	if got := sessB.Watermark(); got != 20 {
+		t.Fatalf("restored watermark %v, want 20", got)
+	}
+	if sel := sessB.Selection(); sel == nil ||
+		sel.Chosen.K != refSess.Selection().Chosen.K ||
+		sel.Chosen.T != refSess.Selection().Chosen.T ||
+		sel.Chosen.Model.Name != refSess.Selection().Chosen.Model.Name {
+		t.Fatalf("restored selection diverges: %+v vs %+v", sel, refSess.Selection())
+	}
+
+	// The pre-crash watermark answers must match the reference before any
+	// tail replay happens.
+	queryClassesMatch(t, refSess, sessB, 20, 20, classes)
+
+	for _, to := range []float64{26.1, 41, 55.5, window + 3} {
+		if _, err := sessB.AdvanceLive(to); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sessB.LiveDone() {
+		t.Fatal("restored live ingest did not finish")
+	}
+	if a, b := refSess.IngestStats(), sessB.IngestStats(); a != b {
+		t.Errorf("ingest stats diverge: reference %+v, restored %+v", a, b)
+	}
+	if a, b := refSess.Index().NumClusters(), sessB.Index().NumClusters(); a != b {
+		t.Errorf("cluster counts diverge: reference %d, restored %d", a, b)
+	}
+	queryClassesMatch(t, refSess, sessB, 0, window, classes)
+
+	// Checkpoint the finished window, crash again, and restore: a Done
+	// checkpoint must come back complete with no generator needed.
+	if err := sessB.CheckpointLive(); err != nil {
+		t.Fatal(err)
+	}
+	cfgC := liveTestConfig()
+	cfgC.StorePath = storePath
+	sysC := newTestSystem(t, cfgC)
+	sessC, err := sysC.AddTable1Stream("auburn_c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err = sessC.RestoreLive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored {
+		t.Fatal("RestoreLive found no finished checkpoint")
+	}
+	if !sessC.LiveDone() {
+		t.Fatal("Done checkpoint restored as unfinished")
+	}
+	if got := sessC.Watermark(); got != window {
+		t.Fatalf("restored final watermark %v, want %v", got, window)
+	}
+	if a, b := refSess.IngestStats(), sessC.IngestStats(); a != b {
+		t.Errorf("ingest stats diverge after Done restore: reference %+v, restored %+v", a, b)
+	}
+	queryClassesMatch(t, refSess, sessC, 0, window, classes)
+	sessC.StopLive()
+}
+
+// TestRestoreLiveWithoutCheckpoint verifies the fresh-boot path: no snapshot
+// record means RestoreLive reports (false, nil) and the caller falls back to
+// a normal StartLive.
+func TestRestoreLiveWithoutCheckpoint(t *testing.T) {
+	cfg := liveTestConfig()
+	cfg.StorePath = filepath.Join(t.TempDir(), "index.fkv")
+	sys := newTestSystem(t, cfg)
+	sess, err := sys.AddTable1Stream("auburn_c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := sess.RestoreLive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored {
+		t.Fatal("RestoreLive claimed a checkpoint on an empty store")
+	}
+	if sess.HasLiveCheckpoint() {
+		t.Fatal("HasLiveCheckpoint true on an empty store")
+	}
+}

@@ -21,7 +21,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -49,8 +51,10 @@ func WithHTTPClient(h *http.Client) Option {
 
 // WithRetries sets how many times a retryable response (overloaded; plus
 // draining, with WithDrainingTolerance) is retried, and the base backoff
-// between attempts (attempt n waits n*backoff). Zero retries makes every
-// response final — load generators use this to observe raw 429s.
+// between attempts. The wait doubles each attempt and is jittered across
+// [wait/2, wait] so clients rejected together do not retry together; a
+// server-sent Retry-After overrides the computed wait. Zero retries makes
+// every response final — load generators use this to observe raw 429s.
 func WithRetries(n int, backoff time.Duration) Option {
 	return func(c *Client) { c.retries, c.backoff = n, backoff }
 }
@@ -158,6 +162,36 @@ func (c *Client) retryable(e *api.Error) bool {
 	return c.tolerateDraining && e.Code == api.CodeDraining
 }
 
+// maxBackoff caps the exponential growth of retry waits.
+const maxBackoff = 5 * time.Second
+
+// retryDelay computes the wait before retrying after the given 0-based
+// attempt. A server-sent Retry-After (delta-seconds or HTTP-date) wins;
+// otherwise the base backoff doubles per attempt, capped, with full jitter
+// over the upper half of the window — a fleet of clients rejected by the
+// same admission spike must not come back as the same spike.
+func (c *Client) retryDelay(attempt int, retryAfter string) time.Duration {
+	if retryAfter != "" {
+		if secs, err := strconv.ParseFloat(retryAfter, 64); err == nil && secs >= 0 {
+			return time.Duration(secs * float64(time.Second))
+		}
+		if when, err := http.ParseTime(retryAfter); err == nil {
+			if d := time.Until(when); d > 0 {
+				return d
+			}
+			return 0
+		}
+	}
+	if c.backoff <= 0 {
+		return 0
+	}
+	d := c.backoff << uint(attempt)
+	if d > maxBackoff || d <= 0 {
+		d = maxBackoff
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
 // do runs one HTTP exchange with the retry policy, decoding a 2xx body
 // into out (when non-nil) and a non-2xx body into an *api.Error.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
@@ -198,7 +232,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(time.Duration(attempt+1) * c.backoff):
+		case <-time.After(c.retryDelay(attempt, resp.Header.Get("Retry-After"))):
 		}
 	}
 }

@@ -168,3 +168,65 @@ func TestErrorDecoding(t *testing.T) {
 		t.Fatalf("got %v, want bad_expr", err)
 	}
 }
+
+// TestRetryHonorsRetryAfter verifies the server's Retry-After header
+// overrides the computed backoff: a large base backoff would stall the test,
+// but the header says come back immediately.
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc(api.PathQuery, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_ = json.NewEncoder(w).Encode(api.Envelope{Err: api.Errorf(api.CodeOverloaded, "queue full")})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(&api.QueryResponse{Expr: "car", Form: api.FormRanked})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	// A minute of base backoff: only the Retry-After override lets this
+	// finish within the test deadline.
+	c := New(ts.URL, WithRetries(5, time.Minute))
+	start := time.Now()
+	if _, err := c.Query(context.Background(), &api.QueryRequest{Expr: "car"}); err != nil {
+		t.Fatalf("retrying client failed: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("Retry-After ignored: waited %v", elapsed)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3", calls.Load())
+	}
+}
+
+// TestRetryDelayJitterAndCap pins the computed backoff envelope: attempt n
+// waits within [d/2, d] for d = base<<n capped at maxBackoff, and a
+// Retry-After HTTP-date in the past means retry now.
+func TestRetryDelayJitterAndCap(t *testing.T) {
+	c := New("http://unused", WithRetries(3, 100*time.Millisecond))
+	for attempt := 0; attempt < 12; attempt++ {
+		d := 100 * time.Millisecond << uint(attempt)
+		if d > maxBackoff || d <= 0 {
+			d = maxBackoff
+		}
+		for i := 0; i < 20; i++ {
+			got := c.retryDelay(attempt, "")
+			if got < d/2 || got > d {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, got, d/2, d)
+			}
+		}
+	}
+	if got := c.retryDelay(0, "2.5"); got != 2500*time.Millisecond {
+		t.Fatalf("fractional Retry-After: %v", got)
+	}
+	if got := c.retryDelay(0, "Mon, 02 Jan 2006 15:04:05 GMT"); got != 0 {
+		t.Fatalf("past HTTP-date Retry-After: %v, want 0", got)
+	}
+	zero := New("http://unused", WithRetries(3, 0))
+	if got := zero.retryDelay(5, ""); got != 0 {
+		t.Fatalf("zero-backoff client delay: %v, want 0", got)
+	}
+}

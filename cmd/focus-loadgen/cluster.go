@@ -6,11 +6,15 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
 	"sort"
 	"sync"
 	"time"
 
 	"focus"
+	"focus/api"
 	"focus/client"
 	"focus/internal/loadgen"
 	"focus/internal/router"
@@ -19,13 +23,48 @@ import (
 
 // shardProc is one in-process shard: its own focus.System and serve.Server
 // behind a loopback listener — the same topology as N focus-serve
-// processes, minus the process boundary.
+// processes, minus the process boundary. The chaos drill replaces sys, srv
+// and httpSrv mid-run (under mu) when it kills and restarts the shard.
 type shardProc struct {
+	mu      sync.Mutex
 	name    string
 	url     string
+	addr    string   // host:port, re-bound on restart so the shard map stays valid
+	streams []string // owned streams, re-registered on restart
+	fcfg    focus.Config
+	scfg    serve.Config
 	sys     *focus.System
 	srv     *serve.Server
 	httpSrv *http.Server
+}
+
+// chaosSpec parameterizes the kill/restart fault drill in -boot-cluster
+// mode: KillAfter into the run the last shard is killed the way a SIGKILL
+// would (connections severed, store abandoned without flush or sync),
+// left dead for DownFor, then restarted on the same address and store —
+// which must cold-start from its latest checkpoint. Zero KillAfter
+// disables the drill.
+type chaosSpec struct {
+	KillAfter       time.Duration
+	DownFor         time.Duration
+	CheckpointEvery int // shard checkpoint cadence in ingest chunks (0 = every chunk)
+}
+
+func (c chaosSpec) enabled() bool { return c.KillAfter > 0 }
+
+// chaosRun collects the drill's asynchronous assertions; checks() joins on
+// it after the load run and returns them as gate failures.
+type chaosRun struct {
+	mu       sync.Mutex
+	failures []string
+	done     chan struct{}
+	timers   []*time.Timer
+}
+
+func (c *chaosRun) fail(format string, args ...any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.failures = append(c.failures, fmt.Sprintf(format, args...))
 }
 
 // bootShardedCluster starts n in-process focus-serve shards (streams
@@ -36,17 +75,22 @@ type shardProc struct {
 // system at the exact merged watermark vector — pinning the acceptance
 // contract "routed answers are bit-identical to a single System holding
 // all streams". drainAfter > 0 additionally drains the last shard via its
-// admin endpoint mid-run.
+// admin endpoint mid-run; chaos.enabled() instead kills and restarts it
+// (see chaosSpec); fault.Active() arms every shard's fault-injection
+// middleware, which the router's sub-request retries must mostly absorb.
+// The returned checks function blocks until any armed chaos drill
+// finishes and returns its failures; call it after the run, before
+// shutdown.
 func bootShardedCluster(cfg *loadgen.Config, n int, streams string, window, tuneWindow, chunk float64,
 	ingestInterval time.Duration, workers, queue int, seed uint64, recall, precision float64,
-	drainAfter float64) (func(), error) {
+	drainAfter float64, chaos chaosSpec, fault serve.FaultConfig) (func(), func() []string, error) {
 	names := splitCSV(streams)
 	sort.Strings(names)
 	if n < 2 {
-		return nil, fmt.Errorf("-boot-cluster needs at least 2 shards, got %d", n)
+		return nil, nil, fmt.Errorf("-boot-cluster needs at least 2 shards, got %d", n)
 	}
 	if n > len(names) {
-		return nil, fmt.Errorf("-boot-cluster %d shards need at least that many streams, got %d", n, len(names))
+		return nil, nil, fmt.Errorf("-boot-cluster %d shards need at least that many streams, got %d", n, len(names))
 	}
 
 	// Placement: round-robin pins over the sorted stream names, so every
@@ -68,6 +112,19 @@ func bootShardedCluster(cfg *loadgen.Config, n int, streams string, window, tune
 	}
 	windowOpts := focus.GenOptions{DurationSec: window, SampleEvery: 1}
 	tuneOpts := focus.GenOptions{DurationSec: tuneWindow, SampleEvery: 1}
+	scfg := serve.Config{
+		Window:         windowOpts,
+		TuneWindow:     tuneOpts,
+		ChunkSec:       chunk,
+		IngestInterval: ingestInterval,
+		QueryWorkers:   workers,
+		QueueDepth:     queue,
+		Fault:          fault,
+	}
+	if fault.Active() {
+		log.Printf("focus-loadgen: FAULT INJECTION ARMED on every shard (error-rate %.2f, latency %s)",
+			fault.ErrorRate, fault.Latency)
+	}
 
 	var cleanup []func()
 	shutdown := func() {
@@ -75,9 +132,22 @@ func bootShardedCluster(cfg *loadgen.Config, n int, streams string, window, tune
 			cleanup[i]()
 		}
 	}
-	fail := func(err error) (func(), error) {
+	fail := func(err error) (func(), func() []string, error) {
 		shutdown()
-		return nil, err
+		return nil, nil, err
+	}
+
+	// The chaos drill needs durable shards: each gets its own data
+	// directory so the restarted shard can cold-start from the checkpoints
+	// the killed one published.
+	var dataDir string
+	if chaos.enabled() {
+		var err error
+		dataDir, err = os.MkdirTemp("", "focus-chaos-")
+		if err != nil {
+			return nil, nil, err
+		}
+		cleanup = append(cleanup, func() { _ = os.RemoveAll(dataDir) })
 	}
 
 	// Build every shard system and expose its listener up front: readiness
@@ -86,12 +156,28 @@ func bootShardedCluster(cfg *loadgen.Config, n int, streams string, window, tune
 	var dominant []string
 	seen := make(map[string]bool)
 	for i := range shards {
-		sys, err := focus.New(fcfg)
+		sh := &shardProc{name: shardName(i), streams: perShard[i], fcfg: fcfg, scfg: scfg}
+		if chaos.enabled() {
+			shardDir := filepath.Join(dataDir, sh.name)
+			if err := os.MkdirAll(shardDir, 0o755); err != nil {
+				return fail(err)
+			}
+			sh.fcfg.StorePath = filepath.Join(shardDir, "focus.kv")
+			sh.scfg.DataDir = shardDir
+			sh.scfg.StoreName = "focus.kv"
+			sh.scfg.CheckpointEvery = chaos.CheckpointEvery
+		}
+		sys, err := focus.New(sh.fcfg)
 		if err != nil {
 			return fail(err)
 		}
-		cleanup = append(cleanup, func() { sys.Close() })
-		for _, st := range perShard[i] {
+		sh.sys = sys
+		cleanup = append(cleanup, func() {
+			sh.mu.Lock()
+			defer sh.mu.Unlock()
+			sh.sys.Close()
+		})
+		for _, st := range sh.streams {
 			sess, err := sys.AddTable1Stream(st)
 			if err != nil {
 				return fail(err)
@@ -103,29 +189,22 @@ func bootShardedCluster(cfg *loadgen.Config, n int, streams string, window, tune
 				}
 			}
 		}
-		srv := serve.New(sys, serve.Config{
-			Window:         windowOpts,
-			TuneWindow:     tuneOpts,
-			ChunkSec:       chunk,
-			IngestInterval: ingestInterval,
-			QueryWorkers:   workers,
-			QueueDepth:     queue,
-		})
+		sh.srv = serve.New(sys, sh.scfg)
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return fail(err)
 		}
-		httpSrv := &http.Server{Handler: srv.Handler()}
-		go func() { _ = httpSrv.Serve(ln) }()
-		sh := &shardProc{
-			name:    shardName(i),
-			url:     "http://" + ln.Addr().String(),
-			sys:     sys,
-			srv:     srv,
-			httpSrv: httpSrv,
-		}
+		sh.addr = ln.Addr().String()
+		sh.url = "http://" + sh.addr
+		sh.httpSrv = &http.Server{Handler: sh.srv.Handler()}
+		go func(srv *http.Server) { _ = srv.Serve(ln) }(sh.httpSrv)
 		shards[i] = sh
-		cleanup = append(cleanup, func() { _ = sh.httpSrv.Close(); sh.srv.Stop() })
+		cleanup = append(cleanup, func() {
+			sh.mu.Lock()
+			defer sh.mu.Unlock()
+			_ = sh.httpSrv.Close()
+			sh.srv.Stop()
+		})
 		smap.Shards = append(smap.Shards, router.ShardSpec{Name: sh.name, URL: sh.url})
 	}
 
@@ -178,7 +257,7 @@ func bootShardedCluster(cfg *loadgen.Config, n int, streams string, window, tune
 
 	rt, err := router.New(router.Config{
 		Map: smap,
-		// Poll fast so a mid-run drain is noticed well within the drain
+		// Poll fast so a mid-run drain or kill is noticed well within the
 		// grace an operator would configure.
 		Refresh: 250 * time.Millisecond,
 	})
@@ -223,12 +302,192 @@ func bootShardedCluster(cfg *loadgen.Config, n int, streams string, window, tune
 		cleanup = append(cleanup, func() { timer.Stop() })
 	}
 
+	var drill *chaosRun
+	if chaos.enabled() {
+		drill = armChaosDrill(chaos, shards[len(shards)-1], cfg.Classes[0])
+		cleanup = append(cleanup, func() {
+			drill.mu.Lock()
+			defer drill.mu.Unlock()
+			for _, t := range drill.timers {
+				t.Stop()
+			}
+		})
+	}
+	checks := func() []string {
+		var out []string
+		if fault.ErrorRate > 0 && rt.Snapshot().ShardRetries == 0 {
+			// The injected errors are transient by construction, so the
+			// router must have retried at least once — zero retries means
+			// the fault path never fired or retries are broken.
+			out = append(out, "fault injection armed but the router never retried a sub-request")
+		}
+		if drill == nil {
+			return out
+		}
+		select {
+		case <-drill.done:
+		case <-time.After(chaos.DownFor + 60*time.Second):
+			drill.fail("chaos drill did not complete: kill/restart sequence still pending after the run")
+		}
+		drill.mu.Lock()
+		defer drill.mu.Unlock()
+		return append(out, drill.failures...)
+	}
+
 	cleanup = append(cleanup, func() {
 		stats := rt.Snapshot()
-		log.Printf("focus-loadgen: router saw %d queries, %d plans, %d shard requests, %d rejected, %d unavailable",
-			stats.Queries, stats.PlanQueries, stats.ShardRequests, stats.Rejected, stats.Unavailable)
+		log.Printf("focus-loadgen: router saw %d queries, %d plans, %d shard requests, %d rejected, %d unavailable, %d sub-request retries, %d partial responses",
+			stats.Queries, stats.PlanQueries, stats.ShardRequests, stats.Rejected, stats.Unavailable,
+			stats.ShardRetries, stats.PartialResponses)
 	})
-	return shutdown, nil
+	return shutdown, checks, nil
+}
+
+// armChaosDrill schedules the kill/restart sequence against the victim
+// shard: capture a pre-crash answer for one of its streams, sever every
+// connection and abandon the store (the in-process equivalent of SIGKILL
+// — buffered writes are lost, nothing is flushed), then after the outage
+// window restart the shard on the same address and store and assert it
+// (a) cold-started from a checkpoint and (b) still answers the pre-crash
+// query bit-identically at the pinned pre-crash watermark vector.
+func armChaosDrill(spec chaosSpec, victim *shardProc, class string) *chaosRun {
+	drill := &chaosRun{done: make(chan struct{})}
+	probe := &api.QueryRequest{Expr: class, Streams: victim.streams[:1]}
+	var pre *api.QueryResponse
+
+	kill := func() {
+		vcli := client.New(victim.url, client.WithRetries(3, 50*time.Millisecond))
+		var err error
+		pre, err = vcli.Query(context.Background(), probe)
+		if err != nil {
+			drill.fail("pre-crash probe of %s failed: %v", victim.name, err)
+		}
+		log.Printf("focus-loadgen: CHAOS killing shard %s (%s): abandoning store, severing connections", victim.name, victim.url)
+		victim.mu.Lock()
+		// Abandon first: once the "process" is dead nothing may persist.
+		// The graceful Stop that follows only reaps the ingest goroutines;
+		// its checkpoint-on-stop fails against the dead store by design.
+		_ = victim.sys.Abandon()
+		_ = victim.httpSrv.Close()
+		victim.srv.Stop()
+		victim.mu.Unlock()
+	}
+
+	restart := func() {
+		defer close(drill.done)
+		log.Printf("focus-loadgen: CHAOS restarting shard %s on %s", victim.name, victim.addr)
+		sys, err := focus.New(victim.fcfg)
+		if err != nil {
+			drill.fail("chaos restart: reopen store: %v", err)
+			return
+		}
+		for _, st := range victim.streams {
+			if _, err := sys.AddTable1Stream(st); err != nil {
+				drill.fail("chaos restart: re-register %s: %v", st, err)
+				sys.Close()
+				return
+			}
+		}
+		srv := serve.New(sys, victim.scfg)
+		t0 := time.Now()
+		if err := srv.Start(); err != nil {
+			drill.fail("chaos restart: serve start: %v", err)
+			sys.Close()
+			return
+		}
+		snap := srv.Snapshot()
+		if snap.RestoredStreams == 0 {
+			drill.fail("chaos restart: shard %s re-tuned from scratch instead of restoring a checkpoint", victim.name)
+		}
+		ln, err := net.Listen("tcp", victim.addr)
+		if err != nil {
+			drill.fail("chaos restart: re-bind %s: %v", victim.addr, err)
+			srv.Stop()
+			sys.Close()
+			return
+		}
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		go func() { _ = httpSrv.Serve(ln) }()
+		victim.mu.Lock()
+		victim.sys, victim.srv, victim.httpSrv = sys, srv, httpSrv
+		victim.mu.Unlock()
+		log.Printf("focus-loadgen: CHAOS shard %s back in %.1fs (%d streams restored from checkpoint); watermarks %v",
+			victim.name, time.Since(t0).Seconds(), snap.RestoredStreams, snap.Watermarks)
+
+		if pre != nil {
+			verifyPostRecovery(drill, victim, pre)
+		}
+	}
+
+	drill.mu.Lock()
+	drill.timers = append(drill.timers, time.AfterFunc(spec.KillAfter, func() {
+		kill()
+		drill.mu.Lock()
+		drill.timers = append(drill.timers, time.AfterFunc(spec.DownFor, restart))
+		drill.mu.Unlock()
+	}))
+	drill.mu.Unlock()
+	return drill
+}
+
+// verifyPostRecovery re-issues the pre-crash probe against the restarted
+// shard, pinned At the pre-crash watermark vector, and asserts the answer
+// is bit-identical. Right after restart the replayed ingest tail may not
+// have re-reached that horizon yet, so pin_ahead/not_ready rejections are
+// retried until the watermark catches up.
+func verifyPostRecovery(drill *chaosRun, victim *shardProc, pre *api.QueryResponse) {
+	req := &api.QueryRequest{Expr: pre.Expr, Streams: victim.streams[:1], At: pre.Watermarks}
+	vcli := client.New(victim.url, client.WithRetries(0, 0))
+	deadline := time.Now().Add(45 * time.Second)
+	for {
+		post, err := vcli.Query(context.Background(), req)
+		if err != nil {
+			transient := api.IsCode(err, api.CodePinAhead) || api.IsCode(err, api.CodeNotReady) ||
+				api.IsCode(err, api.CodeUnavailable) || api.IsCode(err, api.CodeOverloaded)
+			if transient && time.Now().Before(deadline) {
+				time.Sleep(250 * time.Millisecond)
+				continue
+			}
+			drill.fail("post-recovery pinned replay on %s failed: %v", victim.name, err)
+			return
+		}
+		if err := compareAnswers(pre, post); err != nil {
+			drill.fail("post-recovery answer drifted on %s: %v", victim.name, err)
+		} else {
+			log.Printf("focus-loadgen: CHAOS post-recovery answer for %q@%v is bit-identical", pre.Expr, pre.Watermarks)
+		}
+		return
+	}
+}
+
+// compareAnswers asserts two frames-form responses carry the same answer:
+// same pinned vector, frames, segments and cluster counts per stream.
+// Cost counters (GT inferences, GPU time, latency) legitimately differ
+// between executions and are not compared.
+func compareAnswers(a, b *api.QueryResponse) error {
+	if !reflect.DeepEqual(a.Watermarks, b.Watermarks) {
+		return fmt.Errorf("watermarks %v vs %v", a.Watermarks, b.Watermarks)
+	}
+	if a.TotalFrames != b.TotalFrames {
+		return fmt.Errorf("total frames %d vs %d", a.TotalFrames, b.TotalFrames)
+	}
+	if len(a.Streams) != len(b.Streams) {
+		return fmt.Errorf("%d vs %d streams", len(a.Streams), len(b.Streams))
+	}
+	for name, sa := range a.Streams {
+		sb := b.Streams[name]
+		if sb == nil {
+			return fmt.Errorf("stream %s missing from second answer", name)
+		}
+		if sa.Watermark != sb.Watermark ||
+			!reflect.DeepEqual(sa.Frames, sb.Frames) || !reflect.DeepEqual(sa.Segments, sb.Segments) ||
+			sa.ExaminedClusters != sb.ExaminedClusters || sa.MatchedClusters != sb.MatchedClusters ||
+			sa.ViaOther != sb.ViaOther {
+			return fmt.Errorf("stream %s answers differ: {wm %v frames %v segs %v} vs {wm %v frames %v segs %v}",
+				name, sa.Watermark, sa.Frames, sa.Segments, sb.Watermark, sb.Frames, sb.Segments)
+		}
+	}
+	return nil
 }
 
 func shardName(i int) string { return fmt.Sprintf("shard-%d", i) }

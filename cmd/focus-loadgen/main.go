@@ -16,7 +16,15 @@
 //     responses are verified against the reference system at the merged
 //     watermark vector — the scatter-gather stack must never change an
 //     answer. -drain-one-after additionally drains the last shard mid-run
-//     to exercise 503-during-drain semantics.
+//     to exercise 503-during-drain semantics. -chaos-kill-after instead
+//     runs the crash-recovery drill: the last shard is killed the way
+//     SIGKILL would (connections severed, store abandoned unsynced),
+//     left dead for -chaos-down-for seconds, then restarted on the same
+//     address and store — it must cold-start from its checkpoint, clients
+//     must only ever see typed shard_down/unavailable rejections (or
+//     partial answers when -allow-partial-every opts in) during the
+//     outage, and the post-recovery answer at the pinned pre-crash
+//     watermark must be bit-identical.
 //
 // Either way it exits non-zero on any unexpected status, transport error,
 // served-vs-direct mismatch, or p99 above the committed budget.
@@ -29,6 +37,8 @@
 //	              [-plans 'car & person & !bus; (car | truck) & person'] [-plan-every 4]
 //	focus-loadgen -boot-cluster 2 [-streams auburn_c,jacksonh,city_a_d]
 //	              [-clients 16] [-run-seconds 30] [-drain-one-after 25]
+//	focus-loadgen -boot-cluster 2 -run-seconds 45 -chaos-kill-after 15
+//	              [-chaos-down-for 5] [-checkpoint-every 1] [-allow-partial-every 4]
 package main
 
 import (
@@ -52,6 +62,12 @@ func main() {
 	boot := flag.Bool("boot", false, "boot an in-process focus-serve and drive it (enables served-vs-direct verification)")
 	bootCluster := flag.Int("boot-cluster", 0, "boot N in-process shards + a router + a reference system and drive the router (enables cross-shard verification)")
 	drainOneAfter := flag.Float64("drain-one-after", 0, "in -boot-cluster mode, drain the last shard after this many seconds (0 = never)")
+	chaosKillAfter := flag.Float64("chaos-kill-after", 0, "in -boot-cluster mode, kill the last shard (sever connections, abandon its store unsynced) after this many seconds (0 = never)")
+	chaosDownFor := flag.Float64("chaos-down-for", 5, "in chaos mode, how many seconds the killed shard stays dead before restarting from its checkpoint")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "in chaos mode, shard checkpoint cadence in ingest chunks (0 = every chunk)")
+	allowPartialEvery := flag.Int("allow-partial-every", 0, "every Nth whole-corpus query opts into allow_partial degraded answers (0 = never; chaos mode defaults to 4)")
+	faultErrorRate := flag.Float64("fault-error-rate", 0, "in -boot-cluster mode, arm every shard's fault injector: probability (0..1) that a data-plane request fails with a typed 503 \"unavailable\" (the router's sub-request retries must absorb most of them)")
+	faultLatency := flag.Duration("fault-latency", 0, "in -boot-cluster mode, extra injected latency on every shard data-plane request")
 	clients := flag.Int("clients", 16, "concurrent closed-loop clients")
 	runSeconds := flag.Float64("run-seconds", 30, "load duration in seconds")
 	seed := flag.Uint64("seed", 1, "deterministic client seed")
@@ -105,13 +121,40 @@ func main() {
 		PageEvery:         *pageEvery,
 		PageSize:          *pageSize,
 	}
+	cfg.AllowPartialEvery = *allowPartialEvery
+	chaos := chaosSpec{
+		KillAfter:       time.Duration(*chaosKillAfter * float64(time.Second)),
+		DownFor:         time.Duration(*chaosDownFor * float64(time.Second)),
+		CheckpointEvery: *checkpointEvery,
+	}
+	if chaos.enabled() && *bootCluster == 0 {
+		fmt.Fprintln(os.Stderr, "focus-loadgen: -chaos-kill-after requires -boot-cluster")
+		os.Exit(2)
+	}
+	if chaos.enabled() && *chaosKillAfter+*chaosDownFor >= *runSeconds {
+		fmt.Fprintln(os.Stderr, "focus-loadgen: the chaos schedule (-chaos-kill-after + -chaos-down-for) must complete within -run-seconds")
+		os.Exit(2)
+	}
+	fault := serve.FaultConfig{ErrorRate: *faultErrorRate, Latency: *faultLatency, Seed: *seed}
+	if fault.Active() && *bootCluster == 0 {
+		fmt.Fprintln(os.Stderr, "focus-loadgen: -fault-error-rate/-fault-latency require -boot-cluster")
+		os.Exit(2)
+	}
 	if *bootCluster > 0 {
-		// A drain is only acceptable when this run causes one; and during
-		// it, only single-stream queries can keep succeeding, so make sure
-		// some are issued.
+		// A drain (or a chaos kill, or armed fault injection) is only
+		// acceptable when this run causes one; and during an outage, only
+		// single-stream queries against healthy shards can keep succeeding,
+		// so make sure some are issued.
 		cfg.AcceptDraining = *drainOneAfter > 0
+		cfg.AcceptOutage = chaos.enabled() || fault.ErrorRate > 0
 		if cfg.SingleStreamEvery == 0 {
 			cfg.SingleStreamEvery = 3
+		}
+		if chaos.enabled() && cfg.AllowPartialEvery == 0 {
+			// A chaos drill should also exercise the degraded-answer path:
+			// some whole-corpus queries keep succeeding partially while the
+			// victim is down.
+			cfg.AllowPartialEvery = 4
 		}
 	}
 	if *classesArg != "" {
@@ -124,6 +167,7 @@ func main() {
 	}
 
 	var shutdown func()
+	chaosChecks := func() []string { return nil }
 	if *boot {
 		var err error
 		shutdown, err = bootService(&cfg, *streams, *window, *tuneWindow, *chunk,
@@ -135,8 +179,8 @@ func main() {
 	}
 	if *bootCluster > 0 {
 		var err error
-		shutdown, err = bootShardedCluster(&cfg, *bootCluster, *streams, *window, *tuneWindow, *chunk,
-			*ingestInterval, *workers, *queue, *seed, *recall, *precision, *drainOneAfter)
+		shutdown, chaosChecks, err = bootShardedCluster(&cfg, *bootCluster, *streams, *window, *tuneWindow, *chunk,
+			*ingestInterval, *workers, *queue, *seed, *recall, *precision, *drainOneAfter, chaos, fault)
 		if err != nil {
 			log.Fatalf("focus-loadgen: %v", err)
 		}
@@ -167,6 +211,9 @@ func main() {
 	}
 
 	failures := rep.Failures()
+	// The chaos checks join on the kill/restart sequence, so run them
+	// before tearing the cluster down.
+	failures = append(failures, chaosChecks()...)
 	if *maxP99 > 0 && rep.P99MS > *maxP99 {
 		failures = append(failures, fmt.Sprintf("p99 %.1fms exceeds budget %.1fms", rep.P99MS, *maxP99))
 	}
@@ -176,6 +223,17 @@ func main() {
 		// late) silently skipped the semantics this gate exists to test —
 		// and ran with a loosened 503 policy to boot.
 		failures = append(failures, "drain requested but no draining 503s were observed")
+	}
+	if chaos.enabled() && rep.Outage == 0 {
+		// Same reasoning for the chaos drill: a run that never saw a typed
+		// outage rejection didn't actually exercise the outage window it
+		// loosened the gate for. (Fault-rate runs don't require leaks —
+		// the router's retries absorbing every injected error is success,
+		// and the retries themselves are asserted by the cluster checks.)
+		failures = append(failures, "chaos kill requested but no outage-typed rejections were observed")
+	}
+	if chaos.enabled() && cfg.AllowPartialEvery > 0 && rep.Partials == 0 {
+		failures = append(failures, "chaos run mixed in allow_partial but no partial responses were observed")
 	}
 	if rep.OK == 0 {
 		failures = append(failures, "no successful responses at all")
@@ -270,6 +328,12 @@ func printReport(r *loadgen.Report) {
 	fmt.Printf("ok / rejected     %d / %d\n", r.OK, r.Rejected)
 	if r.Draining > 0 {
 		fmt.Printf("draining 503s     %d\n", r.Draining)
+	}
+	if r.Outage > 0 {
+		fmt.Printf("outage 503s       %d\n", r.Outage)
+	}
+	if r.Partials > 0 {
+		fmt.Printf("partial answers   %d\n", r.Partials)
 	}
 	fmt.Printf("cache hits        %d\n", r.CacheHits)
 	if r.PlanRequests > 0 {

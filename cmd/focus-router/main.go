@@ -42,6 +42,9 @@ func main() {
 	shardsArg := flag.String("shards", "", "inline shard roster: name=url,name=url (alternative to -map)")
 	refresh := flag.Duration("refresh", 2*time.Second, "shard health/ownership poll interval")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-shard request timeout")
+	shardRetries := flag.Int("shard-retries", 2, "per-shard sub-request retries on transient failures (transport errors, 429, typed unavailable/not_ready); negative disables")
+	shardBackoff := flag.Duration("shard-backoff", 50*time.Millisecond, "base backoff between sub-request retries (doubled per attempt, jittered, Retry-After honored)")
+	probationPolls := flag.Int("probation-polls", 3, "consecutive healthy polls a recovered shard must string together before it is routed to again")
 	strict := flag.Bool("strict-placement", false, "fail startup when a shard serves streams the map assigns elsewhere")
 	printAssignment := flag.String("print-assignment", "", "print the map's shard assignment for these comma-separated streams and exit")
 	flag.Parse()
@@ -76,6 +79,9 @@ func main() {
 		Map:             m,
 		Refresh:         *refresh,
 		Timeout:         *timeout,
+		ShardRetries:    *shardRetries,
+		ShardBackoff:    *shardBackoff,
+		ProbationPolls:  *probationPolls,
 		StrictPlacement: *strict,
 	})
 	if err != nil {

@@ -10,6 +10,16 @@
 //	            [-workers 8] [-queue 16] [-cache 4096]
 //	            [-quick-tune] [-recall 0.95] [-precision 0.95]
 //	            [-drain-grace 10s]
+//	            [-data-dir /var/lib/focus] [-checkpoint-every 1]
+//	            [-fault-error-rate 0.2] [-fault-latency 50ms]
+//	            [-fault-blackhole-after 30s] [-fault-blackhole-for 10s]
+//
+// With -data-dir the shard is durable: the store and MANIFEST.json live in
+// that directory, live ingestion checkpoints every -checkpoint-every
+// chunks, and a restarted process cold-starts from the latest checkpoint
+// (replaying only the ingest tail) instead of re-tuning — see
+// OPERATIONS.md §"Durability and crash recovery". The -fault-* flags arm
+// the fault-injection middleware for chaos drills; never in production.
 //
 // Endpoints (see focus/api for the wire contract and OPERATIONS.md for
 // the operator walkthrough):
@@ -40,6 +50,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -66,6 +77,13 @@ func main() {
 	recall := flag.Float64("recall", 0.95, "tuner recall target")
 	precision := flag.Float64("precision", 0.95, "tuner precision target")
 	drainGrace := flag.Duration("drain-grace", 10*time.Second, "how long to serve draining 503s after SIGTERM before exiting")
+	dataDir := flag.String("data-dir", "", "durable data directory: the index store (focus.kv) and MANIFEST.json live here, live ingestion checkpoints into it, and a restart cold-starts from the latest checkpoint (empty = in-memory, nothing survives a crash)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint each stream every N ingest chunks (0 = every chunk, negative = never); effective only with -data-dir")
+	faultErrorRate := flag.Float64("fault-error-rate", 0, "FAULT INJECTION: probability (0..1) that a data-plane request is rejected with a typed 503 \"unavailable\"")
+	faultLatency := flag.Duration("fault-latency", 0, "FAULT INJECTION: extra latency added to every data-plane request")
+	faultBlackholeAfter := flag.Duration("fault-blackhole-after", 0, "FAULT INJECTION: sever every connection (including /healthz) starting this long after the first request")
+	faultBlackholeFor := flag.Duration("fault-blackhole-for", 0, "FAULT INJECTION: how long the blackhole window lasts")
+	faultSeed := flag.Uint64("fault-seed", 0, "FAULT INJECTION: deterministic seed for the error-rate coin (0 = 1)")
 	flag.Parse()
 
 	cfg := focus.Config{
@@ -75,6 +93,13 @@ func main() {
 	}
 	if *quickTune {
 		cfg.TuneOptions = serve.QuickTuneOptions()
+	}
+	const storeName = "focus.kv"
+	if *dataDir != "" {
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			log.Fatalf("focus-serve: %v", err)
+		}
+		cfg.StorePath = filepath.Join(*dataDir, storeName)
 	}
 	sys, err := focus.New(cfg)
 	if err != nil {
@@ -89,15 +114,32 @@ func main() {
 		}
 	}
 
-	srv := serve.New(sys, serve.Config{
-		Window:         focus.GenOptions{DurationSec: *window, SampleEvery: *sampleEvery},
-		TuneWindow:     focus.GenOptions{DurationSec: *tuneWindow, SampleEvery: *sampleEvery},
-		ChunkSec:       *chunk,
-		IngestInterval: *ingestInterval,
-		QueryWorkers:   *workers,
-		QueueDepth:     *queue,
-		CacheCapacity:  *cacheCap,
-	})
+	scfg := serve.Config{
+		Window:          focus.GenOptions{DurationSec: *window, SampleEvery: *sampleEvery},
+		TuneWindow:      focus.GenOptions{DurationSec: *tuneWindow, SampleEvery: *sampleEvery},
+		ChunkSec:        *chunk,
+		IngestInterval:  *ingestInterval,
+		QueryWorkers:    *workers,
+		QueueDepth:      *queue,
+		CacheCapacity:   *cacheCap,
+		CheckpointEvery: *checkpointEvery,
+		Fault: serve.FaultConfig{
+			ErrorRate:      *faultErrorRate,
+			Latency:        *faultLatency,
+			BlackholeAfter: *faultBlackholeAfter,
+			BlackholeFor:   *faultBlackholeFor,
+			Seed:           *faultSeed,
+		},
+	}
+	if *dataDir != "" {
+		scfg.DataDir = *dataDir
+		scfg.StoreName = storeName
+	}
+	if scfg.Fault.Active() {
+		log.Printf("focus-serve: FAULT INJECTION ARMED (error-rate %.2f, latency %s, blackhole %s after %s) — never run this in production",
+			*faultErrorRate, *faultLatency, *faultBlackholeFor, *faultBlackholeAfter)
+	}
+	srv := serve.New(sys, scfg)
 	// Listen before tuning: /healthz answers 503 "not ready" during boot so
 	// a router (or an orchestrator's readiness probe) can watch the shard
 	// come up instead of getting connection refused.

@@ -140,6 +140,17 @@ func New(cfg Config) (*System, error) {
 // Close releases the embedded store.
 func (s *System) Close() error { return s.store.Close() }
 
+// Persistent reports whether the system writes its indexes and live
+// checkpoints to a durable on-disk store (Config.StorePath was set).
+func (s *System) Persistent() bool { return s.cfg.StorePath != "" }
+
+// Abandon drops the embedded store on the floor: the descriptor is closed
+// without flushing buffered writes or syncing, exactly what a SIGKILL does
+// to the process. Chaos harnesses use it to simulate a crash in-process;
+// everything since the last Sync is lost, and recovery must come from the
+// latest durable checkpoint.
+func (s *System) Abandon() error { return s.store.Abandon() }
+
 // Space exposes the shared class/feature space (class names, prototypes).
 func (s *System) Space() *vision.Space { return s.space }
 

@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"fmt"
+
+	"focus/internal/vision"
+)
+
+// This file is the clustering engine's checkpoint seam. An Engine's behavior
+// depends on more than its exported fields: the order of the active slice
+// decides nearest-centroid tie-breaks, idle retirement order, and which
+// cluster "smallest" resolves to under size ties, so a faithful snapshot must
+// preserve it exactly. Snapshot/NewEngineFromSnapshot round-trip every
+// behavior-bearing field; restoring and continuing an ingestion produces an
+// index bit-identical to one that never stopped.
+
+// RepCandidateSnapshot is the persisted form of one representative-reservoir
+// entry. Slice order matters: replacement scans pick the first strictly-worst
+// entry, and Representative breaks distance ties by position.
+type RepCandidateSnapshot struct {
+	Member  Member
+	Feature vision.FeatureVec
+	AddDist float64
+}
+
+// ClusterSnapshot is the persisted form of one ACTIVE (not yet spilled)
+// cluster. Spilled clusters live in the index as ClusterRecords and are not
+// part of an engine snapshot.
+type ClusterSnapshot struct {
+	ID        int64
+	Centroid  vision.FeatureVec
+	Members   []Member
+	ClassConf map[vision.ClassID]float64
+	NScored   int
+	RepCands  []RepCandidateSnapshot
+	LastTouch float64
+}
+
+// EngineSnapshot is the persisted form of a whole engine mid-ingestion.
+// Active preserves slice order.
+type EngineSnapshot struct {
+	NextID       int64
+	TotalMembers int
+	TotalSpilled int
+	Active       []ClusterSnapshot
+}
+
+// Snapshot captures the engine's complete mutable state. The caller must
+// guarantee no concurrent Add/Flush (the ingest worker owns the engine, so
+// its driving goroutine qualifies).
+func (e *Engine) Snapshot() EngineSnapshot {
+	snap := EngineSnapshot{
+		NextID:       e.nextID,
+		TotalMembers: e.totalMembers,
+		TotalSpilled: e.totalSpilled,
+		Active:       make([]ClusterSnapshot, len(e.active)),
+	}
+	for i, c := range e.active {
+		cs := ClusterSnapshot{
+			ID:        c.ID,
+			Centroid:  c.Centroid.Clone(),
+			Members:   append([]Member(nil), c.Members...),
+			ClassConf: make(map[vision.ClassID]float64, len(c.classConf)),
+			NScored:   c.nScored,
+			RepCands:  make([]RepCandidateSnapshot, len(c.repCandidates)),
+			LastTouch: c.lastTouch,
+		}
+		for cl, conf := range c.classConf {
+			cs.ClassConf[cl] = conf
+		}
+		for j, rc := range c.repCandidates {
+			cs.RepCands[j] = RepCandidateSnapshot{
+				Member:  rc.member,
+				Feature: rc.feature.Clone(),
+				AddDist: rc.addDist,
+			}
+		}
+		snap.Active[i] = cs
+	}
+	return snap
+}
+
+// NewEngineFromSnapshot rebuilds an engine exactly as Snapshot captured it.
+// cfg must be the same configuration the snapshotted engine ran with;
+// onSpill is re-attached fresh (callbacks cannot be persisted).
+func NewEngineFromSnapshot(cfg Config, onSpill func(*Cluster), snap EngineSnapshot) (*Engine, error) {
+	e, err := NewEngine(cfg, onSpill)
+	if err != nil {
+		return nil, err
+	}
+	e.nextID = snap.NextID
+	e.totalMembers = snap.TotalMembers
+	e.totalSpilled = snap.TotalSpilled
+	e.active = make([]*Cluster, len(snap.Active))
+	for i, cs := range snap.Active {
+		if cs.ID >= snap.NextID {
+			return nil, fmt.Errorf("cluster: snapshot cluster ID %d >= NextID %d", cs.ID, snap.NextID)
+		}
+		c := &Cluster{
+			ID:        cs.ID,
+			Centroid:  cs.Centroid.Clone(),
+			Members:   append([]Member(nil), cs.Members...),
+			classConf: make(map[vision.ClassID]float64, len(cs.ClassConf)),
+			nScored:   cs.NScored,
+			// centroidNorm is a pure function of the centroid; recomputing
+			// with the same routine reproduces the exact float64.
+			centroidNorm:  vision.Norm(cs.Centroid),
+			lastTouch:     cs.LastTouch,
+			repCandidates: make([]repCandidate, len(cs.RepCands)),
+		}
+		for cl, conf := range cs.ClassConf {
+			c.classConf[cl] = conf
+		}
+		for j, rc := range cs.RepCands {
+			c.repCandidates[j] = repCandidate{
+				member:  rc.Member,
+				feature: rc.Feature.Clone(),
+				addDist: rc.AddDist,
+			}
+		}
+		e.active[i] = c
+	}
+	return e, nil
+}
+
+// FindActive returns the active cluster with the given ID, or nil. Restored
+// ingest workers use it to re-link association-table entries to the clusters
+// a snapshot rebuilt.
+func (e *Engine) FindActive(id int64) *Cluster {
+	for _, c := range e.active {
+		if c.ID == id {
+			return c
+		}
+	}
+	return nil
+}
+
+// SpilledPlaceholder returns a cluster that reports itself spilled. Restored
+// ingest workers use it to rebuild pixel-diff association entries whose
+// predecessor's cluster was already spilled at snapshot time: the entry only
+// needs AddDeduplicated to refuse it (falling back to the scored path),
+// exactly as the real spilled cluster would have.
+func SpilledPlaceholder(id int64) *Cluster {
+	return &Cluster{ID: id, spilled: true}
+}

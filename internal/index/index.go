@@ -345,6 +345,102 @@ func (ix *Index) Save(store *kvstore.Store) error {
 	return store.Sync()
 }
 
+// NextID returns the ID the next spilled cluster will be assigned. Cluster
+// IDs are dense (0..NextID-1), so NextID doubles as a high-water mark:
+// checkpoints record it, and LoadBounded restores exactly the records below
+// it.
+func (ix *Index) NextID() ClusterID {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.nextID
+}
+
+// IngestSec returns the stream time ingestion has reached (the SealSec that
+// would be stamped on a cluster spilled right now).
+func (ix *Index) IngestSec() float64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.ingestSec
+}
+
+// SaveDelta persists the metadata and every cluster record with ID >= fromID
+// into the store, returning the next ID (the new high-water mark). Unlike
+// Save it neither deletes previous records nor syncs: it is the incremental
+// half of a checkpoint round, whose caller appends a snapshot record after
+// it and syncs once. Records past a crash-interrupted round are harmless —
+// the snapshot record that would commit them never landed, LoadBounded
+// ignores them, and the deterministic tail replay regenerates them under the
+// same IDs (hence the same keys).
+func (ix *Index) SaveDelta(store *kvstore.Store, fromID ClusterID) (ClusterID, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ix.meta); err != nil {
+		return fromID, fmt.Errorf("index: encode meta: %w", err)
+	}
+	if err := store.Put(metaKey(ix.meta.Stream), buf.Bytes()); err != nil {
+		return fromID, err
+	}
+	for id := fromID; id < ix.nextID; id++ {
+		rec := ix.clusters[id]
+		if rec == nil {
+			return fromID, fmt.Errorf("index: missing cluster %d in dense ID range", id)
+		}
+		buf.Reset()
+		if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
+			return fromID, fmt.Errorf("index: encode cluster %d: %w", rec.ID, err)
+		}
+		if err := store.Put(clusterKey(ix.meta.Stream, rec.ID), buf.Bytes()); err != nil {
+			return fromID, err
+		}
+	}
+	return ix.nextID, nil
+}
+
+// LoadBounded reads a stream's index back from the store, keeping only
+// cluster records with ID < belowID: the committed prefix a checkpoint's
+// snapshot record vouches for. Records at or past belowID (spilled after the
+// snapshot was cut, or left by an interrupted checkpoint round) are skipped;
+// the ingest tail replay regenerates them deterministically.
+func LoadBounded(store *kvstore.Store, stream string, belowID ClusterID) (*Index, error) {
+	raw, ok := store.Get(metaKey(stream))
+	if !ok {
+		return nil, fmt.Errorf("index: no index for stream %q", stream)
+	}
+	var meta IngestMeta
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&meta); err != nil {
+		return nil, fmt.Errorf("index: decode meta: %w", err)
+	}
+	ix := New(meta)
+	var loadErr error
+	store.Scan(clusterKeyPrefix(stream), func(_ string, val []byte) bool {
+		var rec ClusterRecord
+		if err := gob.NewDecoder(bytes.NewReader(val)).Decode(&rec); err != nil {
+			loadErr = fmt.Errorf("index: decode cluster: %w", err)
+			return false
+		}
+		if rec.ID >= belowID {
+			return true
+		}
+		ix.mu.Lock()
+		ix.addRecordLocked(&rec)
+		ix.mu.Unlock()
+		return true
+	})
+	if loadErr != nil {
+		return nil, loadErr
+	}
+	ix.mu.Lock()
+	if ix.nextID != belowID {
+		defer ix.mu.Unlock()
+		return nil, fmt.Errorf("index: stream %q checkpoint expects %d cluster records, store has %d",
+			stream, belowID, ix.nextID)
+	}
+	ix.mu.Unlock()
+	return ix, nil
+}
+
 // Load reads a stream's index back from the store.
 func Load(store *kvstore.Store, stream string) (*Index, error) {
 	raw, ok := store.Get(metaKey(stream))

@@ -1,0 +1,146 @@
+package ingest
+
+import (
+	"fmt"
+
+	"focus/internal/cluster"
+	"focus/internal/gpu"
+	"focus/internal/index"
+	"focus/internal/video"
+	"focus/internal/vision"
+)
+
+// This file is the ingest worker's checkpoint seam. A snapshot taken between
+// two ProcessFrame calls, together with the index records spilled so far,
+// fully determines the rest of the ingestion: restoring it and replaying the
+// remaining frames produces an index bit-identical to an uninterrupted run.
+//
+// The subtle state is the pixel-diff association table: its entries point at
+// live cluster objects, so the snapshot stores cluster IDs and the restore
+// re-links them against the restored engine (or a spilled placeholder, which
+// preserves the AddDeduplicated-refuses-spilled fallback behavior).
+
+// PrevEntrySnapshot is one persisted pixel-diff association entry.
+type PrevEntrySnapshot struct {
+	BBox      video.Rect
+	Object    video.ObjectID
+	ClusterID int64
+	// Spilled marks entries whose cluster had already been spilled at
+	// snapshot time.
+	Spilled bool
+}
+
+// WorkerSnapshot is the persisted form of a worker mid-ingestion. It embeds
+// the post-default ingest configuration (minus the model, which the caller
+// persists as a reconstructible spec) so a restore does not depend on
+// defaults staying constant across versions.
+type WorkerSnapshot struct {
+	Stats       Stats
+	PrevFrameID video.FrameID
+	WindowSec   float64
+
+	K                     int
+	ClusterThreshold      float64
+	MaxActiveClusters     int
+	PixelDiffThreshold    float64
+	FrameStride           video.FrameID
+	ClusterIdleTimeoutSec float64
+
+	Prev   []PrevEntrySnapshot
+	Engine cluster.EngineSnapshot
+}
+
+// Snapshot captures the worker's complete mutable state. It must be called
+// between ProcessFrame calls (the worker's driving goroutine between
+// frames), where the current-frame association table is empty.
+func (w *Worker) Snapshot() (WorkerSnapshot, error) {
+	if len(w.cur) != 0 {
+		return WorkerSnapshot{}, fmt.Errorf("ingest: snapshot taken mid-frame")
+	}
+	snap := WorkerSnapshot{
+		Stats:       w.stats,
+		PrevFrameID: w.prevFrameID,
+		WindowSec:   w.windowSec,
+
+		K:                     w.cfg.K,
+		ClusterThreshold:      w.cfg.ClusterThreshold,
+		MaxActiveClusters:     w.cfg.MaxActiveClusters,
+		PixelDiffThreshold:    w.cfg.PixelDiffThreshold,
+		FrameStride:           w.cfg.FrameStride,
+		ClusterIdleTimeoutSec: w.cfg.ClusterIdleTimeoutSec,
+
+		Prev:   make([]PrevEntrySnapshot, len(w.prev)),
+		Engine: w.engine.Snapshot(),
+	}
+	for i, pe := range w.prev {
+		snap.Prev[i] = PrevEntrySnapshot{
+			BBox:      pe.bbox,
+			Object:    pe.object,
+			ClusterID: pe.cluster.ID,
+			Spilled:   pe.cluster.Spilled(),
+		}
+	}
+	return snap, nil
+}
+
+// RestoreWorker rebuilds a worker from a snapshot over an already-restored
+// index. model must be the same ingest CNN the snapshotted worker ran with
+// (reconstructed from its persisted spec); stream must be a fresh replay of
+// the same deterministic stream. The caller resumes by feeding the frames
+// the snapshot had not yet processed (IDs > snap.PrevFrameID).
+func RestoreWorker(stream *video.Stream, space *vision.Space, model *vision.Model,
+	meter *gpu.Meter, ix *index.Index, snap WorkerSnapshot) (*Worker, error) {
+	cfg := Config{
+		Model:                 model,
+		K:                     snap.K,
+		ClusterThreshold:      snap.ClusterThreshold,
+		MaxActiveClusters:     snap.MaxActiveClusters,
+		PixelDiffThreshold:    snap.PixelDiffThreshold,
+		FrameStride:           snap.FrameStride,
+		ClusterIdleTimeoutSec: snap.ClusterIdleTimeoutSec,
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	w := &Worker{
+		stream:      stream,
+		space:       space,
+		cfg:         cfg,
+		meter:       meter,
+		pacer:       meter.NewPacer(),
+		ix:          ix,
+		stats:       snap.Stats,
+		prevFrameID: snap.PrevFrameID,
+		windowSec:   snap.WindowSec,
+	}
+	// Mirror NewWorker's engine-config derivation exactly.
+	threshold := cfg.ClusterThreshold
+	if threshold == 0 {
+		threshold = 1e-9
+	}
+	idle := cfg.ClusterIdleTimeoutSec
+	if idle <= 0 {
+		idle = DefaultClusterIdleTimeoutSec
+	}
+	var err error
+	w.engine, err = cluster.NewEngineFromSnapshot(cluster.Config{
+		Threshold:      threshold,
+		MaxActive:      cfg.MaxActiveClusters,
+		IdleTimeoutSec: idle,
+		MaxMembers:     DefaultMaxClusterMembers,
+	}, w.ix.AddCluster, snap.Engine)
+	if err != nil {
+		return nil, err
+	}
+	w.prev = make([]prevEntry, len(snap.Prev))
+	for i, pe := range snap.Prev {
+		var c *cluster.Cluster
+		if pe.Spilled {
+			c = cluster.SpilledPlaceholder(pe.ClusterID)
+		} else if c = w.engine.FindActive(pe.ClusterID); c == nil {
+			return nil, fmt.Errorf("ingest: snapshot prev entry references unknown active cluster %d", pe.ClusterID)
+		}
+		w.prev[i] = prevEntry{bbox: pe.BBox, object: pe.Object, cluster: c}
+	}
+	return w, nil
+}

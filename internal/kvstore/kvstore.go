@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"log"
 	"os"
 	"sort"
 	"strings"
@@ -82,9 +83,26 @@ func (s *Store) replay(f *os.File) error {
 	if err != nil {
 		return fmt.Errorf("kvstore: stat: %w", err)
 	}
-	if info.Size() == 0 {
-		// Fresh file: write the header eagerly so a crash between Open and
-		// the first Put still leaves a valid file.
+	if info.Size() < int64(len(magic)) {
+		// Fresh file, or a header write torn mid-crash before any record
+		// could have landed. Either way nothing is lost: rewrite the header
+		// so the log is valid again.
+		head := make([]byte, info.Size())
+		if _, err := io.ReadFull(f, head); err != nil {
+			return fmt.Errorf("kvstore: read header: %w", err)
+		}
+		if string(head) != magic[:len(head)] {
+			return fmt.Errorf("kvstore: %s is not a kvstore file", s.path)
+		}
+		if info.Size() > 0 {
+			log.Printf("kvstore: %s: dropping torn %d-byte header, rewriting", s.path, info.Size())
+			if err := f.Truncate(0); err != nil {
+				return fmt.Errorf("kvstore: truncate torn header: %w", err)
+			}
+			if _, err := f.Seek(0, io.SeekStart); err != nil {
+				return fmt.Errorf("kvstore: seek: %w", err)
+			}
+		}
 		if _, err := f.WriteString(magic); err != nil {
 			return fmt.Errorf("kvstore: write header: %w", err)
 		}
@@ -102,7 +120,12 @@ func (s *Store) replay(f *os.File) error {
 			break
 		}
 		if err != nil {
-			// Torn tail: truncate and continue from here.
+			// Torn tail: truncate and continue from here. Only the suffix a
+			// crash interrupted is lost; every record before it replayed
+			// with a valid checksum. Say exactly what was dropped so an
+			// operator can correlate it with the crash.
+			log.Printf("kvstore: %s: dropping %d-byte torn tail at offset %d (%v)",
+				s.path, info.Size()-offset, offset, err)
 			if terr := f.Truncate(offset); terr != nil {
 				return fmt.Errorf("kvstore: truncate torn log: %v (after %v)", terr, err)
 			}
@@ -419,6 +442,23 @@ func (s *Store) Compact() error {
 	s.file = f
 	s.w = bufio.NewWriterSize(f, 1<<16)
 	s.dead = 0
+	return nil
+}
+
+// Abandon closes the store WITHOUT flushing buffered writes or syncing:
+// everything since the last Sync is lost, exactly as if the process had been
+// SIGKILLed. It exists for crash testing — production shutdown paths use
+// Close.
+func (s *Store) Abandon() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.file != nil {
+		return s.file.Close()
+	}
 	return nil
 }
 

@@ -65,6 +65,22 @@ type Config struct {
 	// deliberately drains a shard; in a steady-state run a draining
 	// rejection is as wrong as any other 5xx.
 	AcceptDraining bool
+	// AcceptOutage counts structured "shard_down", "unavailable" and
+	// "not_ready" rejections as expected (Report.Outage) instead of
+	// failures. Set it only when the run deliberately kills a shard (a
+	// chaos drill); in a steady-state run they are as wrong as any other
+	// 5xx. Untyped errors stay failures either way — an outage must
+	// surface through the typed taxonomy, never as a bare 500 or a wrong
+	// answer.
+	AcceptOutage bool
+	// AllowPartialEvery makes every Nth plain whole-corpus query per
+	// client opt into degraded answers (allow_partial): during a shard
+	// outage the router then answers from the healthy shards with the
+	// Partial marker set (counted in Report.Partials) instead of failing
+	// the query. Partial responses are verified like any other — the
+	// echoed watermark vector covers exactly the streams that answered,
+	// so the direct replay targets the same healthy subset. 0 = never.
+	AllowPartialEvery int
 	// ZipfAlpha is the popularity skew. Default 1.1.
 	ZipfAlpha float64
 	// VerifyEvery verifies every Nth OK response per client through the
@@ -159,9 +175,16 @@ type Report struct {
 	// out of rotation — never silent data loss, since routed queries are
 	// all-or-nothing); without the opt-in they land in Unexpected, which
 	// counts everything else by status code and fails the run.
-	OK         int         `json:"ok"`
-	Rejected   int         `json:"rejected"`
-	Draining   int         `json:"draining"`
+	OK       int `json:"ok"`
+	Rejected int `json:"rejected"`
+	Draining int `json:"draining"`
+	// Outage counts shard_down/unavailable/not_ready rejections when
+	// Config.AcceptOutage opted into them (a chaos drill killed a shard
+	// and the cluster refused loudly rather than answering wrong);
+	// Partials counts 2xx responses carrying the Partial marker
+	// (allow_partial answers that omitted a dead shard's streams).
+	Outage     int         `json:"outage"`
+	Partials   int         `json:"partial_responses"`
 	Unexpected map[int]int `json:"unexpected,omitempty"`
 	NetErrors  int         `json:"net_errors"`
 	CacheHits  int         `json:"cache_hits"`
@@ -212,6 +235,8 @@ type clientState struct {
 	ok          int // all 2xx responses, plain and plan
 	rejected    int
 	draining    int
+	outage      int
+	partials    int
 	unexpected  map[int]int
 	netErrors   int
 	cacheHits   int
@@ -267,6 +292,8 @@ func Run(cfg Config) (*Report, error) {
 		rep.OK += st.ok
 		rep.Rejected += st.rejected
 		rep.Draining += st.draining
+		rep.Outage += st.outage
+		rep.Partials += st.partials
 		rep.NetErrors += st.netErrors
 		rep.CacheHits += st.cacheHits
 		rep.Verified += st.verified
@@ -324,6 +351,13 @@ func runClient(cfg *Config, idx int, zipf *simrand.Zipf, cli *client.Client, htt
 		if cfg.SingleStreamEvery > 0 && st.requests%cfg.SingleStreamEvery == 0 {
 			req.Streams = []string{cfg.Streams[src.Intn(len(cfg.Streams))]}
 		}
+		// Only whole-corpus requests opt into allow_partial: a single-stream
+		// query has nothing to degrade to — losing its one stream should
+		// stay a loud typed failure, not an empty "success".
+		if cfg.AllowPartialEvery > 0 && len(req.Streams) == 0 &&
+			st.requests%cfg.AllowPartialEvery == 0 && !legacy {
+			req.AllowPartial = true
+		}
 		var qr *api.QueryResponse
 		var err error
 		t0 := time.Now()
@@ -345,6 +379,9 @@ func runClient(cfg *Config, idx int, zipf *simrand.Zipf, cli *client.Client, htt
 		st.latenciesMS = append(st.latenciesMS, latMS)
 		if qr.Cached {
 			st.cacheHits++
+		}
+		if qr.Partial != nil {
+			st.partials++
 		}
 		if cfg.Verifier != nil && cfg.VerifyEvery > 0 && st.plainOK%cfg.VerifyEvery == 0 {
 			st.verified++
@@ -454,6 +491,10 @@ func (st *clientState) record(cfg *Config, err error) bool {
 			st.rejected++
 		case cfg.AcceptDraining && apiErr.Code == api.CodeDraining:
 			st.draining++
+			drainBackoff()
+		case cfg.AcceptOutage && (apiErr.Code == api.CodeShardDown ||
+			apiErr.Code == api.CodeUnavailable || apiErr.Code == api.CodeNotReady):
+			st.outage++
 			drainBackoff()
 		default:
 			st.unexpected[apiErr.HTTPStatus()]++

@@ -167,3 +167,82 @@ func TestFailuresFlagUnexpectedStatus(t *testing.T) {
 		t.Fatal("500 responses must be reported as failures")
 	}
 }
+
+// TestOutageTaxonomyAndPartials pins the chaos-drill accounting: with
+// AcceptOutage, typed shard_down rejections land in Report.Outage instead
+// of failing the run, and allow_partial responses carrying the Partial
+// marker are counted; without the opt-in the same traffic fails the gate.
+func TestOutageTaxonomyAndPartials(t *testing.T) {
+	okBody := &api.QueryResponse{
+		Expr:       "car",
+		Form:       api.FormFrames,
+		Watermarks: api.WatermarkVector{"s": 10},
+		Streams: map[string]*api.StreamResult{
+			"s": {Watermark: 10, Frames: []int64{1}, Segments: []int64{0}},
+		},
+		TotalFrames: 1,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc(api.PathQuery, func(w http.ResponseWriter, r *http.Request) {
+		var req api.QueryRequest
+		_ = json.NewDecoder(r.Body).Decode(&req)
+		if req.AllowPartial {
+			// Degraded answer: the healthy subset plus the Partial marker.
+			partial := *okBody
+			partial.Partial = &api.PartialInfo{
+				MissingShards:  []string{"shard-1"},
+				MissingStreams: []string{"down"},
+			}
+			_ = json.NewEncoder(w).Encode(&partial)
+			return
+		}
+		if len(req.Streams) == 0 {
+			// Whole-corpus without allow_partial hits the dead shard.
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(api.Envelope{
+				Err: api.Errorf(api.CodeShardDown, "shard shard-1 is down")})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(okBody)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	run := func(accept bool) *Report {
+		rep, err := Run(Config{
+			BaseURL:              ts.URL,
+			Clients:              2,
+			Duration:             500 * time.Millisecond,
+			MaxRequestsPerClient: 20,
+			Classes:              []string{"car"},
+			Streams:              []string{"s"},
+			SingleStreamEvery:    3,
+			AllowPartialEvery:    4,
+			AcceptOutage:         accept,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	rep := run(true)
+	if rep.Outage == 0 {
+		t.Fatalf("no outage rejections recorded: %+v", rep)
+	}
+	if rep.Partials == 0 {
+		t.Fatalf("no partial responses recorded: %+v", rep)
+	}
+	if fails := rep.Failures(); len(fails) != 0 {
+		t.Fatalf("chaos-mode run failed the gate: %v", fails)
+	}
+	if rep.OK+rep.Rejected+rep.Outage != rep.Requests {
+		t.Fatalf("accounting leak: ok %d + rejected %d + outage %d != %d",
+			rep.OK, rep.Rejected, rep.Outage, rep.Requests)
+	}
+
+	// The same traffic without the opt-in must fail loudly.
+	if fails := run(false).Failures(); len(fails) == 0 {
+		t.Fatal("shard_down rejections passed the gate without AcceptOutage")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"math/rand"
 	"net/http"
 	"sort"
 	"strconv"
@@ -63,10 +64,13 @@ type shardGroup struct {
 
 // groupByShard resolves the requested streams (empty = every known stream)
 // to per-shard groups, failing fast — with an explicit error naming the
-// shard — when any owning shard is down or draining. Routed queries are
-// all-or-nothing: a partial answer would silently change aggregates and
-// rankings, so partial failure must be loud.
-func (r *Router) groupByShard(requested []string) ([]shardGroup, *api.Error) {
+// shard — when any owning shard is down, draining, or in probation. Routed
+// queries are all-or-nothing by default: a partial answer would silently
+// change aggregates and rankings, so partial failure must be loud. With
+// allowPartial, unroutable shards are returned as missing groups instead
+// of an error — the caller merges the healthy subset and marks the answer
+// partial — but only as long as at least one owning shard is routable.
+func (r *Router) groupByShard(requested []string, allowPartial bool) (groups, missing []shardGroup, _ *api.Error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	streams := requested
@@ -78,13 +82,13 @@ func (r *Router) groupByShard(requested []string) ([]shardGroup, *api.Error) {
 		sort.Strings(streams)
 	}
 	if len(streams) == 0 {
-		return nil, api.Errorf(api.CodeUnavailable, "no streams available (no shard ownership discovered)")
+		return nil, nil, api.Errorf(api.CodeUnavailable, "no streams available (no shard ownership discovered)")
 	}
 	byShard := make(map[string][]string)
 	for _, st := range streams {
 		owner, ok := r.owners[st]
 		if !ok {
-			return nil, api.Errorf(api.CodeUnknownStream, "unknown stream %q", st)
+			return nil, nil, api.Errorf(api.CodeUnknownStream, "unknown stream %q", st)
 		}
 		byShard[owner] = append(byShard[owner], st)
 	}
@@ -93,22 +97,38 @@ func (r *Router) groupByShard(requested []string) ([]shardGroup, *api.Error) {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	groups := make([]shardGroup, 0, len(names))
+	groups = make([]shardGroup, 0, len(names))
 	for _, n := range names {
 		sh := r.shards[n]
+		var e *api.Error
 		switch sh.state {
 		case StateDraining:
-			e := api.Errorf(api.CodeDraining, "shard %q is draining (owns %s)", n, strings.Join(byShard[n], ","))
-			e.Shard = n
-			return nil, e
+			e = api.Errorf(api.CodeDraining, "shard %q is draining (owns %s)", n, strings.Join(byShard[n], ","))
 		case StateDown:
-			e := api.Errorf(api.CodeShardDown, "shard %q is down: %s (owns %s)", n, sh.lastErr, strings.Join(byShard[n], ","))
+			e = api.Errorf(api.CodeShardDown, "shard %q is down: %s (owns %s)", n, sh.lastErr, strings.Join(byShard[n], ","))
+		case StateProbation:
+			e = api.Errorf(api.CodeShardDown, "shard %q is %s (owns %s)", n, sh.lastErr, strings.Join(byShard[n], ","))
+		}
+		if e != nil {
+			if allowPartial {
+				missing = append(missing, shardGroup{spec: sh.spec, streams: byShard[n]})
+				continue
+			}
 			e.Shard = n
-			return nil, e
+			return nil, nil, e
 		}
 		groups = append(groups, shardGroup{spec: sh.spec, streams: byShard[n]})
 	}
-	return groups, nil
+	if len(groups) == 0 {
+		// allow_partial tolerates a degraded answer, not an absent one:
+		// with no routable shard at all the request fails like the strict
+		// path would.
+		n := missing[0].spec.Name
+		e := api.Errorf(api.CodeShardDown, "no routable shard: every owning shard is down, draining, or in probation (first: %q)", n)
+		e.Shard = n
+		return nil, nil, e
+	}
+	return groups, missing, nil
 }
 
 // shardReply is one sub-request's outcome.
@@ -125,8 +145,9 @@ func (rep *shardReply) apiError() *api.Error {
 	return api.DecodeError(rep.status, rep.body)
 }
 
-// scatter issues one sub-request per group concurrently and gathers the
-// replies in group (shard-name) order.
+// scatter issues one sub-request per group concurrently — each with the
+// per-shard retry policy — and gathers the replies in group (shard-name)
+// order.
 func (r *Router) scatter(groups []shardGroup, call func(g shardGroup) (*http.Response, error)) []shardReply {
 	replies := make([]shardReply, len(groups))
 	var wg sync.WaitGroup
@@ -134,21 +155,81 @@ func (r *Router) scatter(groups []shardGroup, call func(g shardGroup) (*http.Res
 		wg.Add(1)
 		go func(i int, g shardGroup) {
 			defer wg.Done()
-			r.shardReqs.Add(1)
-			rep := &replies[i]
-			rep.shard = g.spec.Name
-			resp, err := call(g)
-			if err != nil {
-				rep.err = err
-				return
-			}
-			defer resp.Body.Close()
-			rep.status = resp.StatusCode
-			rep.body, rep.err = io.ReadAll(resp.Body)
+			r.callShard(g, call, &replies[i])
 		}(i, g)
 	}
 	wg.Wait()
 	return replies
+}
+
+// callShard runs one sub-request with retries. Only transient shapes are
+// retried — transport errors, structured "unavailable"/"not_ready" 5xxs,
+// and overloaded 429s (whose Retry-After, when sent, sets the wait) — so a
+// blip inside one scatter heals without surfacing to the client, while
+// deterministic failures (client errors, draining, internal) come back
+// immediately.
+func (r *Router) callShard(g shardGroup, call func(g shardGroup) (*http.Response, error), rep *shardReply) {
+	rep.shard = g.spec.Name
+	for attempt := 0; ; attempt++ {
+		r.shardReqs.Add(1)
+		*rep = shardReply{shard: g.spec.Name}
+		var retryAfter string
+		resp, err := call(g)
+		if err != nil {
+			rep.err = err
+		} else {
+			rep.status = resp.StatusCode
+			retryAfter = resp.Header.Get("Retry-After")
+			rep.body, rep.err = io.ReadAll(resp.Body)
+			resp.Body.Close()
+		}
+		if attempt >= r.cfg.ShardRetries || !retryableReply(rep) {
+			return
+		}
+		r.shardRetried.Add(1)
+		time.Sleep(r.shardRetryDelay(attempt, retryAfter))
+	}
+}
+
+// retryableReply reports whether a sub-request failure is worth retrying.
+func retryableReply(rep *shardReply) bool {
+	if rep.err != nil {
+		return true
+	}
+	if rep.status == http.StatusTooManyRequests {
+		return true
+	}
+	if rep.status >= 500 {
+		switch rep.apiError().Code {
+		case api.CodeUnavailable, api.CodeNotReady:
+			return true
+		}
+	}
+	return false
+}
+
+// shardRetryMaxBackoff caps the exponential growth of sub-request retry
+// waits; the router holds a client connection open while it retries, so
+// the cap is tighter than a standalone client's.
+const shardRetryMaxBackoff = 2 * time.Second
+
+// shardRetryDelay mirrors the client package's policy in miniature:
+// Retry-After (delta-seconds) wins; otherwise the base backoff doubles per
+// attempt, capped, jittered over the upper half of the window.
+func (r *Router) shardRetryDelay(attempt int, retryAfter string) time.Duration {
+	if retryAfter != "" {
+		if secs, err := strconv.ParseFloat(retryAfter, 64); err == nil && secs >= 0 {
+			if d := time.Duration(secs * float64(time.Second)); d < shardRetryMaxBackoff {
+				return d
+			}
+			return shardRetryMaxBackoff
+		}
+	}
+	d := r.cfg.ShardBackoff << uint(attempt)
+	if d > shardRetryMaxBackoff || d <= 0 {
+		d = shardRetryMaxBackoff
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
 }
 
 // gatherError maps the scattered replies to the single error the client
@@ -218,6 +299,10 @@ type routedExec struct {
 	start, end            float64
 	limit, offset         int
 	ranked                bool
+	// allowPartial opts into a degraded answer when some owning shards
+	// are unroutable or fail: the healthy subset is merged and the
+	// response carries a PartialInfo marker. Never implicit.
+	allowPartial bool
 }
 
 // resolveRouted normalizes a wire QueryRequest. The ranked/frames form
@@ -245,6 +330,10 @@ func resolveRouted(req *api.QueryRequest) (*routedExec, *api.Error) {
 			limit:       req.Limit,
 			offset:      cur.Offset,
 			ranked:      true,
+			// A cursor minted from a partial answer already froze the
+			// healthy stream subset; re-opting in only matters if further
+			// shards fail mid-pagination.
+			allowPartial: req.AllowPartial,
 		}, nil
 	}
 	if req.Expr == "" {
@@ -261,15 +350,16 @@ func resolveRouted(req *api.QueryRequest) (*routedExec, *api.Error) {
 		return nil, api.Errorf(api.CodeBadExpr, "%v", err)
 	}
 	ex := &routedExec{
-		expr:        req.Expr,
-		streams:     api.NormalizeStreams(req.Streams),
-		pins:        req.At,
-		topK:        req.TopK,
-		kx:          req.Kx,
-		start:       req.Start,
-		end:         req.End,
-		maxClusters: req.MaxClusters,
-		limit:       req.Limit,
+		expr:         req.Expr,
+		streams:      api.NormalizeStreams(req.Streams),
+		pins:         req.At,
+		topK:         req.TopK,
+		kx:           req.Kx,
+		start:        req.Start,
+		end:          req.End,
+		maxClusters:  req.MaxClusters,
+		limit:        req.Limit,
+		allowPartial: req.AllowPartial,
 	}
 	ex.ranked = !plan.IsSingleLeafExpr(ast) || req.TopK != 0 || req.Limit != 0 || req.Form == api.FormRanked
 	return ex, nil
@@ -282,11 +372,16 @@ func resolveRouted(req *api.QueryRequest) (*routedExec, *api.Error) {
 // merged ranking router-side and mint the continuation cursor over the
 // merged watermark vector.
 func (r *Router) routeV1(ex *routedExec) (*api.QueryResponse, int, *api.Error) {
-	groups, aerr := r.groupByShard(ex.streams)
+	groups, missing, aerr := r.groupByShard(ex.streams, ex.allowPartial)
 	if aerr != nil {
 		return nil, 0, aerr
 	}
-	if aerr := validatePins(ex.pins, groups); aerr != nil {
+	// Pins are validated against the full resolved set, missing shards
+	// included: a pin on a currently-down stream is a coherent ask (the
+	// stream is in the target set), and allow_partial answers without it —
+	// naming it in the partial marker — rather than flipping the request
+	// into bad_request whenever a shard is out.
+	if aerr := validatePins(ex.pins, append(append([]shardGroup(nil), groups...), missing...)); aerr != nil {
 		return nil, 0, aerr
 	}
 	if ex.ranked {
@@ -319,7 +414,29 @@ func (r *Router) routeV1(ex *routedExec) (*api.QueryResponse, int, *api.Error) {
 		}
 		return r.client.Post(g.spec.URL+api.PathQuery, "application/json", bytes.NewReader(body))
 	})
-	if aerr := gatherError(replies); aerr != nil {
+	if ex.allowPartial {
+		// Keep the 2xx subset; shard failures join the missing set. A 400
+		// is the caller's bug — every shard would reject it — so partial
+		// tolerance does not absorb it.
+		var healthyGroups []shardGroup
+		var healthyReplies []shardReply
+		for i := range replies {
+			rep := &replies[i]
+			if rep.err == nil && rep.status >= 200 && rep.status < 300 {
+				healthyGroups = append(healthyGroups, groups[i])
+				healthyReplies = append(healthyReplies, *rep)
+				continue
+			}
+			if rep.err == nil && rep.status == http.StatusBadRequest {
+				return nil, 0, rep.apiError()
+			}
+			missing = append(missing, groups[i])
+		}
+		if len(healthyGroups) == 0 {
+			return nil, 0, gatherError(replies)
+		}
+		groups, replies = healthyGroups, healthyReplies
+	} else if aerr := gatherError(replies); aerr != nil {
 		return nil, 0, aerr
 	}
 	parts := make([]*api.QueryResponse, len(replies))
@@ -342,6 +459,22 @@ func (r *Router) routeV1(ex *routedExec) (*api.QueryResponse, int, *api.Error) {
 	if err != nil {
 		r.upstreamErrs.Add(1)
 		return nil, 0, api.Errorf(api.CodeUnavailable, "%v", err)
+	}
+	if len(missing) > 0 {
+		// Only reachable with allowPartial (the strict path errored out
+		// above). The marker names exactly what the answer lacks; the
+		// echoed watermark vector already covers only the answering
+		// streams, so verification against a direct execution of the
+		// healthy subset still holds bit-exactly.
+		sort.Slice(missing, func(i, j int) bool { return missing[i].spec.Name < missing[j].spec.Name })
+		pi := &api.PartialInfo{}
+		for _, m := range missing {
+			pi.MissingShards = append(pi.MissingShards, m.spec.Name)
+			pi.MissingStreams = append(pi.MissingStreams, m.streams...)
+		}
+		sort.Strings(pi.MissingStreams)
+		merged.Partial = pi
+		r.partials.Add(1)
 	}
 	if ex.ranked {
 		full := merged.Items
@@ -566,13 +699,17 @@ type Stats struct {
 	PlanQueries int64   `json:"plan_queries"`
 	// LegacyRequests counts requests arriving through the deprecated
 	// /query and /plan shims.
-	LegacyRequests int64         `json:"legacy_requests"`
-	ShardRequests  int64         `json:"shard_requests"`
-	Rejected       int64         `json:"rejected"`
-	Unavailable    int64         `json:"unavailable"`
-	ClientErrors   int64         `json:"client_errors"`
-	UpstreamErrors int64         `json:"upstream_errors"`
-	Shards         []ShardStatus `json:"shards"`
+	LegacyRequests int64 `json:"legacy_requests"`
+	ShardRequests  int64 `json:"shard_requests"`
+	// ShardRetries counts retried shard sub-requests; PartialResponses
+	// counts answers returned degraded under allow_partial.
+	ShardRetries     int64         `json:"shard_retries"`
+	PartialResponses int64         `json:"partial_responses"`
+	Rejected         int64         `json:"rejected"`
+	Unavailable      int64         `json:"unavailable"`
+	ClientErrors     int64         `json:"client_errors"`
+	UpstreamErrors   int64         `json:"upstream_errors"`
+	Shards           []ShardStatus `json:"shards"`
 }
 
 // Snapshot returns the router's counters and shard view (also served at
@@ -583,16 +720,18 @@ func (r *Router) Snapshot() Stats {
 		uptime = time.Since(time.Unix(0, ns)).Seconds()
 	}
 	st := Stats{
-		UptimeSec:      uptime,
-		Ready:          r.ready.Load(),
-		Queries:        r.queries.Load(),
-		PlanQueries:    r.planQueries.Load(),
-		LegacyRequests: r.legacyReqs.Load(),
-		ShardRequests:  r.shardReqs.Load(),
-		Rejected:       r.rejected.Load(),
-		Unavailable:    r.unavailable.Load(),
-		ClientErrors:   r.clientErrs.Load(),
-		UpstreamErrors: r.upstreamErrs.Load(),
+		UptimeSec:        uptime,
+		Ready:            r.ready.Load(),
+		Queries:          r.queries.Load(),
+		PlanQueries:      r.planQueries.Load(),
+		LegacyRequests:   r.legacyReqs.Load(),
+		ShardRequests:    r.shardReqs.Load(),
+		ShardRetries:     r.shardRetried.Load(),
+		PartialResponses: r.partials.Load(),
+		Rejected:         r.rejected.Load(),
+		Unavailable:      r.unavailable.Load(),
+		ClientErrors:     r.clientErrs.Load(),
+		UpstreamErrors:   r.upstreamErrs.Load(),
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()

@@ -55,6 +55,21 @@ type Config struct {
 	// (placement_ok per shard) but routing follows what shards actually
 	// serve.
 	StrictPlacement bool
+	// ShardRetries is how many times one failed shard sub-request is
+	// retried before the failure is gathered — transient shapes only:
+	// transport errors, structured "unavailable"/"not_ready", and
+	// overloaded 429s (honoring Retry-After). Default 2; negative disables
+	// retries.
+	ShardRetries int
+	// ShardBackoff is the base wait between sub-request retries; it
+	// doubles per attempt (capped) with jitter. Default 50ms.
+	ShardBackoff time.Duration
+	// ProbationPolls is how many consecutive healthy health-poll rounds a
+	// down shard must pass before it rejoins rotation. Re-entry through
+	// probation keeps a flapping shard from thrashing queries: one lucky
+	// poll is not recovery. Default 3; 1 readmits on the first healthy
+	// poll.
+	ProbationPolls int
 	// Client overrides the proxy HTTP client (tests inject one); nil builds
 	// a client with Timeout.
 	Client *http.Client
@@ -66,6 +81,18 @@ func (c *Config) applyDefaults() {
 	}
 	if c.Timeout <= 0 {
 		c.Timeout = 30 * time.Second
+	}
+	if c.ShardRetries == 0 {
+		c.ShardRetries = 2
+	}
+	if c.ShardRetries < 0 {
+		c.ShardRetries = 0
+	}
+	if c.ShardBackoff <= 0 {
+		c.ShardBackoff = 50 * time.Millisecond
+	}
+	if c.ProbationPolls <= 0 {
+		c.ProbationPolls = 3
 	}
 }
 
@@ -79,6 +106,12 @@ const (
 	// StateDown means unreachable or not ready; queries touching its
 	// streams fail with 503.
 	StateDown = "down"
+	// StateProbation is the re-entry gate between down and healthy: the
+	// shard is answering health polls again but has not yet passed
+	// Config.ProbationPolls consecutive rounds. It is not routed to (its
+	// streams fail like a down shard's, or are dropped by allow_partial),
+	// but its ownership and watermarks refresh normally.
+	StateProbation = "probation"
 )
 
 // shardState is the router's view of one backend, refreshed by the poller.
@@ -92,6 +125,14 @@ type shardState struct {
 	streams     []string
 	watermarks  map[string]float64
 	placementOK bool
+	// polled is false until the first health poll: the very first healthy
+	// observation readmits directly (there is no outage to be suspicious
+	// of), so Start's discovery round does not boot every shard into
+	// probation.
+	polled bool
+	// healthyStreak counts consecutive healthy polls since the last
+	// non-healthy one — the probation exit condition.
+	healthyStreak int
 }
 
 // Router is the scatter-gather front tier. Create with New, then Start to
@@ -117,6 +158,8 @@ type Router struct {
 	planQueries  atomic.Int64
 	legacyReqs   atomic.Int64
 	shardReqs    atomic.Int64
+	shardRetried atomic.Int64
+	partials     atomic.Int64
 	rejected     atomic.Int64
 	unavailable  atomic.Int64
 	clientErrs   atomic.Int64
@@ -266,7 +309,25 @@ func (r *Router) refresh() {
 	for i, spec := range specs {
 		sh := r.shards[spec.Name]
 		p := results[i]
-		sh.state, sh.lastErr = p.state, p.lastErr
+		switch {
+		case p.state != StateHealthy:
+			sh.healthyStreak = 0
+			sh.state, sh.lastErr = p.state, p.lastErr
+		default:
+			sh.healthyStreak++
+			// A shard seen down (or mid-probation) must string together
+			// ProbationPolls healthy rounds before it is routed to again;
+			// a shard that was already healthy — or never observed at all —
+			// readmits directly.
+			if !sh.polled || sh.state == StateHealthy || sh.healthyStreak >= r.cfg.ProbationPolls {
+				sh.state, sh.lastErr = StateHealthy, ""
+			} else {
+				sh.state = StateProbation
+				sh.lastErr = fmt.Sprintf("in probation: %d/%d consecutive healthy polls",
+					sh.healthyStreak, r.cfg.ProbationPolls)
+			}
+		}
+		sh.polled = true
 		if p.state != StateDown {
 			sh.streams, sh.watermarks = p.streams, p.watermarks
 			sh.placementOK = true

@@ -486,8 +486,35 @@ func TestRouterPartialFailure(t *testing.T) {
 	if _, resp := c.getQuery("class=car&streams=auburn_c"); resp.StatusCode != http.StatusOK {
 		t.Fatalf("query on the healthy shard during drain: status %d", resp.StatusCode)
 	}
-	if _, err := c.queryV1(&api.QueryRequest{Expr: "car", Streams: []string{"auburn_c"}}); err != nil {
+	healthyOnly, err := c.queryV1(&api.QueryRequest{Expr: "car", Streams: []string{"auburn_c"}})
+	if err != nil {
 		t.Fatalf("v1 query on the healthy shard during drain: %v", err)
+	}
+	if healthyOnly.Partial != nil {
+		t.Fatal("complete answer carries a partial marker")
+	}
+
+	// allow_partial opts into the degraded answer: the healthy shard's
+	// merged result, explicitly marked with what is missing — and
+	// bit-identical to the same query asked of the healthy subset alone.
+	partial, err := c.queryV1(&api.QueryRequest{Expr: "car", AllowPartial: true})
+	if err != nil {
+		t.Fatalf("allow_partial query during drain: %v", err)
+	}
+	if partial.Partial == nil {
+		t.Fatal("allow_partial answer with a drained shard carries no partial marker")
+	}
+	if !reflect.DeepEqual(partial.Partial.MissingShards, []string{"shard-1"}) ||
+		!reflect.DeepEqual(partial.Partial.MissingStreams, []string{"jacksonh"}) {
+		t.Fatalf("partial marker = %+v, want shard-1/jacksonh", partial.Partial)
+	}
+	if _, ok := partial.Watermarks["jacksonh"]; ok {
+		t.Fatal("partial answer's watermark vector covers a missing stream")
+	}
+	if !reflect.DeepEqual(partial.Streams, healthyOnly.Streams) ||
+		partial.TotalFrames != healthyOnly.TotalFrames {
+		t.Fatalf("partial answer diverges from the healthy-subset execution:\npartial: %+v\nsubset:  %+v",
+			partial.Streams, healthyOnly.Streams)
 	}
 	if _, presp := c.postPlan(map[string]any{"expr": "car & person"}); presp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("plan touching a draining shard: status %d, want 503", presp.StatusCode)

@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// This file publishes the data directory's MANIFEST.json: a small, human-
+// and tool-readable summary of what durable state the directory holds, so
+// an operator staring at a recovered disk (or a runbook step, see
+// OPERATIONS.md §10) can tell what a cold start will restore without
+// decoding the store. The manifest is advisory — restore correctness comes
+// from the store's own commit protocol — but it is published with the same
+// discipline (temp file + fsync + atomic rename) so it is never observed
+// half-written, even across a crash mid-publish.
+
+// ManifestName is the file name published inside the data directory.
+const ManifestName = "MANIFEST.json"
+
+// Manifest is the MANIFEST.json schema.
+type Manifest struct {
+	// Version is the manifest schema version (currently 1).
+	Version int `json:"version"`
+	// Store is the store file's name within the data directory.
+	Store string `json:"store"`
+	// WindowSec is the configured ingest horizon.
+	WindowSec float64 `json:"window_sec"`
+	// UpdatedUnix is when this manifest was published (unix seconds).
+	UpdatedUnix int64 `json:"updated_unix"`
+	// Streams summarizes each stream's last durable checkpoint.
+	Streams map[string]ManifestStream `json:"streams"`
+}
+
+// ManifestStream is one stream's entry.
+type ManifestStream struct {
+	// Watermark is the stream's watermark as of the last checkpoint: the
+	// horizon a cold start restores to before replaying the tail.
+	Watermark float64 `json:"watermark"`
+	// Done marks a completed window (cold start restores the finished
+	// index; no replay).
+	Done bool `json:"done"`
+	// Restored marks a stream this process itself cold-started from a
+	// checkpoint rather than ingesting from scratch.
+	Restored bool `json:"restored,omitempty"`
+}
+
+// publishManifest atomically replaces dir/MANIFEST.json. The temp file is
+// fsynced before the rename and the directory after it, so the rename is
+// durable: after a crash the directory holds either the old manifest or
+// the new one, never a torn mix.
+func publishManifest(dir string, m Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("serve: encoding manifest: %w", err)
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(dir, ".manifest-*")
+	if err != nil {
+		return fmt.Errorf("serve: publishing manifest: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: publishing manifest: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: publishing manifest: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("serve: publishing manifest: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, ManifestName)); err != nil {
+		return fmt.Errorf("serve: publishing manifest: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// ReadManifest loads dir/MANIFEST.json. Operators and harnesses use it;
+// the server itself only writes.
+func ReadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("serve: decoding manifest: %w", err)
+	}
+	return &m, nil
+}
+
+// publishManifestLocked snapshots every stream's checkpoint standing and
+// publishes it. Serialized because several ingester goroutines checkpoint
+// independently; the manifest is whole-directory state.
+func (s *Server) publishManifestNow() {
+	if s.cfg.DataDir == "" {
+		return
+	}
+	s.manifestMu.Lock()
+	defer s.manifestMu.Unlock()
+	m := Manifest{
+		Version:     1,
+		Store:       s.cfg.StoreName,
+		WindowSec:   s.cfg.Window.DurationSec,
+		UpdatedUnix: time.Now().Unix(),
+		Streams:     make(map[string]ManifestStream),
+	}
+	for _, sess := range s.sys.Sessions() {
+		name := sess.Name()
+		s.checkpointMu.Lock()
+		entry := s.checkpointed[name]
+		s.checkpointMu.Unlock()
+		m.Streams[name] = entry
+	}
+	if err := publishManifest(s.cfg.DataDir, m); err != nil {
+		s.checkpointErrs.Add(1)
+	}
+}

@@ -1,0 +1,138 @@
+package serve_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"focus"
+	"focus/api"
+	"focus/client"
+	"focus/internal/serve"
+)
+
+// TestRestartRestoresFromCheckpoint is the serve-level crash-recovery
+// contract, end to end over HTTP: a durable service that dies mid-ingest
+// (store abandoned unsynced — the in-process SIGKILL) must cold-start from
+// its latest checkpoint instead of re-tuning, publish an updated manifest,
+// and answer a query pinned at a pre-crash watermark bit-identically to
+// the answer the dead process served.
+func TestRestartRestoresFromCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	fcfg := focus.Config{
+		Seed:        1,
+		StorePath:   filepath.Join(dir, "focus.kv"),
+		Targets:     focus.Targets{Recall: 0.7, Precision: 0.7},
+		TuneOptions: serve.QuickTuneOptions(),
+	}
+	scfg := serve.Config{
+		Window:         focus.GenOptions{DurationSec: 60, SampleEvery: 1},
+		TuneWindow:     focus.GenOptions{DurationSec: 20, SampleEvery: 1},
+		ChunkSec:       5,
+		IngestInterval: 50 * time.Millisecond,
+		DataDir:        dir,
+		StoreName:      "focus.kv",
+	}
+
+	boot := func() (*focus.System, *serve.Server) {
+		sys, err := focus.New(fcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.AddTable1Stream("auburn_c"); err != nil {
+			t.Fatal(err)
+		}
+		srv := serve.New(sys, scfg)
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return sys, srv
+	}
+
+	sys1, srv1 := boot()
+	ts1 := httptest.NewServer(srv1.Handler())
+	cli1 := client.New(ts1.URL, client.WithRetries(0, 0))
+
+	// Let the background ingester seal a few chunks, then capture the
+	// answer the live process serves at its current watermark.
+	waitFor(t, 20*time.Second, func() bool {
+		return srv1.Snapshot().Watermarks["auburn_c"] >= 15
+	})
+	pre, err := cli1.Query(context.Background(), &api.QueryRequest{Expr: "car"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv1.Snapshot().Checkpoints == 0 {
+		t.Fatal("no checkpoints were taken before the crash")
+	}
+
+	// Crash: abandon the store (no flush, no sync), sever the listener.
+	// The graceful Stop only reaps the ingest goroutines; its
+	// checkpoint-on-stop fails against the dead store by design.
+	if err := sys1.Abandon(); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	srv1.Stop()
+
+	// Cold start on the same store: Start must restore, not re-tune.
+	sys2, srv2 := boot()
+	defer sys2.Close()
+	defer srv2.Stop()
+	snap := srv2.Snapshot()
+	if snap.RestoredStreams != 1 {
+		t.Fatalf("restarted serve restored %d streams, want 1", snap.RestoredStreams)
+	}
+	m, err := serve.ReadManifest(dir)
+	if err != nil {
+		t.Fatalf("no manifest after restart: %v", err)
+	}
+	if ms, ok := m.Streams["auburn_c"]; !ok || !ms.Restored {
+		t.Fatalf("manifest does not mark auburn_c restored: %+v", m.Streams)
+	}
+
+	// The pre-crash answer must be reproducible at its pinned vector. The
+	// replayed ingest tail may still be catching up to that horizon, so
+	// pin_ahead is retried.
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	cli2 := client.New(ts2.URL, client.WithRetries(0, 0))
+	var post *api.QueryResponse
+	waitFor(t, 30*time.Second, func() bool {
+		post, err = cli2.Query(context.Background(),
+			&api.QueryRequest{Expr: pre.Expr, At: pre.Watermarks})
+		if api.IsCode(err, api.CodePinAhead) {
+			return false
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return true
+	})
+	if post.TotalFrames != pre.TotalFrames ||
+		!reflect.DeepEqual(post.Watermarks, pre.Watermarks) {
+		t.Fatalf("post-recovery answer drifted: pre %d frames @%v, post %d frames @%v",
+			pre.TotalFrames, pre.Watermarks, post.TotalFrames, post.Watermarks)
+	}
+	for name, sp := range pre.Streams {
+		sq := post.Streams[name]
+		if sq == nil || !reflect.DeepEqual(sp.Frames, sq.Frames) ||
+			!reflect.DeepEqual(sp.Segments, sq.Segments) {
+			t.Fatalf("stream %s answer drifted across the crash: pre %v, post %v", name, sp, sq)
+		}
+	}
+}
+
+func waitFor(t testing.TB, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

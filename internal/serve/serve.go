@@ -90,6 +90,20 @@ type Config struct {
 	// watermark by hand (Session.AdvanceLive). Tests use it to make cache
 	// hit/miss sequences deterministic.
 	NoBackgroundIngest bool
+	// CheckpointEvery checkpoints each stream's live ingestion every N
+	// ingest chunks (plus one final checkpoint when its window completes).
+	// 0 defaults to 1 — every chunk; negative disables checkpointing.
+	// Effective only when the system has a persistent store.
+	CheckpointEvery int
+	// DataDir, when set, is the durable data directory: MANIFEST.json is
+	// published there (atomically) after startup and after every
+	// checkpoint round. The store file itself is placed by the caller
+	// (focus.Config.StorePath); StoreName names it inside the manifest.
+	DataDir   string
+	StoreName string
+	// Fault arms the fault-injection middleware (see FaultConfig). The
+	// zero value injects nothing; production deployments leave it zero.
+	Fault FaultConfig
 }
 
 func (c *Config) applyDefaults() {
@@ -114,6 +128,9 @@ func (c *Config) applyDefaults() {
 	if c.CacheShards <= 0 {
 		c.CacheShards = 16
 	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 1
+	}
 }
 
 // Server is the resident query service.
@@ -124,6 +141,7 @@ type Server struct {
 	limiter *parallel.Limiter
 	cache   *resultCache
 	mux     *http.ServeMux
+	handler http.Handler
 
 	ready atomic.Bool
 	// draining rejects new query work with the structured "draining" error
@@ -138,6 +156,12 @@ type Server struct {
 	stopped   sync.Once
 	wg        sync.WaitGroup
 
+	// checkpointed tracks each stream's last durable checkpoint (for the
+	// manifest); manifestMu serializes whole-manifest publishes.
+	checkpointMu sync.Mutex
+	checkpointed map[string]ManifestStream
+	manifestMu   sync.Mutex
+
 	// counters
 	queries     atomic.Int64
 	planQueries atomic.Int64
@@ -148,6 +172,14 @@ type Server struct {
 	clientErrs  atomic.Int64
 	serverErrs  atomic.Int64
 	ingestErrs  atomic.Int64
+	checkpoints atomic.Int64
+	// checkpointErrs counts failed checkpoint rounds and failed manifest
+	// publishes; ingestion continues either way (durability degrades, the
+	// service does not).
+	checkpointErrs  atomic.Int64
+	restoredStreams atomic.Int64
+	faultErrors     atomic.Int64
+	faultBlackholed atomic.Int64
 }
 
 // New builds a server around a system whose streams are already registered
@@ -155,11 +187,12 @@ type Server struct {
 func New(sys *focus.System, cfg Config) *Server {
 	cfg.applyDefaults()
 	s := &Server{
-		sys:     sys,
-		cfg:     cfg,
-		limiter: parallel.NewLimiter(cfg.QueryWorkers, cfg.QueueDepth),
-		cache:   newResultCache(cfg.CacheCapacity, cfg.CacheShards),
-		stopCh:  make(chan struct{}),
+		sys:          sys,
+		cfg:          cfg,
+		limiter:      parallel.NewLimiter(cfg.QueryWorkers, cfg.QueueDepth),
+		cache:        newResultCache(cfg.CacheCapacity, cfg.CacheShards),
+		checkpointed: make(map[string]ManifestStream),
+		stopCh:       make(chan struct{}),
 	}
 	s.mux = http.NewServeMux()
 	// The v1 contract is the primary surface…
@@ -175,6 +208,10 @@ func New(sys *focus.System, cfg Config) *Server {
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/drain", s.handleDrain)
+	s.handler = s.mux
+	if cfg.Fault.Active() {
+		s.handler = newFaultInjector(cfg.Fault, s, s.mux)
+	}
 	return s
 }
 
@@ -185,14 +222,20 @@ func New(sys *focus.System, cfg Config) *Server {
 // the legacy shims and on /healthz, where pre-v1 tooling sniffs it.
 const DrainingHeader = "X-Focus-Draining"
 
-// Handler returns the HTTP handler; callers own the listener and http.Server.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler (fault-injection middleware included,
+// when armed); callers own the listener and http.Server.
+func (s *Server) Handler() http.Handler { return s.handler }
 
-// Start tunes every registered stream (in parallel, if none carries a
-// selection yet), begins live background ingestion on each, and spawns one
-// ingester goroutine per stream — the paper's one-worker-per-stream
-// deployment (§5). It returns once the service is ready; ingestion keeps
-// advancing watermarks until the window is exhausted or Stop is called.
+// Start brings every registered stream live and returns once the service
+// is ready; ingestion keeps advancing watermarks until the window is
+// exhausted or Stop is called. Streams with a durable checkpoint in the
+// system's store cold-start from it (RestoreLive): no re-tune, no
+// re-ingest of the sealed horizon, and answers bit-identical to a process
+// that never crashed — the checkpoint's own window supersedes Config.
+// Window for such streams, since the resumed ingestion must replay the
+// exact stream it checkpointed. Everything else is tuned (in parallel, if
+// no selection is carried yet) and started fresh — the paper's
+// one-worker-per-stream deployment (§5).
 func (s *Server) Start() error {
 	sessions := s.sys.Sessions()
 	if len(sessions) == 0 {
@@ -205,6 +248,23 @@ func (s *Server) Start() error {
 	workers := parallel.StreamWorkers(len(sessions), 0)
 	err := parallel.ForEach(workers, len(sessions), func(i int) error {
 		sess := sessions[i]
+		if s.sys.Persistent() && sess.HasLiveCheckpoint() {
+			restored, err := sess.RestoreLive()
+			if err != nil {
+				return fmt.Errorf("serve: restoring %q from checkpoint: %w", sess.Name(), err)
+			}
+			if restored {
+				s.restoredStreams.Add(1)
+				s.checkpointMu.Lock()
+				s.checkpointed[sess.Name()] = ManifestStream{
+					Watermark: sess.Watermark(),
+					Done:      sess.LiveDone(),
+					Restored:  true,
+				}
+				s.checkpointMu.Unlock()
+				return nil
+			}
+		}
 		if sess.Selection() == nil {
 			if err := sess.Tune(tuneWindow); err != nil {
 				return fmt.Errorf("serve: tuning %q: %w", sess.Name(), err)
@@ -219,6 +279,7 @@ func (s *Server) Start() error {
 		return err
 	}
 	s.startedNS.Store(time.Now().UnixNano())
+	s.publishManifestNow()
 	if !s.cfg.NoBackgroundIngest {
 		for _, sess := range sessions {
 			s.wg.Add(1)
@@ -273,13 +334,24 @@ func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
 }
 
 // ingestLoop advances one stream's live ingestion chunk by chunk until the
-// window is exhausted or the server stops.
+// window is exhausted or the server stops, checkpointing on the configured
+// cadence. The loop is the session's ingester goroutine — the one vantage
+// from which CheckpointLive is legal (the worker is quiescent between
+// AdvanceLive calls).
 func (s *Server) ingestLoop(sess *focus.Session) {
 	defer s.wg.Done()
 	next := s.cfg.ChunkSec
+	ckpt := s.sys.Persistent() && s.cfg.CheckpointEvery > 0
+	rounds := 0
 	for {
 		select {
 		case <-s.stopCh:
+			// A deliberate stop is the moment durability pays: checkpoint
+			// the frozen horizon so the next boot resumes here instead of
+			// re-ingesting the window.
+			if ckpt {
+				s.checkpointStream(sess)
+			}
 			sess.StopLive()
 			return
 		default:
@@ -291,19 +363,50 @@ func (s *Server) ingestLoop(sess *focus.Session) {
 			s.ingestErrs.Add(1)
 			return
 		}
+		rounds++
 		if sess.LiveDone() {
+			// Final checkpoint regardless of cadence: it carries the
+			// finished index, so a restart serves it without any replay.
+			if ckpt {
+				s.checkpointStream(sess)
+			}
 			return
+		}
+		if ckpt && rounds%s.cfg.CheckpointEvery == 0 {
+			s.checkpointStream(sess)
 		}
 		next = wm + s.cfg.ChunkSec
 		if s.cfg.IngestInterval > 0 {
 			select {
 			case <-s.stopCh:
+				if ckpt {
+					s.checkpointStream(sess)
+				}
 				sess.StopLive()
 				return
 			case <-time.After(s.cfg.IngestInterval):
 			}
 		}
 	}
+}
+
+// checkpointStream runs one durable checkpoint round for the stream and
+// republishes the manifest. Failures are counted, not fatal: the service
+// keeps ingesting and serving at full consistency; only crash-recovery
+// freshness degrades (the next cold start replays a longer tail).
+func (s *Server) checkpointStream(sess *focus.Session) {
+	if err := sess.CheckpointLive(); err != nil {
+		s.checkpointErrs.Add(1)
+		return
+	}
+	s.checkpoints.Add(1)
+	s.checkpointMu.Lock()
+	entry := s.checkpointed[sess.Name()]
+	entry.Watermark = sess.Watermark()
+	entry.Done = sess.LiveDone()
+	s.checkpointed[sess.Name()] = entry
+	s.checkpointMu.Unlock()
+	s.publishManifestNow()
 }
 
 // IngestDone reports whether every stream has ingested its whole window.
@@ -410,20 +513,31 @@ type Stats struct {
 	PlanQueries int64   `json:"plan_queries"`
 	// LegacyRequests counts requests arriving through the deprecated
 	// /query and /plan shims — the operator's client-migration gauge.
-	LegacyRequests int64              `json:"legacy_requests"`
-	CacheHits      int64              `json:"cache_hits"`
-	CacheMisses    int64              `json:"cache_misses"`
-	CacheEntries   int                `json:"cache_entries"`
-	Rejected       int64              `json:"rejected"`
-	ClientErrors   int64              `json:"client_errors"`
-	ServerErrors   int64              `json:"server_errors"`
-	IngestErrors   int64              `json:"ingest_errors"`
-	InFlight       int                `json:"in_flight"`
-	Waiting        int                `json:"waiting"`
-	Watermarks     map[string]float64 `json:"watermarks"`
-	IngestGPUMS    float64            `json:"ingest_gpu_ms"`
-	QueryGPUMS     float64            `json:"query_gpu_ms"`
-	QueryGPUOps    int64              `json:"query_gpu_ops"`
+	LegacyRequests int64 `json:"legacy_requests"`
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheEntries   int   `json:"cache_entries"`
+	Rejected       int64 `json:"rejected"`
+	ClientErrors   int64 `json:"client_errors"`
+	ServerErrors   int64 `json:"server_errors"`
+	IngestErrors   int64 `json:"ingest_errors"`
+	// Checkpoints counts durable checkpoint rounds; CheckpointErrors
+	// failed rounds (including manifest publish failures);
+	// RestoredStreams how many streams this process cold-started from a
+	// checkpoint rather than ingesting from scratch.
+	Checkpoints      int64 `json:"checkpoints"`
+	CheckpointErrors int64 `json:"checkpoint_errors"`
+	RestoredStreams  int64 `json:"restored_streams"`
+	// FaultErrors and FaultBlackholed count injected failures (zero
+	// unless the fault-injection middleware is armed).
+	FaultErrors     int64              `json:"fault_errors"`
+	FaultBlackholed int64              `json:"fault_blackholed"`
+	InFlight        int                `json:"in_flight"`
+	Waiting         int                `json:"waiting"`
+	Watermarks      map[string]float64 `json:"watermarks"`
+	IngestGPUMS     float64            `json:"ingest_gpu_ms"`
+	QueryGPUMS      float64            `json:"query_gpu_ms"`
+	QueryGPUOps     int64              `json:"query_gpu_ops"`
 }
 
 // Snapshot returns the server's current counters (also served at /stats).
@@ -434,25 +548,30 @@ func (s *Server) Snapshot() Stats {
 		uptime = time.Since(time.Unix(0, ns)).Seconds()
 	}
 	return Stats{
-		UptimeSec:      uptime,
-		Ready:          s.ready.Load(),
-		Draining:       s.draining.Load(),
-		Queries:        s.queries.Load(),
-		PlanQueries:    s.planQueries.Load(),
-		LegacyRequests: s.legacyReqs.Load(),
-		CacheHits:      s.cacheHits.Load(),
-		CacheMisses:    s.cacheMisses.Load(),
-		CacheEntries:   s.cache.len(),
-		Rejected:       s.rejected.Load(),
-		ClientErrors:   s.clientErrs.Load(),
-		ServerErrors:   s.serverErrs.Load(),
-		IngestErrors:   s.ingestErrs.Load(),
-		InFlight:       s.limiter.InFlight(),
-		Waiting:        s.limiter.Waiting(),
-		Watermarks:     s.sys.Watermarks(),
-		IngestGPUMS:    meter.IngestMS,
-		QueryGPUMS:     meter.QueryMS,
-		QueryGPUOps:    meter.QueryOps,
+		UptimeSec:        uptime,
+		Ready:            s.ready.Load(),
+		Draining:         s.draining.Load(),
+		Queries:          s.queries.Load(),
+		PlanQueries:      s.planQueries.Load(),
+		LegacyRequests:   s.legacyReqs.Load(),
+		CacheHits:        s.cacheHits.Load(),
+		CacheMisses:      s.cacheMisses.Load(),
+		CacheEntries:     s.cache.len(),
+		Rejected:         s.rejected.Load(),
+		ClientErrors:     s.clientErrs.Load(),
+		ServerErrors:     s.serverErrs.Load(),
+		IngestErrors:     s.ingestErrs.Load(),
+		Checkpoints:      s.checkpoints.Load(),
+		CheckpointErrors: s.checkpointErrs.Load(),
+		RestoredStreams:  s.restoredStreams.Load(),
+		FaultErrors:      s.faultErrors.Load(),
+		FaultBlackholed:  s.faultBlackholed.Load(),
+		InFlight:         s.limiter.InFlight(),
+		Waiting:          s.limiter.Waiting(),
+		Watermarks:       s.sys.Watermarks(),
+		IngestGPUMS:      meter.IngestMS,
+		QueryGPUMS:       meter.QueryMS,
+		QueryGPUOps:      meter.QueryOps,
 	}
 }
 

@@ -304,9 +304,19 @@ func (s *Server) countV1Error(e *api.Error) {
 	// limiter path and this path cannot double-count.
 }
 
+// overloadedRetryAfter is the Retry-After hint sent with admission-control
+// rejections, in seconds. One second comfortably outlasts a queue-depth
+// burst; the client's jittered backoff spreads the comeback regardless.
+const overloadedRetryAfter = "1"
+
 // writeV1Error writes the structured error envelope at the code's status.
+// Overload rejections carry a Retry-After header so well-behaved clients
+// (including this repo's client package) come back on the server's terms.
 func (s *Server) writeV1Error(w http.ResponseWriter, e *api.Error) {
 	s.countV1Error(e)
+	if e.Code == api.CodeOverloaded {
+		w.Header().Set("Retry-After", overloadedRetryAfter)
+	}
 	writeJSON(w, e.HTTPStatus(), api.Envelope{Err: e})
 }
 

@@ -54,6 +54,10 @@ type liveState struct {
 	// done is guarded by the session mutex: the ingester sets it, any
 	// goroutine may observe it through Session.LiveDone.
 	done bool
+	// savedID is the index cluster-ID high-water mark of the last completed
+	// checkpoint round; only the ingester goroutine (CheckpointLive) touches
+	// it after StartLive/RestoreLive.
+	savedID index.ClusterID
 }
 
 // Stream exposes the underlying synthetic stream.
@@ -227,6 +231,11 @@ func (sess *Session) Ingest(opts GenOptions) error {
 	if sess.sys.cfg.StorePath != "" {
 		if err := ix.Save(sess.sys.store); err != nil {
 			return fmt.Errorf("focus: persisting index: %w", err)
+		}
+		// A full save supersedes any live checkpoint; leaving the snapshot
+		// record behind would make a later cold start resurrect stale state.
+		if err := sess.clearLiveCheckpoint(); err != nil {
+			return fmt.Errorf("focus: clearing stale checkpoint: %w", err)
 		}
 	}
 	return nil
