@@ -35,6 +35,10 @@ type Cursor struct {
 	At WatermarkVector `json:"at"`
 	// Offset is the index of the first item of the next page.
 	Offset int `json:"offset"`
+	// Form is the response form the continued read pages: FormTracks for
+	// a temporal (tracks-form) execution, empty for ranked — tokens
+	// minted before the tracks form existed decode as ranked.
+	Form string `json:"form,omitempty"`
 }
 
 // cursorPrefix versions the token format so a future format change can be
@@ -84,6 +88,9 @@ func DecodeCursor(token string) (*Cursor, error) {
 	if c.TopK < 0 || c.Kx < 0 || c.MaxClusters < 0 || c.Start < 0 || c.End < 0 {
 		return nil, fmt.Errorf("bad cursor: negative option")
 	}
+	if c.Form != "" && c.Form != FormTracks {
+		return nil, fmt.Errorf("bad cursor: unknown form %q", c.Form)
+	}
 	return &c, nil
 }
 
@@ -132,4 +139,17 @@ func PageItems(items []Item, limit, offset int) []Item {
 		items = items[:limit]
 	}
 	return items
+}
+
+// PageTracks is PageItems for the tracks form: same slicing, same non-nil
+// guarantee, shared by the serve layer and the router.
+func PageTracks(tracks []TrackItem, limit, offset int) []TrackItem {
+	if offset >= len(tracks) {
+		return []TrackItem{}
+	}
+	tracks = tracks[offset:]
+	if limit > 0 && limit < len(tracks) {
+		tracks = tracks[:limit]
+	}
+	return tracks
 }

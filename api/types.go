@@ -37,10 +37,12 @@ type QueryRequest struct {
 	// query's target set are rejected with code bad_request.
 	At WatermarkVector `json:"at,omitempty"`
 	// Form optionally forces the response form. Empty picks the natural
-	// form (frames for a bare one-leaf request, ranked otherwise);
-	// FormRanked forces the ranked form for one-leaf requests too. The
-	// frames form cannot be forced — it only exists for bare one-leaf
-	// plans.
+	// form (frames for a bare one-leaf request, tracks for a temporal
+	// expression, ranked otherwise); FormRanked forces the ranked form
+	// for one-leaf requests too. The frames form cannot be forced — it
+	// only exists for bare one-leaf plans — and the tracks form cannot be
+	// forced onto boolean expressions (nor ranked onto temporal ones):
+	// the expression's shape decides between ranked and tracks.
 	Form string `json:"form,omitempty"`
 	// AllowPartial opts into degraded answers from a sharded deployment:
 	// when some shards are unreachable, the router returns the healthy
@@ -61,6 +63,11 @@ const (
 	// (no TopK, no Limit, no Cursor) is answered in: per-stream frames,
 	// segments, and cluster/cost counters.
 	FormFrames = "frames"
+	// FormTracks is the temporal form: expressions containing a temporal
+	// operator (seq, within, dur, region, vel) are answered with ranked
+	// object tracks instead of frames, pageable via Cursor like the
+	// ranked form.
+	FormTracks = "tracks"
 )
 
 // QueryResponse is the POST /v1/query payload. Form tells the two shapes
@@ -94,6 +101,10 @@ type QueryResponse struct {
 	// TotalFrames counts returned frames across streams; frames form only.
 	TotalFrames int `json:"total_frames,omitempty"`
 
+	// Tracks is the (page of the) ranked track result; tracks form only.
+	// TotalItems and Cursor page it exactly as they page Items.
+	Tracks []TrackItem `json:"tracks,omitempty"`
+
 	// TopK, Kx, Start, End and MaxClusters echo the executed options.
 	TopK        int     `json:"top_k,omitempty"`
 	Kx          int     `json:"kx,omitempty"`
@@ -123,6 +134,27 @@ type PartialInfo struct {
 	MissingShards []string `json:"missing_shards"`
 	// MissingStreams names the requested streams those shards own.
 	MissingStreams []string `json:"missing_streams"`
+}
+
+// TrackItem is one ranked result of a tracks-form response: an object
+// track on a stream with its aggregate class-confidence score.
+type TrackItem struct {
+	// Stream names the stream the track belongs to.
+	Stream string `json:"stream"`
+	// Track is the track's ID within its stream's assembly at the pinned
+	// watermark (dense, deterministic for a given vector).
+	Track int64 `json:"track"`
+	// Object is the physical object the track follows.
+	Object int64 `json:"object"`
+	// StartFrame/EndFrame and StartSec/EndSec bound the track.
+	StartFrame int64   `json:"start_frame"`
+	EndFrame   int64   `json:"end_frame"`
+	StartSec   float64 `json:"start_sec"`
+	EndSec     float64 `json:"end_sec"`
+	// Sightings is the number of detections in the track.
+	Sightings int `json:"sightings"`
+	// Score is the aggregate class confidence the ranking orders by.
+	Score float64 `json:"score"`
 }
 
 // Item is one ranked result of a ranked-form response.

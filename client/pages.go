@@ -79,6 +79,69 @@ func (p *Pager) Next(ctx context.Context) ([]api.Item, error) {
 	return resp.Items, nil
 }
 
+// TrackPager iterates a temporal (tracks-form) query page by page, the
+// tracks mirror of Pager: the first Next issues the seed request, later
+// Next calls follow the cursor, and every page is served from the same
+// execution pinned at the first page's watermark vector.
+type TrackPager struct {
+	c     *Client
+	seed  api.QueryRequest
+	limit int
+	next  string
+	begun bool
+	done  bool
+	last  *api.QueryResponse
+}
+
+// TrackPager starts a paged tracks-form read of req with pages of at most
+// limit tracks. The request's own Limit and Cursor fields are ignored
+// (the pager owns paging); limit must be positive.
+func (c *Client) TrackPager(req *api.QueryRequest, limit int) *TrackPager {
+	return &TrackPager{c: c, seed: *req, limit: limit}
+}
+
+// More reports whether another Next call may yield tracks.
+func (p *TrackPager) More() bool { return !p.done }
+
+// Last returns the most recent page's full response (nil before the first
+// Next), e.g. to read the pinned Watermarks or TotalItems.
+func (p *TrackPager) Last() *api.QueryResponse { return p.last }
+
+// Next fetches the next page of tracks. After the final page (the server
+// returns no continuation cursor), More reports false.
+func (p *TrackPager) Next(ctx context.Context) ([]api.TrackItem, error) {
+	if p.done {
+		return nil, fmt.Errorf("client: Next called after the final page")
+	}
+	if p.limit <= 0 {
+		p.done = true
+		return nil, fmt.Errorf("client: page limit must be positive, got %d", p.limit)
+	}
+	req := api.QueryRequest{Limit: p.limit}
+	if !p.begun {
+		req = p.seed
+		req.Limit, req.Cursor = p.limit, ""
+	} else {
+		req.Cursor = p.next
+	}
+	resp, err := p.c.Query(ctx, &req)
+	if err != nil {
+		p.done = true
+		return nil, err
+	}
+	if resp.Form != api.FormTracks {
+		p.done = true
+		return nil, fmt.Errorf("client: paged track read answered in %q form (track paging needs the tracks form)", resp.Form)
+	}
+	p.begun = true
+	p.last = resp
+	p.next = resp.Cursor
+	if p.next == "" {
+		p.done = true
+	}
+	return resp.Tracks, nil
+}
+
 // CollectPages runs a complete paged read and reassembles it into one
 // response: Items are the concatenated pages, everything else comes from
 // the first page (whose cost counters describe the actual execution —
@@ -120,6 +183,48 @@ func (c *Client) CollectPages(ctx context.Context, req *api.QueryRequest, limit 
 	}
 	assembled := *out
 	assembled.Items = items
+	assembled.Cursor = ""
+	return &assembled, nil
+}
+
+// CollectTrackPages is CollectPages for the tracks form: it runs a
+// complete paged track read, verifies the same cross-page invariants
+// (stable canonical expr, pinned watermark vector, and TotalItems; track
+// count adding up), and reassembles one response directly comparable to
+// the one-shot answer at the pinned vector.
+func (c *Client) CollectTrackPages(ctx context.Context, req *api.QueryRequest, limit int) (*api.QueryResponse, error) {
+	pager := c.TrackPager(req, limit)
+	var out *api.QueryResponse
+	var tracks []api.TrackItem
+	for pager.More() {
+		page, err := pager.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		resp := pager.Last()
+		if out == nil {
+			out = resp
+		} else {
+			if resp.Expr != out.Expr {
+				return nil, fmt.Errorf("client: page changed canonical expr %q -> %q", out.Expr, resp.Expr)
+			}
+			if !reflect.DeepEqual(resp.Watermarks, out.Watermarks) {
+				return nil, fmt.Errorf("client: page changed pinned watermarks %v -> %v", out.Watermarks, resp.Watermarks)
+			}
+			if resp.TotalItems != out.TotalItems {
+				return nil, fmt.Errorf("client: page changed total_items %d -> %d", out.TotalItems, resp.TotalItems)
+			}
+		}
+		tracks = append(tracks, page...)
+	}
+	if out == nil {
+		return nil, fmt.Errorf("client: paged read yielded no pages")
+	}
+	if len(tracks) != out.TotalItems {
+		return nil, fmt.Errorf("client: pages yielded %d tracks, server reported %d", len(tracks), out.TotalItems)
+	}
+	assembled := *out
+	assembled.Tracks = tracks
 	assembled.Cursor = ""
 	return &assembled, nil
 }

@@ -287,6 +287,7 @@ func bootShardedCluster(cfg *loadgen.Config, n int, streams string, window, tune
 	if cfg.VerifyEvery > 0 {
 		cfg.Verifier = loadgen.NewDirectVerifier(refSys)
 		cfg.PlanVerifier = loadgen.NewDirectPlanVerifier(refSys)
+		cfg.TrackVerifier = loadgen.NewDirectTrackVerifier(refSys)
 	}
 
 	if drainAfter > 0 {

@@ -2,8 +2,9 @@
 // focus-router cluster — with deterministic closed-loop load over the v1
 // wire API (through the typed focus/client package): single-class
 // frames-form traffic, optionally mixed with compound ranked plans
-// (-plans/-plan-every), cursor-paged reads (-page-every), and deprecated
-// legacy-shim requests (-legacy-every, covering the migration surface).
+// (-plans/-plan-every), temporal track queries (-tracks/-track-every),
+// cursor-paged reads (-page-every), and deprecated legacy-shim requests
+// (-legacy-every, covering the migration surface).
 // It reports throughput, latency percentiles and error counts, and it is
 // the CI smoke/soak gate:
 //
@@ -76,6 +77,8 @@ func main() {
 	verifyEvery := flag.Int("verify-every", 1, "verify every Nth OK response per client in -boot mode (0 = never)")
 	plans := flag.String("plans", "", "semicolon-separated compound plan expressions mixed into the load (e.g. 'car & person & !bus; car | truck')")
 	planEvery := flag.Int("plan-every", 0, "every Nth request per client is a POST /plan from -plans (0 = never)")
+	tracks := flag.String("tracks", "", "semicolon-separated temporal track expressions mixed into the load (e.g. 'car & dur(5); person & vel(1)')")
+	trackEvery := flag.Int("track-every", 0, "every Nth request per client is a tracks-form query from -tracks (0 = never)")
 	singleStreamEvery := flag.Int("single-stream-every", 0, "every Nth plain query targets one stream instead of the whole corpus (0 = never; -boot-cluster defaults to 3 so healthy shards stay exercised during a drain)")
 	planTopK := flag.Int("plan-top-k", 10, "top_k for plan requests")
 	legacyEvery := flag.Int("legacy-every", 0, "every Nth request per client goes through the deprecated /query or /plan shim instead of /v1/query (0 = v1 only)")
@@ -116,6 +119,7 @@ func main() {
 		VerifyEvery:       *verifyEvery,
 		PlanEvery:         *planEvery,
 		PlanTopK:          *planTopK,
+		TrackEvery:        *trackEvery,
 		SingleStreamEvery: *singleStreamEvery,
 		LegacyEvery:       *legacyEvery,
 		PageEvery:         *pageEvery,
@@ -163,6 +167,11 @@ func main() {
 	for _, expr := range strings.Split(*plans, ";") {
 		if expr = strings.TrimSpace(expr); expr != "" {
 			cfg.Plans = append(cfg.Plans, expr)
+		}
+	}
+	for _, expr := range strings.Split(*tracks, ";") {
+		if expr = strings.TrimSpace(expr); expr != "" {
+			cfg.Tracks = append(cfg.Tracks, expr)
 		}
 	}
 
@@ -310,6 +319,7 @@ func bootService(cfg *loadgen.Config, streams string, window, tuneWindow, chunk 
 	if cfg.VerifyEvery > 0 {
 		cfg.Verifier = loadgen.NewDirectVerifier(sys)
 		cfg.PlanVerifier = loadgen.NewDirectPlanVerifier(sys)
+		cfg.TrackVerifier = loadgen.NewDirectTrackVerifier(sys)
 	}
 	return func() {
 		_ = httpSrv.Close()
@@ -338,6 +348,9 @@ func printReport(r *loadgen.Report) {
 	fmt.Printf("cache hits        %d\n", r.CacheHits)
 	if r.PlanRequests > 0 {
 		fmt.Printf("plan requests     %d (verified: %d, cursor-paged: %d)\n", r.PlanRequests, r.PlanVerified, r.PagedRequests)
+	}
+	if r.TrackRequests > 0 {
+		fmt.Printf("track requests    %d (verified: %d)\n", r.TrackRequests, r.TrackVerified)
 	}
 	if r.LegacyRequests > 0 {
 		fmt.Printf("legacy requests   %d\n", r.LegacyRequests)

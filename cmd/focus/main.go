@@ -14,6 +14,8 @@
 //	focus query   -server http://localhost:7070 -class car [-stream auburn_c]
 //	focus plan    -streams auburn_c,jacksonh -expr 'car & person & !bus' [-top 10] [-page 5]
 //	focus plan    -server http://localhost:7070 -expr 'car & person & !bus' [-top 10] [-page 5]
+//	focus tracks  -streams auburn_c,jacksonh -expr 'car & dur(30)' [-top 10] [-page 5]
+//	focus tracks  -server http://localhost:7070 -expr 'seq(region(0,0,160,720), region(160,0,320,720))'
 //	focus sweep   -stream auburn_c [-duration 240]
 //	focus characterize -stream auburn_c [-duration 240]
 package main
@@ -53,6 +55,8 @@ func main() {
 		err = cmdQuery(os.Args[2:])
 	case "plan":
 		err = cmdPlan(os.Args[2:])
+	case "tracks":
+		err = cmdTracks(os.Args[2:])
 	case "sweep":
 		err = cmdSweep(os.Args[2:])
 	case "characterize":
@@ -79,6 +83,7 @@ commands:
   ingest         tune and ingest a stream window, print the chosen config
   query          answer "find frames with class X" against an ingested stream
   plan           answer a compound query like 'car & person & !bus', ranked and paged
+  tracks         answer a temporal query like 'car & dur(30)' over object tracks
   sweep          print the tuner's Pareto boundary for a stream
   characterize   print a stream's ground-truth characterization`)
 }
@@ -324,6 +329,155 @@ func cmdPlan(args []string) error {
 		fmt.Printf("  %s: verified=%d skipped=%d clusters across %d leaves\n",
 			name, ss.VerifiedClusters, ss.SkippedClusters, len(ss.Leaves))
 	}
+	return nil
+}
+
+func cmdTracks(args []string) error {
+	fs := flag.NewFlagSet("tracks", flag.ExitOnError)
+	streams := fs.String("streams", "auburn_c", "comma-separated Table 1 stream names (with -server, empty = every served stream)")
+	expr := fs.String("expr", "", "temporal predicate, e.g. 'car & dur(30)' or 'person & seq(region(0,0,160,720), region(160,0,320,720))'")
+	top := fs.Int("top", 10, "top-K tracks by aggregate confidence (0 = all)")
+	page := fs.Int("page", 0, "page size: stream results through the paging cursor (0 = one shot)")
+	duration := fs.Float64("duration", 240, "window length in seconds (when re-ingesting)")
+	kx := fs.Int("kx", 0, "per-leaf dynamic Kx cut (0 = indexed K)")
+	maxClusters := fs.Int("max-clusters", 0, "per-leaf retrieval cap")
+	store := fs.String("store", "", "load persisted indexes from this path")
+	server := fs.String("server", "", "base URL of a running focus-serve or focus-router; queries over /v1 instead of the local library")
+	seed := fs.Uint64("seed", 1, "system seed")
+	fs.Parse(args)
+	if *expr == "" {
+		return fmt.Errorf("tracks: -expr is required (e.g. -expr 'car & dur(30)')")
+	}
+
+	if *server != "" {
+		return servedTracks(*server, *streams, *expr, *top, *page, *kx, *maxClusters)
+	}
+
+	sys, err := focus.New(focus.Config{Seed: *seed, StorePath: *store})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	var names []string
+	for _, name := range strings.Split(*streams, ",") {
+		if name = strings.TrimSpace(name); name == "" {
+			continue
+		}
+		names = append(names, name)
+		sess, err := sys.AddTable1Stream(name)
+		if err != nil {
+			return err
+		}
+		if *store != "" {
+			if err := sess.LoadIndex(); err != nil {
+				return fmt.Errorf("loading persisted index (run `focus ingest -store %s` first?): %w", *store, err)
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "no -store given; ingesting %s fresh (this tunes + indexes the stream)\n", name)
+			if err := sess.Ingest(focus.GenOptions{DurationSec: *duration, SampleEvery: 1}); err != nil {
+				return err
+			}
+		}
+	}
+
+	compiled, err := sys.CompileTrackQuery(*expr)
+	if err != nil {
+		return err
+	}
+	opts := focus.TrackOptions{
+		Streams: names,
+		TopK:    *top,
+		Leaf:    focus.QueryOptions{Kx: *kx, MaxClusters: *maxClusters},
+	}
+	fmt.Printf("tracks %s over %s:\n", compiled.Canonical(), strings.Join(names, ","))
+
+	printTracks := func(items []focus.TrackItem, from int) {
+		for i, it := range items {
+			fmt.Printf("  %3d. %-10s track %-4d object %-6d %.1fs..%.1fs (%d sightings)  score %.2f\n",
+				from+i+1, it.Stream, it.Track, it.Object, it.StartSec, it.EndSec, it.Sightings, it.Score)
+		}
+	}
+	if *page > 0 {
+		cur, err := sys.NewTrackCursor(compiled, opts)
+		if err != nil {
+			return err
+		}
+		n := 0
+		for !cur.Done() {
+			items, err := cur.Next(*page)
+			if err != nil {
+				return err
+			}
+			if len(items) > 0 {
+				fmt.Printf("  -- page (%d results) --\n", len(items))
+				printTracks(items, n)
+				n += len(items)
+			}
+		}
+		st := cur.Stats()
+		fmt.Printf("  %d tracks; gt-inferences=%d gpu-time=%.0fms latency=%.0fms\n",
+			n, st.GTInferences, st.GPUTimeMS, st.LatencyMS)
+		return nil
+	}
+	res, err := sys.ExecuteTrackQuery(compiled, opts)
+	if err != nil {
+		return err
+	}
+	printTracks(res.Items, 0)
+	fmt.Printf("  %d tracks; gt-inferences=%d gpu-time=%.0fms latency=%.0fms\n",
+		len(res.Items), res.Stats.GTInferences, res.Stats.GPUTimeMS, res.Stats.LatencyMS)
+	return nil
+}
+
+// servedTracks runs a temporal track query against a live endpoint,
+// one-shot or page by page through the opaque cursor.
+func servedTracks(server, streams, expr string, top, page, kx, maxClusters int) error {
+	req := &api.QueryRequest{
+		Expr:        expr,
+		TopK:        top,
+		Kx:          kx,
+		MaxClusters: maxClusters,
+		Form:        api.FormTracks,
+	}
+	for _, name := range strings.Split(streams, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			req.Streams = append(req.Streams, name)
+		}
+	}
+	cli := client.New(server)
+	printTracks := func(items []api.TrackItem, from int) {
+		for i, it := range items {
+			fmt.Printf("  %3d. %-10s track %-4d object %-6d %.1fs..%.1fs (%d sightings)  score %.2f\n",
+				from+i+1, it.Stream, it.Track, it.Object, it.StartSec, it.EndSec, it.Sightings, it.Score)
+		}
+	}
+	fmt.Printf("tracks %s via %s:\n", expr, server)
+	if page > 0 {
+		pager := cli.TrackPager(req, page)
+		n := 0
+		for pager.More() {
+			items, err := pager.Next(context.Background())
+			if err != nil {
+				return err
+			}
+			if len(items) > 0 {
+				fmt.Printf("  -- page (%d results) --\n", len(items))
+				printTracks(items, n)
+				n += len(items)
+			}
+		}
+		last := pager.Last()
+		fmt.Printf("  %d tracks at vector %v; gt-inferences=%d gpu-time=%.0fms latency=%.0fms\n",
+			n, last.Watermarks, last.GTInferences, last.GPUTimeMS, last.LatencyMS)
+		return nil
+	}
+	resp, err := cli.Query(context.Background(), req)
+	if err != nil {
+		return err
+	}
+	printTracks(resp.Tracks, 0)
+	fmt.Printf("  %d tracks at vector %v; gt-inferences=%d gpu-time=%.0fms latency=%.0fms (cached: %v)\n",
+		resp.TotalItems, resp.Watermarks, resp.GTInferences, resp.GPUTimeMS, resp.LatencyMS, resp.Cached)
 	return nil
 }
 

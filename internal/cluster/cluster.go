@@ -33,6 +33,12 @@ type Member struct {
 	// only by the simulated GT-CNN when the query engine classifies this
 	// member and by evaluation — never by ingest decisions.
 	TrueClass vision.ClassID
+	// BBox is the sighting's bounding box in frame coordinates. The track
+	// layer associates sightings across adjacent frames by bbox overlap
+	// (the same adjacency test ingest uses for pixel-diff deduplication);
+	// spatial leaf predicates (region, velocity) read it too. Old
+	// checkpoints decode with a zero box, which simply never overlaps.
+	BBox video.Rect
 	// Seed is the sighting's deterministic CNN seed material.
 	Seed int64
 }

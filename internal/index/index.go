@@ -234,6 +234,33 @@ func (ix *Index) lookupLocked(c vision.ClassID, kx int) []*ClusterRecord {
 	return out
 }
 
+// ClustersSealedBy returns every cluster record visible at the given
+// watermark, ascending by cluster ID. It follows the MaxSealSec convention
+// used by the query layer: 0 means "everything indexed so far", a negative
+// value means "empty horizon" (no clusters), and a positive value keeps
+// exactly the records with SealSec <= maxSealSec. The track layer assembles
+// tracks from this set, which makes a track population a pure function of
+// the pinned watermark.
+func (ix *Index) ClustersSealedBy(maxSealSec float64) []*ClusterRecord {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if maxSealSec < 0 {
+		return nil
+	}
+	out := make([]*ClusterRecord, 0, len(ix.clusters))
+	for id := ClusterID(0); id < ix.nextID; id++ {
+		rec := ix.clusters[id]
+		if rec == nil {
+			continue
+		}
+		if maxSealSec != 0 && rec.SealSec > maxSealSec {
+			continue
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
 // HasClass reports whether any cluster indexes class c at any rank.
 func (ix *Index) HasClass(c vision.ClassID) bool {
 	ix.mu.RLock()

@@ -234,6 +234,7 @@ func (w *Worker) processSighting(s *video.Sighting) {
 		Frame:     s.Frame,
 		TimeSec:   s.TimeSec,
 		TrueClass: s.TrueClass,
+		BBox:      s.BBox,
 		Seed:      s.Seed,
 	}
 

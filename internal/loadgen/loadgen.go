@@ -4,8 +4,9 @@
 // back-to-back /v1/query requests through the typed focus/client package,
 // with Zipf-skewed class popularity (mirroring the skewed query interest
 // the paper's streams exhibit, §2.2) — single-class (frames-form) traffic
-// optionally mixed with compound ranked plans, cursor-paged reads, and
-// deprecated legacy-shim requests (exercising the migration surface).
+// optionally mixed with compound ranked plans, temporal track queries,
+// cursor-paged reads, and deprecated legacy-shim requests (exercising the
+// migration surface).
 // It records throughput, a latency histogram, and per-status counts.
 // Optional verifiers re-execute sampled responses directly against the
 // owning focus.System at the exact watermark vector the service answered
@@ -101,6 +102,20 @@ type Config struct {
 	// PlanVerifier checks one served ranked-form response; non-nil errors
 	// are recorded as mismatches. See NewDirectPlanVerifier.
 	PlanVerifier func(*api.QueryResponse) error
+	// Tracks is a pool of temporal predicate expressions ("car & dur(5)",
+	// "person & seq(region(...), region(...))") issued as tracks-form
+	// /v1/query requests. Temporal queries have no legacy shim — they are
+	// always issued through /v1.
+	Tracks []string
+	// TrackEvery makes every Nth request per client a track query drawn
+	// deterministically from Tracks (0 = tracks never issued). When a
+	// request lands on both the plan and the track cadence, the plan wins,
+	// so adding track traffic never changes which requests the existing
+	// plan mix issues.
+	TrackEvery int
+	// TrackVerifier checks one served tracks-form response; non-nil errors
+	// are recorded as mismatches. See NewDirectTrackVerifier.
+	TrackVerifier func(*api.QueryResponse) error
 	// LegacyEvery routes every Nth request per client through the
 	// deprecated legacy shims (GET /query or POST /plan) instead of
 	// /v1/query, exercising the migration surface; responses are decoded
@@ -154,8 +169,14 @@ func (c *Config) applyDefaults() error {
 		// path silently stops being exercised while looking configured.
 		return fmt.Errorf("loadgen: Plans given but PlanEvery is 0 — no plan would ever be issued")
 	}
-	if c.PageEvery > 0 && c.PlanEvery <= 0 {
-		return fmt.Errorf("loadgen: PageEvery set but no plan traffic configured (PlanEvery is 0)")
+	if c.TrackEvery > 0 && len(c.Tracks) == 0 {
+		return fmt.Errorf("loadgen: TrackEvery set but no Tracks given")
+	}
+	if len(c.Tracks) > 0 && c.TrackEvery <= 0 {
+		return fmt.Errorf("loadgen: Tracks given but TrackEvery is 0 — no track query would ever be issued")
+	}
+	if c.PageEvery > 0 && c.PlanEvery <= 0 && c.TrackEvery <= 0 {
+		return fmt.Errorf("loadgen: PageEvery set but no plan or track traffic configured")
 	}
 	if c.SingleStreamEvery > 0 && len(c.Streams) == 0 {
 		return fmt.Errorf("loadgen: SingleStreamEvery set but no Streams given")
@@ -193,8 +214,12 @@ type Report struct {
 	// counts plan responses re-executed through PlanVerifier.
 	PlanRequests int `json:"plan_requests"`
 	PlanVerified int `json:"plan_verified"`
+	// TrackRequests counts the tracks-form share of Requests; TrackVerified
+	// counts track responses re-executed through TrackVerifier.
+	TrackRequests int `json:"track_requests"`
+	TrackVerified int `json:"track_verified"`
 	// LegacyRequests counts requests issued through the deprecated shims;
-	// PagedRequests counts cursor-paged plan reads.
+	// PagedRequests counts cursor-paged plan and track reads.
 	LegacyRequests int      `json:"legacy_requests"`
 	PagedRequests  int      `json:"paged_requests"`
 	Mismatches     []string `json:"mismatches,omitempty"`
@@ -243,15 +268,18 @@ type clientState struct {
 	// plainOK/planOK drive the verification cadences independently, so
 	// mixing plan traffic in never changes which plain responses the
 	// "verify every Nth OK" sampling picks.
-	plainOK      int
-	verified     int
-	planRequests int
-	planOK       int
-	planVerified int
-	legacyReqs   int
-	pagedReqs    int
-	mismatches   []string
-	errSamples   []string
+	plainOK       int
+	verified      int
+	planRequests  int
+	planOK        int
+	planVerified  int
+	trackRequests int
+	trackOK       int
+	trackVerified int
+	legacyReqs    int
+	pagedReqs     int
+	mismatches    []string
+	errSamples    []string
 }
 
 // Run executes the load generation and blocks until every client finishes.
@@ -299,6 +327,8 @@ func Run(cfg Config) (*Report, error) {
 		rep.Verified += st.verified
 		rep.PlanRequests += st.planRequests
 		rep.PlanVerified += st.planVerified
+		rep.TrackRequests += st.trackRequests
+		rep.TrackVerified += st.trackVerified
 		rep.LegacyRequests += st.legacyReqs
 		rep.PagedRequests += st.pagedReqs
 		for code, n := range st.unexpected {
@@ -345,6 +375,10 @@ func runClient(cfg *Config, idx int, zipf *simrand.Zipf, cli *client.Client, htt
 		legacy := cfg.LegacyEvery > 0 && st.requests%cfg.LegacyEvery == 0
 		if cfg.PlanEvery > 0 && st.requests%cfg.PlanEvery == 0 {
 			runPlanRequest(cfg, idx, src, cli, httpc, st, legacy)
+			continue
+		}
+		if cfg.TrackEvery > 0 && st.requests%cfg.TrackEvery == 0 {
+			runTrackRequest(cfg, idx, src, cli, st)
 			continue
 		}
 		req := &api.QueryRequest{Expr: cfg.Classes[zipf.Sample(src)]}
@@ -436,6 +470,84 @@ func runPlanRequest(cfg *Config, idx int, src *simrand.Source, cli *client.Clien
 				fmt.Sprintf("client %d plan %q: %v", idx, expr, err))
 		}
 	}
+}
+
+// runTrackRequest issues one temporal track query drawn deterministically
+// from the track pool — one-shot or cursor-paged — and records it under
+// the same status taxonomy as plain queries. Tracks are v1-only: the
+// temporal surface postdates the deprecated shims, so there is no legacy
+// variant to exercise.
+func runTrackRequest(cfg *Config, idx int, src *simrand.Source, cli *client.Client, st *clientState) {
+	expr := cfg.Tracks[src.Intn(len(cfg.Tracks))]
+	req := &api.QueryRequest{Expr: expr, TopK: cfg.PlanTopK}
+	st.trackRequests++
+	paged := cfg.PageEvery > 0 && st.trackRequests%cfg.PageEvery == 0
+	var tr *api.QueryResponse
+	var err error
+	if paged {
+		st.pagedReqs++
+		tr, err = runPagedTracks(cfg, cli, st, req)
+		if !st.record(cfg, err) {
+			return
+		}
+	} else {
+		t0 := time.Now()
+		tr, err = cli.Query(context.Background(), req)
+		latMS := float64(time.Since(t0).Nanoseconds()) / 1e6
+		if !st.record(cfg, err) {
+			return
+		}
+		st.latenciesMS = append(st.latenciesMS, latMS)
+	}
+	st.ok++
+	st.trackOK++
+	if tr.Cached {
+		st.cacheHits++
+	}
+	if cfg.TrackVerifier != nil && cfg.VerifyEvery > 0 && st.trackOK%cfg.VerifyEvery == 0 {
+		st.trackVerified++
+		if err := cfg.TrackVerifier(tr); err != nil {
+			st.mismatches = append(st.mismatches,
+				fmt.Sprintf("client %d track %q: %v", idx, expr, err))
+		}
+	}
+}
+
+// runPagedTracks drives one cursor-paged track read page by page, exactly
+// as runPagedPlan does for ranked reads: each page fetch is its own
+// latency sample, and the pages reassemble into one response the track
+// verifier can replay against a direct execution at the pinned vector.
+func runPagedTracks(cfg *Config, cli *client.Client, st *clientState, req *api.QueryRequest) (*api.QueryResponse, error) {
+	pager := cli.TrackPager(req, cfg.PageSize)
+	var out *api.QueryResponse
+	var tracks []api.TrackItem
+	for pager.More() {
+		t0 := time.Now()
+		page, err := pager.Next(context.Background())
+		latMS := float64(time.Since(t0).Nanoseconds()) / 1e6
+		if err != nil {
+			return nil, err
+		}
+		st.latenciesMS = append(st.latenciesMS, latMS)
+		resp := pager.Last()
+		if out == nil {
+			out = resp
+		} else if resp.Expr != out.Expr || resp.TotalItems != out.TotalItems ||
+			!reflect.DeepEqual(resp.Watermarks, out.Watermarks) {
+			return nil, fmt.Errorf("paged track read drifted between pages (expr, total, or pinned watermarks changed)")
+		}
+		tracks = append(tracks, page...)
+	}
+	if out == nil {
+		return nil, fmt.Errorf("paged track read yielded no pages")
+	}
+	if len(tracks) != out.TotalItems {
+		return nil, fmt.Errorf("pages yielded %d tracks, server reported %d", len(tracks), out.TotalItems)
+	}
+	assembled := *out
+	assembled.Tracks = tracks
+	assembled.Cursor = ""
+	return &assembled, nil
 }
 
 // runPagedPlan drives one cursor-paged ranked read page by page. Each

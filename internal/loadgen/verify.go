@@ -113,6 +113,58 @@ func NewDirectPlanVerifier(sys *focus.System) func(*api.QueryResponse) error {
 	}
 }
 
+// NewDirectTrackVerifier returns a verifier for tracks-form responses:
+// it replays the served response as a direct library call —
+// focus.System.TrackQuery pinned to the exact watermark vector, TopK and
+// leaf options the service answered with — and asserts the served track
+// ranking is identical, track for track: same streams, track IDs,
+// objects, frame and time bounds, sighting counts and scores in the same
+// order. The served Expr is the temporal plan's canonical form, which
+// re-parses to the same plan. Responses must be unpaged (or reassembled
+// from all pages, e.g. by client.CollectTrackPages).
+//
+// Cost counters (GTInferences, GPU time, latency) are not compared, for
+// the same reason as the other verifiers: the shared GT-verdict cache
+// makes later executions cheaper without changing answers.
+func NewDirectTrackVerifier(sys *focus.System) func(*api.QueryResponse) error {
+	return func(tr *api.QueryResponse) error {
+		if tr.Form != api.FormTracks {
+			return fmt.Errorf("tracks verifier got a %q-form response", tr.Form)
+		}
+		res, err := sys.TrackQuery(tr.Expr, focus.TrackOptions{
+			Streams: vectorStreams(tr.Watermarks),
+			TopK:    tr.TopK,
+			Leaf: focus.QueryOptions{
+				Kx:          tr.Kx,
+				StartSec:    tr.Start,
+				EndSec:      tr.End,
+				MaxClusters: tr.MaxClusters,
+			},
+			AtWatermarks: tr.Watermarks,
+		})
+		if err != nil {
+			return fmt.Errorf("direct track query: %w", err)
+		}
+		if len(res.Items) != tr.TotalItems {
+			return fmt.Errorf("total tracks: served %d, direct %d", tr.TotalItems, len(res.Items))
+		}
+		if len(tr.Tracks) != len(res.Items) {
+			return fmt.Errorf("tracks: served %d, direct %d (responses must carry all tracks to verify)",
+				len(tr.Tracks), len(res.Items))
+		}
+		for i, it := range tr.Tracks {
+			d := res.Items[i]
+			if it.Stream != d.Stream || it.Track != d.Track || it.Object != int64(d.Object) ||
+				it.StartFrame != int64(d.StartFrame) || it.EndFrame != int64(d.EndFrame) ||
+				it.StartSec != d.StartSec || it.EndSec != d.EndSec ||
+				it.Sightings != d.Sightings || it.Score != d.Score {
+				return fmt.Errorf("track %d: served %+v, direct %+v", i, it, d)
+			}
+		}
+		return nil
+	}
+}
+
 // vectorStreams returns the vector's stream names, sorted.
 func vectorStreams(v api.WatermarkVector) []string {
 	names := make([]string, 0, len(v))

@@ -37,6 +37,7 @@ package plan
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -86,6 +87,59 @@ type Or struct{ Children []Expr }
 // Not negates its child.
 type Not struct{ Child Expr }
 
+// ---- temporal operators (track predicates) ----
+//
+// The nodes below predicate over object *tracks* — chains of sightings of
+// one physical object associated across adjacent frames — instead of
+// frames. They share the AST, canonical form, and text syntax with the
+// boolean operators, but compile onto the track execution path
+// (internal/track): plan.Compile rejects any expression containing them,
+// and the wire layer answers them in the "tracks" response form.
+//
+// Spatial matchers (Region, and Seq/Within over matchers) test *where and
+// when within one track* something happens; Dur and Vel test whole-track
+// aggregates; class leaves keep their usual meaning, applied to the
+// track's dominant cluster. Anchoring is irrelevant here: the track
+// population at a watermark is already bounded by the index (every track
+// is assembled from indexed sightings), so a track-level negation like
+// "!car" ranges over that finite population, never over the unbounded
+// complement of the index.
+
+// Seq matches a track containing matches for every child matcher in
+// temporal order: sightings at strictly increasing positions along the
+// track satisfy child 0, then child 1, and so on ("car that crosses the
+// left region, then the right region"). Children must be spatial matchers
+// (Region, or nested Seq/Within).
+type Seq struct{ Children []Expr }
+
+// Within bounds a matcher's time span: the track must contain a match of
+// Child whose first-to-last sighting timestamps span at most DSec seconds
+// ("crosses left-to-right within 5 seconds"). Child must be a spatial
+// matcher (Region, or nested Seq/Within).
+type Within struct {
+	// DSec is the maximum allowed span in seconds (inclusive).
+	DSec float64
+	// Child is the matcher whose span is bounded.
+	Child Expr
+}
+
+// Dur is a leaf predicate on a track's duration (last sighting timestamp
+// minus first): MinSec <= duration, and duration <= MaxSec when MaxSec is
+// positive ("person lingering more than 30 seconds" is dur(30)).
+type Dur struct{ MinSec, MaxSec float64 }
+
+// Region is a spatial leaf matcher: a sighting matches when its bounding
+// box intersects the axis-aligned rectangle with corners (X0,Y0) and
+// (X1,Y1) in frame coordinates; a track satisfies a bare Region when any
+// of its sightings match. Compile-time validation requires X1 > X0 and
+// Y1 > Y0.
+type Region struct{ X0, Y0, X1, Y1 int }
+
+// Vel is a leaf predicate on a track's mean speed — bbox-center path
+// length divided by duration, in pixels/second: Min <= speed, and
+// speed <= Max when Max is positive. Single-sighting tracks have speed 0.
+type Vel struct{ Min, Max float64 }
+
 func (l *Leaf) canon(b *strings.Builder) {
 	b.WriteString(l.Class)
 	if l.Opts != (LeafOptions{}) {
@@ -111,6 +165,30 @@ func (n *Not) canon(b *strings.Builder) {
 	b.WriteByte('!')
 	n.Child.canon(b)
 }
+
+// The temporal canonical forms reuse the text syntax's function-call
+// spelling, so canonical strings round-trip through Parse like the boolean
+// forms do.
+func (s *Seq) canon(b *strings.Builder) {
+	b.WriteString("seq(")
+	for i, c := range s.Children {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		c.canon(b)
+	}
+	b.WriteByte(')')
+}
+func (w *Within) canon(b *strings.Builder) {
+	fmt.Fprintf(b, "within(%g,", w.DSec)
+	w.Child.canon(b)
+	b.WriteByte(')')
+}
+func (d *Dur) canon(b *strings.Builder) { fmt.Fprintf(b, "dur(%g,%g)", d.MinSec, d.MaxSec) }
+func (r *Region) canon(b *strings.Builder) {
+	fmt.Fprintf(b, "region(%d,%d,%d,%d)", r.X0, r.Y0, r.X1, r.Y1)
+}
+func (v *Vel) canon(b *strings.Builder) { fmt.Fprintf(b, "vel(%g,%g)", v.Min, v.Max) }
 
 // A leaf anchors itself; a conjunction is anchored by any anchored child; a
 // disjunction needs every branch anchored (an unanchored branch admits
@@ -138,6 +216,15 @@ func (o *Or) anchored() bool {
 	return true
 }
 func (n *Not) anchored() bool { return complementAnchored(n.Child) }
+
+// Temporal predicates range over the finite track population at the
+// watermark, so they are inherently anchored (see the section comment
+// above Seq).
+func (s *Seq) anchored() bool    { return true }
+func (w *Within) anchored() bool { return true }
+func (d *Dur) anchored() bool    { return true }
+func (r *Region) anchored() bool { return true }
+func (v *Vel) anchored() bool    { return true }
 
 // complementAnchored reports whether the complement of e is anchored:
 // ¬leaf never is; ¬(a∧b) = ¬a∨¬b needs every branch's complement anchored;
@@ -183,6 +270,45 @@ func (o *Or) walk(positive bool, fn func(*Leaf, bool)) {
 }
 func (n *Not) walk(positive bool, fn func(*Leaf, bool)) { n.Child.walk(!positive, fn) }
 
+// Temporal leaves contain no class leaves; Seq/Within recurse for
+// completeness even though compile-time validation keeps class leaves out
+// of matcher position.
+func (s *Seq) walk(positive bool, fn func(*Leaf, bool)) {
+	for _, c := range s.Children {
+		c.walk(positive, fn)
+	}
+}
+func (w *Within) walk(positive bool, fn func(*Leaf, bool)) { w.Child.walk(positive, fn) }
+func (d *Dur) walk(bool, func(*Leaf, bool))                {}
+func (r *Region) walk(bool, func(*Leaf, bool))             {}
+func (v *Vel) walk(bool, func(*Leaf, bool))                {}
+
+// HasTemporal reports whether the expression contains any temporal
+// operator (Seq, Within, Dur, Region, Vel) — syntactically, with no class
+// space needed, so the router and serve layer use it to route an
+// expression to the track execution path before compiling anything.
+func HasTemporal(e Expr) bool {
+	switch x := e.(type) {
+	case *Seq, *Within, *Dur, *Region, *Vel:
+		return true
+	case *And:
+		for _, c := range x.Children {
+			if HasTemporal(c) {
+				return true
+			}
+		}
+	case *Or:
+		for _, c := range x.Children {
+			if HasTemporal(c) {
+				return true
+			}
+		}
+	case *Not:
+		return HasTemporal(x.Child)
+	}
+	return false
+}
+
 // Canonical renders the expression's canonical text form: fully
 // parenthesized, with non-default leaf options inlined. Two expressions
 // with the same canonical form execute identically, which is what the
@@ -201,20 +327,31 @@ func Canonical(e Expr) string {
 //	expr  := or
 //	or    := and ("|" and)*
 //	and   := unary ("&" unary)*
-//	unary := "!" unary | "(" expr ")" | class
+//	unary := "!" unary | "(" expr ")" | call | class
+//	call  := "seq" "(" expr ("," expr)+ ")"
+//	       | "within" "(" number "," expr ")"
+//	       | "dur" "(" number ["," number] ")"
+//	       | "region" "(" number "," number "," number "," number ")"
+//	       | "vel" "(" number ["," number] ")"
 //
 // Class names are [A-Za-z0-9_]+; whitespace is ignored. Example:
-// "car & person & !bus". Leaf options cannot be spelled in text — build
-// the AST directly for per-leaf windows or budgets.
+// "car & person & !bus", or temporal: "car & within(5, seq(region(0,0,
+// 320,720), region(960,0,1280,720)))". The five call names are keywords
+// only when followed by "(" — a class named "seq" still parses as a class.
+// Leaf options cannot be spelled in text — build the AST directly for
+// per-leaf windows or budgets.
+//
+// Parse errors carry the byte offset and a quoted window of the input
+// around the offending token, so they stay actionable after the wire
+// layer wraps them into a bad_expr api.Error.
 func Parse(s string) (Expr, error) {
 	p := &parser{input: s}
 	e, err := p.parseOr()
 	if err != nil {
 		return nil, err
 	}
-	p.skipSpace()
-	if p.pos < len(p.input) {
-		return nil, fmt.Errorf("plan: unexpected %q at offset %d in %q", p.input[p.pos], p.pos, s)
+	if c := p.peek(); c != 0 {
+		return nil, p.errAt(p.pos, "unexpected %q", c)
 	}
 	return e, nil
 }
@@ -222,6 +359,27 @@ func Parse(s string) (Expr, error) {
 type parser struct {
 	input string
 	pos   int
+}
+
+// errAt builds a parse error pointing at a byte offset, appending the
+// offset and a context window of the input around it.
+func (p *parser) errAt(pos int, format string, args ...any) error {
+	const window = 12
+	lo, hi := pos-window, pos+window
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(p.input) {
+		hi = len(p.input)
+	}
+	ctx := p.input[lo:hi]
+	if lo > 0 {
+		ctx = "…" + ctx
+	}
+	if hi < len(p.input) {
+		ctx += "…"
+	}
+	return fmt.Errorf("plan: %s at offset %d (near %q)", fmt.Sprintf(format, args...), pos, ctx)
 }
 
 func (p *parser) skipSpace() {
@@ -295,7 +453,7 @@ func (p *parser) parseUnary() (Expr, error) {
 			return nil, err
 		}
 		if p.peek() != ')' {
-			return nil, fmt.Errorf("plan: missing ')' at offset %d in %q", p.pos, p.input)
+			return nil, p.errAt(p.pos, "missing ')'")
 		}
 		p.pos++
 		return e, nil
@@ -304,12 +462,152 @@ func (p *parser) parseUnary() (Expr, error) {
 		for p.pos < len(p.input) && isIdent(p.input[p.pos]) {
 			p.pos++
 		}
-		return &Leaf{Class: p.input[start:p.pos]}, nil
+		name := p.input[start:p.pos]
+		if isCallKeyword(name) && p.peek() == '(' {
+			return p.parseCall(name, start)
+		}
+		return &Leaf{Class: name}, nil
 	case c == 0:
-		return nil, fmt.Errorf("plan: unexpected end of expression in %q", p.input)
+		return nil, p.errAt(p.pos, "unexpected end of expression")
 	default:
-		return nil, fmt.Errorf("plan: unexpected %q at offset %d in %q", c, p.pos, p.input)
+		return nil, p.errAt(p.pos, "unexpected %q", c)
 	}
+}
+
+func isCallKeyword(name string) bool {
+	switch name {
+	case "seq", "within", "dur", "region", "vel":
+		return true
+	}
+	return false
+}
+
+// parseCall parses one temporal function call; the leading keyword has
+// been consumed and the next token is known to be "(". callPos is the
+// keyword's offset, used for arity errors.
+func (p *parser) parseCall(name string, callPos int) (Expr, error) {
+	p.pos++ // consume '('
+	switch name {
+	case "seq":
+		var children []Expr
+		for {
+			child, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			children = append(children, child)
+			if p.peek() != ',' {
+				break
+			}
+			p.pos++
+		}
+		if err := p.expectClose(name); err != nil {
+			return nil, err
+		}
+		if len(children) < 2 {
+			return nil, p.errAt(callPos, "seq needs at least 2 steps, got %d", len(children))
+		}
+		return &Seq{Children: children}, nil
+	case "within":
+		d, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ',' {
+			return nil, p.errAt(p.pos, "within needs a matcher after the duration")
+		}
+		p.pos++
+		child, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectClose(name); err != nil {
+			return nil, err
+		}
+		return &Within{DSec: d, Child: child}, nil
+	case "region":
+		nums, err := p.parseNumberList(name, 4, 4)
+		if err != nil {
+			return nil, err
+		}
+		return &Region{X0: int(nums[0]), Y0: int(nums[1]), X1: int(nums[2]), Y1: int(nums[3])}, nil
+	case "dur":
+		nums, err := p.parseNumberList(name, 1, 2)
+		if err != nil {
+			return nil, err
+		}
+		d := &Dur{MinSec: nums[0]}
+		if len(nums) == 2 {
+			d.MaxSec = nums[1]
+		}
+		return d, nil
+	default: // vel
+		nums, err := p.parseNumberList(name, 1, 2)
+		if err != nil {
+			return nil, err
+		}
+		v := &Vel{Min: nums[0]}
+		if len(nums) == 2 {
+			v.Max = nums[1]
+		}
+		return v, nil
+	}
+}
+
+// parseNumberList parses between min and max comma-separated numbers
+// followed by the call's closing ")".
+func (p *parser) parseNumberList(name string, min, max int) ([]float64, error) {
+	var nums []float64
+	for {
+		n, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		nums = append(nums, n)
+		if p.peek() != ',' {
+			break
+		}
+		p.pos++
+	}
+	if err := p.expectClose(name); err != nil {
+		return nil, err
+	}
+	if len(nums) < min || len(nums) > max {
+		want := fmt.Sprintf("%d", min)
+		if max != min {
+			want = fmt.Sprintf("%d to %d", min, max)
+		}
+		return nil, p.errAt(p.pos, "%s needs %s numbers, got %d", name, want, len(nums))
+	}
+	return nums, nil
+}
+
+func (p *parser) expectClose(name string) error {
+	if p.peek() != ')' {
+		return p.errAt(p.pos, "missing ')' closing %s", name)
+	}
+	p.pos++
+	return nil
+}
+
+// parseNumber parses an optionally signed decimal literal.
+func (p *parser) parseNumber() (float64, error) {
+	p.skipSpace()
+	start := p.pos
+	if p.pos < len(p.input) && (p.input[p.pos] == '-' || p.input[p.pos] == '+') {
+		p.pos++
+	}
+	for p.pos < len(p.input) && (p.input[p.pos] >= '0' && p.input[p.pos] <= '9' || p.input[p.pos] == '.') {
+		p.pos++
+	}
+	if p.pos == start {
+		return 0, p.errAt(start, "expected a number")
+	}
+	n, err := strconv.ParseFloat(p.input[start:p.pos], 64)
+	if err != nil {
+		return 0, p.errAt(start, "bad number %q", p.input[start:p.pos])
+	}
+	return n, nil
 }
 
 func isIdent(c byte) bool {

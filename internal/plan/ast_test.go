@@ -39,10 +39,96 @@ func TestParsePrecedenceAndCanonical(t *testing.T) {
 }
 
 func TestParseErrors(t *testing.T) {
-	for _, in := range []string{"", "  ", "&", "a &", "a | ", "(a", "a)", "(a))", "a b", "a ^ b", "!(", "()"} {
+	for _, in := range []string{"", "  ", "&", "a &", "a | ", "(a", "a)", "(a))", "a b", "a ^ b", "!(", "()",
+		// Temporal syntax errors.
+		"seq(a)", "seq()", "within(5)", "within(x, a)", "dur()", "dur(1,2,3)",
+		"region(1,2,3)", "region(1,2,3,4,5)", "vel()", "seq(a, b", "within(5 a)"} {
 		if e, err := Parse(in); err == nil {
 			t.Errorf("Parse(%q) accepted: %v", in, Canonical(e))
 		}
+	}
+}
+
+// TestParseErrorContext pins the parse-error format: every message names
+// the byte offset of the offending token and quotes the surrounding input,
+// so the bad_expr api.Error the wire layer wraps it into is actionable
+// without server logs.
+func TestParseErrorContext(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"car & ", `plan: unexpected end of expression at offset 6 (near "car & ")`},
+		{"car ^ bus", `plan: unexpected '^' at offset 4 (near "car ^ bus")`},
+		{"(car & bus", `plan: missing ')' at offset 10 (near "(car & bus")`},
+		{"car) & bus", `plan: unexpected ')' at offset 3 (near "car) & bus")`},
+		{"seq(region(0,0,9,9))", `plan: seq needs at least 2 steps, got 1 at offset 0 (near "seq(region(0…")`},
+		{"within(fast, car)", `plan: expected a number at offset 7 (near "within(fast, car)")`},
+		{"dur(1,2,3)", `plan: dur needs 1 to 2 numbers, got 3 at offset 10 (near "dur(1,2,3)")`},
+		{"region(0,0,9)", `plan: region needs 4 numbers, got 3 at offset 13 (near "…egion(0,0,9)")`},
+		{"seq(region(0,0,9,9), region(1,1,9,9)", `plan: missing ')' closing seq at offset 36 (near "…ion(1,1,9,9)")`},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.in)
+		if err == nil {
+			t.Errorf("Parse(%q) accepted", tc.in)
+			continue
+		}
+		if err.Error() != tc.want {
+			t.Errorf("Parse(%q) error:\n  got  %q\n  want %q", tc.in, err.Error(), tc.want)
+		}
+	}
+}
+
+func TestParseTemporalCanonical(t *testing.T) {
+	cases := []struct{ in, canon string }{
+		{"dur(30)", "dur(30,0)"},
+		{"dur(5, 60)", "dur(5,60)"},
+		{"vel(2.5)", "vel(2.5,0)"},
+		{"region(0, 0, 320, 720)", "region(0,0,320,720)"},
+		{"seq(region(0,0,9,9), region(10,0,19,9))", "seq(region(0,0,9,9),region(10,0,19,9))"},
+		{"within(5, region(0,0,9,9))", "within(5,region(0,0,9,9))"},
+		{"car & dur(30)", "(car&dur(30,0))"},
+		{"car & within(5, seq(region(0,0,9,9), region(10,0,19,9)))",
+			"(car&within(5,seq(region(0,0,9,9),region(10,0,19,9))))"},
+		{"!bus & dur(30) | car", "((!bus&dur(30,0))|car)"},
+		// The call names are keywords only before "(": bare idents stay
+		// classes.
+		{"seq & within", "(seq&within)"},
+	}
+	for _, tc := range cases {
+		got := Canonical(mustParse(t, tc.in))
+		if got != tc.canon {
+			t.Errorf("Canonical(Parse(%q)) = %q, want %q", tc.in, got, tc.canon)
+			continue
+		}
+		// Canonical forms round-trip through Parse.
+		if again := Canonical(mustParse(t, got)); again != got {
+			t.Errorf("canonical %q re-parses to %q", got, again)
+		}
+	}
+}
+
+func TestHasTemporal(t *testing.T) {
+	temporal := []string{"dur(30)", "car & dur(30)", "!(car | vel(5))",
+		"seq(region(0,0,9,9), region(10,0,19,9))", "within(5, region(0,0,9,9))"}
+	boolean := []string{"car", "car & !bus", "(a|b)&c", "seq & within"}
+	for _, s := range temporal {
+		if !HasTemporal(mustParse(t, s)) {
+			t.Errorf("HasTemporal(%q) = false, want true", s)
+		}
+	}
+	for _, s := range boolean {
+		if HasTemporal(mustParse(t, s)) {
+			t.Errorf("HasTemporal(%q) = true, want false", s)
+		}
+	}
+}
+
+func TestCompileRejectsTemporal(t *testing.T) {
+	_, err := Compile(mustParse(t, "car & dur(30)"), fakeResolve())
+	if err == nil {
+		t.Fatal("Compile accepted a temporal operator")
+	}
+	if !strings.Contains(err.Error(), "track execution path") {
+		t.Errorf("error should point at the track path: %v", err)
 	}
 }
 

@@ -89,6 +89,9 @@ func Compile(e Expr, resolve Resolver) (*Plan, error) {
 	if e == nil {
 		return nil, fmt.Errorf("plan: empty expression")
 	}
+	if HasTemporal(e) {
+		return nil, fmt.Errorf("plan: temporal operator in %q requires the track execution path (query with the tracks form)", Canonical(e))
+	}
 	if !e.anchored() {
 		return nil, fmt.Errorf("plan: unanchored predicate %q: every Or branch needs at least one positive class (a bare negation would match the unbounded complement of the index)", Canonical(e))
 	}

@@ -148,6 +148,57 @@ func (e *Engine) Candidates(c vision.ClassID, opts Options) (cands []*index.Clus
 	return cands, viaOther, nil
 }
 
+// SealedClusters returns the cluster records visible at the options'
+// watermark (MaxSealSec, same semantics as Candidates) that overlap the
+// options' time window, ascending by cluster ID, capped at MaxClusters.
+// No class lookup is involved: this is the retrieval primitive for the
+// track layer, which assembles every visible sighting into tracks first
+// and consults class postings only afterwards. Like Candidates it touches
+// only the in-memory index — no GPU time.
+func (e *Engine) SealedClusters(opts Options) ([]*index.ClusterRecord, error) {
+	if opts.MaxClusters < 0 {
+		return nil, fmt.Errorf("query: negative MaxClusters")
+	}
+	recs := e.ix.ClustersSealedBy(opts.MaxSealSec)
+	out := make([]*index.ClusterRecord, 0, len(recs))
+	for _, rec := range recs {
+		if opts.MaxClusters > 0 && len(out) >= opts.MaxClusters {
+			break
+		}
+		if !overlapsWindow(rec, opts) {
+			continue
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// ClassStanding reports how class c stands in one cluster's top-Kx cut,
+// applying the same OTHER routing as Candidates (§4.3): conf is the
+// cluster-level confidence of the looked-up class (0 when absent), inCut
+// reports whether its rank is within the effective Kx, and viaOther reports
+// that the class was routed through the OTHER postings. A class outside the
+// cut can be rejected without a GT-CNN invocation — the index already
+// vouches the cluster does not plausibly contain it — which is how the
+// track layer prices class predicates before spending GPU time.
+func (e *Engine) ClassStanding(rec *index.ClusterRecord, c vision.ClassID, kx int) (conf float64, inCut, viaOther bool) {
+	meta := e.ix.Meta()
+	lookup := c
+	if meta.Specialized && c != vision.ClassOther && !containsClass(meta.SpecialClasses, c) {
+		lookup = vision.ClassOther
+		viaOther = true
+	}
+	if kx <= 0 || kx > meta.K {
+		kx = meta.K
+	}
+	for i, p := range rec.TopK {
+		if p.Class == lookup {
+			return float64(p.Confidence), i < kx, viaOther
+		}
+	}
+	return 0, false, viaOther
+}
+
 // BatchVerifier runs GT-CNN verification over batches of cluster records,
 // accumulating cost across batches: verdicts are memoized in the engine's
 // shared gtCache (an object cluster is never verified twice, §6.7), cache

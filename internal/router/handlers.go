@@ -299,6 +299,10 @@ type routedExec struct {
 	start, end            float64
 	limit, offset         int
 	ranked                bool
+	// tracked selects the tracks (temporal) form; set exactly when the
+	// expression contains a temporal operator. Mutually exclusive with
+	// ranked.
+	tracked bool
 	// allowPartial opts into a degraded answer when some owning shards
 	// are unroutable or fail: the healthy subset is merged and the
 	// response carries a PartialInfo marker. Never implicit.
@@ -329,7 +333,11 @@ func resolveRouted(req *api.QueryRequest) (*routedExec, *api.Error) {
 			maxClusters: cur.MaxClusters,
 			limit:       req.Limit,
 			offset:      cur.Offset,
-			ranked:      true,
+			// The token's Form field tells a tracks continuation apart
+			// from a ranked one (empty = ranked, for tokens minted before
+			// the tracks form existed).
+			ranked:  cur.Form != api.FormTracks,
+			tracked: cur.Form == api.FormTracks,
 			// A cursor minted from a partial answer already froze the
 			// healthy stream subset; re-opting in only matters if further
 			// shards fail mid-pagination.
@@ -341,9 +349,6 @@ func resolveRouted(req *api.QueryRequest) (*routedExec, *api.Error) {
 	}
 	if req.TopK < 0 || req.Kx < 0 || req.MaxClusters < 0 || req.Start < 0 || req.End < 0 {
 		return nil, api.Errorf(api.CodeBadRequest, "negative query parameter")
-	}
-	if req.Form != "" && req.Form != api.FormRanked {
-		return nil, api.Errorf(api.CodeBadRequest, "form must be omitted or %q", api.FormRanked)
 	}
 	ast, err := plan.Parse(req.Expr)
 	if err != nil {
@@ -360,6 +365,18 @@ func resolveRouted(req *api.QueryRequest) (*routedExec, *api.Error) {
 		maxClusters:  req.MaxClusters,
 		limit:        req.Limit,
 		allowPartial: req.AllowPartial,
+	}
+	if plan.HasTemporal(ast) {
+		if req.Form != "" && req.Form != api.FormTracks {
+			return nil, api.Errorf(api.CodeBadRequest,
+				"temporal expressions answer in the %q form; form must be omitted or %q", api.FormTracks, api.FormTracks)
+		}
+		ex.tracked = true
+		return ex, nil
+	}
+	if req.Form != "" && req.Form != api.FormRanked {
+		return nil, api.Errorf(api.CodeBadRequest,
+			"form must be omitted or %q (%q is for temporal expressions)", api.FormRanked, api.FormTracks)
 	}
 	ex.ranked = !plan.IsSingleLeafExpr(ast) || req.TopK != 0 || req.Limit != 0 || req.Form == api.FormRanked
 	return ex, nil
@@ -384,14 +401,20 @@ func (r *Router) routeV1(ex *routedExec) (*api.QueryResponse, int, *api.Error) {
 	if aerr := validatePins(ex.pins, append(append([]shardGroup(nil), groups...), missing...)); aerr != nil {
 		return nil, 0, aerr
 	}
-	if ex.ranked {
+	switch {
+	case ex.tracked:
+		r.trackQueries.Add(1)
+	case ex.ranked:
 		r.planQueries.Add(1)
-	} else {
+	default:
 		r.queries.Add(1)
 	}
 
 	form := ""
-	if ex.ranked {
+	switch {
+	case ex.tracked:
+		form = api.FormTracks
+	case ex.ranked:
 		// Shards must not fall into the frames form for one-leaf exprs the
 		// router decided to rank (TopK/Limit/Cursor live router-side).
 		form = api.FormRanked
@@ -451,9 +474,12 @@ func (r *Router) routeV1(ex *routedExec) (*api.QueryResponse, int, *api.Error) {
 	}
 	var merged *api.QueryResponse
 	var err error
-	if ex.ranked {
+	switch {
+	case ex.tracked:
+		merged, err = mergeTracks(ex.topK, parts)
+	case ex.ranked:
 		merged, err = mergeRanked(ex.topK, parts)
-	} else {
+	default:
 		merged, err = mergeFrames(parts)
 	}
 	if err != nil {
@@ -476,15 +502,13 @@ func (r *Router) routeV1(ex *routedExec) (*api.QueryResponse, int, *api.Error) {
 		merged.Partial = pi
 		r.partials.Add(1)
 	}
-	if ex.ranked {
-		full := merged.Items
-		merged.Items = api.PageItems(full, ex.limit, ex.offset)
+	if ex.ranked || ex.tracked {
 		var names []string
 		for _, g := range groups {
 			names = append(names, g.streams...)
 		}
 		sort.Strings(names)
-		merged.Cursor = api.ContinuationToken(api.Cursor{
+		cursor := api.Cursor{
 			Expr:        merged.Expr,
 			Streams:     names,
 			TopK:        ex.topK,
@@ -493,7 +517,17 @@ func (r *Router) routeV1(ex *routedExec) (*api.QueryResponse, int, *api.Error) {
 			End:         ex.end,
 			MaxClusters: ex.maxClusters,
 			At:          merged.Watermarks,
-		}, ex.limit, ex.offset, len(merged.Items), merged.TotalItems)
+		}
+		pageLen := 0
+		if ex.tracked {
+			cursor.Form = api.FormTracks
+			merged.Tracks = api.PageTracks(merged.Tracks, ex.limit, ex.offset)
+			pageLen = len(merged.Tracks)
+		} else {
+			merged.Items = api.PageItems(merged.Items, ex.limit, ex.offset)
+			pageLen = len(merged.Items)
+		}
+		merged.Cursor = api.ContinuationToken(cursor, ex.limit, ex.offset, pageLen, merged.TotalItems)
 	}
 	return merged, len(groups), nil
 }
@@ -697,6 +731,8 @@ type Stats struct {
 	Ready       bool    `json:"ready"`
 	Queries     int64   `json:"queries"`
 	PlanQueries int64   `json:"plan_queries"`
+	// TrackQueries counts temporal (tracks-form) queries.
+	TrackQueries int64 `json:"track_queries"`
 	// LegacyRequests counts requests arriving through the deprecated
 	// /query and /plan shims.
 	LegacyRequests int64 `json:"legacy_requests"`
@@ -724,6 +760,7 @@ func (r *Router) Snapshot() Stats {
 		Ready:            r.ready.Load(),
 		Queries:          r.queries.Load(),
 		PlanQueries:      r.planQueries.Load(),
+		TrackQueries:     r.trackQueries.Load(),
 		LegacyRequests:   r.legacyReqs.Load(),
 		ShardRequests:    r.shardReqs.Load(),
 		ShardRetries:     r.shardRetried.Load(),

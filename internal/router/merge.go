@@ -94,6 +94,79 @@ func itemRanksBefore(a, b api.Item) bool {
 	return a.Frame < b.Frame
 }
 
+// trackRanksBefore is track.RankBefore on the wire type: score
+// descending, then stream name, then track start time, then track ID. It
+// must stay in lockstep with track.RankBefore — the routed-vs-direct
+// bit-identity tests pin the equivalence. (Tracks are unique by (stream,
+// track) and the order is total, so a plain sort of the concatenation is
+// the merge.)
+func trackRanksBefore(a, b api.TrackItem) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	if a.Stream != b.Stream {
+		return a.Stream < b.Stream
+	}
+	if a.StartSec != b.StartSec {
+		return a.StartSec < b.StartSec
+	}
+	return a.Track < b.Track
+}
+
+// mergeTracks combines per-shard tracks-form responses exactly as
+// mergeRanked combines ranked ones: per-shard track rankings interleave
+// under trackRanksBefore and truncate to topK. Track assembly is
+// per-stream (a track never crosses streams, hence never crosses shards),
+// so the global top K is exactly the top K of the concatenation.
+func mergeTracks(topK int, parts []*api.QueryResponse) (*api.QueryResponse, error) {
+	out := &api.QueryResponse{
+		Form:       api.FormTracks,
+		Watermarks: make(api.WatermarkVector),
+		Cached:     true,
+	}
+	total := 0
+	for i, p := range parts {
+		if p.Form != api.FormTracks {
+			return nil, fmt.Errorf("shard answered in %q form where %q was requested — mixed shard versions?", p.Form, api.FormTracks)
+		}
+		if i == 0 {
+			out.Expr = p.Expr
+			out.TopK, out.Kx, out.Start, out.End, out.MaxClusters = p.TopK, p.Kx, p.Start, p.End, p.MaxClusters
+		} else if p.Expr != out.Expr {
+			return nil, fmt.Errorf("shards disagree on the canonical plan (%q vs %q) — mixed shard versions?", out.Expr, p.Expr)
+		}
+		if len(p.Tracks) != p.TotalItems {
+			return nil, fmt.Errorf("shard sent a paged response (%d of %d tracks) — the router needs full slices to merge",
+				len(p.Tracks), p.TotalItems)
+		}
+		for name, at := range p.Watermarks {
+			if _, dup := out.Watermarks[name]; dup {
+				return nil, fmt.Errorf("stream %q answered by two shards — shard ownership must be disjoint", name)
+			}
+			out.Watermarks[name] = at
+		}
+		total += len(p.Tracks)
+		out.GTInferences += p.GTInferences
+		out.GPUTimeMS += p.GPUTimeMS
+		if p.LatencyMS > out.LatencyMS {
+			out.LatencyMS = p.LatencyMS
+		}
+		if !p.Cached {
+			out.Cached = false
+		}
+	}
+	out.Tracks = make([]api.TrackItem, 0, total)
+	for _, p := range parts {
+		out.Tracks = append(out.Tracks, p.Tracks...)
+	}
+	sort.Slice(out.Tracks, func(i, j int) bool { return trackRanksBefore(out.Tracks[i], out.Tracks[j]) })
+	if topK > 0 && len(out.Tracks) > topK {
+		out.Tracks = out.Tracks[:topK]
+	}
+	out.TotalItems = len(out.Tracks)
+	return out, nil
+}
+
 // mergeRanked combines per-shard ranked-form responses into the payload a
 // single node would have produced: per-shard rankings interleave under
 // itemRanksBefore and truncate to topK. Each shard returned its own top K,

@@ -156,6 +156,7 @@ type Router struct {
 	// counters
 	queries      atomic.Int64
 	planQueries  atomic.Int64
+	trackQueries atomic.Int64
 	legacyReqs   atomic.Int64
 	shardReqs    atomic.Int64
 	shardRetried atomic.Int64

@@ -163,16 +163,17 @@ type Server struct {
 	manifestMu   sync.Mutex
 
 	// counters
-	queries     atomic.Int64
-	planQueries atomic.Int64
-	legacyReqs  atomic.Int64
-	cacheHits   atomic.Int64
-	cacheMisses atomic.Int64
-	rejected    atomic.Int64
-	clientErrs  atomic.Int64
-	serverErrs  atomic.Int64
-	ingestErrs  atomic.Int64
-	checkpoints atomic.Int64
+	queries      atomic.Int64
+	planQueries  atomic.Int64
+	trackQueries atomic.Int64
+	legacyReqs   atomic.Int64
+	cacheHits    atomic.Int64
+	cacheMisses  atomic.Int64
+	rejected     atomic.Int64
+	clientErrs   atomic.Int64
+	serverErrs   atomic.Int64
+	ingestErrs   atomic.Int64
+	checkpoints  atomic.Int64
 	// checkpointErrs counts failed checkpoint rounds and failed manifest
 	// publishes; ingestion continues either way (durability degrades, the
 	// service does not).
@@ -511,6 +512,8 @@ type Stats struct {
 	Draining    bool    `json:"draining"`
 	Queries     int64   `json:"queries"`
 	PlanQueries int64   `json:"plan_queries"`
+	// TrackQueries counts temporal (tracks-form) queries.
+	TrackQueries int64 `json:"track_queries"`
 	// LegacyRequests counts requests arriving through the deprecated
 	// /query and /plan shims — the operator's client-migration gauge.
 	LegacyRequests int64 `json:"legacy_requests"`
@@ -553,6 +556,7 @@ func (s *Server) Snapshot() Stats {
 		Draining:         s.draining.Load(),
 		Queries:          s.queries.Load(),
 		PlanQueries:      s.planQueries.Load(),
+		TrackQueries:     s.trackQueries.Load(),
 		LegacyRequests:   s.legacyReqs.Load(),
 		CacheHits:        s.cacheHits.Load(),
 		CacheMisses:      s.cacheMisses.Load(),

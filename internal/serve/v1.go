@@ -9,6 +9,7 @@ import (
 	"focus"
 	"focus/api"
 	"focus/internal/plan"
+	"focus/internal/track"
 )
 
 // This file is the v1 execution core: one resolved request shape
@@ -21,6 +22,9 @@ import (
 // stream set and pinned vector.
 type v1Exec struct {
 	compiled *plan.Plan
+	// trackPlan is set instead of compiled for temporal expressions
+	// (tracked form): the two compile paths are mutually exclusive.
+	trackPlan *track.Plan
 	// streams is the requested stream set (normalized; empty = all).
 	streams []string
 	// pins are explicit per-stream watermark pins (nil = snapshot all).
@@ -31,6 +35,9 @@ type v1Exec struct {
 	// ranked selects the ranked (plan) form; false executes the
 	// single-class engine and answers in the frames form.
 	ranked bool
+	// tracked selects the tracks (temporal) form; set exactly when the
+	// expression contains a temporal operator.
+	tracked bool
 }
 
 // resolveV1 normalizes a wire QueryRequest into a v1Exec: validates
@@ -45,12 +52,7 @@ func (s *Server) resolveV1(req *api.QueryRequest) (*v1Exec, *api.Error) {
 		if aerr != nil {
 			return nil, aerr
 		}
-		compiled, cerr := s.sys.CompilePlan(cur.Expr)
-		if cerr != nil {
-			return nil, api.Errorf(api.CodeBadCursor, "cursor predicate no longer compiles: %v", cerr)
-		}
-		return &v1Exec{
-			compiled:    compiled,
+		ex := &v1Exec{
 			streams:     cur.Streams,
 			pins:        cur.At,
 			topK:        cur.TopK,
@@ -60,8 +62,24 @@ func (s *Server) resolveV1(req *api.QueryRequest) (*v1Exec, *api.Error) {
 			maxClusters: cur.MaxClusters,
 			limit:       req.Limit,
 			offset:      cur.Offset,
-			ranked:      true,
-		}, nil
+		}
+		// The token's Form field tells a tracks continuation apart from a
+		// ranked one; tokens minted before the tracks form existed carry
+		// no Form and continue as ranked.
+		if cur.Form == api.FormTracks {
+			tp, cerr := s.sys.CompileTrackQuery(cur.Expr)
+			if cerr != nil {
+				return nil, api.Errorf(api.CodeBadCursor, "cursor predicate no longer compiles: %v", cerr)
+			}
+			ex.trackPlan, ex.tracked = tp, true
+			return ex, nil
+		}
+		compiled, cerr := s.sys.CompilePlan(cur.Expr)
+		if cerr != nil {
+			return nil, api.Errorf(api.CodeBadCursor, "cursor predicate no longer compiles: %v", cerr)
+		}
+		ex.compiled, ex.ranked = compiled, true
+		return ex, nil
 	}
 	if req.Expr == "" {
 		return nil, api.Errorf(api.CodeBadRequest, "missing required field: expr")
@@ -69,15 +87,14 @@ func (s *Server) resolveV1(req *api.QueryRequest) (*v1Exec, *api.Error) {
 	if req.TopK < 0 || req.Kx < 0 || req.MaxClusters < 0 || req.Start < 0 || req.End < 0 {
 		return nil, api.Errorf(api.CodeBadRequest, "negative query parameter")
 	}
-	if req.Form != "" && req.Form != api.FormRanked {
-		return nil, api.Errorf(api.CodeBadRequest, "form must be omitted or %q", api.FormRanked)
-	}
-	compiled, err := s.sys.CompilePlan(req.Expr)
+	// Parse before compiling so the expression's shape — temporal or
+	// boolean — picks the execution path; parse errors surface with the
+	// parser's offset/context detail (code bad_expr).
+	ast, err := plan.Parse(req.Expr)
 	if err != nil {
 		return nil, api.Errorf(api.CodeBadExpr, "%v", err)
 	}
 	ex := &v1Exec{
-		compiled:    compiled,
 		streams:     api.NormalizeStreams(req.Streams),
 		pins:        req.At,
 		topK:        req.TopK,
@@ -87,6 +104,27 @@ func (s *Server) resolveV1(req *api.QueryRequest) (*v1Exec, *api.Error) {
 		maxClusters: req.MaxClusters,
 		limit:       req.Limit,
 	}
+	if plan.HasTemporal(ast) {
+		if req.Form != "" && req.Form != api.FormTracks {
+			return nil, api.Errorf(api.CodeBadRequest,
+				"temporal expressions answer in the %q form; form must be omitted or %q", api.FormTracks, api.FormTracks)
+		}
+		tp, err := s.sys.CompileTrackExpr(ast)
+		if err != nil {
+			return nil, api.Errorf(api.CodeBadExpr, "%v", err)
+		}
+		ex.trackPlan, ex.tracked = tp, true
+		return ex, nil
+	}
+	if req.Form != "" && req.Form != api.FormRanked {
+		return nil, api.Errorf(api.CodeBadRequest,
+			"form must be omitted or %q (%q is for temporal expressions)", api.FormRanked, api.FormTracks)
+	}
+	compiled, err := s.sys.CompilePlanExpr(ast)
+	if err != nil {
+		return nil, api.Errorf(api.CodeBadExpr, "%v", err)
+	}
+	ex.compiled = compiled
 	// A bare one-leaf plan with no ranking or paging ask is the paper's
 	// single-class query: answer it in the frames form through the
 	// single-class engine. Everything else — compound predicates, TopK,
@@ -130,9 +168,12 @@ func (s *Server) executeV1(ex *v1Exec) (*api.QueryResponse, *api.Error) {
 		return nil, api.Errorf(api.CodeOverloaded, "overloaded: query queue is full")
 	}
 	defer s.limiter.Release()
-	if ex.ranked {
+	switch {
+	case ex.tracked:
+		s.trackQueries.Add(1)
+	case ex.ranked:
 		s.planQueries.Add(1)
-	} else {
+	default:
 		s.queries.Add(1)
 	}
 
@@ -145,6 +186,9 @@ func (s *Server) executeV1(ex *v1Exec) (*api.QueryResponse, *api.Error) {
 	names, vector, aerr := s.resolveVector(ex.streams, ex.pins)
 	if aerr != nil {
 		return nil, aerr
+	}
+	if ex.tracked {
+		return s.executeTracks(ex, names, vector)
 	}
 	if !ex.ranked {
 		return s.executeFrames(ex, names, vector)
@@ -286,6 +330,95 @@ func (s *Server) executeRanked(ex *v1Exec, names []string, vector api.WatermarkV
 		MaxClusters: ex.maxClusters,
 		At:          vector,
 	}, ex.limit, ex.offset, len(out.Items), full.TotalItems)
+	return &out, nil
+}
+
+// tracksCacheKey mirrors rankedCacheKey with a distinct prefix: a tracks
+// execution and a ranked execution of the same canonical predicate are
+// different pure functions (they cannot share an expr — temporal operators
+// decide the path — but the keyspace separation keeps that invariant out
+// of the cache's hands).
+func tracksCacheKey(canonical string, ex *v1Exec, names []string, vector api.WatermarkVector) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tracks|%s|k=%d&kx=%d&s=%g&e=%g&m=%d", canonical, ex.topK,
+		ex.kx, ex.start, ex.end, ex.maxClusters)
+	for _, n := range names {
+		fmt.Fprintf(&b, "|%s@%g", n, vector[n])
+	}
+	return b.String()
+}
+
+// executeTracks answers a temporal expression through the track pipeline,
+// slicing the requested page out of the (cached) full ranking and minting
+// the continuation cursor — the tracks-form mirror of executeRanked.
+func (s *Server) executeTracks(ex *v1Exec, names []string, vector api.WatermarkVector) (*api.QueryResponse, *api.Error) {
+	canonical := ex.trackPlan.Canonical()
+	key := tracksCacheKey(canonical, ex, names, vector)
+	var full *api.QueryResponse
+	cached := false
+	if v, ok := s.cache.get(key); ok {
+		s.cacheHits.Add(1)
+		full, cached = v.(*api.QueryResponse), true
+	} else {
+		res, err := s.sys.ExecuteTrackQuery(ex.trackPlan, focus.TrackOptions{
+			Streams: names,
+			TopK:    ex.topK,
+			Leaf: focus.QueryOptions{
+				Kx:          ex.kx,
+				StartSec:    ex.start,
+				EndSec:      ex.end,
+				MaxClusters: ex.maxClusters,
+			},
+			AtWatermarks: vector,
+		})
+		if err != nil {
+			return nil, api.Errorf(api.CodeInternal, "%v", err)
+		}
+		full = &api.QueryResponse{
+			Expr:         canonical,
+			Form:         api.FormTracks,
+			Watermarks:   vector,
+			Tracks:       make([]api.TrackItem, len(res.Items)),
+			TotalItems:   len(res.Items),
+			TopK:         ex.topK,
+			Kx:           ex.kx,
+			Start:        ex.start,
+			End:          ex.end,
+			MaxClusters:  ex.maxClusters,
+			GTInferences: res.Stats.GTInferences,
+			GPUTimeMS:    res.Stats.GPUTimeMS,
+			LatencyMS:    res.Stats.LatencyMS,
+		}
+		for i, it := range res.Items {
+			full.Tracks[i] = api.TrackItem{
+				Stream:     it.Stream,
+				Track:      it.Track,
+				Object:     int64(it.Object),
+				StartFrame: int64(it.StartFrame),
+				EndFrame:   int64(it.EndFrame),
+				StartSec:   it.StartSec,
+				EndSec:     it.EndSec,
+				Sightings:  it.Sightings,
+				Score:      it.Score,
+			}
+		}
+		s.cache.put(key, full)
+		s.cacheMisses.Add(1)
+	}
+	out := *full // shallow copy; Tracks re-sliced below, never mutated
+	out.Cached = cached
+	out.Tracks = api.PageTracks(full.Tracks, ex.limit, ex.offset)
+	out.Cursor = api.ContinuationToken(api.Cursor{
+		Expr:        canonical,
+		Streams:     names,
+		TopK:        ex.topK,
+		Kx:          ex.kx,
+		Start:       ex.start,
+		End:         ex.end,
+		MaxClusters: ex.maxClusters,
+		At:          vector,
+		Form:        api.FormTracks,
+	}, ex.limit, ex.offset, len(out.Tracks), full.TotalItems)
 	return &out, nil
 }
 

@@ -1,0 +1,329 @@
+package track
+
+import (
+	"fmt"
+	"math"
+
+	"focus/internal/plan"
+	"focus/internal/video"
+	"focus/internal/vision"
+)
+
+// Three-valued truth, identical to the plan executor's convention: -1
+// False, 0 Unknown, +1 True. And = min, Or = max, Not = negation.
+const (
+	tvFalse   int8 = -1
+	tvUnknown int8 = 0
+	tvTrue    int8 = 1
+)
+
+type opKind int8
+
+const (
+	opClass opKind = iota
+	opAtom
+	opAnd
+	opOr
+	opNot
+)
+
+// node is one compiled evaluation node. Class leaves index classes (the
+// three-valued, GPU-priced part); atoms index pre-compiled temporal
+// predicates (two-valued, decided at assembly time, no GPU).
+type node struct {
+	op   opKind
+	leaf int
+	atom int
+	kids []*node
+}
+
+// classSpec is one deduplicated class leaf of a track plan.
+type classSpec struct {
+	idx   int
+	name  string
+	class vision.ClassID
+	opts  plan.LeafOptions
+	// scoring leaves (any positive occurrence) contribute their dominant
+	// cluster's confidence to a matching track's score.
+	scoring bool
+}
+
+// atomEval decides one temporal atom for one track.
+type atomEval func(tr *Track) bool
+
+// Plan is a compiled temporal track plan, the track-path analog of
+// plan.Plan: a validated expression with resolved class leaves and
+// pre-compiled temporal atoms, ready to execute against per-stream
+// targets.
+type Plan struct {
+	root      plan.Expr
+	eval      *node
+	leaves    []*classSpec
+	atoms     []atomEval
+	atomNames []string
+	canonical string
+}
+
+// Canonical returns the plan's canonical text form — the same canonical
+// string plan.Canonical renders, and the serve layer's cache-key
+// component for the tracks form.
+func (p *Plan) Canonical() string { return p.canonical }
+
+// Classes returns the distinct class leaf names, in first-mention order.
+func (p *Plan) Classes() []string {
+	out := make([]string, len(p.leaves))
+	for i, l := range p.leaves {
+		out[i] = l.name
+	}
+	return out
+}
+
+// Compile validates a temporal expression and resolves its class leaves.
+// The expression must contain at least one temporal operator (otherwise
+// it belongs on the boolean plan path); spatial matcher positions —
+// Seq/Within children — accept only region, seq, and within; and every
+// leaf's parameters are range-checked. Unlike the boolean path there is
+// no anchoring requirement: the track population at a watermark is
+// finite (every track is assembled from indexed sightings), so even a
+// bare negation ranges over a bounded set.
+func Compile(e plan.Expr, resolve plan.Resolver) (*Plan, error) {
+	if e == nil {
+		return nil, fmt.Errorf("track: empty expression")
+	}
+	if !plan.HasTemporal(e) {
+		return nil, fmt.Errorf("track: %q has no temporal operator (use the boolean plan path)", plan.Canonical(e))
+	}
+	p := &Plan{root: e, canonical: plan.Canonical(e)}
+	byKey := make(map[string]*classSpec)
+	var compileErr error
+	fail := func(format string, args ...any) {
+		if compileErr == nil {
+			compileErr = fmt.Errorf(format, args...)
+		}
+	}
+	addAtom := func(x plan.Expr, fn atomEval) *node {
+		n := &node{op: opAtom, atom: len(p.atoms)}
+		p.atoms = append(p.atoms, fn)
+		p.atomNames = append(p.atomNames, plan.Canonical(x))
+		return n
+	}
+	var build func(e plan.Expr, positive bool) *node
+	build = func(e plan.Expr, positive bool) *node {
+		switch x := e.(type) {
+		case *plan.Leaf:
+			key := plan.Canonical(x)
+			spec, ok := byKey[key]
+			if !ok {
+				class, err := resolve(x.Class)
+				if err != nil {
+					fail("track: leaf %q: %v", x.Class, err)
+				}
+				spec = &classSpec{idx: len(p.leaves), name: x.Class, class: class, opts: x.Opts}
+				byKey[key] = spec
+				p.leaves = append(p.leaves, spec)
+			}
+			if positive {
+				spec.scoring = true
+			}
+			return &node{op: opClass, leaf: spec.idx}
+		case *plan.And:
+			n := &node{op: opAnd}
+			for _, c := range x.Children {
+				n.kids = append(n.kids, build(c, positive))
+			}
+			if len(n.kids) == 0 {
+				fail("track: empty And")
+			}
+			return n
+		case *plan.Or:
+			n := &node{op: opOr}
+			for _, c := range x.Children {
+				n.kids = append(n.kids, build(c, positive))
+			}
+			if len(n.kids) == 0 {
+				fail("track: empty Or")
+			}
+			return n
+		case *plan.Not:
+			return &node{op: opNot, kids: []*node{build(x.Child, !positive)}}
+		case *plan.Dur:
+			if x.MinSec < 0 || x.MaxSec < 0 {
+				fail("track: dur bounds must be non-negative in %q", plan.Canonical(x))
+			}
+			if x.MaxSec > 0 && x.MaxSec < x.MinSec {
+				fail("track: dur max %g below min %g", x.MaxSec, x.MinSec)
+			}
+			d := *x
+			return addAtom(x, func(tr *Track) bool {
+				dur := tr.DurationSec()
+				return dur >= d.MinSec && (d.MaxSec <= 0 || dur <= d.MaxSec)
+			})
+		case *plan.Vel:
+			if x.Min < 0 || x.Max < 0 {
+				fail("track: vel bounds must be non-negative in %q", plan.Canonical(x))
+			}
+			if x.Max > 0 && x.Max < x.Min {
+				fail("track: vel max %g below min %g", x.Max, x.Min)
+			}
+			v := *x
+			return addAtom(x, func(tr *Track) bool {
+				speed := meanSpeed(tr)
+				return speed >= v.Min && (v.Max <= 0 || speed <= v.Max)
+			})
+		case *plan.Region, *plan.Seq, *plan.Within:
+			m, err := compileMatcher(e)
+			if err != nil {
+				fail("%v", err)
+				return &node{op: opAtom}
+			}
+			return addAtom(e, func(tr *Track) bool {
+				_, _, ok := m(tr, 0)
+				return ok
+			})
+		default:
+			fail("track: unknown expression node %T", e)
+			return &node{op: opAtom}
+		}
+	}
+	p.eval = build(e, true)
+	if compileErr != nil {
+		return nil, compileErr
+	}
+	return p, nil
+}
+
+// matcher finds the earliest match within one track starting at or after
+// sighting index from, returning the matched sighting index range
+// [start, end] inclusive.
+type matcher func(tr *Track, from int) (start, end int, ok bool)
+
+// compileMatcher validates and compiles a spatial matcher: region, or
+// seq/within over matchers. Class, dur, and vel leaves are whole-track
+// predicates and cannot appear in matcher position.
+func compileMatcher(e plan.Expr) (matcher, error) {
+	switch x := e.(type) {
+	case *plan.Region:
+		if x.X1 <= x.X0 || x.Y1 <= x.Y0 {
+			return nil, fmt.Errorf("track: degenerate region %q (need x1 > x0 and y1 > y0)", plan.Canonical(x))
+		}
+		rect := video.Rect{X: x.X0, Y: x.Y0, W: x.X1 - x.X0, H: x.Y1 - x.Y0}
+		return func(tr *Track, from int) (int, int, bool) {
+			for i := from; i < len(tr.Sightings); i++ {
+				if intersectionArea(tr.Sightings[i].BBox, rect) > 0 {
+					return i, i, true
+				}
+			}
+			return 0, 0, false
+		}, nil
+	case *plan.Seq:
+		if len(x.Children) < 2 {
+			return nil, fmt.Errorf("track: seq needs at least 2 steps, got %d", len(x.Children))
+		}
+		kids := make([]matcher, len(x.Children))
+		for i, c := range x.Children {
+			m, err := compileMatcher(c)
+			if err != nil {
+				return nil, err
+			}
+			kids[i] = m
+		}
+		// Greedy earliest-completion subsequence match: each step matches
+		// as early as possible at a strictly later sighting than the
+		// previous step's end. For a fixed start this minimizes the end
+		// index, which Within's restart scan relies on.
+		return func(tr *Track, from int) (int, int, bool) {
+			cur := from
+			start, end := 0, 0
+			for i, m := range kids {
+				s, e, ok := m(tr, cur)
+				if !ok {
+					return 0, 0, false
+				}
+				if i == 0 {
+					start = s
+				}
+				end = e
+				cur = e + 1
+			}
+			return start, end, true
+		}, nil
+	case *plan.Within:
+		if x.DSec < 0 || math.IsNaN(x.DSec) {
+			return nil, fmt.Errorf("track: within duration must be non-negative, got %g", x.DSec)
+		}
+		child, err := compileMatcher(x.Child)
+		if err != nil {
+			return nil, err
+		}
+		d := x.DSec
+		// Scan start positions: the child's greedy match at each start has
+		// the minimal end, so if no start yields a span within d, no match
+		// does.
+		return func(tr *Track, from int) (int, int, bool) {
+			probe := from
+			for {
+				s, e, ok := child(tr, probe)
+				if !ok {
+					return 0, 0, false
+				}
+				if tr.Sightings[e].TimeSec-tr.Sightings[s].TimeSec <= d {
+					return s, e, true
+				}
+				probe = s + 1
+			}
+		}, nil
+	default:
+		return nil, fmt.Errorf("track: %q cannot appear inside seq/within (spatial matchers are region, seq, within)", plan.Canonical(e))
+	}
+}
+
+// meanSpeed is the track's bbox-center path length divided by its
+// duration, in pixels/second; single-sighting (or zero-duration) tracks
+// move at speed 0.
+func meanSpeed(tr *Track) float64 {
+	dur := tr.DurationSec()
+	if dur <= 0 {
+		return 0
+	}
+	var dist float64
+	for i := 1; i < len(tr.Sightings); i++ {
+		x0, y0 := center(tr.Sightings[i-1].BBox)
+		x1, y1 := center(tr.Sightings[i].BBox)
+		dist += math.Hypot(x1-x0, y1-y0)
+	}
+	return dist / dur
+}
+
+func center(r video.Rect) (float64, float64) {
+	return float64(r.X) + float64(r.W)/2, float64(r.Y) + float64(r.H)/2
+}
+
+// evalTV evaluates the three-valued truth of a compiled node given the
+// per-track class-leaf states and atom values (And = min, Or = max, Not =
+// negation — Unknown propagates only where it matters).
+func evalTV(n *node, classState, atomVals []int8) int8 {
+	switch n.op {
+	case opClass:
+		return classState[n.leaf]
+	case opAtom:
+		return atomVals[n.atom]
+	case opAnd:
+		v := tvTrue
+		for _, k := range n.kids {
+			if kv := evalTV(k, classState, atomVals); kv < v {
+				v = kv
+			}
+		}
+		return v
+	case opOr:
+		v := tvFalse
+		for _, k := range n.kids {
+			if kv := evalTV(k, classState, atomVals); kv > v {
+				v = kv
+			}
+		}
+		return v
+	default: // opNot
+		return -evalTV(n.kids[0], classState, atomVals)
+	}
+}

@@ -1,0 +1,149 @@
+package focus
+
+import (
+	"focus/internal/plan"
+	"focus/internal/track"
+)
+
+// Temporal (track-predicate) queries: the track layer assembles object
+// sightings into per-stream tracks and evaluates predicates like
+// "car & within(5, seq(region(...), region(...)))" over them, with the
+// same watermark-pinning contract as PlanQuery. Expressions containing a
+// temporal operator (seq, within, dur, region, vel) execute here; purely
+// boolean expressions belong on PlanQuery. See internal/track for the
+// execution model.
+
+// TrackOptions tune one temporal-query execution. The fields mirror
+// PlanOptions; DefaultLeaf's window and cluster budget additionally shape
+// which sealed clusters contribute sightings to track assembly.
+type TrackOptions struct {
+	// Streams restricts the query to these stream names; empty = every
+	// ingested stream.
+	Streams []string
+	// TopK caps the ranked result; 0 returns every matching track.
+	TopK int
+	// Leaf applies to every class leaf that does not carry its own
+	// options, and its StartSec/EndSec/MaxClusters also bound track
+	// assembly. (AtSec inside Leaf is ignored; watermarks come from AtSec
+	// / AtWatermarks below.)
+	Leaf QueryOptions
+	// AtSec, when positive, pins every stream to that ingest watermark;
+	// zero queries everything indexed so far; negative pins to the empty
+	// horizon. Same semantics as QueryOptions.AtSec.
+	AtSec float64
+	// AtWatermarks pins individual streams, overriding AtSec, exactly
+	// like Query.AtWatermarks.
+	AtWatermarks map[string]float64
+	// StepClusters is how many dominant clusters each paging refinement
+	// round verifies (0 = default).
+	StepClusters int
+	// Workers bounds the cross-stream fan-out; 0 = one worker per stream,
+	// 1 = the sequential reference. Results are bit-identical either way.
+	Workers int
+}
+
+// TrackItem is one ranked temporal-query result.
+type TrackItem = track.Item
+
+// TrackResult is a completed temporal-query execution.
+type TrackResult = track.Result
+
+// TrackPageCursor pages through a temporal query's ranked results.
+type TrackPageCursor = track.Cursor
+
+// CompileTrackQuery parses and compiles a temporal predicate expression
+// ("car & dur(30)") against this system's class space. The expression
+// must contain at least one temporal operator.
+func (s *System) CompileTrackQuery(expr string) (*track.Plan, error) {
+	ast, err := plan.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	return track.Compile(ast, s.ClassID)
+}
+
+// CompileTrackExpr compiles a caller-built AST (the way to attach
+// per-leaf windows or budgets, which the text syntax cannot spell).
+func (s *System) CompileTrackExpr(e plan.Expr) (*track.Plan, error) {
+	return track.Compile(e, s.ClassID)
+}
+
+func (s *System) trackTargets(opts TrackOptions) ([]plan.Target, error) {
+	// Track executions resolve streams and watermarks exactly like plan
+	// executions: same defaults, same per-stream pinning.
+	return s.planTargets(PlanOptions{
+		Streams:      opts.Streams,
+		AtSec:        opts.AtSec,
+		AtWatermarks: opts.AtWatermarks,
+	})
+}
+
+func (s *System) trackExecOptions(opts TrackOptions) track.Options {
+	return track.Options{
+		TopK: opts.TopK,
+		DefaultLeaf: plan.LeafOptions{
+			Kx:          opts.Leaf.Kx,
+			StartSec:    opts.Leaf.StartSec,
+			EndSec:      opts.Leaf.EndSec,
+			MaxClusters: opts.Leaf.MaxClusters,
+		},
+		StepClusters: opts.StepClusters,
+		Workers:      opts.Workers,
+	}
+}
+
+// ExecuteTrackQuery runs a compiled track plan to completion (or to
+// TopK) across the selected streams and returns the confidence-ranked
+// result. At a fixed watermark vector the answer is a pure function of
+// (plan, options, vector), so it can be cached exactly like a plan query.
+func (s *System) ExecuteTrackQuery(p *track.Plan, opts TrackOptions) (*TrackResult, error) {
+	targets, err := s.trackTargets(opts)
+	if err != nil {
+		return nil, err
+	}
+	return track.Execute(p, targets, s.trackExecOptions(opts))
+}
+
+// NewTrackCursor starts a paged execution of a compiled track plan:
+// Next(n) returns the next n items of the final ranking, extending the
+// per-stream verification budgets only as far as each page needs. Pages
+// concatenate to exactly what ExecuteTrackQuery returns for the same
+// options and watermark vector.
+func (s *System) NewTrackCursor(p *track.Plan, opts TrackOptions) (*TrackPageCursor, error) {
+	targets, err := s.trackTargets(opts)
+	if err != nil {
+		return nil, err
+	}
+	return track.NewCursor(p, targets, s.trackExecOptions(opts))
+}
+
+// TrackQuery compiles and executes a temporal predicate expression in
+// one call: sys.TrackQuery("car & dur(30)", focus.TrackOptions{TopK: 10}).
+func (s *System) TrackQuery(expr string, opts TrackOptions) (*TrackResult, error) {
+	p, err := s.CompileTrackQuery(expr)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecuteTrackQuery(p, opts)
+}
+
+// TrackCursor compiles a temporal expression and starts a paged execution.
+func (s *System) TrackCursor(expr string, opts TrackOptions) (*TrackPageCursor, error) {
+	p, err := s.CompileTrackQuery(expr)
+	if err != nil {
+		return nil, err
+	}
+	return s.NewTrackCursor(p, opts)
+}
+
+// TrackQuery runs a temporal query against this stream only.
+func (sess *Session) TrackQuery(expr string, opts TrackOptions) (*TrackResult, error) {
+	opts.Streams = []string{sess.Name()}
+	return sess.sys.TrackQuery(expr, opts)
+}
+
+// TrackCursor starts a paged temporal query against this stream only.
+func (sess *Session) TrackCursor(expr string, opts TrackOptions) (*TrackPageCursor, error) {
+	opts.Streams = []string{sess.Name()}
+	return sess.sys.TrackCursor(expr, opts)
+}

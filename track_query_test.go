@@ -1,0 +1,186 @@
+package focus
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestTrackPagedEqualsOneShot is the paging and watermark-purity contract
+// for temporal queries: with ingestion racing ahead on every stream, a
+// track query pinned to a watermark vector must return identical results
+// one-shot, with the sequential cross-stream reference (Workers=1), and
+// paged with any page size — no matter how far live ingest advances
+// between pages. Run under -race this also proves track assembly and
+// verification never touch unsynchronized session state.
+func TestTrackPagedEqualsOneShot(t *testing.T) {
+	streams := []string{"auburn_c", "jacksonh"}
+	sys := newTestSystem(t, liveTestConfig())
+	for _, name := range streams {
+		if _, err := sys.AddTable1Stream(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	window := GenOptions{DurationSec: 45, SampleEvery: 1}
+	for _, name := range streams {
+		if err := sys.Session(name).StartLive(window); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Seal a prefix, pin the vector there, then let ingesters race ahead
+	// while track executions run against the pinned vector. The pin is
+	// deep into the window because clusters seal only after the idle
+	// timeout: a watermark of 35 sees the clusters of objects that left
+	// the scene in the window's first third.
+	vector := make(map[string]float64, len(streams))
+	for _, name := range streams {
+		wm, err := sys.Session(name).AdvanceLive(35)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vector[name] = wm
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(len(streams))
+	for _, name := range streams {
+		go func(name string) {
+			defer wg.Done()
+			sess := sys.Session(name)
+			for to := 37.0; to <= window.DurationSec+5; to += 3 {
+				if _, err := sess.AdvanceLive(to); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(name)
+	}
+
+	const expr = "car & dur(1)"
+	opts := TrackOptions{TopK: 10, AtWatermarks: vector, StepClusters: 1}
+	oneShot, err := sys.TrackQuery(expr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oneShot.Items) == 0 {
+		t.Fatal("pinned track query matched nothing; the fixture should produce car tracks")
+	}
+	seqOpts := opts
+	seqOpts.Workers = 1
+	seq, err := sys.TrackQuery(expr, seqOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Items) != len(oneShot.Items) {
+		t.Fatalf("sequential fan-out returned %d items, parallel %d", len(seq.Items), len(oneShot.Items))
+	}
+	for i := range seq.Items {
+		if seq.Items[i] != oneShot.Items[i] {
+			t.Fatalf("item %d: sequential %+v != parallel %+v", i, seq.Items[i], oneShot.Items[i])
+		}
+	}
+	for _, pageSize := range []int{1, 3} {
+		cur, err := sys.TrackCursor(expr, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var paged []TrackItem
+		for !cur.Done() {
+			page, err := cur.Next(pageSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(page) == 0 && !cur.Done() {
+				t.Fatal("empty page before exhaustion")
+			}
+			paged = append(paged, page...)
+		}
+		if len(paged) != len(oneShot.Items) {
+			t.Fatalf("pageSize=%d: paged %d items, one-shot %d", pageSize, len(paged), len(oneShot.Items))
+		}
+		for i := range paged {
+			if paged[i] != oneShot.Items[i] {
+				t.Fatalf("pageSize=%d item %d under live ingest: paged %+v != one-shot %+v",
+					pageSize, i, paged[i], oneShot.Items[i])
+			}
+		}
+	}
+	wg.Wait()
+	for _, name := range streams {
+		sys.Session(name).StopLive()
+	}
+
+	// The pinned answer must survive ingestion having finished: tracks are
+	// a pure function of the watermark vector.
+	final, err := sys.TrackQuery(expr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final.Items) != len(oneShot.Items) {
+		t.Fatalf("post-ingest re-run %d items, pinned run %d", len(final.Items), len(oneShot.Items))
+	}
+	for i := range final.Items {
+		if final.Items[i] != oneShot.Items[i] {
+			t.Fatalf("post-ingest item %d: %+v != %+v", i, final.Items[i], oneShot.Items[i])
+		}
+	}
+}
+
+// TestTrackQueryRejectsBoolean pins the dispatch contract from the other
+// side: purely boolean expressions belong on PlanQuery, temporal ones on
+// TrackQuery, and each path rejects the other's with a pointed error.
+func TestTrackQueryRejectsBoolean(t *testing.T) {
+	sys := sharedPlanSystem(t)
+	if _, err := sys.TrackQuery("car & !bus", TrackOptions{}); err == nil {
+		t.Error("TrackQuery accepted a purely boolean expression")
+	}
+	if _, err := sys.PlanQuery("car & dur(30)", PlanOptions{}); err == nil {
+		t.Error("PlanQuery accepted a temporal expression")
+	}
+}
+
+// TestTrackQueryCostsOneVerdictPerCluster carries the §6.7 cost contract
+// to the track path at the system level: a compound temporal plan pays at
+// most one GT-CNN inference per distinct dominant cluster — pinned via
+// GPU-meter deltas — and re-running it costs zero new GPU operations.
+func TestTrackQueryCostsOneVerdictPerCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs a freshly ingested system (cold verdict cache); nightly runs it")
+	}
+	sys := newPlanSystem(t, "auburn_c")
+
+	before := sys.GPUMeter()
+	res, err := sys.TrackQuery("car & !bus & dur(1)", TrackOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := sys.GPUMeter()
+
+	unique := 0
+	for _, ss := range res.Stats.PerStream {
+		unique += ss.VerifiedClusters
+	}
+	delta := after.QueryOps - before.QueryOps
+	if delta != int64(res.Stats.GTInferences) {
+		t.Errorf("meter query ops delta %d != track GTInferences %d", delta, res.Stats.GTInferences)
+	}
+	if delta > int64(unique) {
+		t.Errorf("meter query ops delta %d exceeds distinct verified clusters %d: some cluster was verified twice", delta, unique)
+	}
+
+	again, err := sys.TrackQuery("car & !bus & dur(1)", TrackOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.GPUMeter().QueryOps != after.QueryOps {
+		t.Errorf("re-running the track query paid %d new GPU ops, want 0",
+			sys.GPUMeter().QueryOps-after.QueryOps)
+	}
+	if len(again.Items) != len(res.Items) {
+		t.Fatalf("re-run returned %d items, first run %d", len(again.Items), len(res.Items))
+	}
+	for i := range again.Items {
+		if again.Items[i] != res.Items[i] {
+			t.Fatalf("re-run item %d: %+v != %+v", i, again.Items[i], res.Items[i])
+		}
+	}
+}
