@@ -39,6 +39,10 @@ type Cursor struct {
 	// a temporal (tracks-form) execution, empty for ranked — tokens
 	// minted before the tracks form existed decode as ranked.
 	Form string `json:"form,omitempty"`
+	// Mode is the execution mode in canonical form: ModeEarlyExit for an
+	// early-exit execution, empty for exact — tokens minted before modes
+	// existed decode as exact.
+	Mode string `json:"mode,omitempty"`
 }
 
 // cursorPrefix versions the token format so a future format change can be
@@ -91,6 +95,14 @@ func DecodeCursor(token string) (*Cursor, error) {
 	if c.Form != "" && c.Form != FormTracks {
 		return nil, fmt.Errorf("bad cursor: unknown form %q", c.Form)
 	}
+	// Servers mint Mode in canonical form (exact = empty), so anything but
+	// the two canonical values is forged or corrupted.
+	if c.Mode != "" && c.Mode != ModeEarlyExit {
+		return nil, fmt.Errorf("bad cursor: unknown mode %q", c.Mode)
+	}
+	if c.Mode == ModeEarlyExit && (c.Form == FormTracks || c.TopK < 1) {
+		return nil, fmt.Errorf("bad cursor: mode %q needs a ranked execution with top_k >= 1", ModeEarlyExit)
+	}
 	return &c, nil
 }
 
@@ -101,7 +113,8 @@ func DecodeCursor(token string) (*Cursor, error) {
 // two can never diverge on cursor-request semantics.
 func CursorForRequest(req *QueryRequest) (*Cursor, *Error) {
 	if req.Expr != "" || len(req.Streams) > 0 || req.TopK != 0 || req.Kx != 0 ||
-		req.Start != 0 || req.End != 0 || req.MaxClusters != 0 || len(req.At) > 0 || req.Form != "" {
+		req.Start != 0 || req.End != 0 || req.MaxClusters != 0 || len(req.At) > 0 ||
+		req.Form != "" || req.Mode != "" {
 		return nil, Errorf(CodeBadCursor,
 			"a cursor request must carry only cursor (and optionally limit); everything else is frozen in the token")
 	}

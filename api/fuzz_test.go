@@ -1,0 +1,67 @@
+package api
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeCursor feeds arbitrary page tokens to the decoder: it must
+// never panic, must reject anything a server would not have minted (the
+// execution layers trust decoded cursors and skip re-validation, so this
+// gate is the only thing between a forged token and the executor), and
+// every accepted cursor must survive an encode/decode round-trip exactly
+// — otherwise a continuation token would drift from the execution it
+// pins.
+func FuzzDecodeCursor(f *testing.F) {
+	for _, c := range []*Cursor{
+		{Expr: "(car&person)", Streams: []string{"auburn_c", "jacksonh"},
+			TopK: 5, At: WatermarkVector{"auburn_c": 30, "jacksonh": 12}, Offset: 2},
+		{Expr: "(car&person)", Streams: []string{"auburn_c"},
+			TopK: 5, At: WatermarkVector{"auburn_c": 30}, Offset: 0, Mode: ModeEarlyExit},
+		{Expr: "(car&dur(2,0))", Streams: []string{"auburn_c"},
+			At: WatermarkVector{"auburn_c": 30}, Form: FormTracks, Offset: 1},
+		{Expr: "car", Streams: []string{"s"}, Kx: 3, Start: 1, End: 9, MaxClusters: 7,
+			At: WatermarkVector{"s": 4}},
+	} {
+		f.Add(c.Encode())
+	}
+	for _, garbage := range []string{
+		"", "v1.", "v1.!!!", "v2.e30", "v1.e30", // e30 is base64 for "{}"
+		"v1.bm90IGpzb24",         // not json
+		"v1.eyJleHByIjoiY2FyIn0", // {"expr":"car"}: no streams
+	} {
+		f.Add(garbage)
+	}
+	f.Fuzz(func(t *testing.T, token string) {
+		c, err := DecodeCursor(token)
+		if err != nil {
+			if c != nil {
+				t.Fatalf("DecodeCursor(%q) returned both a cursor and an error", token)
+			}
+			return
+		}
+		// Invariants of every accepted cursor — the decoder's validation
+		// contract, which downstream executors rely on without re-checking.
+		if c.Expr == "" || len(c.Streams) == 0 || c.Offset < 0 ||
+			c.TopK < 0 || c.Kx < 0 || c.MaxClusters < 0 || c.Start < 0 || c.End < 0 {
+			t.Fatalf("DecodeCursor(%q) accepted an invalid cursor: %+v", token, c)
+		}
+		if c.Form != "" && c.Form != FormTracks {
+			t.Fatalf("DecodeCursor(%q) accepted unknown form %q", token, c.Form)
+		}
+		if c.Mode != "" && c.Mode != ModeEarlyExit {
+			t.Fatalf("DecodeCursor(%q) accepted unknown mode %q", token, c.Mode)
+		}
+		if c.Mode == ModeEarlyExit && (c.Form == FormTracks || c.TopK < 1) {
+			t.Fatalf("DecodeCursor(%q) accepted an impossible early-exit cursor: %+v", token, c)
+		}
+		// Encode/decode fixpoint: re-minting the token loses nothing.
+		again, err := DecodeCursor(c.Encode())
+		if err != nil {
+			t.Fatalf("re-encoded cursor of %q does not decode: %v", token, err)
+		}
+		if !reflect.DeepEqual(c, again) {
+			t.Fatalf("cursor drifted across encode/decode:\nfirst:  %+v\nsecond: %+v", c, again)
+		}
+	})
+}

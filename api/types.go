@@ -44,6 +44,20 @@ type QueryRequest struct {
 	// forced onto boolean expressions (nor ranked onto temporal ones):
 	// the expression's shape decides between ranked and tracks.
 	Form string `json:"form,omitempty"`
+	// Mode selects the execution mode for ranked queries. Empty and
+	// ModeExact both denote the exact mode (the default, bit-identical to
+	// every pre-mode release): the full ranking, provably final before a
+	// single item is returned. ModeEarlyExit opts into the approximate
+	// ExSample-style mode: verification budget chases the streams where
+	// results have been surfacing and the query stops as soon as top_k
+	// verified items are in hand, so top_k >= 1 is required. Early-exit
+	// answers keep the verification guarantee — every returned item is
+	// GT-verified with its exact-mode score — but not the ranking
+	// guarantee (the items are the top of the discovered set, not
+	// necessarily the global top K). Deterministic per request, so
+	// cacheable; the two modes never share a cache entry. Rejected
+	// (bad_request) on temporal (tracks-form) expressions.
+	Mode string `json:"mode,omitempty"`
 	// AllowPartial opts into degraded answers from a sharded deployment:
 	// when some shards are unreachable, the router returns the healthy
 	// shards' merged answer with the Partial marker set instead of failing
@@ -52,6 +66,34 @@ type QueryRequest struct {
 	// are never partial). Partial responses remain verifiable: the echoed
 	// watermark vector covers exactly the streams that answered.
 	AllowPartial bool `json:"allow_partial,omitempty"`
+}
+
+// Execution modes (QueryRequest.Mode / QueryResponse.Mode).
+const (
+	// ModeExact is the default: exact, bit-identical ranked execution.
+	ModeExact = "exact"
+	// ModeEarlyExit is the opt-in approximate mode: budget-allocated
+	// verification that stops at top_k verified results.
+	ModeEarlyExit = "early_exit"
+)
+
+// NormalizeMode validates a wire mode and returns its canonical internal
+// form: "" for exact ("" and "exact" denote the same pure function, so
+// they normalize to one cache key), ModeEarlyExit for early_exit. Shared
+// by the serve layer and the router so mode admission can never diverge.
+func NormalizeMode(mode string, topK int) (string, *Error) {
+	switch mode {
+	case "", ModeExact:
+		return "", nil
+	case ModeEarlyExit:
+		if topK < 1 {
+			return "", Errorf(CodeBadRequest,
+				"mode %q requires top_k >= 1 (early exit needs a result cap to stop at)", ModeEarlyExit)
+		}
+		return ModeEarlyExit, nil
+	default:
+		return "", Errorf(CodeBadRequest, "unknown mode %q (use %q or %q)", mode, ModeExact, ModeEarlyExit)
+	}
 }
 
 // Response forms (QueryResponse.Form).
@@ -111,6 +153,10 @@ type QueryResponse struct {
 	Start       float64 `json:"start,omitempty"`
 	End         float64 `json:"end,omitempty"`
 	MaxClusters int     `json:"max_clusters,omitempty"`
+	// Mode echoes the executed mode in canonical form: empty for exact
+	// (keeping exact responses byte-identical to pre-mode releases),
+	// ModeEarlyExit for early-exit answers.
+	Mode string `json:"mode,omitempty"`
 
 	// GTInferences, GPUTimeMS and LatencyMS are the execution's cost.
 	GTInferences int     `json:"gt_inferences"`

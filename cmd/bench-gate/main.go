@@ -39,6 +39,10 @@ func main() {
 		fmt.Printf("  streams=%-3d ingest %.2fx  query %.2fx  identical=%v\n",
 			p.Streams, p.IngestSpeedup, p.QuerySpeedup, p.Identical)
 	}
+	if rep.Raw != nil {
+		fmt.Printf("  raw         ivf %.2fx (identical=%v)  early-exit ratio %.2f (%d items)\n",
+			rep.Raw.IVFSpeedup, rep.Raw.IVFIdentical, rep.Raw.EarlyExitRatio, rep.Raw.EarlyExitItems)
+	}
 	failures := b.Check(rep)
 	if len(failures) > 0 {
 		for _, f := range failures {

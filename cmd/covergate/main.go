@@ -1,0 +1,165 @@
+// Command covergate is the CI coverage-floor gate: it reads a merged Go
+// coverage profile and a committed per-package floor file, computes each
+// floored package's statement coverage, and exits non-zero when any
+// package dropped below its floor. Packages without a floor are reported
+// but never gate — floors are added deliberately, one package at a time,
+// and only ratcheted upward once the new level has held.
+//
+// Usage:
+//
+//	go test -short -coverprofile=cover.out ./...
+//	covergate -profile cover.out -floors ci/coverage-floor.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Floors is the committed floor file layout.
+type Floors struct {
+	// Packages maps an import path to its minimum statement coverage in
+	// percent (e.g. "focus/internal/cluster": 85).
+	Packages map[string]float64 `json:"packages"`
+}
+
+// pkgCover accumulates statement counts for one package.
+type pkgCover struct {
+	total   int
+	covered int
+}
+
+func (p pkgCover) percent() float64 {
+	if p.total == 0 {
+		return 0
+	}
+	return 100 * float64(p.covered) / float64(p.total)
+}
+
+func main() {
+	profile := flag.String("profile", "cover.out", "merged coverage profile from go test -coverprofile")
+	floors := flag.String("floors", "ci/coverage-floor.json", "committed per-package coverage floors")
+	flag.Parse()
+
+	fl, err := loadFloors(*floors)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covergate:", err)
+		os.Exit(2)
+	}
+	byPkg, err := parseProfile(*profile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covergate:", err)
+		os.Exit(2)
+	}
+
+	pkgs := make([]string, 0, len(fl.Packages))
+	for pkg := range fl.Packages {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+
+	var failed bool
+	for _, pkg := range pkgs {
+		floor := fl.Packages[pkg]
+		cov, ok := byPkg[pkg]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "FAIL: %s: no statements in profile (package untested or renamed)\n", pkg)
+			failed = true
+			continue
+		}
+		got := cov.percent()
+		status := "ok  "
+		if got < floor {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %-32s %6.1f%% (floor %.1f%%, %d/%d statements)\n",
+			status, pkg, got, floor, cov.covered, cov.total)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "covergate: coverage dropped below a committed floor")
+		os.Exit(1)
+	}
+	fmt.Println("PASS: all floored packages at or above their coverage floors")
+}
+
+func loadFloors(path string) (*Floors, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var fl Floors
+	if err := json.Unmarshal(data, &fl); err != nil {
+		return nil, fmt.Errorf("parsing floors %s: %w", path, err)
+	}
+	if len(fl.Packages) == 0 {
+		return nil, fmt.Errorf("floors %s has no packages", path)
+	}
+	for pkg, floor := range fl.Packages {
+		if floor <= 0 || floor > 100 {
+			return nil, fmt.Errorf("floors %s: %s floor %v out of (0, 100]", path, pkg, floor)
+		}
+	}
+	return &fl, nil
+}
+
+// parseProfile reads a coverage profile ("mode:" header then one line per
+// statement block: file.go:sl.sc,el.ec numStmts hitCount) and aggregates
+// statement totals per import path.
+func parseProfile(file string) (map[string]pkgCover, error) {
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	byPkg := make(map[string]pkgCover)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		// <file>:<positions> <numStmts> <hitCount>
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s:%d: malformed profile line %q", file, lineNo, line)
+		}
+		colon := strings.LastIndex(fields[0], ":")
+		if colon < 0 {
+			return nil, fmt.Errorf("%s:%d: malformed location %q", file, lineNo, fields[0])
+		}
+		pkg := path.Dir(fields[0][:colon])
+		stmts, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad statement count %q", file, lineNo, fields[1])
+		}
+		hits, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad hit count %q", file, lineNo, fields[2])
+		}
+		cov := byPkg[pkg]
+		cov.total += stmts
+		if hits > 0 {
+			cov.covered += stmts
+		}
+		byPkg[pkg] = cov
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(byPkg) == 0 {
+		return nil, fmt.Errorf("profile %s contains no statement blocks", file)
+	}
+	return byPkg, nil
+}

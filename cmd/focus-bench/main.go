@@ -120,10 +120,16 @@ func runParallel(streams string, duration float64, sampleEvery, gpus int, seed u
 
 	fmt.Printf("# Focus parallel scaling — window %.0fs/stream, %d GPUs, pace %v/GPU-ms, GOMAXPROCS %d\n\n",
 		cfg.DurationSec, cfg.NumGPUs, cfg.GPUPace, runtimeGOMAXPROCS())
-	rep, err := scalebench.Run(cfg, func(format string, args ...any) {
+	progress := func(format string, args ...any) {
 		fmt.Printf(format+"\n", args...)
-	})
+	}
+	rep, err := scalebench.Run(cfg, progress)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "focus-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("raw-speed suite (stream-count independent)")
+	if rep.Raw, err = scalebench.RunRaw(cfg.Seed, progress); err != nil {
 		fmt.Fprintln(os.Stderr, "focus-bench:", err)
 		os.Exit(1)
 	}
@@ -134,6 +140,8 @@ func runParallel(streams string, duration float64, sampleEvery, gpus int, seed u
 			p.Streams, p.IngestSeqSec, p.IngestParSec, p.IngestSpeedup,
 			p.QuerySeqSec, p.QueryParSec, p.QuerySpeedup, p.Identical)
 	}
+	fmt.Printf("\nivf %.2fx vs linear (identical=%v)  early-exit %.2f of exact GPU cost (%d items)\n",
+		rep.Raw.IVFSpeedup, rep.Raw.IVFIdentical, rep.Raw.EarlyExitRatio, rep.Raw.EarlyExitItems)
 	if err := scalebench.AppendJSON(out, rep); err != nil {
 		fmt.Fprintln(os.Stderr, "focus-bench:", err)
 		os.Exit(1)

@@ -81,6 +81,7 @@ func main() {
 	trackEvery := flag.Int("track-every", 0, "every Nth request per client is a tracks-form query from -tracks (0 = never)")
 	singleStreamEvery := flag.Int("single-stream-every", 0, "every Nth plain query targets one stream instead of the whole corpus (0 = never; -boot-cluster defaults to 3 so healthy shards stay exercised during a drain)")
 	planTopK := flag.Int("plan-top-k", 10, "top_k for plan requests")
+	earlyExitEvery := flag.Int("early-exit-every", 0, "every Nth plan request per client runs in early-exit mode (mode=early_exit: stop at -plan-top-k verified items; 0 = plans always exact)")
 	legacyEvery := flag.Int("legacy-every", 0, "every Nth request per client goes through the deprecated /query or /plan shim instead of /v1/query (0 = v1 only)")
 	pageEvery := flag.Int("page-every", 0, "every Nth plan request per client is a cursor-paged read (0 = one-shot only)")
 	pageSize := flag.Int("page-size", 5, "page limit for cursor-paged plan reads")
@@ -119,6 +120,7 @@ func main() {
 		VerifyEvery:       *verifyEvery,
 		PlanEvery:         *planEvery,
 		PlanTopK:          *planTopK,
+		EarlyExitEvery:    *earlyExitEvery,
 		TrackEvery:        *trackEvery,
 		SingleStreamEvery: *singleStreamEvery,
 		LegacyEvery:       *legacyEvery,
@@ -347,7 +349,8 @@ func printReport(r *loadgen.Report) {
 	}
 	fmt.Printf("cache hits        %d\n", r.CacheHits)
 	if r.PlanRequests > 0 {
-		fmt.Printf("plan requests     %d (verified: %d, cursor-paged: %d)\n", r.PlanRequests, r.PlanVerified, r.PagedRequests)
+		fmt.Printf("plan requests     %d (verified: %d, cursor-paged: %d, early-exit: %d)\n",
+			r.PlanRequests, r.PlanVerified, r.PagedRequests, r.EarlyExitRequests)
 	}
 	if r.TrackRequests > 0 {
 		fmt.Printf("track requests    %d (verified: %d)\n", r.TrackRequests, r.TrackVerified)

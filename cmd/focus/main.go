@@ -240,6 +240,7 @@ func cmdPlan(args []string) error {
 	duration := fs.Float64("duration", 240, "window length in seconds (when re-ingesting)")
 	kx := fs.Int("kx", 0, "per-leaf dynamic Kx cut (0 = indexed K)")
 	maxClusters := fs.Int("max-clusters", 0, "per-leaf retrieval cap")
+	mode := fs.String("mode", "", "execution mode: exact (default) or early_exit (approximate: stop at -top verified results, requires -top >= 1)")
 	store := fs.String("store", "", "load persisted indexes from this path")
 	server := fs.String("server", "", "base URL of a running focus-serve or focus-router; plans over /v1 instead of the local library")
 	seed := fs.Uint64("seed", 1, "system seed")
@@ -247,9 +248,13 @@ func cmdPlan(args []string) error {
 	if *expr == "" {
 		return fmt.Errorf("plan: -expr is required (e.g. -expr 'car & person & !bus')")
 	}
+	normMode, aerr := api.NormalizeMode(*mode, *top)
+	if aerr != nil {
+		return fmt.Errorf("plan: %s", aerr.Message)
+	}
 
 	if *server != "" {
-		return servedPlan(*server, *streams, *expr, *top, *page, *kx, *maxClusters)
+		return servedPlan(*server, *streams, *expr, *top, *page, *kx, *maxClusters, normMode)
 	}
 
 	sys, err := focus.New(focus.Config{Seed: *seed, StorePath: *store})
@@ -284,9 +289,13 @@ func cmdPlan(args []string) error {
 		return err
 	}
 	opts := focus.PlanOptions{
-		Streams: names,
-		TopK:    *top,
-		Leaf:    focus.QueryOptions{Kx: *kx, MaxClusters: *maxClusters},
+		Streams:   names,
+		TopK:      *top,
+		Leaf:      focus.QueryOptions{Kx: *kx, MaxClusters: *maxClusters},
+		EarlyExit: normMode == api.ModeEarlyExit,
+	}
+	if opts.EarlyExit && *page > 0 {
+		return fmt.Errorf("plan: -page needs the exact mode's incremental cursor; early_exit answers at most -top results in one shot")
 	}
 	fmt.Printf("plan %s over %s:\n", compiled.Canonical(), strings.Join(names, ","))
 
@@ -510,13 +519,14 @@ func printServedQuery(server string, resp *api.QueryResponse) error {
 
 // servedPlan runs a ranked plan against a live endpoint, one-shot or
 // page by page through the opaque cursor.
-func servedPlan(server, streams, expr string, top, page, kx, maxClusters int) error {
+func servedPlan(server, streams, expr string, top, page, kx, maxClusters int, mode string) error {
 	req := &api.QueryRequest{
 		Expr:        expr,
 		TopK:        top,
 		Kx:          kx,
 		MaxClusters: maxClusters,
 		Form:        api.FormRanked,
+		Mode:        mode,
 	}
 	for _, name := range strings.Split(streams, ",") {
 		if name = strings.TrimSpace(name); name != "" {

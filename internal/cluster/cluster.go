@@ -72,6 +72,11 @@ type Cluster struct {
 	// lastTouch is the timestamp of the most recent member, for idle
 	// retirement.
 	lastTouch float64
+	// cell is the IVF cell currently holding this cluster (-1 when the
+	// index is off or the cluster is detached), and centerDist its exact
+	// distance to that cell's center; owned by the engine.
+	cell       int
+	centerDist float64
 }
 
 type repCandidate struct {
@@ -180,6 +185,11 @@ type Config struct {
 	// arrivals), which silently degrades recall when the representative's
 	// class stops matching part of the membership.
 	MaxMembers int
+	// LinearScan forces the reference linear nearest-centroid scan and
+	// keeps the IVF index off. The IVF path is bit-identical to the linear
+	// scan by construction; this knob exists so benchmarks and property
+	// tests can diff the two implementations forever.
+	LinearScan bool
 }
 
 // DefaultRepCandidates is the default representative-reservoir size.
@@ -202,6 +212,12 @@ type Engine struct {
 	active  []*Cluster
 	nextID  int64
 	onSpill func(*Cluster)
+	// ivf is the coarse quantizer accelerating nearest(); off until the
+	// active population is large enough to pay for it.
+	ivf ivfIndex
+	// idleScratch is reused by retireIdle so steady-state Adds allocate
+	// nothing.
+	idleScratch []*Cluster
 	// stats
 	totalMembers int
 	totalSpilled int
@@ -242,15 +258,18 @@ func (e *Engine) Add(feature vision.FeatureVec, m Member, ranked []vision.Predic
 	if best != nil && bestD <= e.cfg.Threshold {
 		c = best
 		c.updateCentroid(feature)
+		e.ivfDrift(c)
 	} else {
 		c = &Cluster{
 			ID:           e.nextID,
 			Centroid:     feature.Clone(),
 			centroidNorm: vision.Norm(feature),
 			classConf:    make(map[vision.ClassID]float64),
+			cell:         -1,
 		}
 		e.nextID++
 		e.active = append(e.active, c)
+		e.ivfInsert(c)
 	}
 	c.Members = append(c.Members, m)
 	c.nScored++
@@ -268,6 +287,9 @@ func (e *Engine) Add(feature vision.FeatureVec, m Member, ranked []vision.Predic
 	}
 	if len(e.active) > e.cfg.MaxActive {
 		e.spillSmallestExcept(c)
+	}
+	if !e.cfg.LinearScan {
+		e.ivfMaybeRebuild()
 	}
 	return c
 }
@@ -291,7 +313,7 @@ func (e *Engine) retireIdle(now float64) {
 	}
 	cutoff := now - e.cfg.IdleTimeoutSec
 	kept := e.active[:0]
-	var idle []*Cluster
+	idle := e.idleScratch[:0]
 	for _, c := range e.active {
 		if c.lastTouch < cutoff {
 			idle = append(idle, c)
@@ -303,6 +325,7 @@ func (e *Engine) retireIdle(now float64) {
 	for _, c := range idle {
 		e.spill(c)
 	}
+	e.idleScratch = idle[:0]
 }
 
 // AddDeduplicated assigns a pixel-diff-deduplicated sighting directly to
@@ -324,17 +347,31 @@ func (e *Engine) AddDeduplicated(c *Cluster, m Member) bool {
 	return true
 }
 
-// nearest returns the active cluster with the closest centroid. The scan is
-// the hottest loop of the ingest path — O(M·d) per scored sighting — so it
-// prunes with two exact shortcuts that leave the selected cluster and its
-// distance bit-identical to a full scan:
+// nearest returns the active cluster with the closest centroid, routing to
+// the IVF index when it is built and to the reference linear scan
+// otherwise. Both paths return bit-identical results; ivf.go states the
+// exactness argument.
+func (e *Engine) nearest(f vision.FeatureVec) (*Cluster, float64) {
+	if e.ivf.enabled && !e.cfg.LinearScan {
+		return e.nearestIVF(f)
+	}
+	return e.nearestLinear(f)
+}
+
+// nearestLinear is the reference nearest-centroid implementation: a linear
+// scan over active clusters — O(M·d) per scored sighting — pruned with two
+// exact shortcuts that leave the selected cluster and its distance
+// bit-identical to a full scan:
 //
 //   - triangle inequality on cached norms: ‖c−f‖² ≥ (‖c‖−‖f‖)², so a
 //     centroid whose norm gap already exceeds the best distance is skipped
 //     without touching its coordinates;
 //   - early-exit accumulation: the squared distance is abandoned mid-sum
 //     once it provably cannot beat the current best.
-func (e *Engine) nearest(f vision.FeatureVec) (*Cluster, float64) {
+//
+// This function is the permanent oracle the IVF property test diffs
+// against; do not fold it into the IVF path.
+func (e *Engine) nearestLinear(f vision.FeatureVec) (*Cluster, float64) {
 	fNorm := vision.Norm(f)
 	var best *Cluster
 	bestD := math.Inf(1)
@@ -377,7 +414,12 @@ func (c *Cluster) addRepCandidate(m Member, f vision.FeatureVec, cap int) {
 		}
 	}
 	if worst >= 0 {
-		c.repCandidates[worst] = repCandidate{m, f.Clone(), d}
+		// Reuse the evicted candidate's feature buffer: once the reservoir
+		// is full, steady-state Adds stay allocation-free.
+		rc := &c.repCandidates[worst]
+		copy(rc.feature, f)
+		rc.member = m
+		rc.addDist = d
 	}
 }
 
@@ -405,6 +447,7 @@ func (e *Engine) spillSmallestExcept(except *Cluster) {
 }
 
 func (e *Engine) spill(c *Cluster) {
+	e.ivfRemove(c)
 	c.spilled = true
 	e.totalSpilled++
 	e.onSpill(c)

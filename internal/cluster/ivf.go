@@ -1,0 +1,360 @@
+package cluster
+
+import (
+	"math"
+
+	"focus/internal/vision"
+)
+
+// The nearest-centroid scan is the hottest loop of ingest: O(M·d) exact
+// work per scored sighting. The IVF (inverted-file) index cuts the
+// constant without changing a single answer: active centroids are bucketed
+// into a handful of cells by a coarse k-means quantizer, each cell carries
+// its center and a radius (the exact maximum of its members' cached
+// center distances), and a query visits cells in center-distance order,
+// skipping a whole cell when the triangle inequality proves none of its
+// members can beat — or even tie — the best distance so far:
+//
+//	‖f − c‖ ≥ ‖f − center‖ − ‖c − center‖ ≥ ‖f − center‖ − radius
+//
+// Every prune is a strict lower-bound argument, so the selected cluster
+// and its distance are bit-identical to the reference linear scan
+// (nearestLinear below, kept forever as the property-test oracle). Ties
+// need care: the linear scan keeps the first — lowest-ID, since the
+// active slice is append-only in ID order — cluster achieving the minimum
+// distance, so the IVF path breaks exact distance ties by cluster ID, re-
+// deriving the full distance when the bounded kernel stopped at the bound
+// with only a partial sum in hand.
+//
+// The quantizer is rebuilt from scratch (deterministic k-means over the
+// active centroids, seeded by position in the ID-ordered active slice)
+// after enough structural churn, a long enough add streak, or when the
+// active population drifts far from the size it was built for; between
+// rebuilds, inserts assign to the nearest cell, removals detach, and
+// centroid drift refreshes the member's exact center distance and the
+// owning cell's radius, preserving the invariant the pruning rests on.
+
+const (
+	// ivfMinActive is the population below which the index stays off: for
+	// a couple dozen centroids the linear scan's norm pruning already wins
+	// and cell bookkeeping is pure overhead.
+	ivfMinActive = 24
+	// ivfMaxCells caps the quantizer size; cells beyond √M add center
+	// distance computations without pruning more members.
+	ivfMaxCells = 64
+	// ivfRebuildMutations is how many structural mutations (inserts and
+	// removals) are tolerated before the quantizer is rebuilt, and
+	// ivfRebuildAdds caps how long a quantizer may serve regardless, so a
+	// join-heavy workload whose centroids slowly drift away from their
+	// cells still gets repartitioned. Both amortize rebuild cost to a
+	// fraction of one linear scan per Add.
+	ivfRebuildMutations = 1024
+	ivfRebuildAdds      = 1024
+	// ivfKMeansIters is the number of Lloyd assignment passes per rebuild;
+	// the quantizer only affects speed, not answers, so a rough partition
+	// is enough.
+	ivfKMeansIters = 2
+	// ivfDistSlack and ivfKernelSlack make the cell prune conservative
+	// against floating-point rounding: the distance kernels subtract
+	// float32 coordinates (relative error ≤ 2⁻²⁴ per term), so a computed
+	// center distance or radius can be off by ~1.2e-7 relative and the
+	// bounded kernel's value can sit the same sliver below the true
+	// squared distance. Padding the lower bound additively by
+	// (dist+radius)·ivfDistSlack and the comparison by ivfKernelSlack
+	// makes the prune provably never discard a candidate the linear scan
+	// would have kept, at a pruning-power cost that is measurably zero.
+	ivfDistSlack   = 4e-7
+	ivfKernelSlack = 1e-6
+)
+
+// assignCell finds the nearest center to a cluster centroid, pruning with
+// cached norms (the same ‖c−q‖² ≥ (‖c‖−‖q‖)² argument as the scans) and
+// the bounded kernel. Returns the cell index and the exact squared
+// distance to it.
+func assignCell(centers []vision.FeatureVec, norms []float64, c *Cluster) (int, float64) {
+	bestCell, bestD := 0, math.Inf(1)
+	for j := range centers {
+		if gap := norms[j] - c.centroidNorm; gap*gap > bestD {
+			continue
+		}
+		if d := vision.SquaredL2DistanceBounded(centers[j], c.Centroid, bestD); d < bestD {
+			bestCell, bestD = j, d
+		}
+	}
+	return bestCell, bestD
+}
+
+// ivfCell is one inverted-file bucket: a coarse center, the active
+// clusters assigned to it, and an upper bound on how far any member's
+// centroid sits from the center.
+type ivfCell struct {
+	center  vision.FeatureVec
+	radius  float64
+	members []*Cluster
+}
+
+// ivfIndex is the engine's coarse quantizer state plus the scratch buffers
+// that keep the nearest() hot path allocation-free.
+type ivfIndex struct {
+	enabled     bool
+	cells       []ivfCell
+	builtActive int // len(active) at the last rebuild
+	mutations   int // inserts + removals since the last rebuild
+	adds        int // scored Adds since the last rebuild
+	// scratch, sized to len(cells) at rebuild
+	dist  []float64
+	order []int
+}
+
+// nearestIVF returns exactly what nearestLinear would: the lowest-ID
+// active cluster at minimum centroid distance, and that distance.
+func (e *Engine) nearestIVF(f vision.FeatureVec) (*Cluster, float64) {
+	ix := &e.ivf
+	fNorm := vision.Norm(f)
+	for i := range ix.cells {
+		ix.dist[i] = vision.L2Distance(ix.cells[i].center, f)
+		ix.order[i] = i
+	}
+	// Insertion sort by center distance (ties by cell index): the cell
+	// count is tiny and the scratch reuse keeps this allocation-free.
+	for i := 1; i < len(ix.order); i++ {
+		for j := i; j > 0 && ix.dist[ix.order[j]] < ix.dist[ix.order[j-1]]; j-- {
+			ix.order[j], ix.order[j-1] = ix.order[j-1], ix.order[j]
+		}
+	}
+	var best *Cluster
+	bestD := math.Inf(1)
+	for _, ci := range ix.order {
+		cell := &ix.cells[ci]
+		// A member of this cell is at least (center distance − radius)
+		// away; if that lower bound — shaved by the rounding slack —
+		// already exceeds the best squared distance, nothing inside can
+		// win or tie.
+		lb := ix.dist[ci] - cell.radius - (ix.dist[ci]+cell.radius)*ivfDistSlack
+		if lb > 0 && lb*lb > bestD*(1+ivfKernelSlack) {
+			continue
+		}
+		dci := ix.dist[ci]
+		for _, c := range cell.members {
+			// Ring prune: ‖f−c‖ ≥ |‖f−center‖ − ‖c−center‖|, both factors
+			// already in hand, so most members of a mismatched ring are
+			// skipped with one multiply.
+			lbm := math.Abs(dci-c.centerDist) - (dci+c.centerDist)*ivfDistSlack
+			if lbm > 0 && lbm*lbm > bestD*(1+ivfKernelSlack) {
+				continue
+			}
+			// Same norm-gap prune as the linear scan: ‖c−f‖² ≥ (‖c‖−‖f‖)²,
+			// so a gap exceeding bestD is strictly worse — it cannot tie.
+			// The kernel slack keeps this prune strictly weaker than the
+			// linear scan's, so it can never skip the linear winner.
+			if gap := c.centroidNorm - fNorm; gap*gap > bestD*(1+ivfKernelSlack) {
+				continue
+			}
+			d := vision.SquaredL2DistanceBounded(c.Centroid, f, bestD)
+			if d < bestD {
+				best, bestD = c, d
+			} else if d == bestD && best != nil && c.ID < best.ID {
+				// The bounded kernel stops at the bound with a partial sum,
+				// so d == bestD here may be a coincidence of the early
+				// exit, not a true tie. The linear scan resolves ties in ID
+				// order; confirm with the full distance before letting the
+				// lower ID win.
+				if vision.SquaredL2Distance(c.Centroid, f) == bestD {
+					best = c
+				}
+			}
+		}
+	}
+	return best, math.Sqrt(bestD)
+}
+
+// ivfMaybeRebuild turns the index on or off for the current population and
+// rebuilds the quantizer when enough structure has changed. Called once
+// per scored Add, after all spills.
+func (e *Engine) ivfMaybeRebuild() {
+	n := len(e.active)
+	if n < ivfMinActive {
+		if e.ivf.enabled {
+			e.ivf.enabled = false
+			e.ivf.cells = nil
+		}
+		return
+	}
+	e.ivf.adds++
+	if !e.ivf.enabled || e.ivf.mutations >= ivfRebuildMutations ||
+		e.ivf.adds >= ivfRebuildAdds ||
+		n > e.ivf.builtActive*2 || n*2 < e.ivf.builtActive {
+		e.ivfRebuild()
+	}
+}
+
+// ivfRebuild runs a deterministic k-means over the active centroids and
+// reassigns every cluster to its nearest cell. Initial centers are spread
+// across the ID-ordered active slice, so the same active set always yields
+// the same quantizer.
+func (e *Engine) ivfRebuild() {
+	n := len(e.active)
+	k := int(math.Sqrt(float64(n)))
+	if k < 2 {
+		k = 2
+	}
+	if k > ivfMaxCells {
+		k = ivfMaxCells
+	}
+	if k > n {
+		k = n
+	}
+	dim := len(e.active[0].Centroid)
+	centers := make([]vision.FeatureVec, k)
+	norms := make([]float64, k)
+	for i := range centers {
+		centers[i] = e.active[i*n/k].Centroid.Clone()
+		norms[i] = vision.Norm(centers[i])
+	}
+	assign := make([]int, n)
+	assignD := make([]float64, n)
+	sums := make([][]float64, k)
+	counts := make([]int, k)
+	for i := range sums {
+		sums[i] = make([]float64, dim)
+	}
+	for iter := 0; iter < ivfKMeansIters; iter++ {
+		for i, c := range e.active {
+			assign[i], assignD[i] = assignCell(centers, norms, c)
+		}
+		if iter == ivfKMeansIters-1 {
+			// Centers are not moved after the last assignment, so the
+			// final pass below can reuse it verbatim.
+			break
+		}
+		for j := range sums {
+			for d := range sums[j] {
+				sums[j][d] = 0
+			}
+			counts[j] = 0
+		}
+		for i, c := range e.active {
+			j := assign[i]
+			counts[j]++
+			for d, v := range c.Centroid {
+				sums[j][d] += float64(v)
+			}
+		}
+		for j := range centers {
+			if counts[j] == 0 {
+				continue // empty cell keeps its old center
+			}
+			inv := 1 / float64(counts[j])
+			for d := range centers[j] {
+				centers[j][d] = float32(sums[j][d] * inv)
+			}
+			norms[j] = vision.Norm(centers[j])
+		}
+	}
+	for j := range counts {
+		counts[j] = 0
+	}
+	for i := range e.active {
+		counts[assign[i]]++
+	}
+	cells := make([]ivfCell, k)
+	for j := range cells {
+		cells[j].center = centers[j]
+		if counts[j] > 0 {
+			cells[j].members = make([]*Cluster, 0, counts[j])
+		}
+	}
+	for i, c := range e.active {
+		j := assign[i]
+		c.cell = j
+		c.centerDist = math.Sqrt(assignD[i])
+		cells[j].members = append(cells[j].members, c)
+		if c.centerDist > cells[j].radius {
+			cells[j].radius = c.centerDist
+		}
+	}
+	e.ivf.enabled = true
+	e.ivf.cells = cells
+	e.ivf.builtActive = n
+	e.ivf.mutations = 0
+	e.ivf.adds = 0
+	if cap(e.ivf.dist) < k {
+		e.ivf.dist = make([]float64, k)
+		e.ivf.order = make([]int, k)
+	}
+	e.ivf.dist = e.ivf.dist[:k]
+	e.ivf.order = e.ivf.order[:k]
+}
+
+// ivfInsert assigns a newly created cluster to its nearest cell.
+func (e *Engine) ivfInsert(c *Cluster) {
+	if !e.ivf.enabled {
+		return
+	}
+	bestCell, bestD := 0, math.Inf(1)
+	for j := range e.ivf.cells {
+		if d := vision.SquaredL2DistanceBounded(e.ivf.cells[j].center, c.Centroid, bestD); d < bestD {
+			bestCell, bestD = j, d
+		}
+	}
+	cell := &e.ivf.cells[bestCell]
+	c.cell = bestCell
+	c.centerDist = math.Sqrt(bestD)
+	cell.members = append(cell.members, c)
+	if c.centerDist > cell.radius {
+		cell.radius = c.centerDist
+	}
+	e.ivf.mutations++
+}
+
+// ivfRemove detaches a cluster from its cell, tightening the cell radius
+// when the departing cluster was the one defining it.
+func (e *Engine) ivfRemove(c *Cluster) {
+	if !e.ivf.enabled || c.cell < 0 {
+		return
+	}
+	cell := &e.ivf.cells[c.cell]
+	for i, x := range cell.members {
+		if x == c {
+			cell.members[i] = cell.members[len(cell.members)-1]
+			cell.members = cell.members[:len(cell.members)-1]
+			break
+		}
+	}
+	if c.centerDist >= cell.radius {
+		cell.recomputeRadius()
+	}
+	c.cell = -1
+	e.ivf.mutations++
+}
+
+// ivfDrift accounts for a centroid update: the cluster stays in its cell
+// with a fresh exact center distance, and the cell radius is kept exactly
+// equal to the largest member center distance — looser radii would erode
+// the cell prune as join-heavy workloads drift centroids around.
+func (e *Engine) ivfDrift(c *Cluster) {
+	if !e.ivf.enabled || c.cell < 0 {
+		return
+	}
+	cell := &e.ivf.cells[c.cell]
+	old := c.centerDist
+	c.centerDist = vision.L2Distance(cell.center, c.Centroid)
+	if c.centerDist >= cell.radius {
+		cell.radius = c.centerDist
+	} else if old >= cell.radius {
+		cell.recomputeRadius()
+	}
+}
+
+// recomputeRadius restores radius = max member center distance from the
+// cached per-member distances; called when the defining member shrank or
+// left.
+func (cell *ivfCell) recomputeRadius() {
+	r := 0.0
+	for _, m := range cell.members {
+		if m.centerDist > r {
+			r = m.centerDist
+		}
+	}
+	cell.radius = r
+}

@@ -1,0 +1,316 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"focus/internal/simrand"
+	"focus/internal/vision"
+)
+
+// The IVF index must be invisible: an engine with the index on and an
+// engine forced onto the reference linear scan, fed the same sightings,
+// must evolve bit-identically — same cluster chosen for every Add, same
+// centroids to the last float bit, same spill sequence — across spill and
+// retirement churn, quantizer rebuild boundaries, and degenerate feature
+// geometries. These tests are the permanent oracle for that claim;
+// nearestLinear exists so they can diff against it forever.
+
+// ivfScenario is one randomized feature regime for the side-by-side
+// property test.
+type ivfScenario struct {
+	name    string
+	cfg     Config
+	adds    int
+	dim     int
+	centers int     // gaussian mixture components (0 = integer grid)
+	noise   float64 // per-coordinate sighting noise
+	gridMax int     // grid half-width when centers == 0
+	dtSec   float64 // timestamp advance per add (drives idle retirement)
+	// wantIVF asserts the index actually turned on at least once, so a
+	// scenario cannot vacuously pass with the index off.
+	wantIVF bool
+}
+
+func ivfScenarios() []ivfScenario {
+	return []ivfScenario{
+		{
+			// Realistic regime: full-width features from a mixture, cap and
+			// idle churn, member-count spills, long enough to cross several
+			// quantizer rebuilds.
+			name:    "gaussian32",
+			cfg:     Config{Threshold: 3.0, MaxActive: 64, IdleTimeoutSec: 60, MaxMembers: 50},
+			adds:    3000,
+			dim:     vision.FeatureDim,
+			centers: 40,
+			noise:   0.8,
+			dtSec:   0.1,
+			wantIVF: true,
+		},
+		{
+			// One-dimensional vectors: the quantizer and all pruning bounds
+			// must hold in the thinnest possible space.
+			name:    "dim1",
+			cfg:     Config{Threshold: 0.3, MaxActive: 48, IdleTimeoutSec: 30},
+			adds:    2000,
+			dim:     1,
+			centers: 25,
+			noise:   1.5,
+			dtSec:   0.05,
+			wantIVF: true,
+		},
+		{
+			// Degenerate integer grid: many exactly-equal distances, so the
+			// (distance, lowest-ID) tie-break is exercised constantly.
+			name:    "grid-ties",
+			cfg:     Config{Threshold: 0.5, MaxActive: 40},
+			adds:    2500,
+			dim:     2,
+			gridMax: 3,
+			wantIVF: true,
+		},
+		{
+			// Population oscillates around ivfMinActive: aggressive idle
+			// retirement repeatedly disables and re-enables the index, so
+			// every on/off boundary is crossed many times.
+			name:    "minactive-churn",
+			cfg:     Config{Threshold: 1.0, MaxActive: 40, IdleTimeoutSec: 7},
+			adds:    2500,
+			dim:     8,
+			centers: 60,
+			noise:   0.5,
+			dtSec:   0.2,
+			wantIVF: true,
+		},
+	}
+}
+
+// mixtureCenters precomputes the scenario's gaussian mixture components.
+func (sc *ivfScenario) mixtureCenters() []vision.FeatureVec {
+	if sc.centers == 0 {
+		return nil
+	}
+	centers := make([]vision.FeatureVec, sc.centers)
+	for c := range centers {
+		cs := simrand.New(7).Derive("ivf-center", sc.name).DeriveN(int64(c))
+		v := make(vision.FeatureVec, sc.dim)
+		for d := range v {
+			v[d] = float32(cs.NormFloat64() * 4)
+		}
+		centers[c] = v
+	}
+	return centers
+}
+
+// drawFeature generates one sighting feature for a scenario.
+func (sc *ivfScenario) drawFeature(src *simrand.Source, centers []vision.FeatureVec) vision.FeatureVec {
+	f := make(vision.FeatureVec, sc.dim)
+	if sc.centers == 0 {
+		span := 2*sc.gridMax + 1
+		for d := range f {
+			f[d] = float32(src.Intn(span) - sc.gridMax)
+		}
+		return f
+	}
+	c := centers[src.Intn(len(centers))]
+	for d := range f {
+		f[d] = c[d] + float32(src.NormFloat64()*sc.noise)
+	}
+	return f
+}
+
+func compareEngines(t *testing.T, step int, lin, ivf *Engine) {
+	t.Helper()
+	if len(lin.active) != len(ivf.active) {
+		t.Fatalf("step %d: active count linear=%d ivf=%d", step, len(lin.active), len(ivf.active))
+	}
+	for i := range lin.active {
+		a, b := lin.active[i], ivf.active[i]
+		if a.ID != b.ID {
+			t.Fatalf("step %d: active[%d] ID linear=%d ivf=%d", step, i, a.ID, b.ID)
+		}
+		if a.nScored != b.nScored || len(a.Members) != len(b.Members) {
+			t.Fatalf("step %d: cluster %d membership diverged (scored %d/%d, members %d/%d)",
+				step, a.ID, a.nScored, b.nScored, len(a.Members), len(b.Members))
+		}
+		if math.Float64bits(a.centroidNorm) != math.Float64bits(b.centroidNorm) {
+			t.Fatalf("step %d: cluster %d centroidNorm bits diverged", step, a.ID)
+		}
+		for d := range a.Centroid {
+			if math.Float32bits(a.Centroid[d]) != math.Float32bits(b.Centroid[d]) {
+				t.Fatalf("step %d: cluster %d centroid[%d] linear=%x ivf=%x",
+					step, a.ID, d, math.Float32bits(a.Centroid[d]), math.Float32bits(b.Centroid[d]))
+			}
+		}
+	}
+}
+
+// TestIVFMatchesLinearScan is the bit-identicality property test: two
+// engines, one with the IVF index and one pinned to the reference linear
+// scan, fed identical randomized streams, compared field-for-field after
+// every Add. On the IVF engine it additionally diffs nearestIVF against
+// nearestLinear on the same state before each insertion — the most direct
+// form of the oracle.
+func TestIVFMatchesLinearScan(t *testing.T) {
+	for _, sc := range ivfScenarios() {
+		t.Run(sc.name, func(t *testing.T) {
+			linCfg := sc.cfg
+			linCfg.LinearScan = true
+			var linSpills, ivfSpills []int64
+			lin, err := NewEngine(linCfg, func(c *Cluster) { linSpills = append(linSpills, c.ID) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			ivf, err := NewEngine(sc.cfg, func(c *Cluster) { ivfSpills = append(ivfSpills, c.ID) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := simrand.New(42).Derive("ivf-prop", sc.name)
+			centers := sc.mixtureCenters()
+			sawIVF := false
+			for i := 0; i < sc.adds; i++ {
+				f := sc.drawFeature(src, centers)
+				m := member(i)
+				m.TimeSec = float64(i) * sc.dtSec
+				if ivf.ivf.enabled {
+					sawIVF = true
+					b1, d1 := ivf.nearestIVF(f)
+					b2, d2 := ivf.nearestLinear(f)
+					if b1 != b2 || math.Float64bits(d1) != math.Float64bits(d2) {
+						t.Fatalf("step %d: nearest diverged: ivf=(%v, %v) linear=(%v, %v)",
+							i, clusterID(b1), d1, clusterID(b2), d2)
+					}
+				}
+				c1 := lin.Add(f, m, nil)
+				c2 := ivf.Add(f, m, nil)
+				if c1.ID != c2.ID {
+					t.Fatalf("step %d: assigned cluster linear=%d ivf=%d", i, c1.ID, c2.ID)
+				}
+				if len(linSpills) != len(ivfSpills) {
+					t.Fatalf("step %d: spill count linear=%d ivf=%d", i, len(linSpills), len(ivfSpills))
+				}
+				compareEngines(t, i, lin, ivf)
+			}
+			lin.Flush()
+			ivf.Flush()
+			if len(linSpills) != len(ivfSpills) {
+				t.Fatalf("final spill count linear=%d ivf=%d", len(linSpills), len(ivfSpills))
+			}
+			for i := range linSpills {
+				if linSpills[i] != ivfSpills[i] {
+					t.Fatalf("spill[%d] linear=%d ivf=%d", i, linSpills[i], ivfSpills[i])
+				}
+			}
+			if sawIVF != sc.wantIVF {
+				t.Fatalf("IVF index enabled=%v, scenario expects %v — scenario lost its bite", sawIVF, sc.wantIVF)
+			}
+		})
+	}
+}
+
+func clusterID(c *Cluster) int64 {
+	if c == nil {
+		return -1
+	}
+	return c.ID
+}
+
+// TestIVFRebuildCrossesMinActive pins the on/off boundary: growing past
+// ivfMinActive turns the index on, idle retirement below it turns it off,
+// and both transitions leave behavior unchanged (covered by the property
+// test above; here we assert the transitions themselves happen).
+func TestIVFRebuildCrossesMinActive(t *testing.T) {
+	e, _ := newEngine(t, Config{Threshold: 0.1, MaxActive: 2 * ivfMinActive, IdleTimeoutSec: 10})
+	for i := 0; i < ivfMinActive-1; i++ {
+		e.Add(vec(float32(i)*10), Member{TimeSec: 0}, nil)
+	}
+	if e.ivf.enabled {
+		t.Fatalf("index on below ivfMinActive (%d active)", len(e.active))
+	}
+	for i := ivfMinActive - 1; i < 2*ivfMinActive-2; i++ {
+		e.Add(vec(float32(i)*10), Member{TimeSec: 1}, nil)
+	}
+	if !e.ivf.enabled {
+		t.Fatalf("index still off with %d active", len(e.active))
+	}
+	// A much later member retires everything idle; the survivor count drops
+	// below the minimum and the index must shut off.
+	e.Add(vec(-10), Member{TimeSec: 1000}, nil)
+	if e.ivf.enabled {
+		t.Fatalf("index still on with %d active after retirement", len(e.active))
+	}
+}
+
+// TestNearestZeroAlloc pins the hot path's allocation behavior: both
+// nearest implementations must not allocate at all, and a steady-state
+// joining Add must be allocation-free apart from amortized slice growth.
+func TestNearestZeroAlloc(t *testing.T) {
+	e, _ := newEngine(t, Config{Threshold: 0.5, MaxActive: 128})
+	src := simrand.New(9).Derive("ivf-alloc")
+	feats := make([]vision.FeatureVec, 64)
+	for i := range feats {
+		f := make(vision.FeatureVec, vision.FeatureDim)
+		for d := range f {
+			f[d] = float32(src.NormFloat64() * 10)
+		}
+		feats[i] = f
+		e.Add(f, member(i), nil)
+	}
+	if !e.ivf.enabled {
+		t.Fatal("index off; alloc test needs the IVF path live")
+	}
+	probe := feats[17]
+	if n := testing.AllocsPerRun(200, func() { e.nearestIVF(probe) }); n != 0 {
+		t.Errorf("nearestIVF allocates %v per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { e.nearestLinear(probe) }); n != 0 {
+		t.Errorf("nearestLinear allocates %v per call, want 0", n)
+	}
+	// Warm the member slices past their growth knees, then measure joins.
+	for i := 0; i < 4096; i++ {
+		e.Add(feats[i%len(feats)], member(i), nil)
+	}
+	i := 0
+	if n := testing.AllocsPerRun(500, func() {
+		e.Add(feats[i%len(feats)], member(i), nil)
+		i++
+	}); n > 0.5 {
+		t.Errorf("steady-state Add allocates %v per call, want ~0", n)
+	}
+}
+
+// benchmarkAdd drives a steady-state engine with `instances` distinct
+// object appearances over a cap of maxActive clusters. instances ≤
+// maxActive is the regime real streams live in (every live object keeps
+// its cluster; joins dominate); instances ≫ maxActive is an adversarial
+// LRU-thrash where most adds create a cluster and spill another, which is
+// the IVF index's worst case (constant structural churn).
+func benchmarkAdd(b *testing.B, linear bool, maxActive, instances int) {
+	e, err := NewEngine(Config{Threshold: 2.0, MaxActive: maxActive, LinearScan: linear}, func(*Cluster) {})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp := vision.NewSpace(1)
+	model := vision.NewZoo().ByName("resnet18")
+	src := simrand.New(3)
+	feats := make([]vision.FeatureVec, instances)
+	for i := range feats {
+		inst := sp.NewInstanceAppearance(vision.ClassID(i%40), src)
+		feats[i] = model.ExtractFeatures(inst, src)
+	}
+	for i := 0; i < 2*instances; i++ { // reach steady state before timing
+		e.Add(feats[i%len(feats)], member(i), nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Add(feats[i%len(feats)], member(i), nil)
+	}
+}
+
+func BenchmarkAddLinear(b *testing.B)       { benchmarkAdd(b, true, 256, 200) }
+func BenchmarkAddIVF(b *testing.B)          { benchmarkAdd(b, false, 256, 200) }
+func BenchmarkAddM512Linear(b *testing.B)   { benchmarkAdd(b, true, 512, 400) }
+func BenchmarkAddM512IVF(b *testing.B)      { benchmarkAdd(b, false, 512, 400) }
+func BenchmarkAddThrashLinear(b *testing.B) { benchmarkAdd(b, true, 256, 1024) }
+func BenchmarkAddThrashIVF(b *testing.B)    { benchmarkAdd(b, false, 256, 1024) }

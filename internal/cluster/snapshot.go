@@ -107,6 +107,7 @@ func NewEngineFromSnapshot(cfg Config, onSpill func(*Cluster), snap EngineSnapsh
 			centroidNorm:  vision.Norm(cs.Centroid),
 			lastTouch:     cs.LastTouch,
 			repCandidates: make([]repCandidate, len(cs.RepCands)),
+			cell:          -1,
 		}
 		for cl, conf := range cs.ClassConf {
 			c.classConf[cl] = conf
@@ -141,5 +142,5 @@ func (e *Engine) FindActive(id int64) *Cluster {
 // needs AddDeduplicated to refuse it (falling back to the scored path),
 // exactly as the real spilled cluster would have.
 func SpilledPlaceholder(id int64) *Cluster {
-	return &Cluster{ID: id, spilled: true}
+	return &Cluster{ID: id, spilled: true, cell: -1}
 }

@@ -102,6 +102,15 @@ type Config struct {
 	// PlanVerifier checks one served ranked-form response; non-nil errors
 	// are recorded as mismatches. See NewDirectPlanVerifier.
 	PlanVerifier func(*api.QueryResponse) error
+	// EarlyExitEvery makes every Nth plan request per client run in
+	// early-exit mode (mode=early_exit on the /v1 request): the service
+	// stops at PlanTopK verified items instead of ranking exhaustively.
+	// Legacy-shim plan requests always stay exact — the deprecated wire
+	// format predates execution modes. Early-exit responses flow through
+	// PlanVerifier like any other ranked response; against a router, use
+	// NewSubsetPlanVerifier (shard-local samplers make the merged answer
+	// differ from any single-node replay). 0 = plans are always exact.
+	EarlyExitEvery int
 	// Tracks is a pool of temporal predicate expressions ("car & dur(5)",
 	// "person & seq(region(...), region(...))") issued as tracks-form
 	// /v1/query requests. Temporal queries have no legacy shim — they are
@@ -178,6 +187,9 @@ func (c *Config) applyDefaults() error {
 	if c.PageEvery > 0 && c.PlanEvery <= 0 && c.TrackEvery <= 0 {
 		return fmt.Errorf("loadgen: PageEvery set but no plan or track traffic configured")
 	}
+	if c.EarlyExitEvery > 0 && c.PlanEvery <= 0 {
+		return fmt.Errorf("loadgen: EarlyExitEvery set but no plan traffic configured")
+	}
 	if c.SingleStreamEvery > 0 && len(c.Streams) == 0 {
 		return fmt.Errorf("loadgen: SingleStreamEvery set but no Streams given")
 	}
@@ -218,6 +230,9 @@ type Report struct {
 	// counts track responses re-executed through TrackVerifier.
 	TrackRequests int `json:"track_requests"`
 	TrackVerified int `json:"track_verified"`
+	// EarlyExitRequests counts the plan requests issued in early-exit mode
+	// (a subset of PlanRequests).
+	EarlyExitRequests int `json:"early_exit_requests"`
 	// LegacyRequests counts requests issued through the deprecated shims;
 	// PagedRequests counts cursor-paged plan and track reads.
 	LegacyRequests int      `json:"legacy_requests"`
@@ -276,6 +291,7 @@ type clientState struct {
 	trackRequests int
 	trackOK       int
 	trackVerified int
+	earlyExitReqs int
 	legacyReqs    int
 	pagedReqs     int
 	mismatches    []string
@@ -329,6 +345,7 @@ func Run(cfg Config) (*Report, error) {
 		rep.PlanVerified += st.planVerified
 		rep.TrackRequests += st.trackRequests
 		rep.TrackVerified += st.trackVerified
+		rep.EarlyExitRequests += st.earlyExitReqs
 		rep.LegacyRequests += st.legacyReqs
 		rep.PagedRequests += st.pagedReqs
 		for code, n := range st.unexpected {
@@ -435,6 +452,10 @@ func runPlanRequest(cfg *Config, idx int, src *simrand.Source, cli *client.Clien
 	expr := cfg.Plans[src.Intn(len(cfg.Plans))]
 	req := &api.QueryRequest{Expr: expr, TopK: cfg.PlanTopK}
 	st.planRequests++
+	if !legacy && cfg.EarlyExitEvery > 0 && st.planRequests%cfg.EarlyExitEvery == 0 {
+		req.Mode = api.ModeEarlyExit
+		st.earlyExitReqs++
+	}
 	paged := !legacy && cfg.PageEvery > 0 && st.planRequests%cfg.PageEvery == 0
 	var pr *api.QueryResponse
 	var err error

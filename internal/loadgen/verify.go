@@ -72,6 +72,14 @@ func NewDirectVerifier(sys *focus.System) func(*api.QueryResponse) error {
 // reassembled from all pages, e.g. by client.CollectPages — which is
 // exactly how the paged-equals-one-shot invariant is pinned end to end).
 //
+// Early-exit responses (Mode == api.ModeEarlyExit) are replayed with the
+// same mode: on a single node, early-exit execution is a deterministic
+// pure function of (plan, options, watermark vector), so the served answer
+// must still match a direct replay item for item. Responses served by a
+// router are the exception — each shard runs its own sampler, so the
+// merged early-exit answer matches no single-node execution; verify those
+// with NewSubsetPlanVerifier instead.
+//
 // Cost counters (GTInferences, GPU time, latency) are not compared: the
 // shared GT-verdict cache makes later executions cheaper without changing
 // answers, and a cached response reports its original execution's cost.
@@ -90,6 +98,7 @@ func NewDirectPlanVerifier(sys *focus.System) func(*api.QueryResponse) error {
 				MaxClusters: pr.MaxClusters,
 			},
 			AtWatermarks: pr.Watermarks,
+			EarlyExit:    pr.Mode == api.ModeEarlyExit,
 		})
 		if err != nil {
 			return fmt.Errorf("direct plan query: %w", err)
@@ -107,6 +116,78 @@ func NewDirectPlanVerifier(sys *focus.System) func(*api.QueryResponse) error {
 				it.Segment != int64(d.Segment) || it.TimeSec != d.TimeSec || it.Score != d.Score {
 				return fmt.Errorf("item %d: served %+v, direct {%s %d %g %d %g}",
 					i, it, d.Stream, d.Frame, d.TimeSec, d.Segment, d.Score)
+			}
+		}
+		return nil
+	}
+}
+
+// NewSubsetPlanVerifier returns a verifier for early-exit ranked
+// responses that cannot be replayed exactly — router-merged answers,
+// where each shard ran its own sampler over its own streams and no
+// single-node execution reproduces the merge. It pins the part of the
+// early-exit contract that survives distribution: every served item must
+// be a genuinely verified result, i.e. it must appear in the exhaustive
+// exact ranking (TopK=0 replays every matching frame) with a
+// bit-identical score, the served order must respect the exact-mode
+// comparator, and no more than TopK items may be served. Exact-mode
+// responses are dispatched to the strict verifier, so this can serve as
+// the single PlanVerifier for mixed-mode routed traffic.
+func NewSubsetPlanVerifier(sys *focus.System) func(*api.QueryResponse) error {
+	strict := NewDirectPlanVerifier(sys)
+	return func(pr *api.QueryResponse) error {
+		if pr.Form != api.FormRanked {
+			return fmt.Errorf("ranked verifier got a %q-form response", pr.Form)
+		}
+		if pr.Mode != api.ModeEarlyExit {
+			return strict(pr)
+		}
+		if pr.TopK >= 1 && len(pr.Items) > pr.TopK {
+			return fmt.Errorf("early exit: served %d items, cap %d", len(pr.Items), pr.TopK)
+		}
+		res, err := sys.PlanQuery(pr.Expr, focus.PlanOptions{
+			Streams: vectorStreams(pr.Watermarks),
+			TopK:    0,
+			Leaf: focus.QueryOptions{
+				Kx:          pr.Kx,
+				StartSec:    pr.Start,
+				EndSec:      pr.End,
+				MaxClusters: pr.MaxClusters,
+			},
+			AtWatermarks: pr.Watermarks,
+		})
+		if err != nil {
+			return fmt.Errorf("direct plan query: %w", err)
+		}
+		type key struct {
+			stream string
+			frame  int64
+		}
+		exact := make(map[key]api.Item, len(res.Items))
+		for _, d := range res.Items {
+			exact[key{d.Stream, int64(d.Frame)}] = api.Item{
+				Stream:  d.Stream,
+				Frame:   int64(d.Frame),
+				TimeSec: d.TimeSec,
+				Segment: int64(d.Segment),
+				Score:   d.Score,
+			}
+		}
+		for i, it := range pr.Items {
+			d, ok := exact[key{it.Stream, it.Frame}]
+			if !ok {
+				return fmt.Errorf("item %d: served %+v not in the exact ranking", i, it)
+			}
+			if it != d {
+				return fmt.Errorf("item %d: served %+v, exact %+v", i, it, d)
+			}
+			if i > 0 {
+				prev := pr.Items[i-1]
+				if it.Score > prev.Score ||
+					(it.Score == prev.Score && it.Stream < prev.Stream) ||
+					(it.Score == prev.Score && it.Stream == prev.Stream && it.Frame < prev.Frame) {
+					return fmt.Errorf("item %d: served out of rank order after item %d", i, i-1)
+				}
 			}
 		}
 		return nil

@@ -603,6 +603,23 @@ func (p *parser) parseNumber() (float64, error) {
 	if p.pos == start {
 		return 0, p.errAt(start, "expected a number")
 	}
+	// Optional exponent: canonical forms print through %g, which emits
+	// "1e-07"-style notation for extreme magnitudes, and canonical strings
+	// must re-parse (cursors carry them back to servers). The exponent is
+	// consumed only when well-formed so "1elephant" still reads as the
+	// number 1 followed by a syntax error at the identifier.
+	if p.pos < len(p.input) && (p.input[p.pos] == 'e' || p.input[p.pos] == 'E') {
+		q := p.pos + 1
+		if q < len(p.input) && (p.input[q] == '+' || p.input[q] == '-') {
+			q++
+		}
+		if q < len(p.input) && p.input[q] >= '0' && p.input[q] <= '9' {
+			p.pos = q
+			for p.pos < len(p.input) && p.input[p.pos] >= '0' && p.input[p.pos] <= '9' {
+				p.pos++
+			}
+		}
+	}
 	n, err := strconv.ParseFloat(p.input[start:p.pos], 64)
 	if err != nil {
 		return 0, p.errAt(start, "bad number %q", p.input[start:p.pos])

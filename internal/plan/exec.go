@@ -274,6 +274,9 @@ type Stats struct {
 	GPUTimeMS    float64
 	LatencyMS    float64 // slowest stream bounds the plan (§5)
 	Done         bool
+	// EarlyExit marks a result produced by the budget-allocating early-exit
+	// executor (ExecuteEarlyExit) rather than the exact ranking path.
+	EarlyExit bool
 }
 
 // Result is a completed one-shot execution.
@@ -396,12 +399,18 @@ func (c *Cursor) Done() bool { return c.done }
 
 // Stats snapshots the execution's cost counters so far.
 func (c *Cursor) Stats() Stats {
+	return collectStats(c.plan.canonical, c.streams, c.done)
+}
+
+// collectStats aggregates per-stream counters; it is the single accounting
+// path shared by the exact cursor and the early-exit executor.
+func collectStats(canonical string, streams []*streamExec, done bool) Stats {
 	st := Stats{
-		Canonical: c.plan.canonical,
-		PerStream: make(map[string]*StreamStats, len(c.streams)),
-		Done:      c.done,
+		Canonical: canonical,
+		PerStream: make(map[string]*StreamStats, len(streams)),
+		Done:      done,
 	}
-	for _, s := range c.streams {
+	for _, s := range streams {
 		ss := &StreamStats{
 			Watermark:        s.watermark,
 			VerifiedClusters: len(s.uniqueVerified),

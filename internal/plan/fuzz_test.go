@@ -1,0 +1,62 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse pins the parser's structural guarantees against arbitrary
+// input: it never panics, every rejection is a "plan:"-prefixed error
+// with offset context, and every accepted expression's canonical form is
+// a fixpoint — Parse(Canonical(e)) succeeds and re-canonicalizes to the
+// same string. The fixpoint matters beyond aesthetics: cursors and cache
+// keys carry canonical strings back to servers, which re-parse them; an
+// accepted input whose canonical form failed to re-parse (or re-parsed
+// to a different plan) would strand every continuation token minted for
+// it. That is exactly the corner the exponent rule in parseNumber closes
+// (%g prints extreme magnitudes as "1e-07").
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"car",
+		"car & person & !bus",
+		"a & b | c & d",
+		"!(a | b) & c",
+		"!!a",
+		"car & dur(30)",
+		"dur(5, 60)",
+		"vel(2.5)",
+		"region(0, 0, 320, 720)",
+		"seq(region(0,0,9,9), region(10,0,19,9))",
+		"car & within(5, seq(region(0,0,9,9), region(10,0,19,9)))",
+		"dur(0.0000001)",
+		"dur(1e3)",
+		"dur(123456789012345678901234)",
+		"seq & within",
+		"(a", "a)", "a ^ b", "dur(1,2,3)", "",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		if len(s) > 1<<12 {
+			return // the parser is linear; cap the smoke budget, not the grammar
+		}
+		e, err := Parse(s)
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "plan: ") {
+				t.Fatalf("Parse(%q) error lacks the package prefix: %v", s, err)
+			}
+			return
+		}
+		c1 := Canonical(e)
+		e2, err := Parse(c1)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted input %q does not re-parse: %v", c1, s, err)
+		}
+		if c2 := Canonical(e2); c2 != c1 {
+			t.Fatalf("canonical form is not a fixpoint: %q -> %q -> %q", s, c1, c2)
+		}
+		if HasTemporal(e) != HasTemporal(e2) {
+			t.Fatalf("HasTemporal changed across the canonical round-trip of %q", s)
+		}
+	})
+}

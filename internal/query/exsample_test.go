@@ -1,0 +1,127 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"focus/internal/simrand"
+)
+
+// TestExSampleDeterministic: two allocators fed the same seed and the same
+// pull/reward sequence must make identical decisions — the property the
+// early-exit executor's per-seed determinism contract rests on.
+func TestExSampleDeterministic(t *testing.T) {
+	run := func() []int {
+		x := NewExSample(simrand.New(42).Derive("exsample-test"), 5)
+		var picks []int
+		for i := 0; i < 200; i++ {
+			arm, ok := x.Pick()
+			if !ok {
+				t.Fatal("all arms exhausted unexpectedly")
+			}
+			// A synthetic but deterministic reward: arm 2 always hits,
+			// arm 4 hits every 3rd pull, the rest never do.
+			hit := arm == 2 || (arm == 4 && i%3 == 0)
+			x.Record(arm, hit)
+			picks = append(picks, arm)
+		}
+		return picks
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pull %d diverged: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestExSampleConvergesToHotArm: with one arm that always rewards and the
+// rest never rewarding, Thompson sampling must concentrate the budget on
+// the hot arm — the whole point of ExSample over round-robin.
+func TestExSampleConvergesToHotArm(t *testing.T) {
+	const hot, arms, pulls = 3, 8, 400
+	x := NewExSample(simrand.New(7).Derive("converge"), arms)
+	counts := make([]int, arms)
+	for i := 0; i < pulls; i++ {
+		arm, ok := x.Pick()
+		if !ok {
+			t.Fatal("arms exhausted")
+		}
+		x.Record(arm, arm == hot)
+		counts[arm]++
+	}
+	for i, n := range counts {
+		if i != hot && n >= counts[hot] {
+			t.Fatalf("cold arm %d pulled %d times, hot arm only %d: no convergence (%v)",
+				i, n, counts[hot], counts)
+		}
+	}
+	if counts[hot] < pulls/2 {
+		t.Errorf("hot arm got %d of %d pulls, want a majority (%v)", counts[hot], pulls, counts)
+	}
+	// Every cold arm is still explored occasionally: Thompson sampling
+	// never starves an arm outright.
+	for i, n := range counts {
+		if n == 0 {
+			t.Errorf("arm %d never pulled at all (%v)", i, counts)
+		}
+	}
+}
+
+// TestExSampleExhaustion: retired arms are never picked again, and Pick
+// reports ok=false exactly when every arm is retired.
+func TestExSampleExhaustion(t *testing.T) {
+	x := NewExSample(simrand.New(1).Derive("exhaust"), 3)
+	x.Exhaust(0)
+	x.Exhaust(2)
+	for i := 0; i < 50; i++ {
+		arm, ok := x.Pick()
+		if !ok {
+			t.Fatal("live arm remains but Pick gave up")
+		}
+		if arm != 1 {
+			t.Fatalf("picked retired arm %d", arm)
+		}
+		x.Record(arm, false)
+	}
+	if x.Exhausted() {
+		t.Fatal("Exhausted true with a live arm")
+	}
+	x.Exhaust(1)
+	if !x.Exhausted() {
+		t.Fatal("Exhausted false with every arm retired")
+	}
+	if _, ok := x.Pick(); ok {
+		t.Fatal("Pick returned an arm after full exhaustion")
+	}
+}
+
+// TestGammaBetaSampleRanges: the samplers stay in their supports and
+// produce sane means over many draws (Gamma(k) has mean k; Beta(a,b) has
+// mean a/(a+b)).
+func TestGammaBetaSampleRanges(t *testing.T) {
+	rng := simrand.New(9).Derive("dist")
+	const n = 20000
+	var gsum float64
+	for i := 0; i < n; i++ {
+		g := gammaSample(rng, 4)
+		if g <= 0 || math.IsNaN(g) || math.IsInf(g, 0) {
+			t.Fatalf("gammaSample out of support: %v", g)
+		}
+		gsum += g
+	}
+	if mean := gsum / n; mean < 3.8 || mean > 4.2 {
+		t.Errorf("Gamma(4) sample mean %.3f, want ≈4", mean)
+	}
+	var bsum float64
+	for i := 0; i < n; i++ {
+		b := betaSample(rng, 3, 1)
+		if b < 0 || b > 1 || math.IsNaN(b) {
+			t.Fatalf("betaSample out of support: %v", b)
+		}
+		bsum += b
+	}
+	if mean := bsum / n; mean < 0.72 || mean > 0.78 {
+		t.Errorf("Beta(3,1) sample mean %.3f, want ≈0.75", mean)
+	}
+}

@@ -1,0 +1,104 @@
+package router_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"focus/api"
+	"focus/internal/loadgen"
+	"focus/internal/serve"
+)
+
+// TestRoutedEarlyExit pins the distributed half of the two-mode contract:
+// the router forces the decided mode onto every scatter sub-request (a
+// merge of exact and early-exit shard answers would splice two different
+// pure functions), echoes it on the merged response and freezes it into
+// continuation cursors, and the merged early-exit answer — which matches
+// no single-node execution, since every shard runs its own sampler — still
+// satisfies the subset contract against a reference system holding all
+// streams.
+func TestRoutedEarlyExit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a 2-shard cluster plus a reference system")
+	}
+	c := bootTestCluster(t,
+		[][]string{{"auburn_c", "jacksonh"}, {"city_a_d"}},
+		serve.Config{NoBackgroundIngest: true},
+		true)
+	c.advance("auburn_c", 30)
+	c.advance("jacksonh", 30)
+	c.advance("city_a_d", 30)
+
+	const expr = "car & person"
+	exact, err := c.queryV1(&api.QueryRequest{Expr: expr, TopK: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Mode != "" {
+		t.Fatalf("routed exact response echoes mode %q", exact.Mode)
+	}
+	for _, sh := range c.shards {
+		if n := sh.srv.Snapshot().EarlyExitQueries; n != 0 {
+			t.Fatalf("shard %s counted %d early-exit queries before any were sent", sh.name, n)
+		}
+	}
+
+	early, err := c.queryV1(&api.QueryRequest{Expr: expr, TopK: 6, Mode: api.ModeEarlyExit,
+		At: exact.Watermarks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if early.Mode != api.ModeEarlyExit {
+		t.Fatalf("routed early-exit response echoes mode %q", early.Mode)
+	}
+	if len(early.Items) == 0 || len(early.Items) > 6 {
+		t.Fatalf("routed early exit returned %d items for top_k 6", len(early.Items))
+	}
+	// Forced scatter: every shard in the target set must have served its
+	// sub-request in early-exit mode.
+	for _, sh := range c.shards {
+		if n := sh.srv.Snapshot().EarlyExitQueries; n == 0 {
+			t.Errorf("shard %s never saw an early-exit sub-request: mode was not forced on the scatter", sh.name)
+		}
+	}
+	// The merged answer satisfies the subset contract against the
+	// reference system's exhaustive exact ranking.
+	if err := loadgen.NewSubsetPlanVerifier(c.ref)(early); err != nil {
+		t.Errorf("routed early-exit answer violates the subset contract: %v", err)
+	}
+
+	// Router-side accounting: early-exit is a subset of plan traffic.
+	rs := c.rt.Snapshot()
+	if rs.EarlyExitQueries != 1 || rs.PlanQueries < 2 {
+		t.Errorf("router stats: early_exit_queries=%d plan_queries=%d, want 1 and >=2",
+			rs.EarlyExitQueries, rs.PlanQueries)
+	}
+
+	// Cursor paging through the router: the token freezes the mode, and —
+	// every shard's early-exit execution being deterministic at the pinned
+	// vector — the pages reassemble to exactly the one-shot answer.
+	assembled, err := c.cli.CollectPages(context.Background(),
+		&api.QueryRequest{Expr: expr, TopK: 6, Mode: api.ModeEarlyExit, At: exact.Watermarks}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assembled.Mode != api.ModeEarlyExit {
+		t.Fatalf("assembled paged read echoes mode %q", assembled.Mode)
+	}
+	if !reflect.DeepEqual(assembled.Items, early.Items) {
+		t.Fatalf("paged routed early-exit diverges from one-shot:\npaged: %+v\nfull:  %+v",
+			assembled.Items, early.Items)
+	}
+
+	// Validation mirrors the single-node taxonomy at the router's edge.
+	for name, req := range map[string]*api.QueryRequest{
+		"no top_k":     {Expr: expr, Mode: api.ModeEarlyExit},
+		"unknown mode": {Expr: expr, TopK: 5, Mode: "banana"},
+		"temporal":     {Expr: "car & dur(2)", TopK: 5, Mode: api.ModeEarlyExit},
+	} {
+		if _, err := c.queryV1(req); !api.IsCode(err, api.CodeBadRequest) {
+			t.Errorf("%s: got %v, want code bad_request", name, err)
+		}
+	}
+}

@@ -298,7 +298,11 @@ type routedExec struct {
 	topK, kx, maxClusters int
 	start, end            float64
 	limit, offset         int
-	ranked                bool
+	// mode is the execution mode in canonical form ("" = exact,
+	// api.ModeEarlyExit = early exit), forced onto every scatter
+	// sub-request so shards can never mix modes within one answer.
+	mode   string
+	ranked bool
 	// tracked selects the tracks (temporal) form; set exactly when the
 	// expression contains a temporal operator. Mutually exclusive with
 	// ranked.
@@ -333,6 +337,7 @@ func resolveRouted(req *api.QueryRequest) (*routedExec, *api.Error) {
 			maxClusters: cur.MaxClusters,
 			limit:       req.Limit,
 			offset:      cur.Offset,
+			mode:        cur.Mode,
 			// The token's Form field tells a tracks continuation apart
 			// from a ranked one (empty = ranked, for tokens minted before
 			// the tracks form existed).
@@ -354,6 +359,10 @@ func resolveRouted(req *api.QueryRequest) (*routedExec, *api.Error) {
 	if err != nil {
 		return nil, api.Errorf(api.CodeBadExpr, "%v", err)
 	}
+	mode, aerr := api.NormalizeMode(req.Mode, req.TopK)
+	if aerr != nil {
+		return nil, aerr
+	}
 	ex := &routedExec{
 		expr:         req.Expr,
 		streams:      api.NormalizeStreams(req.Streams),
@@ -364,9 +373,14 @@ func resolveRouted(req *api.QueryRequest) (*routedExec, *api.Error) {
 		end:          req.End,
 		maxClusters:  req.MaxClusters,
 		limit:        req.Limit,
+		mode:         mode,
 		allowPartial: req.AllowPartial,
 	}
 	if plan.HasTemporal(ast) {
+		if mode != "" {
+			return nil, api.Errorf(api.CodeBadRequest,
+				"mode %q applies to ranked executions only, not temporal (tracks-form) expressions", mode)
+		}
 		if req.Form != "" && req.Form != api.FormTracks {
 			return nil, api.Errorf(api.CodeBadRequest,
 				"temporal expressions answer in the %q form; form must be omitted or %q", api.FormTracks, api.FormTracks)
@@ -406,6 +420,9 @@ func (r *Router) routeV1(ex *routedExec) (*api.QueryResponse, int, *api.Error) {
 		r.trackQueries.Add(1)
 	case ex.ranked:
 		r.planQueries.Add(1)
+		if ex.mode == api.ModeEarlyExit {
+			r.earlyExitQueries.Add(1)
+		}
 	default:
 		r.queries.Add(1)
 	}
@@ -430,6 +447,10 @@ func (r *Router) routeV1(ex *routedExec) (*api.QueryResponse, int, *api.Error) {
 			MaxClusters: ex.maxClusters,
 			At:          subVector(ex.pins, g.streams),
 			Form:        form,
+			// The decided mode is forced on every shard: a scatter that
+			// mixed exact and early-exit sub-answers would merge two
+			// different pure functions into one response.
+			Mode: ex.mode,
 		}
 		body, err := json.Marshal(&sub)
 		if err != nil {
@@ -503,6 +524,7 @@ func (r *Router) routeV1(ex *routedExec) (*api.QueryResponse, int, *api.Error) {
 		r.partials.Add(1)
 	}
 	if ex.ranked || ex.tracked {
+		merged.Mode = ex.mode
 		var names []string
 		for _, g := range groups {
 			names = append(names, g.streams...)
@@ -517,6 +539,7 @@ func (r *Router) routeV1(ex *routedExec) (*api.QueryResponse, int, *api.Error) {
 			End:         ex.end,
 			MaxClusters: ex.maxClusters,
 			At:          merged.Watermarks,
+			Mode:        ex.mode,
 		}
 		pageLen := 0
 		if ex.tracked {
@@ -733,6 +756,9 @@ type Stats struct {
 	PlanQueries int64   `json:"plan_queries"`
 	// TrackQueries counts temporal (tracks-form) queries.
 	TrackQueries int64 `json:"track_queries"`
+	// EarlyExitQueries counts ranked queries routed in early-exit mode, a
+	// subset of PlanQueries.
+	EarlyExitQueries int64 `json:"early_exit_queries"`
 	// LegacyRequests counts requests arriving through the deprecated
 	// /query and /plan shims.
 	LegacyRequests int64 `json:"legacy_requests"`
@@ -761,6 +787,7 @@ func (r *Router) Snapshot() Stats {
 		Queries:          r.queries.Load(),
 		PlanQueries:      r.planQueries.Load(),
 		TrackQueries:     r.trackQueries.Load(),
+		EarlyExitQueries: r.earlyExitQueries.Load(),
 		LegacyRequests:   r.legacyReqs.Load(),
 		ShardRequests:    r.shardReqs.Load(),
 		ShardRetries:     r.shardRetried.Load(),

@@ -157,14 +157,17 @@ type Router struct {
 	queries      atomic.Int64
 	planQueries  atomic.Int64
 	trackQueries atomic.Int64
-	legacyReqs   atomic.Int64
-	shardReqs    atomic.Int64
-	shardRetried atomic.Int64
-	partials     atomic.Int64
-	rejected     atomic.Int64
-	unavailable  atomic.Int64
-	clientErrs   atomic.Int64
-	upstreamErrs atomic.Int64
+	// earlyExitQueries counts ranked queries routed in early-exit mode
+	// (a subset of planQueries).
+	earlyExitQueries atomic.Int64
+	legacyReqs       atomic.Int64
+	shardReqs        atomic.Int64
+	shardRetried     atomic.Int64
+	partials         atomic.Int64
+	rejected         atomic.Int64
+	unavailable      atomic.Int64
+	clientErrs       atomic.Int64
+	upstreamErrs     atomic.Int64
 }
 
 // New validates the shard map and builds a router. Start must be called

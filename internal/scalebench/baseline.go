@@ -17,6 +17,20 @@ type Baseline struct {
 	// scaling point loses more than 20%".
 	Tolerance float64         `json:"tolerance"`
 	Points    []BaselinePoint `json:"points"`
+	// Raw, when present, gates the raw-speed measurements too.
+	Raw *RawBaseline `json:"raw,omitempty"`
+}
+
+// RawBaseline is the committed floor for the raw-speed suite. IVFSpeedup
+// is a reference subject to the shared tolerance (the IVF index must not
+// lose more than Tolerance vs the linear scan's committed reference);
+// EarlyExitMaxRatio is an absolute ceiling — the early-exit GPU-cost
+// contract is "at most this fraction of exact", not a ratcheted
+// measurement, so no tolerance applies. IVF bit-identity is enforced
+// unconditionally whenever a raw measurement is present.
+type RawBaseline struct {
+	IVFSpeedup        float64 `json:"ivf_speedup"`
+	EarlyExitMaxRatio float64 `json:"early_exit_max_gpu_ratio"`
 }
 
 // BaselinePoint is the reference for one stream count.
@@ -102,6 +116,28 @@ func (b *Baseline) Check(rep *Report) []string {
 			failures = append(failures,
 				fmt.Sprintf("streams=%d: query speedup %.2fx below floor %.2fx (baseline %.2fx, tolerance %.0f%%)",
 					ref.Streams, p.QuerySpeedup, min, ref.QuerySpeedup, 100*b.Tolerance))
+		}
+	}
+	// IVF exactness is a correctness property, enforced whether or not the
+	// raw suite is baselined — like bit-identity on unbaselined points.
+	if rep.Raw != nil && !rep.Raw.IVFIdentical {
+		failures = append(failures,
+			"raw: IVF engine state was not bit-identical to the linear scan's")
+	}
+	if b.Raw != nil {
+		if rep.Raw == nil {
+			failures = append(failures, "raw: no raw-speed measurement in fresh run")
+			return failures
+		}
+		if min := b.Raw.IVFSpeedup * floor; rep.Raw.IVFSpeedup < min {
+			failures = append(failures,
+				fmt.Sprintf("raw: IVF speedup %.2fx below floor %.2fx (baseline %.2fx, tolerance %.0f%%)",
+					rep.Raw.IVFSpeedup, min, b.Raw.IVFSpeedup, 100*b.Tolerance))
+		}
+		if rep.Raw.EarlyExitRatio > b.Raw.EarlyExitMaxRatio {
+			failures = append(failures,
+				fmt.Sprintf("raw: early-exit GPU ratio %.2f above the %.2f ceiling",
+					rep.Raw.EarlyExitRatio, b.Raw.EarlyExitMaxRatio))
 		}
 	}
 	return failures

@@ -66,6 +66,61 @@ func TestBaselineCheckFlagsUnbaselinedNonIdentical(t *testing.T) {
 	}
 }
 
+func rawBaseline() *Baseline {
+	b := testBaseline()
+	b.Raw = &RawBaseline{IVFSpeedup: 2.0, EarlyExitMaxRatio: 0.5}
+	return b
+}
+
+func rawReport() *Report {
+	rep := freshReport()
+	rep.Raw = &RawReport{IVFSpeedup: 2.1, IVFIdentical: true, EarlyExitRatio: 0.4, EarlyExitItems: 10}
+	return rep
+}
+
+func TestBaselineCheckRawPasses(t *testing.T) {
+	if failures := rawBaseline().Check(rawReport()); len(failures) != 0 {
+		t.Fatalf("healthy raw run failed the gate: %v", failures)
+	}
+	// A <20% IVF loss stays within the shared tolerance.
+	rep := rawReport()
+	rep.Raw.IVFSpeedup = 1.65 // above 2.0 * 0.8 = 1.6
+	if failures := rawBaseline().Check(rep); len(failures) != 0 {
+		t.Fatalf("IVF loss within tolerance must pass: %v", failures)
+	}
+}
+
+func TestBaselineCheckRawCatchesRegressions(t *testing.T) {
+	rep := rawReport()
+	rep.Raw.IVFSpeedup = 1.5 // below 2.0 * 0.8
+	if failures := rawBaseline().Check(rep); len(failures) != 1 {
+		t.Fatalf("want exactly the IVF speedup regression, got %v", failures)
+	}
+	rep = rawReport()
+	rep.Raw.EarlyExitRatio = 0.51 // the ceiling is absolute, no tolerance
+	if failures := rawBaseline().Check(rep); len(failures) != 1 {
+		t.Fatalf("want exactly the early-exit ratio violation, got %v", failures)
+	}
+	rep = rawReport()
+	rep.Raw = nil
+	if failures := rawBaseline().Check(rep); len(failures) != 1 {
+		t.Fatalf("want exactly the missing raw measurement, got %v", failures)
+	}
+}
+
+func TestBaselineCheckRawIdentityIsUnconditional(t *testing.T) {
+	// Even without a raw baseline, a non-identical IVF run is a
+	// correctness failure.
+	rep := rawReport()
+	rep.Raw.IVFIdentical = false
+	if failures := testBaseline().Check(rep); len(failures) != 1 {
+		t.Fatalf("want the identity violation without a raw baseline, got %v", failures)
+	}
+	if failures := rawBaseline().Check(rep); len(failures) != 1 {
+		t.Fatalf("want the identity violation with a raw baseline, got %v", failures)
+	}
+}
+
 func TestLoadBaselineAndLatestRunRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	basePath := filepath.Join(dir, "baseline.json")

@@ -1,0 +1,229 @@
+package scalebench
+
+import (
+	"fmt"
+	"reflect"
+	"time"
+
+	"focus"
+	"focus/internal/cluster"
+	"focus/internal/simrand"
+	"focus/internal/tune"
+	"focus/internal/video"
+	"focus/internal/vision"
+)
+
+// RawReport measures the single-node raw-speed features that don't scale
+// with stream count: the IVF centroid index against the linear
+// nearest-centroid scan it replaced (same workload, bit-identical final
+// engine state enforced), and an early-exit ranked query against the
+// exact execution of the same compound plan (GPU-cost ratio on cold
+// verdict caches). Appended to the trajectory alongside the scaling
+// points so both regressions show up in the same file the CI gate reads.
+type RawReport struct {
+	// IVFAdds is the number of timed Add calls per engine.
+	IVFAdds      int     `json:"ivf_adds"`
+	IVFLinearSec float64 `json:"ivf_linear_sec"`
+	IVFIndexSec  float64 `json:"ivf_index_sec"`
+	// IVFSpeedup is linear-scan wall time over IVF wall time (>1 = faster).
+	IVFSpeedup float64 `json:"ivf_speedup"`
+	// IVFIdentical reports that both engines finished the workload in
+	// bit-identical states (same clusters, members, centroids, spill
+	// sequence) — the exactness contract, re-proven on every bench run.
+	IVFIdentical bool `json:"ivf_identical"`
+
+	ExactGPUMS float64 `json:"exact_gpu_ms"`
+	EarlyGPUMS float64 `json:"early_exit_gpu_ms"`
+	// EarlyExitRatio is early-exit GPU cost over exact GPU cost for the
+	// same compound TopK query on identically ingested fresh systems.
+	EarlyExitRatio float64 `json:"early_exit_gpu_ratio"`
+	// EarlyExitItems is how many verified results the early-exit run
+	// returned (must equal the requested TopK on this corpus).
+	EarlyExitItems int `json:"early_exit_items"`
+}
+
+// Raw-bench workload constants. The IVF side mirrors the regime real
+// streams live in — a stable population of repeat appearances, joins
+// dominating — at a population size where the coarse quantizer visibly
+// beats the linear scan. The early-exit side replays the planted
+// rare-class corpus from the top-level invariant tests at bench scale.
+const (
+	rawMaxActive = 512
+	rawInstances = 400
+	rawAdds      = 20000
+	rawTopK      = 10
+	rawExpr      = "car & person & !bus"
+	rawWindowSec = 60
+)
+
+// RunRaw executes the raw-speed suite.
+func RunRaw(seed uint64, progress func(format string, args ...any)) (*RawReport, error) {
+	if progress == nil {
+		progress = func(string, ...any) {}
+	}
+	rep := &RawReport{IVFAdds: rawAdds}
+
+	progress("  ivf: %d adds over %d instances (cap %d), linear vs indexed",
+		rawAdds, rawInstances, rawMaxActive)
+	if err := rep.runIVF(seed); err != nil {
+		return nil, err
+	}
+	progress("  ivf: linear %.2fs, indexed %.2fs, %.2fx, identical=%v",
+		rep.IVFLinearSec, rep.IVFIndexSec, rep.IVFSpeedup, rep.IVFIdentical)
+
+	progress("  early-exit: %q top-%d, exact vs sampled on fresh systems", rawExpr, rawTopK)
+	if err := rep.runEarlyExit(seed); err != nil {
+		return nil, err
+	}
+	progress("  early-exit: exact %.0f GPU-ms, sampled %.0f GPU-ms, ratio %.2f (%d items)",
+		rep.ExactGPUMS, rep.EarlyGPUMS, rep.EarlyExitRatio, rep.EarlyExitItems)
+	return rep, nil
+}
+
+// runIVF drives two engines differing only in Config.LinearScan through an
+// identical deterministic workload, timing the steady-state Add loop.
+func (rep *RawReport) runIVF(seed uint64) error {
+	sp := vision.NewSpace(seed)
+	model := vision.NewZoo().ByName("resnet18")
+	src := simrand.New(seed).Derive("scalebench-raw-ivf")
+	feats := make([]vision.FeatureVec, rawInstances)
+	for i := range feats {
+		inst := sp.NewInstanceAppearance(vision.ClassID(i%40), src)
+		feats[i] = model.ExtractFeatures(inst, src)
+	}
+	mem := func(i int) cluster.Member {
+		return cluster.Member{
+			Object:  video.ObjectID(i),
+			Frame:   video.FrameID(i),
+			TimeSec: float64(i) / 30,
+			Seed:    int64(i),
+		}
+	}
+
+	type spillMark struct {
+		id   int64
+		size int
+	}
+	run := func(linear bool) (float64, cluster.EngineSnapshot, []spillMark, error) {
+		var spills []spillMark
+		e, err := cluster.NewEngine(cluster.Config{
+			Threshold: 2.0, MaxActive: rawMaxActive, LinearScan: linear,
+		}, func(c *cluster.Cluster) {
+			spills = append(spills, spillMark{c.ID, c.Size()})
+		})
+		if err != nil {
+			return 0, cluster.EngineSnapshot{}, nil, err
+		}
+		for i := 0; i < 2*rawInstances; i++ { // reach steady state untimed
+			e.Add(feats[i%rawInstances], mem(i), nil)
+		}
+		t0 := time.Now()
+		for i := 0; i < rawAdds; i++ {
+			e.Add(feats[i%rawInstances], mem(2*rawInstances+i), nil)
+		}
+		return time.Since(t0).Seconds(), e.Snapshot(), spills, nil
+	}
+
+	linSec, linSnap, linSpills, err := run(true)
+	if err != nil {
+		return err
+	}
+	ivfSec, ivfSnap, ivfSpills, err := run(false)
+	if err != nil {
+		return err
+	}
+	rep.IVFLinearSec, rep.IVFIndexSec = linSec, ivfSec
+	if ivfSec > 0 {
+		rep.IVFSpeedup = linSec / ivfSec
+	}
+	rep.IVFIdentical = reflect.DeepEqual(linSnap, ivfSnap) &&
+		reflect.DeepEqual(linSpills, ivfSpills)
+	return nil
+}
+
+// rawCorpusSpecs is the planted-rare-class corpus: one stream where the
+// query classes are abundant head classes, three where they are deep-tail
+// rarities. The corpus the early-exit invariant tests pin their ≤50%
+// GPU-cost contract on, reproduced here so the bench tracks the same
+// quantity across revisions.
+func rawCorpusSpecs() []video.StreamSpec {
+	hot := video.StreamSpec{
+		Name: "hotlot", Type: video.Traffic, Location: "bench",
+		Description: "planted-abundant stream",
+		VocabSize:   40, ZipfAlpha: 2.2, ArrivalPerSec: 0.9,
+		DwellMeanSec: 8, DwellJitter: 0.5, EmptyFrac: 0.25, NightFactor: 0.4,
+		SpeedPxPerFrame: 2.4, PoseDriftTau: 0.6, PoseDriftAmp: 0.55,
+	}
+	cold := func(name string) video.StreamSpec {
+		return video.StreamSpec{
+			Name: name, Type: video.Traffic, Location: "bench",
+			Description: "planted-rare stream",
+			VocabSize:   280, ZipfAlpha: 1.3, ArrivalPerSec: 0.35,
+			DwellMeanSec: 10, DwellJitter: 0.5, EmptyFrac: 0.3, NightFactor: 0.4,
+			SpeedPxPerFrame: 2.0, PoseDriftTau: 0.5, PoseDriftAmp: 0.5,
+		}
+	}
+	return []video.StreamSpec{hot, cold("plaza_a"), cold("plaza_b"), cold("plaza_c")}
+}
+
+// runEarlyExit ingests the planted corpus into two fresh systems (cold
+// GT-verdict caches on both) and compares the metered GPU cost of the
+// exact and early-exit executions of the same compound TopK query.
+func (rep *RawReport) runEarlyExit(seed uint64) error {
+	newSystem := func() (*focus.System, error) {
+		sys, err := focus.New(focus.Config{
+			Seed:        seed,
+			NumGPUs:     10,
+			Targets:     tune.Targets{Recall: 0.5, Precision: 0.5},
+			TuneOptions: benchTuneOptions(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, spec := range rawCorpusSpecs() {
+			if _, err := sys.AddStream(spec); err != nil {
+				return nil, err
+			}
+		}
+		if err := sys.IngestAll(focus.GenOptions{DurationSec: rawWindowSec, SampleEvery: 1}); err != nil {
+			return nil, err
+		}
+		return sys, nil
+	}
+
+	exactSys, err := newSystem()
+	if err != nil {
+		return err
+	}
+	defer exactSys.Close()
+	earlySys, err := newSystem()
+	if err != nil {
+		return err
+	}
+	defer earlySys.Close()
+
+	before := exactSys.GPUMeter()
+	exact, err := exactSys.PlanQuery(rawExpr, focus.PlanOptions{TopK: rawTopK})
+	if err != nil {
+		return err
+	}
+	rep.ExactGPUMS = exactSys.GPUMeter().QueryMS - before.QueryMS
+
+	before = earlySys.GPUMeter()
+	early, err := earlySys.PlanQuery(rawExpr, focus.PlanOptions{TopK: rawTopK, EarlyExit: true})
+	if err != nil {
+		return err
+	}
+	rep.EarlyGPUMS = earlySys.GPUMeter().QueryMS - before.QueryMS
+	rep.EarlyExitItems = len(early.Items)
+
+	if len(exact.Items) != rawTopK {
+		return fmt.Errorf("scalebench: exact top-%d found only %d items on the planted corpus",
+			rawTopK, len(exact.Items))
+	}
+	if rep.ExactGPUMS <= 0 {
+		return fmt.Errorf("scalebench: exact execution consumed no GPU time; the meter is broken")
+	}
+	rep.EarlyExitRatio = rep.EarlyGPUMS / rep.ExactGPUMS
+	return nil
+}

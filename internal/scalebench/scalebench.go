@@ -96,6 +96,9 @@ type Report struct {
 	NumGPUs     int     `json:"num_gpus"`
 	Seed        uint64  `json:"seed"`
 	Points      []Point `json:"points"`
+	// Raw holds the stream-count-independent raw-speed measurements (IVF
+	// vs linear scan, early-exit vs exact); nil on runs predating it.
+	Raw *RawReport `json:"raw,omitempty"`
 }
 
 // trajectory is the cross-revision file layout.

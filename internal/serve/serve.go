@@ -166,14 +166,17 @@ type Server struct {
 	queries      atomic.Int64
 	planQueries  atomic.Int64
 	trackQueries atomic.Int64
-	legacyReqs   atomic.Int64
-	cacheHits    atomic.Int64
-	cacheMisses  atomic.Int64
-	rejected     atomic.Int64
-	clientErrs   atomic.Int64
-	serverErrs   atomic.Int64
-	ingestErrs   atomic.Int64
-	checkpoints  atomic.Int64
+	// earlyExitQueries counts ranked queries served in early-exit mode
+	// (a subset of planQueries; cache hits included).
+	earlyExitQueries atomic.Int64
+	legacyReqs       atomic.Int64
+	cacheHits        atomic.Int64
+	cacheMisses      atomic.Int64
+	rejected         atomic.Int64
+	clientErrs       atomic.Int64
+	serverErrs       atomic.Int64
+	ingestErrs       atomic.Int64
+	checkpoints      atomic.Int64
 	// checkpointErrs counts failed checkpoint rounds and failed manifest
 	// publishes; ingestion continues either way (durability degrades, the
 	// service does not).
@@ -514,6 +517,10 @@ type Stats struct {
 	PlanQueries int64   `json:"plan_queries"`
 	// TrackQueries counts temporal (tracks-form) queries.
 	TrackQueries int64 `json:"track_queries"`
+	// EarlyExitQueries counts ranked queries served in early-exit mode, a
+	// subset of PlanQueries — the operator's gauge for how much traffic
+	// has opted into the approximate mode (see OPERATIONS.md).
+	EarlyExitQueries int64 `json:"early_exit_queries"`
 	// LegacyRequests counts requests arriving through the deprecated
 	// /query and /plan shims — the operator's client-migration gauge.
 	LegacyRequests int64 `json:"legacy_requests"`
@@ -557,6 +564,7 @@ func (s *Server) Snapshot() Stats {
 		Queries:          s.queries.Load(),
 		PlanQueries:      s.planQueries.Load(),
 		TrackQueries:     s.trackQueries.Load(),
+		EarlyExitQueries: s.earlyExitQueries.Load(),
 		LegacyRequests:   s.legacyReqs.Load(),
 		CacheHits:        s.cacheHits.Load(),
 		CacheMisses:      s.cacheMisses.Load(),

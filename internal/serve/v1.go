@@ -32,6 +32,9 @@ type v1Exec struct {
 	topK, kx, maxClusters int
 	start, end            float64
 	limit, offset         int
+	// mode is the execution mode in canonical form: "" = exact,
+	// api.ModeEarlyExit = early exit. Ranked form only.
+	mode string
 	// ranked selects the ranked (plan) form; false executes the
 	// single-class engine and answers in the frames form.
 	ranked bool
@@ -62,6 +65,7 @@ func (s *Server) resolveV1(req *api.QueryRequest) (*v1Exec, *api.Error) {
 			maxClusters: cur.MaxClusters,
 			limit:       req.Limit,
 			offset:      cur.Offset,
+			mode:        cur.Mode,
 		}
 		// The token's Form field tells a tracks continuation apart from a
 		// ranked one; tokens minted before the tracks form existed carry
@@ -94,6 +98,10 @@ func (s *Server) resolveV1(req *api.QueryRequest) (*v1Exec, *api.Error) {
 	if err != nil {
 		return nil, api.Errorf(api.CodeBadExpr, "%v", err)
 	}
+	mode, aerr := api.NormalizeMode(req.Mode, req.TopK)
+	if aerr != nil {
+		return nil, aerr
+	}
 	ex := &v1Exec{
 		streams:     api.NormalizeStreams(req.Streams),
 		pins:        req.At,
@@ -103,8 +111,13 @@ func (s *Server) resolveV1(req *api.QueryRequest) (*v1Exec, *api.Error) {
 		end:         req.End,
 		maxClusters: req.MaxClusters,
 		limit:       req.Limit,
+		mode:        mode,
 	}
 	if plan.HasTemporal(ast) {
+		if mode != "" {
+			return nil, api.Errorf(api.CodeBadRequest,
+				"mode %q applies to ranked executions only, not temporal (tracks-form) expressions", mode)
+		}
 		if req.Form != "" && req.Form != api.FormTracks {
 			return nil, api.Errorf(api.CodeBadRequest,
 				"temporal expressions answer in the %q form; form must be omitted or %q", api.FormTracks, api.FormTracks)
@@ -153,6 +166,12 @@ func rankedCacheKey(canonical string, ex *v1Exec, names []string, vector api.Wat
 	var b strings.Builder
 	fmt.Fprintf(&b, "plan|%s|k=%d&kx=%d&s=%g&e=%g&m=%d", canonical, ex.topK,
 		ex.kx, ex.start, ex.end, ex.maxClusters)
+	if ex.mode != "" {
+		// Modes are disjoint pure functions, so they must be disjoint cache
+		// entries. Exact mode keeps the unsuffixed pre-mode key (cache
+		// compatibility with the legacy /plan shim's requests).
+		fmt.Fprintf(&b, "&mode=%s", ex.mode)
+	}
 	for _, n := range names {
 		fmt.Fprintf(&b, "|%s@%g", n, vector[n])
 	}
@@ -269,6 +288,9 @@ func (s *Server) executeFrames(ex *v1Exec, names []string, vector api.WatermarkV
 // cursor.
 func (s *Server) executeRanked(ex *v1Exec, names []string, vector api.WatermarkVector) (*api.QueryResponse, *api.Error) {
 	canonical := ex.compiled.Canonical()
+	if ex.mode == api.ModeEarlyExit {
+		s.earlyExitQueries.Add(1)
+	}
 	key := rankedCacheKey(canonical, ex, names, vector)
 	var full *api.QueryResponse
 	cached := false
@@ -286,6 +308,7 @@ func (s *Server) executeRanked(ex *v1Exec, names []string, vector api.WatermarkV
 				MaxClusters: ex.maxClusters,
 			},
 			AtWatermarks: vector,
+			EarlyExit:    ex.mode == api.ModeEarlyExit,
 		})
 		if err != nil {
 			return nil, api.Errorf(api.CodeInternal, "%v", err)
@@ -301,6 +324,7 @@ func (s *Server) executeRanked(ex *v1Exec, names []string, vector api.WatermarkV
 			Start:        ex.start,
 			End:          ex.end,
 			MaxClusters:  ex.maxClusters,
+			Mode:         ex.mode,
 			GTInferences: res.Stats.GTInferences,
 			GPUTimeMS:    res.Stats.GPUTimeMS,
 			LatencyMS:    res.Stats.LatencyMS,
@@ -329,6 +353,7 @@ func (s *Server) executeRanked(ex *v1Exec, names []string, vector api.WatermarkV
 		End:         ex.end,
 		MaxClusters: ex.maxClusters,
 		At:          vector,
+		Mode:        ex.mode,
 	}, ex.limit, ex.offset, len(out.Items), full.TotalItems)
 	return &out, nil
 }

@@ -37,6 +37,16 @@ type PlanOptions struct {
 	// Workers bounds the cross-stream fan-out; 0 = one worker per stream,
 	// 1 = the sequential reference. Results are bit-identical either way.
 	Workers int
+	// EarlyExit opts into the approximate ExSample-style mode: GT-CNN
+	// verification budget is allocated to the streams where results have
+	// been surfacing (Thompson sampling over per-stream discovery rates)
+	// and execution stops as soon as TopK verified items are in hand.
+	// Requires TopK >= 1. Every returned item is still GT-verified with
+	// its exact-mode score, and the answer is deterministic per (plan,
+	// options, watermark vector) — but it is the top of the discovered
+	// set, not necessarily the global top K. See internal/plan's
+	// ExecuteEarlyExit for the full contract.
+	EarlyExit bool
 }
 
 // PlanItem is one ranked compound-query result.
@@ -159,6 +169,9 @@ func (s *System) ExecutePlan(p *plan.Plan, opts PlanOptions) (*PlanResult, error
 	if err != nil {
 		return nil, err
 	}
+	if opts.EarlyExit {
+		return plan.ExecuteEarlyExit(p, targets, s.planExecOptions(opts))
+	}
 	return plan.Execute(p, targets, s.planExecOptions(opts))
 }
 
@@ -168,6 +181,11 @@ func (s *System) ExecutePlan(p *plan.Plan, opts PlanOptions) (*PlanResult, error
 // exactly what ExecutePlan returns for the same options and watermark
 // vector.
 func (s *System) NewPlanCursor(p *plan.Plan, opts PlanOptions) (*PlanCursor, error) {
+	if opts.EarlyExit {
+		// Early-exit answers are bounded by TopK and materialize in one
+		// shot; the serve layer pages the materialized result instead.
+		return nil, fmt.Errorf("focus: early-exit mode has no incremental cursor (execute the plan and page the result)")
+	}
 	targets, err := s.planTargets(opts)
 	if err != nil {
 		return nil, err
