@@ -1,0 +1,81 @@
+package api
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeSSEFrame feeds arbitrary bytes to the subscription frame
+// decoder: it must never panic, must reject anything the encoder would
+// not have produced from a valid event (clients trust decoded events —
+// the Subscriber applies deltas straight into its reassembled state, so
+// this gate is the only thing between a forged frame and a corrupted
+// subscription), and every accepted frame must survive an
+// encode/decode round-trip exactly.
+func FuzzDecodeSSEFrame(f *testing.F) {
+	for _, ev := range []*SubscribeEvent{
+		{V: SSEVersion, Type: EventHello, Hello: &SubscribeHello{
+			Expr: "(car&person)", Form: FormRanked, Streams: []string{"auburn_c"}, TopK: 5}},
+		{V: SSEVersion, Type: EventHello, Hello: &SubscribeHello{
+			Expr: "(car&dur(2,0))", Form: FormTracks, Streams: []string{"auburn_c", "jacksonh"}}},
+		{V: SSEVersion, Type: EventDelta, Delta: &Delta{
+			From:         WatermarkVector{"auburn_c": 0},
+			To:           WatermarkVector{"auburn_c": 5},
+			Items:        []Item{{Stream: "auburn_c", Frame: 30, TimeSec: 1, Segment: 1, Score: 1.5}},
+			RemovedItems: []Item{{Stream: "auburn_c", Frame: 60, TimeSec: 2, Segment: 2, Score: 0.5}},
+			TotalItems:   1, GTInferences: 3, GPUTimeMS: 2.5}},
+		{V: SSEVersion, Type: EventDelta, Delta: &Delta{
+			From: WatermarkVector{"a": 5},
+			To:   WatermarkVector{"a": 10},
+			Tracks: []TrackItem{{Stream: "a", Track: 1, Object: 2, StartFrame: 30, EndFrame: 90,
+				StartSec: 1, EndSec: 3, Sightings: 4, Score: 2.25}},
+			TotalItems: 1}},
+		{V: SSEVersion, Type: EventDrop, Reason: ReasonSlowConsumer, Resume: WatermarkVector{"a": 5}},
+		{V: SSEVersion, Type: EventBye, Reason: ReasonComplete},
+		{V: SSEVersion, Type: EventBye, Reason: ReasonDraining},
+	} {
+		frame, err := EncodeSSEFrame(ev)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+	}
+	for _, forged := range []string{
+		"",
+		"event: bye\n\n",
+		"data: {\"v\":1,\"type\":\"bye\",\"reason\":\"complete\"}\n\n",
+		"event: delta\ndata: {\"v\":1,\"type\":\"bye\",\"reason\":\"complete\"}\n\n",
+		"event: bye\ndata: {}\n\n",
+		"event: bye\ndata: not json\n\n",
+		": comment only\n\n",
+		"event: bye\r\ndata: {\"v\":1,\"type\":\"bye\",\"reason\":\"complete\"}\r\n\r\n",
+	} {
+		f.Add([]byte(forged))
+	}
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		ev, err := DecodeSSEFrame(frame)
+		if err != nil {
+			if ev != nil {
+				t.Fatalf("DecodeSSEFrame(%q) returned both an event and an error", frame)
+			}
+			return
+		}
+		// The decoder's validation contract: whatever it accepts must be a
+		// valid event of a known type.
+		if verr := ev.Validate(); verr != nil {
+			t.Fatalf("DecodeSSEFrame(%q) accepted an invalid event: %v", frame, verr)
+		}
+		// Encode/decode fixpoint: re-framing the event loses nothing.
+		reframed, err := EncodeSSEFrame(ev)
+		if err != nil {
+			t.Fatalf("accepted event of %q does not re-encode: %v", frame, err)
+		}
+		again, err := DecodeSSEFrame(reframed)
+		if err != nil {
+			t.Fatalf("re-encoded frame of %q does not decode: %v", frame, err)
+		}
+		if !reflect.DeepEqual(ev, again) {
+			t.Fatalf("event drifted across encode/decode:\nfirst:  %+v\nsecond: %+v", ev, again)
+		}
+	})
+}

@@ -1,0 +1,290 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"focus/api"
+)
+
+// subscribeScript is one scripted server-side connection: assert the
+// resume vector the client sent, then play frames.
+type subscribeScript func(t *testing.T, w http.ResponseWriter, req *api.SubscribeRequest)
+
+// subscribeStub plays one script per connection, in order.
+func subscribeStub(t *testing.T, scripts ...subscribeScript) *httptest.Server {
+	t.Helper()
+	var conn atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc(api.PathSubscribe, func(w http.ResponseWriter, r *http.Request) {
+		var req api.SubscribeRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("stub decode: %v", err)
+			return
+		}
+		i := int(conn.Add(1)) - 1
+		if i >= len(scripts) {
+			t.Errorf("unexpected connection %d", i+1)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		scripts[i](t, w, &req)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func sendFrame(t *testing.T, w http.ResponseWriter, ev *api.SubscribeEvent) {
+	t.Helper()
+	frame, err := api.EncodeSSEFrame(ev)
+	if err != nil {
+		t.Errorf("stub encode: %v", err)
+		return
+	}
+	if _, err := w.Write(frame); err != nil {
+		return
+	}
+	w.(http.Flusher).Flush()
+}
+
+func stubHello() *api.SubscribeHello {
+	return &api.SubscribeHello{Expr: "(car&person)", Form: api.FormRanked, Streams: []string{"s"}}
+}
+
+func wantFrom(t *testing.T, req *api.SubscribeRequest, want api.WatermarkVector) {
+	t.Helper()
+	if len(want) == 0 {
+		if len(req.From) != 0 {
+			t.Errorf("connection resumed from %v, want genesis", req.From)
+		}
+		return
+	}
+	if !api.VectorsEqual(req.From, want) {
+		t.Errorf("connection resumed from %v, want %v", req.From, want)
+	}
+}
+
+var (
+	itemA = api.Item{Stream: "s", Frame: 30, TimeSec: 1, Segment: 1, Score: 5}
+	itemB = api.Item{Stream: "s", Frame: 60, TimeSec: 2, Segment: 2, Score: 3}
+	itemC = api.Item{Stream: "s", Frame: 90, TimeSec: 3, Segment: 3, Score: 4}
+)
+
+func vec(at float64) api.WatermarkVector { return api.WatermarkVector{"s": at} }
+
+// TestSubscriberResumesThroughFailures is the client-side resume
+// contract: across an abrupt transport loss and a typed slow-consumer
+// drop, the subscriber reconnects with From at its delivered vector and
+// the caller observes one contiguous, fully applicable delta sequence.
+func TestSubscriberResumesThroughFailures(t *testing.T) {
+	srv := subscribeStub(t,
+		func(t *testing.T, w http.ResponseWriter, req *api.SubscribeRequest) {
+			wantFrom(t, req, nil)
+			sendFrame(t, w, &api.SubscribeEvent{V: api.SSEVersion, Type: api.EventHello, Hello: stubHello()})
+			sendFrame(t, w, &api.SubscribeEvent{V: api.SSEVersion, Type: api.EventDelta, Delta: &api.Delta{
+				From: vec(0), To: vec(5), Items: []api.Item{itemA}, TotalItems: 1}})
+			// Abrupt end, no terminal event: a transport failure.
+		},
+		func(t *testing.T, w http.ResponseWriter, req *api.SubscribeRequest) {
+			wantFrom(t, req, vec(5))
+			sendFrame(t, w, &api.SubscribeEvent{V: api.SSEVersion, Type: api.EventHello, Hello: stubHello()})
+			sendFrame(t, w, &api.SubscribeEvent{V: api.SSEVersion, Type: api.EventDelta, Delta: &api.Delta{
+				From: vec(5), To: vec(10), Items: []api.Item{itemB}, TotalItems: 2}})
+			sendFrame(t, w, &api.SubscribeEvent{V: api.SSEVersion, Type: api.EventDrop,
+				Reason: api.ReasonSlowConsumer, Resume: vec(10)})
+		},
+		func(t *testing.T, w http.ResponseWriter, req *api.SubscribeRequest) {
+			wantFrom(t, req, vec(10))
+			sendFrame(t, w, &api.SubscribeEvent{V: api.SSEVersion, Type: api.EventHello, Hello: stubHello()})
+			sendFrame(t, w, &api.SubscribeEvent{V: api.SSEVersion, Type: api.EventDelta, Delta: &api.Delta{
+				From: vec(10), To: vec(15), Items: []api.Item{itemC}, RemovedItems: []api.Item{itemA},
+				TotalItems: 2}})
+			sendFrame(t, w, &api.SubscribeEvent{V: api.SSEVersion, Type: api.EventBye, Reason: api.ReasonComplete})
+		},
+	)
+	sub, err := New(srv.URL, WithRetries(2, time.Millisecond)).
+		Subscribe(context.Background(), &api.SubscribeRequest{Expr: "car & person"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []*api.Delta
+	for {
+		d, err := sub.Recv()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, d)
+	}
+	if len(got) != 3 {
+		t.Fatalf("received %d deltas, want 3", len(got))
+	}
+	if sub.Reason() != api.ReasonComplete {
+		t.Fatalf("terminal reason %q, want complete", sub.Reason())
+	}
+	if sub.Reconnects() != 2 {
+		t.Fatalf("reconnects = %d, want 2", sub.Reconnects())
+	}
+	if !sub.Reassembling() {
+		t.Fatal("genesis subscription must reassemble")
+	}
+	if want := []api.Item{itemC, itemB}; !reflect.DeepEqual(sub.Items(), want) {
+		t.Fatalf("reassembled items = %+v, want %+v", sub.Items(), want)
+	}
+	if !api.VectorsEqual(sub.Vector(), vec(15)) {
+		t.Fatalf("final vector = %v, want {s:15}", sub.Vector())
+	}
+}
+
+// TestSubscriberMidStreamResume pins that an explicit From skips
+// reassembly but still verifies contiguity from that point.
+func TestSubscriberMidStreamResume(t *testing.T) {
+	srv := subscribeStub(t,
+		func(t *testing.T, w http.ResponseWriter, req *api.SubscribeRequest) {
+			wantFrom(t, req, vec(5))
+			sendFrame(t, w, &api.SubscribeEvent{V: api.SSEVersion, Type: api.EventHello, Hello: stubHello()})
+			sendFrame(t, w, &api.SubscribeEvent{V: api.SSEVersion, Type: api.EventDelta, Delta: &api.Delta{
+				From: vec(5), To: vec(10), Items: []api.Item{itemB}, TotalItems: 2}})
+			sendFrame(t, w, &api.SubscribeEvent{V: api.SSEVersion, Type: api.EventBye, Reason: api.ReasonDraining})
+		},
+	)
+	sub, err := New(srv.URL, WithRetries(0, 0)).
+		Subscribe(context.Background(), &api.SubscribeRequest{Expr: "car & person", From: vec(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sub.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !api.VectorsEqual(d.From, vec(5)) || !api.VectorsEqual(d.To, vec(10)) {
+		t.Fatalf("delta = (%v → %v)", d.From, d.To)
+	}
+	if sub.Reassembling() || sub.Items() != nil {
+		t.Fatal("mid-stream resume must not claim a full reassembly")
+	}
+	if _, err := sub.Recv(); err != io.EOF {
+		t.Fatalf("after bye: %v, want EOF", err)
+	}
+	if sub.Reason() != api.ReasonDraining {
+		t.Fatalf("reason = %q, want draining", sub.Reason())
+	}
+}
+
+// TestSubscriberProtocolViolations pins that a forged or broken server
+// cannot corrupt the subscriber: gappy deltas, wrong drop resume points,
+// and a subscription that changes identity across a reconnect all fail
+// loudly instead of being applied.
+func TestSubscriberProtocolViolations(t *testing.T) {
+	t.Run("gappy delta", func(t *testing.T) {
+		srv := subscribeStub(t, func(t *testing.T, w http.ResponseWriter, req *api.SubscribeRequest) {
+			sendFrame(t, w, &api.SubscribeEvent{V: api.SSEVersion, Type: api.EventHello, Hello: stubHello()})
+			sendFrame(t, w, &api.SubscribeEvent{V: api.SSEVersion, Type: api.EventDelta, Delta: &api.Delta{
+				From: vec(3), To: vec(5), Items: []api.Item{itemA}, TotalItems: 1}})
+		})
+		sub, err := New(srv.URL, WithRetries(0, 0)).
+			Subscribe(context.Background(), &api.SubscribeRequest{Expr: "car & person"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sub.Recv(); err == nil {
+			t.Fatal("a delta not continuing the delivered vector was accepted")
+		}
+	})
+	t.Run("drop resume mismatch", func(t *testing.T) {
+		srv := subscribeStub(t, func(t *testing.T, w http.ResponseWriter, req *api.SubscribeRequest) {
+			sendFrame(t, w, &api.SubscribeEvent{V: api.SSEVersion, Type: api.EventHello, Hello: stubHello()})
+			sendFrame(t, w, &api.SubscribeEvent{V: api.SSEVersion, Type: api.EventDrop,
+				Reason: api.ReasonSlowConsumer, Resume: vec(7)})
+		})
+		sub, err := New(srv.URL, WithRetries(0, 0)).
+			Subscribe(context.Background(), &api.SubscribeRequest{Expr: "car & person"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sub.Recv(); err == nil {
+			t.Fatal("a drop whose resume point skips deltas was accepted")
+		}
+	})
+	t.Run("hello drift", func(t *testing.T) {
+		changed := stubHello()
+		changed.TopK = 9
+		srv := subscribeStub(t,
+			func(t *testing.T, w http.ResponseWriter, req *api.SubscribeRequest) {
+				sendFrame(t, w, &api.SubscribeEvent{V: api.SSEVersion, Type: api.EventHello, Hello: stubHello()})
+			},
+			func(t *testing.T, w http.ResponseWriter, req *api.SubscribeRequest) {
+				sendFrame(t, w, &api.SubscribeEvent{V: api.SSEVersion, Type: api.EventHello, Hello: changed})
+			},
+		)
+		sub, err := New(srv.URL, WithRetries(0, 0)).
+			Subscribe(context.Background(), &api.SubscribeRequest{Expr: "car & person"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sub.Recv(); err == nil {
+			t.Fatal("a subscription changing identity across reconnect was accepted")
+		}
+	})
+}
+
+// TestSubscribeTypedRejection pins that pre-stream server rejections come
+// back as *api.Error.
+func TestSubscribeTypedRejection(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc(api.PathSubscribe, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		_ = json.NewEncoder(w).Encode(api.Envelope{Err: api.Errorf(api.CodeBadExpr, "nope")})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	_, err := New(srv.URL, WithRetries(0, 0)).
+		Subscribe(context.Background(), &api.SubscribeRequest{Expr: "car &"})
+	if !api.IsCode(err, api.CodeBadExpr) {
+		t.Fatalf("err = %v, want bad_expr", err)
+	}
+}
+
+// TestSubscriberClose pins that Close aborts a blocked Recv from another
+// goroutine.
+func TestSubscriberClose(t *testing.T) {
+	release := make(chan struct{})
+	srv := subscribeStub(t, func(t *testing.T, w http.ResponseWriter, req *api.SubscribeRequest) {
+		sendFrame(t, w, &api.SubscribeEvent{V: api.SSEVersion, Type: api.EventHello, Hello: stubHello()})
+		<-release // hold the stream open with no frames
+	})
+	defer close(release)
+	sub, err := New(srv.URL, WithRetries(0, 0)).
+		Subscribe(context.Background(), &api.SubscribeRequest{Expr: "car & person"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := sub.Recv()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	sub.Close()
+	select {
+	case err := <-done:
+		if err == nil || errors.Is(err, io.EOF) {
+			t.Fatalf("Recv after Close = %v, want an error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv did not unblock after Close")
+	}
+	sub.Close() // idempotent
+}

@@ -80,8 +80,11 @@ func main() {
 			status = "FAIL"
 			failed = true
 		}
-		fmt.Printf("%s %-32s %6.1f%% (floor %.1f%%, %d/%d statements)\n",
-			status, pkg, got, floor, cov.covered, cov.total)
+		// The signed delta against the floor is the ratchet signal: a
+		// package holding several points of headroom is a candidate for a
+		// deliberate floor raise; one hovering near zero is about to flap.
+		fmt.Printf("%s %-32s %6.1f%% (floor %.1f%%, %+.1f vs floor, %d/%d statements)\n",
+			status, pkg, got, floor, got-floor, cov.covered, cov.total)
 	}
 	if failed {
 		fmt.Fprintln(os.Stderr, "covergate: coverage dropped below a committed floor")

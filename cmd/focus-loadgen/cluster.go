@@ -292,6 +292,10 @@ func bootShardedCluster(cfg *loadgen.Config, n int, streams string, window, tune
 		// responses still get the strict item-for-item verifier inside it.
 		cfg.PlanVerifier = loadgen.NewSubsetPlanVerifier(refSys)
 		cfg.TrackVerifier = loadgen.NewDirectTrackVerifier(refSys)
+		// Routed subscriptions are always exact and unbounded (the router
+		// refuses top_k and early-exit standing queries), so the strict
+		// reference replay applies to their reassembled answers too.
+		cfg.DeltaVerifier = loadgen.NewDeltaVerifier(refSys)
 	}
 
 	if drainAfter > 0 {

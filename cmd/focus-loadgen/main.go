@@ -3,8 +3,11 @@
 // wire API (through the typed focus/client package): single-class
 // frames-form traffic, optionally mixed with compound ranked plans
 // (-plans/-plan-every), temporal track queries (-tracks/-track-every),
-// cursor-paged reads (-page-every), and deprecated legacy-shim requests
-// (-legacy-every, covering the migration surface).
+// cursor-paged reads (-page-every), deprecated legacy-shim requests
+// (-legacy-every, covering the migration surface), and standing queries
+// (-subscribe-every: POST /v1/subscribe streams whose deltas are
+// reassembled client-side and verified against a direct execution at the
+// delivered watermark vector).
 // It reports throughput, latency percentiles and error counts, and it is
 // the CI smoke/soak gate:
 //
@@ -85,6 +88,8 @@ func main() {
 	legacyEvery := flag.Int("legacy-every", 0, "every Nth request per client goes through the deprecated /query or /plan shim instead of /v1/query (0 = v1 only)")
 	pageEvery := flag.Int("page-every", 0, "every Nth plan request per client is a cursor-paged read (0 = one-shot only)")
 	pageSize := flag.Int("page-size", 5, "page limit for cursor-paged plan reads")
+	subscribeEvery := flag.Int("subscribe-every", 0, "every Nth request per client opens a POST /v1/subscribe standing query over a -plans or -tracks predicate, collects deltas, and verifies the reassembled answer (0 = never)")
+	subscribeFor := flag.Duration("subscribe-for", 2*time.Second, "how long each opened subscription collects deltas before verification")
 	maxP99 := flag.Float64("max-p99", 0, "fail if p99 latency exceeds this many milliseconds (0 = no budget)")
 	jsonOut := flag.Bool("json", false, "print the report as JSON")
 
@@ -126,6 +131,8 @@ func main() {
 		LegacyEvery:       *legacyEvery,
 		PageEvery:         *pageEvery,
 		PageSize:          *pageSize,
+		SubscribeEvery:    *subscribeEvery,
+		SubscribeFor:      *subscribeFor,
 	}
 	cfg.AllowPartialEvery = *allowPartialEvery
 	chaos := chaosSpec{
@@ -322,6 +329,7 @@ func bootService(cfg *loadgen.Config, streams string, window, tuneWindow, chunk 
 		cfg.Verifier = loadgen.NewDirectVerifier(sys)
 		cfg.PlanVerifier = loadgen.NewDirectPlanVerifier(sys)
 		cfg.TrackVerifier = loadgen.NewDirectTrackVerifier(sys)
+		cfg.DeltaVerifier = loadgen.NewDeltaVerifier(sys)
 	}
 	return func() {
 		_ = httpSrv.Close()
@@ -357,6 +365,10 @@ func printReport(r *loadgen.Report) {
 	}
 	if r.LegacyRequests > 0 {
 		fmt.Printf("legacy requests   %d\n", r.LegacyRequests)
+	}
+	if r.Subscriptions > 0 || r.SubscriptionShortfall != "" {
+		fmt.Printf("subscriptions     %d (deltas: %d, verified: %d)\n",
+			r.Subscriptions, r.DeltaEvents, r.SubscriptionsVerified)
 	}
 	fmt.Printf("verified          %d (mismatches: %d)\n", r.Verified, len(r.Mismatches))
 	fmt.Printf("latency ms        p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",

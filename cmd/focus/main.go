@@ -16,6 +16,7 @@
 //	focus plan    -server http://localhost:7070 -expr 'car & person & !bus' [-top 10] [-page 5]
 //	focus tracks  -streams auburn_c,jacksonh -expr 'car & dur(30)' [-top 10] [-page 5]
 //	focus tracks  -server http://localhost:7070 -expr 'seq(region(0,0,160,720), region(160,0,320,720))'
+//	focus subscribe -server http://localhost:7070 -expr 'car & person' [-streams auburn_c] [-max-deltas 5]
 //	focus sweep   -stream auburn_c [-duration 240]
 //	focus characterize -stream auburn_c [-duration 240]
 package main
@@ -24,6 +25,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -57,6 +59,8 @@ func main() {
 		err = cmdPlan(os.Args[2:])
 	case "tracks":
 		err = cmdTracks(os.Args[2:])
+	case "subscribe":
+		err = cmdSubscribe(os.Args[2:])
 	case "sweep":
 		err = cmdSweep(os.Args[2:])
 	case "characterize":
@@ -84,6 +88,7 @@ commands:
   query          answer "find frames with class X" against an ingested stream
   plan           answer a compound query like 'car & person & !bus', ranked and paged
   tracks         answer a temporal query like 'car & dur(30)' over object tracks
+  subscribe      hold a standing query against a live service and stream its answer deltas
   sweep          print the tuner's Pareto boundary for a stream
   characterize   print a stream's ground-truth characterization`)
 }
@@ -436,6 +441,87 @@ func cmdTracks(args []string) error {
 	fmt.Printf("  %d tracks; gt-inferences=%d gpu-time=%.0fms latency=%.0fms\n",
 		len(res.Items), res.Stats.GTInferences, res.Stats.GPUTimeMS, res.Stats.LatencyMS)
 	return nil
+}
+
+// cmdSubscribe holds a standing query against a live service: it opens
+// POST /v1/subscribe through the typed client, prints the resolved hello,
+// then renders every answer delta as it arrives, together with the
+// reassembled answer size at the delivered watermark vector. It runs
+// until the server ends the stream (complete or draining) or -max-deltas
+// is reached. Subscriptions are a service feature — there is no local
+// library mode.
+func cmdSubscribe(args []string) error {
+	fs := flag.NewFlagSet("subscribe", flag.ExitOnError)
+	server := fs.String("server", "", "base URL of a running focus-serve or focus-router (required)")
+	expr := fs.String("expr", "", "predicate to track, e.g. 'car & person' or 'car & dur(30)'")
+	streams := fs.String("streams", "", "comma-separated stream names (empty = every served stream)")
+	maxDeltas := fs.Int("max-deltas", 0, "close after this many deltas (0 = until the server ends the stream)")
+	kx := fs.Int("kx", 0, "per-leaf dynamic Kx cut (0 = indexed K)")
+	start := fs.Float64("start", 0, "window start (seconds)")
+	end := fs.Float64("end", 0, "window end (seconds, 0 = unbounded)")
+	maxClusters := fs.Int("max-clusters", 0, "per-leaf retrieval cap")
+	fs.Parse(args)
+	if *server == "" {
+		return fmt.Errorf("subscribe: -server is required (standing queries are served by focus-serve or focus-router)")
+	}
+	if *expr == "" {
+		return fmt.Errorf("subscribe: -expr is required (e.g. -expr 'car & person')")
+	}
+	req := &api.SubscribeRequest{
+		Expr:        *expr,
+		Kx:          *kx,
+		Start:       *start,
+		End:         *end,
+		MaxClusters: *maxClusters,
+	}
+	for _, name := range strings.Split(*streams, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			req.Streams = append(req.Streams, name)
+		}
+	}
+	sub, err := client.New(*server).Subscribe(context.Background(), req)
+	if err != nil {
+		return err
+	}
+	defer sub.Close()
+	h := sub.Hello()
+	fmt.Printf("subscribed to %s (%s form) over %v via %s\n", h.Expr, h.Form, h.Streams, *server)
+	for n := 0; ; {
+		d, err := sub.Recv()
+		if err == io.EOF {
+			fmt.Printf("server ended the subscription: %s\n", sub.Reason())
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		n++
+		if h.Form == api.FormTracks {
+			fmt.Printf("delta %d: +%d -%d tracks → %d total at %v (gt-inferences=%d gpu-time=%.0fms)\n",
+				n, len(d.Tracks), len(d.RemovedTracks), d.TotalItems, d.To, d.GTInferences, d.GPUTimeMS)
+		} else {
+			fmt.Printf("delta %d: +%d -%d items → %d total at %v (gt-inferences=%d gpu-time=%.0fms)\n",
+				n, len(d.Items), len(d.RemovedItems), d.TotalItems, d.To, d.GTInferences, d.GPUTimeMS)
+		}
+		for _, it := range d.Items {
+			fmt.Printf("  + %-10s frame %-8d t=%6.1fs  score %.2f\n", it.Stream, it.Frame, it.TimeSec, it.Score)
+		}
+		for _, it := range d.RemovedItems {
+			fmt.Printf("  - %-10s frame %-8d t=%6.1fs  score %.2f\n", it.Stream, it.Frame, it.TimeSec, it.Score)
+		}
+		for _, tr := range d.Tracks {
+			fmt.Printf("  + %-10s track %-4d object %-6d %.1fs..%.1fs (%d sightings)  score %.2f\n",
+				tr.Stream, tr.Track, tr.Object, tr.StartSec, tr.EndSec, tr.Sightings, tr.Score)
+		}
+		for _, tr := range d.RemovedTracks {
+			fmt.Printf("  - %-10s track %-4d object %-6d %.1fs..%.1fs (%d sightings)  score %.2f\n",
+				tr.Stream, tr.Track, tr.Object, tr.StartSec, tr.EndSec, tr.Sightings, tr.Score)
+		}
+		if *maxDeltas > 0 && n >= *maxDeltas {
+			fmt.Printf("closing after %d deltas; resume later with from=%v\n", n, sub.Vector())
+			return nil
+		}
+	}
 }
 
 // servedTracks runs a temporal track query against a live endpoint,

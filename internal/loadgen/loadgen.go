@@ -23,11 +23,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"reflect"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"focus/api"
@@ -138,6 +141,21 @@ type Config struct {
 	PageEvery int
 	// PageSize is the page limit for cursor-paged reads. Default 5.
 	PageSize int
+	// SubscribeEvery makes every Nth request per client a standing query:
+	// the client opens POST /v1/subscribe with a predicate drawn
+	// deterministically from the combined Plans and Tracks pools, collects
+	// the opening catch-up delta plus whatever live deltas arrive within
+	// SubscribeFor, then closes. When a request lands on both the
+	// subscribe cadence and another cadence, the subscription wins —
+	// standing-query traffic is the point of the knob. 0 = never.
+	SubscribeEvery int
+	// SubscribeFor bounds how long each opened subscription keeps
+	// collecting deltas before it is verified and closed. Default 2s.
+	SubscribeFor time.Duration
+	// DeltaVerifier checks one subscription's reassembled answer at the
+	// delivered vector; non-nil errors are recorded as mismatches. See
+	// NewDeltaVerifier.
+	DeltaVerifier DeltaVerifier
 	// Timeout bounds each request. Default 30s.
 	Timeout time.Duration
 }
@@ -193,6 +211,12 @@ func (c *Config) applyDefaults() error {
 	if c.SingleStreamEvery > 0 && len(c.Streams) == 0 {
 		return fmt.Errorf("loadgen: SingleStreamEvery set but no Streams given")
 	}
+	if c.SubscribeEvery > 0 && len(c.Plans) == 0 && len(c.Tracks) == 0 {
+		return fmt.Errorf("loadgen: SubscribeEvery set but no Plans or Tracks given — nothing to subscribe to")
+	}
+	if c.SubscribeFor <= 0 {
+		c.SubscribeFor = 2 * time.Second
+	}
 	return nil
 }
 
@@ -235,9 +259,20 @@ type Report struct {
 	EarlyExitRequests int `json:"early_exit_requests"`
 	// LegacyRequests counts requests issued through the deprecated shims;
 	// PagedRequests counts cursor-paged plan and track reads.
-	LegacyRequests int      `json:"legacy_requests"`
-	PagedRequests  int      `json:"paged_requests"`
-	Mismatches     []string `json:"mismatches,omitempty"`
+	LegacyRequests int `json:"legacy_requests"`
+	PagedRequests  int `json:"paged_requests"`
+	// Subscriptions counts standing queries opened and cleanly closed;
+	// DeltaEvents counts the deltas they received (every subscription
+	// receives at least its opening catch-up); SubscriptionsVerified
+	// counts reassembled answers replayed through DeltaVerifier.
+	Subscriptions         int `json:"subscriptions"`
+	DeltaEvents           int `json:"delta_events"`
+	SubscriptionsVerified int `json:"subscriptions_verified"`
+	// SubscriptionShortfall is set when the run was configured to open
+	// standing queries (SubscribeEvery) but none completed — a silently
+	// unexercised subscription mix must fail the gate, not pass it.
+	SubscriptionShortfall string   `json:"subscription_shortfall,omitempty"`
+	Mismatches            []string `json:"mismatches,omitempty"`
 	// Latency percentiles over successful (2xx) responses, milliseconds.
 	P50MS float64 `json:"p50_ms"`
 	P90MS float64 `json:"p90_ms"`
@@ -263,6 +298,9 @@ func (r *Report) Failures() []string {
 	}
 	for _, m := range r.Mismatches {
 		out = append(out, "served-vs-direct mismatch: "+m)
+	}
+	if r.SubscriptionShortfall != "" {
+		out = append(out, r.SubscriptionShortfall)
 	}
 	sort.Strings(out)
 	return out
@@ -294,6 +332,9 @@ type clientState struct {
 	earlyExitReqs int
 	legacyReqs    int
 	pagedReqs     int
+	subs          int
+	deltaEvents   int
+	subVerified   int
 	mismatches    []string
 	errSamples    []string
 }
@@ -348,6 +389,9 @@ func Run(cfg Config) (*Report, error) {
 		rep.EarlyExitRequests += st.earlyExitReqs
 		rep.LegacyRequests += st.legacyReqs
 		rep.PagedRequests += st.pagedReqs
+		rep.Subscriptions += st.subs
+		rep.DeltaEvents += st.deltaEvents
+		rep.SubscriptionsVerified += st.subVerified
 		for code, n := range st.unexpected {
 			rep.Unexpected[code] += n
 		}
@@ -376,6 +420,10 @@ func Run(cfg Config) (*Report, error) {
 	if elapsed > 0 {
 		rep.ThroughputRPS = float64(rep.Requests) / elapsed.Seconds()
 	}
+	if cfg.SubscribeEvery > 0 && rep.Subscriptions == 0 {
+		rep.SubscriptionShortfall = fmt.Sprintf(
+			"subscriptions requested (SubscribeEvery=%d) but none completed", cfg.SubscribeEvery)
+	}
 	return rep, nil
 }
 
@@ -389,6 +437,10 @@ func runClient(cfg *Config, idx int, zipf *simrand.Zipf, cli *client.Client, htt
 			return
 		}
 		st.requests++
+		if cfg.SubscribeEvery > 0 && st.requests%cfg.SubscribeEvery == 0 {
+			runSubscription(cfg, idx, src, cli, st)
+			continue
+		}
 		legacy := cfg.LegacyEvery > 0 && st.requests%cfg.LegacyEvery == 0
 		if cfg.PlanEvery > 0 && st.requests%cfg.PlanEvery == 0 {
 			runPlanRequest(cfg, idx, src, cli, httpc, st, legacy)
@@ -530,6 +582,71 @@ func runTrackRequest(cfg *Config, idx int, src *simrand.Source, cli *client.Clie
 		if err := cfg.TrackVerifier(tr); err != nil {
 			st.mismatches = append(st.mismatches,
 				fmt.Sprintf("client %d track %q: %v", idx, expr, err))
+		}
+	}
+}
+
+// runSubscription opens one standing query drawn deterministically from
+// the combined plan and track pools, collects its opening catch-up delta
+// plus whatever live deltas arrive within SubscribeFor, verifies the
+// reassembled answer at the delivered vector, and closes. The latency
+// sample is the open — the time to the server's hello frame, which is
+// what a subscribing client actually blocks on; delta arrival cadence is
+// ingest-driven, not a service latency.
+func runSubscription(cfg *Config, idx int, src *simrand.Source, cli *client.Client, st *clientState) {
+	n := src.Intn(len(cfg.Plans) + len(cfg.Tracks))
+	var expr string
+	if n < len(cfg.Plans) {
+		expr = cfg.Plans[n]
+	} else {
+		expr = cfg.Tracks[n-len(cfg.Plans)]
+	}
+	t0 := time.Now()
+	sub, err := cli.Subscribe(context.Background(), &api.SubscribeRequest{Expr: expr})
+	latMS := float64(time.Since(t0).Nanoseconds()) / 1e6
+	if !st.record(cfg, err) {
+		return
+	}
+	st.latenciesMS = append(st.latenciesMS, latMS)
+	// Close ends the collection window: it is the documented way to abort
+	// a blocked Recv from another goroutine.
+	var expired atomic.Bool
+	timer := time.AfterFunc(cfg.SubscribeFor, func() {
+		expired.Store(true)
+		sub.Close()
+	})
+	defer timer.Stop()
+	defer sub.Close()
+	for {
+		_, err := sub.Recv()
+		if err == nil {
+			st.deltaEvents++
+			continue
+		}
+		if !errors.Is(err, io.EOF) && !expired.Load() {
+			// Neither a terminal bye nor our own window close. A typed
+			// rejection (a shard draining or dying mid-stream) goes through
+			// the run's normal outcome taxonomy; anything untyped is a
+			// broken delta protocol — a gap, an inapplicable edit — and
+			// must fail the run as a mismatch.
+			var typed *api.Error
+			if errors.As(err, &typed) {
+				st.record(cfg, typed)
+			} else {
+				st.mismatches = append(st.mismatches,
+					fmt.Sprintf("client %d subscription %q: %v", idx, expr, err))
+			}
+			return
+		}
+		break
+	}
+	st.ok++
+	st.subs++
+	if cfg.DeltaVerifier != nil && cfg.VerifyEvery > 0 && st.subs%cfg.VerifyEvery == 0 {
+		st.subVerified++
+		if err := cfg.DeltaVerifier(sub.Hello(), sub.Vector(), sub.Items(), sub.Tracks()); err != nil {
+			st.mismatches = append(st.mismatches,
+				fmt.Sprintf("client %d subscription %q at %v: %v", idx, expr, sub.Vector(), err))
 		}
 	}
 }

@@ -246,6 +246,53 @@ func NewDirectTrackVerifier(sys *focus.System) func(*api.QueryResponse) error {
 	}
 }
 
+// DeltaVerifier checks one standing query's reassembled answer — the
+// state obtained by applying every delivered delta in order from genesis
+// — at the watermark vector the deltas were delivered through. See
+// NewDeltaVerifier.
+type DeltaVerifier func(hello *api.SubscribeHello, vector api.WatermarkVector,
+	items []api.Item, tracks []api.TrackItem) error
+
+// NewDeltaVerifier returns the verifier for subscription traffic: it
+// packages the reassembled state as the one-shot response it claims to
+// equal — the subscription's resolved options from the hello frame,
+// pinned at the delivered vector — and replays it through the matching
+// direct verifier. This is the delta contract end to end: concatenating
+// every delta from genesis must reconstruct, bit for bit, the one-shot
+// answer pinned at the last delta's To vector.
+//
+// Like the other verifiers it works for single-node responses and
+// router-merged subscriptions alike — either way the reassembled answer
+// must equal one direct execution over all subscribed streams. (Routed
+// subscriptions are always exact and unbounded — the router refuses
+// top_k and early-exit standing queries — so the strict replay applies.)
+func NewDeltaVerifier(sys *focus.System) DeltaVerifier {
+	planV := NewDirectPlanVerifier(sys)
+	trackV := NewDirectTrackVerifier(sys)
+	return func(hello *api.SubscribeHello, vector api.WatermarkVector,
+		items []api.Item, tracks []api.TrackItem) error {
+		qr := &api.QueryResponse{
+			Expr:        hello.Expr,
+			Form:        hello.Form,
+			Watermarks:  vector,
+			TopK:        hello.TopK,
+			Kx:          hello.Kx,
+			Start:       hello.Start,
+			End:         hello.End,
+			MaxClusters: hello.MaxClusters,
+			Mode:        hello.Mode,
+		}
+		if hello.Form == api.FormTracks {
+			qr.Tracks = tracks
+			qr.TotalItems = len(tracks)
+			return trackV(qr)
+		}
+		qr.Items = items
+		qr.TotalItems = len(items)
+		return planV(qr)
+	}
+}
+
 // vectorStreams returns the vector's stream names, sorted.
 func vectorStreams(v api.WatermarkVector) []string {
 	names := make([]string, 0, len(v))

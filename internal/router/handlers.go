@@ -765,13 +765,22 @@ type Stats struct {
 	ShardRequests  int64 `json:"shard_requests"`
 	// ShardRetries counts retried shard sub-requests; PartialResponses
 	// counts answers returned degraded under allow_partial.
-	ShardRetries     int64         `json:"shard_retries"`
-	PartialResponses int64         `json:"partial_responses"`
-	Rejected         int64         `json:"rejected"`
-	Unavailable      int64         `json:"unavailable"`
-	ClientErrors     int64         `json:"client_errors"`
-	UpstreamErrors   int64         `json:"upstream_errors"`
-	Shards           []ShardStatus `json:"shards"`
+	ShardRetries     int64 `json:"shard_retries"`
+	PartialResponses int64 `json:"partial_responses"`
+	Rejected         int64 `json:"rejected"`
+	Unavailable      int64 `json:"unavailable"`
+	ClientErrors     int64 `json:"client_errors"`
+	UpstreamErrors   int64 `json:"upstream_errors"`
+	// Subscriptions counts routed standing queries ever accepted;
+	// ActiveSubscriptions the ones currently streaming; DeltaEvents the
+	// merged delta frames emitted across all of them; SubscriptionDrops
+	// the subscriptions shed (drop + shard_lost) after a per-shard leg
+	// failed mid-stream.
+	Subscriptions       int64         `json:"subscriptions"`
+	ActiveSubscriptions int64         `json:"subscriptions_active"`
+	DeltaEvents         int64         `json:"delta_events"`
+	SubscriptionDrops   int64         `json:"subscription_drops"`
+	Shards              []ShardStatus `json:"shards"`
 }
 
 // Snapshot returns the router's counters and shard view (also served at
@@ -796,6 +805,11 @@ func (r *Router) Snapshot() Stats {
 		Unavailable:      r.unavailable.Load(),
 		ClientErrors:     r.clientErrs.Load(),
 		UpstreamErrors:   r.upstreamErrs.Load(),
+
+		Subscriptions:       r.subs.Load(),
+		ActiveSubscriptions: r.subsActive.Load(),
+		DeltaEvents:         r.subDeltas.Load(),
+		SubscriptionDrops:   r.subDrops.Load(),
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()

@@ -168,6 +168,14 @@ type Router struct {
 	unavailable      atomic.Int64
 	clientErrs       atomic.Int64
 	upstreamErrs     atomic.Int64
+	// subscription counters: subs counts routed subscriptions ever
+	// accepted (hello written), subsActive the ones currently streaming,
+	// subDeltas the merged delta frames emitted, and subDrops the
+	// subscriptions shed after losing a shard leg mid-stream.
+	subs       atomic.Int64
+	subsActive atomic.Int64
+	subDeltas  atomic.Int64
+	subDrops   atomic.Int64
 }
 
 // New validates the shard map and builds a router. Start must be called
@@ -208,6 +216,7 @@ func New(cfg Config) (*Router, error) {
 	// shims; /streams, /stats and /healthz stay where ops tooling expects
 	// them.
 	r.mux.HandleFunc(api.PathQuery, r.handleV1Query)
+	r.mux.HandleFunc(api.PathSubscribe, r.handleV1Subscribe)
 	r.mux.HandleFunc(api.PathStreams, r.handleStreams)
 	r.mux.HandleFunc(api.PathStats, r.handleStats)
 	r.mux.HandleFunc(api.PathLegacyQuery, r.handleLegacyQuery)

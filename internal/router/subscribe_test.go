@@ -1,0 +1,203 @@
+package router_test
+
+import (
+	"context"
+	"io"
+	"reflect"
+	"testing"
+
+	"focus/api"
+	"focus/internal/loadgen"
+	"focus/internal/serve"
+)
+
+// readTo drains merged deltas off a routed subscription until the
+// delivered vector reaches want.
+func readTo(t *testing.T, recv func() (*api.Delta, error), vector func() api.WatermarkVector, want api.WatermarkVector) {
+	t.Helper()
+	for !api.VectorsEqual(vector(), want) {
+		if _, err := recv(); err != nil {
+			t.Fatalf("reading toward %v (at %v): %v", want, vector(), err)
+		}
+	}
+}
+
+// TestRoutedSubscriptionsMatchDirect is the scatter-gather acceptance pin
+// for standing queries: a subscription through the router — per-shard legs
+// merged in RankBefore lockstep — must reassemble, at every delivered
+// vector, to exactly the answer a single system holding all streams gives
+// at that vector, in both forms; a resumed routed subscription must
+// continue gap-free with exact declared totals; and the stream must end in
+// a typed complete bye once every shard's window is exhausted.
+func TestRoutedSubscriptionsMatchDirect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a 2-shard cluster plus a reference system")
+	}
+	c := bootTestCluster(t,
+		[][]string{{"auburn_c", "jacksonh"}, {"city_a_d"}},
+		serve.Config{NoBackgroundIngest: true},
+		true)
+	ctx := context.Background()
+	allStreams := []string{"auburn_c", "city_a_d", "jacksonh"}
+	// Uneven per-round vectors, deep enough that clusters seal (~20s lag).
+	rounds := []api.WatermarkVector{
+		{"auburn_c": 20, "jacksonh": 25, "city_a_d": 30},
+		{"auburn_c": 35, "jacksonh": 45, "city_a_d": 50},
+	}
+	advanceAndPump := func(round api.WatermarkVector) {
+		for st, to := range round {
+			c.advance(st, to)
+		}
+		for _, sh := range c.shards {
+			sh.srv.PumpSubscriptions()
+		}
+	}
+	planVerify := loadgen.NewDirectPlanVerifier(c.ref)
+	trackVerify := loadgen.NewDirectTrackVerifier(c.ref)
+
+	t.Run("ranked", func(t *testing.T) {
+		sub, err := c.cli.Subscribe(ctx, &api.SubscribeRequest{Expr: "car & person"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sub.Close()
+		if h := sub.Hello(); h.Form != api.FormRanked || !reflect.DeepEqual(h.Streams, allStreams) {
+			t.Fatalf("hello = %+v", h)
+		}
+		for _, round := range rounds {
+			advanceAndPump(round)
+			readTo(t, sub.Recv, sub.Vector, round)
+			// The reassembled standing answer must equal the routed
+			// one-shot pinned at the delivered vector — which the
+			// reference system in turn verifies bit-identically.
+			oneShot, err := c.queryV1(&api.QueryRequest{Expr: "car & person", At: round})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := planVerify(oneShot); err != nil {
+				t.Fatalf("one-shot at %v diverges from reference: %v", round, err)
+			}
+			if !reflect.DeepEqual(sub.Items(), oneShot.Items) {
+				t.Fatalf("routed subscription at %v != one-shot:\ngot  %+v\nwant %+v",
+					round, sub.Items(), oneShot.Items)
+			}
+		}
+		if len(sub.Items()) == 0 {
+			t.Fatal("subscription reassembled no items; pick denser windows")
+		}
+
+		// Resume: disconnect, let the cluster advance, resubscribe with
+		// From at the delivered vector. The merged catch-up must continue
+		// the old state gap-free — ApplyDeltaItems cross-checks the
+		// barrier's exact merged totals.
+		state := append([]api.Item(nil), sub.Items()...)
+		from := sub.Vector()
+		sub.Close()
+		next := api.WatermarkVector{"auburn_c": 55, "jacksonh": 55, "city_a_d": 55}
+		advanceAndPump(next)
+		resumed, err := c.cli.Subscribe(ctx, &api.SubscribeRequest{Expr: "car & person", From: from})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resumed.Close()
+		catchup, err := resumed.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !api.VectorsEqual(catchup.From, from) {
+			t.Fatalf("merged catch-up From = %v, want the resume vector %v", catchup.From, from)
+		}
+		if state, err = api.ApplyDeltaItems(state, catchup); err != nil {
+			t.Fatalf("applying merged catch-up: %v", err)
+		}
+		oneShot, err := c.queryV1(&api.QueryRequest{Expr: "car & person", At: resumed.Vector()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(state, oneShot.Items) {
+			t.Fatalf("resumed reassembly at %v != one-shot:\ngot  %+v\nwant %+v",
+				resumed.Vector(), state, oneShot.Items)
+		}
+	})
+
+	t.Run("tracks", func(t *testing.T) {
+		sub, err := c.cli.Subscribe(ctx, &api.SubscribeRequest{Expr: "car & dur(1)"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sub.Close()
+		if h := sub.Hello(); h.Form != api.FormTracks || !reflect.DeepEqual(h.Streams, allStreams) {
+			t.Fatalf("hello = %+v", h)
+		}
+		final := api.WatermarkVector{"auburn_c": 60, "jacksonh": 60, "city_a_d": 60}
+		advanceAndPump(final)
+		readTo(t, sub.Recv, sub.Vector, final)
+		oneShot, err := c.queryV1(&api.QueryRequest{Expr: "car & dur(1)", At: final})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := trackVerify(oneShot); err != nil {
+			t.Fatalf("one-shot at %v diverges from reference: %v", final, err)
+		}
+		if !reflect.DeepEqual(sub.Tracks(), oneShot.Tracks) {
+			t.Fatalf("routed track subscription at %v != one-shot:\ngot  %+v\nwant %+v",
+				final, sub.Tracks(), oneShot.Tracks)
+		}
+		if len(sub.Tracks()) == 0 {
+			t.Fatal("subscription reassembled no tracks; pick denser windows")
+		}
+		// Every stream's 60s window is now exhausted: the shards complete
+		// their registries and the router relays one merged complete bye.
+		if _, err := sub.Recv(); err != io.EOF {
+			t.Fatalf("after completion Recv = %v, want io.EOF", err)
+		}
+		if sub.Reason() != api.ReasonComplete {
+			t.Fatalf("terminal reason = %q, want %q", sub.Reason(), api.ReasonComplete)
+		}
+	})
+
+	st := c.rt.Snapshot()
+	if st.Subscriptions < 3 || st.DeltaEvents == 0 {
+		t.Fatalf("router stats = subscriptions %d, delta_events %d", st.Subscriptions, st.DeltaEvents)
+	}
+	if st.ActiveSubscriptions != 0 {
+		t.Fatalf("router stats leak %d active subscriptions", st.ActiveSubscriptions)
+	}
+}
+
+// TestRoutedSubscriptionRejections pins the router's pre-stream error
+// surface: shapes a routed delta stream cannot honestly serve are refused
+// with typed errors before any shard is contacted.
+func TestRoutedSubscriptionRejections(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a 2-shard cluster")
+	}
+	c := bootTestCluster(t,
+		[][]string{{"auburn_c"}, {"city_a_d"}},
+		serve.Config{NoBackgroundIngest: true},
+		false)
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		req  *api.SubscribeRequest
+		code api.Code
+	}{
+		{"missing expr", &api.SubscribeRequest{}, api.CodeBadRequest},
+		{"top_k", &api.SubscribeRequest{Expr: "car & person", TopK: 3}, api.CodeBadRequest},
+		{"early exit", &api.SubscribeRequest{Expr: "car & person", Mode: api.ModeEarlyExit}, api.CodeBadRequest},
+		{"frames form", &api.SubscribeRequest{Expr: "car", Form: api.FormFrames}, api.CodeBadRequest},
+		{"unknown stream", &api.SubscribeRequest{Expr: "car", Streams: []string{"nope"}}, api.CodeUnknownStream},
+		{"partial resume", &api.SubscribeRequest{Expr: "car & person",
+			From: api.WatermarkVector{"auburn_c": 1}}, api.CodeBadRequest},
+		{"alien resume", &api.SubscribeRequest{Expr: "car & person",
+			From: api.WatermarkVector{"auburn_c": 1, "city_a_d": 1, "ghost": 1}}, api.CodeBadRequest},
+		{"bad expr", &api.SubscribeRequest{Expr: "car &"}, api.CodeBadExpr},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := c.cli.Subscribe(ctx, tc.req); !api.IsCode(err, tc.code) {
+				t.Fatalf("Subscribe(%+v) = %v, want code %q", tc.req, err, tc.code)
+			}
+		})
+	}
+}

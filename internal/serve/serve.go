@@ -46,6 +46,7 @@ import (
 	"focus"
 	"focus/api"
 	"focus/internal/parallel"
+	"focus/internal/subscribe"
 	"focus/internal/tune"
 )
 
@@ -140,6 +141,9 @@ type Server struct {
 
 	limiter *parallel.Limiter
 	cache   *resultCache
+	// subs coalesces standing queries (POST /v1/subscribe) onto one
+	// incremental evaluation per plan per watermark advance.
+	subs    *subscribe.Registry
 	mux     *http.ServeMux
 	handler http.Handler
 
@@ -195,12 +199,14 @@ func New(sys *focus.System, cfg Config) *Server {
 		cfg:          cfg,
 		limiter:      parallel.NewLimiter(cfg.QueryWorkers, cfg.QueueDepth),
 		cache:        newResultCache(cfg.CacheCapacity, cfg.CacheShards),
+		subs:         subscribe.NewRegistry(),
 		checkpointed: make(map[string]ManifestStream),
 		stopCh:       make(chan struct{}),
 	}
 	s.mux = http.NewServeMux()
 	// The v1 contract is the primary surface…
 	s.mux.HandleFunc(api.PathQuery, s.handleV1Query)
+	s.mux.HandleFunc(api.PathSubscribe, s.handleV1Subscribe)
 	s.mux.HandleFunc(api.PathStreams, s.handleStreams)
 	s.mux.HandleFunc(api.PathStats, s.handleStats)
 	// …the pre-v1 query endpoints remain as deprecated shims…
@@ -300,6 +306,9 @@ func (s *Server) Start() error {
 func (s *Server) Stop() {
 	s.stopped.Do(func() { close(s.stopCh) })
 	s.wg.Wait()
+	// Standing queries cannot outlive the ingest clock that feeds them:
+	// close every subscription with a typed terminal event.
+	s.subs.Drain()
 	if s.cfg.NoBackgroundIngest {
 		// No ingester goroutines own the sessions; reclaim their generators
 		// here. Callers must not AdvanceLive after Stop.
@@ -313,9 +322,14 @@ func (s *Server) Stop() {
 // are rejected with the structured "draining" error (503, plus the legacy
 // marker header on the shim surface) while /streams, /stats and /healthz
 // keep answering, and background ingestion keeps advancing watermarks.
-// In-flight queries finish normally. Draining is one-way; restart the
-// process to rejoin rotation.
-func (s *Server) StartDrain() { s.draining.Store(true) }
+// In-flight queries finish normally; standing queries are closed with a
+// typed EventBye/ReasonDraining terminal (their evaluation is exactly the
+// load draining exists to shed). Draining is one-way; restart the process
+// to rejoin rotation.
+func (s *Server) StartDrain() {
+	s.draining.Store(true)
+	s.subs.Drain()
+}
 
 // Draining reports whether StartDrain was called.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -368,11 +382,21 @@ func (s *Server) ingestLoop(sess *focus.Session) {
 			return
 		}
 		rounds++
+		// The watermark advanced: standing queries may owe their
+		// subscribers a delta. Kick is async and coalescing, so the
+		// ingest cadence never blocks on evaluation.
+		s.subs.Kick()
 		if sess.LiveDone() {
 			// Final checkpoint regardless of cadence: it carries the
 			// finished index, so a restart serves it without any replay.
 			if ckpt {
 				s.checkpointStream(sess)
+			}
+			// The last stream to finish completes the registry: every
+			// subscriber gets its final delta at the frozen vector and a
+			// typed bye.
+			if s.IngestDone() {
+				s.subs.Complete()
 			}
 			return
 		}
@@ -538,6 +562,21 @@ type Stats struct {
 	Checkpoints      int64 `json:"checkpoints"`
 	CheckpointErrors int64 `json:"checkpoint_errors"`
 	RestoredStreams  int64 `json:"restored_streams"`
+	// Subscriptions counts standing queries ever accepted on /v1/subscribe;
+	// SubscriptionsActive the ones currently streaming;
+	// SubscriptionGroups the coalescing groups they share. DeltaEvents
+	// counts delta events delivered to subscriber queues and DeltaDrops
+	// subscribers shed for falling behind (see OPERATIONS.md §9).
+	// SubscribeEvals counts coalesced incremental evaluations (the
+	// denominator of the cost-sharing claim: N overlapping subscribers,
+	// ~1 evaluation per advance) and SubscribeEvalErrors the failed ones.
+	Subscriptions       int64 `json:"subscriptions"`
+	SubscriptionsActive int64 `json:"subscriptions_active"`
+	SubscriptionGroups  int   `json:"subscription_groups"`
+	DeltaEvents         int64 `json:"delta_events"`
+	DeltaDrops          int64 `json:"delta_drops"`
+	SubscribeEvals      int64 `json:"subscribe_evals"`
+	SubscribeEvalErrors int64 `json:"subscribe_eval_errors"`
 	// FaultErrors and FaultBlackholed count injected failures (zero
 	// unless the fault-injection middleware is armed).
 	FaultErrors     int64              `json:"fault_errors"`
@@ -553,37 +592,45 @@ type Stats struct {
 // Snapshot returns the server's current counters (also served at /stats).
 func (s *Server) Snapshot() Stats {
 	meter := s.sys.GPUMeter()
+	subs := s.subs.Stats()
 	var uptime float64
 	if ns := s.startedNS.Load(); ns > 0 {
 		uptime = time.Since(time.Unix(0, ns)).Seconds()
 	}
 	return Stats{
-		UptimeSec:        uptime,
-		Ready:            s.ready.Load(),
-		Draining:         s.draining.Load(),
-		Queries:          s.queries.Load(),
-		PlanQueries:      s.planQueries.Load(),
-		TrackQueries:     s.trackQueries.Load(),
-		EarlyExitQueries: s.earlyExitQueries.Load(),
-		LegacyRequests:   s.legacyReqs.Load(),
-		CacheHits:        s.cacheHits.Load(),
-		CacheMisses:      s.cacheMisses.Load(),
-		CacheEntries:     s.cache.len(),
-		Rejected:         s.rejected.Load(),
-		ClientErrors:     s.clientErrs.Load(),
-		ServerErrors:     s.serverErrs.Load(),
-		IngestErrors:     s.ingestErrs.Load(),
-		Checkpoints:      s.checkpoints.Load(),
-		CheckpointErrors: s.checkpointErrs.Load(),
-		RestoredStreams:  s.restoredStreams.Load(),
-		FaultErrors:      s.faultErrors.Load(),
-		FaultBlackholed:  s.faultBlackholed.Load(),
-		InFlight:         s.limiter.InFlight(),
-		Waiting:          s.limiter.Waiting(),
-		Watermarks:       s.sys.Watermarks(),
-		IngestGPUMS:      meter.IngestMS,
-		QueryGPUMS:       meter.QueryMS,
-		QueryGPUOps:      meter.QueryOps,
+		UptimeSec:           uptime,
+		Ready:               s.ready.Load(),
+		Draining:            s.draining.Load(),
+		Queries:             s.queries.Load(),
+		PlanQueries:         s.planQueries.Load(),
+		TrackQueries:        s.trackQueries.Load(),
+		EarlyExitQueries:    s.earlyExitQueries.Load(),
+		LegacyRequests:      s.legacyReqs.Load(),
+		CacheHits:           s.cacheHits.Load(),
+		CacheMisses:         s.cacheMisses.Load(),
+		CacheEntries:        s.cache.len(),
+		Rejected:            s.rejected.Load(),
+		ClientErrors:        s.clientErrs.Load(),
+		ServerErrors:        s.serverErrs.Load(),
+		IngestErrors:        s.ingestErrs.Load(),
+		Checkpoints:         s.checkpoints.Load(),
+		CheckpointErrors:    s.checkpointErrs.Load(),
+		RestoredStreams:     s.restoredStreams.Load(),
+		Subscriptions:       subs.Subscriptions,
+		SubscriptionsActive: subs.Active,
+		SubscriptionGroups:  subs.Groups,
+		DeltaEvents:         subs.DeltaEvents,
+		DeltaDrops:          subs.Drops,
+		SubscribeEvals:      subs.Evals,
+		SubscribeEvalErrors: subs.EvalErrors,
+		FaultErrors:         s.faultErrors.Load(),
+		FaultBlackholed:     s.faultBlackholed.Load(),
+		InFlight:            s.limiter.InFlight(),
+		Waiting:             s.limiter.Waiting(),
+		Watermarks:          s.sys.Watermarks(),
+		IngestGPUMS:         meter.IngestMS,
+		QueryGPUMS:          meter.QueryMS,
+		QueryGPUOps:         meter.QueryOps,
 	}
 }
 
