@@ -1,0 +1,159 @@
+package api
+
+import "encoding/json"
+
+// This file defines the v1 admin wire contract behind live resharding: the
+// shard-to-shard stream-handoff endpoints a coordinator drives on
+// focus-serve processes, and the reshard endpoint on the router that
+// drives them. Like /drain, the admin surface shares the query listener
+// and carries no authentication: deployments must keep it inside the
+// trust boundary (OPERATIONS.md §7).
+
+// The admin endpoint paths. Seal, resume, export, import, activate and
+// release are served by focus-serve shards; reshard by the router.
+const (
+	// PathAdminSeal parks a stream's ingestion at a watermark boundary
+	// after a durable checkpoint, so its state can be exported while the
+	// answer surface stays frozen and consistent.
+	PathAdminSeal = "/v1/admin/seal"
+	// PathAdminResume releases a sealed stream back to normal ingestion
+	// (the abort path of a handoff).
+	PathAdminResume = "/v1/admin/resume"
+	// PathAdminExport returns a sealed stream's checkpoint records — the
+	// shard-to-shard handoff payload.
+	PathAdminExport = "/v1/admin/export"
+	// PathAdminImport restores an exported stream on the destination
+	// shard, hidden from queries and ownership reports until activated.
+	PathAdminImport = "/v1/admin/import"
+	// PathAdminActivate unhides an imported stream and resumes its live
+	// ingestion tail on the destination shard.
+	PathAdminActivate = "/v1/admin/activate"
+	// PathAdminRelease removes a stream from a shard: subscriptions end
+	// with a typed "moved" bye, the session is unregistered, and its store
+	// records are deleted. The source side of a completed handoff, and the
+	// destination side of an aborted one.
+	PathAdminRelease = "/v1/admin/release"
+	// PathAdminReshard is the router's admin surface: POST a target shard
+	// map and the router executes the placement diff as live per-stream
+	// handoffs.
+	PathAdminReshard = "/v1/admin/reshard"
+)
+
+// AdminStreamRequest names the stream an admin verb operates on. Seal,
+// resume, activate, release and export all take this body.
+type AdminStreamRequest struct {
+	// Stream is the target stream name.
+	Stream string `json:"stream"`
+}
+
+// SealResponse reports the outcome of PathAdminSeal: the watermark the
+// stream is parked at and its current ownership epoch.
+type SealResponse struct {
+	// Stream echoes the sealed stream.
+	Stream string `json:"stream"`
+	// Watermark is the sealed ingest horizon; the stream's answers are
+	// frozen at this boundary until it is resumed or released.
+	Watermark float64 `json:"watermark"`
+	// Epoch is the stream's current ownership epoch on this shard; a
+	// handoff installs Epoch+1 on the destination.
+	Epoch uint64 `json:"epoch"`
+}
+
+// HandoffRecord is one embedded-store record of a stream's handoff
+// payload. Values are raw store bytes (base64 on the wire).
+type HandoffRecord struct {
+	// Key is the store key.
+	Key string `json:"key"`
+	// Value is the record's raw bytes.
+	Value []byte `json:"value"`
+}
+
+// StreamExport is the handoff payload PathAdminExport returns and
+// PathAdminImport consumes: everything a destination shard needs to serve
+// the stream bit-identically from the sealed watermark onward.
+type StreamExport struct {
+	// Stream is the stream name.
+	Stream string `json:"stream"`
+	// Spec is the stream's generative spec (the serve layer's JSON
+	// encoding of focus.StreamSpec), opaque at this layer.
+	Spec json.RawMessage `json:"spec"`
+	// Watermark is the sealed horizon the records capture.
+	Watermark float64 `json:"watermark"`
+	// Epoch is the ownership epoch the destination must install — the
+	// coordinator sets it to the source epoch + 1 before importing, so
+	// duplicate ownership reports during the cutover resolve to the
+	// destination.
+	Epoch uint64 `json:"epoch"`
+	// Records are the stream's checkpoint records: index metadata, the
+	// committed cluster records, and the snapshot commit point.
+	Records []HandoffRecord `json:"records"`
+}
+
+// AdminShardSpec names one shard of a proposed shard map.
+type AdminShardSpec struct {
+	// Name is the shard's stable identity (rendezvous hashing keys on it).
+	Name string `json:"name"`
+	// URL is the shard's base URL.
+	URL string `json:"url"`
+}
+
+// AdminShardMap is the wire form of a shard map: the same JSON shape as
+// the router's shard-map file (shards + optional pins).
+type AdminShardMap struct {
+	// Shards is the shard roster.
+	Shards []AdminShardSpec `json:"shards"`
+	// Pins force named streams onto named shards.
+	Pins map[string]string `json:"pins,omitempty"`
+}
+
+// ReshardRequest is the body of PathAdminReshard: the target shard map
+// the router should transition the cluster to.
+type ReshardRequest struct {
+	// Map is the target placement.
+	Map AdminShardMap `json:"map"`
+	// DryRun computes and returns the move plan without executing it.
+	DryRun bool `json:"dry_run,omitempty"`
+}
+
+// Reshard move states reported in ReshardMove.State.
+const (
+	// MoveDone: the stream was handed off and ownership flipped.
+	MoveDone = "done"
+	// MoveFailed: the handoff failed before the ownership flip and was
+	// aborted; the source still owns the stream.
+	MoveFailed = "failed"
+	// MovePlanned: reported by dry runs — the stream would move.
+	MovePlanned = "planned"
+)
+
+// ReshardMove is one stream's transition in a reshard: where it was, where
+// it went, and how the handoff ended.
+type ReshardMove struct {
+	// Stream is the moved stream.
+	Stream string `json:"stream"`
+	// From and To name the source and destination shards.
+	From string `json:"from"`
+	To   string `json:"to"`
+	// State is MoveDone, MoveFailed, or MovePlanned.
+	State string `json:"state"`
+	// Watermark is the sealed boundary the ownership flipped at (done
+	// moves only).
+	Watermark float64 `json:"watermark,omitempty"`
+	// Epoch is the ownership epoch installed on the destination (done
+	// moves only).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Error carries the failure detail of a failed move.
+	Error string `json:"error,omitempty"`
+}
+
+// ReshardResponse reports a reshard's outcome: the per-stream moves (empty
+// when the target map changes nothing) and summary counts.
+type ReshardResponse struct {
+	// Moves are the per-stream transitions, in execution order.
+	Moves []ReshardMove `json:"moves"`
+	// Moved and Failed count completed and failed handoffs; DryRun echoes
+	// the request's flag.
+	Moved  int  `json:"moved"`
+	Failed int  `json:"failed"`
+	DryRun bool `json:"dry_run,omitempty"`
+}

@@ -141,6 +141,11 @@ const (
 	// drop's Resume vector was delivered. Resubscribe with From=Resume
 	// once the cluster heals.
 	ReasonShardLost = "shard_lost"
+	// ReasonMoved: the subscription touched a stream that was handed off
+	// to another shard. Everything up to the delivered vector is intact;
+	// resubscribing with From at that vector resumes against the new
+	// owner (client.Subscriber does this transparently).
+	ReasonMoved = "moved"
 )
 
 // SubscribeEvent is one frame of a subscription stream. Exactly one

@@ -266,4 +266,9 @@ type StreamStatus struct {
 	Model string  `json:"model,omitempty"`
 	K     int     `json:"k,omitempty"`
 	T     float64 `json:"t,omitempty"`
+	// Epoch is the stream's ownership epoch: bumped each time a live
+	// handoff moves the stream to another shard, so a router observing
+	// the same stream from two shards mid-cutover resolves ownership to
+	// the higher epoch. Zero (omitted) for streams that never moved.
+	Epoch uint64 `json:"epoch,omitempty"`
 }

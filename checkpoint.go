@@ -134,10 +134,10 @@ type liveSnapshot struct {
 // needed to resume past it. It must be called from the session's ingester
 // goroutine between AdvanceLive calls (the only vantage from which the
 // worker is quiescent). Durable once it returns: the store has been synced.
+// On a system without a persistent store the cut still lands in the
+// embedded in-memory store — not crash-durable, but a consistent snapshot
+// the stream-handoff path can export.
 func (sess *Session) CheckpointLive() error {
-	if sess.sys.cfg.StorePath == "" {
-		return fmt.Errorf("focus: system has no persistent store")
-	}
 	sess.mu.RLock()
 	live := sess.live
 	sess.mu.RUnlock()
@@ -204,9 +204,6 @@ func (sess *Session) clearLiveCheckpoint() error {
 // HasLiveCheckpoint reports whether the store holds a live checkpoint for
 // this stream.
 func (sess *Session) HasLiveCheckpoint() bool {
-	if sess.sys.cfg.StorePath == "" {
-		return false
-	}
 	_, ok := sess.sys.store.Get(snapKey(sess.Name()))
 	return ok
 }
@@ -219,9 +216,6 @@ func (sess *Session) HasLiveCheckpoint() bool {
 // StartLive. Restored state answers queries bit-identically to a process
 // that never crashed.
 func (sess *Session) RestoreLive() (bool, error) {
-	if sess.sys.cfg.StorePath == "" {
-		return false, fmt.Errorf("focus: system has no persistent store")
-	}
 	if sess.isLive() {
 		return false, fmt.Errorf("focus: stream %q is already ingesting live", sess.Name())
 	}

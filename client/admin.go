@@ -1,0 +1,105 @@
+package client
+
+// Typed wrappers for the admin surface of live resharding: the
+// shard-level handoff endpoints (seal/export/import/activate/release/
+// resume, served by focus-serve) and the router-level reshard operation.
+// Operator tooling (the focus CLI's reshard command, the cluster
+// harness, the crash-matrix tests) drives handoffs through these instead
+// of hand-rolled HTTP.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"focus/api"
+)
+
+// AdminSeal parks a stream's ingestion at a watermark boundary behind a
+// durable checkpoint (POST /v1/admin/seal on a shard). Idempotent while
+// sealed; the seal auto-resumes after the shard's handoff TTL.
+func (c *Client) AdminSeal(ctx context.Context, stream string) (*api.SealResponse, error) {
+	body, err := json.Marshal(api.AdminStreamRequest{Stream: stream})
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding request: %w", err)
+	}
+	var out api.SealResponse
+	if err := c.do(ctx, http.MethodPost, api.PathAdminSeal, body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// AdminResume unparks a sealed stream back into normal ingestion — the
+// abort path of a handoff (POST /v1/admin/resume on a shard).
+func (c *Client) AdminResume(ctx context.Context, stream string) error {
+	body, err := json.Marshal(api.AdminStreamRequest{Stream: stream})
+	if err != nil {
+		return fmt.Errorf("client: encoding request: %w", err)
+	}
+	return c.do(ctx, http.MethodPost, api.PathAdminResume, body, nil)
+}
+
+// AdminExport returns a sealed stream's handoff payload — spec, sealed
+// watermark, epoch, and checkpoint records (POST /v1/admin/export on a
+// shard).
+func (c *Client) AdminExport(ctx context.Context, stream string) (*api.StreamExport, error) {
+	body, err := json.Marshal(api.AdminStreamRequest{Stream: stream})
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding request: %w", err)
+	}
+	var out api.StreamExport
+	if err := c.do(ctx, http.MethodPost, api.PathAdminExport, body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// AdminImport restores an exported stream on the target shard, hidden
+// until activated (POST /v1/admin/import). The import auto-discards
+// after the shard's handoff TTL if no activation arrives.
+func (c *Client) AdminImport(ctx context.Context, export *api.StreamExport) error {
+	body, err := json.Marshal(export)
+	if err != nil {
+		return fmt.Errorf("client: encoding request: %w", err)
+	}
+	return c.do(ctx, http.MethodPost, api.PathAdminImport, body, nil)
+}
+
+// AdminActivate commits an imported stream: it becomes visible and its
+// live ingestion tail resumes (POST /v1/admin/activate on a shard).
+func (c *Client) AdminActivate(ctx context.Context, stream string) error {
+	body, err := json.Marshal(api.AdminStreamRequest{Stream: stream})
+	if err != nil {
+		return fmt.Errorf("client: encoding request: %w", err)
+	}
+	return c.do(ctx, http.MethodPost, api.PathAdminActivate, body, nil)
+}
+
+// AdminRelease removes a stream from the target shard — the final step
+// of a handoff on the source, or the rollback of an unactivated import
+// on the destination (POST /v1/admin/release).
+func (c *Client) AdminRelease(ctx context.Context, stream string) error {
+	body, err := json.Marshal(api.AdminStreamRequest{Stream: stream})
+	if err != nil {
+		return fmt.Errorf("client: encoding request: %w", err)
+	}
+	return c.do(ctx, http.MethodPost, api.PathAdminRelease, body, nil)
+}
+
+// Reshard transitions the cluster behind a router to the target shard
+// map (POST /v1/admin/reshard), live; with dryRun the router only plans
+// and reports which streams would move. The call is synchronous: it
+// returns once every planned move completed or failed.
+func (c *Client) Reshard(ctx context.Context, m api.AdminShardMap, dryRun bool) (*api.ReshardResponse, error) {
+	body, err := json.Marshal(api.ReshardRequest{Map: m, DryRun: dryRun})
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding request: %w", err)
+	}
+	var out api.ReshardResponse
+	if err := c.do(ctx, http.MethodPost, api.PathAdminReshard, body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -38,6 +38,7 @@ type Client struct {
 	retries          int
 	backoff          time.Duration
 	tolerateDraining bool
+	terminalMoves    bool
 }
 
 // Option configures a Client.
@@ -65,6 +66,17 @@ func WithRetries(n int, backoff time.Duration) Option {
 // draining response is as unexpected as any other 5xx.
 func WithDrainingTolerance() Option {
 	return func(c *Client) { c.tolerateDraining = true }
+}
+
+// WithTerminalMoves makes a Subscriber return a "moved" bye terminally
+// (Recv returns io.EOF with Reason moved) instead of transparently
+// re-subscribing. The default transparent resume assumes the base URL can
+// re-resolve stream ownership — true when it points at a router. A caller
+// connected directly to one shard cannot reach the new owner by
+// reconnecting, so it opts out and handles the move itself; the router
+// uses this for its per-shard subscription legs.
+func WithTerminalMoves() Option {
+	return func(c *Client) { c.terminalMoves = true }
 }
 
 // New builds a client for the service at baseURL (e.g.

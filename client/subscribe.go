@@ -178,6 +178,18 @@ func (s *Subscriber) Recv() (*api.Delta, error) {
 				return nil, err
 			}
 		case api.EventBye:
+			if ev.Reason == api.ReasonMoved && !s.c.terminalMoves {
+				// A stream of this subscription was handed off to another
+				// shard. Everything up to the delivered vector was
+				// delivered before the move (the source seals and drains
+				// before releasing), so resuming from it against the new
+				// owner keeps the delta sequence contiguous — the move is
+				// invisible to the caller apart from Reconnects.
+				if err := s.reconnect(); err != nil {
+					return nil, err
+				}
+				continue
+			}
 			s.reason = ev.Reason
 			s.Close()
 			return nil, io.EOF
@@ -215,7 +227,7 @@ func (s *Subscriber) reconnect() error {
 		}
 		lastErr = err
 		var typed *api.Error
-		if errors.As(err, &typed) && !s.c.retryable(typed) {
+		if errors.As(err, &typed) && !s.resumeRetryable(typed) {
 			return err
 		}
 		select {
@@ -225,6 +237,19 @@ func (s *Subscriber) reconnect() error {
 		}
 	}
 	return fmt.Errorf("client: subscription reconnect exhausted: %w", lastErr)
+}
+
+// resumeRetryable reports whether a typed rejection of a resume attempt
+// is worth backing off on. Beyond the client's normal retry classes, a
+// resume rides through not_ready and unavailable: both are the transient
+// shapes of a cluster mid-transition (a handoff flipping ownership, a
+// shard mid-recovery), and the resume point is durable — retrying cannot
+// deliver anything twice.
+func (s *Subscriber) resumeRetryable(e *api.Error) bool {
+	if s.c.retryable(e) {
+		return true
+	}
+	return e.Code == api.CodeNotReady || e.Code == api.CodeUnavailable
 }
 
 // Hello returns the server's resolved echo of the subscription.

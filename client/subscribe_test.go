@@ -77,14 +77,16 @@ var (
 	itemA = api.Item{Stream: "s", Frame: 30, TimeSec: 1, Segment: 1, Score: 5}
 	itemB = api.Item{Stream: "s", Frame: 60, TimeSec: 2, Segment: 2, Score: 3}
 	itemC = api.Item{Stream: "s", Frame: 90, TimeSec: 3, Segment: 3, Score: 4}
+	itemD = api.Item{Stream: "s", Frame: 120, TimeSec: 4, Segment: 4, Score: 2}
 )
 
 func vec(at float64) api.WatermarkVector { return api.WatermarkVector{"s": at} }
 
 // TestSubscriberResumesThroughFailures is the client-side resume
-// contract: across an abrupt transport loss and a typed slow-consumer
-// drop, the subscriber reconnects with From at its delivered vector and
-// the caller observes one contiguous, fully applicable delta sequence.
+// contract: across an abrupt transport loss, a typed slow-consumer drop,
+// and a handoff's moved bye, the subscriber reconnects with From at its
+// delivered vector and the caller observes one contiguous, fully
+// applicable delta sequence.
 func TestSubscriberResumesThroughFailures(t *testing.T) {
 	srv := subscribeStub(t,
 		func(t *testing.T, w http.ResponseWriter, req *api.SubscribeRequest) {
@@ -108,6 +110,15 @@ func TestSubscriberResumesThroughFailures(t *testing.T) {
 			sendFrame(t, w, &api.SubscribeEvent{V: api.SSEVersion, Type: api.EventDelta, Delta: &api.Delta{
 				From: vec(10), To: vec(15), Items: []api.Item{itemC}, RemovedItems: []api.Item{itemA},
 				TotalItems: 2}})
+			// The stream was handed off to another shard: the typed moved
+			// bye asks the subscriber to re-resolve and resume.
+			sendFrame(t, w, &api.SubscribeEvent{V: api.SSEVersion, Type: api.EventBye, Reason: api.ReasonMoved})
+		},
+		func(t *testing.T, w http.ResponseWriter, req *api.SubscribeRequest) {
+			wantFrom(t, req, vec(15))
+			sendFrame(t, w, &api.SubscribeEvent{V: api.SSEVersion, Type: api.EventHello, Hello: stubHello()})
+			sendFrame(t, w, &api.SubscribeEvent{V: api.SSEVersion, Type: api.EventDelta, Delta: &api.Delta{
+				From: vec(15), To: vec(20), Items: []api.Item{itemD}, TotalItems: 3}})
 			sendFrame(t, w, &api.SubscribeEvent{V: api.SSEVersion, Type: api.EventBye, Reason: api.ReasonComplete})
 		},
 	)
@@ -127,23 +138,56 @@ func TestSubscriberResumesThroughFailures(t *testing.T) {
 		}
 		got = append(got, d)
 	}
-	if len(got) != 3 {
-		t.Fatalf("received %d deltas, want 3", len(got))
+	if len(got) != 4 {
+		t.Fatalf("received %d deltas, want 4", len(got))
 	}
 	if sub.Reason() != api.ReasonComplete {
 		t.Fatalf("terminal reason %q, want complete", sub.Reason())
 	}
-	if sub.Reconnects() != 2 {
-		t.Fatalf("reconnects = %d, want 2", sub.Reconnects())
+	if sub.Reconnects() != 3 {
+		t.Fatalf("reconnects = %d, want 3", sub.Reconnects())
 	}
 	if !sub.Reassembling() {
 		t.Fatal("genesis subscription must reassemble")
 	}
-	if want := []api.Item{itemC, itemB}; !reflect.DeepEqual(sub.Items(), want) {
+	if want := []api.Item{itemC, itemB, itemD}; !reflect.DeepEqual(sub.Items(), want) {
 		t.Fatalf("reassembled items = %+v, want %+v", sub.Items(), want)
 	}
-	if !api.VectorsEqual(sub.Vector(), vec(15)) {
-		t.Fatalf("final vector = %v, want {s:15}", sub.Vector())
+	if !api.VectorsEqual(sub.Vector(), vec(20)) {
+		t.Fatalf("final vector = %v, want {s:20}", sub.Vector())
+	}
+}
+
+// TestSubscriberTerminalMoves pins WithTerminalMoves: a moved bye ends
+// the subscription (Recv returns EOF, Reason reports moved) instead of
+// transparently re-subscribing — the router's per-shard legs need the
+// move surfaced, since reconnecting to the same shard cannot re-resolve
+// ownership.
+func TestSubscriberTerminalMoves(t *testing.T) {
+	srv := subscribeStub(t,
+		func(t *testing.T, w http.ResponseWriter, req *api.SubscribeRequest) {
+			sendFrame(t, w, &api.SubscribeEvent{V: api.SSEVersion, Type: api.EventHello, Hello: stubHello()})
+			sendFrame(t, w, &api.SubscribeEvent{V: api.SSEVersion, Type: api.EventDelta, Delta: &api.Delta{
+				From: vec(0), To: vec(5), Items: []api.Item{itemA}, TotalItems: 1}})
+			sendFrame(t, w, &api.SubscribeEvent{V: api.SSEVersion, Type: api.EventBye, Reason: api.ReasonMoved})
+		},
+	)
+	sub, err := New(srv.URL, WithRetries(2, time.Millisecond), WithTerminalMoves()).
+		Subscribe(context.Background(), &api.SubscribeRequest{Expr: "car & person"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Recv(); err != io.EOF {
+		t.Fatalf("after moved bye: %v, want EOF", err)
+	}
+	if sub.Reason() != api.ReasonMoved {
+		t.Fatalf("reason = %q, want moved", sub.Reason())
+	}
+	if sub.Reconnects() != 0 {
+		t.Fatalf("reconnects = %d, want 0 (the move must be terminal)", sub.Reconnects())
 	}
 }
 

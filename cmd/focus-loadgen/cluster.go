@@ -52,19 +52,45 @@ type chaosSpec struct {
 
 func (c chaosSpec) enabled() bool { return c.KillAfter > 0 }
 
-// chaosRun collects the drill's asynchronous assertions; checks() joins on
-// it after the load run and returns them as gate failures.
+// reshardSpec parameterizes the live-reshard drill in -boot-cluster mode:
+// After seconds into the run a fresh, empty shard joins the cluster and
+// the router is asked to live-reshard one stream onto it — an N→N+1 grow
+// transition under full traffic. Zero After disables the drill.
+type reshardSpec struct {
+	After time.Duration
+}
+
+func (r reshardSpec) enabled() bool { return r.After > 0 }
+
+// chaosRun collects a drill's asynchronous assertions; checks() joins on
+// it after the load run and returns them as gate failures. Both the
+// kill/restart and the live-reshard drill report through one.
 type chaosRun struct {
 	mu       sync.Mutex
 	failures []string
 	done     chan struct{}
 	timers   []*time.Timer
+	cleanup  []func()
 }
 
 func (c *chaosRun) fail(format string, args ...any) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.failures = append(c.failures, fmt.Sprintf(format, args...))
+}
+
+// stop cancels pending drill timers and tears down anything the drill
+// booted mid-run (the joined shard, for the reshard drill).
+func (c *chaosRun) stop() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, t := range c.timers {
+		t.Stop()
+	}
+	for i := len(c.cleanup) - 1; i >= 0; i-- {
+		c.cleanup[i]()
+	}
+	c.cleanup = nil
 }
 
 // bootShardedCluster starts n in-process focus-serve shards (streams
@@ -83,7 +109,7 @@ func (c *chaosRun) fail(format string, args ...any) {
 // shutdown.
 func bootShardedCluster(cfg *loadgen.Config, n int, streams string, window, tuneWindow, chunk float64,
 	ingestInterval time.Duration, workers, queue int, seed uint64, recall, precision float64,
-	drainAfter float64, chaos chaosSpec, fault serve.FaultConfig) (func(), func() []string, error) {
+	drainAfter float64, chaos chaosSpec, reshard reshardSpec, fault serve.FaultConfig) (func(), func() []string, error) {
 	names := splitCSV(streams)
 	sort.Strings(names)
 	if n < 2 {
@@ -311,16 +337,14 @@ func bootShardedCluster(cfg *loadgen.Config, n int, streams string, window, tune
 		cleanup = append(cleanup, func() { timer.Stop() })
 	}
 
-	var drill *chaosRun
+	var drill, rdrill *chaosRun
 	if chaos.enabled() {
 		drill = armChaosDrill(chaos, shards[len(shards)-1], cfg.Classes[0])
-		cleanup = append(cleanup, func() {
-			drill.mu.Lock()
-			defer drill.mu.Unlock()
-			for _, t := range drill.timers {
-				t.Stop()
-			}
-		})
+		cleanup = append(cleanup, drill.stop)
+	}
+	if reshard.enabled() {
+		rdrill = armReshardDrill(reshard, shards, smap, fcfg, scfg, cfg.BaseURL, cfg.Classes[0])
+		cleanup = append(cleanup, rdrill.stop)
 	}
 	checks := func() []string {
 		var out []string
@@ -330,17 +354,22 @@ func bootShardedCluster(cfg *loadgen.Config, n int, streams string, window, tune
 			// the fault path never fired or retries are broken.
 			out = append(out, "fault injection armed but the router never retried a sub-request")
 		}
-		if drill == nil {
-			return out
+		join := func(d *chaosRun, what string, grace time.Duration) {
+			if d == nil {
+				return
+			}
+			select {
+			case <-d.done:
+			case <-time.After(grace):
+				d.fail("%s drill did not complete: still pending after the run", what)
+			}
+			d.mu.Lock()
+			out = append(out, d.failures...)
+			d.mu.Unlock()
 		}
-		select {
-		case <-drill.done:
-		case <-time.After(chaos.DownFor + 60*time.Second):
-			drill.fail("chaos drill did not complete: kill/restart sequence still pending after the run")
-		}
-		drill.mu.Lock()
-		defer drill.mu.Unlock()
-		return append(out, drill.failures...)
+		join(drill, "chaos", chaos.DownFor+60*time.Second)
+		join(rdrill, "reshard", 60*time.Second)
+		return out
 	}
 
 	cleanup = append(cleanup, func() {
@@ -435,6 +464,126 @@ func armChaosDrill(spec chaosSpec, victim *shardProc, class string) *chaosRun {
 		drill.timers = append(drill.timers, time.AfterFunc(spec.DownFor, restart))
 		drill.mu.Unlock()
 	}))
+	drill.mu.Unlock()
+	return drill
+}
+
+// armReshardDrill schedules the live-reshard drill: After into the run, a
+// fresh empty shard joins the cluster and the router is asked to
+// live-reshard the first shard's first stream onto it, while the loadgen
+// clients keep hammering the router. The drill asserts the move completes
+// (one move, state done, zero failures) and that a pre-move probe,
+// re-asked pinned at the same watermark vector once the move lands, is
+// answered bit-identically by the new owner. The clients' verifiers hold
+// every sampled response to the reference answer throughout, so a cutover
+// glitch beyond the allowed typed transients fails the run on its own.
+func armReshardDrill(spec reshardSpec, shards []*shardProc, smap *router.ShardMap,
+	fcfg focus.Config, scfg serve.Config, routerURL, class string) *chaosRun {
+	drill := &chaosRun{done: make(chan struct{})}
+	src := shards[0]
+	mover := src.streams[0]
+
+	run := func() {
+		defer close(drill.done)
+		rcli := client.New(routerURL, client.WithRetries(3, 100*time.Millisecond))
+		pre, err := rcli.Query(context.Background(), &api.QueryRequest{Expr: class, Streams: []string{mover}})
+		if err != nil {
+			drill.fail("pre-move probe of %q failed: %v", mover, err)
+			return
+		}
+
+		// Join: boot the new shard with no streams. It shares the cluster's
+		// seed, so the imported checkpoint's deterministic tail replays
+		// identically on it.
+		newName := shardName(len(shards))
+		escfg := scfg
+		escfg.AllowNoStreams = true
+		sys, err := focus.New(fcfg)
+		if err != nil {
+			drill.fail("reshard join: %v", err)
+			return
+		}
+		srv := serve.New(sys, escfg)
+		if err := srv.Start(); err != nil {
+			drill.fail("reshard join: serve start: %v", err)
+			sys.Close()
+			return
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			drill.fail("reshard join: listen: %v", err)
+			srv.Stop()
+			sys.Close()
+			return
+		}
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		go func() { _ = httpSrv.Serve(ln) }()
+		drill.mu.Lock()
+		drill.cleanup = append(drill.cleanup, func() {
+			_ = httpSrv.Close()
+			srv.Stop()
+			sys.Close()
+		})
+		drill.mu.Unlock()
+		newURL := "http://" + ln.Addr().String()
+		log.Printf("focus-loadgen: RESHARD shard %s joining at %s; moving %q off %s", newName, newURL, mover, src.name)
+
+		// Target map: the same roster plus the joining shard, with the
+		// moving stream re-pinned onto it.
+		target := api.AdminShardMap{Pins: make(map[string]string, len(smap.Pins))}
+		for st, sh := range smap.Pins {
+			target.Pins[st] = sh
+		}
+		target.Pins[mover] = newName
+		for _, sh := range shards {
+			target.Shards = append(target.Shards, api.AdminShardSpec{Name: sh.name, URL: sh.url})
+		}
+		target.Shards = append(target.Shards, api.AdminShardSpec{Name: newName, URL: newURL})
+
+		t0 := time.Now()
+		resp, err := rcli.Reshard(context.Background(), target, false)
+		if err != nil {
+			drill.fail("reshard to %d shards failed: %v", len(target.Shards), err)
+			return
+		}
+		if resp.Failed != 0 || resp.Moved != 1 || len(resp.Moves) != 1 {
+			drill.fail("reshard moved %d / failed %d, want exactly one clean move: %+v",
+				resp.Moved, resp.Failed, resp.Moves)
+			return
+		}
+		mv := resp.Moves[0]
+		log.Printf("focus-loadgen: RESHARD %q moved %s → %s in %.1fs (sealed at %.0f, epoch %d)",
+			mv.Stream, mv.From, mv.To, time.Since(t0).Seconds(), mv.Watermark, mv.Epoch)
+
+		// The new owner must answer the pre-move probe bit-identically at
+		// the pinned pre-move vector. Right after the flip its replayed
+		// ingest tail may still be catching up, so transient typed
+		// rejections are retried.
+		req := &api.QueryRequest{Expr: pre.Expr, Streams: []string{mover}, At: pre.Watermarks}
+		deadline := time.Now().Add(45 * time.Second)
+		for {
+			post, err := rcli.Query(context.Background(), req)
+			if err != nil {
+				transient := api.IsCode(err, api.CodePinAhead) || api.IsCode(err, api.CodeNotReady) ||
+					api.IsCode(err, api.CodeUnavailable) || api.IsCode(err, api.CodeShardDown)
+				if transient && time.Now().Before(deadline) {
+					time.Sleep(250 * time.Millisecond)
+					continue
+				}
+				drill.fail("post-move pinned replay of %q failed: %v", mover, err)
+				return
+			}
+			if err := compareAnswers(pre, post); err != nil {
+				drill.fail("post-move answer drifted for %q: %v", mover, err)
+			} else {
+				log.Printf("focus-loadgen: RESHARD post-move answer for %q@%v is bit-identical", pre.Expr, pre.Watermarks)
+			}
+			return
+		}
+	}
+
+	drill.mu.Lock()
+	drill.timers = append(drill.timers, time.AfterFunc(spec.After, run))
 	drill.mu.Unlock()
 	return drill
 }

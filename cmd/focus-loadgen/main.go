@@ -29,6 +29,13 @@
 //     partial answers when -allow-partial-every opts in) during the
 //     outage, and the post-recovery answer at the pinned pre-crash
 //     watermark must be bit-identical.
+//     -reshard-after runs the live-reshard drill: mid-run a fresh empty
+//     shard joins the cluster and the router live-reshards one stream
+//     onto it (seal → export → import → activate → flip → release) while
+//     the clients keep querying — the move must complete cleanly, clients
+//     must only ever see the allowed typed transients, and the moved
+//     stream's pre-move answer, pinned at the same watermark vector, must
+//     be bit-identical on the new owner.
 //
 // Either way it exits non-zero on any unexpected status, transport error,
 // served-vs-direct mismatch, or p99 above the committed budget.
@@ -43,6 +50,7 @@
 //	              [-clients 16] [-run-seconds 30] [-drain-one-after 25]
 //	focus-loadgen -boot-cluster 2 -run-seconds 45 -chaos-kill-after 15
 //	              [-chaos-down-for 5] [-checkpoint-every 1] [-allow-partial-every 4]
+//	focus-loadgen -boot-cluster 2 -run-seconds 45 -reshard-after 15
 package main
 
 import (
@@ -69,6 +77,7 @@ func main() {
 	chaosKillAfter := flag.Float64("chaos-kill-after", 0, "in -boot-cluster mode, kill the last shard (sever connections, abandon its store unsynced) after this many seconds (0 = never)")
 	chaosDownFor := flag.Float64("chaos-down-for", 5, "in chaos mode, how many seconds the killed shard stays dead before restarting from its checkpoint")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "in chaos mode, shard checkpoint cadence in ingest chunks (0 = every chunk)")
+	reshardAfter := flag.Float64("reshard-after", 0, "in -boot-cluster mode, join a fresh empty shard after this many seconds and live-reshard one stream onto it under load (0 = never)")
 	allowPartialEvery := flag.Int("allow-partial-every", 0, "every Nth whole-corpus query opts into allow_partial degraded answers (0 = never; chaos mode defaults to 4)")
 	faultErrorRate := flag.Float64("fault-error-rate", 0, "in -boot-cluster mode, arm every shard's fault injector: probability (0..1) that a data-plane request fails with a typed 503 \"unavailable\" (the router's sub-request retries must absorb most of them)")
 	faultLatency := flag.Duration("fault-latency", 0, "in -boot-cluster mode, extra injected latency on every shard data-plane request")
@@ -148,6 +157,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "focus-loadgen: the chaos schedule (-chaos-kill-after + -chaos-down-for) must complete within -run-seconds")
 		os.Exit(2)
 	}
+	reshard := reshardSpec{After: time.Duration(*reshardAfter * float64(time.Second))}
+	if reshard.enabled() && *bootCluster == 0 {
+		fmt.Fprintln(os.Stderr, "focus-loadgen: -reshard-after requires -boot-cluster")
+		os.Exit(2)
+	}
+	if reshard.enabled() && *reshardAfter >= *runSeconds {
+		fmt.Fprintln(os.Stderr, "focus-loadgen: -reshard-after must fire within -run-seconds")
+		os.Exit(2)
+	}
 	fault := serve.FaultConfig{ErrorRate: *faultErrorRate, Latency: *faultLatency, Seed: *seed}
 	if fault.Active() && *bootCluster == 0 {
 		fmt.Fprintln(os.Stderr, "focus-loadgen: -fault-error-rate/-fault-latency require -boot-cluster")
@@ -159,7 +177,10 @@ func main() {
 		// single-stream queries against healthy shards can keep succeeding,
 		// so make sure some are issued.
 		cfg.AcceptDraining = *drainOneAfter > 0
-		cfg.AcceptOutage = chaos.enabled() || fault.ErrorRate > 0
+		// A live reshard briefly rejects traffic on the moving stream with
+		// the same typed transients an outage produces (unavailable /
+		// not_ready around the cutover), so the drill opts into them too.
+		cfg.AcceptOutage = chaos.enabled() || reshard.enabled() || fault.ErrorRate > 0
 		if cfg.SingleStreamEvery == 0 {
 			cfg.SingleStreamEvery = 3
 		}
@@ -198,7 +219,7 @@ func main() {
 	if *bootCluster > 0 {
 		var err error
 		shutdown, chaosChecks, err = bootShardedCluster(&cfg, *bootCluster, *streams, *window, *tuneWindow, *chunk,
-			*ingestInterval, *workers, *queue, *seed, *recall, *precision, *drainOneAfter, chaos, fault)
+			*ingestInterval, *workers, *queue, *seed, *recall, *precision, *drainOneAfter, chaos, reshard, fault)
 		if err != nil {
 			log.Fatalf("focus-loadgen: %v", err)
 		}

@@ -47,6 +47,7 @@ func main() {
 	probationPolls := flag.Int("probation-polls", 3, "consecutive healthy polls a recovered shard must string together before it is routed to again")
 	strict := flag.Bool("strict-placement", false, "fail startup when a shard serves streams the map assigns elsewhere")
 	printAssignment := flag.String("print-assignment", "", "print the map's shard assignment for these comma-separated streams and exit")
+	diffMap := flag.String("diff-map", "", "with -print-assignment: also load this target shard-map JSON and print which of the streams would move (reshard planning, offline)")
 	flag.Parse()
 
 	m, err := loadMap(*mapPath, *shardsArg)
@@ -72,7 +73,31 @@ func main() {
 			spec, _ := m.Shard(n)
 			fmt.Printf("%s\t%s\t-streams %s\n", n, spec.URL, strings.Join(byShard[n], ","))
 		}
+		if *diffMap != "" {
+			// Reshard planning: diff this map's assignment against the
+			// target map's, stream by stream — the offline preview of what
+			// POST /v1/admin/reshard would move.
+			target, err := router.LoadShardMap(*diffMap)
+			if err != nil {
+				log.Fatalf("focus-router: -diff-map: %v", err)
+			}
+			streams := splitCSV(*printAssignment)
+			sort.Strings(streams)
+			moves := 0
+			for _, st := range streams {
+				from, to := m.Assign(st), target.Assign(st)
+				if from.Name == to.Name {
+					continue
+				}
+				moves++
+				fmt.Printf("move\t%s\t%s -> %s\n", st, from.Name, to.Name)
+			}
+			fmt.Printf("%d of %d streams would move\n", moves, len(streams))
+		}
 		return
+	}
+	if *diffMap != "" {
+		log.Fatalf("focus-router: -diff-map requires -print-assignment (it is an offline planning tool)")
 	}
 
 	rt, err := router.New(router.Config{

@@ -62,7 +62,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":7070", "listen address")
-	streams := flag.String("streams", "auburn_c,jacksonh,city_a_d", "comma-separated Table 1 stream names, or \"all\"")
+	streams := flag.String("streams", "auburn_c,jacksonh,city_a_d", "comma-separated Table 1 stream names, \"all\", or \"none\" (boot empty and receive streams via live handoff)")
 	window := flag.Float64("window", 240, "per-stream ingest horizon in seconds")
 	sampleEvery := flag.Int("sample-every", 1, "frame sampling stride (1 = 30fps)")
 	tuneWindow := flag.Float64("tune-window", 0, "tuning window in seconds (0 = same as -window)")
@@ -77,6 +77,7 @@ func main() {
 	recall := flag.Float64("recall", 0.95, "tuner recall target")
 	precision := flag.Float64("precision", 0.95, "tuner precision target")
 	drainGrace := flag.Duration("drain-grace", 10*time.Second, "how long to serve draining 503s after SIGTERM before exiting")
+	handoffTTL := flag.Duration("handoff-ttl", serve.DefaultHandoffTTL, "how long a half-done handoff may hold state: a sealed stream auto-resumes ingestion, and an unactivated import is auto-discarded, this long after the step that created it")
 	dataDir := flag.String("data-dir", "", "durable data directory: the index store (focus.kv) and MANIFEST.json live here, live ingestion checkpoints into it, and a restart cold-starts from the latest checkpoint (empty = in-memory, nothing survives a crash)")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint each stream every N ingest chunks (0 = every chunk, negative = never); effective only with -data-dir")
 	faultErrorRate := flag.Float64("fault-error-rate", 0, "FAULT INJECTION: probability (0..1) that a data-plane request is rejected with a typed 503 \"unavailable\"")
@@ -114,6 +115,11 @@ func main() {
 		}
 	}
 
+	// -streams none boots an empty elastic shard: it joins the cluster
+	// with nothing and receives its share through live handoff when the
+	// router reshards onto it.
+	allowEmpty := len(names) == 0
+
 	scfg := serve.Config{
 		Window:          focus.GenOptions{DurationSec: *window, SampleEvery: *sampleEvery},
 		TuneWindow:      focus.GenOptions{DurationSec: *tuneWindow, SampleEvery: *sampleEvery},
@@ -123,6 +129,8 @@ func main() {
 		QueueDepth:      *queue,
 		CacheCapacity:   *cacheCap,
 		CheckpointEvery: *checkpointEvery,
+		AllowNoStreams:  allowEmpty,
+		HandoffTTL:      *handoffTTL,
 		Fault: serve.FaultConfig{
 			ErrorRate:      *faultErrorRate,
 			Latency:        *faultLatency,
@@ -180,6 +188,9 @@ func main() {
 }
 
 func streamNames(arg string) []string {
+	if strings.TrimSpace(arg) == "none" {
+		return nil
+	}
 	if strings.TrimSpace(arg) == "all" {
 		specs := video.Table1Specs()
 		names := make([]string, len(specs))
@@ -195,7 +206,7 @@ func streamNames(arg string) []string {
 		}
 	}
 	if len(names) == 0 {
-		fmt.Fprintln(os.Stderr, "focus-serve: no streams given")
+		fmt.Fprintln(os.Stderr, "focus-serve: no streams given (use -streams none for an empty elastic shard)")
 		os.Exit(2)
 	}
 	return names

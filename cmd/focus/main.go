@@ -17,12 +17,14 @@
 //	focus tracks  -streams auburn_c,jacksonh -expr 'car & dur(30)' [-top 10] [-page 5]
 //	focus tracks  -server http://localhost:7070 -expr 'seq(region(0,0,160,720), region(160,0,320,720))'
 //	focus subscribe -server http://localhost:7070 -expr 'car & person' [-streams auburn_c] [-max-deltas 5]
+//	focus reshard -server http://localhost:7070 -map new-cluster.json [-dry-run]
 //	focus sweep   -stream auburn_c [-duration 240]
 //	focus characterize -stream auburn_c [-duration 240]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -61,6 +63,8 @@ func main() {
 		err = cmdTracks(os.Args[2:])
 	case "subscribe":
 		err = cmdSubscribe(os.Args[2:])
+	case "reshard":
+		err = cmdReshard(os.Args[2:])
 	case "sweep":
 		err = cmdSweep(os.Args[2:])
 	case "characterize":
@@ -89,6 +93,7 @@ commands:
   plan           answer a compound query like 'car & person & !bus', ranked and paged
   tracks         answer a temporal query like 'car & dur(30)' over object tracks
   subscribe      hold a standing query against a live service and stream its answer deltas
+  reshard        transition a live cluster to a new shard map through its router
   sweep          print the tuner's Pareto boundary for a stream
   characterize   print a stream's ground-truth characterization`)
 }
@@ -450,6 +455,47 @@ func cmdTracks(args []string) error {
 // until the server ends the stream (complete or draining) or -max-deltas
 // is reached. Subscriptions are a service feature — there is no local
 // library mode.
+func cmdReshard(args []string) error {
+	fs := flag.NewFlagSet("reshard", flag.ExitOnError)
+	server := fs.String("server", "", "base URL of a running focus-router (required)")
+	mapPath := fs.String("map", "", "target shard-map JSON file (required; same format as focus-router -map)")
+	dryRun := fs.Bool("dry-run", false, "plan only: print which streams would move, move nothing")
+	fs.Parse(args)
+	if *server == "" {
+		return fmt.Errorf("reshard: -server is required (the router executes the transition)")
+	}
+	if *mapPath == "" {
+		return fmt.Errorf("reshard: -map is required (the target shard map)")
+	}
+	raw, err := os.ReadFile(*mapPath)
+	if err != nil {
+		return fmt.Errorf("reshard: %w", err)
+	}
+	var m api.AdminShardMap
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return fmt.Errorf("reshard: parsing %s: %w", *mapPath, err)
+	}
+	resp, err := client.New(*server).Reshard(context.Background(), m, *dryRun)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "STREAM\tFROM\tTO\tSTATE\tWATERMARK\tERROR")
+	for _, mv := range resp.Moves {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%g\t%s\n", mv.Stream, mv.From, mv.To, mv.State, mv.Watermark, mv.Error)
+	}
+	w.Flush()
+	if resp.DryRun {
+		fmt.Printf("dry run: %d streams would move\n", len(resp.Moves))
+		return nil
+	}
+	fmt.Printf("moved %d streams, %d failed\n", resp.Moved, resp.Failed)
+	if resp.Failed > 0 {
+		return fmt.Errorf("reshard: %d moves failed (sources still own those streams; fix and re-run)", resp.Failed)
+	}
+	return nil
+}
+
 func cmdSubscribe(args []string) error {
 	fs := flag.NewFlagSet("subscribe", flag.ExitOnError)
 	server := fs.String("server", "", "base URL of a running focus-serve or focus-router (required)")

@@ -1,0 +1,242 @@
+package focus
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+
+	"focus/internal/index"
+)
+
+// This file is the library half of live stream handoff: exporting a sealed
+// stream's checkpoint records from one System's store and importing them
+// into another's, so a destination shard restores the stream bit-identically
+// at the sealed watermark (RestoreLive) and replays the deterministic tail
+// from there. The serve layer drives it over the /v1/admin/* endpoints; the
+// protocol and its crash story live in DESIGN.md §12.
+
+// HandoffRecord is one raw store record of a stream's handoff payload.
+type HandoffRecord struct {
+	// Key is the store key.
+	Key string
+	// Value is the record's raw bytes.
+	Value []byte
+}
+
+// epochKey is the store key holding a stream's ownership epoch.
+func epochKey(stream string) string { return "focus/epoch/" + stream }
+
+// pendingKey marks an imported stream whose handoff has not been committed
+// (activated) yet: a destination crashing mid-handoff must not cold-start
+// into serving a stream the cluster never flipped to it.
+func pendingKey(stream string) string { return "focus/handoff/pending/" + stream }
+
+// StreamEpoch returns the stream's ownership epoch: 0 for a stream that
+// never moved, incremented by each handoff. Epochs break ties when two
+// shards report the same stream mid-cutover — the higher epoch owns it.
+func (s *System) StreamEpoch(name string) uint64 {
+	raw, ok := s.store.Get(epochKey(name))
+	if !ok || len(raw) != 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(raw)
+}
+
+// SetStreamEpoch persists the stream's ownership epoch.
+func (s *System) SetStreamEpoch(name string, epoch uint64) error {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], epoch)
+	if err := s.store.Put(epochKey(name), buf[:]); err != nil {
+		return fmt.Errorf("focus: persisting epoch for %q: %w", name, err)
+	}
+	return s.store.Sync()
+}
+
+// PendingImport reports whether the stream was imported but its handoff
+// never committed (the activation marker is still pending).
+func (s *System) PendingImport(name string) bool {
+	_, ok := s.store.Get(pendingKey(name))
+	return ok
+}
+
+// PendingImports lists every stream with an uncommitted import marker in
+// the store — handoffs interrupted before activation, left for the boot
+// path to discard.
+func (s *System) PendingImports() []string {
+	var names []string
+	const prefix = "focus/handoff/pending/"
+	s.store.Scan(prefix, func(k string, _ []byte) bool {
+		names = append(names, k[len(prefix):])
+		return true
+	})
+	return names
+}
+
+// DiscardPendingImport deletes the store records of an uncommitted import:
+// the handoff never reached its ownership flip, so this system does not
+// own the stream and must not cold-start into serving its imported
+// checkpoint. A no-op when no pending marker exists.
+func (s *System) DiscardPendingImport(name string) error {
+	if !s.PendingImport(name) {
+		return nil
+	}
+	return s.deleteStreamRecords(name)
+}
+
+// CommitImport clears the stream's pending-import marker: the handoff
+// reached the point of no return and this system owns the stream.
+func (s *System) CommitImport(name string) error {
+	if _, ok := s.store.Get(pendingKey(name)); !ok {
+		return nil
+	}
+	if err := s.store.Delete(pendingKey(name)); err != nil {
+		return fmt.Errorf("focus: clearing pending import for %q: %w", name, err)
+	}
+	return s.store.Sync()
+}
+
+// ExportStream returns a stream's handoff payload: its generative spec,
+// the sealed watermark, and the store records of its latest live
+// checkpoint — index metadata, the committed cluster records, and the
+// snapshot commit point. The caller must have sealed the stream first
+// (a final CheckpointLive with ingestion parked), so the records are a
+// consistent cut and the watermark is frozen.
+func (s *System) ExportStream(name string) (StreamSpec, float64, []HandoffRecord, error) {
+	sess := s.Session(name)
+	if sess == nil {
+		return StreamSpec{}, 0, nil, fmt.Errorf("focus: unknown stream %q", name)
+	}
+	raw, ok := s.store.Get(snapKey(name))
+	if !ok {
+		return StreamSpec{}, 0, nil, fmt.Errorf("focus: stream %q has no checkpoint to export", name)
+	}
+	var snap liveSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&snap); err != nil {
+		return StreamSpec{}, 0, nil, fmt.Errorf("focus: decode snapshot for %q: %w", name, err)
+	}
+	recs := []HandoffRecord{{Key: snapKey(name), Value: raw}}
+	if meta, ok := s.store.Get(index.MetaKey(name)); ok {
+		recs = append(recs, HandoffRecord{Key: index.MetaKey(name), Value: meta})
+	} else {
+		return StreamSpec{}, 0, nil, fmt.Errorf("focus: stream %q has no index metadata to export", name)
+	}
+	prefix := index.ClusterKeyPrefix(name)
+	var scanErr error
+	s.store.Scan(prefix, func(k string, v []byte) bool {
+		id, ok := index.ClusterKeyID(k, prefix)
+		if !ok {
+			scanErr = fmt.Errorf("focus: malformed cluster key %q", k)
+			return false
+		}
+		// Records at or past the snapshot's high-water mark belong to an
+		// uncommitted checkpoint round; the destination's tail replay
+		// regenerates them bit-identically.
+		if id < snap.IndexNextID {
+			recs = append(recs, HandoffRecord{Key: k, Value: v})
+		}
+		return true
+	})
+	if scanErr != nil {
+		return StreamSpec{}, 0, nil, scanErr
+	}
+	return sess.Stream().Spec, snap.Watermark, recs, nil
+}
+
+// ImportStream installs an exported stream on this system: the handoff
+// records are written to the store (with a pending-import marker, so a
+// crash before the handoff commits never cold-starts into serving it), the
+// stream is registered, and its live state is restored from the imported
+// checkpoint — watermark, index, and mid-stream ingest state exactly as
+// the source sealed them. The tail replays deterministically from there:
+// both systems must share the same Config.Seed, or answers diverge.
+//
+// The caller activates the stream with CommitImport once ownership flips;
+// until then it should keep the stream hidden from clients. On failure the
+// partial import is rolled back.
+func (s *System) ImportStream(spec StreamSpec, epoch uint64, recs []HandoffRecord) (*Session, error) {
+	name := spec.Name
+	if name == "" {
+		return nil, fmt.Errorf("focus: import needs a named stream spec")
+	}
+	if s.Session(name) != nil {
+		return nil, fmt.Errorf("focus: stream %q already registered", name)
+	}
+	cleanup := func() {
+		_ = s.deleteStreamRecords(name)
+	}
+	for _, rec := range recs {
+		if err := s.store.Put(rec.Key, rec.Value); err != nil {
+			cleanup()
+			return nil, fmt.Errorf("focus: importing %q: %w", name, err)
+		}
+	}
+	if err := s.store.Put(pendingKey(name), []byte{1}); err != nil {
+		cleanup()
+		return nil, fmt.Errorf("focus: importing %q: %w", name, err)
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], epoch)
+	if err := s.store.Put(epochKey(name), buf[:]); err != nil {
+		cleanup()
+		return nil, fmt.Errorf("focus: importing %q: %w", name, err)
+	}
+	if err := s.store.Sync(); err != nil {
+		cleanup()
+		return nil, fmt.Errorf("focus: importing %q: %w", name, err)
+	}
+	sess, err := s.AddStream(spec)
+	if err != nil {
+		cleanup()
+		return nil, err
+	}
+	restored, err := sess.RestoreLive()
+	if err == nil && !restored {
+		err = fmt.Errorf("focus: imported records for %q hold no checkpoint", name)
+	}
+	if err != nil {
+		s.sessionMu.Lock()
+		delete(s.sessions, name)
+		s.sessionMu.Unlock()
+		cleanup()
+		return nil, err
+	}
+	return sess, nil
+}
+
+// RemoveStream unregisters a stream and deletes its store records (index,
+// checkpoint, epoch, markers). The session's live ingestion must be
+// stopped, or owned by a goroutine that has exited: RemoveStream stops the
+// generator itself but must not race a concurrent AdvanceLive. In-flight
+// queries holding the session finish against its frozen state.
+func (s *System) RemoveStream(name string) error {
+	s.sessionMu.Lock()
+	sess, ok := s.sessions[name]
+	if ok {
+		delete(s.sessions, name)
+	}
+	s.sessionMu.Unlock()
+	if !ok {
+		return fmt.Errorf("focus: unknown stream %q", name)
+	}
+	sess.StopLive()
+	return s.deleteStreamRecords(name)
+}
+
+// deleteStreamRecords removes every store record belonging to a stream.
+func (s *System) deleteStreamRecords(name string) error {
+	keys := []string{snapKey(name), index.MetaKey(name), epochKey(name), pendingKey(name)}
+	s.store.Scan(index.ClusterKeyPrefix(name), func(k string, _ []byte) bool {
+		keys = append(keys, k)
+		return true
+	})
+	for _, k := range keys {
+		if _, ok := s.store.Get(k); !ok {
+			continue
+		}
+		if err := s.store.Delete(k); err != nil {
+			return fmt.Errorf("focus: deleting records of %q: %w", name, err)
+		}
+	}
+	return s.store.Sync()
+}

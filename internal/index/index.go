@@ -335,6 +335,38 @@ func clusterKey(stream string, id ClusterID) string {
 	return fmt.Sprintf("%s%016x", clusterKeyPrefix(stream), uint64(id))
 }
 
+// MetaKey returns the store key holding a stream's index metadata record.
+// Exported for the stream-handoff path, which ships a stream's records
+// between shards by key.
+func MetaKey(stream string) string { return metaKey(stream) }
+
+// ClusterKeyPrefix returns the store key prefix under which a stream's
+// cluster records live; the suffix is the 16-hex-digit cluster ID, so a
+// prefix scan visits records in ascending ID order.
+func ClusterKeyPrefix(stream string) string { return clusterKeyPrefix(stream) }
+
+// ClusterKeyID parses the cluster ID out of a cluster record key, given
+// the stream's prefix. Returns false for keys that are not cluster records
+// of that prefix.
+func ClusterKeyID(key, prefix string) (ClusterID, bool) {
+	if len(key) != len(prefix)+16 || key[:len(prefix)] != prefix {
+		return 0, false
+	}
+	var id uint64
+	for i := len(prefix); i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c >= '0' && c <= '9':
+			id = id<<4 | uint64(c-'0')
+		case c >= 'a' && c <= 'f':
+			id = id<<4 | uint64(c-'a'+10)
+		default:
+			return 0, false
+		}
+	}
+	return ClusterID(id), true
+}
+
 // Save persists the index into the store, replacing any previous index for
 // the same stream.
 func (ix *Index) Save(store *kvstore.Store) error {

@@ -1,0 +1,267 @@
+// Package reshard is the control plane of live shard-map transitions: it
+// moves streams between shards with bit-identical answers throughout.
+//
+// One stream's move is a six-step protocol against the two shards' admin
+// surfaces (internal/serve) plus an ownership flip at the router:
+//
+//	seal     source parks the stream's ingestion at a watermark boundary
+//	         behind a durable checkpoint; answers freeze there
+//	export   source returns the checkpoint's store records
+//	import   destination restores the stream from them — hidden from
+//	         queries and ownership reports, epoch bumped by one
+//	activate destination commits the import, unhides the stream, and
+//	         resumes its live ingestion tail from the sealed watermark
+//	flip     the router atomically reroutes the stream to the destination
+//	         (the Hooks.Flip callback)
+//	release  source drops the stream: standing queries end with a typed
+//	         "moved" bye, late queries get a typed unavailable
+//
+// Both shards replay the same deterministic stream, so the destination's
+// tail ingestion is byte-for-byte the computation the source would have
+// performed: answers at any watermark vector are bit-identical before,
+// during, and after the move. Until the flip, the source keeps serving
+// the sealed watermark; after it, the destination serves and advances.
+// No step leaves the stream unowned, and every client-visible hiccup in
+// the window is a typed not_ready/unavailable.
+//
+// Crash safety: any failure before the flip aborts the move — the source
+// resumes ingestion (or its seal TTL resumes it if the coordinator died
+// too), and the destination discards its import (or its import TTL
+// does). A failure after the flip rolls forward: the destination owns
+// the stream (its higher epoch wins any duplicate report), and a source
+// that could not be released auto-resumes into a harmless shadow whose
+// answers are identical anyway — the router routes to exactly one owner.
+package reshard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"focus/api"
+)
+
+// Step names one stage of a stream move, in protocol order.
+type Step string
+
+// The protocol's steps, in execution order; StepDone marks a completed
+// move.
+const (
+	StepSeal     Step = "seal"
+	StepExport   Step = "export"
+	StepImport   Step = "import"
+	StepActivate Step = "activate"
+	StepFlip     Step = "flip"
+	StepRelease  Step = "release"
+	StepDone     Step = "done"
+)
+
+// Move is one stream's planned migration between shards.
+type Move struct {
+	// Stream is the stream to move.
+	Stream string
+	// From and To name the source and destination shards; FromURL and
+	// ToURL are their base URLs.
+	From    string
+	To      string
+	FromURL string
+	ToURL   string
+}
+
+// Hooks are the coordinator's seams into its host (the router) and into
+// tests.
+type Hooks struct {
+	// Flip atomically reroutes the stream to the destination shard at the
+	// given ownership epoch; wm is the sealed watermark the destination
+	// resumed from. Called exactly once per successful move, after the
+	// destination activated. Required.
+	Flip func(stream, shard string, epoch uint64, wm float64)
+	// OnStep, when set, is called before each protocol step; returning an
+	// error aborts the move there (the crash-matrix tests use it to kill
+	// participants at exact protocol points).
+	OnStep func(m Move, step Step) error
+}
+
+// Config tunes a Coordinator.
+type Config struct {
+	// Client is the HTTP client used against shard admin endpoints; nil
+	// uses a default with a 30s timeout.
+	Client *http.Client
+	// Hooks wire the coordinator to the router's ownership table (Flip)
+	// and to tests (OnStep).
+	Hooks Hooks
+}
+
+// Coordinator executes planned stream moves, one protocol at a time.
+type Coordinator struct {
+	client *http.Client
+	hooks  Hooks
+}
+
+// New builds a Coordinator. Config.Hooks.Flip must be set.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Hooks.Flip == nil {
+		return nil, fmt.Errorf("reshard: Config.Hooks.Flip is required")
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Coordinator{client: client, hooks: cfg.Hooks}, nil
+}
+
+// Result reports one move's outcome.
+type Result struct {
+	Move Move
+	// Step is the protocol step reached: StepDone on success, else the
+	// step that failed.
+	Step Step
+	// Watermark is the sealed watermark the stream moved at (set once the
+	// seal succeeded).
+	Watermark float64
+	// Epoch is the destination's new ownership epoch (set once the import
+	// succeeded).
+	Epoch uint64
+	// Err is nil on success. A move failing before the flip was aborted:
+	// the source still owns the stream. A move failing at or after the
+	// flip rolled forward: the destination owns it.
+	Err error
+}
+
+// Failed reports whether the move failed.
+func (r Result) Failed() bool { return r.Err != nil }
+
+// step runs the OnStep test seam for one protocol step.
+func (c *Coordinator) step(m Move, st Step) error {
+	if c.hooks.OnStep == nil {
+		return nil
+	}
+	if err := c.hooks.OnStep(m, st); err != nil {
+		return fmt.Errorf("reshard: %s %q: %w", st, m.Stream, err)
+	}
+	return nil
+}
+
+// ExecuteMove runs one stream's full handoff protocol. On any failure
+// before the flip it aborts: the source resumes ingestion and the
+// destination's partial import is released (each best-effort — both sides
+// also self-heal by TTL). From the flip on it rolls forward.
+func (c *Coordinator) ExecuteMove(m Move) Result {
+	res := Result{Move: m, Step: StepSeal}
+	abort := func(err error, releaseDest bool) Result {
+		res.Err = err
+		// Best-effort rollback; TTLs on both shards cover a coordinator
+		// that dies before (or while) issuing these.
+		_, _ = c.post(m.FromURL, api.PathAdminResume, api.AdminStreamRequest{Stream: m.Stream}, nil)
+		if releaseDest {
+			_, _ = c.post(m.ToURL, api.PathAdminRelease, api.AdminStreamRequest{Stream: m.Stream}, nil)
+		}
+		return res
+	}
+
+	if err := c.step(m, StepSeal); err != nil {
+		return abort(err, false)
+	}
+	var sealed api.SealResponse
+	if _, err := c.post(m.FromURL, api.PathAdminSeal, api.AdminStreamRequest{Stream: m.Stream}, &sealed); err != nil {
+		return abort(fmt.Errorf("reshard: sealing %q on %s: %w", m.Stream, m.From, err), false)
+	}
+	res.Watermark = sealed.Watermark
+
+	res.Step = StepExport
+	if err := c.step(m, StepExport); err != nil {
+		return abort(err, false)
+	}
+	var export api.StreamExport
+	if _, err := c.post(m.FromURL, api.PathAdminExport, api.AdminStreamRequest{Stream: m.Stream}, &export); err != nil {
+		return abort(fmt.Errorf("reshard: exporting %q from %s: %w", m.Stream, m.From, err), false)
+	}
+
+	res.Step = StepImport
+	if err := c.step(m, StepImport); err != nil {
+		return abort(err, false)
+	}
+	// The destination imports at the next ownership epoch: if both shards
+	// ever report the stream mid-cutover, the router picks the higher.
+	export.Epoch = sealed.Epoch + 1
+	res.Epoch = export.Epoch
+	if _, err := c.post(m.ToURL, api.PathAdminImport, export, nil); err != nil {
+		return abort(fmt.Errorf("reshard: importing %q into %s: %w", m.Stream, m.To, err), true)
+	}
+
+	res.Step = StepActivate
+	if err := c.step(m, StepActivate); err != nil {
+		return abort(err, true)
+	}
+	if _, err := c.post(m.ToURL, api.PathAdminActivate, api.AdminStreamRequest{Stream: m.Stream}, nil); err != nil {
+		return abort(fmt.Errorf("reshard: activating %q on %s: %w", m.Stream, m.To, err), true)
+	}
+
+	// The flip is the commit point: from here the destination owns the
+	// stream and failures roll forward.
+	res.Step = StepFlip
+	if err := c.step(m, StepFlip); err != nil {
+		return abort(err, true)
+	}
+	c.hooks.Flip(m.Stream, m.To, export.Epoch, sealed.Watermark)
+
+	res.Step = StepRelease
+	if err := c.step(m, StepRelease); err != nil {
+		// Post-flip: the destination owns the stream either way. The
+		// unreleased source auto-resumes by TTL into a shadow the router
+		// never routes to (lower epoch); report the move done.
+		res.Err = nil
+		res.Step = StepDone
+		return res
+	}
+	// Roll forward whether or not the release lands: the destination owns
+	// the stream (higher epoch), and an unreleased source auto-resumes by
+	// TTL into a shadow the router never routes to.
+	_, _ = c.post(m.FromURL, api.PathAdminRelease, api.AdminStreamRequest{Stream: m.Stream}, nil)
+	res.Step = StepDone
+	return res
+}
+
+// Execute runs the planned moves sequentially — resharding is a
+// control-plane activity; one in-flight handoff at a time keeps the
+// worst-case query impact to a single stream's typed-retryable window.
+func (c *Coordinator) Execute(moves []Move) []Result {
+	results := make([]Result, 0, len(moves))
+	for _, m := range moves {
+		results = append(results, c.ExecuteMove(m))
+	}
+	return results
+}
+
+// post sends one JSON admin request and decodes the response into out
+// (when non-nil). Non-2xx responses decode the api error envelope into a
+// typed *api.Error.
+func (c *Coordinator) post(base, path string, body, out any) (*http.Response, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequest(http.MethodPost, base+path, bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		return resp, api.DecodeError(resp.StatusCode, msg)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp, fmt.Errorf("decoding %s response: %w", path, err)
+		}
+	}
+	return resp, nil
+}

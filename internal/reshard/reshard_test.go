@@ -1,0 +1,320 @@
+package reshard
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"focus/api"
+)
+
+// fakeShard is a scriptable admin surface: it records every admin call in
+// order and can be told to fail specific paths with a typed error.
+type fakeShard struct {
+	t    *testing.T
+	name string
+
+	mu     sync.Mutex
+	calls  []string
+	failOn map[string]*api.Error
+
+	sealWM    float64
+	sealEpoch uint64
+	// gotImport captures the import payload the coordinator shipped.
+	gotImport *api.StreamExport
+
+	ts *httptest.Server
+}
+
+func newFakeShard(t *testing.T, name string) *fakeShard {
+	f := &fakeShard{t: t, name: name, failOn: map[string]*api.Error{}, sealWM: 42.5, sealEpoch: 3}
+	f.ts = httptest.NewServer(http.HandlerFunc(f.serve))
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+func (f *fakeShard) fail(path string, e *api.Error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failOn[path] = e
+}
+
+func (f *fakeShard) serve(w http.ResponseWriter, r *http.Request) {
+	op := strings.TrimPrefix(r.URL.Path, "/v1/admin/")
+	f.mu.Lock()
+	f.calls = append(f.calls, op)
+	fail := f.failOn[r.URL.Path]
+	f.mu.Unlock()
+	if fail != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(fail.HTTPStatus())
+		_ = json.NewEncoder(w).Encode(api.Envelope{Err: fail})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	switch r.URL.Path {
+	case api.PathAdminSeal:
+		_ = json.NewEncoder(w).Encode(api.SealResponse{Stream: "s", Watermark: f.sealWM, Epoch: f.sealEpoch})
+	case api.PathAdminExport:
+		_ = json.NewEncoder(w).Encode(api.StreamExport{
+			Stream: "s", Spec: json.RawMessage(`{"name":"s"}`), Watermark: f.sealWM, Epoch: f.sealEpoch,
+			Records: []api.HandoffRecord{{Key: "k", Value: []byte("v")}},
+		})
+	case api.PathAdminImport:
+		var exp api.StreamExport
+		_ = json.NewDecoder(r.Body).Decode(&exp)
+		f.mu.Lock()
+		f.gotImport = &exp
+		f.mu.Unlock()
+		_ = json.NewEncoder(w).Encode(map[string]string{"status": "imported"})
+	default:
+		_ = json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+	}
+}
+
+func (f *fakeShard) callLog() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.calls...)
+}
+
+// flipRecorder captures the Flip hook's arguments.
+type flipRecorder struct {
+	mu     sync.Mutex
+	stream string
+	shard  string
+	epoch  uint64
+	wm     float64
+	calls  int
+}
+
+func (fr *flipRecorder) flip(stream, shard string, epoch uint64, wm float64) {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	fr.stream, fr.shard, fr.epoch, fr.wm = stream, shard, epoch, wm
+	fr.calls++
+}
+
+func testMove(src, dst *fakeShard) Move {
+	return Move{Stream: "s", From: "src", To: "dst", FromURL: src.ts.URL, ToURL: dst.ts.URL}
+}
+
+func newTestCoordinator(t *testing.T, hooks Hooks) *Coordinator {
+	t.Helper()
+	c, err := New(Config{Hooks: hooks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewRequiresFlip(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted a config without the Flip hook")
+	}
+}
+
+// TestExecuteMoveHappyPath pins the protocol order, the epoch bump, and
+// the flip arguments of a clean move.
+func TestExecuteMoveHappyPath(t *testing.T) {
+	src, dst := newFakeShard(t, "src"), newFakeShard(t, "dst")
+	fr := &flipRecorder{}
+	var steps []Step
+	c := newTestCoordinator(t, Hooks{
+		Flip:   fr.flip,
+		OnStep: func(m Move, st Step) error { steps = append(steps, st); return nil },
+	})
+
+	res := c.ExecuteMove(testMove(src, dst))
+	if res.Failed() || res.Step != StepDone {
+		t.Fatalf("clean move ended %+v", res)
+	}
+	if res.Watermark != 42.5 || res.Epoch != 4 {
+		t.Fatalf("result wm/epoch %v/%d, want the sealed watermark and source epoch + 1", res.Watermark, res.Epoch)
+	}
+	wantSteps := []Step{StepSeal, StepExport, StepImport, StepActivate, StepFlip, StepRelease}
+	if fmt.Sprint(steps) != fmt.Sprint(wantSteps) {
+		t.Errorf("protocol order %v, want %v", steps, wantSteps)
+	}
+	if got, want := fmt.Sprint(src.callLog()), "[seal export release]"; got != want {
+		t.Errorf("source saw %s, want %s", got, want)
+	}
+	if got, want := fmt.Sprint(dst.callLog()), "[import activate]"; got != want {
+		t.Errorf("destination saw %s, want %s", got, want)
+	}
+	if fr.calls != 1 || fr.stream != "s" || fr.shard != "dst" || fr.epoch != 4 || fr.wm != 42.5 {
+		t.Errorf("flip recorded %+v, want stream s -> dst at epoch 4, wm 42.5", fr)
+	}
+	if dst.gotImport == nil || dst.gotImport.Epoch != 4 {
+		t.Errorf("import shipped epoch %+v, want the bumped epoch 4", dst.gotImport)
+	}
+}
+
+// TestExecuteMoveAbortsBeforeFlip walks a typed failure through each
+// pre-flip step and asserts the abort shape: the source is resumed, the
+// destination released only once it holds state, and the flip never runs.
+func TestExecuteMoveAbortsBeforeFlip(t *testing.T) {
+	cases := []struct {
+		failPath  string
+		onDest    bool
+		step      Step
+		wantSrc   string
+		wantDst   string
+		wantTyped api.Code
+	}{
+		{api.PathAdminSeal, false, StepSeal, "[seal resume]", "[]", api.CodeUnavailable},
+		{api.PathAdminExport, false, StepExport, "[seal export resume]", "[]", api.CodeBadRequest},
+		{api.PathAdminImport, true, StepImport, "[seal export resume]", "[import release]", api.CodeDraining},
+		{api.PathAdminActivate, true, StepActivate, "[seal export resume]", "[import activate release]", api.CodeNotReady},
+	}
+	for _, tc := range cases {
+		t.Run(string(tc.step), func(t *testing.T) {
+			src, dst := newFakeShard(t, "src"), newFakeShard(t, "dst")
+			target := src
+			if tc.onDest {
+				target = dst
+			}
+			target.fail(tc.failPath, api.Errorf(tc.wantTyped, "scripted failure"))
+			fr := &flipRecorder{}
+			c := newTestCoordinator(t, Hooks{Flip: fr.flip})
+
+			res := c.ExecuteMove(testMove(src, dst))
+			if !res.Failed() || res.Step != tc.step {
+				t.Fatalf("move ended %+v, want failure at %s", res, tc.step)
+			}
+			var typed *api.Error
+			if !errors.As(res.Err, &typed) || typed.Code != tc.wantTyped {
+				t.Fatalf("failure %v, want typed %s", res.Err, tc.wantTyped)
+			}
+			if got := fmt.Sprint(src.callLog()); got != tc.wantSrc {
+				t.Errorf("source saw %s, want %s", got, tc.wantSrc)
+			}
+			if got := fmt.Sprint(dst.callLog()); got != tc.wantDst {
+				t.Errorf("destination saw %s, want %s", got, tc.wantDst)
+			}
+			if fr.calls != 0 {
+				t.Errorf("flip ran %d times on an aborted move", fr.calls)
+			}
+		})
+	}
+}
+
+// TestExecuteMoveRollsForwardAfterFlip: once the flip committed, a failed
+// release does not fail the move — the destination owns the stream and the
+// unreleased source is the TTL's problem.
+func TestExecuteMoveRollsForwardAfterFlip(t *testing.T) {
+	src, dst := newFakeShard(t, "src"), newFakeShard(t, "dst")
+	src.fail(api.PathAdminRelease, api.Errorf(api.CodeUnavailable, "scripted crash"))
+	fr := &flipRecorder{}
+	c := newTestCoordinator(t, Hooks{Flip: fr.flip})
+
+	res := c.ExecuteMove(testMove(src, dst))
+	if res.Failed() || res.Step != StepDone {
+		t.Fatalf("move with a failed release ended %+v, want roll-forward to done", res)
+	}
+	if fr.calls != 1 {
+		t.Fatalf("flip ran %d times", fr.calls)
+	}
+}
+
+// TestOnStepAbortsAndRollsForward: the crash seam aborts pre-flip steps
+// and rolls forward at release.
+func TestOnStepAbortsAndRollsForward(t *testing.T) {
+	boom := errors.New("boom")
+	for _, failAt := range []Step{StepSeal, StepFlip} {
+		src, dst := newFakeShard(t, "src"), newFakeShard(t, "dst")
+		fr := &flipRecorder{}
+		c := newTestCoordinator(t, Hooks{
+			Flip: fr.flip,
+			OnStep: func(m Move, st Step) error {
+				if st == failAt {
+					return boom
+				}
+				return nil
+			},
+		})
+		res := c.ExecuteMove(testMove(src, dst))
+		if !res.Failed() || res.Step != failAt || !errors.Is(res.Err, boom) {
+			t.Fatalf("OnStep failure at %s ended %+v", failAt, res)
+		}
+		if fr.calls != 0 {
+			t.Fatalf("flip ran despite the %s abort", failAt)
+		}
+	}
+
+	// At release the flip has committed: the move reports done.
+	src, dst := newFakeShard(t, "src"), newFakeShard(t, "dst")
+	fr := &flipRecorder{}
+	c := newTestCoordinator(t, Hooks{
+		Flip: fr.flip,
+		OnStep: func(m Move, st Step) error {
+			if st == StepRelease {
+				return boom
+			}
+			return nil
+		},
+	})
+	res := c.ExecuteMove(testMove(src, dst))
+	if res.Failed() || res.Step != StepDone || fr.calls != 1 {
+		t.Fatalf("OnStep failure at release ended %+v (flips %d), want roll-forward", res, fr.calls)
+	}
+}
+
+// TestExecuteRunsMovesSequentially covers the batch surface: one result
+// per move, failures isolated to their own move.
+func TestExecuteRunsMovesSequentially(t *testing.T) {
+	srcA, dstA := newFakeShard(t, "srcA"), newFakeShard(t, "dstA")
+	srcB, dstB := newFakeShard(t, "srcB"), newFakeShard(t, "dstB")
+	srcB.fail(api.PathAdminSeal, api.Errorf(api.CodeUnavailable, "scripted failure"))
+	fr := &flipRecorder{}
+	c := newTestCoordinator(t, Hooks{Flip: fr.flip})
+
+	mA, mB := testMove(srcA, dstA), testMove(srcB, dstB)
+	mB.Stream = "other"
+	results := c.Execute([]Move{mA, mB})
+	if len(results) != 2 {
+		t.Fatalf("%d results for 2 moves", len(results))
+	}
+	if results[0].Failed() || results[1].Step != StepSeal || !results[1].Failed() {
+		t.Fatalf("results %+v, want first done and second failed at seal", results)
+	}
+	if fr.calls != 1 {
+		t.Fatalf("flip ran %d times, want once (the clean move)", fr.calls)
+	}
+}
+
+// TestPostDecodesTransportAndTypedErrors pins the two failure shapes of
+// the admin POST helper: transport errors stay untyped, non-2xx bodies
+// decode to *api.Error even when they are not a v1 envelope.
+func TestPostDecodesTransportAndTypedErrors(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close()
+	src := newFakeShard(t, "src")
+	fr := &flipRecorder{}
+	c := newTestCoordinator(t, Hooks{Flip: fr.flip})
+
+	m := Move{Stream: "s", From: "src", To: "dst", FromURL: dead.URL, ToURL: src.ts.URL}
+	res := c.ExecuteMove(m)
+	if !res.Failed() || res.Step != StepSeal {
+		t.Fatalf("move against a dead source ended %+v", res)
+	}
+	var typed *api.Error
+	if errors.As(res.Err, &typed) {
+		t.Fatalf("transport failure decoded as typed %v", typed)
+	}
+
+	raw := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nginx says no", http.StatusBadGateway)
+	}))
+	t.Cleanup(raw.Close)
+	m.FromURL = raw.URL
+	res = c.ExecuteMove(m)
+	if !errors.As(res.Err, &typed) {
+		t.Fatalf("non-envelope 502 did not degrade to a typed error: %v", res.Err)
+	}
+}

@@ -90,7 +90,7 @@ func (r *Router) groupByShard(requested []string, allowPartial bool) (groups, mi
 		if !ok {
 			return nil, nil, api.Errorf(api.CodeUnknownStream, "unknown stream %q", st)
 		}
-		byShard[owner] = append(byShard[owner], st)
+		byShard[owner.shard] = append(byShard[owner.shard], st)
 	}
 	names := make([]string, 0, len(byShard))
 	for n := range byShard {
@@ -703,6 +703,10 @@ func (r *Router) handleStreams(w http.ResponseWriter, req *http.Request) {
 			groups = append(groups, shardGroup{spec: sh.spec})
 		}
 	}
+	owners := make(map[string]streamOwner, len(r.owners))
+	for st, o := range r.owners {
+		owners[st] = o
+	}
 	r.mu.RUnlock()
 	replies := r.scatter(groups, func(g shardGroup) (*http.Response, error) {
 		return r.client.Get(g.spec.URL + api.PathStreams)
@@ -719,6 +723,12 @@ func (r *Router) handleStreams(w http.ResponseWriter, req *http.Request) {
 			continue
 		}
 		for _, st := range statuses {
+			// Mid-cutover a handoff's source and destination may both
+			// report the stream for under a poll round; list only the
+			// resolved owner's copy.
+			if o, ok := owners[st.Name]; ok && o.shard != rep.shard {
+				continue
+			}
 			st.Shard = rep.shard
 			out = append(out, st)
 		}
@@ -776,11 +786,18 @@ type Stats struct {
 	// merged delta frames emitted across all of them; SubscriptionDrops
 	// the subscriptions shed (drop + shard_lost) after a per-shard leg
 	// failed mid-stream.
-	Subscriptions       int64         `json:"subscriptions"`
-	ActiveSubscriptions int64         `json:"subscriptions_active"`
-	DeltaEvents         int64         `json:"delta_events"`
-	SubscriptionDrops   int64         `json:"subscription_drops"`
-	Shards              []ShardStatus `json:"shards"`
+	Subscriptions       int64 `json:"subscriptions"`
+	ActiveSubscriptions int64 `json:"subscriptions_active"`
+	DeltaEvents         int64 `json:"delta_events"`
+	SubscriptionDrops   int64 `json:"subscription_drops"`
+	// Reshards counts /v1/admin/reshard operations accepted; ReshardMoves
+	// streams moved by them; ReshardErrors failed stream moves (each one
+	// aborted or rolled forward per the handoff protocol — see
+	// OPERATIONS.md §"Resharding").
+	Reshards      int64         `json:"reshards"`
+	ReshardMoves  int64         `json:"reshard_moves"`
+	ReshardErrors int64         `json:"reshard_errors"`
+	Shards        []ShardStatus `json:"shards"`
 }
 
 // Snapshot returns the router's counters and shard view (also served at
@@ -810,6 +827,9 @@ func (r *Router) Snapshot() Stats {
 		ActiveSubscriptions: r.subsActive.Load(),
 		DeltaEvents:         r.subDeltas.Load(),
 		SubscriptionDrops:   r.subDrops.Load(),
+		Reshards:            r.reshards.Load(),
+		ReshardMoves:        r.reshardMoves.Load(),
+		ReshardErrors:       r.reshardErrs.Load(),
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()

@@ -1,0 +1,223 @@
+package router
+
+// This file is the router side of live resharding: POST /v1/admin/reshard
+// takes a target shard map and transitions the cluster to it with zero
+// downtime — every stream whose assignment changes is moved by the
+// handoff protocol (internal/reshard) while queries, ingest, and
+// subscriptions keep running, and the router's ownership table flips each
+// stream atomically at its sealed watermark. Shard join and leave fall
+// out of the same operation: a shard present only in the target map is
+// health-gated into the roster and receives its rendezvous share; a shard
+// absent from it drains by handing off every stream it owns and is then
+// dropped from the roster.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+
+	"focus/api"
+	"focus/internal/reshard"
+)
+
+// adminToShardMap converts the wire form of a shard map to the router's.
+func adminToShardMap(in api.AdminShardMap) *ShardMap {
+	out := &ShardMap{Pins: in.Pins}
+	for _, s := range in.Shards {
+		out.Shards = append(out.Shards, ShardSpec{Name: s.Name, URL: s.URL})
+	}
+	return out
+}
+
+// planMoves diffs current stream ownership against the target map's
+// assignment: every stream whose owner differs from its target becomes a
+// planned move, in stream-name order (deterministic execution and
+// output).
+func (r *Router) planMoves(target *ShardMap) []reshard.Move {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	streams := make([]string, 0, len(r.owners))
+	for st := range r.owners {
+		streams = append(streams, st)
+	}
+	sort.Strings(streams)
+	var moves []reshard.Move
+	for _, st := range streams {
+		cur := r.owners[st]
+		want := target.Assign(st)
+		if cur.shard == want.Name {
+			continue
+		}
+		from, ok := r.shards[cur.shard]
+		if !ok {
+			continue
+		}
+		moves = append(moves, reshard.Move{
+			Stream:  st,
+			From:    cur.shard,
+			To:      want.Name,
+			FromURL: from.spec.URL,
+			ToURL:   want.URL,
+		})
+	}
+	return moves
+}
+
+// mergeRoster adds the target map's unknown shards to the live roster
+// (down until polled) and returns their names, so a failed health gate
+// can evict them again.
+func (r *Router) mergeRoster(target *ShardMap) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var added []string
+	for _, spec := range target.Shards {
+		if _, ok := r.shards[spec.Name]; ok {
+			continue
+		}
+		r.shards[spec.Name] = &shardState{spec: spec, state: StateDown, placementOK: true}
+		added = append(added, spec.Name)
+	}
+	return added
+}
+
+// dropShards removes shards from the roster; used to roll a failed
+// roster merge back and to retire departed shards that own nothing.
+func (r *Router) dropShards(names []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, n := range names {
+		delete(r.shards, n)
+	}
+	r.rebuildOwnersLocked()
+}
+
+// gateTargetHealthy requires every shard of the target map to be healthy
+// (a joining shard passes its first poll; an established shard is not
+// down, draining, or in probation) before any stream moves.
+func (r *Router) gateTargetHealthy(target *ShardMap) *api.Error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, spec := range target.Shards {
+		sh, ok := r.shards[spec.Name]
+		if !ok {
+			return api.Errorf(api.CodeNotReady, "shard %q is not in the roster", spec.Name)
+		}
+		if sh.state != StateHealthy {
+			e := api.Errorf(api.CodeNotReady, "shard %q is %s: %s — reshard needs every target shard healthy",
+				spec.Name, sh.state, sh.lastErr)
+			e.Shard = spec.Name
+			return e
+		}
+	}
+	return nil
+}
+
+// departedShards lists roster shards absent from the target map that no
+// longer own any stream — safe to retire after the moves completed.
+func (r *Router) departedShards(target *ShardMap) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	owned := make(map[string]int)
+	for _, o := range r.owners {
+		owned[o.shard]++
+	}
+	var gone []string
+	for name := range r.shards {
+		if _, ok := target.Shard(name); !ok && owned[name] == 0 {
+			gone = append(gone, name)
+		}
+	}
+	sort.Strings(gone)
+	return gone
+}
+
+// handleAdminReshard is POST /v1/admin/reshard: transition the cluster to
+// the posted shard map, live. The response reports every planned move and
+// its outcome; dry_run plans without moving anything. One reshard runs at
+// a time; the request is synchronous (operators curl it and read the
+// moves back).
+func (r *Router) handleAdminReshard(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		r.writeV1Error(w, api.Errorf(api.CodeBadRequest, "POST a JSON body to %s", api.PathAdminReshard))
+		return
+	}
+	var rr api.ReshardRequest
+	if err := json.NewDecoder(req.Body).Decode(&rr); err != nil {
+		r.writeV1Error(w, api.Errorf(api.CodeBadRequest, "bad %s body: %v", api.PathAdminReshard, err))
+		return
+	}
+	target := adminToShardMap(rr.Map)
+	if err := target.Validate(); err != nil {
+		r.writeV1Error(w, api.Errorf(api.CodeBadRequest, "bad target map: %v", err))
+		return
+	}
+	r.resharding.Lock()
+	defer r.resharding.Unlock()
+
+	if rr.DryRun {
+		resp := api.ReshardResponse{DryRun: true, Moves: []api.ReshardMove{}}
+		for _, m := range r.planMoves(target) {
+			resp.Moves = append(resp.Moves, api.ReshardMove{
+				Stream: m.Stream, From: m.From, To: m.To, State: api.MovePlanned,
+			})
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	// Join: unknown target shards enter the roster down, then must pass
+	// the health gate below before any stream moves toward them.
+	added := r.mergeRoster(target)
+	r.refresh()
+	if aerr := r.gateTargetHealthy(target); aerr != nil {
+		r.dropShards(added)
+		r.writeV1Error(w, aerr)
+		return
+	}
+	r.reshards.Add(1)
+
+	coord, err := reshard.New(reshard.Config{
+		Client: r.client,
+		Hooks:  reshard.Hooks{Flip: r.applyFlip, OnStep: r.reshardOnStep},
+	})
+	if err != nil {
+		r.writeV1Error(w, api.Errorf(api.CodeInternal, "building coordinator: %v", err))
+		return
+	}
+	moves := r.planMoves(target)
+	resp := api.ReshardResponse{Moves: []api.ReshardMove{}}
+	for _, res := range coord.Execute(moves) {
+		out := api.ReshardMove{
+			Stream:    res.Move.Stream,
+			From:      res.Move.From,
+			To:        res.Move.To,
+			Watermark: res.Watermark,
+			Epoch:     res.Epoch,
+		}
+		if res.Failed() {
+			out.State = api.MoveFailed
+			out.Error = fmt.Sprintf("%s: %v", res.Step, res.Err)
+			resp.Failed++
+			r.reshardErrs.Add(1)
+		} else {
+			out.State = api.MoveDone
+			resp.Moved++
+			r.reshardMoves.Add(1)
+		}
+		resp.Moves = append(resp.Moves, out)
+	}
+
+	// The target map becomes placement policy even if some moves failed:
+	// failed moves were aborted in place (the source still owns and serves
+	// the stream; placement_ok flags the mismatch) and a retried reshard
+	// picks them up.
+	r.mu.Lock()
+	r.cfg.Map = target
+	r.mu.Unlock()
+	r.refresh()
+	// Leave: roster shards outside the target map retire once they own
+	// nothing (a failed move keeps its source alive until retried).
+	r.dropShards(r.departedShards(target))
+	writeJSON(w, http.StatusOK, resp)
+}

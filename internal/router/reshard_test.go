@@ -1,0 +1,546 @@
+package router_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"focus"
+	"focus/api"
+	"focus/client"
+	"focus/internal/loadgen"
+	"focus/internal/reshard"
+	"focus/internal/router"
+	"focus/internal/serve"
+)
+
+// breaker simulates a participant crash at the network level: while down,
+// every connection is severed mid-request (the transport error a dead
+// process produces), and a "restarted" process is modeled by restoring
+// the passthrough. Every test shard is fronted by one.
+type breaker struct {
+	mu   sync.Mutex
+	h    http.Handler
+	down bool
+}
+
+func (b *breaker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	b.mu.Lock()
+	h, down := b.h, b.down
+	b.mu.Unlock()
+	if down {
+		panic(http.ErrAbortHandler)
+	}
+	h.ServeHTTP(w, r)
+}
+
+func (b *breaker) kill()    { b.mu.Lock(); b.down = true; b.mu.Unlock() }
+func (b *breaker) restore() { b.mu.Lock(); b.down = false; b.mu.Unlock() }
+
+// bootEmptyShard boots one shard with zero streams — the elastic-tier
+// join fixture: it comes up healthy and empty and receives its share
+// through live handoff when a reshard targets it.
+func bootEmptyShard(t *testing.T, name string, scfg serve.Config) *testShard {
+	t.Helper()
+	if scfg.Window.DurationSec <= 0 {
+		scfg.Window = focus.GenOptions{DurationSec: 60, SampleEvery: 1}
+	}
+	if scfg.TuneWindow.DurationSec <= 0 {
+		scfg.TuneWindow = focus.GenOptions{DurationSec: 30, SampleEvery: 1}
+	}
+	scfg.AllowNoStreams = true
+	sys, err := focus.New(focusConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	srv := serve.New(sys, scfg)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Stop)
+	brk := &breaker{h: srv.Handler()}
+	ts := httptest.NewServer(brk)
+	t.Cleanup(ts.Close)
+	return &testShard{name: name, sys: sys, srv: srv, http: ts, brk: brk}
+}
+
+// adminMap builds the wire form of a target shard map from shards + pins.
+func adminMap(pins map[string]string, shards ...*testShard) api.AdminShardMap {
+	m := api.AdminShardMap{Pins: pins}
+	for _, sh := range shards {
+		m.Shards = append(m.Shards, api.AdminShardSpec{Name: sh.name, URL: sh.http.URL})
+	}
+	return m
+}
+
+// waitOwner polls the router's discovery view until the named shard owns
+// the stream.
+func (c *testCluster) waitOwner(stream, shard string) {
+	c.t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, ss := range c.rt.Snapshot().Shards {
+			if ss.Name != shard {
+				continue
+			}
+			for _, st := range ss.Streams {
+				if st == stream {
+					return
+				}
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	c.t.Fatalf("shard %s never took ownership of %s: %+v", shard, stream, c.rt.Snapshot().Shards)
+}
+
+// waitIngestDone polls through the router until the stream's watermark
+// reaches wm (background-ingest fixtures settling before assertions).
+func (c *testCluster) waitIngestDone(stream string, wm float64) {
+	c.t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		qr, err := c.cli.Query(context.Background(), &api.QueryRequest{Expr: "car", Streams: []string{stream}})
+		if err == nil && qr.Watermarks[stream] >= wm {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	c.t.Fatalf("stream %s never reached watermark %.0f", stream, wm)
+}
+
+// TestReshardDryRunPlansMoves pins the offline half of the admin surface:
+// a dry-run reshard reports exactly the streams whose assignment changes,
+// in stream order, and moves nothing.
+func TestReshardDryRunPlansMoves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a 2-shard cluster")
+	}
+	c := bootTestCluster(t,
+		[][]string{{"auburn_c", "jacksonh"}, {"city_a_d"}},
+		serve.Config{NoBackgroundIngest: true},
+		false)
+	c.advance("auburn_c", 10)
+	c.advance("jacksonh", 10)
+	c.advance("city_a_d", 10)
+
+	target := adminMap(map[string]string{
+		"auburn_c": "shard-0", "jacksonh": "shard-1", "city_a_d": "shard-1",
+	}, c.shards...)
+	resp, err := c.cli.Reshard(context.Background(), target, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.DryRun || len(resp.Moves) != 1 {
+		t.Fatalf("dry run planned %+v, want exactly the jacksonh move", resp)
+	}
+	m := resp.Moves[0]
+	if m.Stream != "jacksonh" || m.From != "shard-0" || m.To != "shard-1" || m.State != api.MovePlanned {
+		t.Fatalf("planned move %+v, want jacksonh shard-0 -> shard-1 planned", m)
+	}
+	// Nothing moved: the source still owns and serves the stream.
+	if _, err := c.cli.Query(context.Background(), &api.QueryRequest{Expr: "car", Streams: []string{"jacksonh"}}); err != nil {
+		t.Fatalf("query after dry run: %v", err)
+	}
+	c.waitOwner("jacksonh", "shard-0")
+
+	// An unreachable target shard fails the health gate with a typed
+	// not_ready naming the shard — and rolls the roster merge back.
+	bad := target
+	bad.Shards = append([]api.AdminShardSpec{}, target.Shards...)
+	bad.Shards = append(bad.Shards, api.AdminShardSpec{Name: "shard-x", URL: "http://127.0.0.1:1"})
+	if _, err := c.cli.Reshard(context.Background(), bad, false); !api.IsCode(err, api.CodeNotReady) {
+		t.Fatalf("reshard toward an unreachable shard: %v, want not_ready", err)
+	}
+	for _, ss := range c.rt.Snapshot().Shards {
+		if ss.Name == "shard-x" {
+			t.Fatalf("failed health gate left shard-x in the roster")
+		}
+	}
+}
+
+// trafficLog collects racing-traffic outcomes for the acceptance test: the
+// contract is zero untyped errors, only transient typed codes, and every
+// successful answer bit-identical to the reference execution.
+type trafficLog struct {
+	mu       sync.Mutex
+	oks      int
+	typed    map[api.Code]int
+	untyped  []string
+	verify   []string
+	badTyped []string
+}
+
+func (l *trafficLog) record(err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err == nil {
+		l.oks++
+		return
+	}
+	var typed *api.Error
+	if !errors.As(err, &typed) {
+		l.untyped = append(l.untyped, err.Error())
+		return
+	}
+	switch typed.Code {
+	case api.CodeNotReady, api.CodeUnavailable, api.CodeShardDown, api.CodeOverloaded:
+		if l.typed == nil {
+			l.typed = map[api.Code]int{}
+		}
+		l.typed[typed.Code]++
+	default:
+		l.badTyped = append(l.badTyped, typed.Error())
+	}
+}
+
+func (l *trafficLog) recordVerify(err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.verify = append(l.verify, err.Error())
+}
+
+func (l *trafficLog) assertClean(t *testing.T, what string) {
+	t.Helper()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.oks == 0 {
+		t.Errorf("%s: no successful responses sampled", what)
+	}
+	for _, e := range l.untyped {
+		t.Errorf("%s: untyped client-visible error during cutover: %s", what, e)
+	}
+	for _, e := range l.badTyped {
+		t.Errorf("%s: unexpected typed error during cutover: %s", what, e)
+	}
+	for _, e := range l.verify {
+		t.Errorf("%s: answer diverges from the reference execution: %s", what, e)
+	}
+	t.Logf("%s: %d verified answers, transient typed errors: %v", what, l.oks, l.typed)
+}
+
+// TestReshardBitIdenticalUnderLiveTraffic is the acceptance pin for the
+// elastic shard tier: a live 2→3 shard-map transition followed by a 3→2
+// one, under racing ingest + query + subscription traffic, with every
+// sampled answer bit-identical to a reference single node holding all
+// streams and zero untyped client-visible errors throughout.
+func TestReshardBitIdenticalUnderLiveTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a 3-shard cluster plus a reference system under live traffic")
+	}
+	scfg := serve.Config{ChunkSec: 2, IngestInterval: 250 * time.Millisecond}
+	c := bootTestCluster(t,
+		[][]string{{"auburn_c", "jacksonh"}, {"city_a_d"}},
+		scfg, true)
+	joined := bootEmptyShard(t, "shard-2", scfg)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	frames, ranked := &trafficLog{}, &trafficLog{}
+	verify := loadgen.NewDirectVerifier(c.ref)
+	verifyPlan := loadgen.NewDirectPlanVerifier(c.ref)
+
+	// Racing queries: one worker on the frames form, one on the ranked
+	// form, both verifying every successful answer against the reference.
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			qr, err := c.cli.Query(ctx, &api.QueryRequest{Expr: "car"})
+			frames.record(err)
+			if err == nil {
+				if verr := verify(qr); verr != nil {
+					frames.recordVerify(verr)
+				}
+			}
+			time.Sleep(40 * time.Millisecond)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			qr, err := c.cli.Query(ctx, &api.QueryRequest{Expr: "car & person", TopK: 5})
+			ranked.record(err)
+			if err == nil {
+				if verr := verifyPlan(qr); verr != nil {
+					ranked.recordVerify(verr)
+				}
+			}
+			time.Sleep(40 * time.Millisecond)
+		}
+	}()
+
+	// Racing subscription on the stream that moves, with enough retry
+	// budget to ride the cutovers; the Subscriber itself verifies the
+	// delta sequence stays contiguous across every transparent resume.
+	subCli := client.New(c.http.URL, client.WithRetries(10, 50*time.Millisecond))
+	sub, err := subCli.Subscribe(ctx, &api.SubscribeRequest{Expr: "car", Streams: []string{"jacksonh"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	var subDeltas int
+	var subErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			if _, err := sub.Recv(); err != nil {
+				select {
+				case <-stop: // deliberate teardown below
+				default:
+					if err != io.EOF {
+						subErr = err
+					}
+				}
+				return
+			}
+			subDeltas++
+		}
+	}()
+
+	// 2→3: shard-2 joins and takes jacksonh, live.
+	grow := adminMap(map[string]string{
+		"auburn_c": "shard-0", "jacksonh": "shard-2", "city_a_d": "shard-1",
+	}, c.shards[0], c.shards[1], joined)
+	resp, err := c.cli.Reshard(ctx, grow, false)
+	if err != nil {
+		t.Fatalf("2→3 reshard: %v", err)
+	}
+	if resp.Failed != 0 || resp.Moved != 1 || len(resp.Moves) != 1 {
+		t.Fatalf("2→3 reshard outcome %+v, want one completed move", resp)
+	}
+	if m := resp.Moves[0]; m.Stream != "jacksonh" || m.State != api.MoveDone || m.Epoch != 1 {
+		t.Fatalf("2→3 move %+v, want jacksonh done at epoch 1", m)
+	}
+	c.waitOwner("jacksonh", "shard-2")
+
+	time.Sleep(1 * time.Second) // traffic against the 3-shard layout
+
+	// 3→2: shard-2 drains its share back and leaves the roster.
+	shrink := adminMap(map[string]string{
+		"auburn_c": "shard-0", "jacksonh": "shard-0", "city_a_d": "shard-1",
+	}, c.shards[0], c.shards[1])
+	resp, err = c.cli.Reshard(ctx, shrink, false)
+	if err != nil {
+		t.Fatalf("3→2 reshard: %v", err)
+	}
+	if resp.Failed != 0 || resp.Moved != 1 {
+		t.Fatalf("3→2 reshard outcome %+v, want one completed move", resp)
+	}
+	if m := resp.Moves[0]; m.Stream != "jacksonh" || m.State != api.MoveDone || m.Epoch != 2 {
+		t.Fatalf("3→2 move %+v, want jacksonh done at epoch 2", m)
+	}
+	c.waitOwner("jacksonh", "shard-0")
+	for _, ss := range c.rt.Snapshot().Shards {
+		if ss.Name == "shard-2" {
+			t.Fatalf("departed shard-2 still in the roster: %+v", ss)
+		}
+	}
+
+	time.Sleep(1 * time.Second) // traffic against the restored 2-shard layout
+	close(stop)
+	sub.Close()
+	cancel()
+	wg.Wait()
+
+	frames.assertClean(t, "frames queries")
+	ranked.assertClean(t, "ranked queries")
+	if subErr != nil {
+		t.Errorf("subscription broke across the cutovers: %v", subErr)
+	}
+	if subDeltas == 0 {
+		t.Error("subscription delivered no deltas under live ingest")
+	}
+	if sub.Reconnects() == 0 {
+		t.Error("subscription rode zero reconnects across two moves of its stream")
+	}
+	t.Logf("subscription: %d deltas, %d transparent reconnects", subDeltas, sub.Reconnects())
+
+	// The moved stream's answers stay pinned-replay bit-identical at rest.
+	qr, err := client.New(c.http.URL).Query(context.Background(), &api.QueryRequest{Expr: "car", Streams: []string{"jacksonh"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify(qr); err != nil {
+		t.Errorf("post-reshard answer diverges from reference: %v", err)
+	}
+	st := c.rt.Snapshot()
+	if st.ReshardMoves < 2 || st.Reshards < 2 {
+		t.Errorf("reshard counters %d ops / %d moves, want ≥2 each", st.Reshards, st.ReshardMoves)
+	}
+}
+
+// TestReshardCrashMatrix kills the source or the destination at each
+// protocol step of a live handoff and asserts the crash-safety contract:
+// the stream ends up owned by exactly one shard, every client-visible
+// error during the disruption is typed, and once the dead participant
+// heals the stream's answers are pinned-replay bit-identical to the
+// reference execution.
+func TestReshardCrashMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a 3-shard cluster plus a reference system")
+	}
+	// Short handoff TTL: half-done state (a sealed source, an unactivated
+	// import) must self-heal fast enough to observe. Full-speed background
+	// ingest: the matrix runs against quiescent finished streams so every
+	// scenario sees identical watermarks.
+	scfg := serve.Config{HandoffTTL: 500 * time.Millisecond}
+	c := bootTestCluster(t,
+		[][]string{{"auburn_c", "jacksonh"}, {"city_a_d"}},
+		scfg, true)
+	joined := bootEmptyShard(t, "shard-2", scfg)
+	for _, st := range c.streams {
+		c.waitIngestDone(st, 60)
+	}
+
+	// Every test shard is fronted by a breaker (the harness wires one in);
+	// the matrix severs the source's or the destination's.
+	srcBrk, dstBrk := c.shards[0].brk, joined.brk
+	target := adminMap(map[string]string{
+		"auburn_c": "shard-0", "jacksonh": "shard-2", "city_a_d": "shard-1",
+	}, c.shards[0], c.shards[1], joined)
+
+	verify := loadgen.NewDirectVerifier(c.ref)
+	ctx := context.Background()
+	// healSource waits out the source's recovery: breaker restored, the
+	// router's probation passed, and any sealed state TTL-resumed.
+	healSource := func() {
+		t.Helper()
+		srcBrk.restore()
+		c.waitShardState("shard-0", router.StateHealthy)
+		deadline := time.Now().Add(5 * time.Second)
+		for c.shards[0].srv.Sealed("jacksonh") {
+			if time.Now().After(deadline) {
+				t.Fatal("sealed source never TTL-resumed")
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+	assertOwnedBySource := func(step reshard.Step) {
+		t.Helper()
+		c.waitOwner("jacksonh", "shard-0")
+		qr, err := c.cli.Query(ctx, &api.QueryRequest{Expr: "car", Streams: []string{"jacksonh"}})
+		if err != nil {
+			t.Fatalf("kill at %s: query after recovery: %v", step, err)
+		}
+		if err := verify(qr); err != nil {
+			t.Errorf("kill at %s: recovered answer diverges from reference: %v", step, err)
+		}
+	}
+
+	matrix := []struct {
+		step reshard.Step
+		brk  *breaker
+		who  string
+	}{
+		{reshard.StepSeal, srcBrk, "source"},
+		{reshard.StepExport, srcBrk, "source"},
+		{reshard.StepImport, dstBrk, "destination"},
+		{reshard.StepActivate, dstBrk, "destination"},
+	}
+	for _, m := range matrix {
+		t.Logf("killing %s before %s", m.who, m.step)
+		c.rt.SetReshardOnStep(func(mv reshard.Move, step reshard.Step) error {
+			if step == m.step {
+				m.brk.kill()
+			}
+			return nil
+		})
+		resp, err := c.cli.Reshard(ctx, target, false)
+		if err != nil {
+			t.Fatalf("kill at %s: reshard request itself failed: %v", m.step, err)
+		}
+		if resp.Failed != 1 || resp.Moved != 0 {
+			t.Fatalf("kill at %s: outcome %+v, want the move aborted", m.step, resp)
+		}
+		if mv := resp.Moves[0]; mv.State != api.MoveFailed || !strings.Contains(mv.Error, string(m.step)) {
+			t.Fatalf("kill at %s: move %+v, want failure at that step", m.step, mv)
+		}
+		// While the participant is dead, the stream must answer with typed
+		// errors only — owned by the (possibly unreachable) source, never
+		// half-owned by the destination.
+		if _, err := c.cli.Query(ctx, &api.QueryRequest{Expr: "car", Streams: []string{"jacksonh"}}); err != nil {
+			var typed *api.Error
+			if !errors.As(err, &typed) {
+				t.Fatalf("kill at %s: untyped error during disruption: %v", m.step, err)
+			}
+		}
+		m.brk.restore()
+		healSource()
+		c.waitShardState("shard-2", router.StateHealthy)
+		// A dest that crashed holding an unactivated import must TTL-
+		// discard it (never cold-start into serving); wait it out so the
+		// next scenario starts from a clean destination.
+		discardDeadline := time.Now().Add(5 * time.Second)
+		for joined.sys.Session("jacksonh") != nil {
+			if time.Now().After(discardDeadline) {
+				t.Fatalf("kill at %s: destination never discarded its unactivated import", m.step)
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		assertOwnedBySource(m.step)
+	}
+
+	// Post-flip crash: the source dies before release. The cutover already
+	// committed, so the protocol rolls forward — the destination owns and
+	// serves the stream, and the dead source's stale claim loses to the
+	// destination's higher ownership epoch when it comes back.
+	c.rt.SetReshardOnStep(func(mv reshard.Move, step reshard.Step) error {
+		if step == reshard.StepRelease {
+			srcBrk.kill()
+		}
+		return nil
+	})
+	resp, err := c.cli.Reshard(ctx, target, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Failed != 0 || resp.Moved != 1 {
+		t.Fatalf("kill at release: outcome %+v, want roll-forward to done", resp)
+	}
+	c.waitOwner("jacksonh", "shard-2")
+	qr, err := c.cli.Query(ctx, &api.QueryRequest{Expr: "car", Streams: []string{"jacksonh"}})
+	if err != nil {
+		t.Fatalf("query against the destination after roll-forward: %v", err)
+	}
+	if err := verify(qr); err != nil {
+		t.Errorf("destination answer diverges from reference: %v", err)
+	}
+
+	// The source heals still holding its pre-move copy (its release never
+	// ran). Both shards now report the stream; the router must resolve the
+	// duplicate by ownership epoch — the destination's import (epoch 1)
+	// beats the source's never-moved copy (epoch 0) — and keep routing to
+	// the destination with bit-identical answers.
+	srcBrk.restore()
+	c.waitShardState("shard-0", router.StateHealthy)
+	time.Sleep(300 * time.Millisecond) // a few discovery rounds with both claims live
+	c.waitOwner("jacksonh", "shard-2")
+	qr, err = c.cli.Query(ctx, &api.QueryRequest{Expr: "car", Streams: []string{"jacksonh"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify(qr); err != nil {
+		t.Errorf("epoch-resolved answer diverges from reference: %v", err)
+	}
+}

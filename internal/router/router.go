@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"focus/api"
+	"focus/internal/reshard"
 )
 
 // Config tunes a Router.
@@ -119,11 +120,14 @@ const (
 // keeps its last-known streams so queries for them fail with an explicit
 // "shard down" 503 instead of "unknown stream".
 type shardState struct {
-	spec        ShardSpec
-	state       string
-	lastErr     string
-	streams     []string
-	watermarks  map[string]float64
+	spec       ShardSpec
+	state      string
+	lastErr    string
+	streams    []string
+	watermarks map[string]float64
+	// epochs are the per-stream ownership epochs the shard last reported;
+	// duplicates mid-handoff resolve to the higher epoch.
+	epochs      map[string]uint64
 	placementOK bool
 	// polled is false until the first health poll: the very first healthy
 	// observation readmits directly (there is no outage to be suspicious
@@ -148,10 +152,25 @@ type Router struct {
 	stopped   sync.Once
 	wg        sync.WaitGroup
 
-	// mu guards the discovery state below.
+	// mu guards the discovery state below. cfg.Map is also mutated under
+	// mu (live resharding swaps it); readers snapshot it before I/O.
 	mu     sync.RWMutex
 	shards map[string]*shardState
-	owners map[string]string // stream -> shard name
+	owners map[string]streamOwner
+	// reshardOnStep, when non-nil, is called before every handoff protocol
+	// step of a reshard; an error aborts that stream's move there. The
+	// crash-matrix tests use it to kill participants at exact protocol
+	// points; production leaves it nil.
+	reshardOnStep func(m reshard.Move, step reshard.Step) error
+
+	// flips are reshard-coordinator ownership overrides: a completed
+	// handoff reroutes the stream to its destination the instant the
+	// cutover commits, without waiting a poll round. Each entry is cleared
+	// once discovery converges on it (the destination reports the stream
+	// at or past the flipped epoch).
+	flips map[string]streamOwner
+	// resharding serializes /v1/admin/reshard operations.
+	resharding sync.Mutex
 
 	// counters
 	queries      atomic.Int64
@@ -176,6 +195,22 @@ type Router struct {
 	subsActive atomic.Int64
 	subDeltas  atomic.Int64
 	subDrops   atomic.Int64
+	// reshard counters: operations accepted, streams moved, and failed
+	// moves (see OPERATIONS.md §"Resharding").
+	reshards     atomic.Int64
+	reshardMoves atomic.Int64
+	reshardErrs  atomic.Int64
+}
+
+// streamOwner is one stream's resolved owner: the shard serving it, at
+// the stream's ownership epoch (0 = never moved). When two shards report
+// the same stream mid-cutover, the higher epoch wins — the handoff
+// destination imports at source epoch + 1, so the router's choice is
+// deterministic and lands on the shard that will keep advancing the
+// stream.
+type streamOwner struct {
+	shard string
+	epoch uint64
 }
 
 // New validates the shard map and builds a router. Start must be called
@@ -193,7 +228,8 @@ func New(cfg Config) (*Router, error) {
 		client: cfg.Client,
 		stopCh: make(chan struct{}),
 		shards: make(map[string]*shardState, len(cfg.Map.Shards)),
-		owners: make(map[string]string),
+		owners: make(map[string]streamOwner),
+		flips:  make(map[string]streamOwner),
 	}
 	if r.client == nil {
 		// A dedicated transport with a deep idle pool per shard host:
@@ -224,6 +260,10 @@ func New(cfg Config) (*Router, error) {
 	r.mux.HandleFunc("/streams", r.handleStreams)
 	r.mux.HandleFunc("/stats", r.handleStats)
 	r.mux.HandleFunc("/healthz", r.handleHealthz)
+	// Live shard-map transitions (see reshard.go and internal/reshard).
+	// Unauthenticated like the rest of the surface: the port must stay
+	// inside the trust boundary (OPERATIONS.md §7).
+	r.mux.HandleFunc(api.PathAdminReshard, r.handleAdminReshard)
 	return r, nil
 }
 
@@ -279,14 +319,23 @@ func (r *Router) pollLoop() {
 }
 
 // refresh polls every shard's /healthz and /streams concurrently and
-// republishes the router's view: shard states, stream ownership, and
-// per-stream watermarks.
+// republishes the router's view: shard states, stream ownership (epoch-
+// resolved), and per-stream watermarks. The roster polled is the live
+// shard set — during a reshard this is the union of old and new maps, so
+// joining shards are health-gated before any stream moves to them.
 func (r *Router) refresh() {
-	specs := r.cfg.Map.Shards
+	r.mu.RLock()
+	placement := r.cfg.Map
+	specs := make([]ShardSpec, 0, len(r.shards))
+	for _, name := range r.shardNamesLocked() {
+		specs = append(specs, r.shards[name].spec)
+	}
+	r.mu.RUnlock()
 	type polled struct {
 		state      string
 		lastErr    string
 		streams    []string
+		epochs     map[string]uint64
 		watermarks map[string]float64
 	}
 	results := make([]polled, len(specs))
@@ -308,9 +357,11 @@ func (r *Router) refresh() {
 				return
 			}
 			p.watermarks = make(map[string]float64, len(statuses))
+			p.epochs = make(map[string]uint64, len(statuses))
 			for _, st := range statuses {
 				p.streams = append(p.streams, st.Name)
 				p.watermarks[st.Name] = st.Watermark
+				p.epochs[st.Name] = st.Epoch
 			}
 			sort.Strings(p.streams)
 		}(i, spec)
@@ -321,6 +372,11 @@ func (r *Router) refresh() {
 	defer r.mu.Unlock()
 	for i, spec := range specs {
 		sh := r.shards[spec.Name]
+		if sh == nil || sh.spec.URL != spec.URL {
+			// The roster changed under the poll (a reshard removed or
+			// replaced the shard); drop the stale result.
+			continue
+		}
 		p := results[i]
 		switch {
 		case p.state != StateHealthy:
@@ -342,31 +398,84 @@ func (r *Router) refresh() {
 		}
 		sh.polled = true
 		if p.state != StateDown {
-			sh.streams, sh.watermarks = p.streams, p.watermarks
+			sh.streams, sh.watermarks, sh.epochs = p.streams, p.watermarks, p.epochs
 			sh.placementOK = true
 			for _, st := range p.streams {
-				if r.cfg.Map.Assign(st).Name != spec.Name {
+				if placement.Assign(st).Name != spec.Name {
 					sh.placementOK = false
 				}
 			}
 		}
 	}
-	// Ownership: last-known streams win, shards visited in name order so a
-	// (misconfigured) duplicate resolves deterministically; the duplicate is
-	// also surfaced as placement breakage on the later shard.
-	owners := make(map[string]string)
+	r.rebuildOwnersLocked()
+}
+
+// rebuildOwnersLocked recomputes stream ownership from the shards'
+// last-known streams. A stream reported by two shards resolves to the
+// higher ownership epoch — the expected (and harmless) shape mid-handoff,
+// where source and destination overlap for under a poll round; an
+// equal-epoch duplicate is real misconfiguration and is surfaced as
+// placement breakage on the later shard (name order, so deterministic).
+// Reshard flips override the polled view until discovery converges on
+// them.
+func (r *Router) rebuildOwnersLocked() {
+	owners := make(map[string]streamOwner)
 	for _, name := range r.shardNamesLocked() {
 		sh := r.shards[name]
 		for _, st := range sh.streams {
-			if prev, dup := owners[st]; dup {
-				sh.placementOK = false
-				sh.lastErr = fmt.Sprintf("stream %q also served by shard %q", st, prev)
-				continue
+			cand := streamOwner{shard: name, epoch: sh.epochs[st]}
+			prev, dup := owners[st]
+			if dup {
+				if cand.epoch == prev.epoch {
+					sh.placementOK = false
+					sh.lastErr = fmt.Sprintf("stream %q also served by shard %q", st, prev.shard)
+					continue
+				}
+				if cand.epoch < prev.epoch {
+					continue
+				}
 			}
-			owners[st] = name
+			owners[st] = cand
 		}
 	}
+	for st, flip := range r.flips {
+		cur, ok := owners[st]
+		if ok && cur.shard == flip.shard && cur.epoch >= flip.epoch {
+			// Discovery caught up with the cutover; the override has done
+			// its job.
+			delete(r.flips, st)
+			continue
+		}
+		owners[st] = flip
+	}
 	r.owners = owners
+}
+
+// applyFlip is the reshard coordinator's commit point: the stream is
+// rerouted to its destination shard immediately and atomically, ahead of
+// the next discovery round.
+func (r *Router) applyFlip(stream, shard string, epoch uint64, wm float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	flip := streamOwner{shard: shard, epoch: epoch}
+	r.flips[stream] = flip
+	r.owners[stream] = flip
+	if sh := r.shards[shard]; sh != nil && sh.watermarks != nil {
+		// Seed the destination's watermark view with the sealed watermark
+		// so the stale poll view never reads as a regression.
+		if sh.watermarks[stream] < wm {
+			sh.watermarks[stream] = wm
+		}
+	}
+}
+
+// SetReshardOnStep installs a hook called before every handoff protocol
+// step of a reshard; a non-nil return aborts that stream's move at that
+// step. It is a crash-drill seam: the crash-matrix tests use it to kill
+// participants at exact protocol points. Production leaves it unset.
+// Not safe to call while a reshard is in flight.
+func (r *Router) SetReshardOnStep(fn func(m reshard.Move, step reshard.Step) error) {
+	r.reshardOnStep = fn
 }
 
 func (r *Router) shardNamesLocked() []string {

@@ -28,6 +28,9 @@ type testShard struct {
 	sys  *focus.System
 	srv  *serve.Server
 	http *httptest.Server
+	// brk fronts the shard's handler; the crash-matrix tests sever it to
+	// model the shard process dying. Passes through when healthy.
+	brk *breaker
 }
 
 // testCluster boots shards (one per entry of placement, each owning that
@@ -75,9 +78,10 @@ func bootTestCluster(t *testing.T, placement [][]string, scfg serve.Config, with
 			c.streams = append(c.streams, st)
 		}
 		srv := serve.New(sys, scfg)
-		ts := httptest.NewServer(srv.Handler())
+		brk := &breaker{h: srv.Handler()}
+		ts := httptest.NewServer(brk)
 		t.Cleanup(ts.Close)
-		sh := &testShard{name: fmt.Sprintf("shard-%d", i), sys: sys, srv: srv, http: ts}
+		sh := &testShard{name: fmt.Sprintf("shard-%d", i), sys: sys, srv: srv, http: ts, brk: brk}
 		c.shards = append(c.shards, sh)
 		smap.Shards = append(smap.Shards, router.ShardSpec{Name: sh.name, URL: ts.URL})
 		for _, st := range streams {

@@ -152,7 +152,11 @@ func (r *Router) handleV1Subscribe(w http.ResponseWriter, req *http.Request) {
 		lreq := sreq
 		lreq.Streams = g.streams
 		lreq.From = subVector(sreq.From, g.streams)
-		leg, err := client.New(g.spec.URL).Subscribe(ctx, &lreq)
+		// Terminal moves: a leg points at one shard, so when that shard
+		// hands a stream off the leg cannot re-resolve the new owner by
+		// reconnecting — the moved bye must surface here and propagate to
+		// the client, whose own reconnect re-resolves through the router.
+		leg, err := client.New(g.spec.URL, client.WithTerminalMoves()).Subscribe(ctx, &lreq)
 		if err != nil {
 			closeLegs()
 			var typed *api.Error
@@ -274,9 +278,11 @@ func (r *Router) handleV1Subscribe(w http.ResponseWriter, req *http.Request) {
 					return
 				}
 			case ev.reason != "":
-				// Draining (or any future deliberate shutdown) on one
-				// shard ends the routed subscription: its deltas can no
-				// longer cover the full stream set.
+				// A deliberate shutdown on one shard — draining, or a
+				// stream handed off mid-reshard (moved) — ends the routed
+				// subscription with that leg's typed reason: its deltas can
+				// no longer cover the full stream set, and on moved the
+				// client's reconnect re-resolves ownership through us.
 				_ = writeSSEFrame(w, flusher, &api.SubscribeEvent{
 					V: api.SSEVersion, Type: api.EventBye, Reason: ev.reason})
 				return

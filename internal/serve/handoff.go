@@ -1,0 +1,528 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+
+	"focus"
+	"focus/api"
+)
+
+// This file is the shard side of live stream handoff (DESIGN.md §12): the
+// /v1/admin/* endpoints a reshard coordinator drives, and the seal
+// machinery that parks one stream's ingestion at a watermark boundary
+// while its checkpoint ships to another shard. Like /drain, the admin
+// surface is unauthenticated and must stay inside the trust boundary.
+//
+// Handoff protocol, from this shard's point of view:
+//
+//	source:      seal → export ················· release (or resume = abort)
+//	destination:               import → activate (or release = abort)
+//
+// Crash safety is TTL-based on both sides: a sealed stream auto-resumes
+// ingestion when no release/resume arrives within HandoffTTL (the
+// coordinator died before the ownership flip, so the stream is still
+// ours), and an imported-but-unactivated stream is auto-discarded on the
+// same clock (the flip never happened, so it never becomes ours). Either
+// way exactly one shard ends up serving the stream, and every client-
+// visible failure mode during the window is a typed not_ready/unavailable.
+
+// DefaultHandoffTTL bounds how long a handoff may stay half-done: a
+// sealed source stream auto-resumes, and an unactivated imported stream
+// is auto-discarded, this long after the step that created the state.
+const DefaultHandoffTTL = 60 * time.Second
+
+// sealRendezvous bounds how long the admin handlers wait for the
+// stream's ingester goroutine to reach a seal point (one AdvanceLive
+// chunk is the expected wait).
+const sealRendezvous = 30 * time.Second
+
+// ingestCtl is the per-stream handle the admin surface uses to talk to
+// the stream's ingester goroutine (ingestLoop).
+type ingestCtl struct {
+	// sealReq hands a seal request to the ingest loop; unbuffered, so a
+	// completed send means the loop took it.
+	sealReq chan *sealWait
+	// loopDone is closed when the ingest loop exits (window finished,
+	// server stopped, or stream released).
+	loopDone chan struct{}
+
+	mu sync.Mutex
+	// loopRunning is set while an ingestLoop goroutine owns the session.
+	loopRunning bool
+	// sealed/sealedWM report a parked stream and its frozen watermark.
+	sealed   bool
+	sealedWM float64
+	// release, non-nil while parked, unparks the loop: true resumes
+	// ingestion (abort), false makes the loop exit (stream moving away).
+	release chan bool
+	// sealTimer auto-clears a quiescent seal (finished window, no parked
+	// ingester) after the handoff TTL — the quiescent twin of holdSeal's
+	// auto-resume.
+	sealTimer *time.Timer
+}
+
+// sealWait is one seal request's rendezvous with the ingest loop.
+type sealWait struct {
+	done    chan struct{}
+	wm      float64
+	err     error
+	release chan bool
+}
+
+func (s *Server) handoffTTL() time.Duration {
+	if s.cfg.HandoffTTL > 0 {
+		return s.cfg.HandoffTTL
+	}
+	return DefaultHandoffTTL
+}
+
+// ctlFor returns (creating on first use) the stream's ingest control.
+func (s *Server) ctlFor(stream string) *ingestCtl {
+	s.handoffMu.Lock()
+	defer s.handoffMu.Unlock()
+	ctl, ok := s.ctls[stream]
+	if !ok {
+		ctl = &ingestCtl{sealReq: make(chan *sealWait), loopDone: make(chan struct{})}
+		s.ctls[stream] = ctl
+	}
+	return ctl
+}
+
+// isHidden reports whether the stream is imported but not yet activated.
+func (s *Server) isHidden(stream string) bool {
+	s.handoffMu.Lock()
+	defer s.handoffMu.Unlock()
+	return s.hidden[stream]
+}
+
+// isMoved reports whether the stream was released to another shard.
+func (s *Server) isMoved(stream string) bool {
+	s.handoffMu.Lock()
+	defer s.handoffMu.Unlock()
+	return s.moved[stream]
+}
+
+// holdSeal runs on the ingester goroutine: it checkpoints the stream at
+// the current watermark boundary, publishes the seal, and parks until
+// released, resumed by TTL, or the server stops. Returns true to resume
+// ingestion, false when the loop must exit (handoff completed or server
+// stopping; the caller stops the generator).
+func (s *Server) holdSeal(sess *focus.Session, ctl *ingestCtl, sw *sealWait) bool {
+	if err := sess.CheckpointLive(); err != nil {
+		s.handoffErrs.Add(1)
+		sw.err = err
+		close(sw.done)
+		return true
+	}
+	s.seals.Add(1)
+	wm := sess.Watermark()
+	ctl.mu.Lock()
+	ctl.sealed, ctl.sealedWM, ctl.release = true, wm, sw.release
+	ctl.mu.Unlock()
+	sw.wm = wm
+	close(sw.done)
+
+	resume := true
+	ttl := time.NewTimer(s.handoffTTL())
+	select {
+	case resume = <-sw.release:
+	case <-ttl.C:
+		// The coordinator died mid-handoff. Ownership flips only after a
+		// successful import, and release follows the flip — so a seal
+		// left holding past the TTL means the flip never committed from
+		// our side's point of view: the stream is still ours, resume it.
+	case <-s.stopCh:
+		resume = false
+	}
+	ttl.Stop()
+	ctl.mu.Lock()
+	ctl.sealed, ctl.release = false, nil
+	ctl.mu.Unlock()
+	return resume
+}
+
+// parkStream seals a stream at its current watermark boundary: the
+// ingester checkpoints and parks, and the stream's answers freeze there.
+// Idempotent while parked. Streams whose window already finished (their
+// ingest loop exited after a final checkpoint) seal trivially.
+func (s *Server) parkStream(sess *focus.Session) (float64, *api.Error) {
+	name := sess.Name()
+	ctl := s.ctlFor(name)
+	for attempt := 0; ; attempt++ {
+		ctl.mu.Lock()
+		if ctl.sealed {
+			wm := ctl.sealedWM
+			ctl.mu.Unlock()
+			return wm, nil
+		}
+		running := ctl.loopRunning
+		ctl.mu.Unlock()
+		loopExited := false
+		if running {
+			select {
+			case <-ctl.loopDone:
+				loopExited = true
+			default:
+			}
+		}
+		if !running || loopExited {
+			// No ingester goroutine owns the session. A finished window is
+			// quiescent (the loop took its final checkpoint on the way
+			// out), so sealing is just publishing the frozen watermark; an
+			// unfinished stream without an ingester (NoBackgroundIngest)
+			// has no seal point we can wait for.
+			if !sess.LiveDone() {
+				return 0, api.Errorf(api.CodeUnavailable,
+					"stream %q has no background ingester to seal", name)
+			}
+			if err := sess.CheckpointLive(); err != nil {
+				s.handoffErrs.Add(1)
+				return 0, api.Errorf(api.CodeUnavailable, "sealing %q: %v", name, err)
+			}
+			s.seals.Add(1)
+			ctl.mu.Lock()
+			ctl.sealed, ctl.sealedWM = true, sess.Watermark()
+			wm := ctl.sealedWM
+			if ctl.sealTimer != nil {
+				ctl.sealTimer.Stop()
+			}
+			// No ingester goroutine means no holdSeal TTL; give the
+			// quiescent seal its own, so a dead coordinator cannot leave
+			// the flag behind forever.
+			ctl.sealTimer = time.AfterFunc(s.handoffTTL(), func() {
+				ctl.mu.Lock()
+				if ctl.sealed && ctl.release == nil && !ctl.loopRunning {
+					ctl.sealed = false
+				}
+				ctl.mu.Unlock()
+			})
+			ctl.mu.Unlock()
+			return wm, nil
+		}
+		sw := &sealWait{done: make(chan struct{}), release: make(chan bool, 1)}
+		select {
+		case ctl.sealReq <- sw:
+		case <-ctl.loopDone:
+			// The loop exited between the check and the send (window just
+			// finished); take the quiescent path.
+			if attempt < 3 {
+				continue
+			}
+			return 0, api.Errorf(api.CodeNotReady, "stream %q: seal pending", name)
+		case <-time.After(sealRendezvous):
+			return 0, api.Errorf(api.CodeNotReady, "stream %q: seal pending (ingester busy)", name)
+		}
+		select {
+		case <-sw.done:
+		case <-time.After(sealRendezvous):
+			return 0, api.Errorf(api.CodeNotReady, "stream %q: seal pending (checkpoint in flight)", name)
+		}
+		if sw.err != nil {
+			return 0, api.Errorf(api.CodeUnavailable, "sealing %q: %v", name, sw.err)
+		}
+		return sw.wm, nil
+	}
+}
+
+// unparkStream releases a sealed stream's ingester: resume=true continues
+// ingestion (handoff aborted), resume=false makes the loop exit (the
+// stream moved away). Returns false when the stream was not parked.
+func (s *Server) unparkStream(stream string, resume bool) bool {
+	ctl := s.ctlFor(stream)
+	ctl.mu.Lock()
+	rel := ctl.release
+	if rel == nil {
+		// A quiescent seal (finished window, no parked ingester) has no
+		// goroutine to signal: clearing the flag is the whole unpark.
+		was := ctl.sealed
+		ctl.sealed = false
+		if ctl.sealTimer != nil {
+			ctl.sealTimer.Stop()
+			ctl.sealTimer = nil
+		}
+		ctl.mu.Unlock()
+		return was
+	}
+	ctl.mu.Unlock()
+	select {
+	case rel <- resume:
+		return true
+	default:
+		// The park already resolved (TTL auto-resume raced us).
+		return false
+	}
+}
+
+// adminStreamRequest decodes the common {stream} admin body.
+func (s *Server) adminStreamRequest(w http.ResponseWriter, r *http.Request) (*focus.Session, string, bool) {
+	if r.Method != http.MethodPost {
+		s.writeV1Error(w, api.Errorf(api.CodeBadRequest, "POST a JSON body to %s", r.URL.Path))
+		return nil, "", false
+	}
+	var req api.AdminStreamRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeV1Error(w, api.Errorf(api.CodeBadRequest, "bad %s body: %v", r.URL.Path, err))
+		return nil, "", false
+	}
+	if req.Stream == "" {
+		s.writeV1Error(w, api.Errorf(api.CodeBadRequest, "missing required field: stream"))
+		return nil, "", false
+	}
+	sess := s.sys.Session(req.Stream)
+	if sess == nil {
+		if s.isMoved(req.Stream) {
+			s.writeV1Error(w, api.Errorf(api.CodeUnavailable, "stream %q moved to another shard", req.Stream))
+			return nil, "", false
+		}
+		s.writeV1Error(w, api.Errorf(api.CodeUnknownStream, "unknown stream %q", req.Stream))
+		return nil, "", false
+	}
+	return sess, req.Stream, true
+}
+
+// handleAdminSeal is POST /v1/admin/seal: park the stream's ingestion at
+// a watermark boundary behind a durable checkpoint. Idempotent.
+func (s *Server) handleAdminSeal(w http.ResponseWriter, r *http.Request) {
+	sess, stream, ok := s.adminStreamRequest(w, r)
+	if !ok {
+		return
+	}
+	wm, aerr := s.parkStream(sess)
+	if aerr != nil {
+		s.writeV1Error(w, aerr)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.SealResponse{
+		Stream:    stream,
+		Watermark: wm,
+		Epoch:     s.sys.StreamEpoch(stream),
+	})
+}
+
+// handleAdminResume is POST /v1/admin/resume: the abort path — a sealed
+// stream goes back to normal ingestion. A no-op for unsealed streams.
+func (s *Server) handleAdminResume(w http.ResponseWriter, r *http.Request) {
+	_, stream, ok := s.adminStreamRequest(w, r)
+	if !ok {
+		return
+	}
+	s.unparkStream(stream, true)
+	writeJSON(w, http.StatusOK, map[string]string{"stream": stream, "status": "resumed"})
+}
+
+// handleAdminExport is POST /v1/admin/export: return a sealed stream's
+// checkpoint records — the shard-to-shard handoff payload.
+func (s *Server) handleAdminExport(w http.ResponseWriter, r *http.Request) {
+	sess, stream, ok := s.adminStreamRequest(w, r)
+	if !ok {
+		return
+	}
+	ctl := s.ctlFor(stream)
+	ctl.mu.Lock()
+	sealed := ctl.sealed
+	ctl.mu.Unlock()
+	if !sealed {
+		s.writeV1Error(w, api.Errorf(api.CodeBadRequest, "stream %q is not sealed; seal before export", stream))
+		return
+	}
+	spec, wm, recs, err := s.sys.ExportStream(stream)
+	if err != nil {
+		s.handoffErrs.Add(1)
+		s.writeV1Error(w, api.Errorf(api.CodeUnavailable, "exporting %q: %v", stream, err))
+		return
+	}
+	rawSpec, err := json.Marshal(spec)
+	if err != nil {
+		s.handoffErrs.Add(1)
+		s.writeV1Error(w, api.Errorf(api.CodeInternal, "encoding spec of %q: %v", stream, err))
+		return
+	}
+	out := api.StreamExport{
+		Stream:    stream,
+		Spec:      rawSpec,
+		Watermark: wm,
+		Epoch:     s.sys.StreamEpoch(stream),
+		Records:   make([]api.HandoffRecord, len(recs)),
+	}
+	for i, rec := range recs {
+		out.Records[i] = api.HandoffRecord{Key: rec.Key, Value: rec.Value}
+	}
+	_ = sess // session existence already validated; export reads the store
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleAdminImport is POST /v1/admin/import: restore an exported stream
+// on this shard, hidden from queries and ownership reports until
+// activated. The import auto-discards after HandoffTTL if no activation
+// arrives (the coordinator died before the ownership flip).
+func (s *Server) handleAdminImport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeV1Error(w, api.Errorf(api.CodeBadRequest, "POST a JSON body to %s", api.PathAdminImport))
+		return
+	}
+	if s.draining.Load() {
+		s.writeV1Error(w, api.Errorf(api.CodeDraining, "shard is draining; not accepting stream imports"))
+		return
+	}
+	var exp api.StreamExport
+	if err := json.NewDecoder(r.Body).Decode(&exp); err != nil {
+		s.writeV1Error(w, api.Errorf(api.CodeBadRequest, "bad %s body: %v", api.PathAdminImport, err))
+		return
+	}
+	var spec focus.StreamSpec
+	if err := json.Unmarshal(exp.Spec, &spec); err != nil {
+		s.writeV1Error(w, api.Errorf(api.CodeBadRequest, "bad stream spec: %v", err))
+		return
+	}
+	if spec.Name == "" || spec.Name != exp.Stream {
+		s.writeV1Error(w, api.Errorf(api.CodeBadRequest, "spec name %q does not match stream %q", spec.Name, exp.Stream))
+		return
+	}
+	recs := make([]focus.HandoffRecord, len(exp.Records))
+	for i, rec := range exp.Records {
+		recs[i] = focus.HandoffRecord{Key: rec.Key, Value: rec.Value}
+	}
+	if _, err := s.sys.ImportStream(spec, exp.Epoch, recs); err != nil {
+		s.handoffErrs.Add(1)
+		s.writeV1Error(w, api.Errorf(api.CodeUnavailable, "importing %q: %v", exp.Stream, err))
+		return
+	}
+	s.imports.Add(1)
+	name := spec.Name
+	s.handoffMu.Lock()
+	s.hidden[name] = true
+	delete(s.moved, name) // a stream may move back to a shard it once left
+	if t := s.importTimers[name]; t != nil {
+		t.Stop()
+	}
+	s.importTimers[name] = time.AfterFunc(s.handoffTTL(), func() { s.discardImport(name) })
+	s.handoffMu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"stream": name, "watermark": exp.Watermark, "status": "imported"})
+}
+
+// discardImport rolls back an imported stream whose activation never
+// arrived within the TTL: the ownership flip never committed, so the
+// stream is not ours.
+func (s *Server) discardImport(name string) {
+	s.handoffMu.Lock()
+	if !s.hidden[name] {
+		s.handoffMu.Unlock()
+		return
+	}
+	delete(s.hidden, name)
+	delete(s.importTimers, name)
+	s.handoffMu.Unlock()
+	s.handoffErrs.Add(1)
+	_ = s.sys.RemoveStream(name)
+}
+
+// handleAdminActivate is POST /v1/admin/activate: commit an imported
+// stream — unhide it and resume its live ingestion tail. From here the
+// shard reports the stream (with its new epoch) on /v1/streams.
+func (s *Server) handleAdminActivate(w http.ResponseWriter, r *http.Request) {
+	sess, stream, ok := s.adminStreamRequest(w, r)
+	if !ok {
+		return
+	}
+	s.handoffMu.Lock()
+	hidden := s.hidden[stream]
+	if hidden {
+		delete(s.hidden, stream)
+		if t := s.importTimers[stream]; t != nil {
+			t.Stop()
+			delete(s.importTimers, stream)
+		}
+	}
+	s.handoffMu.Unlock()
+	if !hidden {
+		s.writeV1Error(w, api.Errorf(api.CodeBadRequest, "stream %q has no pending import to activate", stream))
+		return
+	}
+	if err := s.sys.CommitImport(stream); err != nil {
+		s.handoffErrs.Add(1)
+		s.writeV1Error(w, api.Errorf(api.CodeUnavailable, "activating %q: %v", stream, err))
+		return
+	}
+	if !s.cfg.NoBackgroundIngest {
+		s.startIngestLoop(sess)
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"stream": stream, "status": "active"})
+}
+
+// handleAdminRelease is POST /v1/admin/release: remove a stream from this
+// shard. On a handoff source this completes the move — standing queries
+// end with a typed "moved" bye, the session is unregistered, and its
+// records are deleted; late queries get a typed unavailable. On a
+// destination it rolls an unactivated import back.
+func (s *Server) handleAdminRelease(w http.ResponseWriter, r *http.Request) {
+	sess, stream, ok := s.adminStreamRequest(w, r)
+	if !ok {
+		return
+	}
+	s.handoffMu.Lock()
+	hidden := s.hidden[stream]
+	if hidden {
+		delete(s.hidden, stream)
+		if t := s.importTimers[stream]; t != nil {
+			t.Stop()
+			delete(s.importTimers, stream)
+		}
+	}
+	s.handoffMu.Unlock()
+	if hidden {
+		// Destination-side abort: the stream never served here.
+		if err := s.sys.RemoveStream(stream); err != nil {
+			s.handoffErrs.Add(1)
+			s.writeV1Error(w, api.Errorf(api.CodeUnavailable, "releasing %q: %v", stream, err))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"stream": stream, "status": "released"})
+		return
+	}
+	// Source side: the stream must be quiescent before its session goes
+	// away — park the ingester (idempotent when already sealed), then make
+	// the loop exit.
+	ctl := s.ctlFor(stream)
+	ctl.mu.Lock()
+	running := ctl.loopRunning
+	ctl.mu.Unlock()
+	if running {
+		if _, aerr := s.parkStream(sess); aerr != nil {
+			s.writeV1Error(w, aerr)
+			return
+		}
+		s.unparkStream(stream, false)
+		select {
+		case <-ctl.loopDone:
+		case <-time.After(sealRendezvous):
+			s.writeV1Error(w, api.Errorf(api.CodeNotReady, "stream %q: ingester still exiting", stream))
+			return
+		}
+	}
+	// Standing queries on the moved stream end with a typed "moved" bye;
+	// subscribers resume at their delivered vector against the new owner.
+	s.subs.CloseStreams(api.ReasonMoved, stream)
+	if err := s.sys.RemoveStream(stream); err != nil {
+		s.handoffErrs.Add(1)
+		s.writeV1Error(w, api.Errorf(api.CodeUnavailable, "releasing %q: %v", stream, err))
+		return
+	}
+	s.handoffMu.Lock()
+	s.moved[stream] = true
+	s.handoffMu.Unlock()
+	s.releases.Add(1)
+	writeJSON(w, http.StatusOK, map[string]string{"stream": stream, "status": "released"})
+}
+
+// Sealed reports whether the named stream is currently parked at a sealed
+// watermark (tests and operators poke this through /v1/stats counters;
+// exported for the crash-matrix harness).
+func (s *Server) Sealed(stream string) bool {
+	ctl := s.ctlFor(stream)
+	ctl.mu.Lock()
+	defer ctl.mu.Unlock()
+	return ctl.sealed
+}

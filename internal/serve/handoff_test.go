@@ -1,0 +1,297 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"focus"
+	"focus/api"
+	"focus/client"
+	"focus/internal/serve"
+)
+
+// waitWatermark polls until the stream's served watermark reaches wm.
+func waitWatermark(t *testing.T, cli *client.Client, stream string, wm float64) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		sts, err := cli.Streams(context.Background())
+		if err == nil {
+			for _, st := range sts {
+				if st.Name == stream && st.Watermark >= wm {
+					return
+				}
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("stream %s never reached watermark %.0f", stream, wm)
+}
+
+// bootEmptyService boots a serve.Server with zero streams — the elastic
+// destination shard of a handoff.
+func bootEmptyService(t *testing.T, scfg serve.Config) *testService {
+	t.Helper()
+	scfg.AllowNoStreams = true
+	return bootTestService(t, focus.Config{Seed: 1}, scfg)
+}
+
+// TestHandoffRoundTrip walks the full shard-side protocol between a
+// source and an empty destination: seal → export → import (hidden) →
+// activate (serving) → release (moved), asserting the visibility contract
+// and bit-identical answers at each stage.
+func TestHandoffRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots two serve fixtures")
+	}
+	const stream = "auburn_c"
+	scfg := serve.Config{} // full-speed background ingest
+	src := bootTestService(t, focus.Config{Seed: 1}, scfg, stream)
+	dst := bootEmptyService(t, scfg)
+	srcCli := client.New(src.http.URL, client.WithRetries(0, 0))
+	dstCli := client.New(dst.http.URL, client.WithRetries(0, 0))
+	ctx := context.Background()
+	waitWatermark(t, srcCli, stream, 60)
+
+	// Seal: watermark frozen at the boundary, idempotent.
+	sealed, err := srcCli.AdminSeal(ctx, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sealed.Watermark != 60 || sealed.Epoch != 0 {
+		t.Fatalf("seal reported %+v, want the finished watermark 60 at epoch 0", sealed)
+	}
+	if again, err := srcCli.AdminSeal(ctx, stream); err != nil || again.Watermark != sealed.Watermark {
+		t.Fatalf("second seal (%+v, %v) is not idempotent", again, err)
+	}
+	if !src.srv.Sealed(stream) {
+		t.Fatal("Sealed() false after a successful seal")
+	}
+
+	// The source keeps serving the sealed watermark.
+	srcAnswer, err := srcCli.Query(ctx, &api.QueryRequest{Expr: "car"})
+	if err != nil {
+		t.Fatalf("query against a sealed source: %v", err)
+	}
+
+	// Export ships the checkpoint; the destination imports it hidden.
+	export, err := srcCli.AdminExport(ctx, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(export.Records) == 0 || export.Watermark != 60 {
+		t.Fatalf("export %d records at wm %.0f, want a non-empty checkpoint at 60", len(export.Records), export.Watermark)
+	}
+	export.Epoch++
+	if err := dstCli.AdminImport(ctx, export); err != nil {
+		t.Fatal(err)
+	}
+	// Hidden: not reported, not queryable — typed not_ready.
+	if sts, err := dstCli.Streams(ctx); err != nil || len(sts) != 0 {
+		t.Fatalf("destination reports %v mid-import, want nothing (hidden)", sts)
+	}
+	if _, err := dstCli.Query(ctx, &api.QueryRequest{Expr: "car", Streams: []string{stream}}); !api.IsCode(err, api.CodeNotReady) {
+		t.Fatalf("query against a hidden import: %v, want not_ready", err)
+	}
+
+	// Activate: the destination serves, bit-identical to the source.
+	if err := dstCli.AdminActivate(ctx, stream); err != nil {
+		t.Fatal(err)
+	}
+	waitWatermark(t, dstCli, stream, 60)
+	dstAnswer, err := dstCli.Query(ctx, &api.QueryRequest{Expr: "car"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(srcAnswer.Streams, dstAnswer.Streams) || srcAnswer.TotalFrames != dstAnswer.TotalFrames {
+		t.Fatalf("destination answer diverges from source: %d frames vs %d", dstAnswer.TotalFrames, srcAnswer.TotalFrames)
+	}
+	sts, err := dstCli.Streams(ctx)
+	if err != nil || len(sts) != 1 || sts[0].Epoch != export.Epoch {
+		t.Fatalf("destination reports %+v (%v), want %s at epoch %d", sts, err, stream, export.Epoch)
+	}
+
+	// Release: the source drops the stream; late queries get a typed
+	// unavailable, and the stream vanishes from its reports.
+	if err := srcCli.AdminRelease(ctx, stream); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srcCli.Query(ctx, &api.QueryRequest{Expr: "car", Streams: []string{stream}}); !api.IsCode(err, api.CodeUnavailable) {
+		t.Fatalf("query against the released source: %v, want unavailable", err)
+	}
+	if sts, err := srcCli.Streams(ctx); err != nil || len(sts) != 0 {
+		t.Fatalf("released source still reports %v", sts)
+	}
+	// Admin calls on the moved stream are typed unavailable too.
+	if _, err := srcCli.AdminSeal(ctx, stream); !api.IsCode(err, api.CodeUnavailable) {
+		t.Fatalf("seal of a moved stream: %v, want unavailable", err)
+	}
+	st := src.srv.Snapshot()
+	if st.HandoffSeals == 0 || st.HandoffReleases != 1 {
+		t.Errorf("source handoff counters %+v, want seals>0 releases=1", st)
+	}
+}
+
+// TestHandoffTypedErrors pins the admin surface's rejection shapes.
+func TestHandoffTypedErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a serve fixture")
+	}
+	const stream = "auburn_c"
+	src := bootTestService(t, focus.Config{Seed: 1}, serve.Config{}, stream)
+	cli := client.New(src.http.URL, client.WithRetries(0, 0))
+	ctx := context.Background()
+	waitWatermark(t, cli, stream, 60)
+
+	if _, err := cli.AdminExport(ctx, stream); !api.IsCode(err, api.CodeBadRequest) {
+		t.Errorf("export of an unsealed stream: %v, want bad_request", err)
+	}
+	if _, err := cli.AdminSeal(ctx, "nope"); !api.IsCode(err, api.CodeUnknownStream) {
+		t.Errorf("seal of an unknown stream: %v, want unknown_stream", err)
+	}
+	if err := cli.AdminActivate(ctx, stream); !api.IsCode(err, api.CodeBadRequest) {
+		t.Errorf("activate without a pending import: %v, want bad_request", err)
+	}
+	// Resume of an unsealed stream is a harmless no-op.
+	if err := cli.AdminResume(ctx, stream); err != nil {
+		t.Errorf("resume of an unsealed stream: %v", err)
+	}
+	// A malformed spec is rejected before anything registers.
+	exp := &api.StreamExport{Stream: stream, Spec: json.RawMessage(`{"name":"other"}`)}
+	if err := cli.AdminImport(ctx, exp); !api.IsCode(err, api.CodeBadRequest) {
+		t.Errorf("import with a mismatched spec: %v, want bad_request", err)
+	}
+}
+
+// TestHandoffTTLSelfHeals covers both TTL backstops: a sealed stream
+// auto-resumes when no release arrives, and an unactivated import is
+// auto-discarded.
+func TestHandoffTTLSelfHeals(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots two serve fixtures")
+	}
+	const stream = "auburn_c"
+	scfg := serve.Config{HandoffTTL: 300 * time.Millisecond}
+	src := bootTestService(t, focus.Config{Seed: 1}, scfg, stream)
+	dst := bootEmptyService(t, scfg)
+	srcCli := client.New(src.http.URL, client.WithRetries(0, 0))
+	dstCli := client.New(dst.http.URL, client.WithRetries(0, 0))
+	ctx := context.Background()
+	waitWatermark(t, srcCli, stream, 60)
+
+	// Seal, export, import — then the coordinator "dies": no activate, no
+	// release ever arrive.
+	if _, err := srcCli.AdminSeal(ctx, stream); err != nil {
+		t.Fatal(err)
+	}
+	export, err := srcCli.AdminExport(ctx, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	export.Epoch++
+	if err := dstCli.AdminImport(ctx, export); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for src.srv.Sealed(stream) {
+		if time.Now().After(deadline) {
+			t.Fatal("sealed stream never TTL-resumed")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	for dst.sys.Session(stream) != nil {
+		if time.Now().After(deadline) {
+			t.Fatal("unactivated import never TTL-discarded")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	// The source still owns and serves the stream; the destination knows
+	// nothing of it.
+	if _, err := srcCli.Query(ctx, &api.QueryRequest{Expr: "car"}); err != nil {
+		t.Fatalf("query after TTL self-heal: %v", err)
+	}
+	if _, err := dstCli.Query(ctx, &api.QueryRequest{Expr: "car", Streams: []string{stream}}); !api.IsCode(err, api.CodeUnknownStream) {
+		t.Fatalf("query on the destination after discard: %v, want unknown_stream", err)
+	}
+}
+
+// TestStartDiscardsPendingImports: a shard that crashed holding an
+// unactivated import must not cold-start into serving it — the ownership
+// flip never committed, so the stream is not ours.
+func TestStartDiscardsPendingImports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a serve fixture")
+	}
+	const stream = "auburn_c"
+	src := bootTestService(t, focus.Config{Seed: 1}, serve.Config{}, stream)
+	srcCli := client.New(src.http.URL, client.WithRetries(0, 0))
+	ctx := context.Background()
+	waitWatermark(t, srcCli, stream, 60)
+	if _, err := srcCli.AdminSeal(ctx, stream); err != nil {
+		t.Fatal(err)
+	}
+	export, err := srcCli.AdminExport(ctx, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The destination is durable; it imports the stream and then crashes
+	// (Abandon, the PR-6 idiom) before any activation commits.
+	fcfg := focus.Config{
+		Seed: 1, Targets: focus.Targets{Recall: 0.7, Precision: 0.7},
+		TuneOptions: serve.QuickTuneOptions(),
+		StorePath:   filepath.Join(t.TempDir(), "focus.kv"),
+	}
+	crashed, err := focus.New(fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spec focus.StreamSpec
+	if err := json.Unmarshal(export.Spec, &spec); err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]focus.HandoffRecord, len(export.Records))
+	for i, rec := range export.Records {
+		recs[i] = focus.HandoffRecord{Key: rec.Key, Value: rec.Value}
+	}
+	if _, err := crashed.ImportStream(spec, export.Epoch+1, recs); err != nil {
+		t.Fatal(err)
+	}
+	if !crashed.PendingImport(stream) {
+		t.Fatal("ImportStream did not leave a pending-import marker")
+	}
+	crashed.Abandon()
+
+	// Cold restart over the same store: the marker must be purged before
+	// anything serves, whether or not the stream is configured here.
+	sys, err := focus.New(fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	if !sys.PendingImport(stream) {
+		t.Fatal("pending-import marker did not survive the crash")
+	}
+	srv := serve.New(sys, serve.Config{
+		Window:         focus.GenOptions{DurationSec: 60, SampleEvery: 1},
+		TuneWindow:     focus.GenOptions{DurationSec: 30, SampleEvery: 1},
+		AllowNoStreams: true,
+	})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Stop)
+	if sys.PendingImport(stream) {
+		t.Fatal("Start left the pending-import marker in place")
+	}
+	// The orphaned import was purged outright: this shard does not serve
+	// the stream it never finished receiving.
+	if sys.Session(stream) != nil {
+		t.Fatal("cold start served the unactivated import")
+	}
+}

@@ -105,6 +105,14 @@ type Config struct {
 	// Fault arms the fault-injection middleware (see FaultConfig). The
 	// zero value injects nothing; production deployments leave it zero.
 	Fault FaultConfig
+	// AllowNoStreams lets Start succeed with zero registered streams: an
+	// elastic shard boots empty and receives its share through stream
+	// handoff (/v1/admin/import).
+	AllowNoStreams bool
+	// HandoffTTL bounds a half-done handoff: a sealed stream auto-resumes
+	// ingestion, and an unactivated import is auto-discarded, this long
+	// after the step that created the state. 0 means DefaultHandoffTTL.
+	HandoffTTL time.Duration
 }
 
 func (c *Config) applyDefaults() {
@@ -166,6 +174,16 @@ type Server struct {
 	checkpointed map[string]ManifestStream
 	manifestMu   sync.Mutex
 
+	// handoffMu guards the live-handoff state (see handoff.go): per-stream
+	// ingest controls, streams imported but not yet activated (hidden from
+	// queries and /v1/streams), streams released to another shard (typed
+	// unavailable), and the auto-discard timers of pending imports.
+	handoffMu    sync.Mutex
+	ctls         map[string]*ingestCtl
+	hidden       map[string]bool
+	moved        map[string]bool
+	importTimers map[string]*time.Timer
+
 	// counters
 	queries      atomic.Int64
 	planQueries  atomic.Int64
@@ -188,6 +206,12 @@ type Server struct {
 	restoredStreams atomic.Int64
 	faultErrors     atomic.Int64
 	faultBlackholed atomic.Int64
+	// handoff counters: streams sealed, imported, released, and handoff
+	// step failures (see OPERATIONS.md §"Resharding").
+	seals       atomic.Int64
+	imports     atomic.Int64
+	releases    atomic.Int64
+	handoffErrs atomic.Int64
 }
 
 // New builds a server around a system whose streams are already registered
@@ -202,6 +226,10 @@ func New(sys *focus.System, cfg Config) *Server {
 		subs:         subscribe.NewRegistry(),
 		checkpointed: make(map[string]ManifestStream),
 		stopCh:       make(chan struct{}),
+		ctls:         make(map[string]*ingestCtl),
+		hidden:       make(map[string]bool),
+		moved:        make(map[string]bool),
+		importTimers: make(map[string]*time.Timer),
 	}
 	s.mux = http.NewServeMux()
 	// The v1 contract is the primary surface…
@@ -218,6 +246,14 @@ func New(sys *focus.System, cfg Config) *Server {
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/drain", s.handleDrain)
+	// The live-handoff admin surface (see handoff.go): a reshard
+	// coordinator moving streams between shards drives these.
+	s.mux.HandleFunc(api.PathAdminSeal, s.handleAdminSeal)
+	s.mux.HandleFunc(api.PathAdminResume, s.handleAdminResume)
+	s.mux.HandleFunc(api.PathAdminExport, s.handleAdminExport)
+	s.mux.HandleFunc(api.PathAdminImport, s.handleAdminImport)
+	s.mux.HandleFunc(api.PathAdminActivate, s.handleAdminActivate)
+	s.mux.HandleFunc(api.PathAdminRelease, s.handleAdminRelease)
 	s.handler = s.mux
 	if cfg.Fault.Active() {
 		s.handler = newFaultInjector(cfg.Fault, s, s.mux)
@@ -248,8 +284,18 @@ func (s *Server) Handler() http.Handler { return s.handler }
 // one-worker-per-stream deployment (§5).
 func (s *Server) Start() error {
 	sessions := s.sys.Sessions()
-	if len(sessions) == 0 {
+	if len(sessions) == 0 && !s.cfg.AllowNoStreams {
 		return fmt.Errorf("serve: no streams registered")
+	}
+	// Imports whose handoff never committed are not ours: purge the ones no
+	// longer configured on this shard (configured ones are handled, and
+	// restarted fresh, in the per-stream loop below).
+	for _, name := range s.sys.PendingImports() {
+		if s.sys.Session(name) == nil {
+			if err := s.sys.DiscardPendingImport(name); err != nil {
+				return fmt.Errorf("serve: discarding pending import of %q: %w", name, err)
+			}
+		}
 	}
 	tuneWindow := s.cfg.TuneWindow
 	if tuneWindow.DurationSec <= 0 {
@@ -258,6 +304,16 @@ func (s *Server) Start() error {
 	workers := parallel.StreamWorkers(len(sessions), 0)
 	err := parallel.ForEach(workers, len(sessions), func(i int) error {
 		sess := sessions[i]
+		if s.sys.PendingImport(sess.Name()) {
+			// This process died between importing the stream and the
+			// cluster committing the handoff: the ownership flip never
+			// happened, so the stream is not ours — discard the imported
+			// checkpoint and (if the stream is still configured here)
+			// start it fresh as if the import never happened.
+			if err := s.sys.DiscardPendingImport(sess.Name()); err != nil {
+				return fmt.Errorf("serve: discarding pending import of %q: %w", sess.Name(), err)
+			}
+		}
 		if s.sys.Persistent() && sess.HasLiveCheckpoint() {
 			restored, err := sess.RestoreLive()
 			if err != nil {
@@ -292,12 +348,23 @@ func (s *Server) Start() error {
 	s.publishManifestNow()
 	if !s.cfg.NoBackgroundIngest {
 		for _, sess := range sessions {
-			s.wg.Add(1)
-			go s.ingestLoop(sess)
+			s.startIngestLoop(sess)
 		}
 	}
 	s.ready.Store(true)
 	return nil
+}
+
+// startIngestLoop spawns the stream's ingester goroutine with a fresh
+// ingest control (seal rendezvous + exit signal). Also used when an
+// imported stream is activated mid-flight.
+func (s *Server) startIngestLoop(sess *focus.Session) {
+	ctl := &ingestCtl{sealReq: make(chan *sealWait), loopDone: make(chan struct{}), loopRunning: true}
+	s.handoffMu.Lock()
+	s.ctls[sess.Name()] = ctl
+	s.handoffMu.Unlock()
+	s.wg.Add(1)
+	go s.ingestLoop(sess, ctl)
 }
 
 // Stop halts the background ingesters (watermarks freeze where they are) and
@@ -306,6 +373,13 @@ func (s *Server) Start() error {
 func (s *Server) Stop() {
 	s.stopped.Do(func() { close(s.stopCh) })
 	s.wg.Wait()
+	// Pending-import discard timers must not fire into a stopped server;
+	// the markers they would have cleaned up are handled at next boot.
+	s.handoffMu.Lock()
+	for _, t := range s.importTimers {
+		t.Stop()
+	}
+	s.handoffMu.Unlock()
 	// Standing queries cannot outlive the ingest clock that feeds them:
 	// close every subscription with a typed terminal event.
 	s.subs.Drain()
@@ -355,10 +429,19 @@ func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
 // window is exhausted or the server stops, checkpointing on the configured
 // cadence. The loop is the session's ingester goroutine — the one vantage
 // from which CheckpointLive is legal (the worker is quiescent between
-// AdvanceLive calls).
-func (s *Server) ingestLoop(sess *focus.Session) {
+// AdvanceLive calls); seal requests (stream handoff) rendezvous here
+// between chunks for the same reason.
+func (s *Server) ingestLoop(sess *focus.Session, ctl *ingestCtl) {
 	defer s.wg.Done()
-	next := s.cfg.ChunkSec
+	defer func() {
+		// Mark the loop gone before loopDone closes: the stream is
+		// quiescent from here, and seal requests take the direct path.
+		ctl.mu.Lock()
+		ctl.loopRunning = false
+		ctl.mu.Unlock()
+		close(ctl.loopDone)
+	}()
+	next := sess.Watermark() + s.cfg.ChunkSec
 	ckpt := s.sys.Persistent() && s.cfg.CheckpointEvery > 0
 	rounds := 0
 	for {
@@ -372,6 +455,11 @@ func (s *Server) ingestLoop(sess *focus.Session) {
 			}
 			sess.StopLive()
 			return
+		case sw := <-ctl.sealReq:
+			if !s.holdSeal(sess, ctl, sw) {
+				sess.StopLive()
+				return
+			}
 		default:
 		}
 		wm, err := sess.AdvanceLive(next)
@@ -412,6 +500,11 @@ func (s *Server) ingestLoop(sess *focus.Session) {
 				}
 				sess.StopLive()
 				return
+			case sw := <-ctl.sealReq:
+				if !s.holdSeal(sess, ctl, sw) {
+					sess.StopLive()
+					return
+				}
 			case <-time.After(s.cfg.IngestInterval):
 			}
 		}
@@ -467,6 +560,12 @@ func (s *Server) IngestDone() bool {
 func (s *Server) resolveVector(names []string, pins api.WatermarkVector) ([]string, api.WatermarkVector, *api.Error) {
 	if len(names) == 0 {
 		for _, sess := range s.sys.Sessions() {
+			// Streams mid-handoff (imported, not yet activated) are not
+			// served here yet; the implicit all-streams expansion must not
+			// sweep them in.
+			if s.isHidden(sess.Name()) {
+				continue
+			}
 			names = append(names, sess.Name())
 		}
 	}
@@ -474,7 +573,17 @@ func (s *Server) resolveVector(names []string, pins api.WatermarkVector) ([]stri
 	for _, n := range names {
 		sess := s.sys.Session(n)
 		if sess == nil {
+			if s.isMoved(n) {
+				return nil, nil, api.Errorf(api.CodeUnavailable,
+					"stream %q moved to another shard", n)
+			}
 			return nil, nil, api.Errorf(api.CodeUnknownStream, "unknown stream %q", n)
+		}
+		if s.isHidden(n) {
+			// Imported but not yet activated: ownership has not flipped to
+			// this shard. Typed and retryable — the flip is in flight.
+			return nil, nil, api.Errorf(api.CodeNotReady,
+				"stream %q is mid-handoff on this shard", n)
 		}
 		wm := sess.Watermark()
 		if at, ok := pins[n]; ok {
@@ -503,6 +612,11 @@ type StreamStatus = api.StreamStatus
 func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
 	var out []StreamStatus
 	for _, sess := range s.sys.Sessions() {
+		// A stream imported but not activated is not owned here yet: the
+		// router must not see two shards report it before the flip.
+		if s.isHidden(sess.Name()) {
+			continue
+		}
 		spec := sess.Stream().Spec
 		st := sess.IngestStats()
 		status := StreamStatus{
@@ -527,6 +641,7 @@ func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
 			status.K = sel.Chosen.K
 			status.T = sel.Chosen.T
 		}
+		status.Epoch = s.sys.StreamEpoch(spec.Name)
 		out = append(out, status)
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -577,6 +692,15 @@ type Stats struct {
 	DeltaDrops          int64 `json:"delta_drops"`
 	SubscribeEvals      int64 `json:"subscribe_evals"`
 	SubscribeEvalErrors int64 `json:"subscribe_eval_errors"`
+	// HandoffSeals, HandoffImports and HandoffReleases count live-handoff
+	// steps this shard performed (source seals, destination imports,
+	// source releases); HandoffErrors counts failed handoff steps,
+	// including TTL-expired imports rolled back. See OPERATIONS.md
+	// §"Resharding".
+	HandoffSeals    int64 `json:"handoff_seals"`
+	HandoffImports  int64 `json:"handoff_imports"`
+	HandoffReleases int64 `json:"handoff_releases"`
+	HandoffErrors   int64 `json:"handoff_errors"`
 	// FaultErrors and FaultBlackholed count injected failures (zero
 	// unless the fault-injection middleware is armed).
 	FaultErrors     int64              `json:"fault_errors"`
@@ -623,6 +747,10 @@ func (s *Server) Snapshot() Stats {
 		DeltaDrops:          subs.Drops,
 		SubscribeEvals:      subs.Evals,
 		SubscribeEvalErrors: subs.EvalErrors,
+		HandoffSeals:        s.seals.Load(),
+		HandoffImports:      s.imports.Load(),
+		HandoffReleases:     s.releases.Load(),
+		HandoffErrors:       s.handoffErrs.Load(),
 		FaultErrors:         s.faultErrors.Load(),
 		FaultBlackholed:     s.faultBlackholed.Load(),
 		InFlight:            s.limiter.InFlight(),

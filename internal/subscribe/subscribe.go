@@ -432,6 +432,45 @@ func (r *Registry) Complete() {
 	}
 }
 
+// CloseStreams ends every subscription whose stream set touches any of
+// the named streams, with a typed EventBye carrying the given reason —
+// the handoff path uses it to end standing queries on a stream that moved
+// to another shard (api.ReasonMoved). Untouched groups keep streaming,
+// and new subscriptions (which will resolve against the post-handoff
+// stream set) are still accepted.
+func (r *Registry) CloseStreams(reason string, names ...string) {
+	match := make(map[string]bool, len(names))
+	for _, n := range names {
+		match[n] = true
+	}
+	r.mu.Lock()
+	var groups []*group
+	for key, g := range r.groups {
+		touches := false
+		for _, st := range g.streams {
+			if match[st] {
+				touches = true
+				break
+			}
+		}
+		if !touches {
+			continue
+		}
+		groups = append(groups, g)
+		delete(r.groups, key)
+		close(g.kick)
+	}
+	r.mu.Unlock()
+	for _, g := range groups {
+		g.mu.Lock()
+		g.closed = true
+		for sub := range g.subs {
+			g.terminalLocked(sub, &api.SubscribeEvent{V: api.SSEVersion, Type: api.EventBye, Reason: reason})
+		}
+		g.mu.Unlock()
+	}
+}
+
 // Drain ends every subscription because the server is leaving rotation:
 // subscribers get EventBye/ReasonDraining (no final evaluation — the
 // point of draining is to stop work), and new subscriptions are refused.

@@ -683,3 +683,57 @@ func TestGenesisHelpers(t *testing.T) {
 		t.Fatal("non-positive watermarks must read as genesis")
 	}
 }
+
+// TestCloseStreams pins the handoff path: subscriptions touching a moved
+// stream end with a typed bye, everything else keeps streaming, and new
+// subscriptions are still accepted (they will resolve against the
+// post-handoff stream set).
+func TestCloseStreams(t *testing.T) {
+	w := newFakeWorld("a", "b")
+	r := NewRegistry()
+	onA, err := r.Subscribe(opts(w, api.FormRanked, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	onB, err := r.Subscribe(opts(w, api.FormRanked, "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	onBoth, err := r.Subscribe(opts(w, api.FormRanked, "a", "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv(t, onA)
+	recv(t, onB)
+	recv(t, onBoth) // opening catch-ups
+
+	r.CloseStreams(api.ReasonMoved, "a")
+	for _, sub := range []*Subscription{onA, onBoth} {
+		term := recvClosed(t, sub)
+		if term == nil || term.Type != api.EventBye || term.Reason != api.ReasonMoved {
+			t.Fatalf("terminal = %+v, want moved bye", term)
+		}
+	}
+	if st := r.Stats(); st.Groups != 1 || st.Active != 1 {
+		t.Fatalf("stats after close = %+v", st)
+	}
+
+	// The untouched group keeps streaming.
+	w.advance("b", 2)
+	r.Kick()
+	if ev := recv(t, onB); ev.Type != api.EventDelta {
+		t.Fatalf("survivor got %+v, want a delta", ev)
+	}
+
+	// Unlike Drain, CloseStreams leaves the registry open for business:
+	// a fresh subscription on the moved stream resolves anew.
+	fresh, err := r.Subscribe(opts(w, api.FormRanked, "a"))
+	if err != nil {
+		t.Fatalf("Subscribe after CloseStreams: %v", err)
+	}
+	recv(t, fresh)
+	fresh.Close()
+	onB.Close()
+
+	r.CloseStreams(api.ReasonMoved, "nothing-matches") // no-op, must not panic
+}
